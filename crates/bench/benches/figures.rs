@@ -1,0 +1,49 @@
+//! Criterion benchmarks backing the figure sweeps: simulation throughput
+//! across the dimension (Fig. 3), core-count (Fig. 4) and channel
+//! (Fig. 5) axes, at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pulp_hd_core::experiments::measure_chain;
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_core::platform::Platform;
+
+fn bench_dimension_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_dimension");
+    group.sample_size(10);
+    for words in [32usize, 125] {
+        let params = AccelParams { n_words: words, ..AccelParams::emg_default() };
+        group.bench_with_input(BenchmarkId::from_parameter(words * 32), &params, |b, p| {
+            b.iter(|| measure_chain(black_box(&Platform::wolf_builtin(8)), *p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_cores");
+    group.sample_size(10);
+    for cores in [1usize, 8] {
+        let params = AccelParams { n_words: 79, ngram: 3, ..AccelParams::emg_default() };
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &params, |b, p| {
+            b.iter(|| measure_chain(black_box(&Platform::wolf_builtin(cores)), *p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_channels");
+    group.sample_size(10);
+    for channels in [4usize, 32] {
+        let params = AccelParams { n_words: 79, channels, ..AccelParams::emg_default() };
+        group.bench_with_input(BenchmarkId::from_parameter(channels), &params, |b, p| {
+            b.iter(|| measure_chain(black_box(&Platform::wolf_builtin(8)), *p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimension_axis, bench_core_axis, bench_channel_axis);
+criterion_main!(benches);

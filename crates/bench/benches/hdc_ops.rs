@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the native HDC primitives: the
+//! operations whose per-word cost the accelerated kernels reproduce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hdc::bundle::majority_paper;
+use hdc::{BinaryHv, HdClassifier, HdConfig, SpatialEncoder};
+
+fn bench_primitives(c: &mut Criterion) {
+    let a = BinaryHv::random(313, 1);
+    let b = BinaryHv::random(313, 2);
+    c.bench_function("bind_10016", |bch| bch.iter(|| black_box(&a).bind(black_box(&b))));
+    c.bench_function("hamming_10016", |bch| {
+        bch.iter(|| black_box(&a).hamming(black_box(&b)))
+    });
+    c.bench_function("rotate1_10016", |bch| bch.iter(|| black_box(&a).rotate_one()));
+
+    let inputs: Vec<BinaryHv> = (0..5).map(|s| BinaryHv::random(313, s)).collect();
+    c.bench_function("majority5_10016", |bch| {
+        bch.iter(|| majority_paper(black_box(&inputs)))
+    });
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_encode");
+    for channels in [4usize, 16, 64] {
+        let enc = SpatialEncoder::new(channels, 22, 313, 7);
+        let codes: Vec<u16> = (0..channels).map(|i| (i * 977) as u16).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(channels), &codes, |bch, codes| {
+            bch.iter(|| enc.encode_codes(black_box(codes)))
+        });
+    }
+    group.finish();
+
+    let config = HdConfig::emg_default();
+    let clf = HdClassifier::new(config, 5).unwrap();
+    let window = vec![[1000u16, 40_000, 20_000, 60_000]; 5];
+    c.bench_function("encode_window_emg", |bch| {
+        bch.iter(|| clf.encode_window(black_box(&window)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_primitives, bench_encoders);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmarks of the simulated chain itself — one benchmark
+//! per Table 3 column (wall-clock of the simulation; the *cycle counts*
+//! are what the table binaries report).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pulp_hd_core::experiments::measure_chain;
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_core::platform::Platform;
+
+fn bench_chains(c: &mut Criterion) {
+    // Quarter dimension keeps bench wall-time sane; cycle ratios are
+    // dimension-independent (Fig. 3).
+    let params = AccelParams { n_words: 79, ..AccelParams::emg_default() };
+    let mut group = c.benchmark_group("simulated_chain");
+    group.sample_size(10);
+    let configs = [
+        ("pulpv3_1c", Platform::pulpv3(1)),
+        ("pulpv3_4c", Platform::pulpv3(4)),
+        ("wolf_1c", Platform::wolf_plain(1)),
+        ("wolf_1c_builtin", Platform::wolf_builtin(1)),
+        ("wolf_8c_builtin", Platform::wolf_builtin(8)),
+        ("cortex_m4", Platform::cortex_m4()),
+    ];
+    for (name, platform) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| measure_chain(black_box(&platform), black_box(params)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chains);
+criterion_main!(benches);

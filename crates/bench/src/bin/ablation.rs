@@ -1,0 +1,6 @@
+//! Runs the ablation study (memory policies, ISA lowering).
+
+fn main() {
+    let ablation = pulp_hd_core::experiments::ablation::run().expect("ablation");
+    println!("{}", ablation.render());
+}

@@ -1,0 +1,8 @@
+//! Runs the §4.1 accuracy study (HD vs SVM, dimensionality sweep).
+
+use pulp_hd_core::experiments::accuracy::{run, AccuracyConfig};
+
+fn main() {
+    let report = run(&AccuracyConfig::paper());
+    println!("{}", report.render());
+}

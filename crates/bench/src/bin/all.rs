@@ -1,0 +1,26 @@
+//! Runs every experiment in paper order and prints the complete
+//! paper-vs-measured report.
+
+use pulp_hd_core::experiments as exp;
+
+fn main() {
+    println!("PULP-HD reproduction — full experiment suite\n");
+    let t3 = exp::table3::run().expect("table 3");
+    println!("{}\n", t3.render());
+    let t2 = exp::table2::run().expect("table 2");
+    println!("{}\n", t2.render());
+    let t1 = exp::table1::run(false).expect("table 1");
+    println!("{}\n", t1.render());
+    let f3 = exp::fig3::run().expect("fig 3");
+    println!("{}\n", f3.render());
+    let f4 = exp::fig4::run().expect("fig 4");
+    println!("{}\n", f4.render());
+    let f5 = exp::fig5::run().expect("fig 5");
+    println!("{}\n", f5.render());
+    let acc = exp::accuracy::run(&exp::accuracy::AccuracyConfig::paper());
+    println!("{}\n", acc.render());
+    let abl = exp::ablation::run().expect("ablation");
+    println!("{}\n", abl.render());
+    let rob = exp::robustness::run(false);
+    println!("{}", rob.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3 (cycles vs dimension for several N-gram sizes).
+
+fn main() {
+    let fig = pulp_hd_core::experiments::fig3::run().expect("fig 3");
+    println!("{}", fig.render());
+}

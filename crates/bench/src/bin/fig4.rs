@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4 (multi-core scaling for N-grams 1..10).
+
+fn main() {
+    let fig = pulp_hd_core::experiments::fig4::run().expect("fig 4");
+    println!("{}", fig.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5 (channel scaling: cycles, memory, latency).
+
+fn main() {
+    let fig = pulp_hd_core::experiments::fig5::run().expect("fig 5");
+    println!("{}", fig.render());
+}

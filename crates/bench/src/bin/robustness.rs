@@ -1,0 +1,7 @@
+//! Runs the fault-injection robustness study (graceful degradation of
+//! the AM under faulty memory cells).
+
+fn main() {
+    let r = pulp_hd_core::experiments::robustness::run(false);
+    println!("{}", r.render());
+}

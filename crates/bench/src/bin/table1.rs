@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (HD 200-D vs SVM on the ARM Cortex M4).
+
+fn main() {
+    let table = pulp_hd_core::experiments::table1::run(false).expect("table 1");
+    println!("{}", table.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (power on ARM Cortex M4 vs PULPv3).
+
+fn main() {
+    let table = pulp_hd_core::experiments::table2::run().expect("table 2");
+    println!("{}", table.render());
+}

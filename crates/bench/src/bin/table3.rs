@@ -1,0 +1,6 @@
+//! Regenerates Table 3 (PULPv3 vs Wolf, per-kernel cycles and speed-ups).
+
+fn main() {
+    let table = pulp_hd_core::experiments::table3::run().expect("table 3");
+    println!("{}", table.render());
+}

@@ -1,0 +1,9 @@
+//! # `pulp-hd-bench` — benchmark harness
+//!
+//! One binary per table/figure of the paper (`table1`, `table2`,
+//! `table3`, `fig3`, `fig4`, `fig5`, `accuracy`, `ablation`, and `all`),
+//! each printing the regenerated result next to the paper's published
+//! numbers, plus Criterion micro-benchmarks over the native HDC
+//! operations and the simulated kernels.
+//!
+//! Run e.g. `cargo run --release -p pulp-hd-bench --bin table3`.

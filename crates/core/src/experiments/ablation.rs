@@ -1,0 +1,149 @@
+//! **Ablation** (beyond the paper's tables) — how much each design
+//! choice of the accelerator contributes:
+//!
+//! * memory policy: DMA double buffering vs direct L2 access vs
+//!   everything-in-L1 (the paper asserts double buffering matters; this
+//!   measures it),
+//! * ISA lowering: generic vs builtin on the same Wolf cluster
+//!   (isolating the Fig. 2 bit-manipulation effect from the core count).
+
+use crate::experiments::report::{render_table, speedup};
+use crate::experiments::{measure_chain, CycleRun};
+use crate::kernels::IsaVariant;
+use crate::layout::{AccelParams, MemPolicy};
+use crate::pipeline::ChainError;
+use crate::platform::Platform;
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration description.
+    pub name: String,
+    /// Measured cycles.
+    pub cycles: CycleRun,
+}
+
+/// The ablation study results.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    /// Memory-policy rows (Wolf 8 cores, built-in).
+    pub policies: Vec<AblationRow>,
+    /// ISA rows (Wolf 8 cores).
+    pub isa: Vec<AblationRow>,
+}
+
+/// Runs the ablation on the Wolf 8-core configuration.
+///
+/// # Errors
+///
+/// Returns [`ChainError`] if any configuration fails.
+pub fn run() -> Result<Ablation, ChainError> {
+    let params = AccelParams::emg_default();
+
+    let mut policies = Vec::new();
+    for (name, policy) in [
+        ("DMA double buffering (paper)", MemPolicy::DmaDoubleBuffer),
+        ("direct L2 access (no DMA)", MemPolicy::L2Direct),
+        ("all matrices in L1", MemPolicy::AllL1),
+    ] {
+        let mut platform = Platform::wolf_builtin(8);
+        platform.policy = policy;
+        policies.push(AblationRow {
+            name: name.into(),
+            cycles: measure_chain(&platform, params)?,
+        });
+    }
+
+    let mut isa = Vec::new();
+    for (name, variant) in [
+        ("Wolf 8c generic", IsaVariant::Generic),
+        ("Wolf 8c built-in", IsaVariant::Builtin),
+    ] {
+        let mut platform = Platform::wolf_builtin(8);
+        platform.variant = variant;
+        isa.push(AblationRow {
+            name: name.into(),
+            cycles: measure_chain(&platform, params)?,
+        });
+    }
+
+    Ok(Ablation { policies, isa })
+}
+
+impl Ablation {
+    /// Renders both ablation tables.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let base = self.policies[0].cycles.total as f64;
+        let rows: Vec<Vec<String>> = self
+            .policies
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.cycles.total.to_string(),
+                    speedup(base / r.cycles.total as f64),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            "Ablation A — memory policy (Wolf 8 cores built-in, EMG task)",
+            &["policy", "cycles", "vs paper policy"],
+            &rows,
+        );
+        let gen = self.isa[0].cycles.total as f64;
+        let rows: Vec<Vec<String>> = self
+            .isa
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.cycles.total.to_string(),
+                    speedup(gen / r.cycles.total as f64),
+                ]
+            })
+            .collect();
+        out.push('\n');
+        out.push_str(&render_table(
+            "Ablation B — ISA lowering at fixed core count (Wolf 8 cores)",
+            &["lowering", "cycles", "speed-up"],
+            &rows,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_beats_l2_direct_and_builtins_beat_generic() {
+        let params = AccelParams {
+            n_words: 64,
+            ..AccelParams::emg_default()
+        };
+        let mut dma = Platform::wolf_builtin(8);
+        dma.policy = MemPolicy::DmaDoubleBuffer;
+        let mut l2 = Platform::wolf_builtin(8);
+        l2.policy = MemPolicy::L2Direct;
+        let c_dma = measure_chain(&dma, params).unwrap();
+        let c_l2 = measure_chain(&l2, params).unwrap();
+        assert!(
+            c_l2.total > c_dma.total,
+            "L2-direct {} should be slower than DMA {}",
+            c_l2.total,
+            c_dma.total
+        );
+
+        let mut generic = Platform::wolf_builtin(8);
+        generic.variant = IsaVariant::Generic;
+        let c_gen = measure_chain(&generic, params).unwrap();
+        assert!(
+            c_gen.total as f64 > 1.5 * c_dma.total as f64,
+            "generic {} vs builtin {}",
+            c_gen.total,
+            c_dma.total
+        );
+    }
+}

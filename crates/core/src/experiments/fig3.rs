@@ -1,0 +1,140 @@
+//! **Fig. 3** — execution cycles versus hypervector dimension for
+//! several N-gram sizes, on the 8-core Wolf with built-ins. The paper's
+//! claim: cycles grow *linearly* with dimension for every N.
+
+use crate::experiments::report::render_table;
+use crate::experiments::{measure_chain, CycleRun};
+use crate::layout::AccelParams;
+use crate::pipeline::ChainError;
+use crate::platform::Platform;
+
+/// One series of Fig. 3 (a fixed N-gram size).
+#[derive(Debug, Clone)]
+pub struct Fig3Series {
+    /// N-gram size.
+    pub ngram: usize,
+    /// `(dimension in bits, cycles)` points, in increasing dimension.
+    pub points: Vec<(usize, CycleRun)>,
+}
+
+impl Fig3Series {
+    /// Coefficient of determination (R²) of a least-squares line through
+    /// the `(dimension, total cycles)` points — the linearity measure.
+    #[must_use]
+    pub fn linearity_r2(&self) -> f64 {
+        let n = self.points.len() as f64;
+        let xs: Vec<f64> = self.points.iter().map(|&(d, _)| d as f64).collect();
+        let ys: Vec<f64> = self.points.iter().map(|&(_, c)| c.total as f64).collect();
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_res: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// The regenerated Fig. 3 data.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// One series per N-gram size.
+    pub series: Vec<Fig3Series>,
+}
+
+/// Dimension sweep used by the figure (words; ≈2k…10k bits).
+pub const DIM_WORDS: [usize; 5] = [63, 125, 188, 250, 313];
+/// N-gram sizes plotted.
+pub const NGRAMS: [usize; 5] = [1, 3, 5, 7, 10];
+
+/// Runs the sweep on the 8-core Wolf with built-ins.
+///
+/// # Errors
+///
+/// Returns [`ChainError`] if any configuration fails.
+pub fn run() -> Result<Fig3, ChainError> {
+    let platform = Platform::wolf_builtin(8);
+    let mut series = Vec::new();
+    for &n in &NGRAMS {
+        let mut points = Vec::new();
+        for &words in &DIM_WORDS {
+            let params = AccelParams {
+                n_words: words,
+                ngram: n,
+                ..AccelParams::emg_default()
+            };
+            points.push((words * 32, measure_chain(&platform, params)?));
+        }
+        series.push(Fig3Series { ngram: n, points });
+    }
+    Ok(Fig3 { series })
+}
+
+impl Fig3 {
+    /// Renders the cycles grid (rows = dimension, columns = N).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut headers: Vec<String> = vec!["dim (bits)".into()];
+        for s in &self.series {
+            headers.push(format!("N={}", s.ngram));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = (0..DIM_WORDS.len())
+            .map(|i| {
+                let mut row = vec![format!("{}", DIM_WORDS[i] * 32)];
+                for s in &self.series {
+                    row.push(format!("{}", s.points[i].1.total));
+                }
+                row
+            })
+            .collect();
+        let mut out = render_table(
+            "Fig. 3 — cycles vs dimension for several N-gram sizes (Wolf 8 cores, built-in)",
+            &header_refs,
+            &rows,
+        );
+        out.push_str("\nlinearity (R2 of cycles vs dimension):\n");
+        for s in &self.series {
+            out.push_str(&format!("  N={:>2}: R2 = {:.5}\n", s.ngram, s.linearity_r2()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_grow_linearly_with_dimension() {
+        // Reduced sweep for test time: N ∈ {1, 3}, three dimensions.
+        let platform = Platform::wolf_builtin(8);
+        for n in [1usize, 3] {
+            let mut points = Vec::new();
+            for words in [63usize, 188, 313] {
+                let params = AccelParams {
+                    n_words: words,
+                    ngram: n,
+                    ..AccelParams::emg_default()
+                };
+                points.push((words * 32, measure_chain(&platform, params).unwrap()));
+            }
+            let series = Fig3Series { ngram: n, points };
+            let r2 = series.linearity_r2();
+            assert!(r2 > 0.995, "N={n}: R2 = {r2}");
+            // And larger N costs more at fixed dimension.
+            if n == 3 {
+                assert!(series.points[2].1.total > 2 * 313 * 32 / 10, "sanity");
+            }
+        }
+    }
+}

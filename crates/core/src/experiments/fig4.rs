@@ -1,0 +1,110 @@
+//! **Fig. 4** — multi-core scaling of the accelerated chain for N-gram
+//! sizes 1–10 (Wolf with built-ins, 10,016-bit hypervectors). The
+//! paper's claim: the workload scales essentially ideally across cores
+//! for every N.
+
+use crate::experiments::report::{render_table, speedup};
+use crate::experiments::{measure_chain, CycleRun};
+use crate::layout::AccelParams;
+use crate::pipeline::ChainError;
+use crate::platform::Platform;
+
+/// Core counts plotted.
+pub const CORES: [usize; 4] = [1, 2, 4, 8];
+
+/// One N-gram row of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// N-gram size.
+    pub ngram: usize,
+    /// Cycle counts per core count, aligned with [`CORES`].
+    pub cycles: Vec<CycleRun>,
+}
+
+impl Fig4Row {
+    /// Speed-up on `CORES[i]` cores relative to one core.
+    #[must_use]
+    pub fn speedup_at(&self, i: usize) -> f64 {
+        self.cycles[0].total as f64 / self.cycles[i].total as f64
+    }
+
+    /// Parallel efficiency on the largest core count.
+    #[must_use]
+    pub fn efficiency_at_max(&self) -> f64 {
+        self.speedup_at(CORES.len() - 1) / CORES[CORES.len() - 1] as f64
+    }
+}
+
+/// The regenerated Fig. 4 data.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// One row per N-gram size 1–10.
+    pub rows: Vec<Fig4Row>,
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// Returns [`ChainError`] if any configuration fails.
+pub fn run() -> Result<Fig4, ChainError> {
+    let mut rows = Vec::new();
+    for n in 1..=10usize {
+        let mut cycles = Vec::new();
+        for &cores in &CORES {
+            let params = AccelParams {
+                ngram: n,
+                ..AccelParams::emg_default()
+            };
+            cycles.push(measure_chain(&Platform::wolf_builtin(cores), params)?);
+        }
+        rows.push(Fig4Row { ngram: n, cycles });
+    }
+    Ok(Fig4 { rows })
+}
+
+impl Fig4 {
+    /// Renders cycles and speed-ups per core count.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![format!("N={}", r.ngram)];
+                for (i, c) in r.cycles.iter().enumerate() {
+                    row.push(format!("{}", c.total));
+                    if i > 0 {
+                        row.push(speedup(r.speedup_at(i)));
+                    }
+                }
+                row
+            })
+            .collect();
+        render_table(
+            "Fig. 4 — scaling with cores for N-grams 1..10 (Wolf built-in, 10,016-bit)",
+            &["N", "1c cyc", "2c cyc", "sp", "4c cyc", "sp", "8c cyc", "sp"],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_near_ideal_for_small_and_large_n() {
+        for n in [1usize, 5] {
+            let params = AccelParams {
+                n_words: 157, // half dimension keeps the test quick
+                ngram: n,
+                ..AccelParams::emg_default()
+            };
+            let c1 = measure_chain(&Platform::wolf_builtin(1), params).unwrap();
+            let c8 = measure_chain(&Platform::wolf_builtin(8), params).unwrap();
+            let sp = c1.total as f64 / c8.total as f64;
+            assert!((5.5..8.2).contains(&sp), "N={n}: 8-core speed-up {sp}");
+        }
+    }
+}

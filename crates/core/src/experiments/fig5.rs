@@ -1,0 +1,168 @@
+//! **Fig. 5** — scaling the number of input channels from 4 to 256
+//! (10,016-bit hypervectors, N = 1): execution cycles and memory
+//! footprint both grow linearly, the 8-core Wolf keeps meeting the
+//! 10 ms latency budget, and the ARM Cortex M4 stops meeting it beyond
+//! 16 channels.
+
+use crate::experiments::report::render_table;
+use crate::experiments::{measure_chain, meets_latency, required_mhz, CycleRun, LATENCY_MS};
+use crate::layout::{AccelParams, Layout, MemPolicy};
+use crate::pipeline::ChainError;
+use crate::platform::Platform;
+
+/// Channel counts plotted.
+pub const CHANNELS: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
+
+/// One channel-count point.
+#[derive(Debug, Clone)]
+pub struct Fig5Point {
+    /// Number of channels.
+    pub channels: usize,
+    /// Wolf 8-core (built-in) cycles.
+    pub wolf: CycleRun,
+    /// Model memory footprint in bytes (matrices + working set).
+    pub footprint_bytes: u32,
+    /// Frequency the Wolf needs for 10 ms.
+    pub wolf_required_mhz: f64,
+    /// Whether the Wolf meets 10 ms at its maximum clock.
+    pub wolf_meets_latency: bool,
+    /// ARM Cortex M4 cycles for the same task.
+    pub m4: CycleRun,
+    /// Whether the M4 meets 10 ms at 168 MHz.
+    pub m4_meets_latency: bool,
+}
+
+/// The regenerated Fig. 5 data.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// Points in increasing channel count.
+    pub points: Vec<Fig5Point>,
+}
+
+/// Runs the channel sweep.
+///
+/// # Errors
+///
+/// Returns [`ChainError`] if any configuration fails.
+pub fn run() -> Result<Fig5, ChainError> {
+    let wolf = Platform::wolf_builtin(8);
+    let mut m4 = Platform::cortex_m4();
+    // The M4's SRAM cannot hold a 256-channel IM; let it overflow into
+    // modelled external memory the same way the paper lets the
+    // comparison run (the latency verdict is what matters).
+    m4.cluster.l1_size = 2 * 1024 * 1024;
+    let mut points = Vec::new();
+    for &channels in &CHANNELS {
+        let params = AccelParams {
+            channels,
+            ..AccelParams::emg_default()
+        };
+        let wolf_run = measure_chain(&wolf, params)?;
+        let m4_run = measure_chain(&m4, params)?;
+        let layout = Layout::plan(
+            params,
+            MemPolicy::DmaDoubleBuffer,
+            8,
+            wolf.cluster.l1_size,
+            // Footprint accounting wants the matrices placed, not an
+            // overflow error: plan against a roomy L2.
+            8 * 1024 * 1024,
+        )?;
+        points.push(Fig5Point {
+            channels,
+            wolf: wolf_run,
+            footprint_bytes: layout.total_footprint_bytes(),
+            wolf_required_mhz: required_mhz(wolf_run.total),
+            wolf_meets_latency: meets_latency(&wolf, wolf_run.total),
+            m4: m4_run,
+            m4_meets_latency: required_mhz(m4_run.total) <= Platform::cortex_m4().fmax_mhz,
+        });
+    }
+    Ok(Fig5 { points })
+}
+
+impl Fig5 {
+    /// Largest channel count at which the M4 still meets 10 ms.
+    #[must_use]
+    pub fn m4_max_feasible_channels(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.m4_meets_latency)
+            .map(|p| p.channels)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the sweep.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.channels.to_string(),
+                    p.wolf.total.to_string(),
+                    format!("{:.1}", p.wolf_required_mhz),
+                    if p.wolf_meets_latency { "yes" } else { "NO" }.into(),
+                    format!("{:.1}", p.footprint_bytes as f64 / 1024.0),
+                    p.m4.total.to_string(),
+                    format!("{:.1}", required_mhz(p.m4.total) / 168.0 * LATENCY_MS),
+                    if p.m4_meets_latency { "yes" } else { "NO" }.into(),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            "Fig. 5 — channel scaling (10,016-bit, N=1): Wolf 8 cores built-in vs ARM M4",
+            &[
+                "channels",
+                "wolf cyc",
+                "MHz@10ms",
+                "meets",
+                "mem (kB)",
+                "m4 cyc",
+                "m4 ms@168MHz",
+                "meets",
+            ],
+            &rows,
+        );
+        out.push_str(&format!(
+            "\nM4 feasible up to {} channels (paper: 16); Wolf 8c meets 10 ms at all points: {}\n",
+            self.m4_max_feasible_channels(),
+            self.points.iter().all(|p| p.wolf_meets_latency),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_scale_linearly_and_m4_crosses_over() {
+        // Reduced sweep (4, 16, 64 channels) at full dimension.
+        let wolf = Platform::wolf_builtin(8);
+        let mut m4 = Platform::cortex_m4();
+        m4.cluster.l1_size = 2 * 1024 * 1024;
+        let mut wolf_cycles = Vec::new();
+        let mut m4_feasible = Vec::new();
+        for channels in [4usize, 16, 64] {
+            let params = AccelParams { channels, ..AccelParams::emg_default() };
+            let w = measure_chain(&wolf, params).unwrap();
+            let m = measure_chain(&m4, params).unwrap();
+            wolf_cycles.push(w.total as f64);
+            m4_feasible.push(required_mhz(m.total) <= 168.0);
+            assert!(meets_latency(&wolf, w.total), "wolf must meet 10 ms at {channels}ch");
+        }
+        // Linear growth: cost per channel roughly constant between spans.
+        let slope1 = (wolf_cycles[1] - wolf_cycles[0]) / 12.0;
+        let slope2 = (wolf_cycles[2] - wolf_cycles[1]) / 48.0;
+        assert!(
+            (slope1 / slope2 - 1.0).abs() < 0.45,
+            "slopes {slope1} vs {slope2}"
+        );
+        // M4: fine at 4 and 16 channels, infeasible at 64 (paper: >16).
+        assert_eq!(m4_feasible, vec![true, true, false]);
+    }
+}

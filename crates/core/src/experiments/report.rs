@@ -1,0 +1,95 @@
+//! Minimal aligned-column table rendering for experiment output.
+
+/// Renders an aligned text table with a title, header row, and rows.
+///
+/// # Examples
+///
+/// ```
+/// use pulp_hd_core::experiments::report::render_table;
+///
+/// let out = render_table(
+///     "Demo",
+///     &["name", "value"],
+///     &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+/// );
+/// assert!(out.contains("Demo"));
+/// assert!(out.contains("bb"));
+/// ```
+#[must_use]
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let rule: usize = widths.iter().sum::<usize>() + 3 * (cols - 1);
+    out.push_str(&"=".repeat(rule.min(120)));
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("   ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(rule.min(120)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats cycles as `xxx.x k`.
+#[must_use]
+pub fn kcycles(cycles: u64) -> String {
+    format!("{:.2}k", cycles as f64 / 1000.0)
+}
+
+/// Formats a speed-up factor.
+#[must_use]
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a percentage.
+#[must_use]
+pub fn percent(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let out = render_table(
+            "T",
+            &["a", "long_header"],
+            &[vec!["x".into(), "1".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[2].contains("long_header"));
+        // Data right-aligns under headers.
+        assert!(lines[4].ends_with('1'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(kcycles(533_000), "533.00k");
+        assert_eq!(speedup(3.728), "3.73x");
+        assert_eq!(percent(0.924), "92.4%");
+    }
+}

@@ -1,0 +1,151 @@
+//! **Robustness study** (the paper's §4.1 aside): "the HD classifier
+//! exhibits a graceful degradation with lower dimensionality, *or faulty
+//! components*, allowing a trade-off between the application's accuracy
+//! and the available hardware resources".
+//!
+//! This experiment quantifies that claim: classification accuracy as a
+//! function of the fraction of associative-memory cells flipped
+//! (modelling faulty nanoscale memory), at full dimensionality and at
+//! the 224-bit compaction point. High-dimensional prototypes shrug off
+//! fault rates that destroy the compact model — the holographic
+//! redundancy argument of the HD literature, measured.
+
+use emg::{Dataset, SynthConfig};
+use hdc::{HdClassifier, HdConfig};
+
+use crate::experiments::accuracy::{hold_windows, AccuracyConfig};
+use crate::experiments::report::{percent, render_table};
+
+/// Fault rates evaluated (fraction of prototype bits flipped).
+pub const FAULT_RATES: [f64; 5] = [0.0, 0.05, 0.10, 0.20, 0.30];
+
+/// One row: accuracy at every fault rate for a given dimensionality.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// Hypervector width in words.
+    pub n_words: usize,
+    /// Accuracy per fault rate, aligned with [`FAULT_RATES`].
+    pub accuracy: Vec<f64>,
+}
+
+/// The robustness study results.
+#[derive(Debug, Clone)]
+pub struct Robustness {
+    /// One row per dimensionality.
+    pub rows: Vec<RobustnessRow>,
+}
+
+/// Runs the fault-injection study on one subject.
+///
+/// # Panics
+///
+/// Panics on internal configuration errors (experiment driver).
+#[must_use]
+pub fn run(quick: bool) -> Robustness {
+    let acc_cfg = if quick {
+        AccuracyConfig::quick()
+    } else {
+        AccuracyConfig::paper()
+    };
+    let synth = SynthConfig {
+        reps: acc_cfg.reps,
+        ..SynthConfig::paper()
+    };
+    let ds = Dataset::generate(&synth, 0, acc_cfg.seed);
+    let train_idx = ds.training_trial_indices(acc_cfg.train_frac);
+    let all_idx: Vec<usize> = (0..ds.trials().len()).collect();
+    let train = hold_windows(&ds, &train_idx, acc_cfg.window, acc_cfg.hold_margin);
+    let test = hold_windows(&ds, &all_idx, acc_cfg.window, acc_cfg.hold_margin);
+
+    let mut rows = Vec::new();
+    for n_words in [313usize, 7] {
+        let config = HdConfig {
+            n_words,
+            channels: ds.channels(),
+            levels: 22,
+            ngram: acc_cfg.ngram,
+            window: acc_cfg.window,
+            seed: acc_cfg.seed ^ 0x11d,
+        };
+        let mut clf = HdClassifier::new(config, ds.classes()).expect("valid config");
+        for w in &train {
+            clf.train_window(w.label, &w.codes).expect("window shape");
+        }
+        clf.finalize();
+        let clean: Vec<hdc::BinaryHv> = (0..ds.classes())
+            .map(|k| clf.am_mut().prototype(k).clone())
+            .collect();
+
+        let mut accuracy = Vec::with_capacity(FAULT_RATES.len());
+        for (fi, &rate) in FAULT_RATES.iter().enumerate() {
+            // Inject faults into every prototype.
+            let dim = n_words * 32;
+            let flips = (dim as f64 * rate).round() as usize;
+            for (k, p) in clean.iter().enumerate() {
+                let faulty = p.with_bit_flips(flips, (fi * 16 + k) as u64);
+                clf.am_mut().set_prototype(k, faulty);
+            }
+            let correct = test
+                .iter()
+                .filter(|w| clf.predict(&w.codes).expect("window shape").class() == w.label)
+                .count();
+            accuracy.push(correct as f64 / test.len() as f64);
+        }
+        rows.push(RobustnessRow { n_words, accuracy });
+    }
+    Robustness { rows }
+}
+
+impl Robustness {
+    /// Renders the fault-rate grid.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut headers: Vec<String> = vec!["dimension".into()];
+        for r in FAULT_RATES {
+            headers.push(format!("{:.0}% faults", 100.0 * r));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![format!("{}-bit", r.n_words * 32)];
+                row.extend(r.accuracy.iter().map(|&a| percent(a)));
+                row
+            })
+            .collect();
+        render_table(
+            "Robustness — accuracy vs fraction of faulty AM cells (subject 0)",
+            &header_refs,
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_dimension_degrades_more_gracefully() {
+        let r = run(true);
+        let full = &r.rows[0];
+        let compact = &r.rows[1];
+        assert_eq!(full.n_words, 313);
+        assert_eq!(compact.n_words, 7);
+        // Clean accuracies are healthy.
+        assert!(full.accuracy[0] > 0.85, "clean full {}", full.accuracy[0]);
+        // At 20% faults the full-dimension model keeps nearly all of its
+        // accuracy…
+        let full_drop = full.accuracy[0] - full.accuracy[3];
+        assert!(full_drop < 0.05, "10,016-bit drop at 20% faults: {full_drop}");
+        // …and degradation is monotone-ish and worse for the compact
+        // model at high fault rates.
+        let compact_drop = compact.accuracy[0] - compact.accuracy[4];
+        let full_drop30 = full.accuracy[0] - full.accuracy[4];
+        assert!(
+            compact_drop > full_drop30,
+            "224-bit should suffer more: {compact_drop} vs {full_drop30}"
+        );
+    }
+}

@@ -1,0 +1,547 @@
+//! Memory-layout planning for the accelerated processing chain.
+//!
+//! The paper's layout: the CIM (22×313 words, ≈27 kB), IM (channels×313)
+//! and AM (classes×313) matrices live in L2 and are streamed into
+//! double-buffered L1 tiles by the DMA; the spatial/N-gram hypervectors,
+//! quantized levels, and per-core partial distances live permanently in
+//! the 48 kB L1 TCDM. [`Layout::plan`] places every buffer, picks the
+//! tile width that fits the L1 budget, and reports the memory-footprint
+//! numbers that Fig. 5 plots.
+
+use core::fmt;
+
+use pulp_sim::{L1_BASE, L2_BASE};
+
+/// Hyper-parameters of one accelerated classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelParams {
+    /// Hypervector width in 32-bit words (313 ≙ "10,000-D").
+    pub n_words: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// CIM quantization levels.
+    pub levels: usize,
+    /// N-gram size; one classification consumes `ngram` consecutive
+    /// samples and produces one query hypervector (N = 1 ⇒ purely
+    /// spatial).
+    pub ngram: usize,
+    /// Number of classes in the associative memory.
+    pub classes: usize,
+}
+
+impl AccelParams {
+    /// The paper's EMG task: 10,016-bit hypervectors, 4 channels,
+    /// 22 levels, N = 1, 5 classes.
+    #[must_use]
+    pub fn emg_default() -> Self {
+        Self {
+            n_words: 313,
+            channels: 4,
+            levels: 22,
+            ngram: 1,
+            classes: 5,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LayoutError`] describing the violated constraint.
+    pub fn validate(&self) -> Result<(), LayoutError> {
+        if self.n_words == 0 {
+            return Err(LayoutError::BadParams("n_words must be positive"));
+        }
+        if self.channels == 0 {
+            return Err(LayoutError::BadParams("channels must be positive"));
+        }
+        if self.levels < 2 {
+            return Err(LayoutError::BadParams("need at least 2 levels"));
+        }
+        if self.ngram == 0 || self.ngram > 32 {
+            return Err(LayoutError::BadParams("ngram must be in 1..=32"));
+        }
+        if self.classes == 0 {
+            return Err(LayoutError::BadParams("classes must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Where the seed matrices live and how the kernels reach them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPolicy {
+    /// Matrices in L2, streamed to double-buffered L1 tiles by DMA while
+    /// cores compute — the paper's scheme.
+    DmaDoubleBuffer,
+    /// Matrices in L2, accessed directly by the cores (no DMA) — the
+    /// ablation showing why double buffering matters.
+    L2Direct,
+    /// Matrices resident in L1 (only valid when they fit) — the M4 path,
+    /// and an upper-bound ablation for the cluster.
+    AllL1,
+}
+
+/// Why a layout could not be planned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// Parameter validation failed.
+    BadParams(&'static str),
+    /// The fixed L1 residents (hypervectors, levels, partials, scratch)
+    /// exceed L1 even before tiles.
+    L1Overflow {
+        /// Bytes needed.
+        needed: u32,
+        /// Bytes available.
+        available: u32,
+    },
+    /// The matrices exceed L2.
+    L2Overflow {
+        /// Bytes needed.
+        needed: u32,
+        /// Bytes available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadParams(what) => write!(f, "bad parameters: {what}"),
+            Self::L1Overflow { needed, available } => {
+                write!(f, "L1 overflow: need {needed} B, have {available} B")
+            }
+            Self::L2Overflow { needed, available } => {
+                write!(f, "L2 overflow: need {needed} B, have {available} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// A fully planned memory layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// The parameters this layout was planned for.
+    pub params: AccelParams,
+    /// Memory policy.
+    pub policy: MemPolicy,
+    /// Number of cores the per-core regions were sized for.
+    pub n_cores: usize,
+
+    // --- L2 residents (matrix storage when not AllL1) ---
+    /// CIM matrix base (levels × n_words), row-major by level.
+    pub cim: u32,
+    /// IM matrix base (channels × n_words), row-major by channel.
+    pub im: u32,
+    /// AM matrix base (classes × n_words), row-major by class.
+    pub am: u32,
+
+    // --- L1 residents ---
+    /// Input samples (`ngram × channels` u16 ADC codes).
+    pub samples: u32,
+    /// Quantized level indices (`ngram × channels` u32).
+    pub levels: u32,
+    /// Spatial hypervectors (`ngram × n_words` u32).
+    pub spatials: u32,
+    /// Query hypervector (`n_words` u32). Aliases `spatials` when N = 1.
+    pub query: u32,
+    /// Per-core partial distances (`n_cores × classes` u32).
+    pub partials: u32,
+    /// Result block: `[best_class, dist_0, …, dist_{K-1}]` u32.
+    pub result: u32,
+    /// DMA descriptor scratch (6 words).
+    pub desc: u32,
+    /// Per-core bound-word scratch (`n_cores × channels` u32), used by
+    /// the large-channel-count majority path.
+    pub scratch: u32,
+    /// Double-buffered tile bases: `[CIM_a, CIM_b]`, `[IM_a, IM_b]`,
+    /// `[AM_a, AM_b]`. Unused (pointing at the matrices) for `AllL1`.
+    pub buf_cim: [u32; 2],
+    /// IM tile buffers.
+    pub buf_im: [u32; 2],
+    /// AM tile buffers.
+    pub buf_am: [u32; 2],
+
+    /// Tile width in words (equals `n_words` for non-DMA policies).
+    pub tile_words: usize,
+    /// Number of tiles covering `n_words`.
+    pub n_tiles: usize,
+
+    /// Total L1 bytes used.
+    pub l1_bytes: u32,
+    /// Total L2 bytes used.
+    pub l2_bytes: u32,
+}
+
+const fn round_up(x: u32, align: u32) -> u32 {
+    (x + align - 1) / align * align
+}
+
+impl Layout {
+    /// Plans the layout for the given cluster dimensions.
+    ///
+    /// For [`MemPolicy::DmaDoubleBuffer`] the tile width is chosen as the
+    /// largest of {64, 32, 16, 8, 4, 2, 1} words whose double-buffered
+    /// tiles fit the remaining L1; for the other policies a single
+    /// "tile" spans the whole hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if parameters are invalid or the buffers
+    /// cannot fit the given memories.
+    pub fn plan(
+        params: AccelParams,
+        policy: MemPolicy,
+        n_cores: usize,
+        l1_size: u32,
+        l2_size: u32,
+    ) -> Result<Self, LayoutError> {
+        params.validate()?;
+        let w = params.n_words as u32;
+        let c = params.channels as u32;
+        let l = params.levels as u32;
+        let k = params.classes as u32;
+        let n = params.ngram as u32;
+        let cores = n_cores as u32;
+
+        let cim_bytes = l * w * 4;
+        let im_bytes = c * w * 4;
+        let am_bytes = k * w * 4;
+
+        // --- L1 residents (always present) ---
+        fn alloc(cursor: &mut u32, bytes: u32) -> u32 {
+            let at = *cursor;
+            *cursor = round_up(*cursor + bytes, 8);
+            at
+        }
+        let mut l1 = L1_BASE;
+        let samples = alloc(&mut l1, n * c * 2);
+        let levels = alloc(&mut l1, n * c * 4);
+        let spatials = alloc(&mut l1, n * w * 4);
+        let query = if params.ngram == 1 {
+            spatials // N = 1: the single spatial hypervector is the query.
+        } else {
+            alloc(&mut l1, w * 4)
+        };
+        let partials = alloc(&mut l1, cores * k * 4);
+        let result = alloc(&mut l1, (1 + k) * 4);
+        let desc = alloc(&mut l1, 6 * 4);
+        // One extra slot per core holds the tie-break vector word when the
+        // channel count is even (scratch majority path).
+        let scratch = alloc(&mut l1, cores * (c + 1) * 4);
+
+        // --- matrices ---
+        let (cim, im, am, buf_cim, buf_im, buf_am, tile_words, l2_used) = match policy {
+            MemPolicy::AllL1 => {
+                let cim = alloc(&mut l1, cim_bytes);
+                let im = alloc(&mut l1, im_bytes);
+                let am = alloc(&mut l1, am_bytes);
+                (
+                    cim,
+                    im,
+                    am,
+                    [cim, cim],
+                    [im, im],
+                    [am, am],
+                    params.n_words,
+                    0u32,
+                )
+            }
+            MemPolicy::L2Direct => {
+                let cim = L2_BASE;
+                let im = round_up(cim + cim_bytes, 8);
+                let am = round_up(im + im_bytes, 8);
+                let l2_used = am + am_bytes - L2_BASE;
+                (
+                    cim,
+                    im,
+                    am,
+                    [cim, cim],
+                    [im, im],
+                    [am, am],
+                    params.n_words,
+                    l2_used,
+                )
+            }
+            MemPolicy::DmaDoubleBuffer => {
+                let cim = L2_BASE;
+                let im = round_up(cim + cim_bytes, 8);
+                let am = round_up(im + im_bytes, 8);
+                let l2_used = am + am_bytes - L2_BASE;
+
+                // Pick the widest tile whose double buffers fit.
+                let fixed_used = l1 - L1_BASE;
+                let budget = l1_size.saturating_sub(fixed_used);
+                let mut tile_words = 0usize;
+                for cand in [64usize, 32, 16, 8, 4, 2, 1] {
+                    let cand = cand.min(params.n_words);
+                    let rows = l + c + k; // worst case: all three matrices buffered
+                    let need = 2 * rows * cand as u32 * 4;
+                    if need <= budget {
+                        tile_words = cand;
+                        break;
+                    }
+                }
+                if tile_words == 0 {
+                    return Err(LayoutError::L1Overflow {
+                        needed: fixed_used + 2 * (l + c + k) * 4,
+                        available: l1_size,
+                    });
+                }
+                let tb = tile_words as u32 * 4;
+                let buf_cim = [alloc(&mut l1, l * tb), alloc(&mut l1, l * tb)];
+                let buf_im = [alloc(&mut l1, c * tb), alloc(&mut l1, c * tb)];
+                let buf_am = [alloc(&mut l1, k * tb), alloc(&mut l1, k * tb)];
+                (cim, im, am, buf_cim, buf_im, buf_am, tile_words, l2_used)
+            }
+        };
+
+        let l1_bytes = l1 - L1_BASE;
+        if l1_bytes > l1_size {
+            return Err(LayoutError::L1Overflow {
+                needed: l1_bytes,
+                available: l1_size,
+            });
+        }
+        if l2_used > l2_size {
+            return Err(LayoutError::L2Overflow {
+                needed: l2_used,
+                available: l2_size,
+            });
+        }
+
+        Ok(Self {
+            params,
+            policy,
+            n_cores,
+            cim,
+            im,
+            am,
+            samples,
+            levels,
+            spatials,
+            query,
+            partials,
+            result,
+            desc,
+            scratch,
+            buf_cim,
+            buf_im,
+            buf_am,
+            tile_words,
+            n_tiles: params.n_words.div_ceil(tile_words),
+            l1_bytes,
+            l2_bytes: l2_used,
+        })
+    }
+
+    /// Total model memory footprint in bytes (matrices + working
+    /// buffers) — the red line of Fig. 5.
+    #[must_use]
+    pub fn total_footprint_bytes(&self) -> u32 {
+        self.l1_bytes + self.l2_bytes
+    }
+
+    /// Width of the last (possibly partial) tile in words.
+    #[must_use]
+    pub fn last_tile_words(&self) -> usize {
+        let rem = self.params.n_words % self.tile_words;
+        if rem == 0 {
+            self.tile_words
+        } else {
+            rem
+        }
+    }
+
+    /// Words covered by tile `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.n_tiles`.
+    #[must_use]
+    pub fn tile_extent(&self, k: usize) -> (usize, usize) {
+        assert!(k < self.n_tiles, "tile {k} out of range");
+        let start = k * self.tile_words;
+        let width = if k == self.n_tiles - 1 {
+            self.last_tile_words()
+        } else {
+            self.tile_words
+        };
+        (start, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emg() -> AccelParams {
+        AccelParams::emg_default()
+    }
+
+    #[test]
+    fn paper_footprint_is_about_50_kb() {
+        // "The total memory requirements for the EMG application,
+        // considering 10,000-D hypervectors is around 50 kB."
+        let layout =
+            Layout::plan(emg(), MemPolicy::DmaDoubleBuffer, 4, 48 * 1024, 64 * 1024).unwrap();
+        let total = layout.total_footprint_bytes();
+        assert!(
+            (40_000..60_000).contains(&total),
+            "footprint {total} B should be ≈50 kB"
+        );
+        // CIM 27 kB, IM 5 kB, AM 7 kB as in the paper.
+        assert_eq!(layout.im - layout.cim, 22 * 313 * 4); // ≈27.5 kB
+        assert!(layout.l2_bytes > 30_000);
+    }
+
+    #[test]
+    fn buffers_do_not_overlap() {
+        let layout =
+            Layout::plan(emg(), MemPolicy::DmaDoubleBuffer, 8, 64 * 1024, 512 * 1024).unwrap();
+        // Collect (base, bytes) of every distinct L1 region and check
+        // pairwise disjointness.
+        let p = layout.params;
+        let mut regions = vec![
+            (layout.samples, (p.ngram * p.channels * 2) as u32),
+            (layout.levels, (p.ngram * p.channels * 4) as u32),
+            (layout.spatials, (p.ngram * p.n_words * 4) as u32),
+            (layout.partials, (layout.n_cores * p.classes * 4) as u32),
+            (layout.result, ((1 + p.classes) * 4) as u32),
+            (layout.desc, 24),
+            (layout.scratch, (layout.n_cores * (p.channels + 1) * 4) as u32),
+        ];
+        let tb = (layout.tile_words * 4) as u32;
+        for b in layout.buf_cim {
+            regions.push((b, p.levels as u32 * tb));
+        }
+        for b in layout.buf_im {
+            regions.push((b, p.channels as u32 * tb));
+        }
+        for b in layout.buf_am {
+            regions.push((b, p.classes as u32 * tb));
+        }
+        for (i, &(a, al)) in regions.iter().enumerate() {
+            for &(b, bl) in regions.iter().skip(i + 1) {
+                assert!(
+                    a + al <= b || b + bl <= a,
+                    "regions {a:#x}+{al} and {b:#x}+{bl} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_aliases_spatial_for_unigram() {
+        let layout =
+            Layout::plan(emg(), MemPolicy::DmaDoubleBuffer, 4, 48 * 1024, 64 * 1024).unwrap();
+        assert_eq!(layout.query, layout.spatials);
+        let p = AccelParams { ngram: 5, ..emg() };
+        let layout = Layout::plan(p, MemPolicy::DmaDoubleBuffer, 4, 48 * 1024, 64 * 1024).unwrap();
+        assert_ne!(layout.query, layout.spatials);
+    }
+
+    #[test]
+    fn tile_width_shrinks_with_many_channels() {
+        let small =
+            Layout::plan(emg(), MemPolicy::DmaDoubleBuffer, 8, 64 * 1024, 512 * 1024).unwrap();
+        let big = Layout::plan(
+            AccelParams { channels: 256, ..emg() },
+            MemPolicy::DmaDoubleBuffer,
+            8,
+            64 * 1024,
+            512 * 1024,
+        )
+        .unwrap();
+        assert!(big.tile_words < small.tile_words);
+        assert!(big.tile_words >= 1);
+        assert_eq!(big.n_tiles, 313usize.div_ceil(big.tile_words));
+    }
+
+    #[test]
+    fn tile_extents_cover_exactly_n_words() {
+        for channels in [4usize, 64, 256] {
+            let layout = Layout::plan(
+                AccelParams { channels, ..emg() },
+                MemPolicy::DmaDoubleBuffer,
+                8,
+                64 * 1024,
+                512 * 1024,
+            )
+            .unwrap();
+            let mut covered = 0;
+            for k in 0..layout.n_tiles {
+                let (start, width) = layout.tile_extent(k);
+                assert_eq!(start, covered);
+                covered += width;
+            }
+            assert_eq!(covered, 313);
+        }
+    }
+
+    #[test]
+    fn all_l1_places_matrices_in_l1() {
+        let layout = Layout::plan(emg(), MemPolicy::AllL1, 1, 192 * 1024, 512 * 1024).unwrap();
+        assert!(layout.cim >= L1_BASE && layout.cim < L1_BASE + 192 * 1024);
+        assert_eq!(layout.l2_bytes, 0);
+        assert_eq!(layout.n_tiles, 1);
+        assert_eq!(layout.tile_words, 313);
+    }
+
+    #[test]
+    fn all_l1_rejects_what_does_not_fit() {
+        // The 4-channel EMG matrices squeeze into 48 kB (40.3 kB — the
+        // paper still streams from L2 because the real L1 also holds
+        // code, stacks and the runtime)…
+        assert!(Layout::plan(emg(), MemPolicy::AllL1, 4, 48 * 1024, 64 * 1024).is_ok());
+        // …but a 64-channel IM (80 kB) cannot.
+        let p = AccelParams { channels: 64, ..emg() };
+        let err = Layout::plan(p, MemPolicy::AllL1, 4, 48 * 1024, 64 * 1024).unwrap_err();
+        assert!(matches!(err, LayoutError::L1Overflow { .. }));
+    }
+
+    #[test]
+    fn l2_overflow_detected() {
+        let p = AccelParams { channels: 256, ..emg() };
+        let err = Layout::plan(p, MemPolicy::DmaDoubleBuffer, 8, 64 * 1024, 64 * 1024).unwrap_err();
+        assert!(matches!(err, LayoutError::L2Overflow { .. }));
+    }
+
+    #[test]
+    fn footprint_grows_linearly_with_channels() {
+        let plan = |channels: usize| {
+            Layout::plan(
+                AccelParams { channels, ..emg() },
+                MemPolicy::DmaDoubleBuffer,
+                8,
+                64 * 1024,
+                4 * 1024 * 1024,
+            )
+            .unwrap()
+        };
+        // The matrix (L2) footprint is exactly linear: one IM row per
+        // channel.
+        let f4 = plan(4);
+        let f64c = plan(64);
+        let f256 = plan(256);
+        let row = 313 * 4;
+        assert_eq!(f64c.l2_bytes - f4.l2_bytes, 60 * row);
+        assert_eq!(f256.l2_bytes - f64c.l2_bytes, 192 * row);
+        // Total footprint is monotone (tile buffers shrink but scratch
+        // and levels grow with channels).
+        assert!(f4.total_footprint_bytes() < f64c.total_footprint_bytes());
+        assert!(f64c.total_footprint_bytes() < f256.total_footprint_bytes());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let p = AccelParams { ngram: 0, ..emg() };
+        assert!(matches!(
+            Layout::plan(p, MemPolicy::AllL1, 1, 1 << 20, 1 << 20),
+            Err(LayoutError::BadParams(_))
+        ));
+    }
+}

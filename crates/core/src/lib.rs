@@ -1,0 +1,61 @@
+//! # `pulp-hd-core` — the PULP-HD accelerator
+//!
+//! The paper's primary contribution, reproduced end to end: the three HD
+//! computing kernels (mapping + spatial encoding, temporal N-gram
+//! encoding, associative-memory search) lowered onto the simulated PULP
+//! cluster with optimized memory accesses — `u32`-packed hypervectors,
+//! L1/L2 placement, double-buffered DMA streaming, SPMD word-level
+//! parallelization, and the XpulpV2 bit-manipulation lowering of Fig. 2.
+//!
+//! * [`layout`] — buffer placement and tile planning (Fig. 5 footprints).
+//! * [`kernels`] — assembly program generation (generic vs builtin).
+//! * [`platform`] — PULPv3 / Wolf / Cortex-M4 presets.
+//! * [`pipeline`] — host loader, accelerated classification, golden-model
+//!   cross-check ([`pipeline::native_reference`]).
+//! * [`experiments`] — runners regenerating every table and figure.
+//!
+//! ## Example
+//!
+//! ```
+//! use hdc::rng::derive_seed;
+//! use hdc::{BinaryHv, ContinuousItemMemory, ItemMemory};
+//! use pulp_hd_core::layout::AccelParams;
+//! use pulp_hd_core::pipeline::{native_reference, AccelChain};
+//! use pulp_hd_core::platform::Platform;
+//!
+//! let params = AccelParams { n_words: 16, ..AccelParams::emg_default() };
+//! let cim = ContinuousItemMemory::new(params.levels, params.n_words, 1);
+//! let im = ItemMemory::new(params.channels, params.n_words, 2);
+//! let protos: Vec<BinaryHv> = (0..params.classes)
+//!     .map(|k| BinaryHv::random(params.n_words, derive_seed(9, k as u64)))
+//!     .collect();
+//!
+//! let mut chain = AccelChain::new(&Platform::pulpv3(4), params)?;
+//! chain.load_model(&cim, &im, &protos)?;
+//! let window = vec![vec![100u16, 60_000, 33_000, 8_000]];
+//! let run = chain.classify(&window)?;
+//!
+//! // The simulated kernels agree with the golden model bit for bit.
+//! let (query, distances, class) = native_reference(&cim, &im, &protos, &window);
+//! assert_eq!(run.query, query);
+//! assert_eq!(run.distances, distances);
+//! assert_eq!(run.class, class);
+//! println!("{} cycles", run.cycles_total);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod kernels;
+pub mod layout;
+pub mod pipeline;
+pub mod platform;
+pub mod svm_kernel;
+
+pub use kernels::{build_chain, BuildError, IsaVariant};
+pub use layout::{AccelParams, Layout, LayoutError, MemPolicy};
+pub use pipeline::{native_reference, AccelChain, ChainError, ChainRun};
+pub use platform::Platform;
+pub use svm_kernel::{SvmChain, SvmRun};

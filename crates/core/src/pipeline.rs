@@ -1,0 +1,530 @@
+//! The end-to-end accelerated classifier: host loader + simulated run +
+//! golden-model cross-check.
+//!
+//! [`AccelChain`] owns a simulated cluster with the generated chain
+//! program. The host writes the seed matrices (CIM, IM, AM prototypes)
+//! into simulated L2 once, then calls [`classify`](AccelChain::classify)
+//! per window of `ngram` samples; every run returns the predicted class,
+//! the per-class Hamming distances, the query hypervector read back from
+//! L1, and the per-kernel cycle regions that the paper's tables report.
+//!
+//! [`native_reference`] computes the same classification in pure Rust
+//! via the `hdc` golden model; integration tests assert the two are
+//! **bit-identical** on queries and distances.
+
+use hdc::bundle::majority_paper;
+use hdc::encoder::ngram;
+use hdc::item_memory::quantize_code;
+use hdc::{BinaryHv, ContinuousItemMemory, ItemMemory};
+use pulp_sim::{Cluster, RunSummary, SimError};
+
+use crate::kernels::{build_chain, BuildError};
+use crate::layout::{AccelParams, Layout, LayoutError};
+use crate::platform::Platform;
+
+/// Marker ids used by the chain program.
+pub const MARK_CHAIN_START: u32 = 0;
+/// Start of the AM kernel (end of MAP+ENCODERS).
+pub const MARK_AM_START: u32 = 1;
+/// End of the chain.
+pub const MARK_CHAIN_END: u32 = 2;
+
+/// Default cycle budget per classification (generous; a PULPv3 1-core
+/// 256-channel run stays well below this).
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Errors raised while setting up or driving the accelerated chain.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// Memory layout could not be planned.
+    Layout(LayoutError),
+    /// Program generation failed.
+    Build(BuildError),
+    /// The model shapes do not match the parameters.
+    ModelMismatch(String),
+    /// The input window shape does not match the parameters.
+    InputMismatch(String),
+    /// The simulator faulted.
+    Sim(SimError),
+}
+
+impl core::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Layout(e) => write!(f, "layout: {e}"),
+            Self::Build(e) => write!(f, "build: {e}"),
+            Self::ModelMismatch(what) => write!(f, "model mismatch: {what}"),
+            Self::InputMismatch(what) => write!(f, "input mismatch: {what}"),
+            Self::Sim(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<LayoutError> for ChainError {
+    fn from(e: LayoutError) -> Self {
+        Self::Layout(e)
+    }
+}
+impl From<BuildError> for ChainError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+impl From<SimError> for ChainError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+/// Result of one accelerated classification.
+#[derive(Debug, Clone)]
+pub struct ChainRun {
+    /// Predicted class (arg-min Hamming distance, first minimum wins).
+    pub class: usize,
+    /// Hamming distance to every prototype.
+    pub distances: Vec<u32>,
+    /// The query hypervector, read back from simulated L1.
+    pub query: BinaryHv,
+    /// Total cycles of the chain.
+    pub cycles_total: u64,
+    /// Cycles of the MAP + spatial + temporal region (paper's
+    /// "MAP+ENCODERS" row).
+    pub cycles_map_encode: u64,
+    /// Cycles of the associative-memory region (paper's "AM" row).
+    pub cycles_am: u64,
+    /// Full simulator statistics.
+    pub summary: RunSummary,
+}
+
+/// The accelerated HD classifier bound to one platform.
+#[derive(Debug)]
+pub struct AccelChain {
+    layout: Layout,
+    cluster: Cluster,
+    loaded: bool,
+}
+
+impl AccelChain {
+    /// Plans the layout, generates the program, and instantiates the
+    /// simulated cluster for `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError`] if the layout cannot fit the platform's
+    /// memories or the parameters are unsupported.
+    pub fn new(platform: &Platform, params: AccelParams) -> Result<Self, ChainError> {
+        let layout = Layout::plan(
+            params,
+            platform.policy,
+            platform.cluster.n_cores,
+            platform.cluster.l1_size,
+            platform.cluster.l2_size,
+        )?;
+        let program = build_chain(&layout, platform.variant, platform.cluster.n_cores)?;
+        let cluster = Cluster::new(platform.cluster.clone(), program);
+        Ok(Self {
+            layout,
+            cluster,
+            loaded: false,
+        })
+    }
+
+    /// The planned layout (footprints, tile geometry).
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Loads the trained model (CIM, IM, AM prototypes) into simulated
+    /// memory. Must be called once before classification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::ModelMismatch`] if the shapes disagree with
+    /// the parameters this chain was built for.
+    pub fn load_model(
+        &mut self,
+        cim: &ContinuousItemMemory,
+        im: &ItemMemory,
+        prototypes: &[BinaryHv],
+    ) -> Result<(), ChainError> {
+        let p = self.layout.params;
+        if cim.n_levels() != p.levels {
+            return Err(ChainError::ModelMismatch(format!(
+                "CIM has {} levels, chain expects {}",
+                cim.n_levels(),
+                p.levels
+            )));
+        }
+        if im.len() != p.channels {
+            return Err(ChainError::ModelMismatch(format!(
+                "IM has {} items, chain expects {} channels",
+                im.len(),
+                p.channels
+            )));
+        }
+        if prototypes.len() != p.classes {
+            return Err(ChainError::ModelMismatch(format!(
+                "{} prototypes for {} classes",
+                prototypes.len(),
+                p.classes
+            )));
+        }
+        let all = cim
+            .iter()
+            .chain(im.iter())
+            .chain(prototypes.iter());
+        for hv in all.clone() {
+            if hv.n_words() != p.n_words {
+                return Err(ChainError::ModelMismatch(format!(
+                    "hypervector of {} words, chain expects {}",
+                    hv.n_words(),
+                    p.n_words
+                )));
+            }
+        }
+
+        let mem = self.cluster.mem_mut();
+        let row = p.n_words;
+        for (i, hv) in cim.iter().enumerate() {
+            mem.write_words(self.layout.cim + (i * row * 4) as u32, hv.words())
+                .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        }
+        for (i, hv) in im.iter().enumerate() {
+            mem.write_words(self.layout.im + (i * row * 4) as u32, hv.words())
+                .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        }
+        for (i, hv) in prototypes.iter().enumerate() {
+            mem.write_words(self.layout.am + (i * row * 4) as u32, hv.words())
+                .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        }
+        self.loaded = true;
+        Ok(())
+    }
+
+    /// Runs one classification over `ngram` consecutive samples
+    /// (`samples[t][c]` = ADC code of channel `c` at time `t`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError`] on shape mismatch, if no model is loaded,
+    /// or if the simulation faults.
+    pub fn classify<W: AsRef<[u16]>>(&mut self, samples: &[W]) -> Result<ChainRun, ChainError> {
+        self.classify_with_budget(samples, DEFAULT_MAX_CYCLES)
+    }
+
+    /// [`classify`](Self::classify) with an explicit cycle budget.
+    ///
+    /// # Errors
+    ///
+    /// As for [`classify`](Self::classify), plus
+    /// [`SimError::Timeout`] when the budget is exceeded.
+    pub fn classify_with_budget<W: AsRef<[u16]>>(
+        &mut self,
+        samples: &[W],
+        max_cycles: u64,
+    ) -> Result<ChainRun, ChainError> {
+        let p = self.layout.params;
+        if !self.loaded {
+            return Err(ChainError::ModelMismatch(
+                "no model loaded (call load_model first)".into(),
+            ));
+        }
+        if samples.len() != p.ngram {
+            return Err(ChainError::InputMismatch(format!(
+                "{} samples for an {}-gram chain",
+                samples.len(),
+                p.ngram
+            )));
+        }
+        let mut flat = Vec::with_capacity(p.ngram * p.channels);
+        for (t, s) in samples.iter().enumerate() {
+            let s = s.as_ref();
+            if s.len() != p.channels {
+                return Err(ChainError::InputMismatch(format!(
+                    "sample {t} has {} channels, chain expects {}",
+                    s.len(),
+                    p.channels
+                )));
+            }
+            flat.extend_from_slice(s);
+        }
+        self.cluster
+            .mem_mut()
+            .write_halves(self.layout.samples, &flat)
+            .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+
+        let summary = self.cluster.run(max_cycles)?;
+
+        let mem = self.cluster.mem();
+        let result = mem
+            .read_words(self.layout.result, 1 + p.classes)
+            .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        let query_words = mem
+            .read_words(self.layout.query, p.n_words)
+            .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+
+        let cycles_map_encode = summary
+            .region(MARK_CHAIN_START, MARK_AM_START)
+            .unwrap_or(0);
+        let cycles_am = summary.region(MARK_AM_START, MARK_CHAIN_END).unwrap_or(0);
+        Ok(ChainRun {
+            class: result[0] as usize,
+            distances: result[1..].to_vec(),
+            query: BinaryHv::from_words(query_words),
+            cycles_total: summary.cycles,
+            cycles_map_encode,
+            cycles_am,
+            summary,
+        })
+    }
+}
+
+/// Pure-Rust reference of exactly the computation the chain program
+/// performs (same quantizer, same bind/majority/tie-break, same N-gram
+/// rotation, same arg-min). Returns `(query, distances, class)`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree (this is a test/verification helper).
+#[must_use]
+pub fn native_reference<W: AsRef<[u16]>>(
+    cim: &ContinuousItemMemory,
+    im: &ItemMemory,
+    prototypes: &[BinaryHv],
+    samples: &[W],
+) -> (BinaryHv, Vec<u32>, usize) {
+    let spatials: Vec<BinaryHv> = samples
+        .iter()
+        .map(|s| {
+            let bound: Vec<BinaryHv> = s
+                .as_ref()
+                .iter()
+                .enumerate()
+                .map(|(c, &code)| {
+                    let level = quantize_code(code, cim.n_levels());
+                    im.get(c).bind(cim.get(level))
+                })
+                .collect();
+            majority_paper(&bound)
+        })
+        .collect();
+    let query = ngram(&spatials);
+    let distances: Vec<u32> = prototypes.iter().map(|p| p.hamming(&query)).collect();
+    let class = distances
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &d)| d)
+        .map(|(i, _)| i)
+        .expect("at least one prototype");
+    (query, distances, class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MemPolicy;
+    use hdc::rng::derive_seed;
+
+    fn model(
+        params: &AccelParams,
+        seed: u64,
+    ) -> (ContinuousItemMemory, ItemMemory, Vec<BinaryHv>) {
+        let cim = ContinuousItemMemory::new(params.levels, params.n_words, derive_seed(seed, 1));
+        let im = ItemMemory::new(params.channels, params.n_words, derive_seed(seed, 2));
+        let protos: Vec<BinaryHv> = (0..params.classes)
+            .map(|k| BinaryHv::random(params.n_words, derive_seed(seed, 100 + k as u64)))
+            .collect();
+        (cim, im, protos)
+    }
+
+    fn samples(params: &AccelParams, seed: u64) -> Vec<Vec<u16>> {
+        let mut rng = hdc::rng::Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..params.ngram)
+            .map(|_| {
+                (0..params.channels)
+                    .map(|_| (rng.next_u32() & 0xffff) as u16)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The decisive test: simulated kernels == golden model, bit for bit.
+    fn check_bit_exact(platform: Platform, params: AccelParams, seed: u64) {
+        let (cim, im, protos) = model(&params, seed);
+        let mut chain = AccelChain::new(&platform, params).unwrap();
+        chain.load_model(&cim, &im, &protos).unwrap();
+        let input = samples(&params, seed ^ 0xabc);
+        let run = chain.classify(&input).unwrap();
+        let (query, distances, class) = native_reference(&cim, &im, &protos, &input);
+        assert_eq!(run.query, query, "query hypervector diverged");
+        assert_eq!(run.distances, distances, "distances diverged");
+        assert_eq!(run.class, class, "decision diverged");
+    }
+
+    #[test]
+    fn pulpv3_single_core_matches_native_small_dim() {
+        let params = AccelParams {
+            n_words: 16,
+            ..AccelParams::emg_default()
+        };
+        check_bit_exact(Platform::pulpv3(1), params, 1);
+    }
+
+    #[test]
+    fn pulpv3_quad_core_matches_native() {
+        let params = AccelParams {
+            n_words: 32,
+            ..AccelParams::emg_default()
+        };
+        check_bit_exact(Platform::pulpv3(4), params, 2);
+    }
+
+    #[test]
+    fn wolf_builtin_matches_native_with_ngram() {
+        let params = AccelParams {
+            n_words: 24,
+            ngram: 4,
+            ..AccelParams::emg_default()
+        };
+        check_bit_exact(Platform::wolf_builtin(8), params, 3);
+    }
+
+    #[test]
+    fn wolf_plain_matches_native() {
+        let params = AccelParams {
+            n_words: 16,
+            ngram: 2,
+            ..AccelParams::emg_default()
+        };
+        check_bit_exact(Platform::wolf_plain(4), params, 4);
+    }
+
+    #[test]
+    fn cortex_m4_matches_native() {
+        let params = AccelParams {
+            n_words: 16,
+            ..AccelParams::emg_default()
+        };
+        check_bit_exact(Platform::cortex_m4(), params, 5);
+    }
+
+    #[test]
+    fn scratch_majority_path_matches_native() {
+        // channels > 5 exercises the scratch-array majority.
+        let params = AccelParams {
+            n_words: 8,
+            channels: 9,
+            ..AccelParams::emg_default()
+        };
+        check_bit_exact(Platform::wolf_builtin(4), params, 6);
+        let params = AccelParams {
+            n_words: 8,
+            channels: 12,
+            ..AccelParams::emg_default()
+        };
+        check_bit_exact(Platform::pulpv3(2), params, 7);
+    }
+
+    #[test]
+    fn full_dimension_chain_matches_native() {
+        // The real 313-word hypervectors on the 4-core PULPv3.
+        check_bit_exact(Platform::pulpv3(4), AccelParams::emg_default(), 8);
+    }
+
+    #[test]
+    fn region_markers_partition_the_run() {
+        let params = AccelParams {
+            n_words: 32,
+            ..AccelParams::emg_default()
+        };
+        let (cim, im, protos) = model(&params, 9);
+        let mut chain = AccelChain::new(&Platform::pulpv3(4), params).unwrap();
+        chain.load_model(&cim, &im, &protos).unwrap();
+        let run = chain.classify(&samples(&params, 10)).unwrap();
+        assert!(run.cycles_map_encode > 0);
+        assert!(run.cycles_am > 0);
+        let sum = run.cycles_map_encode + run.cycles_am;
+        assert!(
+            sum <= run.cycles_total && sum >= run.cycles_total - run.cycles_total / 5,
+            "regions {sum} should nearly cover total {}",
+            run.cycles_total
+        );
+    }
+
+    #[test]
+    fn classification_is_repeatable_across_runs() {
+        let params = AccelParams {
+            n_words: 16,
+            ..AccelParams::emg_default()
+        };
+        let (cim, im, protos) = model(&params, 11);
+        let mut chain = AccelChain::new(&Platform::wolf_builtin(8), params).unwrap();
+        chain.load_model(&cim, &im, &protos).unwrap();
+        let input = samples(&params, 12);
+        let a = chain.classify(&input).unwrap();
+        let b = chain.classify(&input).unwrap();
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.cycles_total, b.cycles_total, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn input_validation() {
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let (cim, im, protos) = model(&params, 13);
+        let mut chain = AccelChain::new(&Platform::pulpv3(1), params).unwrap();
+        // Classify before load.
+        assert!(matches!(
+            chain.classify(&[vec![0u16; 4]]),
+            Err(ChainError::ModelMismatch(_))
+        ));
+        chain.load_model(&cim, &im, &protos).unwrap();
+        // Wrong sample count.
+        assert!(matches!(
+            chain.classify(&[vec![0u16; 4], vec![0u16; 4]]),
+            Err(ChainError::InputMismatch(_))
+        ));
+        // Wrong channel count.
+        assert!(matches!(
+            chain.classify(&[vec![0u16; 3]]),
+            Err(ChainError::InputMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn model_validation() {
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let (cim, im, protos) = model(&params, 14);
+        let mut chain = AccelChain::new(&Platform::pulpv3(1), params).unwrap();
+        let bad_protos: Vec<BinaryHv> = protos.iter().take(3).cloned().collect();
+        assert!(matches!(
+            chain.load_model(&cim, &im, &bad_protos),
+            Err(ChainError::ModelMismatch(_))
+        ));
+        let bad_im = ItemMemory::new(3, 8, 0);
+        assert!(matches!(
+            chain.load_model(&cim, &bad_im, &protos),
+            Err(ChainError::ModelMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn l2_direct_policy_also_matches_native() {
+        let mut platform = Platform::pulpv3(4);
+        platform.policy = MemPolicy::L2Direct;
+        let params = AccelParams {
+            n_words: 16,
+            ..AccelParams::emg_default()
+        };
+        check_bit_exact(platform, params, 15);
+    }
+}

@@ -1,0 +1,135 @@
+//! Platform presets: the three machines of the paper's evaluation, as
+//! (cluster configuration, kernel lowering, memory policy, fmax) tuples.
+
+use pulp_sim::{ClusterConfig, CortexM4Power, PowerModel};
+
+use crate::kernels::IsaVariant;
+use crate::layout::MemPolicy;
+
+/// A fully specified execution target.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// Display name used by reports.
+    pub name: String,
+    /// Simulator configuration.
+    pub cluster: ClusterConfig,
+    /// Kernel lowering.
+    pub variant: IsaVariant,
+    /// Matrix placement / streaming policy.
+    pub policy: MemPolicy,
+    /// Maximum sustainable clock in MHz (used for latency-feasibility
+    /// checks; operating frequency itself is chosen per Table 2 as
+    /// cycles / latency).
+    pub fmax_mhz: f64,
+}
+
+impl Platform {
+    /// PULPv3 silicon prototype with `cores` OpenRISC cores (1–4),
+    /// portable kernels, DMA double buffering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is outside 1–4.
+    #[must_use]
+    pub fn pulpv3(cores: usize) -> Self {
+        Self {
+            name: format!("PULPv3 {cores} core{}", if cores == 1 { "" } else { "s" }),
+            cluster: ClusterConfig::pulpv3(cores),
+            variant: IsaVariant::Generic,
+            policy: MemPolicy::DmaDoubleBuffer,
+            fmax_mhz: 65.0,
+        }
+    }
+
+    /// Wolf with `cores` RI5CY cores (1–8) running the plain ANSI-C
+    /// kernels (no builtins) — the paper's "Wolf 1 core" column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is outside 1–8.
+    #[must_use]
+    pub fn wolf_plain(cores: usize) -> Self {
+        Self {
+            name: format!("Wolf {cores} core{}", if cores == 1 { "" } else { "s" }),
+            cluster: ClusterConfig::wolf_no_ext(cores),
+            variant: IsaVariant::Generic,
+            policy: MemPolicy::DmaDoubleBuffer,
+            fmax_mhz: 350.0,
+        }
+    }
+
+    /// Wolf with `cores` cores using the XpulpV2 builtins — the paper's
+    /// "with built-in" columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is outside 1–8.
+    #[must_use]
+    pub fn wolf_builtin(cores: usize) -> Self {
+        Self {
+            name: format!(
+                "Wolf {cores} core{} built-in",
+                if cores == 1 { "" } else { "s" }
+            ),
+            cluster: ClusterConfig::wolf(cores),
+            variant: IsaVariant::Builtin,
+            policy: MemPolicy::DmaDoubleBuffer,
+            fmax_mhz: 350.0,
+        }
+    }
+
+    /// The ARM Cortex M4 reference: single core, all matrices resident
+    /// in its flat SRAM, portable kernels.
+    #[must_use]
+    pub fn cortex_m4() -> Self {
+        Self {
+            name: "ARM Cortex M4".into(),
+            cluster: ClusterConfig::cortex_m4(),
+            variant: IsaVariant::Generic,
+            policy: MemPolicy::AllL1,
+            fmax_mhz: CortexM4Power::paper().f_max_mhz,
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cluster.n_cores
+    }
+
+    /// The fitted PULPv3 power model (applies to the PULPv3 presets).
+    #[must_use]
+    pub fn pulpv3_power() -> PowerModel {
+        PowerModel::pulpv3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_pair_variant_with_capability() {
+        let p = Platform::pulpv3(4);
+        assert_eq!(p.variant, IsaVariant::Generic);
+        assert!(!p.cluster.core.has_bitmanip);
+
+        let w = Platform::wolf_builtin(8);
+        assert_eq!(w.variant, IsaVariant::Builtin);
+        assert!(w.cluster.core.has_bitmanip);
+
+        let wp = Platform::wolf_plain(1);
+        assert_eq!(wp.variant, IsaVariant::Generic);
+
+        let m4 = Platform::cortex_m4();
+        assert_eq!(m4.policy, MemPolicy::AllL1);
+        assert_eq!(m4.cores(), 1);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(Platform::pulpv3(1).name, "PULPv3 1 core");
+        assert_eq!(Platform::pulpv3(4).name, "PULPv3 4 cores");
+        assert_eq!(Platform::wolf_builtin(8).name, "Wolf 8 cores built-in");
+    }
+}

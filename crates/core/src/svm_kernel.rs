@@ -1,0 +1,330 @@
+//! The SVM baseline *executed* on the simulated ARM Cortex M4.
+//!
+//! The paper's Table 1 compares HD computing against a fixed-point SVM
+//! running on the M4. This module lowers the quantized one-vs-one RBF
+//! inference of [`svm::FixedSvm`] to the simulated core — per support
+//! vector: 12-bit feature differences, squared-distance accumulation,
+//! bucketed `exp` lookup, Q15 multiply-accumulate; then pairwise voting
+//! with magnitude tie-breaking — so the SVM's cycle count is *measured*
+//! on the same timing model as the HD chain, and its arithmetic is
+//! cross-checked bit-exactly against the host reference.
+
+use pulp_sim::asm::Assembler;
+use pulp_sim::isa::regs::*;
+use pulp_sim::{Cluster, SimError, L1_BASE};
+use svm::{FixedSvm, LUT_SIZE};
+
+use crate::pipeline::ChainError;
+use crate::platform::Platform;
+
+/// Maximum feature count the kernel keeps in registers.
+pub const MAX_SVM_FEATURES: usize = 6;
+
+/// Result of one simulated SVM classification.
+#[derive(Debug, Clone)]
+pub struct SvmRun {
+    /// Predicted class.
+    pub class: usize,
+    /// Per-machine integer decision values, in machine order.
+    pub decisions: Vec<i32>,
+    /// Total cycles of the inference.
+    pub cycles: u64,
+}
+
+/// A quantized SVM loaded onto the simulated M4.
+#[derive(Debug)]
+pub struct SvmChain {
+    cluster: Cluster,
+    n_features: usize,
+    n_machines: usize,
+    addr_features: u32,
+    addr_result: u32,
+}
+
+impl SvmChain {
+    /// Builds the inference program for `model` and loads its tables
+    /// into the simulated M4 SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError`] if the model shape is unsupported or the
+    /// program fails to assemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has more than [`MAX_SVM_FEATURES`] features
+    /// (the EMG task has 4).
+    pub fn new(model: &FixedSvm) -> Result<Self, ChainError> {
+        let c = model.n_features();
+        assert!(
+            c <= MAX_SVM_FEATURES,
+            "SVM kernel keeps features in registers (≤ {MAX_SVM_FEATURES})"
+        );
+        let k = model.n_classes();
+        let m_count = model.machines().len();
+
+        // --- static layout in M4 SRAM -------------------------------
+        let addr_features = L1_BASE;
+        let addr_lut = L1_BASE + 0x40;
+        let addr_votes = addr_lut + (LUT_SIZE as u32) * 2;
+        let addr_mags = addr_votes + k as u32 * 4;
+        let addr_result = addr_mags + k as u32 * 4;
+        let n_sv = model.support_vectors().len();
+        let mut cursor = addr_result + (1 + m_count as u32) * 4;
+        cursor = (cursor + 7) & !7;
+        // Shared SV matrix once; dense coefficient rows per machine.
+        let addr_svs = cursor;
+        cursor += (n_sv * c * 2) as u32;
+        cursor = (cursor + 3) & !3;
+        let mut addr_coeffs = Vec::with_capacity(m_count);
+        for _ in model.machines() {
+            addr_coeffs.push(cursor);
+            cursor += (n_sv * 4) as u32;
+        }
+
+        // --- program --------------------------------------------------
+        let mut a = Assembler::new();
+        let feat_regs = [S5, S6, S7, S8, S9, S10];
+        a.marker(0);
+        a.comment("features, pre-shifted to 12-bit, stay in registers");
+        a.li(A5, addr_features);
+        for (ci, reg) in feat_regs.iter().take(c).enumerate() {
+            a.lhu(*reg, A5, (ci * 2) as i32);
+            a.srli(*reg, *reg, 4);
+        }
+        a.comment("clear votes and magnitudes");
+        a.li(A5, addr_votes);
+        for i in 0..2 * k {
+            a.sw(ZERO, A5, (i * 4) as i32);
+        }
+
+        for (mi, machine) in model.machines().iter().enumerate() {
+            let sv_loop = format!("svm_m{mi}_loop");
+            let no_clamp = format!("svm_m{mi}_noclamp");
+            let neg = format!("svm_m{mi}_neg");
+            let done = format!("svm_m{mi}_done");
+            a.comment("one-vs-one machine: Σ (coeff·k(d²)) >> 15 + bias");
+            a.li(A0, addr_svs);
+            a.li(A1, addr_coeffs[mi]);
+            a.li(T2, machine.bias_q as u32); // accumulator
+            a.li(T3, n_sv as u32);
+            a.beqz(T3, &done);
+            a.label(&sv_loop);
+            a.li(T4, 0); // d²
+            for (ci, reg) in feat_regs.iter().take(c).enumerate() {
+                a.lhu(T5, A0, (ci * 2) as i32);
+                a.srli(T5, T5, 4);
+                a.sub(T5, *reg, T5);
+                a.mul(T5, T5, T5);
+                a.add(T4, T4, T5);
+            }
+            a.addi(A0, A0, (c * 2) as i32);
+            a.comment("bucketed exp lookup");
+            a.srli(T5, T4, model.lut_shift() as u8);
+            a.sltiu(T6, T5, LUT_SIZE as i32);
+            a.bnez(T6, &no_clamp);
+            a.li(T5, (LUT_SIZE - 1) as u32);
+            a.label(&no_clamp);
+            a.slli(T5, T5, 1);
+            a.li(T6, addr_lut);
+            a.add(T5, T5, T6);
+            a.lhu(T5, T5, 0);
+            a.lw(T6, A1, 0);
+            a.addi(A1, A1, 4);
+            a.mul(T6, T6, T5);
+            a.srai(T6, T6, 15);
+            a.add(T2, T2, T6);
+            a.addi(T3, T3, -1);
+            a.bnez(T3, &sv_loop);
+            a.label(&done);
+            a.comment("record decision, vote with |decision| magnitude");
+            a.li(A2, addr_result);
+            a.sw(T2, A2, (4 + mi * 4) as i32);
+            a.srai(T5, T2, 31);
+            a.xor(T6, T2, T5);
+            a.sub(T6, T6, T5); // |acc|
+            let vote = |a: &mut Assembler, class: usize| {
+                a.li(A3, addr_votes + class as u32 * 4);
+                a.lw(T4, A3, 0);
+                a.addi(T4, T4, 1);
+                a.sw(T4, A3, 0);
+                a.li(A3, addr_mags + class as u32 * 4);
+                a.lw(T4, A3, 0);
+                a.add(T4, T4, T6);
+                a.sw(T4, A3, 0);
+            };
+            let after = format!("svm_m{mi}_voted");
+            a.blt(T2, ZERO, &neg);
+            vote(&mut a, machine.class_pos);
+            a.j(&after);
+            a.label(&neg);
+            vote(&mut a, machine.class_neg);
+            a.label(&after);
+        }
+
+        a.comment("arg-max votes, magnitude tie-break, lowest index wins");
+        a.li(A0, addr_votes);
+        a.li(A1, addr_mags);
+        a.lw(T0, A0, 0); // best votes
+        a.lw(T1, A1, 0); // best magnitude
+        a.li(T2, 0); // best class
+        for class in 1..k {
+            let take = format!("svm_take_{class}");
+            let skip = format!("svm_skip_{class}");
+            a.lw(T3, A0, (class * 4) as i32);
+            a.lw(T4, A1, (class * 4) as i32);
+            a.bltu(T0, T3, &take); // strictly more votes
+            a.bne(T0, T3, &skip);
+            a.bgeu(T1, T4, &skip); // equal votes: strictly larger magnitude
+            a.label(&take);
+            a.mv(T0, T3);
+            a.mv(T1, T4);
+            a.li(T2, class as u32);
+            a.label(&skip);
+        }
+        a.li(A2, addr_result);
+        a.sw(T2, A2, 0);
+        a.marker(1);
+        a.halt();
+
+        let program = a.finish().map_err(crate::kernels::BuildError::from)?;
+        let platform = Platform::cortex_m4();
+        let mut cluster = Cluster::new(platform.cluster, program);
+
+        // --- load tables ----------------------------------------------
+        let mem = cluster.mem_mut();
+        let lut: Vec<u16> = model.lut().to_vec();
+        mem.write_halves(addr_lut, &lut)
+            .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        let flat_svs: Vec<u16> = model.support_vectors().iter().flatten().copied().collect();
+        mem.write_halves(addr_svs, &flat_svs)
+            .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        for (mi, machine) in model.machines().iter().enumerate() {
+            let coeffs: Vec<u32> = machine.coeff_q.iter().map(|&x| x as u32).collect();
+            mem.write_words(addr_coeffs[mi], &coeffs)
+                .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        }
+
+        Ok(Self {
+            cluster,
+            n_features: c,
+            n_machines: m_count,
+            addr_features,
+            addr_result,
+        })
+    }
+
+    /// Classifies one feature vector (raw ADC codes) on the simulated
+    /// M4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError`] on shape mismatch or simulator fault.
+    pub fn classify(&mut self, codes: &[u16]) -> Result<SvmRun, ChainError> {
+        if codes.len() != self.n_features {
+            return Err(ChainError::InputMismatch(format!(
+                "{} features, model expects {}",
+                codes.len(),
+                self.n_features
+            )));
+        }
+        self.cluster
+            .mem_mut()
+            .write_halves(self.addr_features, codes)
+            .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        let summary = self.cluster.run(50_000_000)?;
+        let words = self
+            .cluster
+            .mem()
+            .read_words(self.addr_result, 1 + self.n_machines)
+            .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
+        Ok(SvmRun {
+            class: words[0] as usize,
+            decisions: words[1..].iter().map(|&w| w as i32).collect(),
+            cycles: summary.region(0, 1).unwrap_or(summary.cycles),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svm::{Kernel, SmoParams, SvmClassifier};
+
+    fn trained_model() -> FixedSvm {
+        // Four blobs in the unit square, 4 features (pad 2-D to 4-D).
+        let centers = [
+            [0.2, 0.2, 0.7, 0.3],
+            [0.8, 0.2, 0.2, 0.6],
+            [0.2, 0.8, 0.5, 0.9],
+            [0.8, 0.8, 0.9, 0.1],
+        ];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (label, cc) in centers.iter().enumerate() {
+            for i in 0..12 {
+                let j1 = ((i * 7 + label * 13) % 11) as f64 / 11.0 - 0.5;
+                let j2 = ((i * 5 + label * 3) % 13) as f64 / 13.0 - 0.5;
+                x.push(vec![
+                    cc[0] + 0.15 * j1,
+                    cc[1] + 0.15 * j2,
+                    cc[2] + 0.1 * j1,
+                    cc[3] + 0.1 * j2,
+                ]);
+                y.push(label);
+            }
+        }
+        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 10.0 },
+                                       SmoParams::default());
+        FixedSvm::quantize(&clf, 4)
+    }
+
+    #[test]
+    fn simulated_svm_matches_host_reference_bit_exactly() {
+        let model = trained_model();
+        let mut chain = SvmChain::new(&model).unwrap();
+        for probe in [
+            [10_000u16, 12_000, 45_000, 20_000],
+            [52_000, 14_000, 15_000, 40_000],
+            [13_000, 50_000, 33_000, 60_000],
+            [51_000, 55_000, 60_000, 8_000],
+            [32_768, 32_768, 32_768, 32_768],
+        ] {
+            let run = chain.classify(&probe).unwrap();
+            let expect_class = model.predict_codes(&probe);
+            for (m, &d) in run.decisions.iter().enumerate() {
+                assert_eq!(
+                    i64::from(d),
+                    model.decision_q(m, &probe),
+                    "machine {m} decision diverged on {probe:?}"
+                );
+            }
+            assert_eq!(run.class, expect_class, "decision diverged on {probe:?}");
+        }
+    }
+
+    #[test]
+    fn cycles_scale_with_kernel_evaluations() {
+        let model = trained_model();
+        let mut chain = SvmChain::new(&model).unwrap();
+        let run = chain.classify(&[30_000, 30_000, 30_000, 30_000]).unwrap();
+        let evals = model.total_kernel_evaluations() as u64;
+        let per_eval = run.cycles as f64 / evals as f64;
+        // Inner loop ≈ 4 features × ~9 cycles + lookup/MAC tail on the M4.
+        assert!(
+            (30.0..90.0).contains(&per_eval),
+            "{} cycles / {evals} evals = {per_eval}",
+            run.cycles
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_feature_count() {
+        let model = trained_model();
+        let mut chain = SvmChain::new(&model).unwrap();
+        assert!(matches!(
+            chain.classify(&[1, 2, 3]),
+            Err(ChainError::InputMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based equivalence: for *randomly drawn* chain configurations
+//! (dimension, channels, N-gram size, class count, platform, seeds), the
+//! simulated kernels must agree with the golden model bit for bit.
+//!
+//! This is the strongest correctness statement in the repository: the
+//! cycle counts reported by the experiments are attached to computations
+//! proven equal to the reference implementation across the configuration
+//! space, not just at hand-picked points.
+
+use proptest::prelude::*;
+
+use hdc::rng::derive_seed;
+use hdc::{BinaryHv, ContinuousItemMemory, ItemMemory};
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_core::pipeline::{native_reference, AccelChain};
+use pulp_hd_core::platform::Platform;
+
+fn platform_for(selector: u8) -> Platform {
+    match selector % 6 {
+        0 => Platform::pulpv3(1),
+        1 => Platform::pulpv3(4),
+        2 => Platform::wolf_plain(2),
+        3 => Platform::wolf_builtin(1),
+        4 => Platform::wolf_builtin(8),
+        _ => Platform::cortex_m4(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulated_chain_equals_golden_model(
+        n_words in 1usize..20,
+        channels in 1usize..9,
+        ngram in 1usize..6,
+        classes in 2usize..6,
+        levels in 2usize..30,
+        plat_sel in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let params = AccelParams { n_words, channels, levels, ngram, classes };
+        let platform = platform_for(plat_sel);
+
+        let cim = ContinuousItemMemory::new(levels, n_words, derive_seed(seed, 1));
+        let im = ItemMemory::new(channels, n_words, derive_seed(seed, 2));
+        let protos: Vec<BinaryHv> = (0..classes)
+            .map(|k| BinaryHv::random(n_words, derive_seed(seed, 100 + k as u64)))
+            .collect();
+
+        let mut chain = AccelChain::new(&platform, params).unwrap();
+        chain.load_model(&cim, &im, &protos).unwrap();
+
+        let mut rng = hdc::rng::Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x57A7);
+        let window: Vec<Vec<u16>> = (0..ngram)
+            .map(|_| (0..channels).map(|_| (rng.next_u32() & 0xffff) as u16).collect())
+            .collect();
+
+        let run = chain.classify(&window).unwrap();
+        let (query, distances, class) = native_reference(&cim, &im, &protos, &window);
+        prop_assert_eq!(run.query, query, "query diverged on {}", platform.name);
+        prop_assert_eq!(run.distances, distances);
+        prop_assert_eq!(run.class, class);
+        // Timing sanity: regions are recorded and cover the run.
+        prop_assert!(run.cycles_map_encode > 0);
+        prop_assert!(run.cycles_am > 0);
+        prop_assert!(run.cycles_map_encode + run.cycles_am <= run.cycles_total);
+    }
+}

@@ -1,0 +1,398 @@
+//! Dataset assembly: preprocessing, ADC quantization, windowing, and
+//! train/test splits.
+//!
+//! A [`Dataset`] holds the preprocessed trials of one subject. The
+//! preprocessing chain (50 Hz notch → rectification → low-pass envelope)
+//! mirrors the paper's front end and — exactly as in the paper — is *not*
+//! part of the accelerated processing chain; the classifiers consume the
+//! resulting envelope samples, quantized to 16-bit ADC codes spanning the
+//! 0–21 mV range of the CIM.
+
+use crate::filters::{Biquad, Envelope};
+use crate::synth::{synthesize_trial, GestureModel, SynthConfig};
+use hdc::rng::{derive_seed, Xoshiro256PlusPlus};
+
+/// One preprocessed gesture trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Class label (0 = rest).
+    pub label: usize,
+    /// Envelope samples in ADC codes, `samples × channels`.
+    pub codes: Vec<Vec<u16>>,
+}
+
+/// A subject's preprocessed dataset.
+///
+/// # Examples
+///
+/// ```
+/// use emg::{Dataset, SynthConfig};
+///
+/// let cfg = SynthConfig::paper();
+/// let data = Dataset::generate(&cfg, 0, 42);
+/// assert_eq!(data.trials().len(), 5 * 10);
+/// let windows = data.windows(5);
+/// assert!(windows.len() > 1000);
+/// assert_eq!(windows[0].codes.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    channels: usize,
+    classes: usize,
+    fs_hz: f64,
+    trials: Vec<Trial>,
+}
+
+/// One classification window: `window × channels` ADC codes plus its
+/// ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Envelope codes, `window_len × channels`.
+    pub codes: Vec<Vec<u16>>,
+    /// Ground-truth class.
+    pub label: usize,
+}
+
+impl Window {
+    /// Mean envelope code per channel — the feature vector the SVM
+    /// baseline consumes (the paper's SVM uses one feature per channel).
+    #[must_use]
+    pub fn features(&self) -> Vec<f64> {
+        let channels = self.codes[0].len();
+        let mut f = vec![0.0; channels];
+        for sample in &self.codes {
+            for (acc, &c) in f.iter_mut().zip(sample.iter()) {
+                *acc += f64::from(c);
+            }
+        }
+        let n = self.codes.len() as f64;
+        for acc in &mut f {
+            *acc /= n * f64::from(u16::MAX);
+        }
+        f
+    }
+}
+
+impl Dataset {
+    /// Synthesizes and preprocesses all trials of one subject.
+    ///
+    /// Trials are generated for every `(class, repetition)` pair; the
+    /// onset/release transients stay in the data (they are part of what
+    /// makes the task realistic — windows over transitions are
+    /// genuinely ambiguous).
+    #[must_use]
+    pub fn generate(cfg: &SynthConfig, subject: usize, master_seed: u64) -> Self {
+        let model = GestureModel::for_subject(cfg, subject, master_seed);
+        let notch = Biquad::notch(cfg.fs_hz, 50.0, 8.0);
+        let mut trials = Vec::with_capacity(cfg.classes * cfg.reps);
+        for class in 0..cfg.classes {
+            for rep in 0..cfg.reps {
+                let trial_seed = derive_seed(
+                    master_seed,
+                    0x0114_0000 | ((subject as u64) << 24) | ((class as u64) << 8) | rep as u64,
+                );
+                let raw = synthesize_trial(cfg, &model, class, trial_seed);
+                let codes = preprocess(cfg, &notch, &raw, trial_seed ^ 0xA27F);
+                trials.push(Trial { label: class, codes });
+            }
+        }
+        Self {
+            channels: cfg.channels,
+            classes: cfg.classes,
+            fs_hz: cfg.fs_hz,
+            trials,
+        }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Sampling rate in Hz.
+    #[must_use]
+    pub fn fs_hz(&self) -> f64 {
+        self.fs_hz
+    }
+
+    /// All trials.
+    #[must_use]
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Cuts every trial into non-overlapping windows of `window_len`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len == 0`.
+    #[must_use]
+    pub fn windows(&self, window_len: usize) -> Vec<Window> {
+        self.windows_strided(window_len, window_len)
+    }
+
+    /// Cuts every trial into windows of `window_len` samples advancing by
+    /// `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len == 0` or `stride == 0`.
+    #[must_use]
+    pub fn windows_strided(&self, window_len: usize, stride: usize) -> Vec<Window> {
+        assert!(window_len > 0, "window length must be positive");
+        assert!(stride > 0, "stride must be positive");
+        let mut out = Vec::new();
+        for trial in &self.trials {
+            let mut start = 0;
+            while start + window_len <= trial.codes.len() {
+                out.push(Window {
+                    codes: trial.codes[start..start + window_len].to_vec(),
+                    label: trial.label,
+                });
+                start += stride;
+            }
+        }
+        out
+    }
+
+    /// Stratified training subset: the paper trains on 25 % of the data
+    /// and tests on the entire set. Returns the trial indices of the
+    /// first `ceil(frac·reps)` repetitions of every class.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < frac <= 1`.
+    #[must_use]
+    pub fn training_trial_indices(&self, frac: f64) -> Vec<usize> {
+        assert!(frac > 0.0 && frac <= 1.0, "fraction must be in (0, 1]");
+        let mut per_class_total = vec![0usize; self.classes];
+        for t in &self.trials {
+            per_class_total[t.label] += 1;
+        }
+        let mut taken = vec![0usize; self.classes];
+        let mut idx = Vec::new();
+        for (i, t) in self.trials.iter().enumerate() {
+            let quota = (per_class_total[t.label] as f64 * frac).ceil() as usize;
+            if taken[t.label] < quota {
+                taken[t.label] += 1;
+                idx.push(i);
+            }
+        }
+        idx
+    }
+
+    /// Windows of the given trials only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `window_len == 0`.
+    #[must_use]
+    pub fn windows_of(&self, trial_indices: &[usize], window_len: usize) -> Vec<Window> {
+        assert!(window_len > 0, "window length must be positive");
+        let mut out = Vec::new();
+        for &i in trial_indices {
+            let trial = &self.trials[i];
+            let mut start = 0;
+            while start + window_len <= trial.codes.len() {
+                out.push(Window {
+                    codes: trial.codes[start..start + window_len].to_vec(),
+                    label: trial.label,
+                });
+                start += window_len;
+            }
+        }
+        out
+    }
+}
+
+/// Notch → envelope → ADC quantization → artifact injection for one
+/// trial.
+fn preprocess(
+    cfg: &SynthConfig,
+    notch: &Biquad,
+    raw: &[Vec<f64>],
+    artifact_seed: u64,
+) -> Vec<Vec<u16>> {
+    let channels = cfg.channels;
+    let mut notches = vec![*notch; channels];
+    let mut envelopes = vec![Envelope::new(cfg.fs_hz, 3.0); channels];
+    for f in &mut notches {
+        f.reset();
+    }
+    let mut artifacts = Xoshiro256PlusPlus::seed_from_u64(artifact_seed);
+    // Remaining flatline samples per channel (electrode lift-off burst).
+    let mut dropout = vec![0usize; channels];
+    let scale = f64::from(u16::MAX) / cfg.max_mvc_mv;
+    raw.iter()
+        .map(|sample| {
+            sample
+                .iter()
+                .enumerate()
+                .map(|(c, &x)| {
+                    let cleaned = notches[c].process(x);
+                    let env = envelopes[c].process(cleaned);
+                    let code = (env * scale).clamp(0.0, f64::from(u16::MAX)) as u16;
+                    if dropout[c] == 0 && artifacts.next_f64() < cfg.artifact_prob {
+                        dropout[c] = 2 + (artifacts.next_u32() % 4) as usize;
+                    }
+                    if dropout[c] > 0 {
+                        dropout[c] -= 1;
+                        (artifacts.next_u32() % 300) as u16 // flatlined
+                    } else {
+                        code
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SynthConfig {
+        SynthConfig {
+            reps: 3,
+            trial_secs: 1.5,
+            ..SynthConfig::paper()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small_cfg();
+        let a = Dataset::generate(&cfg, 0, 7);
+        let b = Dataset::generate(&cfg, 0, 7);
+        assert_eq!(a, b);
+        let c = Dataset::generate(&cfg, 1, 7);
+        assert_ne!(a, c, "different subject differs");
+    }
+
+    #[test]
+    fn trial_count_and_labels() {
+        let cfg = small_cfg();
+        let data = Dataset::generate(&cfg, 0, 7);
+        assert_eq!(data.trials().len(), 15);
+        for class in 0..5 {
+            assert_eq!(
+                data.trials().iter().filter(|t| t.label == class).count(),
+                3
+            );
+        }
+    }
+
+    #[test]
+    fn codes_use_reasonable_dynamic_range() {
+        let cfg = small_cfg();
+        let data = Dataset::generate(&cfg, 0, 7);
+        let mut max_code = 0u16;
+        for t in data.trials() {
+            for s in &t.codes {
+                for &c in s {
+                    max_code = max_code.max(c);
+                }
+            }
+        }
+        // Strong contractions should reach well into the upper half of
+        // the 0–21 mV range without pegging at full scale constantly.
+        assert!(max_code > 30_000, "max code only {max_code}");
+    }
+
+    #[test]
+    fn envelope_separates_classes_in_hold_phase() {
+        let cfg = small_cfg();
+        let data = Dataset::generate(&cfg, 0, 7);
+        // Mean hold-phase envelope per class on channel 0: closed hand
+        // (class 1) must dominate rest (class 0).
+        let hold_mean = |label: usize| {
+            let trials: Vec<_> = data.trials().iter().filter(|t| t.label == label).collect();
+            let mut acc = 0.0;
+            let mut n = 0.0;
+            for t in &trials {
+                let len = t.codes.len();
+                for s in &t.codes[len / 3..2 * len / 3] {
+                    acc += f64::from(s[0]);
+                    n += 1.0;
+                }
+            }
+            acc / n
+        };
+        assert!(hold_mean(1) > 3.0 * hold_mean(0));
+    }
+
+    #[test]
+    fn windows_have_correct_shape_and_cover_trials() {
+        let cfg = small_cfg();
+        let data = Dataset::generate(&cfg, 0, 7);
+        let windows = data.windows(5);
+        let samples = cfg.samples_per_trial();
+        assert_eq!(windows.len(), 15 * (samples / 5));
+        assert!(windows.iter().all(|w| w.codes.len() == 5));
+        assert!(windows.iter().all(|w| w.codes[0].len() == 4));
+    }
+
+    #[test]
+    fn strided_windows_overlap() {
+        let cfg = small_cfg();
+        let data = Dataset::generate(&cfg, 0, 7);
+        let dense = data.windows_strided(10, 5);
+        let sparse = data.windows(10);
+        assert!(dense.len() > sparse.len() * 3 / 2);
+    }
+
+    #[test]
+    fn training_split_is_stratified_quarter() {
+        let cfg = SynthConfig::paper(); // 10 reps
+        let data = Dataset::generate(&cfg, 0, 7);
+        let idx = data.training_trial_indices(0.25);
+        // ceil(10 × 0.25) = 3 trials per class.
+        assert_eq!(idx.len(), 15);
+        for class in 0..5 {
+            let count = idx
+                .iter()
+                .filter(|&&i| data.trials()[i].label == class)
+                .count();
+            assert_eq!(count, 3, "class {class}");
+        }
+    }
+
+    #[test]
+    fn window_features_track_activation() {
+        let cfg = small_cfg();
+        let data = Dataset::generate(&cfg, 0, 7);
+        let windows = data.windows(25);
+        let rest_energy: f64 = windows
+            .iter()
+            .filter(|w| w.label == 0)
+            .map(|w| w.features().iter().sum::<f64>())
+            .sum::<f64>()
+            / windows.iter().filter(|w| w.label == 0).count() as f64;
+        let fist_energy: f64 = windows
+            .iter()
+            .filter(|w| w.label == 1)
+            .map(|w| w.features().iter().sum::<f64>())
+            .sum::<f64>()
+            / windows.iter().filter(|w| w.label == 1).count() as f64;
+        assert!(fist_energy > 2.0 * rest_energy);
+    }
+
+    #[test]
+    fn features_are_normalized() {
+        let cfg = small_cfg();
+        let data = Dataset::generate(&cfg, 0, 7);
+        for w in data.windows(5).iter().take(200) {
+            for f in w.features() {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # `emg` — synthetic surface-EMG workload
+//!
+//! A deterministic, seedable substitute for the recorded 5-subject EMG
+//! hand-gesture dataset the PULP-HD paper evaluates on: four (up to 256)
+//! forearm channels sampled at 500 Hz, five classes (closed hand, open
+//! hand, 2-finger pinch, point index, rest), 3-second trials repeated ten
+//! times, corrupted by mains interference and sensor noise.
+//!
+//! The crate covers the full front end of the paper's system:
+//! signal synthesis ([`synth`]), the preprocessing that the paper runs
+//! *off*-accelerator (50 Hz notch + envelope extraction, [`filters`]),
+//! ADC quantization, windowing and train/test splitting ([`dataset`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use emg::{Dataset, SynthConfig};
+//!
+//! let cfg = SynthConfig::paper();
+//! let subject0 = Dataset::generate(&cfg, 0, 42);
+//! // 5 classes × 10 repetitions of 3 s at 500 Hz.
+//! assert_eq!(subject0.trials().len(), 50);
+//!
+//! // 10 ms windows (5 samples) feed the HD classifier…
+//! let windows = subject0.windows(5);
+//! assert_eq!(windows[0].codes[0].len(), 4);
+//! // …and their per-channel mean envelopes feed the SVM baseline.
+//! let features = windows[0].features();
+//! assert_eq!(features.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataset;
+pub mod filters;
+pub mod synth;
+
+pub use dataset::{Dataset, Trial, Window};
+pub use filters::{Biquad, Envelope};
+pub use synth::{synthesize_trial, GestureModel, SynthConfig, GESTURE_NAMES};

@@ -1,0 +1,525 @@
+//! End-to-end HD classifier: quantize → spatial encode → temporal encode
+//! → associative memory.
+//!
+//! [`HdClassifier`] is the golden model of the full PULP-HD processing
+//! chain. The accelerated kernels in `pulp-hd-core` reproduce it
+//! bit-exactly on the simulated platform; integration tests compare the
+//! two on every intermediate hypervector.
+
+use crate::am::{AssociativeMemory, Classification};
+use crate::encoder::{SpatialEncoder, TemporalEncoder};
+use crate::hv::{words_for_dim, BinaryHv};
+use crate::rng::derive_seed;
+
+/// Hyper-parameters of the HD classification chain.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::HdConfig;
+///
+/// let config = HdConfig::emg_default();
+/// assert_eq!(config.n_words, 313);
+/// assert_eq!(config.channels, 4);
+/// assert_eq!(config.levels, 22);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HdConfig {
+    /// Hypervector width in packed 32-bit words (313 ≙ "10,000-D").
+    pub n_words: usize,
+    /// Number of input channels.
+    pub channels: usize,
+    /// Number of CIM quantization levels.
+    pub levels: usize,
+    /// N-gram size of the temporal encoder (1 = spatial only).
+    pub ngram: usize,
+    /// Samples per classification window.
+    pub window: usize,
+    /// Master seed for all item memories and tie-breaks.
+    pub seed: u64,
+}
+
+impl HdConfig {
+    /// The paper's EMG configuration: 10,000-D (313 words), 4 channels,
+    /// 22 levels, N-gram of 1, and a 5-sample window (10 ms at 500 Hz).
+    #[must_use]
+    pub fn emg_default() -> Self {
+        Self {
+            n_words: 313,
+            channels: 4,
+            levels: 22,
+            ngram: 1,
+            window: 5,
+            seed: 0x9d07_11d5_e821_a96c,
+        }
+    }
+
+    /// Same configuration at a different dimensionality `dim`
+    /// (rounded up to a whole number of words).
+    #[must_use]
+    pub fn with_dim(mut self, dim: usize) -> Self {
+        self.n_words = words_for_dim(dim);
+        self
+    }
+
+    /// Validates the internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_words == 0 {
+            return Err(ConfigError::ZeroWords);
+        }
+        if self.channels == 0 {
+            return Err(ConfigError::ZeroChannels);
+        }
+        if self.levels < 2 {
+            return Err(ConfigError::TooFewLevels(self.levels));
+        }
+        if self.ngram == 0 {
+            return Err(ConfigError::ZeroNgram);
+        }
+        if self.window < self.ngram {
+            return Err(ConfigError::WindowShorterThanNgram {
+                window: self.window,
+                ngram: self.ngram,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`HdConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Hypervector width is zero.
+    ZeroWords,
+    /// No input channels.
+    ZeroChannels,
+    /// Fewer than two quantization levels.
+    TooFewLevels(usize),
+    /// N-gram size is zero.
+    ZeroNgram,
+    /// The classification window cannot hold a single N-gram.
+    WindowShorterThanNgram {
+        /// Window length in samples.
+        window: usize,
+        /// Configured N-gram size.
+        ngram: usize,
+    },
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ZeroWords => write!(f, "hypervector width must be at least one word"),
+            Self::ZeroChannels => write!(f, "at least one input channel is required"),
+            Self::TooFewLevels(l) => write!(f, "need at least 2 quantization levels, got {l}"),
+            Self::ZeroNgram => write!(f, "n-gram size must be at least 1"),
+            Self::WindowShorterThanNgram { window, ngram } => write!(
+                f,
+                "window of {window} samples cannot hold an {ngram}-gram"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The end-to-end HD classifier (golden model).
+///
+/// # Examples
+///
+/// Train on two artificial "gestures" and classify a noisy repetition:
+///
+/// ```
+/// use hdc::{HdClassifier, HdConfig};
+///
+/// let config = HdConfig { n_words: 64, channels: 4, levels: 22, ngram: 2,
+///                         window: 5, seed: 1 };
+/// let mut clf = HdClassifier::new(config, 2)?;
+///
+/// // Windows are `window × channels` ADC codes.
+/// let rest = vec![[100u16, 120, 90, 110]; 5];
+/// let fist = vec![[60_000u16, 52_000, 58_000, 61_000]; 5];
+/// clf.train_window(0, &rest)?;
+/// clf.train_window(1, &fist)?;
+/// clf.finalize();
+///
+/// let noisy = vec![[59_000u16, 53_000, 57_500, 60_000]; 5];
+/// assert_eq!(clf.predict(&noisy)?.class(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HdClassifier {
+    config: HdConfig,
+    spatial: SpatialEncoder,
+    temporal: TemporalEncoder,
+    am: AssociativeMemory,
+}
+
+/// Error returned when a window does not match the configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WindowError {
+    /// Window sample count differs from `config.window`.
+    WrongLength {
+        /// Expected number of samples.
+        expected: usize,
+        /// Provided number of samples.
+        got: usize,
+    },
+    /// Some sample has the wrong channel count.
+    WrongChannels {
+        /// Expected channel count.
+        expected: usize,
+        /// Provided channel count.
+        got: usize,
+        /// Index of the offending sample.
+        at_sample: usize,
+    },
+    /// Class index out of range.
+    BadClass {
+        /// Number of classes in the model.
+        n_classes: usize,
+        /// Provided class index.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::WrongLength { expected, got } => {
+                write!(f, "expected a window of {expected} samples, got {got}")
+            }
+            Self::WrongChannels {
+                expected,
+                got,
+                at_sample,
+            } => write!(
+                f,
+                "sample {at_sample} has {got} channels, expected {expected}"
+            ),
+            Self::BadClass { n_classes, got } => {
+                write!(f, "class {got} out of range for {n_classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
+impl HdClassifier {
+    /// Creates an untrained classifier for `n_classes` classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`.
+    pub fn new(config: HdConfig, n_classes: usize) -> Result<Self, ConfigError> {
+        config.validate()?;
+        assert!(n_classes > 0, "classifier needs at least one class");
+        Ok(Self {
+            config,
+            spatial: SpatialEncoder::new(
+                config.channels,
+                config.levels,
+                config.n_words,
+                config.seed,
+            ),
+            temporal: TemporalEncoder::new(config.ngram),
+            am: AssociativeMemory::new(n_classes, config.n_words, derive_seed(config.seed, 3)),
+        })
+    }
+
+    /// The configuration this classifier was built with.
+    #[must_use]
+    pub fn config(&self) -> &HdConfig {
+        &self.config
+    }
+
+    /// The spatial encoder (IM + CIM), e.g. for loading into the
+    /// simulated platform.
+    #[must_use]
+    pub fn spatial(&self) -> &SpatialEncoder {
+        &self.spatial
+    }
+
+    /// The associative memory.
+    #[must_use]
+    pub fn am(&self) -> &AssociativeMemory {
+        &self.am
+    }
+
+    /// Mutable access to the associative memory (online learning,
+    /// prototype export/import).
+    pub fn am_mut(&mut self) -> &mut AssociativeMemory {
+        &mut self.am
+    }
+
+    fn check_window<W: AsRef<[u16]>>(&self, window: &[W]) -> Result<(), WindowError> {
+        if window.len() != self.config.window {
+            return Err(WindowError::WrongLength {
+                expected: self.config.window,
+                got: window.len(),
+            });
+        }
+        for (t, sample) in window.iter().enumerate() {
+            if sample.as_ref().len() != self.config.channels {
+                return Err(WindowError::WrongChannels {
+                    expected: self.config.channels,
+                    got: sample.as_ref().len(),
+                    at_sample: t,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes a classification window (`window × channels` ADC codes)
+    /// into its query hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WindowError`] if the window shape does not match the
+    /// configuration.
+    pub fn encode_window<W: AsRef<[u16]>>(&self, window: &[W]) -> Result<BinaryHv, WindowError> {
+        self.check_window(window)?;
+        let spatials: Vec<BinaryHv> = window
+            .iter()
+            .map(|sample| self.spatial.encode_codes(sample.as_ref()))
+            .collect();
+        Ok(self.temporal.encode(&spatials))
+    }
+
+    /// Accumulates one training window for `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WindowError`] on shape mismatch or bad class index.
+    pub fn train_window<W: AsRef<[u16]>>(
+        &mut self,
+        class: usize,
+        window: &[W],
+    ) -> Result<(), WindowError> {
+        if class >= self.am.n_classes() {
+            return Err(WindowError::BadClass {
+                n_classes: self.am.n_classes(),
+                got: class,
+            });
+        }
+        let query = self.encode_window(window)?;
+        self.am.train(class, &query);
+        Ok(())
+    }
+
+    /// Re-thresholds all class prototypes after training.
+    pub fn finalize(&mut self) {
+        self.am.finalize();
+    }
+
+    /// Classifies one window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WindowError`] on shape mismatch.
+    pub fn predict<W: AsRef<[u16]>>(&self, window: &[W]) -> Result<Classification, WindowError> {
+        let query = self.encode_window(window)?;
+        Ok(self.am.classify_finalized(&query))
+    }
+
+    /// Classifies one window and, if a supervision label is supplied,
+    /// performs an online update of that class prototype.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WindowError`] on shape mismatch or bad label.
+    pub fn predict_and_adapt<W: AsRef<[u16]>>(
+        &mut self,
+        window: &[W],
+        label: Option<usize>,
+    ) -> Result<Classification, WindowError> {
+        let query = self.encode_window(window)?;
+        let result = self.am.classify(&query);
+        if let Some(class) = label {
+            if class >= self.am.n_classes() {
+                return Err(WindowError::BadClass {
+                    n_classes: self.am.n_classes(),
+                    got: class,
+                });
+            }
+            self.am.update_online(class, &query);
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HdConfig {
+        HdConfig {
+            n_words: 64,
+            channels: 4,
+            levels: 22,
+            ngram: 1,
+            window: 5,
+            seed: 42,
+        }
+    }
+
+    fn gesture_window(base: [u16; 4], jitter: u16, t_seed: u64) -> Vec<[u16; 4]> {
+        // Deterministic small jitter around a per-gesture activation level.
+        (0..5)
+            .map(|t| {
+                let mut s = base;
+                for (c, v) in s.iter_mut().enumerate() {
+                    let j = ((t_seed * 31 + t as u64 * 7 + c as u64 * 13) % u64::from(jitter.max(1)))
+                        as u16;
+                    *v = v.saturating_add(j);
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trains_and_classifies_separable_gestures() {
+        let mut clf = HdClassifier::new(config(), 3).unwrap();
+        let bases = [
+            [2_000u16, 3_000, 2_500, 1_500],
+            [40_000, 8_000, 30_000, 5_000],
+            [10_000, 50_000, 9_000, 45_000],
+        ];
+        for (class, base) in bases.iter().enumerate() {
+            for rep in 0..6 {
+                clf.train_window(class, &gesture_window(*base, 3000, rep))
+                    .unwrap();
+            }
+        }
+        clf.finalize();
+        for (class, base) in bases.iter().enumerate() {
+            for rep in 10..14 {
+                let window = gesture_window(*base, 3000, rep);
+                assert_eq!(clf.predict(&window).unwrap().class(), class);
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_inconsistencies() {
+        assert_eq!(
+            HdConfig { ngram: 7, window: 5, ..config() }.validate(),
+            Err(ConfigError::WindowShorterThanNgram { window: 5, ngram: 7 })
+        );
+        assert_eq!(
+            HdConfig { levels: 1, ..config() }.validate(),
+            Err(ConfigError::TooFewLevels(1))
+        );
+        assert_eq!(
+            HdConfig { channels: 0, ..config() }.validate(),
+            Err(ConfigError::ZeroChannels)
+        );
+        assert!(config().validate().is_ok());
+    }
+
+    #[test]
+    fn window_shape_errors_are_reported() {
+        let clf = HdClassifier::new(config(), 2).unwrap();
+        let short: Vec<[u16; 4]> = vec![[0; 4]; 3];
+        assert_eq!(
+            clf.encode_window(&short).unwrap_err(),
+            WindowError::WrongLength { expected: 5, got: 3 }
+        );
+        let ragged: Vec<Vec<u16>> = vec![vec![0; 4], vec![0; 3], vec![0; 4], vec![0; 4], vec![0; 4]];
+        assert_eq!(
+            clf.encode_window(&ragged).unwrap_err(),
+            WindowError::WrongChannels { expected: 4, got: 3, at_sample: 1 }
+        );
+    }
+
+    #[test]
+    fn bad_class_rejected() {
+        let mut clf = HdClassifier::new(config(), 2).unwrap();
+        let window = vec![[0u16; 4]; 5];
+        assert_eq!(
+            clf.train_window(7, &window).unwrap_err(),
+            WindowError::BadClass { n_classes: 2, got: 7 }
+        );
+    }
+
+    #[test]
+    fn with_dim_rounds_up_to_words() {
+        let c = config().with_dim(10_000);
+        assert_eq!(c.n_words, 313);
+        let c = config().with_dim(200);
+        assert_eq!(c.n_words, 7);
+    }
+
+    #[test]
+    fn encode_window_is_deterministic_across_instances() {
+        let clf1 = HdClassifier::new(config(), 2).unwrap();
+        let clf2 = HdClassifier::new(config(), 2).unwrap();
+        let window = gesture_window([5_000, 9_000, 1_000, 60_000], 500, 3);
+        assert_eq!(
+            clf1.encode_window(&window).unwrap(),
+            clf2.encode_window(&window).unwrap()
+        );
+    }
+
+    #[test]
+    fn ngram_config_changes_encoding() {
+        let clf1 = HdClassifier::new(config(), 2).unwrap();
+        let clf3 = HdClassifier::new(HdConfig { ngram: 3, ..config() }, 2).unwrap();
+        let window = gesture_window([5_000, 9_000, 1_000, 60_000], 500, 3);
+        let q1 = clf1.encode_window(&window).unwrap();
+        let q3 = clf3.encode_window(&window).unwrap();
+        assert!(q1.normalized_hamming(&q3) > 0.2, "N must affect the query");
+    }
+
+    #[test]
+    fn predict_and_adapt_improves_on_drifted_data() {
+        let mut clf = HdClassifier::new(config(), 2).unwrap();
+        let base0 = [2_000u16, 3_000, 2_500, 1_500];
+        let base1 = [55_000u16, 60_000, 52_000, 58_000];
+        for rep in 0..6 {
+            clf.train_window(0, &gesture_window(base0, 2000, rep)).unwrap();
+            clf.train_window(1, &gesture_window(base1, 2000, rep)).unwrap();
+        }
+        clf.finalize();
+
+        // Class 1 drifts to a lower amplitude regime.
+        let drifted = [30_000u16, 36_000, 28_000, 33_000];
+        let mut correct_before = 0;
+        for rep in 0..5 {
+            let w = gesture_window(drifted, 2000, 100 + rep);
+            if clf.predict(&w).unwrap().class() == 1 {
+                correct_before += 1;
+            }
+        }
+        // Adapt online with labels.
+        for rep in 0..10 {
+            let w = gesture_window(drifted, 2000, 200 + rep);
+            let _ = clf.predict_and_adapt(&w, Some(1)).unwrap();
+        }
+        let mut correct_after = 0;
+        for rep in 0..5 {
+            let w = gesture_window(drifted, 2000, 100 + rep);
+            if clf.predict(&w).unwrap().class() == 1 {
+                correct_after += 1;
+            }
+        }
+        assert!(
+            correct_after >= correct_before,
+            "online adaptation should not hurt: {correct_before} -> {correct_after}"
+        );
+        assert!(correct_after >= 4, "adapted model should track the drift");
+    }
+}

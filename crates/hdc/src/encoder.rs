@@ -1,0 +1,343 @@
+//! Spatial and temporal encoders.
+//!
+//! The spatial encoder represents the set of all channel–value pairs at
+//! one timestamp: each channel's item hypervector is *bound* (XOR) to the
+//! hypervector of its quantized signal level, and the bound vectors are
+//! *bundled* (componentwise majority) into one spatial hypervector
+//! `Sₜ = [(E₁⊕V₁ᵗ) + … + (E𝒸⊕V𝒸ᵗ)]`.
+//!
+//! The temporal encoder turns a sequence of `N` spatial hypervectors into
+//! an N-gram by rotation and binding:
+//! `Sₜ ⊕ ρ¹Sₜ₊₁ ⊕ ρ²Sₜ₊₂ ⊕ … ⊕ ρᴺ⁻¹Sₜ₊ₙ₋₁`, and a classification window's
+//! N-grams are bundled into the final query hypervector.
+
+use crate::bundle::majority_paper;
+use crate::hv::BinaryHv;
+use crate::item_memory::{quantize_code, ContinuousItemMemory, ItemMemory};
+use crate::rng::derive_seed;
+
+/// Spatial encoder: fixed IM + CIM plus the bind-and-bundle step.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::SpatialEncoder;
+///
+/// let enc = SpatialEncoder::new(4, 22, 313, 42);
+/// let calm = enc.encode_codes(&[100, 200, 150, 120]);
+/// let tense = enc.encode_codes(&[60_000, 58_000, 61_000, 59_500]);
+/// // Different channel activity maps far apart in HD space.
+/// assert!(calm.normalized_hamming(&tense) > 0.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialEncoder {
+    im: ItemMemory,
+    cim: ContinuousItemMemory,
+    channels: usize,
+}
+
+impl SpatialEncoder {
+    /// Creates an encoder for `channels` input channels quantized to
+    /// `n_levels` amplitude levels, with hypervectors of `n_words` words.
+    ///
+    /// IM and CIM seeds are derived from `master_seed` (streams 1 and 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`, `n_levels < 2`, or `n_words == 0`.
+    #[must_use]
+    pub fn new(channels: usize, n_levels: usize, n_words: usize, master_seed: u64) -> Self {
+        assert!(channels > 0, "spatial encoder needs at least one channel");
+        Self {
+            im: ItemMemory::new(channels, n_words, derive_seed(master_seed, 1)),
+            cim: ContinuousItemMemory::new(n_levels, n_words, derive_seed(master_seed, 2)),
+            channels,
+        }
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of quantization levels.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        self.cim.n_levels()
+    }
+
+    /// Hypervector width in words.
+    #[must_use]
+    pub fn n_words(&self) -> usize {
+        self.im.get(0).n_words()
+    }
+
+    /// The channel item memory (exposed so the accelerator loader can copy
+    /// it into simulated L2).
+    #[must_use]
+    pub fn im(&self) -> &ItemMemory {
+        &self.im
+    }
+
+    /// The level continuous item memory.
+    #[must_use]
+    pub fn cim(&self) -> &ContinuousItemMemory {
+        &self.cim
+    }
+
+    /// Quantizes one sample per channel and encodes the spatial
+    /// hypervector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != self.channels()`.
+    #[must_use]
+    pub fn encode_codes(&self, codes: &[u16]) -> BinaryHv {
+        let levels: Vec<usize> = codes
+            .iter()
+            .map(|&c| quantize_code(c, self.cim.n_levels()))
+            .collect();
+        self.encode_levels(&levels)
+    }
+
+    /// Encodes already-quantized level indices.
+    ///
+    /// With an even channel count, the majority vote includes the paper's
+    /// tie-break vector (XOR of the first two bound hypervectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != self.channels()` or any level index is
+    /// out of range.
+    #[must_use]
+    pub fn encode_levels(&self, levels: &[usize]) -> BinaryHv {
+        assert_eq!(
+            levels.len(),
+            self.channels,
+            "expected {} channel levels, got {}",
+            self.channels,
+            levels.len()
+        );
+        let bound: Vec<BinaryHv> = levels
+            .iter()
+            .enumerate()
+            .map(|(ch, &lvl)| self.im.get(ch).bind(self.cim.get(lvl)))
+            .collect();
+        majority_paper(&bound)
+    }
+}
+
+/// Encodes a sequence of `hvs.len()` hypervectors into one N-gram:
+/// `hvs[0] ⊕ ρ¹hvs[1] ⊕ … ⊕ ρᴺ⁻¹hvs[N−1]`.
+///
+/// # Panics
+///
+/// Panics if `hvs` is empty or widths differ.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{BinaryHv, encoder::ngram};
+///
+/// let a = BinaryHv::random(313, 1);
+/// let b = BinaryHv::random(313, 2);
+/// // Order matters: (a, b) and (b, a) give different sequence codes.
+/// let ab = ngram(&[a.clone(), b.clone()]);
+/// let ba = ngram(&[b, a]);
+/// assert!(ab.normalized_hamming(&ba) > 0.4);
+/// ```
+#[must_use]
+pub fn ngram(hvs: &[BinaryHv]) -> BinaryHv {
+    assert!(!hvs.is_empty(), "n-gram of an empty sequence is undefined");
+    let mut out = hvs[0].clone();
+    for (k, hv) in hvs.iter().enumerate().skip(1) {
+        out.bind_assign(&hv.rotate(k));
+    }
+    out
+}
+
+/// Temporal encoder: slides an N-gram window over the spatial
+/// hypervectors of a classification window and bundles the N-grams into
+/// the query hypervector.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{BinaryHv, TemporalEncoder};
+///
+/// let enc = TemporalEncoder::new(3);
+/// let spatials: Vec<BinaryHv> = (0..5).map(|s| BinaryHv::random(313, s)).collect();
+/// let query = enc.encode(&spatials);
+/// assert_eq!(query.n_words(), 313);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalEncoder {
+    n: usize,
+}
+
+impl TemporalEncoder {
+    /// Creates a temporal encoder with N-gram size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n-gram size must be at least 1");
+        Self { n }
+    }
+
+    /// The N-gram size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of N-grams produced from a window of `window_len` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is shorter than the N-gram size.
+    #[must_use]
+    pub fn n_grams_in(&self, window_len: usize) -> usize {
+        assert!(
+            window_len >= self.n,
+            "window of {window_len} samples cannot hold an {}-gram",
+            self.n
+        );
+        window_len - self.n + 1
+    }
+
+    /// Encodes a window of spatial hypervectors into the query
+    /// hypervector: all `window_len − N + 1` N-grams, bundled with the
+    /// paper's majority (XOR tie-break when the count is even).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is shorter than the N-gram size.
+    #[must_use]
+    pub fn encode(&self, spatials: &[BinaryHv]) -> BinaryHv {
+        let count = self.n_grams_in(spatials.len());
+        let grams: Vec<BinaryHv> = (0..count)
+            .map(|t| ngram(&spatials[t..t + self.n]))
+            .collect();
+        majority_paper(&grams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_encoding_is_deterministic() {
+        let enc = SpatialEncoder::new(4, 22, 313, 7);
+        let codes = [100u16, 40_000, 20_000, 65_000];
+        assert_eq!(enc.encode_codes(&codes), enc.encode_codes(&codes));
+    }
+
+    #[test]
+    fn spatial_output_similar_to_every_bound_input() {
+        let enc = SpatialEncoder::new(5, 22, 313, 7);
+        let levels = [0usize, 5, 10, 15, 21];
+        let s = enc.encode_levels(&levels);
+        for (ch, &lvl) in levels.iter().enumerate() {
+            let bound = enc.im().get(ch).bind(enc.cim().get(lvl));
+            let d = s.normalized_hamming(&bound);
+            assert!(d < 0.40, "channel {ch} distance {d}");
+        }
+    }
+
+    #[test]
+    fn spatial_sensitive_to_level_changes() {
+        let enc = SpatialEncoder::new(4, 22, 313, 7);
+        let a = enc.encode_levels(&[0, 0, 0, 0]);
+        let b = enc.encode_levels(&[21, 21, 21, 21]);
+        assert!(a.normalized_hamming(&b) > 0.3);
+    }
+
+    #[test]
+    fn spatial_smooth_in_level_space() {
+        // Nearby levels → nearby spatial hypervectors (CIM locality
+        // survives the encoder).
+        let enc = SpatialEncoder::new(4, 22, 313, 7);
+        let a = enc.encode_levels(&[10, 10, 10, 10]);
+        let near = enc.encode_levels(&[11, 10, 10, 10]);
+        let far = enc.encode_levels(&[21, 0, 21, 0]);
+        assert!(a.normalized_hamming(&near) < a.normalized_hamming(&far));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 4 channel levels")]
+    fn wrong_channel_count_panics() {
+        let enc = SpatialEncoder::new(4, 22, 16, 7);
+        let _ = enc.encode_levels(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn unigram_is_identity() {
+        let a = BinaryHv::random(32, 1);
+        assert_eq!(ngram(std::slice::from_ref(&a)), a);
+    }
+
+    #[test]
+    fn ngram_matches_manual_expansion() {
+        let a = BinaryHv::random(16, 1);
+        let b = BinaryHv::random(16, 2);
+        let c = BinaryHv::random(16, 3);
+        let manual = a.bind(&b.rotate(1)).bind(&c.rotate(2));
+        assert_eq!(ngram(&[a, b, c]), manual);
+    }
+
+    #[test]
+    fn ngram_is_order_sensitive() {
+        let a = BinaryHv::random(313, 1);
+        let b = BinaryHv::random(313, 2);
+        let c = BinaryHv::random(313, 3);
+        let abc = ngram(&[a.clone(), b.clone(), c.clone()]);
+        let cba = ngram(&[c, b, a]);
+        assert!(abc.normalized_hamming(&cba) > 0.4);
+    }
+
+    #[test]
+    fn temporal_encoder_window_counts() {
+        let enc = TemporalEncoder::new(3);
+        assert_eq!(enc.n_grams_in(3), 1);
+        assert_eq!(enc.n_grams_in(7), 5);
+    }
+
+    #[test]
+    fn temporal_n1_is_plain_bundle_of_spatials() {
+        let enc = TemporalEncoder::new(1);
+        let spatials: Vec<BinaryHv> = (0..5).map(|s| BinaryHv::random(64, s)).collect();
+        let q = enc.encode(&spatials);
+        assert_eq!(q, majority_paper(&spatials));
+    }
+
+    #[test]
+    fn temporal_window_equal_to_n_returns_single_gram() {
+        let enc = TemporalEncoder::new(4);
+        let spatials: Vec<BinaryHv> = (0..4).map(|s| BinaryHv::random(64, s)).collect();
+        assert_eq!(enc.encode(&spatials), ngram(&spatials));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn short_window_panics() {
+        let enc = TemporalEncoder::new(5);
+        let spatials: Vec<BinaryHv> = (0..3).map(|s| BinaryHv::random(8, s)).collect();
+        let _ = enc.encode(&spatials);
+    }
+
+    #[test]
+    fn query_similar_to_constituent_ngrams() {
+        let enc = TemporalEncoder::new(2);
+        let spatials: Vec<BinaryHv> = (0..6).map(|s| BinaryHv::random(313, s)).collect();
+        let q = enc.encode(&spatials);
+        for t in 0..5 {
+            let g = ngram(&spatials[t..t + 2]);
+            assert!(q.normalized_hamming(&g) < 0.45, "gram {t}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the HD-computing invariants the paper's
+//! algorithm relies on.
+
+use proptest::prelude::*;
+
+use hdc::bundle::{majority_odd_bitsliced, majority_paper};
+use hdc::{quantize_code, BinaryHv, Bundler, TieBreak};
+
+fn hv(words: usize, seed: u64) -> BinaryHv {
+    BinaryHv::random(words, seed)
+}
+
+proptest! {
+    /// Binding is an involution and preserves Hamming distance.
+    #[test]
+    fn bind_involution_and_isometry(words in 1usize..40, s1 in 0u64..1000, s2 in 0u64..1000, s3 in 0u64..1000) {
+        let a = hv(words, s1);
+        let b = hv(words, s2);
+        let c = hv(words, s3);
+        prop_assert_eq!(a.bind(&b).bind(&b), a.clone());
+        // d(a⊕c, b⊕c) = d(a, b): XOR by a common vector is an isometry.
+        prop_assert_eq!(a.bind(&c).hamming(&b.bind(&c)), a.hamming(&b));
+    }
+
+    /// Hamming distance satisfies the metric axioms.
+    #[test]
+    fn hamming_is_a_metric(words in 1usize..30, s1 in 0u64..500, s2 in 0u64..500, s3 in 0u64..500) {
+        let a = hv(words, s1);
+        let b = hv(words, s2);
+        let c = hv(words, s3);
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+        if s1 != s2 && words > 2 {
+            prop_assert!(a.hamming(&b) > 0, "distinct seeds collide");
+        }
+    }
+
+    /// Rotation is a distance-preserving bijection that composes
+    /// additively modulo the dimension.
+    #[test]
+    fn rotation_group_structure(words in 1usize..20, s in 0u64..500, j in 0usize..700, k in 0usize..700) {
+        let a = hv(words, s);
+        let dim = a.dim();
+        prop_assert_eq!(a.rotate(j).rotate(k), a.rotate((j + k) % dim));
+        prop_assert_eq!(a.rotate(j).rotate(dim - (j % dim)), a.clone());
+        let b = hv(words, s ^ 0xABCD);
+        prop_assert_eq!(a.rotate(k).hamming(&b.rotate(k)), a.hamming(&b));
+    }
+
+    /// The componentwise majority is the 1-median of the input multiset:
+    /// no other vector has a smaller total Hamming distance to the
+    /// inputs. Odd-count majorities are also order-invariant (no
+    /// tie-break involved).
+    #[test]
+    fn majority_minimizes_total_distance(words in 1usize..16, n in 1usize..9, seed in 0u64..200) {
+        let inputs: Vec<BinaryHv> = (0..n).map(|i| hv(words, seed * 31 + i as u64)).collect();
+        let m = majority_paper(&inputs);
+        let total = |y: &BinaryHv| -> u64 {
+            inputs.iter().map(|x| u64::from(y.hamming(x))).sum()
+        };
+        let m_total = total(&m);
+        for x in &inputs {
+            prop_assert!(m_total <= total(x));
+        }
+        for probe_seed in 0..4u64 {
+            let probe = hv(words, seed ^ (0xF00D + probe_seed));
+            prop_assert!(m_total <= total(&probe));
+        }
+        if n % 2 == 1 {
+            let mut reversed = inputs.clone();
+            reversed.reverse();
+            prop_assert_eq!(majority_paper(&reversed), m);
+        }
+    }
+
+    /// Bit-sliced majority ≡ counter majority for every odd count.
+    #[test]
+    fn bitsliced_equals_counters(words in 1usize..12, half in 0usize..6, seed in 0u64..200) {
+        let n = 2 * half + 1;
+        let inputs: Vec<BinaryHv> = (0..n).map(|i| hv(words, seed * 17 + i as u64)).collect();
+        let refs: Vec<&BinaryHv> = inputs.iter().collect();
+        let fast = majority_odd_bitsliced(&refs);
+        let mut bundler = Bundler::new(words);
+        for i in &inputs {
+            bundler.add(i);
+        }
+        prop_assert_eq!(fast, bundler.majority(TieBreak::Zero));
+    }
+
+    /// The quantizer is monotone, total, and hits the extreme levels.
+    #[test]
+    fn quantizer_properties(a in 0u16.., b in 0u16.., levels in 2usize..64) {
+        let qa = quantize_code(a, levels);
+        let qb = quantize_code(b, levels);
+        prop_assert!(qa < levels);
+        if a <= b {
+            prop_assert!(qa <= qb);
+        }
+        prop_assert_eq!(quantize_code(0, levels), 0);
+        prop_assert_eq!(quantize_code(u16::MAX, levels), levels - 1);
+    }
+
+    /// Bit-flip count equals the resulting Hamming distance (fault
+    /// injection is exact).
+    #[test]
+    fn fault_injection_is_exact(words in 1usize..20, seed in 0u64..300, frac in 0u32..100) {
+        let a = hv(words, seed);
+        let flips = (a.dim() as u32 * frac / 100) as usize;
+        prop_assert_eq!(a.with_bit_flips(flips, seed ^ 1).hamming(&a) as usize, flips);
+    }
+}

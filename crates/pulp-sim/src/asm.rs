@@ -1,0 +1,704 @@
+//! Assembler DSL for authoring kernel programs.
+//!
+//! Programs for the simulated cluster are built in Rust through
+//! [`Assembler`], which provides one method per instruction plus the
+//! usual pseudo-instructions and label-based control flow. The PULP-HD
+//! kernels in `pulp-hd-core` are written against this API.
+//!
+//! # Examples
+//!
+//! A loop summing the words of an array:
+//!
+//! ```
+//! use pulp_sim::asm::Assembler;
+//! use pulp_sim::isa::regs::*;
+//!
+//! let mut a = Assembler::new();
+//! // a0 = base, a1 = word count; returns sum in a0.
+//! a.li(T0, 0);
+//! a.label("loop");
+//! a.lw(T1, A0, 0);
+//! a.addi(A0, A0, 4);
+//! a.add(T0, T0, T1);
+//! a.addi(A1, A1, -1);
+//! a.bnez(A1, "loop");
+//! a.mv(A0, T0);
+//! a.halt();
+//! let program = a.finish()?;
+//! assert_eq!(program.len(), 8);
+//! # Ok::<(), pulp_sim::asm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{AluOp, BranchCond, Inst, MemWidth, Reg};
+
+/// Error produced when finishing an assembly unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A hardware loop body is empty or inverted.
+    EmptyLoopBody {
+        /// Start label of the loop.
+        start: String,
+        /// End label of the loop.
+        end: String,
+    },
+    /// The program has no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            Self::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            Self::EmptyLoopBody { start, end } => {
+                write!(f, "hardware loop body `{start}`..`{end}` is empty")
+            }
+            Self::EmptyProgram => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A finished, label-resolved program.
+///
+/// Shared by all cores of a cluster (SPMD execution model).
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Inst>,
+    labels: HashMap<String, u32>,
+    comments: HashMap<u32, String>,
+}
+
+impl Program {
+    /// The instruction at `index`.
+    #[must_use]
+    pub fn inst(&self, index: u32) -> Option<&Inst> {
+        self.insts.get(index as usize)
+    }
+
+    /// All instructions in order.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty (never true for an assembled one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Resolved index of `label`, if defined.
+    #[must_use]
+    pub fn label(&self, label: &str) -> Option<u32> {
+        self.labels.get(label).copied()
+    }
+
+    /// A human-readable listing with labels and comments, for debugging
+    /// kernels.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut by_index: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, &idx) in &self.labels {
+            by_index.entry(idx).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let i = i as u32;
+            if let Some(names) = by_index.get(&i) {
+                for name in names {
+                    out.push_str(name);
+                    out.push_str(":\n");
+                }
+            }
+            if let Some(c) = self.comments.get(&i) {
+                out.push_str(&format!("    {inst:<40} ; {c}\n"));
+            } else {
+                out.push_str(&format!("    {inst}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    Branch { inst: usize, label: String },
+    Jal { inst: usize, label: String },
+    LpSetup { inst: usize, start: String, end: String },
+}
+
+/// Incremental program builder with label resolution.
+///
+/// See the [module documentation](self) for an example.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    insts: Vec<Inst>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<Fixup>,
+    comments: HashMap<u32, String>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current instruction index (where the next instruction will land).
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition (programming error in the kernel
+    /// generator, caught immediately).
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_owned(), self.here());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    /// Attaches a comment to the next emitted instruction (shows up in
+    /// [`Program::listing`]).
+    pub fn comment(&mut self, text: &str) {
+        self.comments.insert(self.here(), text.to_owned());
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    // --- ALU register-register ---------------------------------------
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 << (rs2 & 31)`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 >> (rs2 & 31)` (logical).
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 >> (rs2 & 31)` (arithmetic).
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Sra, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 <ₛ rs2) ? 1 : 0`.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 <ᵤ rs2) ? 1 : 0`.
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 * rs2` (low 32 bits).
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `rd = (rs1 * rs2) >> 32` (unsigned high product).
+    pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(Inst::Alu { op: AluOp::Mulhu, rd, rs1, rs2 });
+    }
+
+    // --- ALU immediate -------------------------------------------------
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::And, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 | imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Or, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 << shamt`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: u8) {
+        self.push(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm: i32::from(shamt) });
+    }
+
+    /// `rd = rs1 >> shamt` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: u8) {
+        self.push(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm: i32::from(shamt) });
+    }
+
+    /// `rd = rs1 >> shamt` (arithmetic).
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: u8) {
+        self.push(Inst::AluImm { op: AluOp::Sra, rd, rs1, imm: i32::from(shamt) });
+    }
+
+    /// `rd = (rs1 <ₛ imm) ? 1 : 0`.
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm });
+    }
+
+    /// `rd = (rs1 <ᵤ imm) ? 1 : 0`.
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(Inst::AluImm { op: AluOp::Sltu, rd, rs1, imm });
+    }
+
+    /// `rd = imm` (any 32-bit value).
+    pub fn li(&mut self, rd: Reg, imm: u32) {
+        self.push(Inst::Li { rd, imm });
+    }
+
+    /// `rd = rs` (pseudo: `addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// No-operation (pseudo: `addi x0, x0, 0`).
+    pub fn nop(&mut self) {
+        self.addi(crate::isa::regs::ZERO, crate::isa::regs::ZERO, 0);
+    }
+
+    // --- Memory ----------------------------------------------------------
+
+    /// `rd = mem32[base + offset]`.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Load { width: MemWidth::Word, rd, base, offset });
+    }
+
+    /// `rd = zext(mem16[base + offset])`.
+    pub fn lhu(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Load { width: MemWidth::Half, rd, base, offset });
+    }
+
+    /// `rd = zext(mem8[base + offset])`.
+    pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Load { width: MemWidth::Byte, rd, base, offset });
+    }
+
+    /// `mem32[base + offset] = src`.
+    pub fn sw(&mut self, src: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Store { width: MemWidth::Word, src, base, offset });
+    }
+
+    /// `mem16[base + offset] = src[15:0]`.
+    pub fn sh(&mut self, src: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Store { width: MemWidth::Half, src, base, offset });
+    }
+
+    /// `mem8[base + offset] = src[7:0]`.
+    pub fn sb(&mut self, src: Reg, base: Reg, offset: i32) {
+        self.push(Inst::Store { width: MemWidth::Byte, src, base, offset });
+    }
+
+    /// Post-increment word load: `rd = mem32[base]; base += inc`
+    /// (XpulpV2 only).
+    pub fn lw_post(&mut self, rd: Reg, base: Reg, inc: i32) {
+        self.push(Inst::LoadPost { width: MemWidth::Word, rd, base, inc });
+    }
+
+    /// Post-increment halfword load (XpulpV2 only).
+    pub fn lhu_post(&mut self, rd: Reg, base: Reg, inc: i32) {
+        self.push(Inst::LoadPost { width: MemWidth::Half, rd, base, inc });
+    }
+
+    /// Post-increment word store (XpulpV2 only).
+    pub fn sw_post(&mut self, src: Reg, base: Reg, inc: i32) {
+        self.push(Inst::StorePost { width: MemWidth::Word, src, base, inc });
+    }
+
+    // --- Control flow ------------------------------------------------------
+
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) {
+        self.fixups.push(Fixup::Branch {
+            inst: self.insts.len(),
+            label: label.to_owned(),
+        });
+        self.push(Inst::Branch { cond, rs1, rs2, target: u32::MAX });
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Eq, rs1, rs2, label);
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ne, rs1, rs2, label);
+    }
+
+    /// Branch if signed less-than.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Lt, rs1, rs2, label);
+    }
+
+    /// Branch if signed greater-or-equal.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ge, rs1, rs2, label);
+    }
+
+    /// Branch if unsigned less-than.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ltu, rs1, rs2, label);
+    }
+
+    /// Branch if unsigned greater-or-equal.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Geu, rs1, rs2, label);
+    }
+
+    /// Branch if zero (pseudo).
+    pub fn beqz(&mut self, rs1: Reg, label: &str) {
+        self.beq(rs1, crate::isa::regs::ZERO, label);
+    }
+
+    /// Branch if nonzero (pseudo).
+    pub fn bnez(&mut self, rs1: Reg, label: &str) {
+        self.bne(rs1, crate::isa::regs::ZERO, label);
+    }
+
+    /// Unconditional jump (pseudo: `jal x0, label`).
+    pub fn j(&mut self, label: &str) {
+        self.fixups.push(Fixup::Jal {
+            inst: self.insts.len(),
+            label: label.to_owned(),
+        });
+        self.push(Inst::Jal { rd: crate::isa::regs::ZERO, target: u32::MAX });
+    }
+
+    /// Indirect jump to the instruction index in `rs1`, linking into
+    /// `rd`.
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg) {
+        self.push(Inst::Jalr { rd, rs1 });
+    }
+
+    /// Subroutine return (pseudo: `jalr x0, ra`).
+    pub fn ret(&mut self) {
+        self.jalr(crate::isa::regs::ZERO, crate::isa::regs::RA);
+    }
+
+    /// Subroutine call (pseudo: `jal ra, label`).
+    pub fn call(&mut self, label: &str) {
+        self.jal(crate::isa::regs::RA, label);
+    }
+
+    /// Jump and link.
+    pub fn jal(&mut self, rd: Reg, label: &str) {
+        self.fixups.push(Fixup::Jal {
+            inst: self.insts.len(),
+            label: label.to_owned(),
+        });
+        self.push(Inst::Jal { rd, target: u32::MAX });
+    }
+
+    /// Hardware loop (XpulpV2 only): repeats the body between
+    /// `start_label` and `end_label` for the iteration count in `count`.
+    /// `end_label` must be placed *after* the last body instruction.
+    pub fn lp_setup(&mut self, count: Reg, start_label: &str, end_label: &str) {
+        self.fixups.push(Fixup::LpSetup {
+            inst: self.insts.len(),
+            start: start_label.to_owned(),
+            end: end_label.to_owned(),
+        });
+        self.push(Inst::LpSetup { count, body_start: u32::MAX, body_end: u32::MAX });
+    }
+
+    // --- XpulpV2 bit manipulation -----------------------------------------
+
+    /// `p.cnt rd, rs1` — population count (XpulpV2 only).
+    pub fn p_cnt(&mut self, rd: Reg, rs1: Reg) {
+        self.push(Inst::PCnt { rd, rs1 });
+    }
+
+    /// `p.extractu rd, rs1, len, pos` (XpulpV2 only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit field is empty or exceeds 32 bits.
+    pub fn p_extractu(&mut self, rd: Reg, rs1: Reg, len: u8, pos: u8) {
+        assert!(len >= 1 && pos < 32 && u32::from(len) + u32::from(pos) <= 32);
+        self.push(Inst::PExtractU { rd, rs1, len, pos });
+    }
+
+    /// `p.insert rd, rs1, len, pos` (XpulpV2 only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit field is empty or exceeds 32 bits.
+    pub fn p_insert(&mut self, rd: Reg, rs1: Reg, len: u8, pos: u8) {
+        assert!(len >= 1 && pos < 32 && u32::from(len) + u32::from(pos) <= 32);
+        self.push(Inst::PInsert { rd, rs1, len, pos });
+    }
+
+    // --- Cluster ------------------------------------------------------------
+
+    /// `rd = core id`.
+    pub fn coreid(&mut self, rd: Reg) {
+        self.push(Inst::CoreId { rd });
+    }
+
+    /// `rd = cluster core count`.
+    pub fn numcores(&mut self, rd: Reg) {
+        self.push(Inst::NumCores { rd });
+    }
+
+    /// Cluster barrier.
+    pub fn barrier(&mut self) {
+        self.push(Inst::Barrier);
+    }
+
+    /// OpenMP parallel-region entry cost marker.
+    pub fn fork(&mut self) {
+        self.push(Inst::Fork);
+    }
+
+    /// Start a DMA transfer from the descriptor pointed to by `desc`.
+    pub fn dma_start(&mut self, rd: Reg, desc: Reg) {
+        self.push(Inst::DmaStart { rd, desc });
+    }
+
+    /// Wait for the DMA transfer id in `rs1`.
+    pub fn dma_wait(&mut self, rs1: Reg) {
+        self.push(Inst::DmaWait { rs1 });
+    }
+
+    /// Statistics region marker.
+    pub fn marker(&mut self, id: u32) {
+        self.push(Inst::Marker { id });
+    }
+
+    /// Stop this core.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt);
+    }
+
+    /// Resolves all labels and returns the finished program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined labels, empty hardware-loop
+    /// bodies, or an empty program.
+    pub fn finish(self) -> Result<Program, AsmError> {
+        let Self {
+            mut insts,
+            labels,
+            fixups,
+            comments,
+        } = self;
+        if insts.is_empty() {
+            return Err(AsmError::EmptyProgram);
+        }
+        let resolve = |label: &str| -> Result<u32, AsmError> {
+            labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(label.to_owned()))
+        };
+        for fixup in fixups {
+            match fixup {
+                Fixup::Branch { inst, label } => {
+                    let target = resolve(&label)?;
+                    if let Inst::Branch { target: t, .. } = &mut insts[inst] {
+                        *t = target;
+                    }
+                }
+                Fixup::Jal { inst, label } => {
+                    let target = resolve(&label)?;
+                    if let Inst::Jal { target: t, .. } = &mut insts[inst] {
+                        *t = target;
+                    }
+                }
+                Fixup::LpSetup { inst, start, end } => {
+                    let s = resolve(&start)?;
+                    let e = resolve(&end)?;
+                    if e == 0 || s > e - 1 {
+                        return Err(AsmError::EmptyLoopBody { start, end });
+                    }
+                    if let Inst::LpSetup { body_start, body_end, .. } = &mut insts[inst] {
+                        *body_start = s;
+                        *body_end = e - 1;
+                    }
+                }
+            }
+        }
+        Ok(Program { insts, labels, comments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::regs::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut a = Assembler::new();
+        a.label("start");
+        a.addi(T0, T0, 1);
+        a.bne(T0, T1, "start");
+        a.beq(T0, T1, "done");
+        a.j("start");
+        a.label("done");
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.label("done"), Some(4));
+        match p.inst(1).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(*target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.inst(2).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(*target, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.j("nowhere");
+        a.halt();
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics_eagerly() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(Assembler::new().finish().unwrap_err(), AsmError::EmptyProgram);
+    }
+
+    #[test]
+    fn hw_loop_bounds_resolve_to_inclusive_body() {
+        let mut a = Assembler::new();
+        a.li(T0, 4);
+        a.lp_setup(T0, "body", "body_end");
+        a.label("body");
+        a.addi(T1, T1, 1);
+        a.addi(T2, T2, 2);
+        a.label("body_end");
+        a.halt();
+        let p = a.finish().unwrap();
+        match p.inst(1).unwrap() {
+            Inst::LpSetup { body_start, body_end, .. } => {
+                assert_eq!(*body_start, 2);
+                assert_eq!(*body_end, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_hw_loop_body_is_an_error() {
+        let mut a = Assembler::new();
+        a.li(T0, 4);
+        a.lp_setup(T0, "b", "b");
+        a.label("b");
+        a.halt();
+        assert!(matches!(
+            a.finish().unwrap_err(),
+            AsmError::EmptyLoopBody { .. }
+        ));
+    }
+
+    #[test]
+    fn listing_shows_labels_and_comments() {
+        let mut a = Assembler::new();
+        a.label("entry");
+        a.comment("initialize accumulator");
+        a.li(T0, 0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let listing = p.listing();
+        assert!(listing.contains("entry:"));
+        assert!(listing.contains("; initialize accumulator"));
+        assert!(listing.contains("halt"));
+    }
+
+    #[test]
+    fn pseudo_instructions_expand_correctly() {
+        let mut a = Assembler::new();
+        a.mv(T0, T1);
+        a.nop();
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(
+            p.inst(0).unwrap(),
+            &Inst::AluImm { op: AluOp::Add, rd: T0, rs1: T1, imm: 0 }
+        );
+        assert_eq!(
+            p.inst(1).unwrap(),
+            &Inst::AluImm { op: AluOp::Add, rd: ZERO, rs1: ZERO, imm: 0 }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn p_extract_field_validation() {
+        let mut a = Assembler::new();
+        a.p_extractu(T0, T1, 8, 28); // 8 + 28 > 32
+    }
+}

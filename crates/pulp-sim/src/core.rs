@@ -1,0 +1,415 @@
+//! Single-core architectural state and instruction execution.
+//!
+//! A [`Core`] is an in-order, single-issue machine. Instruction *effects*
+//! (register/memory updates) are applied immediately at execute time;
+//! instruction *timing* is modelled by `ready_at` (the cycle at which the
+//! next instruction may issue) plus explicit wait states for memory
+//! arbitration, barriers, and DMA. Memory requests do not complete inside
+//! [`execute_one`] — they park the core in [`Status::MemWait`] and are
+//! granted by the cluster's bank/port arbiter, which is where TCDM
+//! contention arises.
+
+use crate::asm::Program;
+use crate::config::ClusterConfig;
+use crate::dma::DmaEngine;
+use crate::isa::{AluOp, BranchCond, Inst, MemWidth, Reg};
+use crate::stats::CoreStats;
+use crate::SimError;
+
+/// A pending memory access awaiting a bank/port grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingMem {
+    pub addr: u32,
+    pub width: MemWidth,
+    /// `Some(value)` for stores, `None` for loads.
+    pub store_value: Option<u32>,
+    /// Destination register for loads.
+    pub rd: Option<Reg>,
+}
+
+/// Execution status of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Fetching/executing when `cycle >= ready_at`.
+    Running,
+    /// Waiting for a memory grant.
+    MemWait(PendingMem),
+    /// Arrived at a barrier.
+    BarrierWait,
+    /// Waiting for a DMA transfer to complete.
+    DmaWait(u32),
+    /// Stopped.
+    Halted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HwLoop {
+    start: u32,
+    end: u32,
+    remaining: u32,
+}
+
+/// Maximum hardware-loop nesting depth (RI5CY has two loop register sets).
+const MAX_HW_LOOPS: usize = 2;
+
+/// One simulated core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    id: usize,
+    regs: [u32; 32],
+    pc: u32,
+    hw_loops: Vec<HwLoop>,
+    pub(crate) status: Status,
+    pub(crate) ready_at: u64,
+    pub(crate) stats: CoreStats,
+}
+
+impl Core {
+    pub(crate) fn new(id: usize) -> Self {
+        Self {
+            id,
+            regs: [0; 32],
+            pc: 0,
+            hw_loops: Vec::new(),
+            status: Status::Running,
+            ready_at: 0,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Core id within the cluster.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current program counter (instruction index).
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Reads an architectural register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    pub(crate) fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.regs = [0; 32];
+        self.pc = 0;
+        self.hw_loops.clear();
+        self.status = Status::Running;
+        self.ready_at = 0;
+        self.stats = CoreStats::default();
+    }
+
+    /// Applies hardware-loop back-edges after executing the instruction at
+    /// `executed`, given the sequentially computed `next_pc`.
+    fn apply_hw_loop(&mut self, executed: u32, next_pc: u32) -> u32 {
+        if let Some(top) = self.hw_loops.last_mut() {
+            if executed == top.end {
+                if top.remaining > 1 {
+                    top.remaining -= 1;
+                    return top.start;
+                }
+                self.hw_loops.pop();
+            }
+        }
+        next_pc
+    }
+}
+
+/// Everything [`execute_one`] needs from the cluster.
+pub(crate) struct ExecCtx<'a> {
+    pub cfg: &'a ClusterConfig,
+    pub cycle: u64,
+    pub dma: &'a mut DmaEngine,
+    pub mem: &'a crate::mem::Memory,
+    pub markers: &'a mut Vec<(u32, u64)>,
+}
+
+/// Executes one instruction on `core`. Timing is encoded by advancing
+/// `core.ready_at` and/or parking the core in a wait status.
+pub(crate) fn execute_one(
+    core: &mut Core,
+    program: &Program,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<(), SimError> {
+    let pc = core.pc;
+    let inst = *program.inst(pc).ok_or(SimError::PcOutOfRange {
+        core: core.id,
+        pc,
+    })?;
+
+    let cc = &ctx.cfg.core;
+    if (inst.needs_bitmanip() && !cc.has_bitmanip)
+        || (inst.needs_post_increment() && !cc.has_post_increment)
+        || (inst.needs_hw_loops() && !cc.has_hw_loops)
+    {
+        return Err(SimError::IllegalInstruction {
+            core: core.id,
+            pc,
+            inst: inst.to_string(),
+        });
+    }
+
+    core.stats.retired += 1;
+    let mut next_pc = pc + 1;
+    let mut cost: u32;
+
+    match inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let a = core.reg(rs1);
+            let b = core.reg(rs2);
+            core.set_reg(rd, alu(op, a, b));
+            cost = match op {
+                AluOp::Mul | AluOp::Mulhu => cc.mul_cycles,
+                _ => cc.alu_cycles,
+            };
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let a = core.reg(rs1);
+            core.set_reg(rd, alu(op, a, imm as u32));
+            cost = cc.alu_cycles;
+        }
+        Inst::Li { rd, imm } => {
+            core.set_reg(rd, imm);
+            cost = if (imm as i32) >= -2048 && (imm as i32) < 2048 {
+                cc.alu_cycles
+            } else {
+                cc.li_long_cycles
+            };
+        }
+        Inst::Load { width, rd, base, offset } => {
+            let addr = core.reg(base).wrapping_add(offset as u32);
+            core.status = Status::MemWait(PendingMem {
+                addr,
+                width,
+                store_value: None,
+                rd: Some(rd),
+            });
+            core.pc = next_pc;
+            return Ok(());
+        }
+        Inst::Store { width, src, base, offset } => {
+            let addr = core.reg(base).wrapping_add(offset as u32);
+            let value = core.reg(src);
+            core.status = Status::MemWait(PendingMem {
+                addr,
+                width,
+                store_value: Some(value),
+                rd: None,
+            });
+            core.pc = next_pc;
+            return Ok(());
+        }
+        Inst::LoadPost { width, rd, base, inc } => {
+            let addr = core.reg(base);
+            core.set_reg(base, addr.wrapping_add(inc as u32));
+            core.status = Status::MemWait(PendingMem {
+                addr,
+                width,
+                store_value: None,
+                rd: Some(rd),
+            });
+            core.pc = core.apply_hw_loop(pc, next_pc);
+            return Ok(());
+        }
+        Inst::StorePost { width, src, base, inc } => {
+            let addr = core.reg(base);
+            let value = core.reg(src);
+            core.set_reg(base, addr.wrapping_add(inc as u32));
+            core.status = Status::MemWait(PendingMem {
+                addr,
+                width,
+                store_value: Some(value),
+                rd: None,
+            });
+            core.pc = core.apply_hw_loop(pc, next_pc);
+            return Ok(());
+        }
+        Inst::Branch { cond, rs1, rs2, target } => {
+            let a = core.reg(rs1);
+            let b = core.reg(rs2);
+            let taken = match cond {
+                BranchCond::Eq => a == b,
+                BranchCond::Ne => a != b,
+                BranchCond::Lt => (a as i32) < (b as i32),
+                BranchCond::Ge => (a as i32) >= (b as i32),
+                BranchCond::Ltu => a < b,
+                BranchCond::Geu => a >= b,
+            };
+            if taken {
+                next_pc = target;
+                cost = cc.branch_taken_cycles;
+            } else {
+                cost = cc.branch_not_taken_cycles;
+            }
+        }
+        Inst::Jal { rd, target } => {
+            core.set_reg(rd, pc + 1);
+            next_pc = target;
+            cost = cc.jump_cycles;
+        }
+        Inst::Jalr { rd, rs1 } => {
+            let target = core.reg(rs1);
+            core.set_reg(rd, pc + 1);
+            next_pc = target;
+            cost = cc.jump_cycles;
+        }
+        Inst::PCnt { rd, rs1 } => {
+            let v = core.reg(rs1);
+            core.set_reg(rd, v.count_ones());
+            cost = cc.bitmanip_cycles;
+        }
+        Inst::PExtractU { rd, rs1, len, pos } => {
+            let v = core.reg(rs1);
+            let mask = if len >= 32 { u32::MAX } else { (1u32 << len) - 1 };
+            core.set_reg(rd, (v >> pos) & mask);
+            cost = cc.bitmanip_cycles;
+        }
+        Inst::PInsert { rd, rs1, len, pos } => {
+            let mask = if len >= 32 { u32::MAX } else { (1u32 << len) - 1 };
+            let field = (core.reg(rs1) & mask) << pos;
+            let kept = core.reg(rd) & !(mask << pos);
+            core.set_reg(rd, kept | field);
+            cost = cc.bitmanip_cycles;
+        }
+        Inst::LpSetup { count, body_start, body_end } => {
+            let n = core.reg(count);
+            if n == 0 {
+                next_pc = body_end + 1;
+            } else {
+                if core.hw_loops.len() >= MAX_HW_LOOPS {
+                    return Err(SimError::HwLoopOverflow { core: core.id, pc });
+                }
+                core.hw_loops.push(HwLoop {
+                    start: body_start,
+                    end: body_end,
+                    remaining: n,
+                });
+            }
+            cost = cc.alu_cycles;
+        }
+        Inst::CoreId { rd } => {
+            core.set_reg(rd, core.id as u32);
+            cost = cc.alu_cycles;
+        }
+        Inst::NumCores { rd } => {
+            core.set_reg(rd, ctx.cfg.n_cores as u32);
+            cost = cc.alu_cycles;
+        }
+        Inst::Barrier => {
+            core.status = Status::BarrierWait;
+            core.pc = next_pc;
+            return Ok(());
+        }
+        Inst::Fork => {
+            cost = ctx.cfg.sync.fork_cycles(ctx.cfg.n_cores).max(1);
+        }
+        Inst::DmaStart { rd, desc } => {
+            let desc_addr = core.reg(desc);
+            let id = ctx.dma.start_from_descriptor(ctx.mem, desc_addr).map_err(|e| {
+                SimError::BadDmaDescriptor {
+                    core: core.id,
+                    pc,
+                    reason: e,
+                }
+            })?;
+            core.set_reg(rd, id);
+            // Queue push is cheap; descriptor processing cost is modelled
+            // inside the engine (startup cycles before data moves).
+            cost = cc.alu_cycles;
+        }
+        Inst::DmaWait { rs1 } => {
+            let id = core.reg(rs1);
+            if !ctx.dma.id_exists(id) {
+                return Err(SimError::UnknownDmaId { core: core.id, pc, id });
+            }
+            if !ctx.dma.is_complete(id) {
+                core.status = Status::DmaWait(id);
+                core.pc = next_pc;
+                return Ok(());
+            }
+            cost = cc.alu_cycles;
+        }
+        Inst::Marker { id } => {
+            if core.id == 0 {
+                ctx.markers.push((id, ctx.cycle));
+            }
+            cost = cc.alu_cycles;
+        }
+        Inst::Halt => {
+            core.status = Status::Halted;
+            return Ok(());
+        }
+    }
+
+    cost = cost.max(1);
+    core.stats.busy += u64::from(cost);
+    core.ready_at = ctx.cycle + u64::from(cost);
+    core.pc = core.apply_hw_loop(pc, next_pc);
+    Ok(())
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a << (b & 31),
+        AluOp::Srl => a >> (b & 31),
+        AluOp::Sra => ((a as i32) >> (b & 31)) as u32,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(alu(AluOp::Add, 3, u32::MAX), 2);
+        assert_eq!(alu(AluOp::Sub, 3, 5), u32::MAX - 1);
+        assert_eq!(alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(alu(AluOp::Sll, 1, 35), 8, "shift amount is masked to 5 bits");
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
+        assert_eq!(alu(AluOp::Slt, u32::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(alu(AluOp::Sltu, u32::MAX, 0), 0, "max > 0 unsigned");
+        assert_eq!(alu(AluOp::Mul, 0x1_0001, 0x1_0001), 0x0002_0001, "low 32 bits of the 33-bit product");
+        assert_eq!(alu(AluOp::Mulhu, 0x8000_0000, 4), 2);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut core = Core::new(0);
+        core.set_reg(crate::isa::regs::ZERO, 42);
+        assert_eq!(core.reg(crate::isa::regs::ZERO), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut core = Core::new(1);
+        core.set_reg(crate::isa::regs::T0, 42);
+        core.pc = 17;
+        core.status = Status::Halted;
+        core.reset();
+        assert_eq!(core.reg(crate::isa::regs::T0), 0);
+        assert_eq!(core.pc(), 0);
+        assert_eq!(core.status, Status::Running);
+    }
+}

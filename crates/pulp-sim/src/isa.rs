@@ -1,0 +1,569 @@
+//! Instruction set of the simulated cluster cores.
+//!
+//! The ISA is a compact RV32IM-flavoured core set plus the XpulpV2-style
+//! extensions the PULP-HD paper relies on (`p.cnt`, `p.extractu`,
+//! `p.insert`, post-increment memory accesses, hardware loops) and a few
+//! cluster-level operations (core id, barrier, DMA control, statistics
+//! markers). Extension instructions are only *legal* on cores whose
+//! [`CoreConfig`](crate::config::CoreConfig) enables them — executing one
+//! on a PULPv3- or Cortex-M4-configured core is an
+//! [`IllegalInstruction`](crate::SimError::IllegalInstruction) fault,
+//! which keeps kernel variants honest.
+//!
+//! Branch/jump targets are *resolved instruction indices* (the assembler
+//! fixes up labels); there is no encoding layer, the simulator executes
+//! the enum directly.
+
+use core::fmt;
+
+/// A general-purpose register index (`x0`–`x31`); `x0` reads as zero and
+/// ignores writes, as in RISC-V.
+///
+/// # Examples
+///
+/// ```
+/// use pulp_sim::isa::Reg;
+///
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(format!("{r}"), "x5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!(index < 32, "register index out of range");
+        Self(index)
+    }
+
+    /// The register number (0–31).
+    #[must_use]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Conventional register names (RISC-V ABI), used by the kernel sources
+/// for readability.
+pub mod regs {
+    use super::Reg;
+
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg::new(0);
+    /// Return address.
+    pub const RA: Reg = Reg::new(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg::new(2);
+    /// Temporaries `t0`–`t6`.
+    pub const T0: Reg = Reg::new(5);
+    /// Temporary register.
+    pub const T1: Reg = Reg::new(6);
+    /// Temporary register.
+    pub const T2: Reg = Reg::new(7);
+    /// Temporary register.
+    pub const T3: Reg = Reg::new(28);
+    /// Temporary register.
+    pub const T4: Reg = Reg::new(29);
+    /// Temporary register.
+    pub const T5: Reg = Reg::new(30);
+    /// Temporary register.
+    pub const T6: Reg = Reg::new(31);
+    /// Saved registers `s0`–`s11`.
+    pub const S0: Reg = Reg::new(8);
+    /// Saved register.
+    pub const S1: Reg = Reg::new(9);
+    /// Saved register.
+    pub const S2: Reg = Reg::new(18);
+    /// Saved register.
+    pub const S3: Reg = Reg::new(19);
+    /// Saved register.
+    pub const S4: Reg = Reg::new(20);
+    /// Saved register.
+    pub const S5: Reg = Reg::new(21);
+    /// Saved register.
+    pub const S6: Reg = Reg::new(22);
+    /// Saved register.
+    pub const S7: Reg = Reg::new(23);
+    /// Saved register.
+    pub const S8: Reg = Reg::new(24);
+    /// Saved register.
+    pub const S9: Reg = Reg::new(25);
+    /// Saved register.
+    pub const S10: Reg = Reg::new(26);
+    /// Saved register.
+    pub const S11: Reg = Reg::new(27);
+    /// Argument registers `a0`–`a7`.
+    pub const A0: Reg = Reg::new(10);
+    /// Argument register.
+    pub const A1: Reg = Reg::new(11);
+    /// Argument register.
+    pub const A2: Reg = Reg::new(12);
+    /// Argument register.
+    pub const A3: Reg = Reg::new(13);
+    /// Argument register.
+    pub const A4: Reg = Reg::new(14);
+    /// Argument register.
+    pub const A5: Reg = Reg::new(15);
+    /// Argument register.
+    pub const A6: Reg = Reg::new(16);
+    /// Argument register.
+    pub const A7: Reg = Reg::new(17);
+}
+
+/// Register–register ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (wrapping).
+    Add,
+    /// Subtraction (wrapping).
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift (by low 5 bits of rs2).
+    Sll,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// 32×32→32 multiplication (low word).
+    Mul,
+    /// Upper 32 bits of the unsigned 32×32 product.
+    Mulhu,
+}
+
+/// Branch comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit (zero-extended on load).
+    Byte,
+    /// 16-bit (zero-extended on load).
+    Half,
+    /// 32-bit.
+    Word,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Self::Byte => 1,
+            Self::Half => 2,
+            Self::Word => 4,
+        }
+    }
+}
+
+/// One instruction of the simulated ISA.
+///
+/// Field order follows assembly convention: destination first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `rd = rs1 <op> rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+    },
+    /// `rd = rs1 <op> imm` (shifts use the low 5 bits of `imm`).
+    AluImm {
+        /// Operation (`Sub`, `Mul`, `Mulhu` are not available in immediate
+        /// form, mirroring RISC-V).
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `rd = imm` (32-bit load-immediate; stands in for `lui+addi`, and is
+    /// costed as such by the timing model when the value does not fit in
+    /// 12 bits).
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Value.
+        imm: u32,
+    },
+    /// Load: `rd = mem[rs1 + offset]`, zero-extended.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Store: `mem[rs1 + offset] = rs2`.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// XpulpV2 post-increment load: `rd = mem[base]; base += inc`.
+    LoadPost {
+        /// Access width.
+        width: MemWidth,
+        /// Destination.
+        rd: Reg,
+        /// Base address register (updated).
+        base: Reg,
+        /// Post-increment in bytes.
+        inc: i32,
+    },
+    /// XpulpV2 post-increment store: `mem[base] = src; base += inc`.
+    StorePost {
+        /// Access width.
+        width: MemWidth,
+        /// Value to store.
+        src: Reg,
+        /// Base address register (updated).
+        base: Reg,
+        /// Post-increment in bytes.
+        inc: i32,
+    },
+    /// Conditional branch to instruction index `target`.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+        /// Resolved target (instruction index).
+        target: u32,
+    },
+    /// Unconditional jump; `rd` receives the return index (ignored when
+    /// `rd = x0`).
+    Jal {
+        /// Link register.
+        rd: Reg,
+        /// Resolved target (instruction index).
+        target: u32,
+    },
+    /// Indirect jump to the instruction index in `rs1`; `rd` receives the
+    /// return index. `jalr x0, ra` is the subroutine return.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Target register.
+        rs1: Reg,
+    },
+    /// `p.cnt rd, rs1` — population count (XpulpV2).
+    PCnt {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        rs1: Reg,
+    },
+    /// `p.extractu rd, rs1, len, pos` — `rd = (rs1 >> pos) & ((1<<len)-1)`
+    /// (XpulpV2).
+    PExtractU {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        rs1: Reg,
+        /// Field length in bits (1–32).
+        len: u8,
+        /// Field position (0–31).
+        pos: u8,
+    },
+    /// `p.insert rd, rs1, len, pos` — writes the low `len` bits of `rs1`
+    /// into `rd[pos+len-1 : pos]`, other bits preserved (XpulpV2).
+    PInsert {
+        /// Destination (read-modify-write).
+        rd: Reg,
+        /// Source of the inserted field.
+        rs1: Reg,
+        /// Field length in bits (1–32).
+        len: u8,
+        /// Field position (0–31).
+        pos: u8,
+    },
+    /// `lp.setup` — hardware loop: execute instructions
+    /// `[body_start, body_end]` for `count` iterations (count read from
+    /// `count_reg` at setup time; zero skips the body entirely).
+    LpSetup {
+        /// Iteration count register.
+        count: Reg,
+        /// First instruction index of the body.
+        body_start: u32,
+        /// Last instruction index of the body (inclusive).
+        body_end: u32,
+    },
+    /// `rd = core id` (0-based within the cluster).
+    CoreId {
+        /// Destination.
+        rd: Reg,
+    },
+    /// `rd = number of cores` in the cluster.
+    NumCores {
+        /// Destination.
+        rd: Reg,
+    },
+    /// Cluster-wide barrier rendezvous.
+    Barrier,
+    /// Models the OpenMP parallel-region entry cost (team wake-up /
+    /// work-descriptor distribution). Semantically a no-op.
+    Fork,
+    /// Starts the DMA transfer described by the 6-word descriptor at the
+    /// address in `desc`, writing the transfer id into `rd`.
+    DmaStart {
+        /// Receives the transfer id.
+        rd: Reg,
+        /// Address of the descriptor (must be 4-byte aligned, in L1).
+        desc: Reg,
+    },
+    /// Blocks until DMA transfer id in `rs1` has completed.
+    DmaWait {
+        /// Transfer id to wait for.
+        rs1: Reg,
+    },
+    /// Statistics marker: records the current cycle under `id` (core 0
+    /// only; other cores execute it as a no-op).
+    Marker {
+        /// Region marker id.
+        id: u32,
+    },
+    /// Stops this core.
+    Halt,
+}
+
+impl Inst {
+    /// Whether this instruction requires the XpulpV2 bit-manipulation
+    /// extension.
+    #[must_use]
+    pub fn needs_bitmanip(&self) -> bool {
+        matches!(
+            self,
+            Self::PCnt { .. } | Self::PExtractU { .. } | Self::PInsert { .. }
+        )
+    }
+
+    /// Whether this instruction requires post-increment addressing
+    /// support.
+    #[must_use]
+    pub fn needs_post_increment(&self) -> bool {
+        matches!(self, Self::LoadPost { .. } | Self::StorePost { .. })
+    }
+
+    /// Whether this instruction requires hardware-loop support.
+    #[must_use]
+    pub fn needs_hw_loops(&self) -> bool {
+        matches!(self, Self::LpSetup { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(*op))
+            }
+            Self::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", alu_name(*op))
+            }
+            Self::Li { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
+            Self::Load { width, rd, base, offset } => {
+                write!(f, "l{} {rd}, {offset}({base})", width_name(*width))
+            }
+            Self::Store { width, src, base, offset } => {
+                write!(f, "s{} {src}, {offset}({base})", width_name(*width))
+            }
+            Self::LoadPost { width, rd, base, inc } => {
+                write!(f, "p.l{} {rd}, {inc}({base}!)", width_name(*width))
+            }
+            Self::StorePost { width, src, base, inc } => {
+                write!(f, "p.s{} {src}, {inc}({base}!)", width_name(*width))
+            }
+            Self::Branch { cond, rs1, rs2, target } => {
+                let name = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(f, "{name} {rs1}, {rs2}, @{target}")
+            }
+            Self::Jal { rd, target } => write!(f, "jal {rd}, @{target}"),
+            Self::Jalr { rd, rs1 } => write!(f, "jalr {rd}, {rs1}"),
+            Self::PCnt { rd, rs1 } => write!(f, "p.cnt {rd}, {rs1}"),
+            Self::PExtractU { rd, rs1, len, pos } => {
+                write!(f, "p.extractu {rd}, {rs1}, {len}, {pos}")
+            }
+            Self::PInsert { rd, rs1, len, pos } => {
+                write!(f, "p.insert {rd}, {rs1}, {len}, {pos}")
+            }
+            Self::LpSetup { count, body_start, body_end } => {
+                write!(f, "lp.setup {count}, @{body_start}..@{body_end}")
+            }
+            Self::CoreId { rd } => write!(f, "coreid {rd}"),
+            Self::NumCores { rd } => write!(f, "numcores {rd}"),
+            Self::Barrier => write!(f, "barrier"),
+            Self::Fork => write!(f, "fork"),
+            Self::DmaStart { rd, desc } => write!(f, "dma.start {rd}, ({desc})"),
+            Self::DmaWait { rs1 } => write!(f, "dma.wait {rs1}"),
+            Self::Marker { id } => write!(f, "marker {id}"),
+            Self::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Mul => "mul",
+        AluOp::Mulhu => "mulhu",
+    }
+}
+
+fn width_name(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::Byte => "b",
+        MemWidth::Half => "h",
+        MemWidth::Word => "w",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::regs::*;
+    use super::*;
+
+    #[test]
+    fn reg_zero_detection() {
+        assert!(ZERO.is_zero());
+        assert!(!T0.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn abi_registers_are_distinct() {
+        let all = [
+            ZERO, RA, SP, T0, T1, T2, T3, T4, T5, T6, S0, S1, S2, S3, S4, S5, S6, S7, S8,
+            S9, S10, S11, A0, A1, A2, A3, A4, A5, A6, A7,
+        ];
+        let mut idx: Vec<u8> = all.iter().map(|r| r.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), all.len());
+    }
+
+    #[test]
+    fn extension_classification() {
+        assert!(Inst::PCnt { rd: T0, rs1: T1 }.needs_bitmanip());
+        assert!(Inst::LoadPost {
+            width: MemWidth::Word,
+            rd: T0,
+            base: T1,
+            inc: 4
+        }
+        .needs_post_increment());
+        assert!(Inst::LpSetup {
+            count: T0,
+            body_start: 0,
+            body_end: 1
+        }
+        .needs_hw_loops());
+        assert!(!Inst::Halt.needs_bitmanip());
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_and_descriptive() {
+        let insts = [
+            Inst::Alu { op: AluOp::Xor, rd: T0, rs1: T1, rs2: T2 },
+            Inst::AluImm { op: AluOp::Add, rd: T0, rs1: T1, imm: -4 },
+            Inst::Li { rd: A0, imm: 0xdead_beef },
+            Inst::Load { width: MemWidth::Word, rd: T0, base: SP, offset: 8 },
+            Inst::Branch { cond: BranchCond::Ne, rs1: T0, rs2: ZERO, target: 3 },
+            Inst::PCnt { rd: T0, rs1: T1 },
+            Inst::Barrier,
+            Inst::Halt,
+        ];
+        let expect = ["xor", "addi", "li", "lw", "bne", "p.cnt", "barrier", "halt"];
+        for (inst, word) in insts.iter().zip(expect) {
+            let text = inst.to_string();
+            assert!(text.starts_with(word), "{text} should start with {word}");
+        }
+    }
+
+    #[test]
+    fn mem_width_sizes() {
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! Run statistics: per-core cycle breakdowns and region markers.
+
+use crate::dma::DmaStats;
+
+/// Per-core execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles spent executing instructions (issue + latency).
+    pub busy: u64,
+    /// Cycles lost to TCDM bank conflicts.
+    pub stall_mem_conflict: u64,
+    /// Cycles lost waiting for the L2 port.
+    pub stall_l2: u64,
+    /// Cycles lost waiting on DMA completion.
+    pub stall_dma: u64,
+    /// Cycles lost waiting at barriers.
+    pub stall_barrier: u64,
+}
+
+impl CoreStats {
+    /// Total accounted stall cycles.
+    #[must_use]
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_mem_conflict + self.stall_l2 + self.stall_dma + self.stall_barrier
+    }
+}
+
+/// Result of running a program to completion on the cluster.
+///
+/// # Examples
+///
+/// ```
+/// use pulp_sim::{Cluster, ClusterConfig};
+/// use pulp_sim::asm::Assembler;
+/// use pulp_sim::isa::regs::*;
+///
+/// let mut a = Assembler::new();
+/// a.marker(0);
+/// a.li(T0, 25);
+/// a.label("spin");
+/// a.addi(T0, T0, -1);
+/// a.bnez(T0, "spin");
+/// a.marker(1);
+/// a.halt();
+/// let mut cluster = Cluster::new(ClusterConfig::wolf(1), a.finish()?);
+/// let summary = cluster.run(10_000)?;
+/// assert!(summary.region(0, 1).unwrap() >= 50);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Total cycles from start to the last core halting.
+    pub cycles: u64,
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// `(marker id, cycle)` events in program order (core 0 only).
+    pub markers: Vec<(u32, u64)>,
+    /// DMA statistics.
+    pub dma: DmaStats,
+}
+
+impl RunSummary {
+    /// All cycles at which marker `id` was executed, in order.
+    #[must_use]
+    pub fn marker_cycles(&self, id: u32) -> Vec<u64> {
+        self.markers
+            .iter()
+            .filter(|&&(m, _)| m == id)
+            .map(|&(_, c)| c)
+            .collect()
+    }
+
+    /// The first cycle at which marker `id` was executed.
+    #[must_use]
+    pub fn first_marker(&self, id: u32) -> Option<u64> {
+        self.markers
+            .iter()
+            .find(|&&(m, _)| m == id)
+            .map(|&(_, c)| c)
+    }
+
+    /// Cycles between the first occurrences of two markers.
+    ///
+    /// Returns `None` if either marker is missing or they are out of
+    /// order.
+    #[must_use]
+    pub fn region(&self, from: u32, to: u32) -> Option<u64> {
+        let a = self.first_marker(from)?;
+        let b = self.first_marker(to)?;
+        b.checked_sub(a)
+    }
+
+    /// Sums the cycles of every paired `(from … to)` occurrence — for
+    /// regions executed repeatedly (e.g. once per window sample).
+    ///
+    /// Pairs are formed in program order; unmatched occurrences are
+    /// ignored.
+    #[must_use]
+    pub fn region_total(&self, from: u32, to: u32) -> u64 {
+        let mut total = 0;
+        let mut open: Option<u64> = None;
+        for &(m, c) in &self.markers {
+            if m == from {
+                open = Some(c);
+            } else if m == to {
+                if let Some(start) = open.take() {
+                    total += c.saturating_sub(start);
+                }
+            }
+        }
+        total
+    }
+
+    /// Total instructions retired across all cores.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(markers: Vec<(u32, u64)>) -> RunSummary {
+        RunSummary {
+            cycles: 100,
+            cores: vec![CoreStats::default()],
+            markers,
+            dma: DmaStats::default(),
+        }
+    }
+
+    #[test]
+    fn region_between_first_occurrences() {
+        let s = summary(vec![(0, 10), (1, 35), (0, 50), (1, 80)]);
+        assert_eq!(s.region(0, 1), Some(25));
+        assert_eq!(s.region(1, 0), None, "reversed order yields None");
+        assert_eq!(s.region(0, 9), None, "missing marker yields None");
+    }
+
+    #[test]
+    fn region_total_sums_pairs() {
+        let s = summary(vec![(0, 10), (1, 35), (0, 50), (1, 80), (0, 90)]);
+        assert_eq!(s.region_total(0, 1), 25 + 30);
+    }
+
+    #[test]
+    fn marker_cycles_filters_by_id() {
+        let s = summary(vec![(0, 10), (1, 35), (0, 50)]);
+        assert_eq!(s.marker_cycles(0), vec![10, 50]);
+        assert_eq!(s.first_marker(1), Some(35));
+    }
+
+    #[test]
+    fn stall_totals_add_up() {
+        let c = CoreStats {
+            retired: 10,
+            busy: 20,
+            stall_mem_conflict: 1,
+            stall_l2: 2,
+            stall_dma: 3,
+            stall_barrier: 4,
+        };
+        assert_eq!(c.total_stalls(), 10);
+    }
+}

@@ -1,0 +1,411 @@
+//! Fixed-point SVM inference — the embedded deployment path.
+//!
+//! The paper runs its M4 baseline "with a fixed-point approach … to avoid
+//! all the computation needed to be executed in the floating-point"
+//! (citing that this preserves accuracy). This module quantizes a trained
+//! [`SvmClassifier`] into pure-integer tables and provides a bit-exact
+//! reference of the integer inference that the simulated-platform kernel
+//! executes, mirroring the golden-model/kernel relationship of the HD
+//! classifier:
+//!
+//! * features and support vectors as 16-bit ADC codes, compared at 12-bit
+//!   precision (`code >> 4`) so squared distances fit comfortably in
+//!   `u32`,
+//! * `exp(−γ·d²)` as a 256-entry Q15 lookup table indexed by bucketed
+//!   squared distance,
+//! * coefficients and biases in a shared Q15-scaled integer domain, so
+//!   decision signs and magnitude comparisons survive quantization.
+
+use crate::multiclass::SvmClassifier;
+use crate::Kernel;
+
+/// Number of entries in the RBF lookup table.
+pub const LUT_SIZE: usize = 256;
+
+/// One quantized pairwise machine: a dense coefficient row over the
+/// model's *shared* support-vector matrix (LIBSVM's `sv_coef` layout —
+/// support vectors a machine does not use carry coefficient zero, and
+/// the embedded inference evaluates the kernel against every stored SV
+/// for every machine, exactly as the paper's 456-cycles-per-SV figure
+/// implies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedMachine {
+    /// Positive class of this machine.
+    pub class_pos: usize,
+    /// Negative class of this machine.
+    pub class_neg: usize,
+    /// Scaled `αᵢyᵢ` coefficients, one per shared support vector.
+    pub coeff_q: Vec<i32>,
+    /// Scaled bias, in the renormalized decision domain (see
+    /// [`FixedSvm::decision_q`]).
+    pub bias_q: i32,
+}
+
+/// A fully quantized one-vs-one RBF SVM.
+///
+/// # Examples
+///
+/// ```
+/// use svm::{FixedSvm, Kernel, SmoParams, SvmClassifier};
+///
+/// // Train in float on [0,1] features, then quantize.
+/// let mut x = Vec::new();
+/// let mut y = Vec::new();
+/// for i in 0..10 {
+///     let t = f64::from(i) * 0.01;
+///     x.push(vec![0.1 + t, 0.1]); y.push(0);
+///     x.push(vec![0.8 + t, 0.9]); y.push(1);
+/// }
+/// let float_clf = SvmClassifier::train(&x, &y, 2, Kernel::Rbf { gamma: 8.0 },
+///                                      SmoParams::default());
+/// let fixed = FixedSvm::quantize(&float_clf, 2);
+/// // Inference runs on raw ADC codes.
+/// assert_eq!(fixed.predict_codes(&[6_000, 6_500]), 0);
+/// assert_eq!(fixed.predict_codes(&[55_000, 60_000]), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedSvm {
+    /// Shared support vectors as ADC codes, `n_sv × n_features`.
+    svs: Vec<Vec<u16>>,
+    machines: Vec<FixedMachine>,
+    lut: Vec<u16>,
+    lut_shift: u32,
+    n_classes: usize,
+    n_features: usize,
+}
+
+/// Converts a `[0,1]` feature to its 16-bit ADC code.
+#[must_use]
+fn feature_to_code(f: f64) -> u16 {
+    (f.clamp(0.0, 1.0) * f64::from(u16::MAX)).round() as u16
+}
+
+impl FixedSvm {
+    /// Quantizes a float classifier trained on `[0,1]`-normalized
+    /// features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classifier does not use an RBF kernel, or if
+    /// `n_features == 0`.
+    #[must_use]
+    pub fn quantize(clf: &SvmClassifier, n_features: usize) -> Self {
+        assert!(n_features > 0, "need at least one feature");
+        let gamma = match clf.machines().first().map(|(_, m)| m.kernel()) {
+            Some(Kernel::Rbf { gamma }) => gamma,
+            other => panic!("fixed-point path requires an RBF kernel, got {other:?}"),
+        };
+
+        // Distances are computed on 12-bit codes: f ∈ [0,1] ↦ 4095·f.
+        // γ_eff converts 12-bit-code distance² to the float exponent:
+        // γ·d²_f = γ_eff·d²_code with γ_eff = γ / 4095².
+        let gamma_eff = gamma / (4095.0 * 4095.0);
+        // Choose the bucket size so the LUT spans arguments up to ≈ 10
+        // (exp(−10) ≈ 4.5e−5, below one Q15 lsb).
+        let span_needed = 10.0 / gamma_eff;
+        let mut lut_shift = 0u32;
+        while ((LUT_SIZE as f64) * f64::from(1u32 << lut_shift)) < span_needed && lut_shift < 24 {
+            lut_shift += 1;
+        }
+        let bucket = f64::from(1u32 << lut_shift);
+        let lut: Vec<u16> = (0..LUT_SIZE)
+            .map(|i| {
+                let d2 = (i as f64 + 0.5) * bucket;
+                (32767.0 * (-gamma_eff * d2).exp()).round() as u16
+            })
+            .collect();
+
+        // Shared coefficient scale across machines so magnitudes stay
+        // comparable for vote tie-breaking.
+        let max_coeff = clf
+            .machines()
+            .iter()
+            .flat_map(|(_, m)| m.coefficients().iter().map(|c| c.abs()))
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let scale = 32767.0 / max_coeff;
+
+        // Build the shared SV matrix: the union of every machine's
+        // support vectors, deduplicated, with each machine holding a
+        // dense coefficient row over it.
+        let mut svs_f: Vec<Vec<f64>> = Vec::new();
+        let index_of = |sv: &[f64], svs_f: &mut Vec<Vec<f64>>| -> usize {
+            if let Some(i) = svs_f.iter().position(|s| {
+                s.len() == sv.len()
+                    && s.iter().zip(sv).all(|(a, b)| (a - b).abs() < 1e-12)
+            }) {
+                i
+            } else {
+                svs_f.push(sv.to_vec());
+                svs_f.len() - 1
+            }
+        };
+        let mut sparse: Vec<((usize, usize), Vec<(usize, f64)>, f64)> = Vec::new();
+        for ((a, b), m) in clf.machines() {
+            let entries: Vec<(usize, f64)> = m
+                .support_vectors()
+                .iter()
+                .zip(m.coefficients())
+                .map(|(sv, &c)| (index_of(sv, &mut svs_f), c))
+                .collect();
+            sparse.push(((*a, *b), entries, m.bias()));
+        }
+        let n_sv = svs_f.len();
+        let svs: Vec<Vec<u16>> = svs_f
+            .iter()
+            .map(|sv| sv.iter().map(|&f| feature_to_code(f)).collect())
+            .collect();
+        let machines = sparse
+            .into_iter()
+            .map(|((a, b), entries, bias)| {
+                let mut coeff_q = vec![0i32; n_sv];
+                for (i, c) in entries {
+                    coeff_q[i] = (c * scale).round() as i32;
+                }
+                FixedMachine {
+                    class_pos: a,
+                    class_neg: b,
+                    coeff_q,
+                    // Each kernel term is renormalized by >>15, so the
+                    // bias joins in the plain scaled domain.
+                    bias_q: (bias * scale).round() as i32,
+                }
+            })
+            .collect();
+
+        Self {
+            svs,
+            machines,
+            lut,
+            lut_shift,
+            n_classes: clf.n_classes(),
+            n_features,
+        }
+    }
+
+    /// The shared support-vector matrix (ADC codes).
+    #[must_use]
+    pub fn support_vectors(&self) -> &[Vec<u16>] {
+        &self.svs
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of features per vector.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The quantized machines.
+    #[must_use]
+    pub fn machines(&self) -> &[FixedMachine] {
+        &self.machines
+    }
+
+    /// The RBF lookup table (Q15).
+    #[must_use]
+    pub fn lut(&self) -> &[u16] {
+        &self.lut
+    }
+
+    /// Right-shift turning a squared 12-bit distance into a LUT index.
+    #[must_use]
+    pub fn lut_shift(&self) -> u32 {
+        self.lut_shift
+    }
+
+    /// Total kernel evaluations per classification — every machine
+    /// walks the full shared SV matrix, so this is
+    /// `machines × support vectors` (the paper's cost structure: 55 SVs
+    /// × 10 pairwise machines ≈ 550 evaluations in 25.1 kcycles).
+    #[must_use]
+    pub fn total_kernel_evaluations(&self) -> usize {
+        self.machines.len() * self.svs.len()
+    }
+
+    /// Integer decision value of machine `m` on raw ADC codes.
+    ///
+    /// This is the *exact* arithmetic the simulated kernel performs:
+    /// 12-bit differences, `u32` squared distance, LUT lookup, and a Q15
+    /// multiply with per-term renormalization (`(coeff·k) >> 15`) so the
+    /// accumulator fits a 32-bit register on the embedded target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != self.n_features()` or `m` is out of
+    /// range.
+    #[must_use]
+    pub fn decision_q(&self, m: usize, codes: &[u16]) -> i64 {
+        assert_eq!(codes.len(), self.n_features, "feature count mismatch");
+        let machine = &self.machines[m];
+        let mut acc: i32 = machine.bias_q;
+        for (sv, &coeff) in self.svs.iter().zip(&machine.coeff_q) {
+            let mut d2: u32 = 0;
+            for (&f, &s) in codes.iter().zip(sv.iter()) {
+                let diff = i32::from(f >> 4) - i32::from(s >> 4);
+                d2 = d2.saturating_add((diff * diff) as u32);
+            }
+            let idx = usize::min((d2 >> self.lut_shift) as usize, LUT_SIZE - 1);
+            // coeff ∈ ±32767, lut ∈ [0, 32767]: the product fits i32 and
+            // the renormalized term fits 16 bits.
+            acc = acc.wrapping_add(coeff.wrapping_mul(i32::from(self.lut[idx])) >> 15);
+        }
+        i64::from(acc)
+    }
+
+    /// Predicts by pairwise voting on integer decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != self.n_features()`.
+    #[must_use]
+    pub fn predict_codes(&self, codes: &[u16]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        let mut magnitude = vec![0i64; self.n_classes];
+        for m in 0..self.machines.len() {
+            let d = self.decision_q(m, codes);
+            let machine = &self.machines[m];
+            let winner = if d >= 0 { machine.class_pos } else { machine.class_neg };
+            votes[winner] += 1;
+            magnitude[winner] += d.abs();
+        }
+        (0..self.n_classes)
+            .max_by(|&i, &j| {
+                votes[i]
+                    .cmp(&votes[j])
+                    .then(magnitude[i].cmp(&magnitude[j]))
+                    .then(j.cmp(&i))
+            })
+            .expect("at least two classes")
+    }
+
+    /// Predicts from `[0,1]` float features (convenience: quantizes then
+    /// calls [`predict_codes`](Self::predict_codes)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.n_features()`.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let codes: Vec<u16> = features.iter().map(|&f| feature_to_code(f)).collect();
+        self.predict_codes(&codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SmoParams, SvmClassifier};
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Four blobs in the unit square.
+        let centers = [[0.2, 0.2], [0.8, 0.2], [0.2, 0.8], [0.8, 0.8]];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (label, c) in centers.iter().enumerate() {
+            for i in 0..14 {
+                let jx = ((i * 7 + label * 13) % 11) as f64 / 11.0 - 0.5;
+                let jy = ((i * 5 + label * 3) % 13) as f64 / 13.0 - 0.5;
+                x.push(vec![c[0] + 0.18 * jx, c[1] + 0.18 * jy]);
+                y.push(label);
+            }
+        }
+        (x, y)
+    }
+
+    fn trained() -> (SvmClassifier, Vec<Vec<f64>>, Vec<usize>) {
+        let (x, y) = blobs();
+        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 20.0 },
+                                       SmoParams::default());
+        (clf, x, y)
+    }
+
+    #[test]
+    fn fixed_point_agrees_with_float_on_training_set() {
+        let (clf, x, _) = trained();
+        let fixed = FixedSvm::quantize(&clf, 2);
+        let agree = x
+            .iter()
+            .filter(|xi| fixed.predict(xi) == clf.predict(xi))
+            .count();
+        assert!(
+            agree as f64 / x.len() as f64 >= 0.96,
+            "agreement {agree}/{}",
+            x.len()
+        );
+    }
+
+    #[test]
+    fn fixed_point_agrees_on_a_dense_grid() {
+        let (clf, _, _) = trained();
+        let fixed = FixedSvm::quantize(&clf, 2);
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 0..20 {
+            for j in 0..20 {
+                let p = vec![i as f64 / 19.0, j as f64 / 19.0];
+                total += 1;
+                if fixed.predict(&p) == clf.predict(&p) {
+                    agree += 1;
+                }
+            }
+        }
+        // Points near decision boundaries may flip; the bulk must agree.
+        assert!(
+            f64::from(agree) / f64::from(total) > 0.93,
+            "grid agreement {agree}/{total}"
+        );
+    }
+
+    #[test]
+    fn lut_is_monotone_decreasing_from_full_scale() {
+        let (clf, _, _) = trained();
+        let fixed = FixedSvm::quantize(&clf, 2);
+        let lut = fixed.lut();
+        assert!(lut[0] > 30_000, "k(0) ≈ 1.0 in Q15, got {}", lut[0]);
+        assert!(lut.windows(2).all(|w| w[0] >= w[1]), "LUT must decay");
+        assert!(
+            *lut.last().unwrap() < 100,
+            "tail must be ≈ 0, got {}",
+            lut.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn kernel_evaluation_count_is_dense_over_shared_svs() {
+        let (clf, _, _) = trained();
+        let fixed = FixedSvm::quantize(&clf, 2);
+        assert_eq!(
+            fixed.total_kernel_evaluations(),
+            clf.machines().len() * fixed.support_vectors().len()
+        );
+        assert_eq!(
+            fixed.support_vectors().len(),
+            clf.unique_support_vector_count()
+        );
+        // Dense rows: every machine has one coefficient per shared SV.
+        for m in fixed.machines() {
+            assert_eq!(m.coeff_q.len(), fixed.support_vectors().len());
+        }
+    }
+
+    #[test]
+    fn quantization_is_deterministic() {
+        let (clf, _, _) = trained();
+        assert_eq!(FixedSvm::quantize(&clf, 2), FixedSvm::quantize(&clf, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an RBF kernel")]
+    fn linear_kernel_rejected() {
+        let x = vec![vec![0.0], vec![1.0], vec![0.1], vec![0.9]];
+        let y = vec![0, 1, 0, 1];
+        let clf = SvmClassifier::train(&x, &y, 2, Kernel::Linear, SmoParams::default());
+        let _ = FixedSvm::quantize(&clf, 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Kernel functions for the SVM baseline.
+
+/// Kernel used by the C-SVC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Inner product `⟨a, b⟩`.
+    Linear,
+    /// Radial basis function `exp(-γ‖a − b‖²)` — what the paper's
+    /// EMG SVM uses.
+    Rbf {
+        /// Width parameter γ.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    #[must_use]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "kernel operand length mismatch");
+        match *self {
+            Self::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Self::Rbf { gamma } => {
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_dot_product() {
+        let k = Kernel::Linear;
+        assert_eq!(k.eval(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn rbf_is_one_at_zero_distance_and_decays() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        let a = [1.0, 2.0];
+        assert!((k.eval(&a, &a) - 1.0).abs() < 1e-12);
+        let near = k.eval(&a, &[1.1, 2.0]);
+        let far = k.eval(&a, &[3.0, 0.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn rbf_is_symmetric() {
+        let k = Kernel::Rbf { gamma: 2.0 };
+        let a = [0.3, -0.7, 0.2];
+        let b = [1.0, 0.0, -1.0];
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Kernel::Linear.eval(&[1.0], &[1.0, 2.0]);
+    }
+}

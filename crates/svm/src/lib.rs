@@ -1,0 +1,41 @@
+//! # `svm` — the paper's SVM baseline, from scratch
+//!
+//! A support-vector-machine implementation standing in for the
+//! LIBSVM-style baseline the PULP-HD paper compares against: a C-SVC
+//! trained by sequential minimal optimization ([`smo`]), an RBF kernel
+//! ([`kernel`]), one-vs-one multiclass voting ([`multiclass`]), and the
+//! fixed-point inference path used on the ARM Cortex M4 ([`fixed`]).
+//!
+//! The float classifier is the *training-time* model; [`FixedSvm`] is the
+//! *deployment* model whose integer arithmetic the simulated-platform
+//! kernel reproduces bit-exactly (the same golden-model relationship the
+//! HD classifier has).
+//!
+//! ## Example
+//!
+//! ```
+//! use svm::{Kernel, SmoParams, SvmClassifier};
+//!
+//! // Two 1-D classes.
+//! let x: Vec<Vec<f64>> = (0..20)
+//!     .map(|i| vec![if i % 2 == 0 { 0.1 } else { 0.9 } + f64::from(i) * 1e-3])
+//!     .collect();
+//! let y: Vec<usize> = (0..20).map(|i| i % 2).collect();
+//! let clf = SvmClassifier::train(&x, &y, 2, Kernel::Rbf { gamma: 10.0 },
+//!                                SmoParams::default());
+//! assert_eq!(clf.predict(&[0.05]), 0);
+//! assert_eq!(clf.predict(&[0.95]), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fixed;
+pub mod kernel;
+pub mod multiclass;
+pub mod smo;
+
+pub use fixed::{FixedMachine, FixedSvm, LUT_SIZE};
+pub use kernel::Kernel;
+pub use multiclass::SvmClassifier;
+pub use smo::{BinarySvm, SmoParams};

@@ -1,0 +1,242 @@
+//! One-vs-one multiclass SVM, the standard LIBSVM construction the
+//! paper's baseline uses.
+//!
+//! For `K` classes, `K·(K−1)/2` binary machines vote; ties break toward
+//! the class with the larger summed decision magnitude, then the lower
+//! index (deterministic).
+
+use crate::kernel::Kernel;
+use crate::smo::{BinarySvm, SmoParams};
+
+/// A trained one-vs-one multiclass classifier.
+///
+/// # Examples
+///
+/// ```
+/// use svm::{Kernel, SmoParams, SvmClassifier};
+///
+/// // Three Gaussian-ish blobs on a line.
+/// let mut x = Vec::new();
+/// let mut y = Vec::new();
+/// for i in 0..8 {
+///     let t = f64::from(i) * 0.05;
+///     x.push(vec![t]);         y.push(0);
+///     x.push(vec![2.0 + t]);   y.push(1);
+///     x.push(vec![4.0 + t]);   y.push(2);
+/// }
+/// let clf = SvmClassifier::train(&x, &y, 3, Kernel::Rbf { gamma: 2.0 },
+///                                SmoParams::default());
+/// assert_eq!(clf.predict(&[0.1]), 0);
+/// assert_eq!(clf.predict(&[2.2]), 1);
+/// assert_eq!(clf.predict(&[4.1]), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvmClassifier {
+    machines: Vec<((usize, usize), BinarySvm)>,
+    n_classes: usize,
+}
+
+impl SvmClassifier {
+    /// Trains all pairwise machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes < 2`, lengths mismatch, any label is out of
+    /// range, or some class has no examples.
+    #[must_use]
+    pub fn train(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        kernel: Kernel,
+        params: SmoParams,
+    ) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+        assert!(
+            y.iter().all(|&l| l < n_classes),
+            "label out of range"
+        );
+        for class in 0..n_classes {
+            assert!(
+                y.iter().any(|&l| l == class),
+                "class {class} has no training examples"
+            );
+        }
+        let mut machines = Vec::with_capacity(n_classes * (n_classes - 1) / 2);
+        for a in 0..n_classes {
+            for b in (a + 1)..n_classes {
+                let mut xs = Vec::new();
+                let mut ys = Vec::new();
+                for (xi, &yi) in x.iter().zip(y) {
+                    if yi == a {
+                        xs.push(xi.clone());
+                        ys.push(1i8);
+                    } else if yi == b {
+                        xs.push(xi.clone());
+                        ys.push(-1i8);
+                    }
+                }
+                machines.push(((a, b), BinarySvm::train(&xs, &ys, kernel, params)));
+            }
+        }
+        Self { machines, n_classes }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The pairwise machines with their `(positive, negative)` class
+    /// pairs.
+    #[must_use]
+    pub fn machines(&self) -> &[((usize, usize), BinarySvm)] {
+        &self.machines
+    }
+
+    /// Total number of support vectors across machines, counting shared
+    /// training points once — the "number of SVs" figure the paper
+    /// reports (55 for its chosen subject).
+    #[must_use]
+    pub fn unique_support_vector_count(&self) -> usize {
+        let mut seen: Vec<&Vec<f64>> = Vec::new();
+        for (_, m) in &self.machines {
+            for sv in m.support_vectors() {
+                if !seen.iter().any(|s| {
+                    s.len() == sv.len()
+                        && s.iter().zip(sv.iter()).all(|(a, b)| (a - b).abs() < 1e-12)
+                }) {
+                    seen.push(sv);
+                }
+            }
+        }
+        seen.len()
+    }
+
+    /// Sum of per-machine support-vector counts — the number of kernel
+    /// evaluations one classification costs (what the embedded cycle
+    /// count depends on).
+    #[must_use]
+    pub fn total_kernel_evaluations(&self) -> usize {
+        self.machines
+            .iter()
+            .map(|(_, m)| m.support_vectors().len())
+            .sum()
+    }
+
+    /// Predicts by pairwise voting.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        let mut magnitude = vec![0.0f64; self.n_classes];
+        for ((a, b), m) in &self.machines {
+            let d = m.decision(x);
+            let winner = if d >= 0.0 { *a } else { *b };
+            votes[winner] += 1;
+            magnitude[winner] += d.abs();
+        }
+        (0..self.n_classes)
+            .max_by(|&i, &j| {
+                votes[i]
+                    .cmp(&votes[j])
+                    .then(magnitude[i].total_cmp(&magnitude[j]))
+                    .then(j.cmp(&i)) // lower index wins exact ties
+            })
+            .expect("at least two classes")
+    }
+
+    /// Accuracy over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or the set is empty.
+    #[must_use]
+    pub fn accuracy(&self, x: &[Vec<f64>], y: &[usize]) -> f64 {
+        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+        assert!(!x.is_empty(), "empty evaluation set");
+        let correct = x
+            .iter()
+            .zip(y)
+            .filter(|(xi, &yi)| self.predict(xi) == yi)
+            .count();
+        correct as f64 / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per_class: usize, spread: f64) -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Four well-separated 2-D blobs with deterministic jitter.
+        let centers = [[0.0, 0.0], [3.0, 0.0], [0.0, 3.0], [3.0, 3.0]];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (label, c) in centers.iter().enumerate() {
+            for i in 0..per_class {
+                let jx = ((i * 7 + label * 13) % 11) as f64 / 11.0 - 0.5;
+                let jy = ((i * 5 + label * 3) % 13) as f64 / 13.0 - 0.5;
+                x.push(vec![c[0] + spread * jx, c[1] + spread * jy]);
+                y.push(label);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn four_class_blobs_are_learned() {
+        let (x, y) = blobs(12, 1.0);
+        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 },
+                                       SmoParams::default());
+        assert_eq!(clf.machines().len(), 6);
+        assert!(clf.accuracy(&x, &y) > 0.97, "accuracy {}", clf.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn prediction_is_sensible_off_training_points() {
+        let (x, y) = blobs(12, 1.0);
+        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 },
+                                       SmoParams::default());
+        assert_eq!(clf.predict(&[0.2, -0.1]), 0);
+        assert_eq!(clf.predict(&[3.1, 0.2]), 1);
+        assert_eq!(clf.predict(&[-0.2, 2.8]), 2);
+        assert_eq!(clf.predict(&[2.9, 3.2]), 3);
+    }
+
+    #[test]
+    fn sv_counts_are_reported() {
+        let (x, y) = blobs(10, 1.0);
+        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 },
+                                       SmoParams::default());
+        let unique = clf.unique_support_vector_count();
+        let evals = clf.total_kernel_evaluations();
+        assert!(unique > 0 && unique <= x.len());
+        assert!(evals >= unique, "evals {evals} unique {unique}");
+    }
+
+    #[test]
+    fn overlapping_blobs_reduce_accuracy_gracefully() {
+        let tight = {
+            let (x, y) = blobs(12, 0.5);
+            SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 }, SmoParams::default())
+                .accuracy(&x, &y)
+        };
+        let loose = {
+            let (x, y) = blobs(12, 4.5);
+            SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 }, SmoParams::default())
+                .accuracy(&x, &y)
+        };
+        assert!(tight >= loose, "tight {tight} loose {loose}");
+        assert!(loose > 0.5, "even overlapping blobs beat chance: {loose}");
+    }
+
+    #[test]
+    #[should_panic(expected = "has no training examples")]
+    fn missing_class_rejected() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 0];
+        let _ = SvmClassifier::train(&x, &y, 2, Kernel::Linear, SmoParams::default());
+    }
+}

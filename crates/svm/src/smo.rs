@@ -1,0 +1,345 @@
+//! Binary C-SVC trained by sequential minimal optimization (SMO).
+//!
+//! The optimizer is Platt's SMO with the standard maximum-|E₁−E₂|
+//! second-choice heuristic and a deterministic sweep order, which is
+//! plenty for the paper's tiny training sets (tens to hundreds of
+//! examples, 4-dimensional features). No shrinking, no caching beyond the
+//! error vector.
+
+use crate::kernel::Kernel;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoParams {
+    /// Box constraint C.
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Stop after this many consecutive sweeps without updates.
+    pub max_stale_passes: usize,
+    /// Hard cap on total sweeps (safety).
+    pub max_passes: usize,
+}
+
+impl Default for SmoParams {
+    fn default() -> Self {
+        Self {
+            c: 10.0,
+            tol: 1e-3,
+            max_stale_passes: 3,
+            max_passes: 200,
+        }
+    }
+}
+
+/// A trained binary classifier: support vectors with coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinarySvm {
+    kernel: Kernel,
+    support_vectors: Vec<Vec<f64>>,
+    /// `αᵢ·yᵢ` per support vector.
+    coefficients: Vec<f64>,
+    bias: f64,
+}
+
+impl BinarySvm {
+    /// Trains on `(x, y)` with labels `+1`/`−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, lengths mismatch, labels are not ±1,
+    /// or only one label value is present.
+    #[must_use]
+    pub fn train(x: &[Vec<f64>], y: &[i8], kernel: Kernel, params: SmoParams) -> Self {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len(), "feature/label count mismatch");
+        assert!(
+            y.iter().all(|&l| l == 1 || l == -1),
+            "labels must be +1 or -1"
+        );
+        assert!(
+            y.iter().any(|&l| l == 1) && y.iter().any(|&l| l == -1),
+            "need both classes to train"
+        );
+        let n = x.len();
+
+        // Precompute the kernel matrix — training sets here are tiny.
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = kernel.eval(&x[i], &x[j]);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+        }
+
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let yf: Vec<f64> = y.iter().map(|&l| f64::from(l)).collect();
+
+        // f(i) - y_i, maintained incrementally.
+        let decision = |alpha: &[f64], b: f64, k_row: &[f64]| -> f64 {
+            alpha
+                .iter()
+                .zip(yf.iter())
+                .zip(k_row.iter())
+                .map(|((&a, &yv), &kv)| a * yv * kv)
+                .sum::<f64>()
+                + b
+        };
+
+        let mut stale = 0;
+        let mut passes = 0;
+        while stale < params.max_stale_passes && passes < params.max_passes {
+            let mut changed = 0;
+            for i in 0..n {
+                let e_i = decision(&alpha, b, &k[i]) - yf[i];
+                let violates = (yf[i] * e_i < -params.tol && alpha[i] < params.c)
+                    || (yf[i] * e_i > params.tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Second choice: maximize |E_i − E_j| (deterministic).
+                let mut j_best = usize::MAX;
+                let mut gap_best = -1.0;
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let e_j = decision(&alpha, b, &k[j]) - yf[j];
+                    let gap = (e_i - e_j).abs();
+                    if gap > gap_best {
+                        gap_best = gap;
+                        j_best = j;
+                    }
+                }
+                let j = j_best;
+                let e_j = decision(&alpha, b, &k[j]) - yf[j];
+
+                let (alpha_i_old, alpha_j_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if yf[i] != yf[j] {
+                    (
+                        (alpha[j] - alpha[i]).max(0.0),
+                        (params.c + alpha[j] - alpha[i]).min(params.c),
+                    )
+                } else {
+                    (
+                        (alpha[i] + alpha[j] - params.c).max(0.0),
+                        (alpha[i] + alpha[j]).min(params.c),
+                    )
+                };
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = alpha_j_old - yf[j] * (e_i - e_j) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - alpha_j_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = alpha_i_old + yf[i] * yf[j] * (alpha_j_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+
+                let b1 = b - e_i
+                    - yf[i] * (ai - alpha_i_old) * k[i][i]
+                    - yf[j] * (aj - alpha_j_old) * k[i][j];
+                let b2 = b - e_j
+                    - yf[i] * (ai - alpha_i_old) * k[i][j]
+                    - yf[j] * (aj - alpha_j_old) * k[j][j];
+                b = if ai > 0.0 && ai < params.c {
+                    b1
+                } else if aj > 0.0 && aj < params.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                stale += 1;
+            } else {
+                stale = 0;
+            }
+            passes += 1;
+        }
+
+        // Keep only the support vectors.
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-8 {
+                support_vectors.push(x[i].clone());
+                coefficients.push(alpha[i] * yf[i]);
+            }
+        }
+        Self {
+            kernel,
+            support_vectors,
+            coefficients,
+            bias: b,
+        }
+    }
+
+    /// The signed decision value `Σ αᵢyᵢ k(svᵢ, x) + b`.
+    #[must_use]
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.support_vectors
+            .iter()
+            .zip(self.coefficients.iter())
+            .map(|(sv, &c)| c * self.kernel.eval(sv, x))
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Predicted label (`+1`/`−1`).
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> i8 {
+        if self.decision(x) >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// The support vectors.
+    #[must_use]
+    pub fn support_vectors(&self) -> &[Vec<f64>] {
+        &self.support_vectors
+    }
+
+    /// `αᵢ·yᵢ` per support vector.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The bias term.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The kernel this machine was trained with.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> (Vec<Vec<f64>>, Vec<i8>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let t = f64::from(i) * 0.1;
+            x.push(vec![t, t + 2.0]);
+            y.push(1);
+            x.push(vec![t + 2.0, t]);
+            y.push(-1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_linear_data() {
+        let (x, y) = linearly_separable();
+        let svm = BinarySvm::train(&x, &y, Kernel::Linear, SmoParams::default());
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(svm.predict(xi), yi);
+        }
+        assert_eq!(svm.predict(&[0.0, 5.0]), 1);
+        assert_eq!(svm.predict(&[5.0, 0.0]), -1);
+    }
+
+    #[test]
+    fn sparse_solution_on_separable_data() {
+        let (x, y) = linearly_separable();
+        let svm = BinarySvm::train(&x, &y, Kernel::Linear, SmoParams::default());
+        assert!(
+            svm.support_vectors().len() < x.len(),
+            "expected a sparse solution, got {} SVs of {} points",
+            svm.support_vectors().len(),
+            x.len()
+        );
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.9, 0.9],
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+        ];
+        let y = vec![1, 1, -1, -1, 1, 1, -1, -1];
+        let svm = BinarySvm::train(&x, &y, Kernel::Rbf { gamma: 4.0 }, SmoParams::default());
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(svm.predict(xi), yi, "at {xi:?}");
+        }
+    }
+
+    #[test]
+    fn dual_constraint_holds() {
+        // Σ αᵢ yᵢ = 0 ⇔ Σ coefficients = 0.
+        let (x, y) = linearly_separable();
+        let svm = BinarySvm::train(&x, &y, Kernel::Linear, SmoParams::default());
+        let sum: f64 = svm.coefficients().iter().sum();
+        assert!(sum.abs() < 1e-6, "dual constraint violated: {sum}");
+    }
+
+    #[test]
+    fn coefficients_respect_box_constraint() {
+        let (x, y) = linearly_separable();
+        let params = SmoParams { c: 2.5, ..SmoParams::default() };
+        let svm = BinarySvm::train(&x, &y, Kernel::Linear, params);
+        for &c in svm.coefficients() {
+            assert!(c.abs() <= 2.5 + 1e-9, "coefficient {c} exceeds C");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = linearly_separable();
+        let a = BinarySvm::train(&x, &y, Kernel::Rbf { gamma: 1.0 }, SmoParams::default());
+        let b = BinarySvm::train(&x, &y, Kernel::Rbf { gamma: 1.0 }, SmoParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decision_margin_sign_structure() {
+        let (x, y) = linearly_separable();
+        let svm = BinarySvm::train(&x, &y, Kernel::Linear, SmoParams::default());
+        // Points deep in each half-plane have larger |decision| than
+        // points near the boundary.
+        let deep = svm.decision(&[0.0, 10.0]);
+        let near = svm.decision(&[1.0, 1.2]);
+        assert!(deep > near.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn single_class_rejected() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![1, 1];
+        let _ = BinarySvm::train(&x, &y, Kernel::Linear, SmoParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn bad_labels_rejected() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let _ = BinarySvm::train(&x, &y, Kernel::Linear, SmoParams::default());
+    }
+}

@@ -1,0 +1,49 @@
+//! Online learning (the paper notes the AM "can be continuously updated
+//! for on-line learning"): a deployed classifier tracks electrode drift
+//! by updating prototypes from labelled feedback.
+//!
+//! Run with: `cargo run --release --example online_learning`
+
+use emg::{Dataset, SynthConfig};
+use hdc::{HdClassifier, HdConfig};
+
+fn accuracy(clf: &HdClassifier, windows: &[emg::Window]) -> f64 {
+    let ok = windows
+        .iter()
+        .filter(|w| clf.predict(&w.codes).unwrap().class() == w.label)
+        .count();
+    ok as f64 / windows.len() as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = HdConfig::emg_default();
+    let synth = SynthConfig::paper();
+
+    // Train on subject 0…
+    let day_one = Dataset::generate(&synth, 0, 42);
+    let mut clf = HdClassifier::new(config, day_one.classes())?;
+    for w in day_one.windows_of(&day_one.training_trial_indices(0.25), config.window) {
+        clf.train_window(w.label, &w.codes)?;
+    }
+    clf.finalize();
+
+    // …then deploy on a drifted session (same person, shifted
+    // electrodes ⇒ a different synthetic subject shares gesture
+    // structure but not pattern details).
+    let day_two = Dataset::generate(&synth, 7, 42);
+    let all: Vec<usize> = (0..day_two.trials().len()).collect();
+    let windows = day_two.windows_of(&all, config.window);
+    let before = accuracy(&clf, &windows);
+
+    // Adapt online: the user occasionally confirms the gesture label.
+    for (i, w) in windows.iter().enumerate() {
+        if i % 7 == 0 {
+            let _ = clf.predict_and_adapt(&w.codes, Some(w.label))?;
+        }
+    }
+    let after = accuracy(&clf, &windows);
+    println!("accuracy on drifted session: {:.1}% -> {:.1}% after online updates",
+             100.0 * before, 100.0 * after);
+    assert!(after >= before, "online adaptation must not hurt");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: train an HD classifier on two artificial gestures, then
+//! run the same classification on the simulated 4-core PULPv3 and check
+//! that silicon and golden model agree bit for bit.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hdc::{HdClassifier, HdConfig};
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_core::pipeline::{native_reference, AccelChain};
+use pulp_hd_core::platform::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train the golden model: 10,016-bit hypervectors, 4 channels.
+    let config = HdConfig::emg_default();
+    let mut clf = HdClassifier::new(config, 2)?;
+    let relaxed = vec![[1_500u16, 2_000, 1_200, 1_800]; 5];
+    let fist = vec![[52_000u16, 48_000, 20_000, 12_000]; 5];
+    for _ in 0..3 {
+        clf.train_window(0, &relaxed)?;
+        clf.train_window(1, &fist)?;
+    }
+    clf.finalize();
+    println!("golden model trained: fist  -> class {}", clf.predict(&fist)?.class());
+
+    // 2. Move the model onto the simulated PULPv3 cluster.
+    let params = AccelParams {
+        classes: 2,
+        ..AccelParams::emg_default()
+    };
+    let mut chain = AccelChain::new(&Platform::pulpv3(4), params)?;
+    let prototypes: Vec<_> = (0..2).map(|k| clf.am_mut().prototype(k).clone()).collect();
+    chain.load_model(clf.spatial().cim(), clf.spatial().im(), &prototypes)?;
+
+    // 3. Classify one sample on the accelerator and cross-check.
+    let sample = vec![vec![51_000u16, 47_500, 21_000, 11_500]];
+    let run = chain.classify(&sample)?;
+    let (query, distances, class) =
+        native_reference(clf.spatial().cim(), clf.spatial().im(), &prototypes, &sample);
+    assert_eq!(run.query, query, "simulated kernels match the golden model");
+    assert_eq!(run.distances, distances);
+    assert_eq!(run.class, class);
+
+    println!(
+        "PULPv3 4-core: class {} in {} cycles (map+encode {}, AM {})",
+        run.class, run.cycles_total, run.cycles_map_encode, run.cycles_am
+    );
+    println!("simulated platform and golden model agree bit for bit ✓");
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! # `pulp-hd` — reproduction of *PULP-HD* (DAC 2018)
+//!
+//! Umbrella crate re-exporting the whole system:
+//!
+//! * [`hdc`] — binary hyperdimensional computing (the algorithm and
+//!   golden model),
+//! * [`pulp_sim`] — the cycle-stepped PULP-cluster simulator (cores,
+//!   banked TCDM, DMA, barriers, power model),
+//! * [`core`](pulp_hd_core) — the accelerator: HD kernels lowered onto
+//!   the simulated cluster, platform presets, and the experiment
+//!   runners for every table and figure,
+//! * [`emg`] — the synthetic EMG hand-gesture workload,
+//! * [`svm`] — the SVM baseline.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! cargo run --release --example emg_gesture
+//! cargo run --release --example scalability
+//! cargo run --release --example online_learning
+//! ```
+
+#![warn(missing_docs)]
+
+pub use emg;
+pub use hdc;
+pub use pulp_hd_core;
+pub use pulp_sim;
+pub use svm;

@@ -1,0 +1,23 @@
+//! Whole-system determinism: every layer, from signal synthesis to the
+//! cycle-stepped simulation, is a pure function of its seeds.
+
+use emg::{Dataset, SynthConfig};
+use pulp_hd_core::experiments::measure_chain;
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_core::platform::Platform;
+
+#[test]
+fn dataset_and_simulation_are_reproducible() {
+    let synth = SynthConfig { reps: 2, trial_secs: 0.5, ..SynthConfig::paper() };
+    assert_eq!(
+        Dataset::generate(&synth, 3, 1234),
+        Dataset::generate(&synth, 3, 1234)
+    );
+
+    let params = AccelParams { n_words: 32, ..AccelParams::emg_default() };
+    let a = measure_chain(&Platform::wolf_builtin(8), params).unwrap();
+    let b = measure_chain(&Platform::wolf_builtin(8), params).unwrap();
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.map_encode, b.map_encode);
+    assert_eq!(a.am, b.am);
+}

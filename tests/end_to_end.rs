@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the full system from synthetic EMG to
+//! accelerated classification on the simulated platforms.
+
+use emg::{Dataset, SynthConfig};
+use hdc::{BinaryHv, HdClassifier, HdConfig};
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_core::pipeline::{native_reference, AccelChain};
+use pulp_hd_core::platform::Platform;
+
+/// Train on real (synthetic-EMG) data and verify the accelerated chain
+/// classifies a stream of windows identically to the golden model, on
+/// every platform.
+#[test]
+fn trained_model_runs_identically_on_all_platforms() {
+    let synth = SynthConfig {
+        reps: 3,
+        trial_secs: 1.0,
+        ..SynthConfig::paper()
+    };
+    let data = Dataset::generate(&synth, 0, 99);
+    // Reduced dimension keeps the cycle-level simulation quick; the
+    // full 313-word equivalence is covered in pulp-hd-core's tests.
+    let config = HdConfig {
+        n_words: 32,
+        ..HdConfig::emg_default()
+    };
+    let mut clf = HdClassifier::new(config, data.classes()).unwrap();
+    for w in data.windows_of(&data.training_trial_indices(0.34), config.window) {
+        clf.train_window(w.label, &w.codes).unwrap();
+    }
+    clf.finalize();
+
+    let params = AccelParams {
+        n_words: 32,
+        ..AccelParams::emg_default()
+    };
+    let prototypes: Vec<BinaryHv> = (0..data.classes())
+        .map(|k| clf.am_mut().prototype(k).clone())
+        .collect();
+
+    let all: Vec<usize> = (0..data.trials().len()).collect();
+    let windows = data.windows_of(&all, 1); // chain consumes N=1 windows
+
+    for platform in [
+        Platform::pulpv3(4),
+        Platform::wolf_builtin(8),
+        Platform::cortex_m4(),
+    ] {
+        let mut chain = AccelChain::new(&platform, params).unwrap();
+        chain
+            .load_model(clf.spatial().cim(), clf.spatial().im(), &prototypes)
+            .unwrap();
+        for w in windows.iter().step_by(97) {
+            let run = chain.classify(&w.codes).unwrap();
+            let (query, distances, class) = native_reference(
+                clf.spatial().cim(),
+                clf.spatial().im(),
+                &prototypes,
+                &w.codes,
+            );
+            assert_eq!(run.query, query, "{}: query diverged", platform.name);
+            assert_eq!(run.distances, distances, "{}", platform.name);
+            assert_eq!(run.class, class, "{}", platform.name);
+        }
+    }
+}
+
+/// The ngram chain (N > 1) agrees with the golden model across a sweep
+/// of shapes — channels around the register/scratch boundary, varying N.
+#[test]
+fn shape_sweep_bit_exactness() {
+    for (channels, ngram, cores) in [(3usize, 2usize, 4usize), (5, 3, 8), (6, 5, 2), (8, 10, 8)] {
+        let params = AccelParams {
+            n_words: 12,
+            channels,
+            ngram,
+            classes: 3,
+            ..AccelParams::emg_default()
+        };
+        let cim = hdc::ContinuousItemMemory::new(params.levels, params.n_words, 5);
+        let im = hdc::ItemMemory::new(channels, params.n_words, 6);
+        let protos: Vec<BinaryHv> = (0..3).map(|k| BinaryHv::random(12, 70 + k)).collect();
+        let mut chain = AccelChain::new(&Platform::wolf_builtin(cores), params).unwrap();
+        chain.load_model(&cim, &im, &protos).unwrap();
+        let window: Vec<Vec<u16>> = (0..ngram)
+            .map(|t| (0..channels).map(|c| ((t * 7 + c * 13) * 997 % 65536) as u16).collect())
+            .collect();
+        let run = chain.classify(&window).unwrap();
+        let (query, distances, class) = native_reference(&cim, &im, &protos, &window);
+        assert_eq!(run.query, query, "C={channels} N={ngram} cores={cores}");
+        assert_eq!(run.distances, distances);
+        assert_eq!(run.class, class);
+    }
+}
+
+/// Robustness claim: classification survives faulty prototype memory
+/// (the paper's graceful-degradation argument), end to end through the
+/// accelerated chain.
+#[test]
+fn accelerated_chain_tolerates_prototype_faults() {
+    let params = AccelParams {
+        n_words: 64,
+        ..AccelParams::emg_default()
+    };
+    let cim = hdc::ContinuousItemMemory::new(params.levels, params.n_words, 1);
+    let im = hdc::ItemMemory::new(params.channels, params.n_words, 2);
+    // Prototypes from distinct level patterns.
+    let patterns: [[u16; 4]; 5] = [
+        [1000, 1000, 1000, 1000],
+        [60000, 50000, 20000, 9000],
+        [12000, 58000, 47000, 15000],
+        [40000, 18000, 56000, 35000],
+        [14000, 30000, 21000, 61000],
+    ];
+    let protos: Vec<BinaryHv> = patterns
+        .iter()
+        .map(|p| native_reference(&cim, &im, &[BinaryHv::zeros(64)], &[p.to_vec()]).0)
+        .collect();
+    // Flip 8% of every prototype's bits (faulty AM cells).
+    let faulty: Vec<BinaryHv> = protos
+        .iter()
+        .enumerate()
+        .map(|(i, p)| p.with_bit_flips(64 * 32 * 8 / 100, i as u64))
+        .collect();
+    let mut chain = AccelChain::new(&Platform::wolf_builtin(8), params).unwrap();
+    chain.load_model(&cim, &im, &faulty).unwrap();
+    for (expected, p) in patterns.iter().enumerate() {
+        let run = chain.classify(&[p.to_vec()]).unwrap();
+        assert_eq!(run.class, expected, "pattern {expected} misclassified under faults");
+    }
+}

@@ -1,0 +1,44 @@
+//! Full-scale experiment invariants: the headline numbers of the paper,
+//! regenerated at the exact paper workload (313 words, 4 channels,
+//! 5 classes, N = 1).
+
+use pulp_hd_core::experiments::{measure_chain, table3};
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_core::platform::Platform;
+
+#[test]
+fn table3_full_scale_speedups_match_paper_shape() {
+    let t = table3::run().unwrap();
+    let base = t.columns[0].measured;
+
+    // PULPv3 4 cores: paper 3.73x.
+    let sp4 = t.columns[1].speedup_vs(&base);
+    assert!((3.4..4.1).contains(&sp4), "PULPv3 4c speed-up {sp4}");
+    // Wolf 1 core plain: paper 1.23x.
+    let spw = t.columns[2].speedup_vs(&base);
+    assert!((1.1..1.4).contains(&spw), "Wolf plain speed-up {spw}");
+    // Wolf 1 core built-in: paper 2.84x.
+    let spb = t.columns[3].speedup_vs(&base);
+    assert!((2.2..3.2).contains(&spb), "Wolf built-in speed-up {spb}");
+    // Wolf 8 cores built-in: paper 18.38x.
+    let sp8 = t.columns[4].speedup_vs(&base);
+    assert!((15.0..21.0).contains(&sp8), "Wolf 8c speed-up {sp8}");
+
+    // Kernel load split on one PULPv3 core: paper 92.3% / 7.7%.
+    let share = t.columns[0].map_encode_share();
+    assert!((0.85..0.95).contains(&share), "MAP+ENC share {share}");
+
+    // AM kernel absolute cycles land within 15% of the paper's 41k.
+    let am = t.columns[0].measured.am as f64;
+    assert!((34_800.0..47_200.0).contains(&am), "AM cycles {am}");
+}
+
+#[test]
+fn m4_needs_fewer_cycles_than_pulpv3_single_core() {
+    // Table 2's relationship: the M4 runs the serial chain in fewer
+    // cycles than the single-core PULPv3 (439k vs 533k in the paper).
+    let params = AccelParams::emg_default();
+    let m4 = measure_chain(&Platform::cortex_m4(), params).unwrap();
+    let p1 = measure_chain(&Platform::pulpv3(1), params).unwrap();
+    assert!(m4.total < p1.total, "M4 {} vs PULPv3 {}", m4.total, p1.total);
+}
