@@ -1,49 +1,56 @@
-//! Criterion benchmarks backing the figure sweeps: simulation throughput
-//! across the dimension (Fig. 3), core-count (Fig. 4) and channel
-//! (Fig. 5) axes, at reduced scale.
+//! Benchmarks backing the figure sweeps: simulation throughput across
+//! the dimension (Fig. 3), core-count (Fig. 4) and channel (Fig. 5)
+//! axes, at reduced scale.
+//!
+//! Run with: `cargo bench -p pulp-hd-bench --bench figures`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use pulp_hd_bench::timing::bench;
 use pulp_hd_core::experiments::measure_chain;
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
 
-fn bench_dimension_axis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig3_dimension");
-    group.sample_size(10);
+fn bench_dimension_axis() {
     for words in [32usize, 125] {
-        let params = AccelParams { n_words: words, ..AccelParams::emg_default() };
-        group.bench_with_input(BenchmarkId::from_parameter(words * 32), &params, |b, p| {
-            b.iter(|| measure_chain(black_box(&Platform::wolf_builtin(8)), *p).unwrap())
+        let params = AccelParams {
+            n_words: words,
+            ..AccelParams::emg_default()
+        };
+        bench(&format!("fig3_dimension/{}", words * 32), 10, || {
+            measure_chain(black_box(&Platform::wolf_builtin(8)), params).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_core_axis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_cores");
-    group.sample_size(10);
+fn bench_core_axis() {
     for cores in [1usize, 8] {
-        let params = AccelParams { n_words: 79, ngram: 3, ..AccelParams::emg_default() };
-        group.bench_with_input(BenchmarkId::from_parameter(cores), &params, |b, p| {
-            b.iter(|| measure_chain(black_box(&Platform::wolf_builtin(cores)), *p).unwrap())
+        let params = AccelParams {
+            n_words: 79,
+            ngram: 3,
+            ..AccelParams::emg_default()
+        };
+        bench(&format!("fig4_cores/{cores}"), 10, || {
+            measure_chain(black_box(&Platform::wolf_builtin(cores)), params).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_channel_axis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_channels");
-    group.sample_size(10);
+fn bench_channel_axis() {
     for channels in [4usize, 32] {
-        let params = AccelParams { n_words: 79, channels, ..AccelParams::emg_default() };
-        group.bench_with_input(BenchmarkId::from_parameter(channels), &params, |b, p| {
-            b.iter(|| measure_chain(black_box(&Platform::wolf_builtin(8)), *p).unwrap())
+        let params = AccelParams {
+            n_words: 79,
+            channels,
+            ..AccelParams::emg_default()
+        };
+        bench(&format!("fig5_channels/{channels}"), 10, || {
+            measure_chain(black_box(&Platform::wolf_builtin(8)), params).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_dimension_axis, bench_core_axis, bench_channel_axis);
-criterion_main!(benches);
+fn main() {
+    bench_dimension_axis();
+    bench_core_axis();
+    bench_channel_axis();
+}

@@ -1,45 +1,64 @@
-//! Criterion micro-benchmarks of the native HDC primitives: the
-//! operations whose per-word cost the accelerated kernels reproduce.
+//! Micro-benchmarks of the native HDC primitives: the operations whose
+//! per-word cost the accelerated kernels reproduce, in both the `u32`
+//! golden-model packing and the `u64` fast-backend packing.
+//!
+//! Run with: `cargo bench -p pulp-hd-bench --bench hdc_ops`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use hdc::bundle::majority_paper;
+use hdc::hv64::{majority_paper64, Hv64};
 use hdc::{BinaryHv, HdClassifier, HdConfig, SpatialEncoder};
+use pulp_hd_bench::timing::bench;
 
-fn bench_primitives(c: &mut Criterion) {
+fn bench_primitives() {
     let a = BinaryHv::random(313, 1);
     let b = BinaryHv::random(313, 2);
-    c.bench_function("bind_10016", |bch| bch.iter(|| black_box(&a).bind(black_box(&b))));
-    c.bench_function("hamming_10016", |bch| {
-        bch.iter(|| black_box(&a).hamming(black_box(&b)))
+    bench("bind_10016", 20_000, || black_box(&a).bind(black_box(&b)));
+    bench("hamming_10016", 50_000, || {
+        black_box(&a).hamming(black_box(&b))
     });
-    c.bench_function("rotate1_10016", |bch| bch.iter(|| black_box(&a).rotate_one()));
+    bench("rotate1_10016", 20_000, || black_box(&a).rotate_one());
+
+    let a64 = Hv64::from_binary(&a);
+    let b64 = Hv64::from_binary(&b);
+    bench("bind_10016_u64", 20_000, || {
+        black_box(&a64).bind(black_box(&b64))
+    });
+    bench("hamming_10016_u64", 50_000, || {
+        black_box(&a64).hamming(black_box(&b64))
+    });
+    bench("rotate1_10016_u64", 20_000, || black_box(&a64).rotate(1));
 
     let inputs: Vec<BinaryHv> = (0..5).map(|s| BinaryHv::random(313, s)).collect();
-    c.bench_function("majority5_10016", |bch| {
-        bch.iter(|| majority_paper(black_box(&inputs)))
+    bench("majority5_10016", 5_000, || {
+        majority_paper(black_box(&inputs))
+    });
+    let packed: Vec<Hv64> = inputs.iter().map(Hv64::from_binary).collect();
+    let refs: Vec<&Hv64> = packed.iter().collect();
+    bench("majority5_10016_u64", 5_000, || {
+        majority_paper64(black_box(&refs))
     });
 }
 
-fn bench_encoders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spatial_encode");
+fn bench_encoders() {
     for channels in [4usize, 16, 64] {
         let enc = SpatialEncoder::new(channels, 22, 313, 7);
         let codes: Vec<u16> = (0..channels).map(|i| (i * 977) as u16).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(channels), &codes, |bch, codes| {
-            bch.iter(|| enc.encode_codes(black_box(codes)))
+        bench(&format!("spatial_encode/{channels}"), 2_000, || {
+            enc.encode_codes(black_box(&codes))
         });
     }
-    group.finish();
 
     let config = HdConfig::emg_default();
     let clf = HdClassifier::new(config, 5).unwrap();
     let window = vec![[1000u16, 40_000, 20_000, 60_000]; 5];
-    c.bench_function("encode_window_emg", |bch| {
-        bch.iter(|| clf.encode_window(black_box(&window)).unwrap())
+    bench("encode_window_emg", 1_000, || {
+        clf.encode_window(black_box(&window)).unwrap()
     });
 }
 
-criterion_group!(benches, bench_primitives, bench_encoders);
-criterion_main!(benches);
+fn main() {
+    bench_primitives();
+    bench_encoders();
+}

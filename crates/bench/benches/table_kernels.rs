@@ -1,20 +1,23 @@
-//! Criterion benchmarks of the simulated chain itself — one benchmark
-//! per Table 3 column (wall-clock of the simulation; the *cycle counts*
-//! are what the table binaries report).
+//! Benchmarks of the simulated chain itself — one benchmark per Table 3
+//! column (wall-clock of the simulation; the *cycle counts* are what
+//! the table binaries report).
+//!
+//! Run with: `cargo bench -p pulp-hd-bench --bench table_kernels`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use pulp_hd_bench::timing::bench;
 use pulp_hd_core::experiments::measure_chain;
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
 
-fn bench_chains(c: &mut Criterion) {
+fn main() {
     // Quarter dimension keeps bench wall-time sane; cycle ratios are
     // dimension-independent (Fig. 3).
-    let params = AccelParams { n_words: 79, ..AccelParams::emg_default() };
-    let mut group = c.benchmark_group("simulated_chain");
-    group.sample_size(10);
+    let params = AccelParams {
+        n_words: 79,
+        ..AccelParams::emg_default()
+    };
     let configs = [
         ("pulpv3_1c", Platform::pulpv3(1)),
         ("pulpv3_4c", Platform::pulpv3(4)),
@@ -24,12 +27,8 @@ fn bench_chains(c: &mut Criterion) {
         ("cortex_m4", Platform::cortex_m4()),
     ];
     for (name, platform) in configs {
-        group.bench_function(name, |b| {
-            b.iter(|| measure_chain(black_box(&platform), black_box(params)).unwrap())
+        bench(&format!("simulated_chain/{name}"), 10, || {
+            measure_chain(black_box(&platform), black_box(params)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_chains);
-criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Backend throughput: windows/second per execution backend at batch
+//! sizes 1 / 32 / 256 — the perf baseline future scaling PRs must beat.
+//!
+//! The golden backend loops single-window calls (its only mode); the
+//! fast backend runs the same batches single-threaded and multi-threaded
+//! through `classify_batch`. The simulated-cluster backend is included
+//! at reduced dimension for completeness: its wall-clock is the cost of
+//! *simulating* the hardware, not a host-throughput contender.
+//!
+//! Exits non-zero if the multi-threaded fast backend fails to beat the
+//! looped golden backend on the large batch — the regression guard for
+//! the batched classification pipeline.
+//!
+//! Run with: `cargo bench -p pulp-hd-bench --bench throughput`
+
+use emg::{Dataset, SynthConfig};
+use pulp_hd_bench::timing::bench;
+use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel};
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_core::platform::Platform;
+
+/// Synthetic-EMG windows at the paper's shape (5 samples × 4 channels).
+fn emg_windows(count: usize) -> Vec<Vec<Vec<u16>>> {
+    let synth = SynthConfig {
+        reps: 4,
+        trial_secs: 1.0,
+        ..SynthConfig::paper()
+    };
+    let data = Dataset::generate(&synth, 0, 0xBE7C);
+    let all: Vec<usize> = (0..data.trials().len()).collect();
+    let windows = data.windows_of(&all, 5);
+    assert!(
+        windows.len() >= count,
+        "dataset yields {} windows",
+        windows.len()
+    );
+    windows.into_iter().take(count).map(|w| w.codes).collect()
+}
+
+fn main() {
+    let params = AccelParams::emg_default(); // 313 words ≙ 10,016-D
+    let model = HdModel::random(&params, 0x7412);
+    let windows = emg_windows(256);
+
+    let mut golden = GoldenBackend.prepare(&model).expect("golden prepare");
+    let mut fast1 = FastBackend::with_threads(1)
+        .prepare(&model)
+        .expect("fast prepare");
+    let threads = FastBackend::new().threads().max(4);
+    let mut fast_mt = FastBackend::with_threads(threads)
+        .prepare(&model)
+        .expect("fast prepare");
+
+    println!("backend throughput, 10,016-D EMG model, windows of 5 samples × 4 channels\n");
+    let mut headline = None;
+    for batch in [1usize, 32, 256] {
+        let batch_windows = &windows[..batch];
+        // Keep ≥8 timed iterations even at the largest batch: the
+        // batch-256 comparison gates CI, so it must ride out scheduler
+        // noise on shared runners.
+        let iters = (1024 / batch).max(8) as u32;
+
+        let g = bench(&format!("golden/loop/batch{batch}"), iters, || {
+            batch_windows
+                .iter()
+                .map(|w| golden.classify(w).unwrap())
+                .collect::<Vec<_>>()
+        });
+        let f1 = bench(&format!("fast/1thread/batch{batch}"), iters, || {
+            fast1.classify_batch(batch_windows).unwrap()
+        });
+        let fm = bench(
+            &format!("fast/{threads}threads/batch{batch}"),
+            iters,
+            || fast_mt.classify_batch(batch_windows).unwrap(),
+        );
+
+        let wps = |secs_per_batch: f64| batch as f64 / secs_per_batch;
+        println!(
+            "  batch {batch:>3}: golden {:>10.0} w/s   fast×1 {:>10.0} w/s   fast×{threads} {:>10.0} w/s\n",
+            wps(g.per_iter().as_secs_f64()),
+            wps(f1.per_iter().as_secs_f64()),
+            wps(fm.per_iter().as_secs_f64()),
+        );
+        if batch == 256 {
+            headline = Some((g.per_iter().as_secs_f64(), fm.per_iter().as_secs_f64()));
+        }
+    }
+
+    // The simulated platform, for scale: wall-clock of cycle-accurate
+    // simulation at quarter dimension, one window at a time.
+    let reduced = AccelParams {
+        n_words: 79,
+        ..params
+    };
+    let reduced_model = HdModel::random(&reduced, 0x7412);
+    let mut accel = AccelBackend::new(Platform::wolf_builtin(8))
+        .prepare(&reduced_model)
+        .expect("accel prepare");
+    let one_gram = vec![windows[0][0].clone()];
+    bench("accel_sim/wolf8/2528-D/batch1", 3, || {
+        accel.classify(&one_gram).unwrap()
+    });
+
+    let (golden_t, fast_t) = headline.expect("batch 256 measured");
+    let speedup = golden_t / fast_t;
+    println!("\nfast backend ({threads} threads, batch 256) vs looped golden: {speedup:.2}x");
+    assert!(
+        speedup > 1.0,
+        "multi-threaded fast backend must beat the looped golden baseline, got {speedup:.2}x"
+    );
+}

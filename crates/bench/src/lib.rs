@@ -3,7 +3,15 @@
 //! One binary per table/figure of the paper (`table1`, `table2`,
 //! `table3`, `fig3`, `fig4`, `fig5`, `accuracy`, `ablation`, and `all`),
 //! each printing the regenerated result next to the paper's published
-//! numbers, plus Criterion micro-benchmarks over the native HDC
-//! operations and the simulated kernels.
+//! numbers, plus micro-benchmarks over the native HDC operations, the
+//! simulated kernels, and the execution backends' batch throughput
+//! (`benches/throughput.rs`).
 //!
-//! Run e.g. `cargo run --release -p pulp-hd-bench --bin table3`.
+//! Run e.g. `cargo run --release -p pulp-hd-bench --bin table3`, or
+//! `cargo bench -p pulp-hd-bench` for the micro-benchmarks.
+//!
+//! The [`timing`] module is a dependency-free stand-in for a bench
+//! framework: the build environment is offline, so measurement is a
+//! plain warm-up + timed-loop harness with wall-clock reporting.
+
+pub mod timing;

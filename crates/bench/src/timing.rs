@@ -1,0 +1,100 @@
+//! Minimal wall-clock measurement for the `harness = false` benches.
+//!
+//! Deliberately simple: a short warm-up, one timed loop, mean time per
+//! iteration. Good enough to compare implementations on the same
+//! machine in the same run, which is all the benches here do.
+
+use std::time::{Duration, Instant};
+
+/// Result of one measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Total wall-clock over all timed iterations.
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Mean wall-clock per iteration.
+    #[must_use]
+    pub fn per_iter(&self) -> Duration {
+        self.total / self.iters
+    }
+
+    /// Iterations per second.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        f64::from(self.iters) / self.total.as_secs_f64()
+    }
+}
+
+/// Times `f` over `iters` iterations after `iters / 10 + 1` warm-up
+/// runs, prints one aligned report line, and returns the measurement.
+///
+/// Wrap inputs in [`std::hint::black_box`] at the call site when the
+/// computation could otherwise be hoisted.
+pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> Measurement {
+    assert!(iters > 0, "benchmark needs at least one iteration");
+    for _ in 0..(iters / 10 + 1) {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let total = start.elapsed();
+    let m = Measurement {
+        name: name.to_string(),
+        iters,
+        total,
+    };
+    println!(
+        "{:40} {:>12} /iter   ({} iters)",
+        m.name,
+        format_duration(m.per_iter()),
+        m.iters
+    );
+    m
+}
+
+/// Renders a duration with a unit fitting its magnitude.
+#[must_use]
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut runs = 0u32;
+        let m = bench("noop", 10, || {
+            runs += 1;
+        });
+        assert_eq!(m.iters, 10);
+        assert!(runs >= 10, "timed loop must run");
+        assert!(m.rate() > 0.0);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

@@ -1,0 +1,266 @@
+//! The throughput backend: the HD chain on `u64`-packed hypervectors
+//! with multi-threaded batch classification.
+//!
+//! Three things make it fast while staying bit-identical to the golden
+//! model (a property test pins this — see `tests/` here and at the
+//! workspace root):
+//!
+//! * hypervectors are repacked into [`Hv64`] words, halving the word
+//!   count of every bind/rotate/majority/popcount;
+//! * the `channels × levels` bind table `IM[c] ⊕ CIM[l]` is
+//!   precomputed at [`prepare`](super::ExecutionBackend::prepare) time,
+//!   removing one XOR per channel per sample from the hot path;
+//! * [`classify_batch`](super::BackendSession::classify_batch) splits
+//!   the batch across OS threads (sessions hold no mutable state, so
+//!   windows are embarrassingly parallel).
+//!
+//! Single-window latency is similar to the golden model's; the win is
+//! batch throughput — the regime the ROADMAP's "heavy traffic" goal
+//! cares about. `crates/bench/benches/throughput.rs` measures both.
+
+use hdc::hv64::{majority_paper64, ngram64, Hv64};
+use hdc::item_memory::quantize_code;
+
+use super::{
+    argmin, validate_window, BackendError, BackendSession, ExecutionBackend, HdModel, Verdict,
+};
+
+/// The `u64`-packed multi-threaded host backend.
+///
+/// The thread count applies to
+/// [`classify_batch`](super::BackendSession::classify_batch); single
+/// windows always run inline on the calling thread.
+#[derive(Debug, Clone, Copy)]
+pub struct FastBackend {
+    threads: usize,
+}
+
+impl FastBackend {
+    /// A backend using all available CPU parallelism for batches.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self { threads }
+    }
+
+    /// A backend with an explicit batch thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "fast backend needs at least one thread");
+        Self { threads }
+    }
+
+    /// The configured batch thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for FastBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionBackend for FastBackend {
+    fn name(&self) -> &'static str {
+        "fast"
+    }
+
+    fn prepare(&self, model: &HdModel) -> Result<Box<dyn BackendSession>, BackendError> {
+        let levels = model.levels();
+        let bound: Vec<Vec<Hv64>> = (0..model.channels())
+            .map(|c| {
+                (0..levels)
+                    .map(|l| Hv64::from_binary(&model.im().get(c).bind(model.cim().get(l))))
+                    .collect()
+            })
+            .collect();
+        let prototypes: Vec<Hv64> = model.prototypes().iter().map(Hv64::from_binary).collect();
+        Ok(Box::new(FastSession {
+            bound,
+            prototypes,
+            levels,
+            ngram: model.ngram(),
+            threads: self.threads,
+        }))
+    }
+}
+
+struct FastSession {
+    /// `bound[c][l] = IM[c] ⊕ CIM[l]`, the per-sample bind table.
+    bound: Vec<Vec<Hv64>>,
+    prototypes: Vec<Hv64>,
+    levels: usize,
+    ngram: usize,
+    threads: usize,
+}
+
+impl FastSession {
+    fn classify_one(&self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
+        validate_window(window, self.bound.len(), self.ngram)?;
+        let spatials: Vec<Hv64> = window
+            .iter()
+            .map(|sample| {
+                let bound: Vec<&Hv64> = sample
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &code)| &self.bound[c][quantize_code(code, self.levels)])
+                    .collect();
+                majority_paper64(&bound)
+            })
+            .collect();
+        let grams: Vec<Hv64> = (0..=spatials.len() - self.ngram)
+            .map(|t| ngram64(&spatials[t..t + self.ngram]))
+            .collect();
+        let gram_refs: Vec<&Hv64> = grams.iter().collect();
+        let query = majority_paper64(&gram_refs);
+        let distances: Vec<u32> = self.prototypes.iter().map(|p| p.hamming(&query)).collect();
+        Ok(Verdict {
+            class: argmin(&distances),
+            distances,
+            query: query.to_binary(),
+            cycles: None,
+        })
+    }
+}
+
+impl BackendSession for FastSession {
+    fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
+        self.classify_one(window)
+    }
+
+    fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
+        let threads = self.threads.min(windows.len());
+        if threads <= 1 {
+            return windows.iter().map(|w| self.classify_one(w)).collect();
+        }
+        let chunk = windows.len().div_ceil(threads);
+        let session: &FastSession = self;
+        let chunk_results: Vec<Result<Vec<Verdict>, BackendError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = windows
+                .chunks(chunk)
+                .map(|ws| {
+                    scope.spawn(move || {
+                        ws.iter()
+                            .map(|w| session.classify_one(w))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("classification worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(windows.len());
+        for chunk in chunk_results {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::GoldenBackend;
+    use crate::layout::AccelParams;
+    use hdc::rng::Xoshiro256PlusPlus;
+
+    fn random_windows(
+        params: &AccelParams,
+        samples: usize,
+        count: usize,
+        seed: u64,
+    ) -> Vec<Vec<Vec<u16>>> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                (0..samples)
+                    .map(|_| {
+                        (0..params.channels)
+                            .map(|_| (rng.next_u32() & 0xffff) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The decisive property: fast == golden, bit for bit, across
+    /// random shapes and inputs.
+    #[test]
+    fn bit_identical_to_golden_across_shapes() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xFA57_BACC);
+        for case in 0..24 {
+            let params = AccelParams {
+                n_words: 1 + rng.next_below(24) as usize,
+                channels: 1 + rng.next_below(8) as usize,
+                levels: 2 + rng.next_below(28) as usize,
+                ngram: 1 + rng.next_below(4) as usize,
+                classes: 2 + rng.next_below(5) as usize,
+            };
+            let model = HdModel::random(&params, rng.next_u64());
+            let samples = params.ngram + rng.next_below(4) as usize;
+            let windows = random_windows(&params, samples, 6, rng.next_u64());
+            let mut golden = GoldenBackend.prepare(&model).unwrap();
+            let mut fast = FastBackend::with_threads(3).prepare(&model).unwrap();
+            let expected = golden.classify_batch(&windows).unwrap();
+            let got = fast.classify_batch(&windows).unwrap();
+            assert_eq!(got, expected, "case {case} with {params:?}");
+        }
+    }
+
+    #[test]
+    fn batch_order_is_preserved_across_thread_counts() {
+        let params = AccelParams {
+            n_words: 16,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 11);
+        let windows = random_windows(&params, 1, 37, 5);
+        let mut one = FastBackend::with_threads(1).prepare(&model).unwrap();
+        let sequential = one.classify_batch(&windows).unwrap();
+        for threads in [2usize, 4, 8] {
+            let mut many = FastBackend::with_threads(threads).prepare(&model).unwrap();
+            assert_eq!(
+                many.classify_batch(&windows).unwrap(),
+                sequential,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_input_errors() {
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 2);
+        let mut session = FastBackend::with_threads(4).prepare(&model).unwrap();
+        let mut windows = random_windows(&params, 1, 8, 3);
+        windows[5] = vec![vec![0u16; 3]]; // wrong channel count
+        assert!(matches!(
+            session.classify_batch(&windows),
+            Err(BackendError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 2);
+        let mut session = FastBackend::new().prepare(&model).unwrap();
+        assert!(session.classify_batch(&[]).unwrap().is_empty());
+    }
+}

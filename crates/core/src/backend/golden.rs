@@ -1,0 +1,147 @@
+//! The golden-model backend: the `hdc` scalar reference implementation
+//! behind the uniform [`ExecutionBackend`] interface.
+//!
+//! This is the semantic anchor of the backend layer — the other backends
+//! are correct exactly when they reproduce this one bit for bit. It is
+//! not fast (one `u32` word per operation, no threading); use
+//! [`FastBackend`](super::FastBackend) for throughput and
+//! [`AccelBackend`](super::AccelBackend) for cycle-accurate timing.
+
+use hdc::encoder::{SpatialEncoder, TemporalEncoder};
+use hdc::BinaryHv;
+
+use super::{
+    argmin, validate_window, BackendError, BackendSession, ExecutionBackend, HdModel, Verdict,
+};
+
+/// The scalar golden-model backend (zero-configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GoldenBackend;
+
+impl ExecutionBackend for GoldenBackend {
+    fn name(&self) -> &'static str {
+        "golden"
+    }
+
+    fn prepare(&self, model: &HdModel) -> Result<Box<dyn BackendSession>, BackendError> {
+        Ok(Box::new(GoldenSession {
+            spatial: SpatialEncoder::from_parts(model.im().clone(), model.cim().clone()),
+            prototypes: model.prototypes().to_vec(),
+            temporal: TemporalEncoder::new(model.ngram()),
+        }))
+    }
+}
+
+struct GoldenSession {
+    spatial: SpatialEncoder,
+    prototypes: Vec<BinaryHv>,
+    temporal: TemporalEncoder,
+}
+
+impl BackendSession for GoldenSession {
+    fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
+        validate_window(window, self.spatial.channels(), self.temporal.n())?;
+        let spatials: Vec<BinaryHv> = window
+            .iter()
+            .map(|s| self.spatial.encode_codes(s))
+            .collect();
+        let query = self.temporal.encode(&spatials);
+        let distances: Vec<u32> = self.prototypes.iter().map(|p| p.hamming(&query)).collect();
+        Ok(Verdict {
+            class: argmin(&distances),
+            distances,
+            query,
+            cycles: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::AccelParams;
+    use crate::pipeline::native_reference;
+
+    #[test]
+    fn matches_native_reference_on_single_gram_windows() {
+        let params = AccelParams {
+            n_words: 16,
+            ngram: 3,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 7);
+        let mut session = GoldenBackend.prepare(&model).unwrap();
+        let window: Vec<Vec<u16>> = (0..3)
+            .map(|t| {
+                (0..4)
+                    .map(|c| ((t * 31 + c * 17) * 991 % 65_536) as u16)
+                    .collect()
+            })
+            .collect();
+        let verdict = session.classify(&window).unwrap();
+        let (query, distances, class) =
+            native_reference(model.cim(), model.im(), model.prototypes(), &window);
+        assert_eq!(verdict.query, query);
+        assert_eq!(verdict.distances, distances);
+        assert_eq!(verdict.class, class);
+        assert!(verdict.cycles.is_none());
+    }
+
+    #[test]
+    fn matches_golden_classifier_on_sliding_windows() {
+        use hdc::{HdClassifier, HdConfig};
+        let config = HdConfig {
+            n_words: 32,
+            channels: 4,
+            levels: 22,
+            ngram: 2,
+            window: 5,
+            seed: 3,
+        };
+        let mut clf = HdClassifier::new(config, 3).unwrap();
+        let windows: Vec<Vec<Vec<u16>>> = (0..3)
+            .map(|k: usize| {
+                (0..5)
+                    .map(|t: usize| {
+                        (0..4)
+                            .map(|c: usize| ((k * 20_000 + t * 700 + c * 97) % 65_536) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        for (class, w) in windows.iter().enumerate() {
+            clf.train_window(class, w).unwrap();
+        }
+        clf.finalize();
+        let model = HdModel::from_classifier(&mut clf);
+        let mut session = GoldenBackend.prepare(&model).unwrap();
+        for w in &windows {
+            let verdict = session.classify(w).unwrap();
+            let expected = clf.predict(w).unwrap();
+            assert_eq!(verdict.class, expected.class());
+            assert_eq!(verdict.distances, expected.distances());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_windows() {
+        let params = AccelParams {
+            n_words: 8,
+            ngram: 2,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 1);
+        let mut session = GoldenBackend.prepare(&model).unwrap();
+        // Too short for the n-gram.
+        assert!(matches!(
+            session.classify(&[vec![0u16; 4]]),
+            Err(BackendError::Input(_))
+        ));
+        // Wrong channel count.
+        assert!(matches!(
+            session.classify(&[vec![0u16; 4], vec![0u16; 3]]),
+            Err(BackendError::Input(_))
+        ));
+    }
+}

@@ -1,0 +1,370 @@
+//! The unified execution-backend layer.
+//!
+//! PULP-HD's point is that one HD-computing chain (MAP → spatial /
+//! temporal encode → associative-memory search) can be lowered onto very
+//! different execution substrates and compared apples-to-apples. This
+//! module is that seam: [`ExecutionBackend::prepare`] turns a trained
+//! [`HdModel`] into a [`BackendSession`], and every session answers
+//! [`classify`](BackendSession::classify) /
+//! [`classify_batch`](BackendSession::classify_batch) with a [`Verdict`]
+//! carrying the predicted class, the per-class Hamming distances, the
+//! query hypervector, and — when the substrate measures time — the cycle
+//! breakdown.
+//!
+//! Three substrates ship today:
+//!
+//! * [`GoldenBackend`] — the `hdc` scalar golden model; the semantic
+//!   reference every other backend must match bit for bit.
+//! * [`AccelBackend`] — the simulated PULP cluster
+//!   ([`AccelChain`](crate::pipeline::AccelChain)); the only backend
+//!   that reports cycles.
+//! * [`FastBackend`] — a throughput-oriented pure-Rust engine on
+//!   `u64`-packed hypervectors with multi-threaded batch classification.
+//!
+//! All three produce identical classes, distances, and query
+//! hypervectors on identical inputs; `tests/determinism.rs` and
+//! `crates/core/tests/prop_equivalence.rs` pin that equivalence on
+//! random EMG windows and random chain shapes.
+//!
+//! ## Example
+//!
+//! ```
+//! use pulp_hd_core::backend::{ExecutionBackend, FastBackend, GoldenBackend, HdModel};
+//! use pulp_hd_core::layout::AccelParams;
+//!
+//! let params = AccelParams { n_words: 16, ..AccelParams::emg_default() };
+//! let model = HdModel::random(&params, 42);
+//! let window = vec![vec![100u16, 60_000, 33_000, 8_000]];
+//!
+//! let mut golden = GoldenBackend.prepare(&model)?;
+//! let mut fast = FastBackend::with_threads(2).prepare(&model)?;
+//! let a = golden.classify(&window)?;
+//! let b = fast.classify(&window)?;
+//! assert_eq!(a.class, b.class);
+//! assert_eq!(a.distances, b.distances);
+//! assert_eq!(a.query, b.query);
+//! # Ok::<(), pulp_hd_core::backend::BackendError>(())
+//! ```
+
+pub mod accel;
+pub mod fast;
+pub mod golden;
+
+pub use accel::AccelBackend;
+pub use fast::FastBackend;
+pub use golden::GoldenBackend;
+
+use hdc::rng::derive_seed;
+use hdc::{BinaryHv, ContinuousItemMemory, HdClassifier, ItemMemory};
+
+use crate::layout::AccelParams;
+use crate::pipeline::ChainError;
+
+/// A trained HD model, backend-agnostic: the three seed matrices plus
+/// the N-gram size of the temporal encoder.
+///
+/// Construct one from scratch with [`HdModel::new`], from a trained
+/// golden-model classifier with [`HdModel::from_classifier`], or as a
+/// seeded random model (for timing runs, whose cycle counts are
+/// data-independent) with [`HdModel::random`].
+#[derive(Debug, Clone)]
+pub struct HdModel {
+    cim: ContinuousItemMemory,
+    im: ItemMemory,
+    prototypes: Vec<BinaryHv>,
+    ngram: usize,
+}
+
+impl HdModel {
+    /// Bundles the seed matrices into a model after validating that all
+    /// hypervectors share one width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Model`] if `prototypes` is empty,
+    /// `ngram == 0`, or any hypervector width disagrees.
+    pub fn new(
+        cim: ContinuousItemMemory,
+        im: ItemMemory,
+        prototypes: Vec<BinaryHv>,
+        ngram: usize,
+    ) -> Result<Self, BackendError> {
+        if prototypes.is_empty() {
+            return Err(BackendError::Model(
+                "model needs at least one prototype".into(),
+            ));
+        }
+        if ngram == 0 {
+            return Err(BackendError::Model("n-gram size must be at least 1".into()));
+        }
+        let n_words = cim.get(0).n_words();
+        let all = cim.iter().chain(im.iter()).chain(prototypes.iter());
+        for hv in all {
+            if hv.n_words() != n_words {
+                return Err(BackendError::Model(format!(
+                    "hypervector width mismatch: {} vs {} words",
+                    hv.n_words(),
+                    n_words
+                )));
+            }
+        }
+        Ok(Self {
+            cim,
+            im,
+            prototypes,
+            ngram,
+        })
+    }
+
+    /// Extracts the model of a trained golden classifier (finalizing any
+    /// stale prototypes first).
+    #[must_use]
+    pub fn from_classifier(clf: &mut HdClassifier) -> Self {
+        let ngram = clf.config().ngram;
+        let prototypes = clf.am_mut().prototypes().to_vec();
+        Self {
+            cim: clf.spatial().cim().clone(),
+            im: clf.spatial().im().clone(),
+            prototypes,
+            ngram,
+        }
+    }
+
+    /// A seeded random model of the given shape — prototypes are i.i.d.
+    /// hypervectors, exactly as the cycle-measurement runs use (kernel
+    /// timing is data-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`AccelParams::validate`] (this is a
+    /// test/measurement constructor; malformed shapes are programmer
+    /// error, not input).
+    #[must_use]
+    pub fn random(params: &AccelParams, seed: u64) -> Self {
+        params.validate().expect("valid accelerator parameters");
+        let cim = ContinuousItemMemory::new(params.levels, params.n_words, derive_seed(seed, 1));
+        let im = ItemMemory::new(params.channels, params.n_words, derive_seed(seed, 2));
+        let prototypes: Vec<BinaryHv> = (0..params.classes)
+            .map(|k| BinaryHv::random(params.n_words, derive_seed(seed, 100 + k as u64)))
+            .collect();
+        Self {
+            cim,
+            im,
+            prototypes,
+            ngram: params.ngram,
+        }
+    }
+
+    /// The continuous item memory (quantization-level hypervectors).
+    #[must_use]
+    pub fn cim(&self) -> &ContinuousItemMemory {
+        &self.cim
+    }
+
+    /// The channel item memory.
+    #[must_use]
+    pub fn im(&self) -> &ItemMemory {
+        &self.im
+    }
+
+    /// The class prototypes, indexed by class.
+    #[must_use]
+    pub fn prototypes(&self) -> &[BinaryHv] {
+        &self.prototypes
+    }
+
+    /// N-gram size of the temporal encoder.
+    #[must_use]
+    pub fn ngram(&self) -> usize {
+        self.ngram
+    }
+
+    /// Hypervector width in `u32` words.
+    #[must_use]
+    pub fn n_words(&self) -> usize {
+        self.cim.get(0).n_words()
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.im.len()
+    }
+
+    /// Number of quantization levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.cim.n_levels()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.prototypes.len()
+    }
+
+    /// The accelerator-parameter view of this model's shape.
+    #[must_use]
+    pub fn params(&self) -> AccelParams {
+        AccelParams {
+            n_words: self.n_words(),
+            channels: self.channels(),
+            levels: self.levels(),
+            ngram: self.ngram,
+            classes: self.classes(),
+        }
+    }
+}
+
+/// Per-kernel cycle counts reported by cycle-measuring backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// End-to-end total.
+    pub total: u64,
+    /// MAP + spatial + temporal encoders.
+    pub map_encode: u64,
+    /// Associative-memory search.
+    pub am: u64,
+}
+
+/// Result of one classification, uniform across backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Predicted class (arg-min Hamming distance, first minimum wins).
+    pub class: usize,
+    /// Hamming distance to every class prototype, indexed by class.
+    pub distances: Vec<u32>,
+    /// The query hypervector the window encoded to.
+    pub query: BinaryHv,
+    /// Cycle counts, when the backend simulates hardware time
+    /// (`None` for host-native backends).
+    pub cycles: Option<CycleBreakdown>,
+}
+
+/// Errors raised while preparing a backend session or classifying.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BackendError {
+    /// The model is malformed or does not fit the backend.
+    Model(String),
+    /// An input window has the wrong shape.
+    Input(String),
+    /// The simulated-cluster backend failed.
+    Chain(ChainError),
+}
+
+impl core::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Model(what) => write!(f, "model: {what}"),
+            Self::Input(what) => write!(f, "input: {what}"),
+            Self::Chain(e) => write!(f, "chain: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<ChainError> for BackendError {
+    fn from(e: ChainError) -> Self {
+        match e {
+            ChainError::ModelMismatch(what) => Self::Model(what),
+            ChainError::InputMismatch(what) => Self::Input(what),
+            other => Self::Chain(other),
+        }
+    }
+}
+
+impl From<BackendError> for ChainError {
+    fn from(e: BackendError) -> Self {
+        match e {
+            BackendError::Model(what) => Self::ModelMismatch(what),
+            BackendError::Input(what) => Self::InputMismatch(what),
+            BackendError::Chain(chain) => chain,
+        }
+    }
+}
+
+/// An execution substrate for the HD classification chain.
+///
+/// Backends are cheap descriptors (platform choice, thread count);
+/// [`prepare`](Self::prepare) does the expensive work of loading a model
+/// onto the substrate and returns a reusable session.
+pub trait ExecutionBackend {
+    /// Human-readable backend name (stable; used in benches and reports).
+    fn name(&self) -> &'static str;
+
+    /// Loads `model` onto the substrate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if the model cannot be realized on this
+    /// backend (shape limits, memory capacity, program generation).
+    fn prepare(&self, model: &HdModel) -> Result<Box<dyn BackendSession>, BackendError>;
+}
+
+/// A model loaded onto one substrate, ready to classify windows.
+///
+/// A window is `samples × channels` ADC codes (`window[t][c]` = code of
+/// channel `c` at time `t`). Host backends accept any window of at least
+/// `ngram` samples (sliding N-grams are bundled into the query, exactly
+/// like the golden classifier); the simulated-cluster backend requires
+/// exactly `ngram` samples per call, the unit of work its kernels are
+/// generated for.
+pub trait BackendSession: Send {
+    /// Classifies one window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Input`] on shape mismatch, or a
+    /// backend-specific error.
+    fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError>;
+
+    /// Classifies a batch of windows, in order.
+    ///
+    /// The default implementation loops [`classify`](Self::classify);
+    /// throughput-oriented backends override it (the [`FastBackend`]
+    /// fans the batch out across threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered.
+    fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
+        windows.iter().map(|w| self.classify(w)).collect()
+    }
+}
+
+/// Shared input validation: every sample must have `channels` codes and
+/// the window at least `min_samples` samples.
+pub(crate) fn validate_window(
+    window: &[Vec<u16>],
+    channels: usize,
+    min_samples: usize,
+) -> Result<(), BackendError> {
+    if window.len() < min_samples {
+        return Err(BackendError::Input(format!(
+            "window of {} samples cannot hold a {min_samples}-gram",
+            window.len()
+        )));
+    }
+    for (t, sample) in window.iter().enumerate() {
+        if sample.len() != channels {
+            return Err(BackendError::Input(format!(
+                "sample {t} has {} channels, expected {channels}",
+                sample.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// First-minimum arg-min over per-class distances — the kernel's
+/// strict-less search, shared by every backend.
+pub(crate) fn argmin(distances: &[u32]) -> usize {
+    distances
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &d)| d)
+        .map(|(i, _)| i)
+        .expect("at least one prototype")
+}

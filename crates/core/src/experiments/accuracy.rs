@@ -156,7 +156,11 @@ impl AccuracyReport {
         ));
         out.push_str("\nDimensionality sweep (mean HD accuracy):\n");
         for p in &self.dim_sweep {
-            out.push_str(&format!("  D = {:>6} : {}\n", p.dim_bits, percent(p.mean_accuracy)));
+            out.push_str(&format!(
+                "  D = {:>6} : {}\n",
+                p.dim_bits,
+                percent(p.mean_accuracy)
+            ));
         }
         out
     }
@@ -246,8 +250,14 @@ pub fn run(cfg: &AccuracyConfig) -> AccuracyReport {
         let test = hold_windows(&ds, &all_idx, cfg.window, cfg.hold_margin);
 
         // HD at full dimension and at the 224-D compaction point.
-        let hd_full = hd_accuracy(&train_hd(313, cfg, ds.channels(), ds.classes(), &train), &test);
-        let hd_200 = hd_accuracy(&train_hd(7, cfg, ds.channels(), ds.classes(), &train), &test);
+        let hd_full = hd_accuracy(
+            &train_hd(313, cfg, ds.channels(), ds.classes(), &train),
+            &test,
+        );
+        let hd_200 = hd_accuracy(
+            &train_hd(7, cfg, ds.channels(), ds.classes(), &train),
+            &test,
+        );
 
         // Dimensionality sweep.
         for (i, &words) in cfg.dim_words_sweep.iter().enumerate() {
@@ -312,7 +322,10 @@ pub fn run(cfg: &AccuracyConfig) -> AccuracyReport {
             mean_accuracy: acc / cfg.subjects as f64,
         })
         .collect();
-    AccuracyReport { subjects, dim_sweep }
+    AccuracyReport {
+        subjects,
+        dim_sweep,
+    }
 }
 
 #[cfg(test)]
@@ -329,13 +342,22 @@ mod tests {
         // competitive but behind HD (the paper's ordering).
         assert!(hd > 0.85, "HD accuracy {hd}");
         assert!(hd200 > 0.80, "HD@224 accuracy {hd200}");
-        assert!(hd + 0.02 >= hd200, "compaction should not help: {hd} vs {hd200}");
+        assert!(
+            hd + 0.02 >= hd200,
+            "compaction should not help: {hd} vs {hd200}"
+        );
         assert!(svm > 0.70, "SVM accuracy {svm}");
-        assert!(hd >= svm - 0.02, "HD should match or beat SVM: {hd} vs {svm}");
+        assert!(
+            hd >= svm - 0.02,
+            "HD should match or beat SVM: {hd} vs {svm}"
+        );
         // Graceful degradation: the 64-bit point collapses relative to
         // full dimension.
         let d64 = report.dim_sweep[0].mean_accuracy;
-        assert!(d64 < hd - 0.03, "64-bit point should degrade: {d64} vs {hd}");
+        assert!(
+            d64 < hd - 0.03,
+            "64-bit point should degrade: {d64} vs {hd}"
+        );
         let text = report.render();
         assert!(text.contains("Dimensionality sweep"));
     }

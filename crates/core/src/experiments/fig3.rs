@@ -104,7 +104,11 @@ impl Fig3 {
         );
         out.push_str("\nlinearity (R2 of cycles vs dimension):\n");
         for s in &self.series {
-            out.push_str(&format!("  N={:>2}: R2 = {:.5}\n", s.ngram, s.linearity_r2()));
+            out.push_str(&format!(
+                "  N={:>2}: R2 = {:.5}\n",
+                s.ngram,
+                s.linearity_r2()
+            ));
         }
         out
     }

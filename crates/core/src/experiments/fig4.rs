@@ -83,7 +83,9 @@ impl Fig4 {
             .collect();
         render_table(
             "Fig. 4 — scaling with cores for N-grams 1..10 (Wolf built-in, 10,016-bit)",
-            &["N", "1c cyc", "2c cyc", "sp", "4c cyc", "sp", "8c cyc", "sp"],
+            &[
+                "N", "1c cyc", "2c cyc", "sp", "4c cyc", "sp", "8c cyc", "sp",
+            ],
             &rows,
         )
     }

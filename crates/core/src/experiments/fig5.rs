@@ -148,12 +148,18 @@ mod tests {
         let mut wolf_cycles = Vec::new();
         let mut m4_feasible = Vec::new();
         for channels in [4usize, 16, 64] {
-            let params = AccelParams { channels, ..AccelParams::emg_default() };
+            let params = AccelParams {
+                channels,
+                ..AccelParams::emg_default()
+            };
             let w = measure_chain(&wolf, params).unwrap();
             let m = measure_chain(&m4, params).unwrap();
             wolf_cycles.push(w.total as f64);
             m4_feasible.push(required_mhz(m.total) <= 168.0);
-            assert!(meets_latency(&wolf, w.total), "wolf must meet 10 ms at {channels}ch");
+            assert!(
+                meets_latency(&wolf, w.total),
+                "wolf must meet 10 ms at {channels}ch"
+            );
         }
         // Linear growth: cost per channel roughly constant between spans.
         let slope1 = (wolf_cycles[1] - wolf_cycles[0]) / 12.0;

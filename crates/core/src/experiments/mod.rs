@@ -21,11 +21,9 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
-use hdc::rng::derive_seed;
-use hdc::{BinaryHv, ContinuousItemMemory, ItemMemory};
-
+use crate::backend::{AccelBackend, CycleBreakdown, ExecutionBackend, HdModel};
 use crate::layout::AccelParams;
-use crate::pipeline::{AccelChain, ChainError, ChainRun};
+use crate::pipeline::ChainError;
 use crate::platform::Platform;
 
 /// The paper's detection-latency budget per classification.
@@ -42,17 +40,18 @@ pub struct CycleRun {
     pub total: u64,
 }
 
-impl From<&ChainRun> for CycleRun {
-    fn from(run: &ChainRun) -> Self {
+impl From<CycleBreakdown> for CycleRun {
+    fn from(cycles: CycleBreakdown) -> Self {
         Self {
-            map_encode: run.cycles_map_encode,
-            am: run.cycles_am,
-            total: run.cycles_total,
+            map_encode: cycles.map_encode,
+            am: cycles.am,
+            total: cycles.total,
         }
     }
 }
 
-/// Measures the chain's cycle counts on `platform`.
+/// Measures the chain's cycle counts on `platform`, through the
+/// [`AccelBackend`] (the cycle-measuring execution backend).
 ///
 /// Kernel timing is data-independent (no data-dependent branches in the
 /// generated code), so a seeded random model and a fixed input window
@@ -62,14 +61,10 @@ impl From<&ChainRun> for CycleRun {
 ///
 /// Returns [`ChainError`] if the chain cannot be built or simulated.
 pub fn measure_chain(platform: &Platform, params: AccelParams) -> Result<CycleRun, ChainError> {
-    let seed = 0x00C1_C1E5u64;
-    let cim = ContinuousItemMemory::new(params.levels, params.n_words, derive_seed(seed, 1));
-    let im = ItemMemory::new(params.channels, params.n_words, derive_seed(seed, 2));
-    let prototypes: Vec<BinaryHv> = (0..params.classes)
-        .map(|k| BinaryHv::random(params.n_words, derive_seed(seed, 100 + k as u64)))
-        .collect();
-    let mut chain = AccelChain::new(platform, params)?;
-    chain.load_model(&cim, &im, &prototypes)?;
+    let model = HdModel::random(&params, 0x00C1_C1E5);
+    let mut session = AccelBackend::new(platform.clone())
+        .prepare(&model)
+        .map_err(ChainError::from)?;
     let window: Vec<Vec<u16>> = (0..params.ngram)
         .map(|t| {
             (0..params.channels)
@@ -77,8 +72,9 @@ pub fn measure_chain(platform: &Platform, params: AccelParams) -> Result<CycleRu
                 .collect()
         })
         .collect();
-    let run = chain.classify(&window)?;
-    Ok(CycleRun::from(&run))
+    let verdict = session.classify(&window).map_err(ChainError::from)?;
+    let cycles = verdict.cycles.expect("accelerated backend reports cycles");
+    Ok(CycleRun::from(cycles))
 }
 
 /// Frequency in MHz required to finish `cycles` within the 10 ms budget.
@@ -109,16 +105,11 @@ mod tests {
         let platform = Platform::pulpv3(2);
         let mut totals = Vec::new();
         for seed in [1u64, 2] {
-            let cim =
-                ContinuousItemMemory::new(params.levels, params.n_words, derive_seed(seed, 1));
-            let im = ItemMemory::new(params.channels, params.n_words, derive_seed(seed, 2));
-            let protos: Vec<BinaryHv> = (0..params.classes)
-                .map(|k| BinaryHv::random(params.n_words, derive_seed(seed, 50 + k as u64)))
-                .collect();
-            let mut chain = AccelChain::new(&platform, params).unwrap();
-            chain.load_model(&cim, &im, &protos).unwrap();
+            let model = HdModel::random(&params, seed);
+            let mut session = AccelBackend::new(platform.clone()).prepare(&model).unwrap();
             let window = vec![vec![(seed * 1000) as u16, 40_000, 7, 65_000]];
-            totals.push(chain.classify(&window).unwrap().cycles_total);
+            let verdict = session.classify(&window).unwrap();
+            totals.push(verdict.cycles.expect("accel reports cycles").total);
         }
         assert_eq!(totals[0], totals[1]);
     }

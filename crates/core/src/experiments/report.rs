@@ -74,11 +74,7 @@ mod tests {
 
     #[test]
     fn table_is_aligned() {
-        let out = render_table(
-            "T",
-            &["a", "long_header"],
-            &[vec!["x".into(), "1".into()]],
-        );
+        let out = render_table("T", &["a", "long_header"], &[vec!["x".into(), "1".into()]]);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines[0], "T");
         assert!(lines[2].contains("long_header"));

@@ -138,7 +138,10 @@ mod tests {
         // At 20% faults the full-dimension model keeps nearly all of its
         // accuracy…
         let full_drop = full.accuracy[0] - full.accuracy[3];
-        assert!(full_drop < 0.05, "10,016-bit drop at 20% faults: {full_drop}");
+        assert!(
+            full_drop < 0.05,
+            "10,016-bit drop at 20% faults: {full_drop}"
+        );
         // …and degradation is monotone-ish and worse for the compact
         // model at high fault rates.
         let compact_drop = compact.accuracy[0] - compact.accuracy[4];

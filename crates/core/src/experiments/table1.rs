@@ -130,8 +130,10 @@ pub fn run(quick: bool) -> Result<Table1, ChainError> {
         .map(|&f| (f * f64::from(u16::MAX)) as u16)
         .collect();
     let svm_run = svm_chain.classify(&probe)?;
-    debug_assert!(svm_m4_cycles(&fixed).abs_diff(svm_run.cycles) < svm_run.cycles,
-        "cost model and measurement should agree within 2x");
+    debug_assert!(
+        svm_m4_cycles(&fixed).abs_diff(svm_run.cycles) < svm_run.cycles,
+        "cost model and measurement should agree within 2x"
+    );
 
     Ok(Table1 {
         hd,

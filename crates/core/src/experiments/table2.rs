@@ -85,7 +85,13 @@ pub fn run() -> Result<Table2, ChainError> {
         paper_boost: None,
     });
 
-    let mut pulp_row = |name: &str, cycles: u64, paper_cycles: u64, cores: usize, volts: f64, paper_total: f64, paper_boost: f64| {
+    let mut pulp_row = |name: &str,
+                        cycles: u64,
+                        paper_cycles: u64,
+                        cores: usize,
+                        volts: f64,
+                        paper_total: f64,
+                        paper_boost: f64| {
         let op = OperatingPoint::new(volts, required_mhz(cycles));
         let b = model.breakdown(cores, op);
         rows.push(Table2Row {
@@ -103,12 +109,36 @@ pub fn run() -> Result<Table2, ChainError> {
         });
     };
     pulp_row("PULPv3 1 core @0.7V", p1_cycles, 533_000, 1, 0.7, 4.22, 4.9);
-    pulp_row("PULPv3 4 cores @0.7V", p4_cycles, 143_000, 4, 0.7, 2.56, 8.1);
-    pulp_row("PULPv3 4 cores @0.5V", p4_cycles, 143_000, 4, 0.5, 2.10, 9.9);
+    pulp_row(
+        "PULPv3 4 cores @0.7V",
+        p4_cycles,
+        143_000,
+        4,
+        0.7,
+        2.56,
+        8.1,
+    );
+    pulp_row(
+        "PULPv3 4 cores @0.5V",
+        p4_cycles,
+        143_000,
+        4,
+        0.5,
+        2.10,
+        9.9,
+    );
 
     // Derived headline numbers.
-    let e1 = model.energy_uj(1, OperatingPoint::new(0.7, required_mhz(p1_cycles)), p1_cycles);
-    let e4 = model.energy_uj(4, OperatingPoint::new(0.5, required_mhz(p4_cycles)), p4_cycles);
+    let e1 = model.energy_uj(
+        1,
+        OperatingPoint::new(0.7, required_mhz(p1_cycles)),
+        p1_cycles,
+    );
+    let e4 = model.energy_uj(
+        4,
+        OperatingPoint::new(0.5, required_mhz(p4_cycles)),
+        p4_cycles,
+    );
     let next = PowerModel::pulpv3_next_gen_fll();
     let p_next = next
         .breakdown(4, OperatingPoint::new(0.5, required_mhz(p4_cycles)))
@@ -187,11 +217,27 @@ mod tests {
         let boosts: Vec<f64> = t.rows[1..].iter().map(|r| r.boost.unwrap()).collect();
         assert!(boosts[0] < boosts[1] && boosts[1] < boosts[2], "{boosts:?}");
         assert!((3.5..7.0).contains(&boosts[0]), "1c boost {}", boosts[0]);
-        assert!((6.5..11.0).contains(&boosts[1]), "4c@0.7 boost {}", boosts[1]);
-        assert!((8.0..13.0).contains(&boosts[2]), "4c@0.5 boost {}", boosts[2]);
+        assert!(
+            (6.5..11.0).contains(&boosts[1]),
+            "4c@0.7 boost {}",
+            boosts[1]
+        );
+        assert!(
+            (8.0..13.0).contains(&boosts[2]),
+            "4c@0.5 boost {}",
+            boosts[2]
+        );
         // ≈2× energy saving and ≈20× projected boost.
-        assert!((1.6..2.6).contains(&t.energy_saving_4c), "{}", t.energy_saving_4c);
-        assert!((14.0..26.0).contains(&t.next_gen_fll_boost), "{}", t.next_gen_fll_boost);
+        assert!(
+            (1.6..2.6).contains(&t.energy_saving_4c),
+            "{}",
+            t.energy_saving_4c
+        );
+        assert!(
+            (14.0..26.0).contains(&t.next_gen_fll_boost),
+            "{}",
+            t.next_gen_fll_boost
+        );
         let text = t.render();
         assert!(text.contains("PULPv3 4 cores @0.5V"));
     }

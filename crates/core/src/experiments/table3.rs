@@ -67,23 +67,43 @@ pub fn run() -> Result<Table3, ChainError> {
     let configs: [(Platform, PaperCycles); 5] = [
         (
             Platform::pulpv3(1),
-            PaperCycles { map_encode_k: 492.0, am_k: 41.0, total_k: 533.0 },
+            PaperCycles {
+                map_encode_k: 492.0,
+                am_k: 41.0,
+                total_k: 533.0,
+            },
         ),
         (
             Platform::pulpv3(4),
-            PaperCycles { map_encode_k: 129.0, am_k: 14.0, total_k: 143.0 },
+            PaperCycles {
+                map_encode_k: 129.0,
+                am_k: 14.0,
+                total_k: 143.0,
+            },
         ),
         (
             Platform::wolf_plain(1),
-            PaperCycles { map_encode_k: 401.0, am_k: 33.0, total_k: 434.0 },
+            PaperCycles {
+                map_encode_k: 401.0,
+                am_k: 33.0,
+                total_k: 434.0,
+            },
         ),
         (
             Platform::wolf_builtin(1),
-            PaperCycles { map_encode_k: 176.0, am_k: 12.0, total_k: 188.0 },
+            PaperCycles {
+                map_encode_k: 176.0,
+                am_k: 12.0,
+                total_k: 188.0,
+            },
         ),
         (
             Platform::wolf_builtin(8),
-            PaperCycles { map_encode_k: 25.0, am_k: 4.0, total_k: 29.0 },
+            PaperCycles {
+                map_encode_k: 25.0,
+                am_k: 4.0,
+                total_k: 29.0,
+            },
         ),
     ];
     let mut columns = Vec::with_capacity(configs.len());
@@ -147,7 +167,10 @@ mod tests {
     /// `tests/experiments.rs`).
     #[test]
     fn speedup_shapes_hold_at_reduced_dimension() {
-        let params = AccelParams { n_words: 64, ..AccelParams::emg_default() };
+        let params = AccelParams {
+            n_words: 64,
+            ..AccelParams::emg_default()
+        };
         let base = measure_chain(&Platform::pulpv3(1), params).unwrap();
         let quad = measure_chain(&Platform::pulpv3(4), params).unwrap();
         let wolf = measure_chain(&Platform::wolf_plain(1), params).unwrap();
@@ -157,7 +180,11 @@ mod tests {
         let sp = |c: &CycleRun| base.total as f64 / c.total as f64;
         assert!((3.2..4.05).contains(&sp(&quad)), "4-core {}", sp(&quad));
         assert!((1.1..1.45).contains(&sp(&wolf)), "wolf plain {}", sp(&wolf));
-        assert!((2.1..3.1).contains(&sp(&wolf_bi)), "wolf builtin {}", sp(&wolf_bi));
+        assert!(
+            (2.1..3.1).contains(&sp(&wolf_bi)),
+            "wolf builtin {}",
+            sp(&wolf_bi)
+        );
         assert!((12.0..21.0).contains(&sp(&wolf8)), "wolf 8c {}", sp(&wolf8));
         // MAP+ENCODERS dominates on one core, AM saturates on many.
         assert!(base.map_encode * 10 > base.total * 8);
@@ -168,8 +195,16 @@ mod tests {
         // Use a tiny dimension through the private path: rendering only.
         let col = Table3Column {
             name: "X".into(),
-            measured: CycleRun { map_encode: 1000, am: 100, total: 1100 },
-            paper: PaperCycles { map_encode_k: 1.0, am_k: 0.1, total_k: 1.1 },
+            measured: CycleRun {
+                map_encode: 1000,
+                am: 100,
+                total: 1100,
+            },
+            paper: PaperCycles {
+                map_encode_k: 1.0,
+                am_k: 0.1,
+                total_k: 1.1,
+            },
         };
         let t = Table3 { columns: vec![col] };
         let text = t.render();

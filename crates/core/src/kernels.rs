@@ -166,7 +166,8 @@ impl Gen<'_> {
     fn emit_all(&mut self) -> Result<(), BuildError> {
         let end = self.label("chain_end");
 
-        self.a.comment("chain entry: identify core, pay parallel-region cost");
+        self.a
+            .comment("chain entry: identify core, pay parallel-region cost");
         self.a.coreid(S0);
         self.a.numcores(S1);
         self.a.fork();
@@ -206,7 +207,8 @@ impl Gen<'_> {
         let items = (self.p.ngram * self.p.channels) as u32;
         let loop_top = self.label("map_loop");
         let done = self.label("map_done");
-        self.a.comment("MAP: level[i] = (code[i]*(L-1) + 0x8000) >> 16");
+        self.a
+            .comment("MAP: level[i] = (code[i]*(L-1) + 0x8000) >> 16");
         self.a.mv(T0, S0); // idx = core id, strided by n_cores
         self.a.li(T1, items);
         self.a.li(T2, self.p.levels as u32 - 1);
@@ -236,7 +238,15 @@ impl Gen<'_> {
     /// Writes a 2-D descriptor and starts it; transfer id lands in `id`.
     /// Streams `rows` rows of `width_bytes` from `src` (pitch
     /// `src_pitch`) to `dst` (pitch = tile pitch).
-    fn emit_dma_desc(&mut self, src: u32, dst: u32, width_bytes: u32, src_pitch: u32, rows: u32, id: Reg) {
+    fn emit_dma_desc(
+        &mut self,
+        src: u32,
+        dst: u32,
+        width_bytes: u32,
+        src_pitch: u32,
+        rows: u32,
+        id: Reg,
+    ) {
         let d = self.lay.desc;
         self.a.li(A0, d);
         self.a.li(A1, src);
@@ -343,15 +353,16 @@ impl Gen<'_> {
             self.emit_chunk(width);
             for t in 0..self.p.ngram {
                 // A0 = &spatial[t][w0 + my_start]
-                self.a.li(A0, self.lay.spatials + (t * self.p.n_words) as u32 * 4 + w0 as u32 * 4);
+                self.a.li(
+                    A0,
+                    self.lay.spatials + (t * self.p.n_words) as u32 * 4 + w0 as u32 * 4,
+                );
                 self.a.slli(T0, S3, 2);
                 self.a.add(A0, A0, T0);
                 self.a.mv(A1, S4);
                 // A2/A3 = IM/CIM rows for this tile (+ my word offset).
                 let (im_base, cim_base) = match self.lay.policy {
-                    MemPolicy::DmaDoubleBuffer => {
-                        (self.lay.buf_im[k % 2], self.lay.buf_cim[k % 2])
-                    }
+                    MemPolicy::DmaDoubleBuffer => (self.lay.buf_im[k % 2], self.lay.buf_cim[k % 2]),
                     // Direct policies address the matrices themselves.
                     _ => (self.lay.im + w0 as u32 * 4, self.lay.cim + w0 as u32 * 4),
                 };
@@ -402,19 +413,20 @@ impl Gen<'_> {
         assert!(c <= 5, "register path handles up to 5 channels");
 
         self.a.comment("select CIM rows from quantized levels");
-        for ch in 0..c {
+        for (ch, &ptr) in cim_ptrs.iter().take(c).enumerate() {
             self.a.lw(T5, A4, ch as i32 * 4);
             self.a.li(A5, pitch);
             self.a.mul(T5, T5, A5);
-            self.a.add(cim_ptrs[ch], A3, T5);
+            self.a.add(ptr, A3, T5);
         }
         self.a.comment("IM row pointers");
-        for ch in 0..c {
+        for (ch, &ptr) in im_ptrs.iter().take(c).enumerate() {
             self.a.li(T5, ch as u32 * pitch);
-            self.a.add(im_ptrs[ch], A2, T5);
+            self.a.add(ptr, A2, T5);
         }
         if !self.builtin() {
-            self.a.comment("per-core bound[] array (the C code keeps one)");
+            self.a
+                .comment("per-core bound[] array (the C code keeps one)");
             self.a.li(T5, self.lay.scratch);
             self.a.li(A5, (self.p.channels as u32 + 1) * 4);
             self.a.mul(A5, S0, A5);
@@ -439,7 +451,8 @@ impl Gen<'_> {
                 self.a.comment("tie-break vector = bound[0] ^ bound[1]");
                 self.a.xor(bounds[c], bounds[0], bounds[1]);
             }
-            self.a.comment("majority via p.extractu / p.insert / p.cnt (Fig. 2)");
+            self.a
+                .comment("majority via p.extractu / p.insert / p.cnt (Fig. 2)");
             let th = self.majority_threshold();
             for bit in 0..32u8 {
                 for (slot, b) in bounds.iter().take(n_b).enumerate() {
@@ -472,7 +485,8 @@ impl Gen<'_> {
             for (slot, b) in bounds.iter().take(n_b).enumerate() {
                 self.a.sw(*b, A4, slot as i32 * 4);
             }
-            self.a.comment("rolled shift/mask majority over the in-memory array");
+            self.a
+                .comment("rolled shift/mask majority over the in-memory array");
             let th = self.majority_threshold();
             self.a.li(A2, 31); // bit index, counting down
             self.a.li(A5, 0); // out word
@@ -588,7 +602,8 @@ impl Gen<'_> {
     fn emit_temporal_phase(&mut self) {
         self.a.barrier();
         self.emit_chunk(self.p.n_words);
-        self.a.comment("temporal encoder: XOR of rotated spatial HVs");
+        self.a
+            .comment("temporal encoder: XOR of rotated spatial HVs");
         // A0 = &query[my_start], A1 = count.
         self.a.li(A0, self.lay.query);
         self.a.slli(T0, S3, 2);
@@ -729,7 +744,8 @@ impl Gen<'_> {
         self.a.bge(ZERO, A1, &done);
         for class in 0..self.p.classes {
             let cls_done = self.label("amw_cls_done");
-            self.a.comment("Hamming distance of my words against one prototype");
+            self.a
+                .comment("Hamming distance of my words against one prototype");
             self.a.mv(T0, A0); // query walker
             self.a.li(T1, class as u32 * pitch);
             self.a.add(T1, T1, A2); // prototype walker
@@ -793,8 +809,7 @@ impl Gen<'_> {
             for k in 0..kc {
                 g.a.li(T2, 0);
                 for core in 0..g.n_cores {
-                    g.a
-                        .lw(T3, A0, ((core * kc + k) * 4) as i32);
+                    g.a.lw(T3, A0, ((core * kc + k) * 4) as i32);
                     g.a.add(T2, T2, T3);
                 }
                 g.a.sw(T2, A1, (4 + 4 * k) as i32);
@@ -842,7 +857,11 @@ mod tests {
     fn builds_for_large_channel_counts_and_ngrams() {
         for channels in [6, 32, 256] {
             for ngram in [1, 3, 10] {
-                let p = AccelParams { channels, ngram, ..AccelParams::emg_default() };
+                let p = AccelParams {
+                    channels,
+                    ngram,
+                    ..AccelParams::emg_default()
+                };
                 let lay = plan(p, MemPolicy::DmaDoubleBuffer, 8);
                 build_chain(&lay, IsaVariant::Builtin, 8).unwrap();
                 build_chain(&lay, IsaVariant::Generic, 8).unwrap();
@@ -852,7 +871,10 @@ mod tests {
 
     #[test]
     fn oversized_ngram_rejected() {
-        let p = AccelParams { ngram: 11, ..AccelParams::emg_default() };
+        let p = AccelParams {
+            ngram: 11,
+            ..AccelParams::emg_default()
+        };
         // Layout itself allows it; the accelerated builder refuses.
         let lay = plan(p, MemPolicy::DmaDoubleBuffer, 4);
         assert!(matches!(
@@ -886,7 +908,10 @@ mod tests {
 
     #[test]
     fn listing_mentions_all_kernels() {
-        let p = AccelParams { ngram: 3, ..AccelParams::emg_default() };
+        let p = AccelParams {
+            ngram: 3,
+            ..AccelParams::emg_default()
+        };
         let lay = plan(p, MemPolicy::DmaDoubleBuffer, 4);
         let prog = build_chain(&lay, IsaVariant::Generic, 4).unwrap();
         let listing = prog.listing();

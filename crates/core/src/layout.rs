@@ -177,7 +177,7 @@ pub struct Layout {
 }
 
 const fn round_up(x: u32, align: u32) -> u32 {
-    (x + align - 1) / align * align
+    x.div_ceil(align) * align
 }
 
 impl Layout {
@@ -412,7 +412,10 @@ mod tests {
             (layout.partials, (layout.n_cores * p.classes * 4) as u32),
             (layout.result, ((1 + p.classes) * 4) as u32),
             (layout.desc, 24),
-            (layout.scratch, (layout.n_cores * (p.channels + 1) * 4) as u32),
+            (
+                layout.scratch,
+                (layout.n_cores * (p.channels + 1) * 4) as u32,
+            ),
         ];
         let tb = (layout.tile_words * 4) as u32;
         for b in layout.buf_cim {
@@ -449,7 +452,10 @@ mod tests {
         let small =
             Layout::plan(emg(), MemPolicy::DmaDoubleBuffer, 8, 64 * 1024, 512 * 1024).unwrap();
         let big = Layout::plan(
-            AccelParams { channels: 256, ..emg() },
+            AccelParams {
+                channels: 256,
+                ..emg()
+            },
             MemPolicy::DmaDoubleBuffer,
             8,
             64 * 1024,
@@ -498,14 +504,20 @@ mod tests {
         // code, stacks and the runtime)…
         assert!(Layout::plan(emg(), MemPolicy::AllL1, 4, 48 * 1024, 64 * 1024).is_ok());
         // …but a 64-channel IM (80 kB) cannot.
-        let p = AccelParams { channels: 64, ..emg() };
+        let p = AccelParams {
+            channels: 64,
+            ..emg()
+        };
         let err = Layout::plan(p, MemPolicy::AllL1, 4, 48 * 1024, 64 * 1024).unwrap_err();
         assert!(matches!(err, LayoutError::L1Overflow { .. }));
     }
 
     #[test]
     fn l2_overflow_detected() {
-        let p = AccelParams { channels: 256, ..emg() };
+        let p = AccelParams {
+            channels: 256,
+            ..emg()
+        };
         let err = Layout::plan(p, MemPolicy::DmaDoubleBuffer, 8, 64 * 1024, 64 * 1024).unwrap_err();
         assert!(matches!(err, LayoutError::L2Overflow { .. }));
     }

@@ -7,6 +7,9 @@
 //! L1/L2 placement, double-buffered DMA streaming, SPMD word-level
 //! parallelization, and the XpulpV2 bit-manipulation lowering of Fig. 2.
 //!
+//! * [`backend`] — the unified execution-backend layer: one trait, three
+//!   substrates (golden model, simulated cluster, packed-`u64` host
+//!   engine) with single-window and batched classification.
 //! * [`layout`] — buffer placement and tile planning (Fig. 5 footprints).
 //! * [`kernels`] — assembly program generation (generic vs builtin).
 //! * [`platform`] — PULPv3 / Wolf / Cortex-M4 presets.
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod experiments;
 pub mod kernels;
 pub mod layout;
@@ -54,6 +58,10 @@ pub mod pipeline;
 pub mod platform;
 pub mod svm_kernel;
 
+pub use backend::{
+    AccelBackend, BackendError, BackendSession, CycleBreakdown, ExecutionBackend, FastBackend,
+    GoldenBackend, HdModel, Verdict,
+};
 pub use kernels::{build_chain, BuildError, IsaVariant};
 pub use layout::{AccelParams, Layout, LayoutError, MemPolicy};
 pub use pipeline::{native_reference, AccelChain, ChainError, ChainRun};

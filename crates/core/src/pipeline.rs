@@ -173,10 +173,7 @@ impl AccelChain {
                 p.classes
             )));
         }
-        let all = cim
-            .iter()
-            .chain(im.iter())
-            .chain(prototypes.iter());
+        let all = cim.iter().chain(im.iter()).chain(prototypes.iter());
         for hv in all.clone() {
             if hv.n_words() != p.n_words {
                 return Err(ChainError::ModelMismatch(format!(
@@ -267,9 +264,7 @@ impl AccelChain {
             .read_words(self.layout.query, p.n_words)
             .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
 
-        let cycles_map_encode = summary
-            .region(MARK_CHAIN_START, MARK_AM_START)
-            .unwrap_or(0);
+        let cycles_map_encode = summary.region(MARK_CHAIN_START, MARK_AM_START).unwrap_or(0);
         let cycles_am = summary.region(MARK_AM_START, MARK_CHAIN_END).unwrap_or(0);
         Ok(ChainRun {
             class: result[0] as usize,
@@ -329,10 +324,7 @@ mod tests {
     use crate::layout::MemPolicy;
     use hdc::rng::derive_seed;
 
-    fn model(
-        params: &AccelParams,
-        seed: u64,
-    ) -> (ContinuousItemMemory, ItemMemory, Vec<BinaryHv>) {
+    fn model(params: &AccelParams, seed: u64) -> (ContinuousItemMemory, ItemMemory, Vec<BinaryHv>) {
         let cim = ContinuousItemMemory::new(params.levels, params.n_words, derive_seed(seed, 1));
         let im = ItemMemory::new(params.channels, params.n_words, derive_seed(seed, 2));
         let protos: Vec<BinaryHv> = (0..params.classes)
@@ -468,7 +460,10 @@ mod tests {
         let a = chain.classify(&input).unwrap();
         let b = chain.classify(&input).unwrap();
         assert_eq!(a.query, b.query);
-        assert_eq!(a.cycles_total, b.cycles_total, "simulation must be deterministic");
+        assert_eq!(
+            a.cycles_total, b.cycles_total,
+            "simulation must be deterministic"
+        );
     }
 
     #[test]

@@ -274,8 +274,8 @@ mod tests {
                 y.push(label);
             }
         }
-        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 10.0 },
-                                       SmoParams::default());
+        let clf =
+            SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 10.0 }, SmoParams::default());
         FixedSvm::quantize(&clf, 4)
     }
 

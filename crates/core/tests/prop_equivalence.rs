@@ -1,18 +1,21 @@
 //! Property-based equivalence: for *randomly drawn* chain configurations
-//! (dimension, channels, N-gram size, class count, platform, seeds), the
-//! simulated kernels must agree with the golden model bit for bit.
+//! (dimension, channels, N-gram size, class count, platform, seeds),
+//! every execution backend must agree with every other bit for bit —
+//! the simulated kernels, the scalar golden model, and the `u64`-packed
+//! fast engine all produce identical query hypervectors, Hamming
+//! distances, and decisions.
 //!
 //! This is the strongest correctness statement in the repository: the
 //! cycle counts reported by the experiments are attached to computations
 //! proven equal to the reference implementation across the configuration
-//! space, not just at hand-picked points.
+//! space, not just at hand-picked points. Cases come from the crate's
+//! own deterministic generator (no external property-testing framework
+//! in the build environment); each failure is replayable from its case
+//! index.
 
-use proptest::prelude::*;
-
-use hdc::rng::derive_seed;
-use hdc::{BinaryHv, ContinuousItemMemory, ItemMemory};
+use hdc::rng::Xoshiro256PlusPlus;
+use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel};
 use pulp_hd_core::layout::AccelParams;
-use pulp_hd_core::pipeline::{native_reference, AccelChain};
 use pulp_hd_core::platform::Platform;
 
 fn platform_for(selector: u8) -> Platform {
@@ -26,44 +29,87 @@ fn platform_for(selector: u8) -> Platform {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn all_backends_agree_across_random_configurations() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x0E01_11A1_E5CE_57A7);
+    for case in 0..24 {
+        let params = AccelParams {
+            n_words: 1 + rng.next_below(19) as usize,
+            channels: 1 + rng.next_below(8) as usize,
+            ngram: 1 + rng.next_below(5) as usize,
+            classes: 2 + rng.next_below(4) as usize,
+            levels: 2 + rng.next_below(28) as usize,
+        };
+        let platform = platform_for(rng.next_below(251) as u8);
+        let model = HdModel::random(&params, rng.next_u64());
 
-    #[test]
-    fn simulated_chain_equals_golden_model(
-        n_words in 1usize..20,
-        channels in 1usize..9,
-        ngram in 1usize..6,
-        classes in 2usize..6,
-        levels in 2usize..30,
-        plat_sel in any::<u8>(),
-        seed in any::<u64>(),
-    ) {
-        let params = AccelParams { n_words, channels, levels, ngram, classes };
-        let platform = platform_for(plat_sel);
-
-        let cim = ContinuousItemMemory::new(levels, n_words, derive_seed(seed, 1));
-        let im = ItemMemory::new(channels, n_words, derive_seed(seed, 2));
-        let protos: Vec<BinaryHv> = (0..classes)
-            .map(|k| BinaryHv::random(n_words, derive_seed(seed, 100 + k as u64)))
+        // The simulated chain consumes exactly one N-gram per run, so
+        // the shared window is `ngram` samples.
+        let window: Vec<Vec<u16>> = (0..params.ngram)
+            .map(|_| {
+                (0..params.channels)
+                    .map(|_| (rng.next_u32() & 0xffff) as u16)
+                    .collect()
+            })
             .collect();
 
-        let mut chain = AccelChain::new(&platform, params).unwrap();
-        chain.load_model(&cim, &im, &protos).unwrap();
+        let mut accel = AccelBackend::new(platform.clone()).prepare(&model).unwrap();
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let mut fast = FastBackend::with_threads(2).prepare(&model).unwrap();
 
-        let mut rng = hdc::rng::Xoshiro256PlusPlus::seed_from_u64(seed ^ 0x57A7);
-        let window: Vec<Vec<u16>> = (0..ngram)
-            .map(|_| (0..channels).map(|_| (rng.next_u32() & 0xffff) as u16).collect())
+        let a = accel.classify(&window).unwrap();
+        let g = golden.classify(&window).unwrap();
+        let f = fast.classify(&window).unwrap();
+
+        let ctx = format!("case {case} on {} with {params:?}", platform.name);
+        assert_eq!(a.query, g.query, "{ctx}: accel query diverged from golden");
+        assert_eq!(f.query, g.query, "{ctx}: fast query diverged from golden");
+        assert_eq!(a.distances, g.distances, "{ctx}: accel distances");
+        assert_eq!(f.distances, g.distances, "{ctx}: fast distances");
+        assert_eq!(a.class, g.class, "{ctx}: accel decision");
+        assert_eq!(f.class, g.class, "{ctx}: fast decision");
+
+        // Timing sanity: only the simulated backend measures cycles,
+        // and its regions are recorded and cover the run.
+        assert!(g.cycles.is_none() && f.cycles.is_none(), "{ctx}");
+        let cycles = a.cycles.expect("accel reports cycles");
+        assert!(cycles.map_encode > 0, "{ctx}");
+        assert!(cycles.am > 0, "{ctx}");
+        assert!(cycles.map_encode + cycles.am <= cycles.total, "{ctx}");
+    }
+}
+
+/// Host backends also agree on multi-gram sliding windows (a regime the
+/// simulated chain does not cover), including through the threaded
+/// batch path.
+#[test]
+fn host_backends_agree_on_sliding_window_batches() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xBA7C_4E55);
+    for case in 0..12 {
+        let params = AccelParams {
+            n_words: 1 + rng.next_below(24) as usize,
+            channels: 1 + rng.next_below(8) as usize,
+            ngram: 1 + rng.next_below(4) as usize,
+            classes: 2 + rng.next_below(5) as usize,
+            levels: 2 + rng.next_below(28) as usize,
+        };
+        let model = HdModel::random(&params, rng.next_u64());
+        let samples = params.ngram + rng.next_below(5) as usize;
+        let windows: Vec<Vec<Vec<u16>>> = (0..9)
+            .map(|_| {
+                (0..samples)
+                    .map(|_| {
+                        (0..params.channels)
+                            .map(|_| (rng.next_u32() & 0xffff) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
             .collect();
-
-        let run = chain.classify(&window).unwrap();
-        let (query, distances, class) = native_reference(&cim, &im, &protos, &window);
-        prop_assert_eq!(run.query, query, "query diverged on {}", platform.name);
-        prop_assert_eq!(run.distances, distances);
-        prop_assert_eq!(run.class, class);
-        // Timing sanity: regions are recorded and cover the run.
-        prop_assert!(run.cycles_map_encode > 0);
-        prop_assert!(run.cycles_am > 0);
-        prop_assert!(run.cycles_map_encode + run.cycles_am <= run.cycles_total);
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let mut fast = FastBackend::with_threads(4).prepare(&model).unwrap();
+        let expected = golden.classify_batch(&windows).unwrap();
+        let got = fast.classify_batch(&windows).unwrap();
+        assert_eq!(got, expected, "case {case} with {params:?}");
     }
 }

@@ -93,7 +93,10 @@ impl Dataset {
                 );
                 let raw = synthesize_trial(cfg, &model, class, trial_seed);
                 let codes = preprocess(cfg, &notch, &raw, trial_seed ^ 0xA27F);
-                trials.push(Trial { label: class, codes });
+                trials.push(Trial {
+                    label: class,
+                    codes,
+                });
             }
         }
         Self {
@@ -283,10 +286,7 @@ mod tests {
         let data = Dataset::generate(&cfg, 0, 7);
         assert_eq!(data.trials().len(), 15);
         for class in 0..5 {
-            assert_eq!(
-                data.trials().iter().filter(|t| t.label == class).count(),
-                3
-            );
+            assert_eq!(data.trials().iter().filter(|t| t.label == class).count(), 3);
         }
     }
 

@@ -44,7 +44,17 @@ impl Biquad {
     /// out).
     #[must_use]
     pub fn from_coefficients(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
-        Self { b0, b1, b2, a1, a2, x1: 0.0, x2: 0.0, y1: 0.0, y2: 0.0 }
+        Self {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+        }
     }
 
     /// Second-order low-pass (RBJ cookbook).
@@ -54,7 +64,10 @@ impl Biquad {
     /// Panics unless `0 < cutoff_hz < fs_hz / 2` and `q > 0`.
     #[must_use]
     pub fn low_pass(fs_hz: f64, cutoff_hz: f64, q: f64) -> Self {
-        assert!(cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0, "cutoff out of range");
+        assert!(
+            cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0,
+            "cutoff out of range"
+        );
         assert!(q > 0.0, "q must be positive");
         let w0 = 2.0 * PI * cutoff_hz / fs_hz;
         let alpha = w0.sin() / (2.0 * q);
@@ -76,7 +89,10 @@ impl Biquad {
     /// Panics unless `0 < cutoff_hz < fs_hz / 2` and `q > 0`.
     #[must_use]
     pub fn high_pass(fs_hz: f64, cutoff_hz: f64, q: f64) -> Self {
-        assert!(cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0, "cutoff out of range");
+        assert!(
+            cutoff_hz > 0.0 && cutoff_hz < fs_hz / 2.0,
+            "cutoff out of range"
+        );
         assert!(q > 0.0, "q must be positive");
         let w0 = 2.0 * PI * cutoff_hz / fs_hz;
         let alpha = w0.sin() / (2.0 * q);
@@ -98,7 +114,10 @@ impl Biquad {
     /// Panics unless `0 < f0_hz < fs_hz / 2` and `q > 0`.
     #[must_use]
     pub fn notch(fs_hz: f64, f0_hz: f64, q: f64) -> Self {
-        assert!(f0_hz > 0.0 && f0_hz < fs_hz / 2.0, "notch frequency out of range");
+        assert!(
+            f0_hz > 0.0 && f0_hz < fs_hz / 2.0,
+            "notch frequency out of range"
+        );
         assert!(q > 0.0, "q must be positive");
         let w0 = 2.0 * PI * f0_hz / fs_hz;
         let alpha = w0.sin() / (2.0 * q);
@@ -171,7 +190,9 @@ impl Envelope {
     /// Panics unless `0 < cutoff_hz < fs_hz / 2`.
     #[must_use]
     pub fn new(fs_hz: f64, cutoff_hz: f64) -> Self {
-        Self { lp: Biquad::low_pass(fs_hz, cutoff_hz, core::f64::consts::FRAC_1_SQRT_2) }
+        Self {
+            lp: Biquad::low_pass(fs_hz, cutoff_hz, core::f64::consts::FRAC_1_SQRT_2),
+        }
     }
 
     /// Processes one sample (rectification + smoothing).
@@ -192,7 +213,9 @@ mod tests {
     use super::*;
 
     fn tone(fs: f64, f: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * f * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 / fs).sin())
+            .collect()
     }
 
     fn rms(signal: &[f64]) -> f64 {
@@ -208,8 +231,16 @@ mod tests {
         let hum_out = notch.filter(&hum);
         let emg_out = notch.filter(&emg);
         // Skip the transient.
-        assert!(rms(&hum_out[1000..]) < 0.02, "hum survives: {}", rms(&hum_out[1000..]));
-        assert!(rms(&emg_out[1000..]) > 0.6, "signal destroyed: {}", rms(&emg_out[1000..]));
+        assert!(
+            rms(&hum_out[1000..]) < 0.02,
+            "hum survives: {}",
+            rms(&hum_out[1000..])
+        );
+        assert!(
+            rms(&emg_out[1000..]) > 0.6,
+            "signal destroyed: {}",
+            rms(&emg_out[1000..])
+        );
     }
 
     #[test]

@@ -21,8 +21,13 @@
 use hdc::rng::{derive_seed, Xoshiro256PlusPlus};
 
 /// Names of the five classes (four gestures plus rest), in label order.
-pub const GESTURE_NAMES: [&str; 5] =
-    ["rest", "closed hand", "open hand", "2-finger pinch", "point index"];
+pub const GESTURE_NAMES: [&str; 5] = [
+    "rest",
+    "closed hand",
+    "open hand",
+    "2-finger pinch",
+    "point index",
+];
 
 /// Parameters of the synthetic EMG task.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,6 +155,10 @@ impl GestureModel {
             0x5EED_0000 + subject as u64,
         ));
         let mut patterns = Vec::with_capacity(cfg.classes);
+        // Indexed loops: `g`/`c` select between the calibrated
+        // BASE_PATTERNS table and the procedural fallback, so iterator
+        // chaining would obscure the bounds conditions.
+        #[allow(clippy::needless_range_loop)]
         for g in 0..cfg.classes {
             let mut p = Vec::with_capacity(cfg.channels);
             for c in 0..cfg.channels {
@@ -172,7 +181,10 @@ impl GestureModel {
             }
             patterns.push(p);
         }
-        Self { patterns, channels: cfg.channels }
+        Self {
+            patterns,
+            channels: cfg.channels,
+        }
     }
 
     /// The activation pattern (fraction of MVC per channel) of `gesture`.
@@ -248,10 +260,8 @@ pub fn synthesize_trial(
 ) -> Vec<Vec<f64>> {
     assert!(gesture < model.classes(), "gesture {gesture} out of range");
     let n = cfg.samples_per_trial();
-    let mut rng = Xoshiro256PlusPlus::seed_from_u64(derive_seed(
-        trial_seed,
-        0x7124_0000 + gesture as u64,
-    ));
+    let mut rng =
+        Xoshiro256PlusPlus::seed_from_u64(derive_seed(trial_seed, 0x7124_0000 + gesture as u64));
     // Per-trial effort scaling and tremor phase.
     let effort = (1.0 + cfg.trial_jitter * rng.next_normal()).clamp(0.6, 1.4);
     let tremor_hz = 1.1 + 0.8 * rng.next_f64();
@@ -274,12 +284,10 @@ pub fn synthesize_trial(
         let t = i as f64 / cfg.fs_hz;
         let a = activation_profile(i, n, cfg.fs_hz);
         let tremor = 1.0 + 0.10 * (core::f64::consts::TAU * tremor_hz * t + tremor_phase).sin();
-        let mains = cfg.interference_mv
-            * (core::f64::consts::TAU * 50.0 * t + mains_phase).sin();
+        let mains = cfg.interference_mv * (core::f64::consts::TAU * 50.0 * t + mains_phase).sin();
         let mut sample = Vec::with_capacity(cfg.channels);
         for &p in pattern.iter() {
-            let env_target =
-                (REST_LEVEL + (p - REST_LEVEL) * a) * cfg.max_mvc_mv * effort * tremor;
+            let env_target = (REST_LEVEL + (p - REST_LEVEL) * a) * cfg.max_mvc_mv * effort * tremor;
             let sigma = env_target.max(0.0) * env_to_sigma;
             let carrier = sigma * rng.next_normal();
             let noise = cfg.sensor_noise_mv * rng.next_normal();
@@ -341,7 +349,12 @@ mod tests {
             let hold = &trial[400..1200];
             (hold.iter().map(|s| s[0] * s[0]).sum::<f64>() / hold.len() as f64).sqrt()
         };
-        assert!(rms(&fist) > 4.0 * rms(&rest), "fist {} rest {}", rms(&fist), rms(&rest));
+        assert!(
+            rms(&fist) > 4.0 * rms(&rest),
+            "fist {} rest {}",
+            rms(&fist),
+            rms(&rest)
+        );
     }
 
     #[test]

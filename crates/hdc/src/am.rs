@@ -212,11 +212,7 @@ impl AssociativeMemory {
             self.stale.iter().all(|&s| !s),
             "classify_finalized called with stale prototypes"
         );
-        let distances: Vec<u32> = self
-            .prototypes
-            .iter()
-            .map(|p| p.hamming(query))
-            .collect();
+        let distances: Vec<u32> = self.prototypes.iter().map(|p| p.hamming(query)).collect();
         let class = distances
             .iter()
             .enumerate()
@@ -322,7 +318,10 @@ mod tests {
             am.update_online(0, &drifted.with_bit_flips(200, s));
         }
         let after = am.prototype(0).hamming(&drifted);
-        assert!(after < before, "online update should track drift: {before} -> {after}");
+        assert!(
+            after < before,
+            "online update should track drift: {before} -> {after}"
+        );
     }
 
     #[test]

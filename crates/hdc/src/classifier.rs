@@ -118,10 +118,9 @@ impl core::fmt::Display for ConfigError {
             Self::ZeroChannels => write!(f, "at least one input channel is required"),
             Self::TooFewLevels(l) => write!(f, "need at least 2 quantization levels, got {l}"),
             Self::ZeroNgram => write!(f, "n-gram size must be at least 1"),
-            Self::WindowShorterThanNgram { window, ngram } => write!(
-                f,
-                "window of {window} samples cannot hold an {ngram}-gram"
-            ),
+            Self::WindowShorterThanNgram { window, ngram } => {
+                write!(f, "window of {window} samples cannot hold an {ngram}-gram")
+            }
         }
     }
 }
@@ -381,8 +380,8 @@ mod tests {
             .map(|t| {
                 let mut s = base;
                 for (c, v) in s.iter_mut().enumerate() {
-                    let j = ((t_seed * 31 + t as u64 * 7 + c as u64 * 13) % u64::from(jitter.max(1)))
-                        as u16;
+                    let j = ((t_seed * 31 + t as u64 * 7 + c as u64 * 13)
+                        % u64::from(jitter.max(1))) as u16;
                     *v = v.saturating_add(j);
                 }
                 s
@@ -416,15 +415,31 @@ mod tests {
     #[test]
     fn config_validation_catches_inconsistencies() {
         assert_eq!(
-            HdConfig { ngram: 7, window: 5, ..config() }.validate(),
-            Err(ConfigError::WindowShorterThanNgram { window: 5, ngram: 7 })
+            HdConfig {
+                ngram: 7,
+                window: 5,
+                ..config()
+            }
+            .validate(),
+            Err(ConfigError::WindowShorterThanNgram {
+                window: 5,
+                ngram: 7
+            })
         );
         assert_eq!(
-            HdConfig { levels: 1, ..config() }.validate(),
+            HdConfig {
+                levels: 1,
+                ..config()
+            }
+            .validate(),
             Err(ConfigError::TooFewLevels(1))
         );
         assert_eq!(
-            HdConfig { channels: 0, ..config() }.validate(),
+            HdConfig {
+                channels: 0,
+                ..config()
+            }
+            .validate(),
             Err(ConfigError::ZeroChannels)
         );
         assert!(config().validate().is_ok());
@@ -436,12 +451,20 @@ mod tests {
         let short: Vec<[u16; 4]> = vec![[0; 4]; 3];
         assert_eq!(
             clf.encode_window(&short).unwrap_err(),
-            WindowError::WrongLength { expected: 5, got: 3 }
+            WindowError::WrongLength {
+                expected: 5,
+                got: 3
+            }
         );
-        let ragged: Vec<Vec<u16>> = vec![vec![0; 4], vec![0; 3], vec![0; 4], vec![0; 4], vec![0; 4]];
+        let ragged: Vec<Vec<u16>> =
+            vec![vec![0; 4], vec![0; 3], vec![0; 4], vec![0; 4], vec![0; 4]];
         assert_eq!(
             clf.encode_window(&ragged).unwrap_err(),
-            WindowError::WrongChannels { expected: 4, got: 3, at_sample: 1 }
+            WindowError::WrongChannels {
+                expected: 4,
+                got: 3,
+                at_sample: 1
+            }
         );
     }
 
@@ -451,7 +474,10 @@ mod tests {
         let window = vec![[0u16; 4]; 5];
         assert_eq!(
             clf.train_window(7, &window).unwrap_err(),
-            WindowError::BadClass { n_classes: 2, got: 7 }
+            WindowError::BadClass {
+                n_classes: 2,
+                got: 7
+            }
         );
     }
 
@@ -477,7 +503,14 @@ mod tests {
     #[test]
     fn ngram_config_changes_encoding() {
         let clf1 = HdClassifier::new(config(), 2).unwrap();
-        let clf3 = HdClassifier::new(HdConfig { ngram: 3, ..config() }, 2).unwrap();
+        let clf3 = HdClassifier::new(
+            HdConfig {
+                ngram: 3,
+                ..config()
+            },
+            2,
+        )
+        .unwrap();
         let window = gesture_window([5_000, 9_000, 1_000, 60_000], 500, 3);
         let q1 = clf1.encode_window(&window).unwrap();
         let q3 = clf3.encode_window(&window).unwrap();
@@ -490,8 +523,10 @@ mod tests {
         let base0 = [2_000u16, 3_000, 2_500, 1_500];
         let base1 = [55_000u16, 60_000, 52_000, 58_000];
         for rep in 0..6 {
-            clf.train_window(0, &gesture_window(base0, 2000, rep)).unwrap();
-            clf.train_window(1, &gesture_window(base1, 2000, rep)).unwrap();
+            clf.train_window(0, &gesture_window(base0, 2000, rep))
+                .unwrap();
+            clf.train_window(1, &gesture_window(base1, 2000, rep))
+                .unwrap();
         }
         clf.finalize();
 

@@ -48,11 +48,29 @@ impl SpatialEncoder {
     #[must_use]
     pub fn new(channels: usize, n_levels: usize, n_words: usize, master_seed: u64) -> Self {
         assert!(channels > 0, "spatial encoder needs at least one channel");
-        Self {
-            im: ItemMemory::new(channels, n_words, derive_seed(master_seed, 1)),
-            cim: ContinuousItemMemory::new(n_levels, n_words, derive_seed(master_seed, 2)),
-            channels,
-        }
+        Self::from_parts(
+            ItemMemory::new(channels, n_words, derive_seed(master_seed, 1)),
+            ContinuousItemMemory::new(n_levels, n_words, derive_seed(master_seed, 2)),
+        )
+    }
+
+    /// Wraps existing item memories (e.g. ones extracted from a trained
+    /// model) in an encoder; the channel count is the IM's length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `im` and `cim` hypervector widths differ.
+    #[must_use]
+    pub fn from_parts(im: ItemMemory, cim: ContinuousItemMemory) -> Self {
+        assert_eq!(
+            im.get(0).n_words(),
+            cim.get(0).n_words(),
+            "IM and CIM width mismatch: {} vs {} words",
+            im.get(0).n_words(),
+            cim.get(0).n_words()
+        );
+        let channels = im.len();
+        Self { im, cim, channels }
     }
 
     /// Number of input channels.

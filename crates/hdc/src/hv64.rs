@@ -1,0 +1,482 @@
+//! `u64`-word packed hypervectors for throughput-oriented host execution.
+//!
+//! [`Hv64`] carries the exact bit pattern of a [`BinaryHv`] repacked two
+//! `u32` words per `u64` word (component `i` is bit `i % 64` of word
+//! `i / 64`), so every MAP operation runs over half as many words and
+//! Hamming distances use 64-bit `count_ones`. Conversion to and from
+//! [`BinaryHv`] is lossless in both directions, and every operation here
+//! is bit-identical to its `u32` counterpart — the [`FastBackend`]
+//! property tests pin this equivalence.
+//!
+//! The canonical width stays the `u32` word count of the golden model
+//! (313 words ≙ "10,000-D"); when it is odd, the top `u64` word holds
+//! only 32 valid components and its padding bits are kept at zero by
+//! every constructor and operation.
+//!
+//! [`FastBackend`]: https://docs.rs/pulp-hd-core
+
+use core::fmt;
+
+use crate::hv::{BinaryHv, BITS_PER_WORD};
+
+/// Number of binary components packed into one `u64` word.
+pub const BITS_PER_WORD64: usize = 64;
+
+/// A binary hypervector packed into `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::{BinaryHv, Hv64};
+///
+/// let a = BinaryHv::random(313, 1);
+/// let b = BinaryHv::random(313, 2);
+/// let a64 = Hv64::from_binary(&a);
+/// let b64 = Hv64::from_binary(&b);
+/// // Same algebra, half the words: distances and bindings agree exactly.
+/// assert_eq!(a64.hamming(&b64), a.hamming(&b));
+/// assert_eq!(a64.bind(&b64).to_binary(), a.bind(&b));
+/// assert_eq!(a64.to_binary(), a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Hv64 {
+    words: Box<[u64]>,
+    /// Width in canonical `u32` words (`dim = n_words32 * 32`).
+    n_words32: usize,
+}
+
+impl Hv64 {
+    /// Repacks a [`BinaryHv`] into `u64` words (lossless).
+    #[must_use]
+    pub fn from_binary(hv: &BinaryHv) -> Self {
+        let w32 = hv.words();
+        let mut words = Vec::with_capacity(w32.len().div_ceil(2));
+        for pair in w32.chunks(2) {
+            let lo = u64::from(pair[0]);
+            let hi = pair.get(1).map_or(0, |&h| u64::from(h) << 32);
+            words.push(lo | hi);
+        }
+        Self {
+            words: words.into_boxed_slice(),
+            n_words32: w32.len(),
+        }
+    }
+
+    /// Unpacks back into the canonical `u32`-word representation
+    /// (lossless; `to_binary(from_binary(x)) == x`).
+    #[must_use]
+    pub fn to_binary(&self) -> BinaryHv {
+        let mut w32 = Vec::with_capacity(self.n_words32);
+        for (i, &w) in self.words.iter().enumerate() {
+            w32.push(w as u32);
+            if 2 * i + 1 < self.n_words32 {
+                w32.push((w >> 32) as u32);
+            }
+        }
+        BinaryHv::from_words(w32)
+    }
+
+    /// Dimensionality (number of binary components, a multiple of 32).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n_words32 * BITS_PER_WORD
+    }
+
+    /// Number of packed `u64` words.
+    #[must_use]
+    pub fn n_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Width in canonical `u32` words (matches the golden model).
+    #[must_use]
+    pub fn n_words32(&self) -> usize {
+        self.n_words32
+    }
+
+    /// The packed words, little-endian in component order.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of components set to one.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Componentwise XOR — the HD *multiplication* (binding) operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    #[must_use]
+    pub fn bind(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.bind_assign(other);
+        out
+    }
+
+    /// In-place componentwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    pub fn bind_assign(&mut self, other: &Self) {
+        assert_eq!(
+            self.n_words32, other.n_words32,
+            "hypervector width mismatch: {} vs {} u32 words",
+            self.n_words32, other.n_words32
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Hamming distance via 64-bit popcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    #[must_use]
+    pub fn hamming(&self, other: &Self) -> u32 {
+        assert_eq!(
+            self.n_words32, other.n_words32,
+            "hypervector width mismatch: {} vs {} u32 words",
+            self.n_words32, other.n_words32
+        );
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// ρᵏ: rotates all components left by `k` positions modulo the
+    /// dimension, bit-identical to [`BinaryHv::rotate`].
+    #[must_use]
+    pub fn rotate(&self, k: usize) -> Self {
+        let dim = self.dim();
+        let k = k % dim;
+        if k == 0 {
+            return self.clone();
+        }
+        // rotl_dim(x, k) = ((x << k) | (x >> (dim - k))) mod 2^dim, as
+        // big-integer arithmetic over the word array.
+        let n = self.words.len();
+        let mut out = vec![0u64; n];
+        shl_into(&self.words, k, &mut out);
+        let mut wrap = vec![0u64; n];
+        shr_into(&self.words, dim - k, &mut wrap);
+        for (o, w) in out.iter_mut().zip(&wrap) {
+            *o |= w;
+        }
+        let tail = dim % BITS_PER_WORD64;
+        if tail != 0 {
+            out[n - 1] &= (1u64 << tail) - 1;
+        }
+        Self {
+            words: out.into_boxed_slice(),
+            n_words32: self.n_words32,
+        }
+    }
+}
+
+/// `out = x << s` over little-endian `u64` words (bits shifted past the
+/// top word are dropped; the caller masks to the dimension).
+fn shl_into(x: &[u64], s: usize, out: &mut [u64]) {
+    let word_shift = s / BITS_PER_WORD64;
+    let bit_shift = s % BITS_PER_WORD64;
+    for j in (word_shift..x.len()).rev() {
+        let lo = x[j - word_shift];
+        out[j] = if bit_shift == 0 {
+            lo
+        } else {
+            let carry = if j > word_shift {
+                x[j - word_shift - 1] >> (BITS_PER_WORD64 - bit_shift)
+            } else {
+                0
+            };
+            (lo << bit_shift) | carry
+        };
+    }
+}
+
+/// `out = x >> s` over little-endian `u64` words.
+fn shr_into(x: &[u64], s: usize, out: &mut [u64]) {
+    let word_shift = s / BITS_PER_WORD64;
+    let bit_shift = s % BITS_PER_WORD64;
+    for j in 0..x.len().saturating_sub(word_shift) {
+        let hi = x[j + word_shift];
+        out[j] = if bit_shift == 0 {
+            hi
+        } else {
+            let carry = if j + word_shift + 1 < x.len() {
+                x[j + word_shift + 1] << (BITS_PER_WORD64 - bit_shift)
+            } else {
+                0
+            };
+            (hi >> bit_shift) | carry
+        };
+    }
+}
+
+impl fmt::Debug for Hv64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hv64 {{ dim: {}, words: [", self.dim())?;
+        for (i, w) in self.words.iter().take(2).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w:#018x}")?;
+        }
+        if self.words.len() > 2 {
+            write!(f, ", …")?;
+        }
+        write!(f, "] }}")
+    }
+}
+
+/// Encodes a sequence into one N-gram, bit-identical to
+/// [`crate::encoder::ngram`]: `hvs[0] ⊕ ρ¹hvs[1] ⊕ … ⊕ ρᴺ⁻¹hvs[N−1]`.
+///
+/// # Panics
+///
+/// Panics if `hvs` is empty or widths differ.
+#[must_use]
+pub fn ngram64(hvs: &[Hv64]) -> Hv64 {
+    assert!(!hvs.is_empty(), "n-gram of an empty sequence is undefined");
+    let mut out = hvs[0].clone();
+    for (k, hv) in hvs.iter().enumerate().skip(1) {
+        out.bind_assign(&hv.rotate(k));
+    }
+    out
+}
+
+/// Majority with the *paper's kernel policy*, bit-identical to
+/// [`crate::bundle::majority_paper`]: an even input count appends the
+/// XOR of the first two inputs as the tie-break vector, making the vote
+/// effectively odd.
+///
+/// Takes references so hot paths can vote over item-memory entries
+/// without cloning.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or widths differ.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::bundle::majority_paper;
+/// use hdc::hv64::{majority_paper64, Hv64};
+/// use hdc::BinaryHv;
+///
+/// let inputs: Vec<BinaryHv> = (0..4).map(|s| BinaryHv::random(313, s)).collect();
+/// let packed: Vec<Hv64> = inputs.iter().map(Hv64::from_binary).collect();
+/// let refs: Vec<&Hv64> = packed.iter().collect();
+/// assert_eq!(majority_paper64(&refs).to_binary(), majority_paper(&inputs));
+/// ```
+#[must_use]
+pub fn majority_paper64(inputs: &[&Hv64]) -> Hv64 {
+    assert!(!inputs.is_empty(), "majority of an empty set is undefined");
+    if inputs.len() == 1 {
+        return inputs[0].clone();
+    }
+    let tie = if inputs.len() % 2 == 0 {
+        Some(inputs[0].bind(inputs[1]))
+    } else {
+        None
+    };
+    let refs: Vec<&Hv64> = inputs.iter().copied().chain(tie.as_ref()).collect();
+    majority_odd_bitsliced64(&refs)
+}
+
+/// Componentwise majority of an odd number of equally wide packed
+/// hypervectors — the `u64`-lane version of
+/// [`crate::bundle::majority_odd_bitsliced`], voting over 64 components
+/// per word-operation.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, has an even length, or widths differ.
+#[must_use]
+pub fn majority_odd_bitsliced64(inputs: &[&Hv64]) -> Hv64 {
+    assert!(!inputs.is_empty(), "majority of an empty set is undefined");
+    assert!(
+        inputs.len() % 2 == 1,
+        "bit-sliced majority requires an odd input count"
+    );
+    let n_words32 = inputs[0].n_words32;
+    for hv in inputs {
+        assert_eq!(
+            hv.n_words32, n_words32,
+            "majority width mismatch: expected {n_words32} u32 words, got {}",
+            hv.n_words32
+        );
+    }
+    let n = inputs.len() as u32;
+    let threshold = n / 2 + 1;
+    let n_planes = (32 - n.leading_zeros()) as usize;
+    let n_words = inputs[0].words.len();
+    let mut out = Vec::with_capacity(n_words);
+    let mut planes = vec![0u64; n_planes];
+    for wi in 0..n_words {
+        planes.fill(0);
+        for hv in inputs {
+            // Ripple-carry increment of the vertical counters.
+            let mut carry = hv.words[wi];
+            for plane in planes.iter_mut() {
+                let t = *plane & carry;
+                *plane ^= carry;
+                carry = t;
+            }
+            debug_assert_eq!(carry, 0, "counter planes sized for n inputs");
+        }
+        // count >= threshold ⇔ (count - threshold) does not borrow.
+        // Padding lanes count zero and threshold >= 1, so they borrow
+        // and stay clear.
+        let mut borrow = 0u64;
+        for (p, &plane) in planes.iter().enumerate() {
+            let t = if threshold >> p & 1 == 1 { u64::MAX } else { 0 };
+            borrow = (!plane & (t | borrow)) | (t & borrow);
+        }
+        out.push(!borrow);
+    }
+    let tail = (n_words32 * BITS_PER_WORD) % BITS_PER_WORD64;
+    if tail != 0 {
+        out[n_words - 1] &= (1u64 << tail) - 1;
+    }
+    Hv64 {
+        words: out.into_boxed_slice(),
+        n_words32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::majority_paper;
+    use crate::encoder::ngram;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    fn pair(n_words32: usize, seed: u64) -> (BinaryHv, Hv64) {
+        let hv = BinaryHv::random(n_words32, seed);
+        let packed = Hv64::from_binary(&hv);
+        (hv, packed)
+    }
+
+    #[test]
+    fn roundtrip_is_lossless_for_even_and_odd_widths() {
+        for n_words32 in [1usize, 2, 3, 7, 16, 313] {
+            let (hv, packed) = pair(n_words32, n_words32 as u64);
+            assert_eq!(packed.to_binary(), hv, "{n_words32} words");
+            assert_eq!(packed.dim(), hv.dim());
+            assert_eq!(packed.n_words(), n_words32.div_ceil(2));
+            assert_eq!(packed.count_ones(), hv.count_ones());
+        }
+    }
+
+    #[test]
+    fn padding_bits_stay_zero() {
+        let (_, packed) = pair(313, 9);
+        // 313 u32 words → 157 u64 words; top 32 bits of the last are pad.
+        assert_eq!(packed.words()[156] >> 32, 0);
+        let rotated = packed.rotate(1);
+        assert_eq!(rotated.words()[156] >> 32, 0);
+    }
+
+    #[test]
+    fn bind_matches_u32_model() {
+        for n_words32 in [1usize, 3, 8, 313] {
+            let (a, a64) = pair(n_words32, 1);
+            let (b, b64) = pair(n_words32, 2);
+            assert_eq!(a64.bind(&b64).to_binary(), a.bind(&b), "{n_words32} words");
+        }
+    }
+
+    #[test]
+    fn hamming_matches_u32_model() {
+        for n_words32 in [1usize, 3, 8, 313] {
+            let (a, a64) = pair(n_words32, 3);
+            let (b, b64) = pair(n_words32, 4);
+            assert_eq!(a64.hamming(&b64), a.hamming(&b), "{n_words32} words");
+        }
+    }
+
+    #[test]
+    fn rotate_matches_u32_model_across_shifts() {
+        for n_words32 in [1usize, 2, 3, 5, 313] {
+            let (a, a64) = pair(n_words32, 5);
+            let dim = a.dim();
+            for k in [0, 1, 31, 32, 33, 63, 64, 65, 127, dim - 1, dim, dim + 7] {
+                assert_eq!(
+                    a64.rotate(k).to_binary(),
+                    a.rotate(k),
+                    "{n_words32} words, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_randomized_against_u32_model() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xFA57);
+        for case in 0..64 {
+            let n_words32 = 1 + (rng.next_below(20) as usize);
+            let (a, a64) = pair(n_words32, rng.next_u64());
+            let k = rng.next_below(2 * a.dim() as u32) as usize;
+            assert_eq!(a64.rotate(k).to_binary(), a.rotate(k), "case {case}");
+        }
+    }
+
+    #[test]
+    fn ngram_matches_u32_model() {
+        for (n_words32, n) in [(3usize, 2usize), (5, 3), (313, 4)] {
+            let hvs: Vec<BinaryHv> = (0..n)
+                .map(|s| BinaryHv::random(n_words32, 40 + s as u64))
+                .collect();
+            let packed: Vec<Hv64> = hvs.iter().map(Hv64::from_binary).collect();
+            assert_eq!(
+                ngram64(&packed).to_binary(),
+                ngram(&hvs),
+                "{n_words32} words, N = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_matches_u32_model_odd_and_even() {
+        for n in 1usize..10 {
+            for n_words32 in [1usize, 3, 11, 313] {
+                let hvs: Vec<BinaryHv> = (0..n)
+                    .map(|s| BinaryHv::random(n_words32, 900 + s as u64))
+                    .collect();
+                let packed: Vec<Hv64> = hvs.iter().map(Hv64::from_binary).collect();
+                let refs: Vec<&Hv64> = packed.iter().collect();
+                assert_eq!(
+                    majority_paper64(&refs).to_binary(),
+                    majority_paper(&hvs),
+                    "{n_words32} words, n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn bind_width_mismatch_panics() {
+        let (_, a) = pair(2, 1);
+        let (_, b) = pair(3, 2);
+        let _ = a.bind(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd input count")]
+    fn bitsliced_majority_rejects_even_counts() {
+        let (_, a) = pair(1, 1);
+        let (_, b) = pair(1, 2);
+        let _ = majority_odd_bitsliced64(&[&a, &b]);
+    }
+}

@@ -35,6 +35,8 @@
 //! ## Modules
 //!
 //! * [`hv`] — packed binary hypervectors and the MAP primitives.
+//! * [`hv64`] — `u64`-repacked hypervectors for throughput-oriented
+//!   host backends (lossless conversion, bit-identical operations).
 //! * [`bundle`] — componentwise majority with explicit tie-break policies.
 //! * [`item_memory`] — item memory (IM) and continuous item memory (CIM).
 //! * [`encoder`] — spatial and temporal (N-gram) encoders.
@@ -51,6 +53,7 @@ pub mod bundle;
 pub mod classifier;
 pub mod encoder;
 pub mod hv;
+pub mod hv64;
 pub mod item_memory;
 pub mod rng;
 
@@ -59,4 +62,5 @@ pub use bundle::{Bundler, TieBreak};
 pub use classifier::{ConfigError, HdClassifier, HdConfig, WindowError};
 pub use encoder::{ngram, SpatialEncoder, TemporalEncoder};
 pub use hv::{words_for_dim, BinaryHv, BITS_PER_WORD};
+pub use hv64::{Hv64, BITS_PER_WORD64};
 pub use item_memory::{quantize_code, ContinuousItemMemory, ItemMemory};

@@ -1,112 +1,187 @@
 //! Property-based tests of the HD-computing invariants the paper's
 //! algorithm relies on.
-
-use proptest::prelude::*;
+//!
+//! Properties are checked over many pseudo-randomly drawn cases from the
+//! crate's own deterministic generator (the container ships no external
+//! property-testing framework, and reproducibility is better served by a
+//! fixed seed anyway: every failure is replayable from the case index).
 
 use hdc::bundle::{majority_odd_bitsliced, majority_paper};
+use hdc::rng::Xoshiro256PlusPlus;
 use hdc::{quantize_code, BinaryHv, Bundler, TieBreak};
 
-fn hv(words: usize, seed: u64) -> BinaryHv {
-    BinaryHv::random(words, seed)
+const CASES: usize = 64;
+
+/// Per-case deterministic RNG: independent stream per (test, case).
+fn case_rng(test_id: u64, case: u64) -> Xoshiro256PlusPlus {
+    Xoshiro256PlusPlus::seed_from_u64(test_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case)
 }
 
-proptest! {
-    /// Binding is an involution and preserves Hamming distance.
-    #[test]
-    fn bind_involution_and_isometry(words in 1usize..40, s1 in 0u64..1000, s2 in 0u64..1000, s3 in 0u64..1000) {
-        let a = hv(words, s1);
-        let b = hv(words, s2);
-        let c = hv(words, s3);
-        prop_assert_eq!(a.bind(&b).bind(&b), a.clone());
+fn draw(rng: &mut Xoshiro256PlusPlus, lo: usize, hi: usize) -> usize {
+    lo + rng.next_below((hi - lo) as u32) as usize
+}
+
+fn hv(words: usize, rng: &mut Xoshiro256PlusPlus) -> BinaryHv {
+    BinaryHv::random(words, rng.next_u64())
+}
+
+/// Binding is an involution and preserves Hamming distance.
+#[test]
+fn bind_involution_and_isometry() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case as u64);
+        let words = draw(&mut rng, 1, 40);
+        let a = hv(words, &mut rng);
+        let b = hv(words, &mut rng);
+        let c = hv(words, &mut rng);
+        assert_eq!(a.bind(&b).bind(&b), a, "case {case}");
         // d(a⊕c, b⊕c) = d(a, b): XOR by a common vector is an isometry.
-        prop_assert_eq!(a.bind(&c).hamming(&b.bind(&c)), a.hamming(&b));
+        assert_eq!(
+            a.bind(&c).hamming(&b.bind(&c)),
+            a.hamming(&b),
+            "case {case}"
+        );
     }
+}
 
-    /// Hamming distance satisfies the metric axioms.
-    #[test]
-    fn hamming_is_a_metric(words in 1usize..30, s1 in 0u64..500, s2 in 0u64..500, s3 in 0u64..500) {
-        let a = hv(words, s1);
-        let b = hv(words, s2);
-        let c = hv(words, s3);
-        prop_assert_eq!(a.hamming(&a), 0);
-        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
-        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
-        if s1 != s2 && words > 2 {
-            prop_assert!(a.hamming(&b) > 0, "distinct seeds collide");
-        }
+/// Hamming distance satisfies the metric axioms.
+#[test]
+fn hamming_is_a_metric() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case as u64);
+        let words = draw(&mut rng, 1, 30);
+        let a = hv(words, &mut rng);
+        let b = hv(words, &mut rng);
+        let c = hv(words, &mut rng);
+        assert_eq!(a.hamming(&a), 0, "case {case}");
+        assert_eq!(a.hamming(&b), b.hamming(&a), "case {case}");
+        assert!(
+            a.hamming(&c) <= a.hamming(&b) + b.hamming(&c),
+            "case {case}: triangle inequality"
+        );
     }
+}
 
-    /// Rotation is a distance-preserving bijection that composes
-    /// additively modulo the dimension.
-    #[test]
-    fn rotation_group_structure(words in 1usize..20, s in 0u64..500, j in 0usize..700, k in 0usize..700) {
-        let a = hv(words, s);
+/// Rotation is a distance-preserving bijection that composes additively
+/// modulo the dimension.
+#[test]
+fn rotation_group_structure() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case as u64);
+        let words = draw(&mut rng, 1, 20);
+        let a = hv(words, &mut rng);
         let dim = a.dim();
-        prop_assert_eq!(a.rotate(j).rotate(k), a.rotate((j + k) % dim));
-        prop_assert_eq!(a.rotate(j).rotate(dim - (j % dim)), a.clone());
-        let b = hv(words, s ^ 0xABCD);
-        prop_assert_eq!(a.rotate(k).hamming(&b.rotate(k)), a.hamming(&b));
+        let j = draw(&mut rng, 0, 700);
+        let k = draw(&mut rng, 0, 700);
+        assert_eq!(
+            a.rotate(j).rotate(k),
+            a.rotate((j + k) % dim),
+            "case {case}"
+        );
+        assert_eq!(a.rotate(j).rotate(dim - (j % dim)), a, "case {case}");
+        let b = hv(words, &mut rng);
+        assert_eq!(
+            a.rotate(k).hamming(&b.rotate(k)),
+            a.hamming(&b),
+            "case {case}: rotation must preserve distance"
+        );
     }
+}
 
-    /// The componentwise majority is the 1-median of the input multiset:
-    /// no other vector has a smaller total Hamming distance to the
-    /// inputs. Odd-count majorities are also order-invariant (no
-    /// tie-break involved).
-    #[test]
-    fn majority_minimizes_total_distance(words in 1usize..16, n in 1usize..9, seed in 0u64..200) {
-        let inputs: Vec<BinaryHv> = (0..n).map(|i| hv(words, seed * 31 + i as u64)).collect();
+/// The componentwise majority is the 1-median of the input multiset: no
+/// other vector has a smaller total Hamming distance to the inputs.
+/// Odd-count majorities are also order-invariant (no tie-break involved).
+#[test]
+fn majority_minimizes_total_distance() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case as u64);
+        let words = draw(&mut rng, 1, 16);
+        let n = draw(&mut rng, 1, 9);
+        let inputs: Vec<BinaryHv> = (0..n).map(|_| hv(words, &mut rng)).collect();
         let m = majority_paper(&inputs);
-        let total = |y: &BinaryHv| -> u64 {
-            inputs.iter().map(|x| u64::from(y.hamming(x))).sum()
-        };
+        let total = |y: &BinaryHv| -> u64 { inputs.iter().map(|x| u64::from(y.hamming(x))).sum() };
         let m_total = total(&m);
         for x in &inputs {
-            prop_assert!(m_total <= total(x));
+            assert!(
+                m_total <= total(x),
+                "case {case}: an input beats the majority"
+            );
         }
-        for probe_seed in 0..4u64 {
-            let probe = hv(words, seed ^ (0xF00D + probe_seed));
-            prop_assert!(m_total <= total(&probe));
+        for _ in 0..4 {
+            let probe = hv(words, &mut rng);
+            assert!(
+                m_total <= total(&probe),
+                "case {case}: a probe beats the majority"
+            );
         }
         if n % 2 == 1 {
             let mut reversed = inputs.clone();
             reversed.reverse();
-            prop_assert_eq!(majority_paper(&reversed), m);
+            assert_eq!(
+                majority_paper(&reversed),
+                m,
+                "case {case}: order dependence"
+            );
         }
     }
+}
 
-    /// Bit-sliced majority ≡ counter majority for every odd count.
-    #[test]
-    fn bitsliced_equals_counters(words in 1usize..12, half in 0usize..6, seed in 0u64..200) {
-        let n = 2 * half + 1;
-        let inputs: Vec<BinaryHv> = (0..n).map(|i| hv(words, seed * 17 + i as u64)).collect();
+/// Bit-sliced majority ≡ counter majority for every odd count.
+#[test]
+fn bitsliced_equals_counters() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case as u64);
+        let words = draw(&mut rng, 1, 12);
+        let n = 2 * draw(&mut rng, 0, 6) + 1;
+        let inputs: Vec<BinaryHv> = (0..n).map(|_| hv(words, &mut rng)).collect();
         let refs: Vec<&BinaryHv> = inputs.iter().collect();
         let fast = majority_odd_bitsliced(&refs);
         let mut bundler = Bundler::new(words);
         for i in &inputs {
             bundler.add(i);
         }
-        prop_assert_eq!(fast, bundler.majority(TieBreak::Zero));
+        assert_eq!(
+            fast,
+            bundler.majority(TieBreak::Zero),
+            "case {case}, n = {n}"
+        );
     }
+}
 
-    /// The quantizer is monotone, total, and hits the extreme levels.
-    #[test]
-    fn quantizer_properties(a in 0u16.., b in 0u16.., levels in 2usize..64) {
+/// The quantizer is monotone, total, and hits the extreme levels.
+#[test]
+fn quantizer_properties() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case as u64);
+        let a = (rng.next_u32() & 0xffff) as u16;
+        let b = (rng.next_u32() & 0xffff) as u16;
+        let levels = draw(&mut rng, 2, 64);
         let qa = quantize_code(a, levels);
         let qb = quantize_code(b, levels);
-        prop_assert!(qa < levels);
+        assert!(qa < levels, "case {case}");
         if a <= b {
-            prop_assert!(qa <= qb);
+            assert!(qa <= qb, "case {case}: quantizer must be monotone");
         }
-        prop_assert_eq!(quantize_code(0, levels), 0);
-        prop_assert_eq!(quantize_code(u16::MAX, levels), levels - 1);
+        assert_eq!(quantize_code(0, levels), 0, "case {case}");
+        assert_eq!(quantize_code(u16::MAX, levels), levels - 1, "case {case}");
     }
+}
 
-    /// Bit-flip count equals the resulting Hamming distance (fault
-    /// injection is exact).
-    #[test]
-    fn fault_injection_is_exact(words in 1usize..20, seed in 0u64..300, frac in 0u32..100) {
-        let a = hv(words, seed);
-        let flips = (a.dim() as u32 * frac / 100) as usize;
-        prop_assert_eq!(a.with_bit_flips(flips, seed ^ 1).hamming(&a) as usize, flips);
+/// Bit-flip count equals the resulting Hamming distance (fault injection
+/// is exact).
+#[test]
+fn fault_injection_is_exact() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case as u64);
+        let words = draw(&mut rng, 1, 20);
+        let a = hv(words, &mut rng);
+        let frac = draw(&mut rng, 0, 100);
+        let flips = a.dim() * frac / 100;
+        let seed = rng.next_u64();
+        assert_eq!(
+            a.with_bit_flips(flips, seed).hamming(&a) as usize,
+            flips,
+            "case {case}"
+        );
     }
 }

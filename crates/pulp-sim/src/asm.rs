@@ -138,9 +138,19 @@ impl Program {
 
 #[derive(Debug, Clone)]
 enum Fixup {
-    Branch { inst: usize, label: String },
-    Jal { inst: usize, label: String },
-    LpSetup { inst: usize, start: String, end: String },
+    Branch {
+        inst: usize,
+        label: String,
+    },
+    Jal {
+        inst: usize,
+        label: String,
+    },
+    LpSetup {
+        inst: usize,
+        start: String,
+        end: String,
+    },
 }
 
 /// Incremental program builder with label resolution.
@@ -192,109 +202,214 @@ impl Assembler {
 
     /// `rd = rs1 + rs2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 - rs2`.
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 & rs2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 | rs2`.
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 ^ rs2`.
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 << (rs2 & 31)`.
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 >> (rs2 & 31)` (logical).
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 >> (rs2 & 31)` (arithmetic).
     pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Sra, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 <ₛ rs2) ? 1 : 0`.
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 <ᵤ rs2) ? 1 : 0`.
     pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = rs1 * rs2` (low 32 bits).
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     /// `rd = (rs1 * rs2) >> 32` (unsigned high product).
     pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Inst::Alu { op: AluOp::Mulhu, rd, rs1, rs2 });
+        self.push(Inst::Alu {
+            op: AluOp::Mulhu,
+            rd,
+            rs1,
+            rs2,
+        });
     }
 
     // --- ALU immediate -------------------------------------------------
 
     /// `rd = rs1 + imm`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 & imm`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::And, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 | imm`.
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Or, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 ^ imm`.
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = rs1 << shamt`.
     pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: u8) {
-        self.push(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm: i32::from(shamt) });
+        self.push(Inst::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: i32::from(shamt),
+        });
     }
 
     /// `rd = rs1 >> shamt` (logical).
     pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: u8) {
-        self.push(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm: i32::from(shamt) });
+        self.push(Inst::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: i32::from(shamt),
+        });
     }
 
     /// `rd = rs1 >> shamt` (arithmetic).
     pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: u8) {
-        self.push(Inst::AluImm { op: AluOp::Sra, rd, rs1, imm: i32::from(shamt) });
+        self.push(Inst::AluImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm: i32::from(shamt),
+        });
     }
 
     /// `rd = (rs1 <ₛ imm) ? 1 : 0`.
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Slt, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = (rs1 <ᵤ imm) ? 1 : 0`.
     pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Inst::AluImm { op: AluOp::Sltu, rd, rs1, imm });
+        self.push(Inst::AluImm {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            imm,
+        });
     }
 
     /// `rd = imm` (any 32-bit value).
@@ -316,48 +431,93 @@ impl Assembler {
 
     /// `rd = mem32[base + offset]`.
     pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) {
-        self.push(Inst::Load { width: MemWidth::Word, rd, base, offset });
+        self.push(Inst::Load {
+            width: MemWidth::Word,
+            rd,
+            base,
+            offset,
+        });
     }
 
     /// `rd = zext(mem16[base + offset])`.
     pub fn lhu(&mut self, rd: Reg, base: Reg, offset: i32) {
-        self.push(Inst::Load { width: MemWidth::Half, rd, base, offset });
+        self.push(Inst::Load {
+            width: MemWidth::Half,
+            rd,
+            base,
+            offset,
+        });
     }
 
     /// `rd = zext(mem8[base + offset])`.
     pub fn lbu(&mut self, rd: Reg, base: Reg, offset: i32) {
-        self.push(Inst::Load { width: MemWidth::Byte, rd, base, offset });
+        self.push(Inst::Load {
+            width: MemWidth::Byte,
+            rd,
+            base,
+            offset,
+        });
     }
 
     /// `mem32[base + offset] = src`.
     pub fn sw(&mut self, src: Reg, base: Reg, offset: i32) {
-        self.push(Inst::Store { width: MemWidth::Word, src, base, offset });
+        self.push(Inst::Store {
+            width: MemWidth::Word,
+            src,
+            base,
+            offset,
+        });
     }
 
     /// `mem16[base + offset] = src[15:0]`.
     pub fn sh(&mut self, src: Reg, base: Reg, offset: i32) {
-        self.push(Inst::Store { width: MemWidth::Half, src, base, offset });
+        self.push(Inst::Store {
+            width: MemWidth::Half,
+            src,
+            base,
+            offset,
+        });
     }
 
     /// `mem8[base + offset] = src[7:0]`.
     pub fn sb(&mut self, src: Reg, base: Reg, offset: i32) {
-        self.push(Inst::Store { width: MemWidth::Byte, src, base, offset });
+        self.push(Inst::Store {
+            width: MemWidth::Byte,
+            src,
+            base,
+            offset,
+        });
     }
 
     /// Post-increment word load: `rd = mem32[base]; base += inc`
     /// (XpulpV2 only).
     pub fn lw_post(&mut self, rd: Reg, base: Reg, inc: i32) {
-        self.push(Inst::LoadPost { width: MemWidth::Word, rd, base, inc });
+        self.push(Inst::LoadPost {
+            width: MemWidth::Word,
+            rd,
+            base,
+            inc,
+        });
     }
 
     /// Post-increment halfword load (XpulpV2 only).
     pub fn lhu_post(&mut self, rd: Reg, base: Reg, inc: i32) {
-        self.push(Inst::LoadPost { width: MemWidth::Half, rd, base, inc });
+        self.push(Inst::LoadPost {
+            width: MemWidth::Half,
+            rd,
+            base,
+            inc,
+        });
     }
 
     /// Post-increment word store (XpulpV2 only).
     pub fn sw_post(&mut self, src: Reg, base: Reg, inc: i32) {
-        self.push(Inst::StorePost { width: MemWidth::Word, src, base, inc });
+        self.push(Inst::StorePost {
+            width: MemWidth::Word,
+            src,
+            base,
+            inc,
+        });
     }
 
     // --- Control flow ------------------------------------------------------
@@ -367,7 +527,12 @@ impl Assembler {
             inst: self.insts.len(),
             label: label.to_owned(),
         });
-        self.push(Inst::Branch { cond, rs1, rs2, target: u32::MAX });
+        self.push(Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: u32::MAX,
+        });
     }
 
     /// Branch if equal.
@@ -416,7 +581,10 @@ impl Assembler {
             inst: self.insts.len(),
             label: label.to_owned(),
         });
-        self.push(Inst::Jal { rd: crate::isa::regs::ZERO, target: u32::MAX });
+        self.push(Inst::Jal {
+            rd: crate::isa::regs::ZERO,
+            target: u32::MAX,
+        });
     }
 
     /// Indirect jump to the instruction index in `rs1`, linking into
@@ -441,7 +609,10 @@ impl Assembler {
             inst: self.insts.len(),
             label: label.to_owned(),
         });
-        self.push(Inst::Jal { rd, target: u32::MAX });
+        self.push(Inst::Jal {
+            rd,
+            target: u32::MAX,
+        });
     }
 
     /// Hardware loop (XpulpV2 only): repeats the body between
@@ -453,7 +624,11 @@ impl Assembler {
             start: start_label.to_owned(),
             end: end_label.to_owned(),
         });
-        self.push(Inst::LpSetup { count, body_start: u32::MAX, body_end: u32::MAX });
+        self.push(Inst::LpSetup {
+            count,
+            body_start: u32::MAX,
+            body_end: u32::MAX,
+        });
     }
 
     // --- XpulpV2 bit manipulation -----------------------------------------
@@ -567,14 +742,23 @@ impl Assembler {
                     if e == 0 || s > e - 1 {
                         return Err(AsmError::EmptyLoopBody { start, end });
                     }
-                    if let Inst::LpSetup { body_start, body_end, .. } = &mut insts[inst] {
+                    if let Inst::LpSetup {
+                        body_start,
+                        body_end,
+                        ..
+                    } = &mut insts[inst]
+                    {
                         *body_start = s;
                         *body_end = e - 1;
                     }
                 }
             }
         }
-        Ok(Program { insts, labels, comments })
+        Ok(Program {
+            insts,
+            labels,
+            comments,
+        })
     }
 }
 
@@ -628,7 +812,10 @@ mod tests {
 
     #[test]
     fn empty_program_is_an_error() {
-        assert_eq!(Assembler::new().finish().unwrap_err(), AsmError::EmptyProgram);
+        assert_eq!(
+            Assembler::new().finish().unwrap_err(),
+            AsmError::EmptyProgram
+        );
     }
 
     #[test]
@@ -643,7 +830,11 @@ mod tests {
         a.halt();
         let p = a.finish().unwrap();
         match p.inst(1).unwrap() {
-            Inst::LpSetup { body_start, body_end, .. } => {
+            Inst::LpSetup {
+                body_start,
+                body_end,
+                ..
+            } => {
                 assert_eq!(*body_start, 2);
                 assert_eq!(*body_end, 3);
             }
@@ -687,11 +878,21 @@ mod tests {
         let p = a.finish().unwrap();
         assert_eq!(
             p.inst(0).unwrap(),
-            &Inst::AluImm { op: AluOp::Add, rd: T0, rs1: T1, imm: 0 }
+            &Inst::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: T1,
+                imm: 0
+            }
         );
         assert_eq!(
             p.inst(1).unwrap(),
-            &Inst::AluImm { op: AluOp::Add, rd: ZERO, rs1: ZERO, imm: 0 }
+            &Inst::AluImm {
+                op: AluOp::Add,
+                rd: ZERO,
+                rs1: ZERO,
+                imm: 0
+            }
         );
     }
 

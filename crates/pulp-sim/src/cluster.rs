@@ -20,7 +20,7 @@ use crate::asm::Program;
 use crate::config::ClusterConfig;
 use crate::core::{execute_one, Core, ExecCtx, Status};
 use crate::dma::DmaEngine;
-use crate::mem::{Memory, MemSpace};
+use crate::mem::{MemSpace, Memory};
 use crate::stats::{CoreStats, RunSummary};
 use crate::SimError;
 
@@ -380,8 +380,14 @@ mod tests {
         // Shape check: PULPv3 ≈ 8 cycles/iter (2+1+1+4), Wolf ≈ 5.
         let p3_per_iter = p3.cycles as f64 / 100.0;
         let wolf_per_iter = wolf.cycles as f64 / 100.0;
-        assert!((7.5..8.8).contains(&p3_per_iter), "pulpv3 {p3_per_iter}/iter");
-        assert!((4.5..5.8).contains(&wolf_per_iter), "wolf {wolf_per_iter}/iter");
+        assert!(
+            (7.5..8.8).contains(&p3_per_iter),
+            "pulpv3 {p3_per_iter}/iter"
+        );
+        assert!(
+            (4.5..5.8).contains(&wolf_per_iter),
+            "wolf {wolf_per_iter}/iter"
+        );
     }
 
     #[test]
@@ -459,7 +465,11 @@ mod tests {
         a.halt();
         let mut cluster = Cluster::new(ClusterConfig::pulpv3(1), a.finish().unwrap());
         match cluster.run(1000) {
-            Err(SimError::IllegalInstruction { core: 0, pc: 0, inst }) => {
+            Err(SimError::IllegalInstruction {
+                core: 0,
+                pc: 0,
+                inst,
+            }) => {
                 assert!(inst.contains("p.cnt"));
             }
             other => panic!("expected illegal instruction, got {other:?}"),
@@ -646,7 +656,10 @@ mod tests {
         let mut cluster = Cluster::new(ClusterConfig::wolf(1), a.finish().unwrap());
         cluster
             .mem_mut()
-            .write_words(L2_BASE + 128, &(0..16).map(|i| i + 1000).collect::<Vec<_>>())
+            .write_words(
+                L2_BASE + 128,
+                &(0..16).map(|i| i + 1000).collect::<Vec<_>>(),
+            )
             .unwrap();
         let summary = cluster.run(100_000).unwrap();
         assert_eq!(cluster.core(0).reg(T4), 1015);
@@ -757,6 +770,11 @@ mod tests {
         };
         let (_, sw) = run(ClusterConfig::pulpv3(4), body);
         let (_, hw) = run(ClusterConfig::wolf(4), body);
-        assert!(sw.cycles > hw.cycles + 100, "sw {} hw {}", sw.cycles, hw.cycles);
+        assert!(
+            sw.cycles > hw.cycles + 100,
+            "sw {} hw {}",
+            sw.cycles,
+            hw.cycles
+        );
     }
 }

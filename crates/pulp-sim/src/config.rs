@@ -320,7 +320,10 @@ impl ClusterConfig {
     /// Panics on inconsistency; configurations are built from presets and
     /// mutated in tests, so failing fast is preferable to a `Result`.
     pub fn assert_valid(&self) {
-        assert!(self.n_cores >= 1 && self.n_cores <= 16, "1–16 cores supported");
+        assert!(
+            self.n_cores >= 1 && self.n_cores <= 16,
+            "1–16 cores supported"
+        );
         assert!(self.tcdm_banks >= 1, "need at least one TCDM bank");
         assert!(self.l1_size >= 1024 && self.l1_size % 4 == 0, "bad L1 size");
         assert!(self.l2_size >= 1024 && self.l2_size % 4 == 0, "bad L2 size");

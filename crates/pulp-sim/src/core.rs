@@ -143,10 +143,9 @@ pub(crate) fn execute_one(
     ctx: &mut ExecCtx<'_>,
 ) -> Result<(), SimError> {
     let pc = core.pc;
-    let inst = *program.inst(pc).ok_or(SimError::PcOutOfRange {
-        core: core.id,
-        pc,
-    })?;
+    let inst = *program
+        .inst(pc)
+        .ok_or(SimError::PcOutOfRange { core: core.id, pc })?;
 
     let cc = &ctx.cfg.core;
     if (inst.needs_bitmanip() && !cc.has_bitmanip)
@@ -187,7 +186,12 @@ pub(crate) fn execute_one(
                 cc.li_long_cycles
             };
         }
-        Inst::Load { width, rd, base, offset } => {
+        Inst::Load {
+            width,
+            rd,
+            base,
+            offset,
+        } => {
             let addr = core.reg(base).wrapping_add(offset as u32);
             core.status = Status::MemWait(PendingMem {
                 addr,
@@ -198,7 +202,12 @@ pub(crate) fn execute_one(
             core.pc = next_pc;
             return Ok(());
         }
-        Inst::Store { width, src, base, offset } => {
+        Inst::Store {
+            width,
+            src,
+            base,
+            offset,
+        } => {
             let addr = core.reg(base).wrapping_add(offset as u32);
             let value = core.reg(src);
             core.status = Status::MemWait(PendingMem {
@@ -210,7 +219,12 @@ pub(crate) fn execute_one(
             core.pc = next_pc;
             return Ok(());
         }
-        Inst::LoadPost { width, rd, base, inc } => {
+        Inst::LoadPost {
+            width,
+            rd,
+            base,
+            inc,
+        } => {
             let addr = core.reg(base);
             core.set_reg(base, addr.wrapping_add(inc as u32));
             core.status = Status::MemWait(PendingMem {
@@ -222,7 +236,12 @@ pub(crate) fn execute_one(
             core.pc = core.apply_hw_loop(pc, next_pc);
             return Ok(());
         }
-        Inst::StorePost { width, src, base, inc } => {
+        Inst::StorePost {
+            width,
+            src,
+            base,
+            inc,
+        } => {
             let addr = core.reg(base);
             let value = core.reg(src);
             core.set_reg(base, addr.wrapping_add(inc as u32));
@@ -235,7 +254,12 @@ pub(crate) fn execute_one(
             core.pc = core.apply_hw_loop(pc, next_pc);
             return Ok(());
         }
-        Inst::Branch { cond, rs1, rs2, target } => {
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             let a = core.reg(rs1);
             let b = core.reg(rs2);
             let taken = match cond {
@@ -271,18 +295,30 @@ pub(crate) fn execute_one(
         }
         Inst::PExtractU { rd, rs1, len, pos } => {
             let v = core.reg(rs1);
-            let mask = if len >= 32 { u32::MAX } else { (1u32 << len) - 1 };
+            let mask = if len >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << len) - 1
+            };
             core.set_reg(rd, (v >> pos) & mask);
             cost = cc.bitmanip_cycles;
         }
         Inst::PInsert { rd, rs1, len, pos } => {
-            let mask = if len >= 32 { u32::MAX } else { (1u32 << len) - 1 };
+            let mask = if len >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << len) - 1
+            };
             let field = (core.reg(rs1) & mask) << pos;
             let kept = core.reg(rd) & !(mask << pos);
             core.set_reg(rd, kept | field);
             cost = cc.bitmanip_cycles;
         }
-        Inst::LpSetup { count, body_start, body_end } => {
+        Inst::LpSetup {
+            count,
+            body_start,
+            body_end,
+        } => {
             let n = core.reg(count);
             if n == 0 {
                 next_pc = body_end + 1;
@@ -316,13 +352,14 @@ pub(crate) fn execute_one(
         }
         Inst::DmaStart { rd, desc } => {
             let desc_addr = core.reg(desc);
-            let id = ctx.dma.start_from_descriptor(ctx.mem, desc_addr).map_err(|e| {
-                SimError::BadDmaDescriptor {
+            let id = ctx
+                .dma
+                .start_from_descriptor(ctx.mem, desc_addr)
+                .map_err(|e| SimError::BadDmaDescriptor {
                     core: core.id,
                     pc,
                     reason: e,
-                }
-            })?;
+                })?;
             core.set_reg(rd, id);
             // Queue push is cheap; descriptor processing cost is modelled
             // inside the engine (startup cycles before data moves).
@@ -331,7 +368,11 @@ pub(crate) fn execute_one(
         Inst::DmaWait { rs1 } => {
             let id = core.reg(rs1);
             if !ctx.dma.id_exists(id) {
-                return Err(SimError::UnknownDmaId { core: core.id, pc, id });
+                return Err(SimError::UnknownDmaId {
+                    core: core.id,
+                    pc,
+                    id,
+                });
             }
             if !ctx.dma.is_complete(id) {
                 core.status = Status::DmaWait(id);
@@ -385,12 +426,20 @@ mod tests {
         assert_eq!(alu(AluOp::Add, 3, u32::MAX), 2);
         assert_eq!(alu(AluOp::Sub, 3, 5), u32::MAX - 1);
         assert_eq!(alu(AluOp::Xor, 0b1100, 0b1010), 0b0110);
-        assert_eq!(alu(AluOp::Sll, 1, 35), 8, "shift amount is masked to 5 bits");
+        assert_eq!(
+            alu(AluOp::Sll, 1, 35),
+            8,
+            "shift amount is masked to 5 bits"
+        );
         assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
         assert_eq!(alu(AluOp::Srl, 0x8000_0000, 31), 1);
         assert_eq!(alu(AluOp::Slt, u32::MAX, 0), 1, "-1 < 0 signed");
         assert_eq!(alu(AluOp::Sltu, u32::MAX, 0), 0, "max > 0 unsigned");
-        assert_eq!(alu(AluOp::Mul, 0x1_0001, 0x1_0001), 0x0002_0001, "low 32 bits of the 33-bit product");
+        assert_eq!(
+            alu(AluOp::Mul, 0x1_0001, 0x1_0001),
+            0x0002_0001,
+            "low 32 bits of the 33-bit product"
+        );
         assert_eq!(alu(AluOp::Mulhu, 0x8000_0000, 4), 2);
     }
 

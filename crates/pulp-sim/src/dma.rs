@@ -209,10 +209,7 @@ impl DmaEngine {
             if let Some(b) = mem.bank_of(dst, n_banks) {
                 needed[1] = Some(b);
             }
-            let blocked = needed
-                .iter()
-                .flatten()
-                .any(|&b| bank_busy[b]);
+            let blocked = needed.iter().flatten().any(|&b| bank_busy[b]);
             if blocked {
                 self.stats.bank_conflict_stalls += 1;
                 break; // in-order within the transfer
@@ -272,7 +269,11 @@ mod tests {
         let (mut dma, mut mem) = engine_and_mem();
         let data: Vec<u32> = (0..32).map(|i| i * 7 + 1).collect();
         mem.write_words(L2_BASE + 256, &data).unwrap();
-        write_desc(&mut mem, L1_BASE, [L2_BASE + 256, L1_BASE + 512, 128, 0, 0, 1]);
+        write_desc(
+            &mut mem,
+            L1_BASE,
+            [L2_BASE + 256, L1_BASE + 512, 128, 0, 0, 1],
+        );
         let id = dma.start_from_descriptor(&mem, L1_BASE).unwrap();
         assert!(!dma.is_complete(id));
         run_to_idle(&mut dma, &mut mem, 8);
@@ -305,7 +306,8 @@ mod tests {
         // Copy column words: 4 reps of 8 bytes, source stride 64.
         let (mut dma, mut mem) = engine_and_mem();
         for rep in 0..4u32 {
-            mem.write_words(L2_BASE + rep * 64, &[rep * 10, rep * 10 + 1]).unwrap();
+            mem.write_words(L2_BASE + rep * 64, &[rep * 10, rep * 10 + 1])
+                .unwrap();
         }
         write_desc(&mut mem, L1_BASE, [L2_BASE, L1_BASE + 256, 8, 64, 8, 4]);
         let id = dma.start_from_descriptor(&mem, L1_BASE).unwrap();
@@ -338,7 +340,11 @@ mod tests {
         let (mut dma, mut mem) = engine_and_mem();
         mem.write_words(L2_BASE, &[111]).unwrap();
         write_desc(&mut mem, L1_BASE, [L2_BASE, L1_BASE + 512, 4, 0, 0, 1]);
-        write_desc(&mut mem, L1_BASE + 64, [L1_BASE + 512, L1_BASE + 600, 4, 0, 0, 1]);
+        write_desc(
+            &mut mem,
+            L1_BASE + 64,
+            [L1_BASE + 512, L1_BASE + 600, 4, 0, 0, 1],
+        );
         let a = dma.start_from_descriptor(&mem, L1_BASE).unwrap();
         let b = dma.start_from_descriptor(&mem, L1_BASE + 64).unwrap();
         run_to_idle(&mut dma, &mut mem, 8);

@@ -421,19 +421,44 @@ impl fmt::Display for Inst {
                 write!(f, "{}i {rd}, {rs1}, {imm}", alu_name(*op))
             }
             Self::Li { rd, imm } => write!(f, "li {rd}, {imm:#x}"),
-            Self::Load { width, rd, base, offset } => {
+            Self::Load {
+                width,
+                rd,
+                base,
+                offset,
+            } => {
                 write!(f, "l{} {rd}, {offset}({base})", width_name(*width))
             }
-            Self::Store { width, src, base, offset } => {
+            Self::Store {
+                width,
+                src,
+                base,
+                offset,
+            } => {
                 write!(f, "s{} {src}, {offset}({base})", width_name(*width))
             }
-            Self::LoadPost { width, rd, base, inc } => {
+            Self::LoadPost {
+                width,
+                rd,
+                base,
+                inc,
+            } => {
                 write!(f, "p.l{} {rd}, {inc}({base}!)", width_name(*width))
             }
-            Self::StorePost { width, src, base, inc } => {
+            Self::StorePost {
+                width,
+                src,
+                base,
+                inc,
+            } => {
                 write!(f, "p.s{} {src}, {inc}({base}!)", width_name(*width))
             }
-            Self::Branch { cond, rs1, rs2, target } => {
+            Self::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let name = match cond {
                     BranchCond::Eq => "beq",
                     BranchCond::Ne => "bne",
@@ -453,7 +478,11 @@ impl fmt::Display for Inst {
             Self::PInsert { rd, rs1, len, pos } => {
                 write!(f, "p.insert {rd}, {rs1}, {len}, {pos}")
             }
-            Self::LpSetup { count, body_start, body_end } => {
+            Self::LpSetup {
+                count,
+                body_start,
+                body_end,
+            } => {
                 write!(f, "lp.setup {count}, @{body_start}..@{body_end}")
             }
             Self::CoreId { rd } => write!(f, "coreid {rd}"),
@@ -513,8 +542,8 @@ mod tests {
     #[test]
     fn abi_registers_are_distinct() {
         let all = [
-            ZERO, RA, SP, T0, T1, T2, T3, T4, T5, T6, S0, S1, S2, S3, S4, S5, S6, S7, S8,
-            S9, S10, S11, A0, A1, A2, A3, A4, A5, A6, A7,
+            ZERO, RA, SP, T0, T1, T2, T3, T4, T5, T6, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10,
+            S11, A0, A1, A2, A3, A4, A5, A6, A7,
         ];
         let mut idx: Vec<u8> = all.iter().map(|r| r.index()).collect();
         idx.sort_unstable();
@@ -544,11 +573,34 @@ mod tests {
     #[test]
     fn disassembly_is_nonempty_and_descriptive() {
         let insts = [
-            Inst::Alu { op: AluOp::Xor, rd: T0, rs1: T1, rs2: T2 },
-            Inst::AluImm { op: AluOp::Add, rd: T0, rs1: T1, imm: -4 },
-            Inst::Li { rd: A0, imm: 0xdead_beef },
-            Inst::Load { width: MemWidth::Word, rd: T0, base: SP, offset: 8 },
-            Inst::Branch { cond: BranchCond::Ne, rs1: T0, rs2: ZERO, target: 3 },
+            Inst::Alu {
+                op: AluOp::Xor,
+                rd: T0,
+                rs1: T1,
+                rs2: T2,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: T1,
+                imm: -4,
+            },
+            Inst::Li {
+                rd: A0,
+                imm: 0xdead_beef,
+            },
+            Inst::Load {
+                width: MemWidth::Word,
+                rd: T0,
+                base: SP,
+                offset: 8,
+            },
+            Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: T0,
+                rs2: ZERO,
+                target: 3,
+            },
             Inst::PCnt { rd: T0, rs1: T1 },
             Inst::Barrier,
             Inst::Halt,

@@ -113,7 +113,11 @@ impl Memory {
     pub fn decode(&self, addr: u32, width: MemWidth) -> Result<(MemSpace, usize), MemFault> {
         let bytes = width.bytes();
         if addr % bytes != 0 {
-            return Err(MemFault { addr, width, kind: FaultKind::Misaligned });
+            return Err(MemFault {
+                addr,
+                width,
+                kind: FaultKind::Misaligned,
+            });
         }
         let (space, base, size) = if (L1_BASE..L1_BASE.saturating_add(0x0400_0000)).contains(&addr)
         {
@@ -121,11 +125,19 @@ impl Memory {
         } else if addr >= L2_BASE {
             (MemSpace::L2, L2_BASE, self.l2.len() as u32)
         } else {
-            return Err(MemFault { addr, width, kind: FaultKind::Unmapped });
+            return Err(MemFault {
+                addr,
+                width,
+                kind: FaultKind::Unmapped,
+            });
         };
         let offset = addr - base;
         if offset + bytes > size {
-            return Err(MemFault { addr, width, kind: FaultKind::OutOfRange });
+            return Err(MemFault {
+                addr,
+                width,
+                kind: FaultKind::OutOfRange,
+            });
         }
         Ok((space, offset as usize))
     }
@@ -315,7 +327,11 @@ mod tests {
 
     #[test]
     fn fault_display_is_informative() {
-        let fault = MemFault { addr: 0x10, width: MemWidth::Word, kind: FaultKind::Unmapped };
+        let fault = MemFault {
+            addr: 0x10,
+            width: MemWidth::Word,
+            kind: FaultKind::Unmapped,
+        };
         let text = fault.to_string();
         assert!(text.contains("unmapped"));
         assert!(text.contains("0x00000010"));

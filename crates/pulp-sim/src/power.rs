@@ -40,7 +40,10 @@ impl OperatingPoint {
     pub fn new(voltage_v: f64, freq_mhz: f64) -> Self {
         assert!(voltage_v > 0.0, "voltage must be positive");
         assert!(freq_mhz > 0.0, "frequency must be positive");
-        Self { voltage_v, freq_mhz }
+        Self {
+            voltage_v,
+            freq_mhz,
+        }
     }
 }
 
@@ -171,7 +174,10 @@ impl CortexM4Power {
     /// Table 2 values.
     #[must_use]
     pub fn paper() -> Self {
-        Self { total_mw: 20.83, f_max_mhz: 168.0 }
+        Self {
+            total_mw: 20.83,
+            f_max_mhz: 168.0,
+        }
     }
 
     /// Energy in microjoules to execute `cycles` at frequency `f_mhz`.
@@ -218,8 +224,16 @@ mod tests {
         let p = m.breakdown(1, OperatingPoint::new(0.7, 53.3));
         assert!((p.fll_mw - 1.45).abs() < 1e-9);
         assert!((p.soc_mw - 0.87).abs() < TOL, "soc {}", p.soc_mw);
-        assert!((p.cluster_mw - 1.90).abs() < TOL, "cluster {}", p.cluster_mw);
-        assert!((p.total_mw() - 4.22).abs() < 2.0 * TOL, "total {}", p.total_mw());
+        assert!(
+            (p.cluster_mw - 1.90).abs() < TOL,
+            "cluster {}",
+            p.cluster_mw
+        );
+        assert!(
+            (p.total_mw() - 4.22).abs() < 2.0 * TOL,
+            "total {}",
+            p.total_mw()
+        );
     }
 
     #[test]
@@ -227,16 +241,32 @@ mod tests {
         let m = PowerModel::pulpv3();
         let p = m.breakdown(4, OperatingPoint::new(0.7, 14.3));
         assert!((p.soc_mw - 0.23).abs() < TOL, "soc {}", p.soc_mw);
-        assert!((p.cluster_mw - 0.88).abs() < TOL, "cluster {}", p.cluster_mw);
-        assert!((p.total_mw() - 2.56).abs() < 2.0 * TOL, "total {}", p.total_mw());
+        assert!(
+            (p.cluster_mw - 0.88).abs() < TOL,
+            "cluster {}",
+            p.cluster_mw
+        );
+        assert!(
+            (p.total_mw() - 2.56).abs() < 2.0 * TOL,
+            "total {}",
+            p.total_mw()
+        );
     }
 
     #[test]
     fn fits_table2_quad_core_05v_row() {
         let m = PowerModel::pulpv3();
         let p = m.breakdown(4, OperatingPoint::new(0.5, 14.3));
-        assert!((p.cluster_mw - 0.42).abs() < TOL, "cluster {}", p.cluster_mw);
-        assert!((p.total_mw() - 2.10).abs() < 2.0 * TOL, "total {}", p.total_mw());
+        assert!(
+            (p.cluster_mw - 0.42).abs() < TOL,
+            "cluster {}",
+            p.cluster_mw
+        );
+        assert!(
+            (p.total_mw() - 2.10).abs() < 2.0 * TOL,
+            "total {}",
+            p.total_mw()
+        );
     }
 
     #[test]

@@ -1,19 +1,48 @@
 //! Property-based tests of the simulator: architectural correctness of
 //! generated arithmetic programs and determinism of the timing model.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from a self-contained SplitMix64 stream (no external
+//! property-testing framework in the build environment); every failure
+//! is replayable from its printed case index.
 
 use pulp_sim::asm::Assembler;
 use pulp_sim::isa::regs::*;
 use pulp_sim::{Cluster, ClusterConfig, L2_BASE};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Deterministic per-(test, case) generator.
+struct CaseRng(u64);
 
-    /// A generated straight-line ALU program computes the same value the
-    /// host computes.
-    #[test]
-    fn alu_programs_match_host_semantics(a in any::<u32>(), b in any::<u32>(), shift in 0u8..31) {
+impl CaseRng {
+    fn new(test_id: u64, case: u64) -> Self {
+        Self(test_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generated straight-line ALU program computes the same value the
+/// host computes.
+#[test]
+fn alu_programs_match_host_semantics() {
+    for case in 0..64u64 {
+        let mut rng = CaseRng::new(1, case);
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        let shift = rng.below(31) as u8;
         let mut asm = Assembler::new();
         asm.li(T0, a);
         asm.li(T1, b);
@@ -29,18 +58,22 @@ proptest! {
         let mut cluster = Cluster::new(ClusterConfig::wolf(1), asm.finish().unwrap());
         cluster.run(1000).unwrap();
         let core = cluster.core(0);
-        prop_assert_eq!(core.reg(T2), a.wrapping_add(b));
-        prop_assert_eq!(core.reg(T3), a ^ b);
-        prop_assert_eq!(core.reg(T4), a.wrapping_sub(b));
-        prop_assert_eq!(core.reg(T5), a.wrapping_mul(b));
-        prop_assert_eq!(core.reg(T6), a >> shift);
-        prop_assert_eq!(core.reg(A2), u32::from(a < b));
+        assert_eq!(core.reg(T2), a.wrapping_add(b), "case {case}");
+        assert_eq!(core.reg(T3), a ^ b, "case {case}");
+        assert_eq!(core.reg(T4), a.wrapping_sub(b), "case {case}");
+        assert_eq!(core.reg(T5), a.wrapping_mul(b), "case {case}");
+        assert_eq!(core.reg(T6), a >> shift, "case {case}");
+        assert_eq!(core.reg(A2), u32::from(a < b), "case {case}");
     }
+}
 
-    /// Popcount sums over a random array agree with the host, for both
-    /// the builtin and the SWAR-free reference loop.
-    #[test]
-    fn popcount_sum_matches_host(data in proptest::collection::vec(any::<u32>(), 1..64)) {
+/// Popcount sums over a random array agree with the host.
+#[test]
+fn popcount_sum_matches_host() {
+    for case in 0..32u64 {
+        let mut rng = CaseRng::new(2, case);
+        let len = 1 + rng.below(63) as usize;
+        let data: Vec<u32> = (0..len).map(|_| rng.next_u32()).collect();
         let expected: u32 = data.iter().map(|w| w.count_ones()).sum();
         let mut asm = Assembler::new();
         asm.li(T0, L2_BASE);
@@ -57,13 +90,17 @@ proptest! {
         let mut cluster = Cluster::new(ClusterConfig::wolf(1), asm.finish().unwrap());
         cluster.mem_mut().write_words(L2_BASE, &data).unwrap();
         cluster.run(100_000).unwrap();
-        prop_assert_eq!(cluster.core(0).reg(T2), expected);
+        assert_eq!(cluster.core(0).reg(T2), expected, "case {case}");
     }
+}
 
-    /// Timing is a pure function of the program: same program, same
-    /// cycle count, and more cores never slow down an SPMD sum.
-    #[test]
-    fn timing_is_deterministic(n_words in 1u32..64) {
+/// Timing is a pure function of the program: same program, same cycle
+/// count, and more cores never slow down an SPMD sum.
+#[test]
+fn timing_is_deterministic() {
+    for case in 0..16u64 {
+        let mut rng = CaseRng::new(3, case);
+        let n_words = 1 + rng.below(63) as u32;
         let build = || {
             let mut asm = Assembler::new();
             asm.coreid(T0);
@@ -94,17 +131,26 @@ proptest! {
             cluster.run(1_000_000).unwrap().cycles
         };
         let once = run(4);
-        prop_assert_eq!(once, run(4), "same configuration must reproduce");
-        // 8 cores never slower than 1 for this embarrassingly parallel loop
-        // (bank conflicts go to L2 port; allow equality + sync overhead).
-        prop_assert!(run(8) <= run(1) + 200);
+        assert_eq!(
+            once,
+            run(4),
+            "case {case}: same configuration must reproduce"
+        );
+        // 8 cores never slower than 1 for this embarrassingly parallel
+        // loop (bank conflicts go to L2 port; allow equality + sync
+        // overhead).
+        assert!(run(8) <= run(1) + 200, "case {case}");
     }
+}
 
-    /// Memory round-trips arbitrary data through loads/stores of mixed
-    /// widths.
-    #[test]
-    fn memory_roundtrip(value in any::<u32>(), offset in 0u32..30) {
-        let addr_off = (offset * 4) as i32;
+/// Memory round-trips arbitrary data through loads/stores of mixed
+/// widths.
+#[test]
+fn memory_roundtrip() {
+    for case in 0..32u64 {
+        let mut rng = CaseRng::new(4, case);
+        let value = rng.next_u32();
+        let addr_off = (rng.below(30) * 4) as i32;
         let mut asm = Assembler::new();
         asm.li(T0, L2_BASE);
         asm.li(T1, value);
@@ -115,8 +161,8 @@ proptest! {
         asm.halt();
         let mut cluster = Cluster::new(ClusterConfig::pulpv3(1), asm.finish().unwrap());
         cluster.run(1000).unwrap();
-        prop_assert_eq!(cluster.core(0).reg(T2), value);
-        prop_assert_eq!(cluster.core(0).reg(T3), value & 0xffff);
-        prop_assert_eq!(cluster.core(0).reg(T4), value & 0xff);
+        assert_eq!(cluster.core(0).reg(T2), value, "case {case}");
+        assert_eq!(cluster.core(0).reg(T3), value & 0xffff, "case {case}");
+        assert_eq!(cluster.core(0).reg(T4), value & 0xff, "case {case}");
     }
 }

@@ -19,6 +19,10 @@
 use crate::multiclass::SvmClassifier;
 use crate::Kernel;
 
+/// One one-vs-one machine before quantization: its class pair, the
+/// (shared-SV-index, float-coefficient) entries, and its bias.
+type SparseMachine = ((usize, usize), Vec<(usize, f64)>, f64);
+
 /// Number of entries in the RBF lookup table.
 pub const LUT_SIZE: usize = 256;
 
@@ -131,8 +135,7 @@ impl FixedSvm {
         let mut svs_f: Vec<Vec<f64>> = Vec::new();
         let index_of = |sv: &[f64], svs_f: &mut Vec<Vec<f64>>| -> usize {
             if let Some(i) = svs_f.iter().position(|s| {
-                s.len() == sv.len()
-                    && s.iter().zip(sv).all(|(a, b)| (a - b).abs() < 1e-12)
+                s.len() == sv.len() && s.iter().zip(sv).all(|(a, b)| (a - b).abs() < 1e-12)
             }) {
                 i
             } else {
@@ -140,7 +143,7 @@ impl FixedSvm {
                 svs_f.len() - 1
             }
         };
-        let mut sparse: Vec<((usize, usize), Vec<(usize, f64)>, f64)> = Vec::new();
+        let mut sparse: Vec<SparseMachine> = Vec::new();
         for ((a, b), m) in clf.machines() {
             let entries: Vec<(usize, f64)> = m
                 .support_vectors()
@@ -270,7 +273,11 @@ impl FixedSvm {
         for m in 0..self.machines.len() {
             let d = self.decision_q(m, codes);
             let machine = &self.machines[m];
-            let winner = if d >= 0 { machine.class_pos } else { machine.class_neg };
+            let winner = if d >= 0 {
+                machine.class_pos
+            } else {
+                machine.class_neg
+            };
             votes[winner] += 1;
             magnitude[winner] += d.abs();
         }
@@ -320,8 +327,8 @@ mod tests {
 
     fn trained() -> (SvmClassifier, Vec<Vec<f64>>, Vec<usize>) {
         let (x, y) = blobs();
-        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 20.0 },
-                                       SmoParams::default());
+        let clf =
+            SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 20.0 }, SmoParams::default());
         (clf, x, y)
     }
 

@@ -53,15 +53,9 @@ impl SvmClassifier {
     ) -> Self {
         assert!(n_classes >= 2, "need at least two classes");
         assert_eq!(x.len(), y.len(), "feature/label count mismatch");
-        assert!(
-            y.iter().all(|&l| l < n_classes),
-            "label out of range"
-        );
+        assert!(y.iter().all(|&l| l < n_classes), "label out of range");
         for class in 0..n_classes {
-            assert!(
-                y.iter().any(|&l| l == class),
-                "class {class} has no training examples"
-            );
+            assert!(y.contains(&class), "class {class} has no training examples");
         }
         let mut machines = Vec::with_capacity(n_classes * (n_classes - 1) / 2);
         for a in 0..n_classes {
@@ -80,7 +74,10 @@ impl SvmClassifier {
                 machines.push(((a, b), BinarySvm::train(&xs, &ys, kernel, params)));
             }
         }
-        Self { machines, n_classes }
+        Self {
+            machines,
+            n_classes,
+        }
     }
 
     /// Number of classes.
@@ -188,17 +185,19 @@ mod tests {
     #[test]
     fn four_class_blobs_are_learned() {
         let (x, y) = blobs(12, 1.0);
-        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 },
-                                       SmoParams::default());
+        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 }, SmoParams::default());
         assert_eq!(clf.machines().len(), 6);
-        assert!(clf.accuracy(&x, &y) > 0.97, "accuracy {}", clf.accuracy(&x, &y));
+        assert!(
+            clf.accuracy(&x, &y) > 0.97,
+            "accuracy {}",
+            clf.accuracy(&x, &y)
+        );
     }
 
     #[test]
     fn prediction_is_sensible_off_training_points() {
         let (x, y) = blobs(12, 1.0);
-        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 },
-                                       SmoParams::default());
+        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 }, SmoParams::default());
         assert_eq!(clf.predict(&[0.2, -0.1]), 0);
         assert_eq!(clf.predict(&[3.1, 0.2]), 1);
         assert_eq!(clf.predict(&[-0.2, 2.8]), 2);
@@ -208,8 +207,7 @@ mod tests {
     #[test]
     fn sv_counts_are_reported() {
         let (x, y) = blobs(10, 1.0);
-        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 },
-                                       SmoParams::default());
+        let clf = SvmClassifier::train(&x, &y, 4, Kernel::Rbf { gamma: 1.0 }, SmoParams::default());
         let unique = clf.unique_support_vector_count();
         let evals = clf.total_kernel_evaluations();
         assert!(unique > 0 && unique <= x.len());

@@ -58,7 +58,7 @@ impl BinarySvm {
             "labels must be +1 or -1"
         );
         assert!(
-            y.iter().any(|&l| l == 1) && y.iter().any(|&l| l == -1),
+            y.contains(&1) && y.contains(&-1),
             "need both classes to train"
         );
         let n = x.len();
@@ -144,10 +144,12 @@ impl BinarySvm {
                 alpha[i] = ai;
                 alpha[j] = aj;
 
-                let b1 = b - e_i
+                let b1 = b
+                    - e_i
                     - yf[i] * (ai - alpha_i_old) * k[i][i]
                     - yf[j] * (aj - alpha_j_old) * k[i][j];
-                let b2 = b - e_j
+                let b2 = b
+                    - e_j
                     - yf[i] * (ai - alpha_i_old) * k[i][j]
                     - yf[j] * (aj - alpha_j_old) * k[j][j];
                 b = if ai > 0.0 && ai < params.c {
@@ -301,7 +303,10 @@ mod tests {
     #[test]
     fn coefficients_respect_box_constraint() {
         let (x, y) = linearly_separable();
-        let params = SmoParams { c: 2.5, ..SmoParams::default() };
+        let params = SmoParams {
+            c: 2.5,
+            ..SmoParams::default()
+        };
         let svm = BinarySvm::train(&x, &y, Kernel::Linear, params);
         for &c in svm.coefficients() {
             assert!(c.abs() <= 2.5 + 1e-9, "coefficient {c} exceeds C");

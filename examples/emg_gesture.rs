@@ -1,17 +1,17 @@
 //! The paper's headline application: EMG hand-gesture recognition.
 //!
 //! Generates a synthetic subject, trains per the paper's protocol (25 %
-//! of trials), evaluates accuracy, then executes classifications on the
-//! simulated PULPv3 and Wolf platforms and reports cycles, operating
-//! frequency for the 10 ms deadline, and power from the silicon-fitted
-//! model.
+//! of trials), evaluates accuracy through the batched fast backend,
+//! then executes classifications on the simulated PULPv3 and Wolf
+//! platforms through the same backend interface and reports cycles,
+//! operating frequency for the 10 ms deadline, and power from the
+//! silicon-fitted model.
 //!
 //! Run with: `cargo run --release --example emg_gesture`
 
 use emg::{Dataset, SynthConfig, GESTURE_NAMES};
 use hdc::{HdClassifier, HdConfig};
-use pulp_hd_core::layout::AccelParams;
-use pulp_hd_core::pipeline::AccelChain;
+use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, HdModel};
 use pulp_hd_core::platform::Platform;
 use pulp_sim::{OperatingPoint, PowerModel};
 
@@ -28,12 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         clf.train_window(w.label, &w.codes)?;
     }
     clf.finalize();
+    let model = HdModel::from_classifier(&mut clf);
 
+    // --- accuracy over all windows, batched through the fast backend --
     let all_idx: Vec<usize> = (0..data.trials().len()).collect();
     let test = data.windows_of(&all_idx, config.window);
-    let correct = test
+    let batch: Vec<Vec<Vec<u16>>> = test.iter().map(|w| w.codes.clone()).collect();
+    let mut fast = FastBackend::new().prepare(&model)?;
+    let verdicts = fast.classify_batch(&batch)?;
+    let correct = verdicts
         .iter()
-        .filter(|w| clf.predict(&w.codes).unwrap().class() == w.label)
+        .zip(&test)
+        .filter(|(v, w)| v.class == w.label)
         .count();
     println!(
         "subject 0: {:.1}% window accuracy over {} windows ({} gestures)",
@@ -43,10 +49,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- the same model on the simulated platforms ------------------
-    let params = AccelParams::emg_default();
-    let prototypes: Vec<_> = (0..data.classes())
-        .map(|k| clf.am_mut().prototype(k).clone())
-        .collect();
     // Demo input: a mid-hold sample of a "closed hand" trial.
     let demo = test
         .iter()
@@ -56,24 +58,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sample = vec![demo.codes[0].clone()];
     let power = PowerModel::pulpv3();
 
-    for platform in [Platform::pulpv3(1), Platform::pulpv3(4), Platform::wolf_builtin(8)] {
-        let mut chain = AccelChain::new(&platform, params)?;
-        chain.load_model(clf.spatial().cim(), clf.spatial().im(), &prototypes)?;
-        let run = chain.classify(&sample)?;
-        let mhz = run.cycles_total as f64 / 10_000.0; // 10 ms deadline
+    for platform in [
+        Platform::pulpv3(1),
+        Platform::pulpv3(4),
+        Platform::wolf_builtin(8),
+    ] {
+        let mut session = AccelBackend::new(platform.clone()).prepare(&model)?;
+        let verdict = session.classify(&sample)?;
+        let cycles = verdict.cycles.expect("simulated backend reports cycles");
+        let mhz = cycles.total as f64 / 10_000.0; // 10 ms deadline
         print!(
             "{:24} {:>8} cycles -> {:5.1} MHz for 10 ms",
-            platform.name, run.cycles_total, mhz
+            platform.name, cycles.total, mhz
         );
         if platform.name.starts_with("PULPv3") {
             let volts = if platform.cores() == 4 { 0.5 } else { 0.7 };
             let p = power.breakdown(platform.cores(), OperatingPoint::new(volts, mhz));
             print!("   {:4.2} mW @ {volts} V", p.total_mw());
         }
-        println!(
-            "   predicted: {}",
-            GESTURE_NAMES[run.class]
-        );
+        println!("   predicted: {}", GESTURE_NAMES[verdict.class]);
     }
     Ok(())
 }

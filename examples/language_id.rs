@@ -4,17 +4,25 @@
 //! an item memory over letters, trigram binding via rotate+XOR, bundling
 //! into language prototypes, and nearest-prototype search.
 //!
+//! The search runs twice: through the associative memory (the golden
+//! path) and over `u64`-repacked prototypes (`hdc::hv64`, the packing
+//! the fast execution backend uses) — demonstrating that the packed
+//! representation is a drop-in for any HD workload, not just EMG.
+//!
 //! Run with: `cargo run --release --example language_id`
 
 use hdc::bundle::Bundler;
 use hdc::encoder::ngram;
+use hdc::hv64::Hv64;
 use hdc::{AssociativeMemory, BinaryHv, ItemMemory, TieBreak};
 
 const N_WORDS: usize = 313; // 10,016-bit hypervectors
 const ALPHABET: &str = "abcdefghijklmnopqrstuvwxyz ";
 
 const TRAIN: [(&str, &str); 3] = [
-    ("english", "the quick brown fox jumps over the lazy dog while the \
+    (
+        "english",
+        "the quick brown fox jumps over the lazy dog while the \
                   rain in spain stays mainly in the plain and every good \
                   boy deserves fudge because knowledge is power and it is \
                   a truth universally acknowledged that a single man in \
@@ -23,8 +31,11 @@ const TRAIN: [(&str, &str); 3] = [
                   unhappy in its own way when in the course of human \
                   events it becomes necessary for one people to dissolve \
                   the political bands which have connected them with \
-                  another they should declare the causes of the separation"),
-    ("german", "der schnelle braune fuchs springt ueber den faulen hund \
+                  another they should declare the causes of the separation",
+    ),
+    (
+        "german",
+        "der schnelle braune fuchs springt ueber den faulen hund \
                 waehrend der regen in spanien hauptsaechlich in der ebene \
                 bleibt und wissen ist macht fuer jeden guten jungen es ist \
                 eine allgemein anerkannte wahrheit dass ein junggeselle im \
@@ -33,8 +44,11 @@ const TRAIN: [(&str, &str); 3] = [
                 unglueckliche familie ist auf ihre eigene weise \
                 ungluecklich im laufe der menschlichen ereignisse wird es \
                 notwendig dass ein volk die politischen bande aufloest die \
-                es mit einem anderen verbunden haben"),
-    ("italian", "la volpe marrone veloce salta sopra il cane pigro mentre \
+                es mit einem anderen verbunden haben",
+    ),
+    (
+        "italian",
+        "la volpe marrone veloce salta sopra il cane pigro mentre \
                  la pioggia in spagna rimane principalmente nella pianura \
                  e la conoscenza e potere per ogni bravo ragazzo e una \
                  verita universalmente riconosciuta che uno scapolo in \
@@ -42,13 +56,23 @@ const TRAIN: [(&str, &str); 3] = [
                  una moglie tutte le famiglie felici si somigliano ma ogni \
                  famiglia infelice e infelice a modo suo nel corso degli \
                  eventi umani diventa necessario che un popolo sciolga i \
-                 legami politici che lo hanno connesso con un altro"),
+                 legami politici che lo hanno connesso con un altro",
+    ),
 ];
 
 const TEST: [(&str, &str); 3] = [
-    ("english", "power tends to corrupt and absolute power corrupts absolutely"),
-    ("german", "die grenzen meiner sprache bedeuten die grenzen meiner welt"),
-    ("italian", "nel mezzo del cammin di nostra vita mi ritrovai per una selva oscura"),
+    (
+        "english",
+        "power tends to corrupt and absolute power corrupts absolutely",
+    ),
+    (
+        "german",
+        "die grenzen meiner sprache bedeuten die grenzen meiner welt",
+    ),
+    (
+        "italian",
+        "nel mezzo del cammin di nostra vita mi ritrovai per una selva oscura",
+    ),
 ];
 
 fn letter_index(c: char) -> usize {
@@ -78,9 +102,24 @@ fn main() {
     }
     am.finalize();
 
+    // The same prototypes repacked into u64 words, as the fast backend
+    // stores them.
+    let packed: Vec<Hv64> = am.prototypes().iter().map(Hv64::from_binary).collect();
+
     let mut correct = 0;
     for (expected, (name, text)) in TEST.iter().enumerate() {
-        let result = am.classify(&encode(text, &letters));
+        let query = encode(text, &letters);
+        let result = am.classify(&query);
+
+        // Packed nearest-prototype search agrees exactly.
+        let query64 = Hv64::from_binary(&query);
+        let packed_distances: Vec<u32> = packed.iter().map(|p| p.hamming(&query64)).collect();
+        assert_eq!(
+            packed_distances,
+            result.distances(),
+            "u64 packing must not change distances"
+        );
+
         let predicted = TRAIN[result.class()].0;
         let ok = result.class() == expected;
         correct += usize::from(ok);
@@ -91,5 +130,10 @@ fn main() {
         );
     }
     assert_eq!(correct, TEST.len(), "all held-out sentences identified");
-    println!("\n{}/{} held-out sentences identified from trigram statistics", correct, TEST.len());
+    println!(
+        "\n{}/{} held-out sentences identified from trigram statistics",
+        correct,
+        TEST.len()
+    );
+    println!("u32 and u64 packings agree on every distance ✓");
 }

@@ -1,18 +1,30 @@
 //! Online learning (the paper notes the AM "can be continuously updated
 //! for on-line learning"): a deployed classifier tracks electrode drift
-//! by updating prototypes from labelled feedback.
+//! by updating prototypes from labelled feedback. Accuracy before and
+//! after adaptation is evaluated by exporting the model to the batched
+//! fast backend — the deployment path a serving front-end would use.
 //!
 //! Run with: `cargo run --release --example online_learning`
 
 use emg::{Dataset, SynthConfig};
 use hdc::{HdClassifier, HdConfig};
+use pulp_hd_core::backend::{ExecutionBackend, FastBackend, HdModel};
 
-fn accuracy(clf: &HdClassifier, windows: &[emg::Window]) -> f64 {
-    let ok = windows
+/// Batched accuracy of the classifier's current model over `windows`.
+fn accuracy(
+    clf: &mut HdClassifier,
+    windows: &[emg::Window],
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let model = HdModel::from_classifier(clf);
+    let mut session = FastBackend::new().prepare(&model)?;
+    let batch: Vec<Vec<Vec<u16>>> = windows.iter().map(|w| w.codes.clone()).collect();
+    let verdicts = session.classify_batch(&batch)?;
+    let ok = verdicts
         .iter()
-        .filter(|w| clf.predict(&w.codes).unwrap().class() == w.label)
+        .zip(windows)
+        .filter(|(v, w)| v.class == w.label)
         .count();
-    ok as f64 / windows.len() as f64
+    Ok(ok as f64 / windows.len() as f64)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let day_two = Dataset::generate(&synth, 7, 42);
     let all: Vec<usize> = (0..day_two.trials().len()).collect();
     let windows = day_two.windows_of(&all, config.window);
-    let before = accuracy(&clf, &windows);
+    let before = accuracy(&mut clf, &windows)?;
 
     // Adapt online: the user occasionally confirms the gesture label.
     for (i, w) in windows.iter().enumerate() {
@@ -41,9 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let _ = clf.predict_and_adapt(&w.codes, Some(w.label))?;
         }
     }
-    let after = accuracy(&clf, &windows);
-    println!("accuracy on drifted session: {:.1}% -> {:.1}% after online updates",
-             100.0 * before, 100.0 * after);
+    let after = accuracy(&mut clf, &windows)?;
+    println!(
+        "accuracy on drifted session: {:.1}% -> {:.1}% after online updates",
+        100.0 * before,
+        100.0 * after
+    );
     assert!(after >= before, "online adaptation must not hurt");
     Ok(())
 }

@@ -1,12 +1,12 @@
 //! Quickstart: train an HD classifier on two artificial gestures, then
-//! run the same classification on the simulated 4-core PULPv3 and check
-//! that silicon and golden model agree bit for bit.
+//! run the same classification through every execution backend — the
+//! scalar golden model, the `u64`-packed fast engine, and the simulated
+//! 4-core PULPv3 — and check that all three agree bit for bit.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use hdc::{HdClassifier, HdConfig};
-use pulp_hd_core::layout::AccelParams;
-use pulp_hd_core::pipeline::{native_reference, AccelChain};
+use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel};
 use pulp_hd_core::platform::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,30 +20,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         clf.train_window(1, &fist)?;
     }
     clf.finalize();
-    println!("golden model trained: fist  -> class {}", clf.predict(&fist)?.class());
-
-    // 2. Move the model onto the simulated PULPv3 cluster.
-    let params = AccelParams {
-        classes: 2,
-        ..AccelParams::emg_default()
-    };
-    let mut chain = AccelChain::new(&Platform::pulpv3(4), params)?;
-    let prototypes: Vec<_> = (0..2).map(|k| clf.am_mut().prototype(k).clone()).collect();
-    chain.load_model(clf.spatial().cim(), clf.spatial().im(), &prototypes)?;
-
-    // 3. Classify one sample on the accelerator and cross-check.
-    let sample = vec![vec![51_000u16, 47_500, 21_000, 11_500]];
-    let run = chain.classify(&sample)?;
-    let (query, distances, class) =
-        native_reference(clf.spatial().cim(), clf.spatial().im(), &prototypes, &sample);
-    assert_eq!(run.query, query, "simulated kernels match the golden model");
-    assert_eq!(run.distances, distances);
-    assert_eq!(run.class, class);
-
     println!(
-        "PULPv3 4-core: class {} in {} cycles (map+encode {}, AM {})",
-        run.class, run.cycles_total, run.cycles_map_encode, run.cycles_am
+        "golden model trained: fist  -> class {}",
+        clf.predict(&fist)?.class()
     );
-    println!("simulated platform and golden model agree bit for bit ✓");
+
+    // 2. One model, three substrates, one interface.
+    let model = HdModel::from_classifier(&mut clf);
+    let backends: Vec<Box<dyn ExecutionBackend>> = vec![
+        Box::new(GoldenBackend),
+        Box::new(FastBackend::new()),
+        Box::new(AccelBackend::new(Platform::pulpv3(4))),
+    ];
+
+    // 3. Classify one sample on each backend and cross-check.
+    let sample = vec![vec![51_000u16, 47_500, 21_000, 11_500]];
+    let mut verdicts = Vec::new();
+    for backend in &backends {
+        let mut session = backend.prepare(&model)?;
+        let verdict = session.classify(&sample)?;
+        print!("{:8} -> class {}", backend.name(), verdict.class);
+        match &verdict.cycles {
+            Some(c) => println!(
+                " in {} cycles (map+encode {}, AM {})",
+                c.total, c.map_encode, c.am
+            ),
+            None => println!(" (host execution, no cycle model)"),
+        }
+        verdicts.push(verdict);
+    }
+    for v in &verdicts[1..] {
+        assert_eq!(v.class, verdicts[0].class, "backends must agree");
+        assert_eq!(v.distances, verdicts[0].distances);
+        assert_eq!(v.query, verdicts[0].query);
+    }
+
+    println!("all {} backends agree bit for bit ✓", verdicts.len());
     Ok(())
 }

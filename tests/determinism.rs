@@ -1,23 +1,122 @@
-//! Whole-system determinism: every layer, from signal synthesis to the
-//! cycle-stepped simulation, is a pure function of its seeds.
+//! Whole-system determinism and backend equivalence: every layer, from
+//! signal synthesis to the cycle-stepped simulation, is a pure function
+//! of its seeds, and every execution backend computes the same
+//! classification function.
 
 use emg::{Dataset, SynthConfig};
+use hdc::{HdClassifier, HdConfig};
+use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel};
 use pulp_hd_core::experiments::measure_chain;
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
 
 #[test]
 fn dataset_and_simulation_are_reproducible() {
-    let synth = SynthConfig { reps: 2, trial_secs: 0.5, ..SynthConfig::paper() };
+    let synth = SynthConfig {
+        reps: 2,
+        trial_secs: 0.5,
+        ..SynthConfig::paper()
+    };
     assert_eq!(
         Dataset::generate(&synth, 3, 1234),
         Dataset::generate(&synth, 3, 1234)
     );
 
-    let params = AccelParams { n_words: 32, ..AccelParams::emg_default() };
+    let params = AccelParams {
+        n_words: 32,
+        ..AccelParams::emg_default()
+    };
     let a = measure_chain(&Platform::wolf_builtin(8), params).unwrap();
     let b = measure_chain(&Platform::wolf_builtin(8), params).unwrap();
     assert_eq!(a.total, b.total);
     assert_eq!(a.map_encode, b.map_encode);
     assert_eq!(a.am, b.am);
+}
+
+/// Cross-backend property: on a model trained from synthetic EMG and a
+/// stream of random EMG windows, the golden, fast, and accelerated
+/// backends return identical predicted classes and Hamming distances
+/// (and identical query hypervectors).
+#[test]
+fn backends_agree_on_random_emg_windows() {
+    let synth = SynthConfig {
+        reps: 3,
+        trial_secs: 1.0,
+        ..SynthConfig::paper()
+    };
+    let data = Dataset::generate(&synth, 2, 4321);
+    // Reduced dimension keeps the cycle-level simulation quick; full
+    // 313-word and random-shape equivalence is covered in
+    // `crates/core/tests/prop_equivalence.rs`.
+    let config = HdConfig {
+        n_words: 32,
+        ..HdConfig::emg_default()
+    };
+    let mut clf = HdClassifier::new(config, data.classes()).unwrap();
+    for w in data.windows_of(&data.training_trial_indices(0.34), config.window) {
+        clf.train_window(w.label, &w.codes).unwrap();
+    }
+    clf.finalize();
+    let model = HdModel::from_classifier(&mut clf);
+
+    let all: Vec<usize> = (0..data.trials().len()).collect();
+    // The simulated chain consumes one N-gram (= 1 sample) per run, so
+    // the shared windows are single samples.
+    let windows: Vec<Vec<Vec<u16>>> = data
+        .windows_of(&all, 1)
+        .into_iter()
+        .step_by(113)
+        .map(|w| w.codes)
+        .collect();
+    assert!(windows.len() >= 20, "enough probe windows");
+
+    let mut golden = GoldenBackend.prepare(&model).unwrap();
+    let mut fast = FastBackend::with_threads(4).prepare(&model).unwrap();
+    let mut accel = AccelBackend::new(Platform::pulpv3(4))
+        .prepare(&model)
+        .unwrap();
+
+    let golden_verdicts = golden.classify_batch(&windows).unwrap();
+    let fast_verdicts = fast.classify_batch(&windows).unwrap();
+    for (i, (g, f)) in golden_verdicts.iter().zip(&fast_verdicts).enumerate() {
+        assert_eq!(f.class, g.class, "window {i}: fast class diverged");
+        assert_eq!(
+            f.distances, g.distances,
+            "window {i}: fast distances diverged"
+        );
+        assert_eq!(f.query, g.query, "window {i}: fast query diverged");
+    }
+    for (i, (w, g)) in windows.iter().zip(&golden_verdicts).enumerate() {
+        let a = accel.classify(w).unwrap();
+        assert_eq!(a.class, g.class, "window {i}: accel class diverged");
+        assert_eq!(
+            a.distances, g.distances,
+            "window {i}: accel distances diverged"
+        );
+        assert_eq!(a.query, g.query, "window {i}: accel query diverged");
+    }
+}
+
+/// Backend sessions are themselves deterministic: preparing twice from
+/// the same model and classifying the same batch reproduces verdicts
+/// exactly, independent of thread count.
+#[test]
+fn backend_sessions_are_reproducible() {
+    let params = AccelParams {
+        n_words: 16,
+        ..AccelParams::emg_default()
+    };
+    let model = HdModel::random(&params, 99);
+    let windows: Vec<Vec<Vec<u16>>> = (0..64)
+        .map(|i: usize| {
+            vec![(0..params.channels)
+                .map(|c| ((i * 257 + c * 6151) % 65_536) as u16)
+                .collect()]
+        })
+        .collect();
+    let mut a = FastBackend::with_threads(1).prepare(&model).unwrap();
+    let mut b = FastBackend::with_threads(8).prepare(&model).unwrap();
+    let va = a.classify_batch(&windows).unwrap();
+    let vb = b.classify_batch(&windows).unwrap();
+    assert_eq!(va, vb);
 }

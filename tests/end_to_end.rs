@@ -83,7 +83,11 @@ fn shape_sweep_bit_exactness() {
         let mut chain = AccelChain::new(&Platform::wolf_builtin(cores), params).unwrap();
         chain.load_model(&cim, &im, &protos).unwrap();
         let window: Vec<Vec<u16>> = (0..ngram)
-            .map(|t| (0..channels).map(|c| ((t * 7 + c * 13) * 997 % 65536) as u16).collect())
+            .map(|t| {
+                (0..channels)
+                    .map(|c| ((t * 7 + c * 13) * 997 % 65536) as u16)
+                    .collect()
+            })
             .collect();
         let run = chain.classify(&window).unwrap();
         let (query, distances, class) = native_reference(&cim, &im, &protos, &window);
@@ -126,6 +130,9 @@ fn accelerated_chain_tolerates_prototype_faults() {
     chain.load_model(&cim, &im, &faulty).unwrap();
     for (expected, p) in patterns.iter().enumerate() {
         let run = chain.classify(&[p.to_vec()]).unwrap();
-        assert_eq!(run.class, expected, "pattern {expected} misclassified under faults");
+        assert_eq!(
+            run.class, expected,
+            "pattern {expected} misclassified under faults"
+        );
     }
 }

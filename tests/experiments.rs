@@ -40,5 +40,10 @@ fn m4_needs_fewer_cycles_than_pulpv3_single_core() {
     let params = AccelParams::emg_default();
     let m4 = measure_chain(&Platform::cortex_m4(), params).unwrap();
     let p1 = measure_chain(&Platform::pulpv3(1), params).unwrap();
-    assert!(m4.total < p1.total, "M4 {} vs PULPv3 {}", m4.total, p1.total);
+    assert!(
+        m4.total < p1.total,
+        "M4 {} vs PULPv3 {}",
+        m4.total,
+        p1.total
+    );
 }
