@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-9946e5f0794d8f10.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-9946e5f0794d8f10: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

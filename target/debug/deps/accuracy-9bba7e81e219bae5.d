@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-9bba7e81e219bae5.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-9bba7e81e219bae5: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

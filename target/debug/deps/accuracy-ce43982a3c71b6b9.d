@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy-ce43982a3c71b6b9.d: crates/bench/src/bin/accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy-ce43982a3c71b6b9.rmeta: crates/bench/src/bin/accuracy.rs Cargo.toml
+
+crates/bench/src/bin/accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all-be37c3d986218007.d: crates/bench/src/bin/all.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball-be37c3d986218007.rmeta: crates/bench/src/bin/all.rs Cargo.toml
+
+crates/bench/src/bin/all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

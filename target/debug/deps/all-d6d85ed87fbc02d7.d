@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-d6d85ed87fbc02d7.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-d6d85ed87fbc02d7: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b7d92daa9c1c7423.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b7d92daa9c1c7423: tests/determinism.rs
+
+tests/determinism.rs:

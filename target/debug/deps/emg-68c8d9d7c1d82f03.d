@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/emg-68c8d9d7c1d82f03.d: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs
+
+/root/repo/target/debug/deps/emg-68c8d9d7c1d82f03: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs
+
+crates/emg/src/lib.rs:
+crates/emg/src/dataset.rs:
+crates/emg/src/filters.rs:
+crates/emg/src/synth.rs:

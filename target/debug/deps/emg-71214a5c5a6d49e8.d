@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/emg-71214a5c5a6d49e8.d: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libemg-71214a5c5a6d49e8.rmeta: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs Cargo.toml
+
+crates/emg/src/lib.rs:
+crates/emg/src/dataset.rs:
+crates/emg/src/filters.rs:
+crates/emg/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

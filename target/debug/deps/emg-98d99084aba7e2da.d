@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/emg-98d99084aba7e2da.d: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs
+
+/root/repo/target/debug/deps/libemg-98d99084aba7e2da.rlib: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs
+
+/root/repo/target/debug/deps/libemg-98d99084aba7e2da.rmeta: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs
+
+crates/emg/src/lib.rs:
+crates/emg/src/dataset.rs:
+crates/emg/src/filters.rs:
+crates/emg/src/synth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8b895a29a1058a14.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8b895a29a1058a14: tests/end_to_end.rs
+
+tests/end_to_end.rs:

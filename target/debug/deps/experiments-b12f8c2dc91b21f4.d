@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-b12f8c2dc91b21f4.d: tests/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-b12f8c2dc91b21f4.rmeta: tests/experiments.rs Cargo.toml
+
+tests/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bf5fae797d83acf1.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bf5fae797d83acf1: tests/experiments.rs
+
+tests/experiments.rs:

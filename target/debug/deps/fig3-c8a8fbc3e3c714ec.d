@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-c8a8fbc3e3c714ec.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-c8a8fbc3e3c714ec: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-6fe809dd705be430.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-6fe809dd705be430: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-9f28bb339fe7bea2.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-9f28bb339fe7bea2: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hdc-3cd7fed070911ec5.d: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs
+
+/root/repo/target/debug/deps/libhdc-3cd7fed070911ec5.rlib: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs
+
+/root/repo/target/debug/deps/libhdc-3cd7fed070911ec5.rmeta: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs
+
+crates/hdc/src/lib.rs:
+crates/hdc/src/am.rs:
+crates/hdc/src/bundle.rs:
+crates/hdc/src/classifier.rs:
+crates/hdc/src/encoder.rs:
+crates/hdc/src/hv.rs:
+crates/hdc/src/hv64.rs:
+crates/hdc/src/item_memory.rs:
+crates/hdc/src/rng.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hdc-5bf2e3fc2d537f77.d: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdc-5bf2e3fc2d537f77.rmeta: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs Cargo.toml
+
+crates/hdc/src/lib.rs:
+crates/hdc/src/am.rs:
+crates/hdc/src/bundle.rs:
+crates/hdc/src/classifier.rs:
+crates/hdc/src/encoder.rs:
+crates/hdc/src/hv.rs:
+crates/hdc/src/hv64.rs:
+crates/hdc/src/item_memory.rs:
+crates/hdc/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hdc-e0b22c755bf47439.d: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs
+
+/root/repo/target/debug/deps/hdc-e0b22c755bf47439: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs
+
+crates/hdc/src/lib.rs:
+crates/hdc/src/am.rs:
+crates/hdc/src/bundle.rs:
+crates/hdc/src/classifier.rs:
+crates/hdc/src/encoder.rs:
+crates/hdc/src/hv.rs:
+crates/hdc/src/hv64.rs:
+crates/hdc/src/item_memory.rs:
+crates/hdc/src/rng.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hdc_ops-20b18ae22180aaa0.d: crates/bench/benches/hdc_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhdc_ops-20b18ae22180aaa0.rmeta: crates/bench/benches/hdc_ops.rs Cargo.toml
+
+crates/bench/benches/hdc_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

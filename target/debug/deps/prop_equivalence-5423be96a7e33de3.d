@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_equivalence-5423be96a7e33de3.d: crates/core/tests/prop_equivalence.rs
+
+/root/repo/target/debug/deps/prop_equivalence-5423be96a7e33de3: crates/core/tests/prop_equivalence.rs
+
+crates/core/tests/prop_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_equivalence-83a7d3d86b3c0b79.d: crates/core/tests/prop_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_equivalence-83a7d3d86b3c0b79.rmeta: crates/core/tests/prop_equivalence.rs Cargo.toml
+
+crates/core/tests/prop_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

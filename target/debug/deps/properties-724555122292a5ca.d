@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-724555122292a5ca.d: crates/hdc/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-724555122292a5ca.rmeta: crates/hdc/tests/properties.rs Cargo.toml
+
+crates/hdc/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a4b48f99e4cae0e6.d: crates/pulp-sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a4b48f99e4cae0e6: crates/pulp-sim/tests/properties.rs
+
+crates/pulp-sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e57b89785e750312.d: crates/hdc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e57b89785e750312: crates/hdc/tests/properties.rs
+
+crates/hdc/tests/properties.rs:

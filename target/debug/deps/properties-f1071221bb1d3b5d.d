@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f1071221bb1d3b5d.d: crates/pulp-sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f1071221bb1d3b5d.rmeta: crates/pulp-sim/tests/properties.rs Cargo.toml
+
+crates/pulp-sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pulp_hd-4ac64e9302a7c520.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulp_hd-4ac64e9302a7c520.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

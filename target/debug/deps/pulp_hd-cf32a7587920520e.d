@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pulp_hd-cf32a7587920520e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpulp_hd-cf32a7587920520e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpulp_hd-cf32a7587920520e.rmeta: src/lib.rs
+
+src/lib.rs:

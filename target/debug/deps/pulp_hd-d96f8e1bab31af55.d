@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pulp_hd-d96f8e1bab31af55.d: src/lib.rs
+
+/root/repo/target/debug/deps/pulp_hd-d96f8e1bab31af55: src/lib.rs
+
+src/lib.rs:

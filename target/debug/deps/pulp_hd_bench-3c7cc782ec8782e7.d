@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pulp_hd_bench-3c7cc782ec8782e7.d: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulp_hd_bench-3c7cc782ec8782e7.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pulp_hd_bench-ba648c8ce751df0b.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpulp_hd_bench-ba648c8ce751df0b.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpulp_hd_bench-ba648c8ce751df0b.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pulp_hd_bench-df228ba9daaba14b.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/pulp_hd_bench-df228ba9daaba14b: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/pulp_hd_core-0122c31c447588cd.d: crates/core/src/lib.rs crates/core/src/backend/mod.rs crates/core/src/backend/accel.rs crates/core/src/backend/fast.rs crates/core/src/backend/golden.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablation.rs crates/core/src/experiments/accuracy.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/report.rs crates/core/src/experiments/robustness.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/pipeline.rs crates/core/src/platform.rs crates/core/src/svm_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulp_hd_core-0122c31c447588cd.rmeta: crates/core/src/lib.rs crates/core/src/backend/mod.rs crates/core/src/backend/accel.rs crates/core/src/backend/fast.rs crates/core/src/backend/golden.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablation.rs crates/core/src/experiments/accuracy.rs crates/core/src/experiments/fig3.rs crates/core/src/experiments/fig4.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/report.rs crates/core/src/experiments/robustness.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/table2.rs crates/core/src/experiments/table3.rs crates/core/src/kernels.rs crates/core/src/layout.rs crates/core/src/pipeline.rs crates/core/src/platform.rs crates/core/src/svm_kernel.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/backend/mod.rs:
+crates/core/src/backend/accel.rs:
+crates/core/src/backend/fast.rs:
+crates/core/src/backend/golden.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablation.rs:
+crates/core/src/experiments/accuracy.rs:
+crates/core/src/experiments/fig3.rs:
+crates/core/src/experiments/fig4.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/report.rs:
+crates/core/src/experiments/robustness.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/table2.rs:
+crates/core/src/experiments/table3.rs:
+crates/core/src/kernels.rs:
+crates/core/src/layout.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/platform.rs:
+crates/core/src/svm_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

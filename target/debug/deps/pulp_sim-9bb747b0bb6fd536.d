@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pulp_sim-9bb747b0bb6fd536.d: crates/pulp-sim/src/lib.rs crates/pulp-sim/src/asm.rs crates/pulp-sim/src/cluster.rs crates/pulp-sim/src/config.rs crates/pulp-sim/src/core.rs crates/pulp-sim/src/dma.rs crates/pulp-sim/src/isa.rs crates/pulp-sim/src/mem.rs crates/pulp-sim/src/power.rs crates/pulp-sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpulp_sim-9bb747b0bb6fd536.rmeta: crates/pulp-sim/src/lib.rs crates/pulp-sim/src/asm.rs crates/pulp-sim/src/cluster.rs crates/pulp-sim/src/config.rs crates/pulp-sim/src/core.rs crates/pulp-sim/src/dma.rs crates/pulp-sim/src/isa.rs crates/pulp-sim/src/mem.rs crates/pulp-sim/src/power.rs crates/pulp-sim/src/stats.rs Cargo.toml
+
+crates/pulp-sim/src/lib.rs:
+crates/pulp-sim/src/asm.rs:
+crates/pulp-sim/src/cluster.rs:
+crates/pulp-sim/src/config.rs:
+crates/pulp-sim/src/core.rs:
+crates/pulp-sim/src/dma.rs:
+crates/pulp-sim/src/isa.rs:
+crates/pulp-sim/src/mem.rs:
+crates/pulp-sim/src/power.rs:
+crates/pulp-sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pulp_sim-d48e7195bd762532.d: crates/pulp-sim/src/lib.rs crates/pulp-sim/src/asm.rs crates/pulp-sim/src/cluster.rs crates/pulp-sim/src/config.rs crates/pulp-sim/src/core.rs crates/pulp-sim/src/dma.rs crates/pulp-sim/src/isa.rs crates/pulp-sim/src/mem.rs crates/pulp-sim/src/power.rs crates/pulp-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libpulp_sim-d48e7195bd762532.rlib: crates/pulp-sim/src/lib.rs crates/pulp-sim/src/asm.rs crates/pulp-sim/src/cluster.rs crates/pulp-sim/src/config.rs crates/pulp-sim/src/core.rs crates/pulp-sim/src/dma.rs crates/pulp-sim/src/isa.rs crates/pulp-sim/src/mem.rs crates/pulp-sim/src/power.rs crates/pulp-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libpulp_sim-d48e7195bd762532.rmeta: crates/pulp-sim/src/lib.rs crates/pulp-sim/src/asm.rs crates/pulp-sim/src/cluster.rs crates/pulp-sim/src/config.rs crates/pulp-sim/src/core.rs crates/pulp-sim/src/dma.rs crates/pulp-sim/src/isa.rs crates/pulp-sim/src/mem.rs crates/pulp-sim/src/power.rs crates/pulp-sim/src/stats.rs
+
+crates/pulp-sim/src/lib.rs:
+crates/pulp-sim/src/asm.rs:
+crates/pulp-sim/src/cluster.rs:
+crates/pulp-sim/src/config.rs:
+crates/pulp-sim/src/core.rs:
+crates/pulp-sim/src/dma.rs:
+crates/pulp-sim/src/isa.rs:
+crates/pulp-sim/src/mem.rs:
+crates/pulp-sim/src/power.rs:
+crates/pulp-sim/src/stats.rs:

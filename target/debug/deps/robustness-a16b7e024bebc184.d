@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-a16b7e024bebc184.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/debug/deps/robustness-a16b7e024bebc184: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-b4a1cb85b4f8cbfc.d: crates/bench/src/bin/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-b4a1cb85b4f8cbfc.rmeta: crates/bench/src/bin/robustness.rs Cargo.toml
+
+crates/bench/src/bin/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

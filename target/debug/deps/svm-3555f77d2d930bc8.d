@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/svm-3555f77d2d930bc8.d: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvm-3555f77d2d930bc8.rmeta: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs Cargo.toml
+
+crates/svm/src/lib.rs:
+crates/svm/src/fixed.rs:
+crates/svm/src/kernel.rs:
+crates/svm/src/multiclass.rs:
+crates/svm/src/smo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

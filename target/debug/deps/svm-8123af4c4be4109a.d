@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/svm-8123af4c4be4109a.d: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs
+
+/root/repo/target/debug/deps/svm-8123af4c4be4109a: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs
+
+crates/svm/src/lib.rs:
+crates/svm/src/fixed.rs:
+crates/svm/src/kernel.rs:
+crates/svm/src/multiclass.rs:
+crates/svm/src/smo.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/svm-d202cc9a22a8f159.d: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvm-d202cc9a22a8f159.rmeta: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs Cargo.toml
+
+crates/svm/src/lib.rs:
+crates/svm/src/fixed.rs:
+crates/svm/src/kernel.rs:
+crates/svm/src/multiclass.rs:
+crates/svm/src/smo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/svm-e09e5f40265c43c8.d: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs
+
+/root/repo/target/debug/deps/libsvm-e09e5f40265c43c8.rlib: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs
+
+/root/repo/target/debug/deps/libsvm-e09e5f40265c43c8.rmeta: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs
+
+crates/svm/src/lib.rs:
+crates/svm/src/fixed.rs:
+crates/svm/src/kernel.rs:
+crates/svm/src/multiclass.rs:
+crates/svm/src/smo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-79ba3cb15f999d25.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-79ba3cb15f999d25: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-2465f506e38b2a94.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-2465f506e38b2a94: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

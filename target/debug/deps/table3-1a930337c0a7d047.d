@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-1a930337c0a7d047.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-1a930337c0a7d047: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_kernels-e2823f28287875d1.d: crates/bench/benches/table_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_kernels-e2823f28287875d1.rmeta: crates/bench/benches/table_kernels.rs Cargo.toml
+
+crates/bench/benches/table_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

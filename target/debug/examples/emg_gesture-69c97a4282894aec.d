@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/emg_gesture-69c97a4282894aec.d: examples/emg_gesture.rs Cargo.toml
+
+/root/repo/target/debug/examples/libemg_gesture-69c97a4282894aec.rmeta: examples/emg_gesture.rs Cargo.toml
+
+examples/emg_gesture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

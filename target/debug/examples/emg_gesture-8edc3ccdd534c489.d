@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/emg_gesture-8edc3ccdd534c489.d: examples/emg_gesture.rs
+
+/root/repo/target/debug/examples/emg_gesture-8edc3ccdd534c489: examples/emg_gesture.rs
+
+examples/emg_gesture.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/language_id-36245111244d1ed8.d: examples/language_id.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblanguage_id-36245111244d1ed8.rmeta: examples/language_id.rs Cargo.toml
+
+examples/language_id.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

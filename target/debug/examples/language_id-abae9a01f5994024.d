@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/language_id-abae9a01f5994024.d: examples/language_id.rs
+
+/root/repo/target/debug/examples/language_id-abae9a01f5994024: examples/language_id.rs
+
+examples/language_id.rs:

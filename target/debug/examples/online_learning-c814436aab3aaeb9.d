@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_learning-c814436aab3aaeb9.d: examples/online_learning.rs
+
+/root/repo/target/debug/examples/online_learning-c814436aab3aaeb9: examples/online_learning.rs
+
+examples/online_learning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/online_learning-ef9964096ba2bfda.d: examples/online_learning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libonline_learning-ef9964096ba2bfda.rmeta: examples/online_learning.rs Cargo.toml
+
+examples/online_learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

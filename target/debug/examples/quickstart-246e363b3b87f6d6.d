@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-246e363b3b87f6d6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-246e363b3b87f6d6: examples/quickstart.rs
+
+examples/quickstart.rs:

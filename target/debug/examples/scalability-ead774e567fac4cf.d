@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability-ead774e567fac4cf.d: examples/scalability.rs
+
+/root/repo/target/debug/examples/scalability-ead774e567fac4cf: examples/scalability.rs
+
+examples/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-168e9a7f537d4b52.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-168e9a7f537d4b52: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-905283eae6f00cf0.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-905283eae6f00cf0: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

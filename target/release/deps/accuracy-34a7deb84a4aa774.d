@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy-34a7deb84a4aa774.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/release/deps/accuracy-34a7deb84a4aa774: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy-f6700d0cf6326d95.d: crates/bench/src/bin/accuracy.rs
+
+/root/repo/target/release/deps/accuracy-f6700d0cf6326d95: crates/bench/src/bin/accuracy.rs
+
+crates/bench/src/bin/accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-5a1fe540b5bd813b.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-5a1fe540b5bd813b: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-b188ef91bc804378.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-b188ef91bc804378: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

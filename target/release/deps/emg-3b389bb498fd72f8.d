@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/emg-3b389bb498fd72f8.d: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs
+
+/root/repo/target/release/deps/libemg-3b389bb498fd72f8.rlib: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs
+
+/root/repo/target/release/deps/libemg-3b389bb498fd72f8.rmeta: crates/emg/src/lib.rs crates/emg/src/dataset.rs crates/emg/src/filters.rs crates/emg/src/synth.rs
+
+crates/emg/src/lib.rs:
+crates/emg/src/dataset.rs:
+crates/emg/src/filters.rs:
+crates/emg/src/synth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-9e6aa7e9906f2e14.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-9e6aa7e9906f2e14: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

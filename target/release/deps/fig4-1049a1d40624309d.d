@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-1049a1d40624309d.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-1049a1d40624309d: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-89c8ae54ebb1e9bb.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-89c8ae54ebb1e9bb: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

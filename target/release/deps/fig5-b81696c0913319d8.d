@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-b81696c0913319d8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-b81696c0913319d8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-dfa0532052d350c1.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-dfa0532052d350c1: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-766e1ffe8a87638b.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-766e1ffe8a87638b: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hdc-180009c2e384e297.d: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs
+
+/root/repo/target/release/deps/libhdc-180009c2e384e297.rlib: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs
+
+/root/repo/target/release/deps/libhdc-180009c2e384e297.rmeta: crates/hdc/src/lib.rs crates/hdc/src/am.rs crates/hdc/src/bundle.rs crates/hdc/src/classifier.rs crates/hdc/src/encoder.rs crates/hdc/src/hv.rs crates/hdc/src/hv64.rs crates/hdc/src/item_memory.rs crates/hdc/src/rng.rs
+
+crates/hdc/src/lib.rs:
+crates/hdc/src/am.rs:
+crates/hdc/src/bundle.rs:
+crates/hdc/src/classifier.rs:
+crates/hdc/src/encoder.rs:
+crates/hdc/src/hv.rs:
+crates/hdc/src/hv64.rs:
+crates/hdc/src/item_memory.rs:
+crates/hdc/src/rng.rs:

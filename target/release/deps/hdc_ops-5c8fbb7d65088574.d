@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hdc_ops-5c8fbb7d65088574.d: crates/bench/benches/hdc_ops.rs
+
+/root/repo/target/release/deps/hdc_ops-5c8fbb7d65088574: crates/bench/benches/hdc_ops.rs
+
+crates/bench/benches/hdc_ops.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pulp_hd-95d5724ea1ddd6cb.d: src/lib.rs
+
+/root/repo/target/release/deps/libpulp_hd-95d5724ea1ddd6cb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpulp_hd-95d5724ea1ddd6cb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/pulp_hd_bench-204c30bac1a6dc93.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/pulp_hd_bench-204c30bac1a6dc93: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

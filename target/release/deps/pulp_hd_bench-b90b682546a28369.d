@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pulp_hd_bench-b90b682546a28369.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libpulp_hd_bench-b90b682546a28369.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libpulp_hd_bench-b90b682546a28369.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

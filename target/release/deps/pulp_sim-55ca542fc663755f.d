@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pulp_sim-55ca542fc663755f.d: crates/pulp-sim/src/lib.rs crates/pulp-sim/src/asm.rs crates/pulp-sim/src/cluster.rs crates/pulp-sim/src/config.rs crates/pulp-sim/src/core.rs crates/pulp-sim/src/dma.rs crates/pulp-sim/src/isa.rs crates/pulp-sim/src/mem.rs crates/pulp-sim/src/power.rs crates/pulp-sim/src/stats.rs
+
+/root/repo/target/release/deps/libpulp_sim-55ca542fc663755f.rlib: crates/pulp-sim/src/lib.rs crates/pulp-sim/src/asm.rs crates/pulp-sim/src/cluster.rs crates/pulp-sim/src/config.rs crates/pulp-sim/src/core.rs crates/pulp-sim/src/dma.rs crates/pulp-sim/src/isa.rs crates/pulp-sim/src/mem.rs crates/pulp-sim/src/power.rs crates/pulp-sim/src/stats.rs
+
+/root/repo/target/release/deps/libpulp_sim-55ca542fc663755f.rmeta: crates/pulp-sim/src/lib.rs crates/pulp-sim/src/asm.rs crates/pulp-sim/src/cluster.rs crates/pulp-sim/src/config.rs crates/pulp-sim/src/core.rs crates/pulp-sim/src/dma.rs crates/pulp-sim/src/isa.rs crates/pulp-sim/src/mem.rs crates/pulp-sim/src/power.rs crates/pulp-sim/src/stats.rs
+
+crates/pulp-sim/src/lib.rs:
+crates/pulp-sim/src/asm.rs:
+crates/pulp-sim/src/cluster.rs:
+crates/pulp-sim/src/config.rs:
+crates/pulp-sim/src/core.rs:
+crates/pulp-sim/src/dma.rs:
+crates/pulp-sim/src/isa.rs:
+crates/pulp-sim/src/mem.rs:
+crates/pulp-sim/src/power.rs:
+crates/pulp-sim/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-05866233a44d20f3.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-05866233a44d20f3: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

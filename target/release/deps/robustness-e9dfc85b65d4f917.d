@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-e9dfc85b65d4f917.d: crates/bench/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-e9dfc85b65d4f917: crates/bench/src/bin/robustness.rs
+
+crates/bench/src/bin/robustness.rs:

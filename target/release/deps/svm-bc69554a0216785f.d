@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/svm-bc69554a0216785f.d: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs
+
+/root/repo/target/release/deps/libsvm-bc69554a0216785f.rlib: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs
+
+/root/repo/target/release/deps/libsvm-bc69554a0216785f.rmeta: crates/svm/src/lib.rs crates/svm/src/fixed.rs crates/svm/src/kernel.rs crates/svm/src/multiclass.rs crates/svm/src/smo.rs
+
+crates/svm/src/lib.rs:
+crates/svm/src/fixed.rs:
+crates/svm/src/kernel.rs:
+crates/svm/src/multiclass.rs:
+crates/svm/src/smo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-33500583c128f228.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-33500583c128f228: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-5b5c63b04c4f81b6.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-5b5c63b04c4f81b6: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-04886201801c026a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-04886201801c026a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

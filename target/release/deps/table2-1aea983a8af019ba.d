@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-1aea983a8af019ba.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-1aea983a8af019ba: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

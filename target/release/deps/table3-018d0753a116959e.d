@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-018d0753a116959e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-018d0753a116959e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

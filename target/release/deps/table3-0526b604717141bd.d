@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-0526b604717141bd.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-0526b604717141bd: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_kernels-84f3ac57bae56940.d: crates/bench/benches/table_kernels.rs
+
+/root/repo/target/release/deps/table_kernels-84f3ac57bae56940: crates/bench/benches/table_kernels.rs
+
+crates/bench/benches/table_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-e4b52343397012ea.d: crates/bench/benches/throughput.rs
+
+/root/repo/target/release/deps/throughput-e4b52343397012ea: crates/bench/benches/throughput.rs
+
+crates/bench/benches/throughput.rs:

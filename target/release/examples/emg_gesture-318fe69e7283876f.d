@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/emg_gesture-318fe69e7283876f.d: examples/emg_gesture.rs
+
+/root/repo/target/release/examples/emg_gesture-318fe69e7283876f: examples/emg_gesture.rs
+
+examples/emg_gesture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/language_id-a2179207948ed0ce.d: examples/language_id.rs
+
+/root/repo/target/release/examples/language_id-a2179207948ed0ce: examples/language_id.rs
+
+examples/language_id.rs:

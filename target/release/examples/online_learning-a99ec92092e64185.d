@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/online_learning-a99ec92092e64185.d: examples/online_learning.rs
+
+/root/repo/target/release/examples/online_learning-a99ec92092e64185: examples/online_learning.rs
+
+examples/online_learning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ea29015f089d4893.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ea29015f089d4893: examples/quickstart.rs
+
+examples/quickstart.rs:

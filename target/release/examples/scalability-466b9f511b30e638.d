@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scalability-466b9f511b30e638.d: examples/scalability.rs
+
+/root/repo/target/release/examples/scalability-466b9f511b30e638: examples/scalability.rs
+
+examples/scalability.rs:
