@@ -2,10 +2,15 @@
 //! sizes 1 / 32 / 256 — the perf baseline future scaling PRs must beat.
 //!
 //! The golden backend loops single-window calls (its only mode); the
-//! fast backend runs the same batches single-threaded and multi-threaded
-//! through `classify_batch`. The simulated-cluster backend is included
-//! at reduced dimension for completeness: its wall-clock is the cost of
-//! *simulating* the hardware, not a host-throughput contender.
+//! fast backend runs the same batches single-threaded, multi-threaded,
+//! and multi-threaded with the pruned AM scan through `classify_batch`.
+//! The simulated-cluster backend is included at reduced dimension for
+//! completeness: its wall-clock is the cost of *simulating* the
+//! hardware, not a host-throughput contender.
+//!
+//! Besides the human-readable report, the run records every
+//! windows/second figure in `BENCH_throughput.json` at the workspace
+//! root so the perf trajectory is tracked across PRs.
 //!
 //! Exits non-zero if the multi-threaded fast backend fails to beat the
 //! looped golden backend on the large batch — the regression guard for
@@ -13,11 +18,26 @@
 //!
 //! Run with: `cargo bench -p pulp-hd-bench --bench throughput`
 
+use std::fmt::Write as _;
+
 use emg::{Dataset, SynthConfig};
 use pulp_hd_bench::timing::bench;
-use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel};
+use pulp_hd_core::backend::{
+    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy,
+};
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
+
+/// Where the machine-readable results land: the workspace root, next to
+/// `Cargo.toml`, independent of the bench binary's working directory.
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+
+/// One measured (backend, batch) point.
+struct Row {
+    backend: &'static str,
+    batch: usize,
+    windows_per_sec: f64,
+}
 
 /// Synthetic-EMG windows at the paper's shape (5 samples × 4 channels).
 fn emg_windows(count: usize) -> Vec<Vec<Vec<u16>>> {
@@ -37,6 +57,39 @@ fn emg_windows(count: usize) -> Vec<Vec<Vec<u16>>> {
     windows.into_iter().take(count).map(|w| w.codes).collect()
 }
 
+fn write_json(params: &AccelParams, threads: usize, rows: &[Row], speedup: f64) {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"run\": \"cargo bench -p pulp-hd-bench --bench throughput\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"model\": {{ \"n_words\": {}, \"channels\": {}, \"levels\": {}, \"ngram\": {}, \"classes\": {}, \"samples_per_window\": 5 }},",
+        params.n_words, params.channels, params.levels, params.ngram, params.classes
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"backend\": \"{}\", \"batch\": {}, \"windows_per_sec\": {:.1} }}{comma}",
+            row.backend, row.batch, row.windows_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"speedup_fast_mt_vs_golden_batch256\": {speedup:.2}"
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(JSON_PATH, json).expect("write BENCH_throughput.json");
+    println!("results recorded in {JSON_PATH}");
+}
+
 fn main() {
     let params = AccelParams::emg_default(); // 313 words ≙ 10,016-D
     let model = HdModel::random(&params, 0x7412);
@@ -50,8 +103,13 @@ fn main() {
     let mut fast_mt = FastBackend::with_threads(threads)
         .prepare(&model)
         .expect("fast prepare");
+    let mut fast_pruned = FastBackend::with_threads(threads)
+        .with_scan(ScanPolicy::Pruned)
+        .prepare(&model)
+        .expect("fast-pruned prepare");
 
     println!("backend throughput, 10,016-D EMG model, windows of 5 samples × 4 channels\n");
+    let mut rows: Vec<Row> = Vec::new();
     let mut headline = None;
     for batch in [1usize, 32, 256] {
         let batch_windows = &windows[..batch];
@@ -74,14 +132,41 @@ fn main() {
             iters,
             || fast_mt.classify_batch(batch_windows).unwrap(),
         );
+        let fp = bench(
+            &format!("fast-pruned/{threads}threads/batch{batch}"),
+            iters,
+            || fast_pruned.classify_batch(batch_windows).unwrap(),
+        );
 
         let wps = |secs_per_batch: f64| batch as f64 / secs_per_batch;
+        let g_wps = wps(g.per_iter().as_secs_f64());
+        let f1_wps = wps(f1.per_iter().as_secs_f64());
+        let fm_wps = wps(fm.per_iter().as_secs_f64());
+        let fp_wps = wps(fp.per_iter().as_secs_f64());
         println!(
-            "  batch {batch:>3}: golden {:>10.0} w/s   fast×1 {:>10.0} w/s   fast×{threads} {:>10.0} w/s\n",
-            wps(g.per_iter().as_secs_f64()),
-            wps(f1.per_iter().as_secs_f64()),
-            wps(fm.per_iter().as_secs_f64()),
+            "  batch {batch:>3}: golden {g_wps:>9.0} w/s   fast×1 {f1_wps:>9.0} w/s   \
+             fast×{threads} {fm_wps:>9.0} w/s   fast-pruned×{threads} {fp_wps:>9.0} w/s\n"
         );
+        rows.push(Row {
+            backend: "golden/loop",
+            batch,
+            windows_per_sec: g_wps,
+        });
+        rows.push(Row {
+            backend: "fast/1thread",
+            batch,
+            windows_per_sec: f1_wps,
+        });
+        rows.push(Row {
+            backend: "fast/mt",
+            batch,
+            windows_per_sec: fm_wps,
+        });
+        rows.push(Row {
+            backend: "fast-pruned/mt",
+            batch,
+            windows_per_sec: fp_wps,
+        });
         if batch == 256 {
             headline = Some((g.per_iter().as_secs_f64(), fm.per_iter().as_secs_f64()));
         }
@@ -98,13 +183,19 @@ fn main() {
         .prepare(&reduced_model)
         .expect("accel prepare");
     let one_gram = vec![windows[0][0].clone()];
-    bench("accel_sim/wolf8/2528-D/batch1", 3, || {
+    let a = bench("accel_sim/wolf8/2528-D/batch1", 3, || {
         accel.classify(&one_gram).unwrap()
+    });
+    rows.push(Row {
+        backend: "accel_sim/wolf8/2528-D",
+        batch: 1,
+        windows_per_sec: 1.0 / a.per_iter().as_secs_f64(),
     });
 
     let (golden_t, fast_t) = headline.expect("batch 256 measured");
     let speedup = golden_t / fast_t;
     println!("\nfast backend ({threads} threads, batch 256) vs looped golden: {speedup:.2}x");
+    write_json(&params, threads, &rows, speedup);
     assert!(
         speedup > 1.0,
         "multi-threaded fast backend must beat the looped golden baseline, got {speedup:.2}x"

@@ -1,8 +1,9 @@
 //! The throughput backend: the HD chain on `u64`-packed hypervectors
-//! with multi-threaded batch classification.
+//! with a zero-allocation encode hot path and multi-threaded batch
+//! classification.
 //!
-//! Three things make it fast while staying bit-identical to the golden
-//! model (a property test pins this — see `tests/` here and at the
+//! Four things make it fast while staying bit-identical to the golden
+//! model (property tests pin this — see `tests/` here and at the
 //! workspace root):
 //!
 //! * hypervectors are repacked into [`Hv64`] words, halving the word
@@ -10,20 +11,56 @@
 //! * the `channels × levels` bind table `IM[c] ⊕ CIM[l]` is
 //!   precomputed at [`prepare`](super::ExecutionBackend::prepare) time,
 //!   removing one XOR per channel per sample from the hot path;
+//! * encoding runs entirely inside a reusable per-thread
+//!   [`EncodeScratch`] arena: spatial and temporal bundling go through
+//!   the word-major, register-resident carry-save majority
+//!   ([`BitslicedBundler::bundle_paper_into`], with fixed full-adder
+//!   networks for the common vote sizes), N-grams are
+//!   built with the fused bind-rotate [`Hv64::xor_rotated`], and after
+//!   the arena has warmed up to the window length, classifying a window
+//!   performs **no heap allocation in the encode path** (the returned
+//!   [`Verdict`] still owns its two output buffers — the distances
+//!   vector and the unpacked query — which are the only per-window
+//!   allocations left);
 //! * [`classify_batch`](super::BackendSession::classify_batch) splits
-//!   the batch across OS threads (sessions hold no mutable state, so
-//!   windows are embarrassingly parallel).
+//!   the batch across OS threads, each worker carrying its own arena
+//!   (the shared session state is immutable, so windows are
+//!   embarrassingly parallel).
 //!
-//! Single-window latency is similar to the golden model's; the win is
-//! batch throughput — the regime the ROADMAP's "heavy traffic" goal
-//! cares about. `crates/bench/benches/throughput.rs` measures both.
+//! The associative-memory search is controlled by [`ScanPolicy`]: the
+//! default [`ScanPolicy::Full`] scans every prototype word and returns
+//! exact distances (bit-identical `Verdict`s vs. the golden backend);
+//! [`ScanPolicy::Pruned`] abandons a prototype as soon as its partial
+//! distance exceeds the running minimum — same class, always, with the
+//! lower-bound distance semantics documented at
+//! [`hdc::hv64::scan_pruned_into`].
+//!
+//! `crates/bench/benches/throughput.rs` measures all of it and records
+//! the numbers in `BENCH_throughput.json`.
 
-use hdc::hv64::{majority_paper64, ngram64, Hv64};
+use hdc::hv64::{scan_pruned_into, BitslicedBundler, Hv64};
 use hdc::item_memory::quantize_code;
 
 use super::{
     argmin, validate_window, BackendError, BackendSession, ExecutionBackend, HdModel, Verdict,
 };
+
+/// Associative-memory scan strategy of the [`FastBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPolicy {
+    /// Scan every prototype completely: exact Hamming distances for all
+    /// classes, `Verdict`s bit-identical to the golden backend.
+    #[default]
+    Full,
+    /// Early-exit scan: abandon a prototype once its partial distance
+    /// exceeds the running minimum. The predicted class (and the
+    /// winner's distance) are always identical to [`Full`](Self::Full);
+    /// non-winning `distances` entries may be the partial distance at
+    /// the abandonment point — a lower bound on the true distance that
+    /// still exceeds the winning distance (see
+    /// [`hdc::hv64::scan_pruned_into`]).
+    Pruned,
+}
 
 /// The `u64`-packed multi-threaded host backend.
 ///
@@ -33,14 +70,19 @@ use super::{
 #[derive(Debug, Clone, Copy)]
 pub struct FastBackend {
     threads: usize,
+    scan: ScanPolicy,
 }
 
 impl FastBackend {
-    /// A backend using all available CPU parallelism for batches.
+    /// A backend using all available CPU parallelism for batches and the
+    /// exact [`ScanPolicy::Full`] AM scan.
     #[must_use]
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self { threads }
+        Self {
+            threads,
+            scan: ScanPolicy::Full,
+        }
     }
 
     /// A backend with an explicit batch thread count.
@@ -51,13 +93,29 @@ impl FastBackend {
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads > 0, "fast backend needs at least one thread");
-        Self { threads }
+        Self {
+            threads,
+            scan: ScanPolicy::Full,
+        }
+    }
+
+    /// Returns this backend with the given AM scan policy.
+    #[must_use]
+    pub fn with_scan(mut self, scan: ScanPolicy) -> Self {
+        self.scan = scan;
+        self
     }
 
     /// The configured batch thread count.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured AM scan policy.
+    #[must_use]
+    pub fn scan(&self) -> ScanPolicy {
+        self.scan
     }
 }
 
@@ -69,7 +127,10 @@ impl Default for FastBackend {
 
 impl ExecutionBackend for FastBackend {
     fn name(&self) -> &'static str {
-        "fast"
+        match self.scan {
+            ScanPolicy::Full => "fast",
+            ScanPolicy::Pruned => "fast-pruned",
+        }
     }
 
     fn prepare(&self, model: &HdModel) -> Result<Box<dyn BackendSession>, BackendError> {
@@ -82,47 +143,122 @@ impl ExecutionBackend for FastBackend {
             })
             .collect();
         let prototypes: Vec<Hv64> = model.prototypes().iter().map(Hv64::from_binary).collect();
-        Ok(Box::new(FastSession {
+        let n_words32 = model.n_words();
+        let core = FastCore {
             bound,
             prototypes,
             levels,
             ngram: model.ngram(),
+            n_words32,
+            scan: self.scan,
+        };
+        Ok(Box::new(FastSession {
+            scratch: EncodeScratch::new(n_words32),
+            core,
             threads: self.threads,
         }))
     }
 }
 
-struct FastSession {
+/// Reusable per-thread encode arena: every intermediate buffer of the
+/// spatial → temporal → query chain, allocated once and recycled across
+/// windows. After it has grown to the longest window seen, the encode
+/// path performs zero heap allocations.
+#[derive(Debug)]
+struct EncodeScratch {
+    /// Quantized level index per channel of the sample being encoded.
+    levels: Vec<usize>,
+    /// Spatial hypervector per sample; grows to the window length and is
+    /// then reused in place.
+    spatials: Vec<Hv64>,
+    /// One buffer per sliding N-gram of the window (unused when
+    /// `ngram == 1`; the spatials feed the query majority directly).
+    grams: Vec<Hv64>,
+    /// The encoded query of the current window.
+    query: Hv64,
+}
+
+impl EncodeScratch {
+    fn new(n_words32: usize) -> Self {
+        Self {
+            levels: Vec::new(),
+            spatials: Vec::new(),
+            grams: Vec::new(),
+            query: Hv64::zeros(n_words32),
+        }
+    }
+}
+
+/// The immutable, shareable part of a session: model tables and shape.
+struct FastCore {
     /// `bound[c][l] = IM[c] ⊕ CIM[l]`, the per-sample bind table.
     bound: Vec<Vec<Hv64>>,
     prototypes: Vec<Hv64>,
     levels: usize,
     ngram: usize,
-    threads: usize,
+    n_words32: usize,
+    scan: ScanPolicy,
 }
 
-impl FastSession {
-    fn classify_one(&self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
+impl FastCore {
+    fn classify_with(
+        &self,
+        window: &[Vec<u16>],
+        scratch: &mut EncodeScratch,
+    ) -> Result<Verdict, BackendError> {
         validate_window(window, self.bound.len(), self.ngram)?;
-        let spatials: Vec<Hv64> = window
-            .iter()
-            .map(|sample| {
-                let bound: Vec<&Hv64> = sample
-                    .iter()
-                    .enumerate()
-                    .map(|(c, &code)| &self.bound[c][quantize_code(code, self.levels)])
-                    .collect();
-                majority_paper64(&bound)
-            })
-            .collect();
-        let grams: Vec<Hv64> = (0..=spatials.len() - self.ngram)
-            .map(|t| ngram64(&spatials[t..t + self.ngram]))
-            .collect();
-        let gram_refs: Vec<&Hv64> = grams.iter().collect();
-        let query = majority_paper64(&gram_refs);
-        let distances: Vec<u32> = self.prototypes.iter().map(|p| p.hamming(&query)).collect();
+        let EncodeScratch {
+            levels,
+            spatials,
+            grams,
+            query,
+        } = scratch;
+        while spatials.len() < window.len() {
+            spatials.push(Hv64::zeros(self.n_words32));
+        }
+        // Spatial encode: one word-major carry-save majority per sample
+        // over the precomputed bind table rows.
+        for (t, sample) in window.iter().enumerate() {
+            levels.clear();
+            levels.extend(sample.iter().map(|&code| quantize_code(code, self.levels)));
+            BitslicedBundler::bundle_paper_into(
+                sample.len(),
+                |c| &self.bound[c][levels[c]],
+                &mut spatials[t],
+            );
+        }
+        // Temporal encode: build each sliding N-gram with fused
+        // bind-rotates, then bundle all N-grams into the query with a
+        // second word-major majority. Unigrams skip the materialization
+        // and vote directly over the spatial hypervectors.
+        let n = self.ngram;
+        let g_count = window.len() - n + 1;
+        if n == 1 {
+            BitslicedBundler::bundle_paper_into(g_count, |i| &spatials[i], query);
+        } else {
+            while grams.len() < g_count {
+                grams.push(Hv64::zeros(self.n_words32));
+            }
+            for s in 0..g_count {
+                let gram = &mut grams[s];
+                gram.copy_from(&spatials[s]);
+                for (k, sp) in spatials[s + 1..s + n].iter().enumerate() {
+                    gram.xor_rotated(sp, k + 1);
+                }
+            }
+            BitslicedBundler::bundle_paper_into(g_count, |i| &grams[i], query);
+        }
+        // AM search.
+        let mut distances = Vec::with_capacity(self.prototypes.len());
+        let class = match self.scan {
+            ScanPolicy::Full => {
+                distances.extend(self.prototypes.iter().map(|p| p.hamming(query)));
+                argmin(&distances)
+            }
+            ScanPolicy::Pruned => scan_pruned_into(&self.prototypes, query, &mut distances),
+        };
         Ok(Verdict {
-            class: argmin(&distances),
+            class,
             distances,
             query: query.to_binary(),
             cycles: None,
@@ -130,25 +266,36 @@ impl FastSession {
     }
 }
 
+struct FastSession {
+    core: FastCore,
+    /// Arena for single-window calls and single-threaded batches.
+    scratch: EncodeScratch,
+    threads: usize,
+}
+
 impl BackendSession for FastSession {
     fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
-        self.classify_one(window)
+        self.core.classify_with(window, &mut self.scratch)
     }
 
     fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
         let threads = self.threads.min(windows.len());
         if threads <= 1 {
-            return windows.iter().map(|w| self.classify_one(w)).collect();
+            return windows
+                .iter()
+                .map(|w| self.core.classify_with(w, &mut self.scratch))
+                .collect();
         }
         let chunk = windows.len().div_ceil(threads);
-        let session: &FastSession = self;
+        let core = &self.core;
         let chunk_results: Vec<Result<Vec<Verdict>, BackendError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = windows
                 .chunks(chunk)
                 .map(|ws| {
                     scope.spawn(move || {
+                        let mut scratch = EncodeScratch::new(core.n_words32);
                         ws.iter()
-                            .map(|w| session.classify_one(w))
+                            .map(|w| core.classify_with(w, &mut scratch))
                             .collect::<Result<Vec<_>, _>>()
                     })
                 })
@@ -217,6 +364,93 @@ mod tests {
         }
     }
 
+    /// The pruned scan trades distance exactness for speed but must
+    /// never change the decision, the query, or the winning distance.
+    #[test]
+    fn pruned_scan_keeps_class_and_query_identical_to_golden() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x9127_BEEF);
+        for case in 0..24 {
+            let params = AccelParams {
+                n_words: 1 + rng.next_below(24) as usize,
+                channels: 1 + rng.next_below(8) as usize,
+                levels: 2 + rng.next_below(28) as usize,
+                ngram: 1 + rng.next_below(4) as usize,
+                classes: 2 + rng.next_below(6) as usize,
+            };
+            let model = HdModel::random(&params, rng.next_u64());
+            let samples = params.ngram + rng.next_below(4) as usize;
+            let windows = random_windows(&params, samples, 6, rng.next_u64());
+            let mut golden = GoldenBackend.prepare(&model).unwrap();
+            let mut pruned = FastBackend::with_threads(3)
+                .with_scan(ScanPolicy::Pruned)
+                .prepare(&model)
+                .unwrap();
+            let expected = golden.classify_batch(&windows).unwrap();
+            let got = pruned.classify_batch(&windows).unwrap();
+            for (i, (p, g)) in got.iter().zip(&expected).enumerate() {
+                let ctx = format!("case {case} window {i} with {params:?}");
+                assert_eq!(p.class, g.class, "{ctx}: class");
+                assert_eq!(p.query, g.query, "{ctx}: query");
+                assert_eq!(
+                    p.distances[p.class], g.distances[g.class],
+                    "{ctx}: winning distance"
+                );
+                for (k, (&pd, &gd)) in p.distances.iter().zip(&g.distances).enumerate() {
+                    assert!(
+                        pd <= gd,
+                        "{ctx}: class {k} pruned distance is a lower bound"
+                    );
+                    if k != p.class {
+                        assert!(
+                            pd >= g.distances[g.class],
+                            "{ctx}: class {k} cannot undercut the winner"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adversarial tie-heavy AM: identical and near-identical prototypes
+    /// force exact ties, which must resolve to the first minimum under
+    /// both scan policies.
+    #[test]
+    fn pruned_scan_survives_tie_heavy_prototype_sets() {
+        let params = AccelParams {
+            n_words: 8,
+            channels: 4,
+            levels: 8,
+            ngram: 2,
+            classes: 6,
+        };
+        let mut base = HdModel::random(&params, 77);
+        // Duplicate prototype 0 into slots 1 and 3, and give slot 4 a
+        // one-bit variation: distances collide exactly.
+        let protos = base.prototypes().to_vec();
+        let mut rigged = protos.clone();
+        rigged[1] = protos[0].clone();
+        rigged[3] = protos[0].clone();
+        let mut nearly = protos[0].clone();
+        nearly.set_bit(17, !nearly.bit(17));
+        rigged[4] = nearly;
+        base = HdModel::new(base.cim().clone(), base.im().clone(), rigged, params.ngram).unwrap();
+        let windows = random_windows(&params, 4, 24, 3);
+        let mut golden = GoldenBackend.prepare(&base).unwrap();
+        let mut pruned = FastBackend::with_threads(2)
+            .with_scan(ScanPolicy::Pruned)
+            .prepare(&base)
+            .unwrap();
+        let expected = golden.classify_batch(&windows).unwrap();
+        let got = pruned.classify_batch(&windows).unwrap();
+        for (i, (p, g)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(p.class, g.class, "window {i}: tie-break order diverged");
+            assert_eq!(
+                p.distances[p.class], g.distances[g.class],
+                "window {i}: winning distance"
+            );
+        }
+    }
+
     #[test]
     fn batch_order_is_preserved_across_thread_counts() {
         let params = AccelParams {
@@ -234,6 +468,27 @@ mod tests {
                 sequential,
                 "{threads} threads"
             );
+        }
+    }
+
+    /// The session arena must not leak state between windows of
+    /// different lengths (growing and shrinking windows reuse slots).
+    #[test]
+    fn scratch_reuse_across_varying_window_lengths() {
+        let params = AccelParams {
+            n_words: 12,
+            ngram: 2,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 31);
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let mut fast = FastBackend::with_threads(1).prepare(&model).unwrap();
+        // One session, windows of wildly varying lengths, interleaved.
+        for (i, len) in [7usize, 2, 5, 2, 9, 3, 2, 8].iter().enumerate() {
+            let w = random_windows(&params, *len, 1, 1000 + i as u64).remove(0);
+            let g = golden.classify(&w).unwrap();
+            let f = fast.classify(&w).unwrap();
+            assert_eq!(f, g, "window {i} of {len} samples");
         }
     }
 
@@ -262,5 +517,15 @@ mod tests {
         let model = HdModel::random(&params, 2);
         let mut session = FastBackend::new().prepare(&model).unwrap();
         assert!(session.classify_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn backend_names_reflect_scan_policy() {
+        assert_eq!(FastBackend::new().name(), "fast");
+        assert_eq!(
+            FastBackend::new().with_scan(ScanPolicy::Pruned).name(),
+            "fast-pruned"
+        );
+        assert_eq!(FastBackend::new().scan(), ScanPolicy::Full);
     }
 }

@@ -19,12 +19,18 @@
 //!   ([`AccelChain`](crate::pipeline::AccelChain)); the only backend
 //!   that reports cycles.
 //! * [`FastBackend`] — a throughput-oriented pure-Rust engine on
-//!   `u64`-packed hypervectors with multi-threaded batch classification.
+//!   `u64`-packed hypervectors with a zero-allocation encode hot path
+//!   (per-thread scratch arena + bit-sliced carry-save bundling) and
+//!   multi-threaded batch classification. Its associative-memory search
+//!   is selectable via [`ScanPolicy`]: the default full scan returns
+//!   exact distances, the pruned scan early-exits prototypes that
+//!   cannot win (same class, lower-bound distances).
 //!
 //! All three produce identical classes, distances, and query
 //! hypervectors on identical inputs; `tests/determinism.rs` and
 //! `crates/core/tests/prop_equivalence.rs` pin that equivalence on
-//! random EMG windows and random chain shapes.
+//! random EMG windows and random chain shapes (the pruned scan is
+//! additionally pinned to preserve class, query, and winning distance).
 //!
 //! ## Example
 //!
@@ -51,7 +57,7 @@ pub mod fast;
 pub mod golden;
 
 pub use accel::AccelBackend;
-pub use fast::FastBackend;
+pub use fast::{FastBackend, ScanPolicy};
 pub use golden::GoldenBackend;
 
 use hdc::rng::derive_seed;
@@ -233,6 +239,13 @@ pub struct Verdict {
     /// Predicted class (arg-min Hamming distance, first minimum wins).
     pub class: usize,
     /// Hamming distance to every class prototype, indexed by class.
+    ///
+    /// Exact under every backend configuration except
+    /// [`FastBackend`] with [`ScanPolicy::Pruned`], where the winning
+    /// entry is always exact but non-winning entries may be the partial
+    /// distance at which the early-exit scan abandoned the prototype —
+    /// a lower bound on the true distance that still exceeds the
+    /// winning distance.
     pub distances: Vec<u32>,
     /// The query hypervector the window encoded to.
     pub query: BinaryHv,

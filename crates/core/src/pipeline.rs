@@ -105,6 +105,9 @@ pub struct AccelChain {
     layout: Layout,
     cluster: Cluster,
     loaded: bool,
+    /// Reused staging buffer for the flattened window (the host side of
+    /// the chain stays allocation-free across classifications).
+    sample_buf: Vec<u16>,
 }
 
 impl AccelChain {
@@ -129,6 +132,7 @@ impl AccelChain {
             layout,
             cluster,
             loaded: false,
+            sample_buf: Vec::new(),
         })
     }
 
@@ -237,7 +241,8 @@ impl AccelChain {
                 p.ngram
             )));
         }
-        let mut flat = Vec::with_capacity(p.ngram * p.channels);
+        self.sample_buf.clear();
+        self.sample_buf.reserve(p.ngram * p.channels);
         for (t, s) in samples.iter().enumerate() {
             let s = s.as_ref();
             if s.len() != p.channels {
@@ -247,11 +252,11 @@ impl AccelChain {
                     p.channels
                 )));
             }
-            flat.extend_from_slice(s);
+            self.sample_buf.extend_from_slice(s);
         }
         self.cluster
             .mem_mut()
-            .write_halves(self.layout.samples, &flat)
+            .write_halves(self.layout.samples, &self.sample_buf)
             .map_err(|f| ChainError::Sim(SimError::MemAccess { core: 0, fault: f }))?;
 
         let summary = self.cluster.run(max_cycles)?;

@@ -14,7 +14,9 @@
 //! index.
 
 use hdc::rng::Xoshiro256PlusPlus;
-use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel};
+use pulp_hd_core::backend::{
+    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy,
+};
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
 
@@ -111,5 +113,61 @@ fn host_backends_agree_on_sliding_window_batches() {
         let expected = golden.classify_batch(&windows).unwrap();
         let got = fast.classify_batch(&windows).unwrap();
         assert_eq!(got, expected, "case {case} with {params:?}");
+    }
+}
+
+/// The pruned-scan fast backend preserves everything the early exit can
+/// possibly preserve across random chain shapes: the predicted class
+/// (including first-minimum tie order), the query hypervector, and the
+/// winning distance are identical to the golden backend's; every other
+/// distance entry is a lower bound on the exact distance that never
+/// undercuts the winner.
+#[test]
+fn pruned_fast_backend_agrees_with_golden_on_class_and_query() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x5CA4_EE17);
+    for case in 0..12 {
+        let params = AccelParams {
+            n_words: 1 + rng.next_below(24) as usize,
+            channels: 1 + rng.next_below(8) as usize,
+            ngram: 1 + rng.next_below(4) as usize,
+            classes: 2 + rng.next_below(6) as usize,
+            levels: 2 + rng.next_below(28) as usize,
+        };
+        let model = HdModel::random(&params, rng.next_u64());
+        let samples = params.ngram + rng.next_below(5) as usize;
+        let windows: Vec<Vec<Vec<u16>>> = (0..9)
+            .map(|_| {
+                (0..samples)
+                    .map(|_| {
+                        (0..params.channels)
+                            .map(|_| (rng.next_u32() & 0xffff) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let mut pruned = FastBackend::with_threads(4)
+            .with_scan(ScanPolicy::Pruned)
+            .prepare(&model)
+            .unwrap();
+        let expected = golden.classify_batch(&windows).unwrap();
+        let got = pruned.classify_batch(&windows).unwrap();
+        for (i, (p, g)) in got.iter().zip(&expected).enumerate() {
+            let ctx = format!("case {case} window {i} with {params:?}");
+            assert_eq!(p.class, g.class, "{ctx}: class diverged");
+            assert_eq!(p.query, g.query, "{ctx}: query diverged");
+            assert_eq!(
+                p.distances[p.class], g.distances[g.class],
+                "{ctx}: winning distance must be exact"
+            );
+            for (k, (&pd, &gd)) in p.distances.iter().zip(&g.distances).enumerate() {
+                assert!(pd <= gd, "{ctx}: class {k} distance is not a lower bound");
+                assert!(
+                    k == p.class || pd >= g.distances[g.class],
+                    "{ctx}: class {k} undercuts the winner"
+                );
+            }
+        }
     }
 }

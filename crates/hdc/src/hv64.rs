@@ -13,7 +13,16 @@
 //! only 32 valid components and its padding bits are kept at zero by
 //! every constructor and operation.
 //!
-//! [`FastBackend`]: https://docs.rs/pulp-hd-core
+//! Besides the allocating operations, the module provides the
+//! zero-allocation hot-path building blocks the fast backend's encode
+//! loop is made of: in-place ops ([`Hv64::xor_assign`],
+//! [`Hv64::rotate_into`], the fused bind-rotate [`Hv64::xor_rotated`]),
+//! the streaming word-parallel majority accumulator
+//! [`BitslicedBundler`], and the early-exit associative-memory scan
+//! [`scan_pruned_into`].
+//!
+//! [`FastBackend`]: ../../pulp_hd_core/backend/fast/index.html
+//! (in-repo: `crates/core/src/backend/fast.rs`)
 
 use core::fmt;
 
@@ -46,6 +55,21 @@ pub struct Hv64 {
 }
 
 impl Hv64 {
+    /// The all-zeros hypervector of the given canonical (`u32`) width —
+    /// the scratch-buffer constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_words32 == 0`.
+    #[must_use]
+    pub fn zeros(n_words32: usize) -> Self {
+        assert!(n_words32 > 0, "hypervector width must be at least one word");
+        Self {
+            words: vec![0u64; n_words32.div_ceil(2)].into_boxed_slice(),
+            n_words32,
+        }
+    }
+
     /// Repacks a [`BinaryHv`] into `u64` words (lossless).
     #[must_use]
     pub fn from_binary(hv: &BinaryHv) -> Self {
@@ -124,6 +148,16 @@ impl Hv64 {
     ///
     /// Panics if the operands have different widths.
     pub fn bind_assign(&mut self, other: &Self) {
+        self.xor_assign(other);
+    }
+
+    /// In-place componentwise XOR (`self ^= other`), the borrowing form
+    /// of [`bind`](Self::bind).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    pub fn xor_assign(&mut self, other: &Self) {
         assert_eq!(
             self.n_words32, other.n_words32,
             "hypervector width mismatch: {} vs {} u32 words",
@@ -132,6 +166,20 @@ impl Hv64 {
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a ^= *b;
         }
+    }
+
+    /// Overwrites `self` with `other`'s bit pattern without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.n_words32, other.n_words32,
+            "hypervector width mismatch: {} vs {} u32 words",
+            self.n_words32, other.n_words32
+        );
+        self.words.copy_from_slice(&other.words);
     }
 
     /// Hamming distance via 64-bit popcount.
@@ -157,68 +205,137 @@ impl Hv64 {
     /// dimension, bit-identical to [`BinaryHv::rotate`].
     #[must_use]
     pub fn rotate(&self, k: usize) -> Self {
+        let mut out = Self::zeros(self.n_words32);
+        self.rotate_into(k, &mut out);
+        out
+    }
+
+    /// ρᵏ into a caller-owned buffer: `out = rotate(self, k)` without
+    /// allocating. `out`'s previous contents are overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has a different width (aliasing is impossible:
+    /// `self` is borrowed shared and `out` mutably).
+    pub fn rotate_into(&self, k: usize, out: &mut Self) {
+        assert_eq!(
+            self.n_words32, out.n_words32,
+            "hypervector width mismatch: {} vs {} u32 words",
+            self.n_words32, out.n_words32
+        );
         let dim = self.dim();
         let k = k % dim;
         if k == 0 {
-            return self.clone();
+            out.copy_from(self);
+            return;
         }
-        // rotl_dim(x, k) = ((x << k) | (x >> (dim - k))) mod 2^dim, as
-        // big-integer arithmetic over the word array.
-        let n = self.words.len();
-        let mut out = vec![0u64; n];
-        shl_into(&self.words, k, &mut out);
-        let mut wrap = vec![0u64; n];
-        shr_into(&self.words, dim - k, &mut wrap);
-        for (o, w) in out.iter_mut().zip(&wrap) {
-            *o |= w;
+        let geom = RotateGeometry::new(dim, k);
+        for (j, o) in out.words.iter_mut().enumerate() {
+            *o = geom.word(&self.words, j);
         }
-        let tail = dim % BITS_PER_WORD64;
-        if tail != 0 {
-            out[n - 1] &= (1u64 << tail) - 1;
+        geom.mask_tail(&mut out.words);
+    }
+
+    /// Fused bind-rotate: `self ^= rotate(other, k)` with no temporary
+    /// hypervector — the inner step of N-gram encoding
+    /// (`gram ⊕= ρᵏ spatialₖ`), computed word by word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths.
+    pub fn xor_rotated(&mut self, other: &Self, k: usize) {
+        assert_eq!(
+            self.n_words32, other.n_words32,
+            "hypervector width mismatch: {} vs {} u32 words",
+            self.n_words32, other.n_words32
+        );
+        let dim = self.dim();
+        let k = k % dim;
+        if k == 0 {
+            self.xor_assign(other);
+            return;
         }
+        let geom = RotateGeometry::new(dim, k);
+        let last = self.words.len() - 1;
+        for (j, w) in self.words.iter_mut().enumerate() {
+            let mut r = geom.word(&other.words, j);
+            if j == last && geom.tail != 0 {
+                r &= (1u64 << geom.tail) - 1;
+            }
+            *w ^= r;
+        }
+    }
+}
+
+/// Per-word geometry of a `dim`-bit left rotation by `k` over
+/// little-endian `u64` words: `rotl(x, k) = ((x << k) | (x >> (dim - k)))
+/// mod 2^dim`, evaluated one output word at a time so rotations can be
+/// streamed into existing buffers without big-integer temporaries.
+struct RotateGeometry {
+    /// Word/bit split of the left-shift part (`<< k`).
+    shl_words: usize,
+    shl_bits: usize,
+    /// Word/bit split of the wrap part (`>> (dim - k)`).
+    shr_words: usize,
+    shr_bits: usize,
+    /// Valid bits in the top word (0 when the dimension fills it).
+    tail: usize,
+}
+
+impl RotateGeometry {
+    fn new(dim: usize, k: usize) -> Self {
+        debug_assert!(k > 0 && k < dim);
+        let wrap = dim - k;
         Self {
-            words: out.into_boxed_slice(),
-            n_words32: self.n_words32,
+            shl_words: k / BITS_PER_WORD64,
+            shl_bits: k % BITS_PER_WORD64,
+            shr_words: wrap / BITS_PER_WORD64,
+            shr_bits: wrap % BITS_PER_WORD64,
+            tail: dim % BITS_PER_WORD64,
         }
     }
-}
 
-/// `out = x << s` over little-endian `u64` words (bits shifted past the
-/// top word are dropped; the caller masks to the dimension).
-fn shl_into(x: &[u64], s: usize, out: &mut [u64]) {
-    let word_shift = s / BITS_PER_WORD64;
-    let bit_shift = s % BITS_PER_WORD64;
-    for j in (word_shift..x.len()).rev() {
-        let lo = x[j - word_shift];
-        out[j] = if bit_shift == 0 {
-            lo
-        } else {
-            let carry = if j > word_shift {
-                x[j - word_shift - 1] >> (BITS_PER_WORD64 - bit_shift)
+    /// Word `j` of the rotated vector (unmasked; the caller masks the
+    /// tail of the top word). The input's padding bits are zero, so the
+    /// big-integer shifts agree with `dim`-bit arithmetic.
+    #[inline]
+    fn word(&self, x: &[u64], j: usize) -> u64 {
+        let mut w = 0u64;
+        if j >= self.shl_words {
+            let lo = x[j - self.shl_words];
+            w |= if self.shl_bits == 0 {
+                lo
             } else {
-                0
+                let carry = if j > self.shl_words {
+                    x[j - self.shl_words - 1] >> (BITS_PER_WORD64 - self.shl_bits)
+                } else {
+                    0
+                };
+                (lo << self.shl_bits) | carry
             };
-            (lo << bit_shift) | carry
-        };
+        }
+        if j + self.shr_words < x.len() {
+            let hi = x[j + self.shr_words];
+            w |= if self.shr_bits == 0 {
+                hi
+            } else {
+                let carry = if j + self.shr_words + 1 < x.len() {
+                    x[j + self.shr_words + 1] << (BITS_PER_WORD64 - self.shr_bits)
+                } else {
+                    0
+                };
+                (hi >> self.shr_bits) | carry
+            };
+        }
+        w
     }
-}
 
-/// `out = x >> s` over little-endian `u64` words.
-fn shr_into(x: &[u64], s: usize, out: &mut [u64]) {
-    let word_shift = s / BITS_PER_WORD64;
-    let bit_shift = s % BITS_PER_WORD64;
-    for j in 0..x.len().saturating_sub(word_shift) {
-        let hi = x[j + word_shift];
-        out[j] = if bit_shift == 0 {
-            hi
-        } else {
-            let carry = if j + word_shift + 1 < x.len() {
-                x[j + word_shift + 1] << (BITS_PER_WORD64 - bit_shift)
-            } else {
-                0
-            };
-            (hi >> bit_shift) | carry
-        };
+    fn mask_tail(&self, words: &mut [u64]) {
+        if self.tail != 0 {
+            if let Some(top) = words.last_mut() {
+                *top &= (1u64 << self.tail) - 1;
+            }
+        }
     }
 }
 
@@ -354,6 +471,407 @@ pub fn majority_odd_bitsliced64(inputs: &[&Hv64]) -> Hv64 {
     }
 }
 
+/// Bit-sliced full adder over 64 lanes: `(sum, carry)` of three
+/// one-bit addends per lane — the cell the carry-save majority
+/// networks are built from.
+#[inline]
+fn full_add(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let ab = a ^ b;
+    (ab ^ c, (a & b) | (c & ab))
+}
+
+/// Streaming word-parallel majority accumulator — the zero-allocation
+/// bundling engine of the fast backend's hot path.
+///
+/// Hypervectors are [`add`](Self::add)ed one at a time into vertical
+/// (bit-sliced) carry-save counters: plane `p` holds bit `p` of the
+/// per-component vote count for 64 components per word, so each add is a
+/// ripple-carry increment using only word-wide AND/XOR, and the final
+/// threshold comparison is a word-wide borrow chain. Semantically
+/// identical to [`majority_paper64`] (and therefore to
+/// [`crate::bundle::majority_paper`]): with an even input count, the XOR
+/// of the first two inputs joins the vote as the tie-break vector.
+///
+/// The accumulator allocates only when it grows — counter planes and the
+/// tie-break buffer are retained across
+/// [`majority_paper_into`](Self::majority_paper_into) /
+/// [`clear`](Self::clear) cycles, so steady-state bundling performs no
+/// heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::hv64::{majority_paper64, BitslicedBundler, Hv64};
+/// use hdc::BinaryHv;
+///
+/// let inputs: Vec<Hv64> = (0..4)
+///     .map(|s| Hv64::from_binary(&BinaryHv::random(313, s)))
+///     .collect();
+/// let refs: Vec<&Hv64> = inputs.iter().collect();
+///
+/// let mut bundler = BitslicedBundler::new(313);
+/// let mut out = Hv64::zeros(313);
+/// for hv in &inputs {
+///     bundler.add(hv);
+/// }
+/// bundler.majority_paper_into(&mut out);
+/// assert_eq!(out, majority_paper64(&refs));
+/// // The bundler has reset itself and can be reused immediately.
+/// assert!(bundler.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitslicedBundler {
+    /// `planes[p][w]`: bit `p` of the vote count of the 64 components in
+    /// word `w`. Grows on demand; values up to the input count are always
+    /// representable.
+    planes: Vec<Vec<u64>>,
+    /// First input, then (after the second add) XOR of the first two —
+    /// the paper's tie-break vector, maintained incrementally.
+    tie: Hv64,
+    n_words32: usize,
+    n: u32,
+}
+
+impl BitslicedBundler {
+    /// An empty bundler for hypervectors of `n_words32` canonical words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_words32 == 0`.
+    #[must_use]
+    pub fn new(n_words32: usize) -> Self {
+        Self {
+            planes: Vec::new(),
+            tie: Hv64::zeros(n_words32),
+            n_words32,
+            n: 0,
+        }
+    }
+
+    /// Width of accepted hypervectors in canonical `u32` words.
+    #[must_use]
+    pub fn n_words32(&self) -> usize {
+        self.n_words32
+    }
+
+    /// Number of hypervectors accumulated since the last reset.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether no hypervectors have been accumulated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Resets the vote counters without releasing storage.
+    pub fn clear(&mut self) {
+        for plane in &mut self.planes {
+            plane.fill(0);
+        }
+        self.n = 0;
+    }
+
+    /// Adds one hypervector to the vote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv` has a different width.
+    pub fn add(&mut self, hv: &Hv64) {
+        assert_eq!(
+            hv.n_words32, self.n_words32,
+            "bundler width mismatch: expected {} u32 words, got {}",
+            self.n_words32, hv.n_words32
+        );
+        match self.n {
+            0 => self.tie.copy_from(hv),
+            1 => self.tie.xor_assign(hv),
+            _ => {}
+        }
+        Self::add_words(&mut self.planes, &hv.words);
+        self.n += 1;
+    }
+
+    /// Ripple-carry increment of the vertical counters by one input,
+    /// growing the plane stack if the count needs another bit.
+    fn add_words(planes: &mut Vec<Vec<u64>>, words: &[u64]) {
+        for (wi, &word) in words.iter().enumerate() {
+            let mut carry = word;
+            let mut p = 0;
+            while carry != 0 {
+                if p == planes.len() {
+                    planes.push(vec![0u64; words.len()]);
+                }
+                let plane = &mut planes[p][wi];
+                let t = *plane & carry;
+                *plane ^= carry;
+                carry = t;
+                p += 1;
+            }
+        }
+    }
+
+    /// Word-major, register-resident form of the same carry-save
+    /// counter network: bundles `n` hypervectors accessed by index
+    /// (`get(0..n)`) straight into `out`, with the paper's tie policy
+    /// (even count ⇒ the XOR of the first two inputs joins the vote).
+    ///
+    /// Where [`add`](Self::add) streams inputs through heap-resident
+    /// counter planes (one pass over the planes per input), this form
+    /// makes a **single pass over the words**: for each output word the
+    /// vote counters live in registers, the common vote sizes (an
+    /// effective count of 3 or 5 — e.g. 4 channels + tie, or 5-sample
+    /// windows of unigrams) collapse into fixed full-adder majority
+    /// networks, and larger counts fall back to an in-register ripple
+    /// counter. This is the hot-path entry point of the fast backend's
+    /// spatial and temporal bundling; it performs no heap allocation
+    /// for votes up to 1022 inputs and needs no persistent accumulator
+    /// state (hence no `self`). Wider votes — beyond the 10-plane
+    /// in-register counter — transparently route through a freshly
+    /// allocated streaming accumulator (at that input scale the
+    /// allocation is noise next to the counting work).
+    ///
+    /// Bit-identical to [`majority_paper64`] over the same inputs in
+    /// the same order (a property test pins this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or any input width differs from `out`'s.
+    pub fn bundle_paper_into<'a, F>(n: usize, get: F, out: &mut Hv64)
+    where
+        F: Fn(usize) -> &'a Hv64,
+    {
+        assert!(n > 0, "majority of an empty set is undefined");
+        let n_words32 = out.n_words32;
+        for i in 0..n {
+            assert_eq!(
+                get(i).n_words32,
+                n_words32,
+                "bundler width mismatch: expected {} u32 words, got {}",
+                n_words32,
+                get(i).n_words32
+            );
+        }
+        if n == 1 {
+            out.copy_from(get(0));
+            return;
+        }
+        let even = n % 2 == 0;
+        let n_eff = n + usize::from(even);
+        let n_words = out.words.len();
+        /// Width of the in-register counter (counts up to 1023 votes).
+        const PLANES: usize = 10;
+        match n_eff {
+            3 if n == 2 => {
+                // majority({x, y, x⊕y}) at threshold 2 reduces to x | y.
+                let (a, b) = (&get(0).words, &get(1).words);
+                for wi in 0..n_words {
+                    out.words[wi] = a[wi] | b[wi];
+                }
+            }
+            3 => {
+                let (a, b, c) = (&get(0).words, &get(1).words, &get(2).words);
+                for wi in 0..n_words {
+                    let (_, maj) = full_add(a[wi], b[wi], c[wi]);
+                    out.words[wi] = maj;
+                }
+            }
+            5 => {
+                // Two full adders + a 3-input combine: count >= 3 ⇔
+                // both carries, or one carry plus the final sum bit.
+                let (x0, x1, x2, x3) = (&get(0).words, &get(1).words, &get(2).words, &get(3).words);
+                for wi in 0..n_words {
+                    let x4 = if n == 4 {
+                        x0[wi] ^ x1[wi]
+                    } else {
+                        get(4).words[wi]
+                    };
+                    let (s1, c1) = full_add(x0[wi], x1[wi], x2[wi]);
+                    let (s2, c2) = full_add(s1, x3[wi], x4);
+                    out.words[wi] = (c1 & c2) | ((c1 | c2) & s2);
+                }
+            }
+            n_eff if n_eff >= (1 << PLANES) => {
+                // The vote count overflows the in-register counter:
+                // fall back to the streaming heap-plane form, which has
+                // no input limit.
+                let mut bundler = Self::new(n_words32);
+                for i in 0..n {
+                    bundler.add(get(i));
+                }
+                bundler.majority_paper_into(out);
+                return;
+            }
+            _ => {
+                #[allow(clippy::cast_possible_truncation)]
+                let threshold = (n_eff / 2 + 1) as u32;
+                let t_bits = (32 - threshold.leading_zeros()) as usize;
+                for wi in 0..n_words {
+                    let mut planes = [0u64; PLANES];
+                    let mut used = 0usize;
+                    let ripple = |planes: &mut [u64; PLANES], used: &mut usize, w: u64| {
+                        let mut carry = w;
+                        let mut p = 0;
+                        while carry != 0 {
+                            let t = planes[p] & carry;
+                            planes[p] ^= carry;
+                            carry = t;
+                            p += 1;
+                        }
+                        *used = (*used).max(p);
+                    };
+                    for i in 0..n {
+                        ripple(&mut planes, &mut used, get(i).words[wi]);
+                    }
+                    if even {
+                        ripple(&mut planes, &mut used, get(0).words[wi] ^ get(1).words[wi]);
+                    }
+                    let mut borrow = 0u64;
+                    for (p, &plane) in planes.iter().enumerate().take(used.max(t_bits)) {
+                        let t = if threshold >> p & 1 == 1 { u64::MAX } else { 0 };
+                        borrow = (!plane & (t | borrow)) | (t & borrow);
+                    }
+                    out.words[wi] = !borrow;
+                }
+            }
+        }
+        // Every path keeps padding clean (inputs are clean and the
+        // generic threshold rejects zero-count lanes), but mask
+        // defensively, matching the rest of the module.
+        let tail = (n_words32 * BITS_PER_WORD) % BITS_PER_WORD64;
+        if tail != 0 {
+            out.words[n_words - 1] &= (1u64 << tail) - 1;
+        }
+    }
+
+    /// Writes the majority of the accumulated inputs into `out` with the
+    /// paper's kernel tie policy (even count ⇒ the XOR of the first two
+    /// inputs joins the vote), then resets the accumulator for reuse.
+    ///
+    /// Bit-identical to [`majority_paper64`] over the same inputs in the
+    /// same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundler is empty or `out` has a different width.
+    pub fn majority_paper_into(&mut self, out: &mut Hv64) {
+        assert!(self.n > 0, "majority of an empty bundle is undefined");
+        assert_eq!(
+            out.n_words32, self.n_words32,
+            "bundler width mismatch: expected {} u32 words, got {}",
+            self.n_words32, out.n_words32
+        );
+        if self.n == 1 {
+            // Single input: identity (`tie` still holds the first input).
+            out.copy_from(&self.tie);
+            self.clear();
+            return;
+        }
+        let n_eff = if self.n % 2 == 0 {
+            Self::add_words(&mut self.planes, &self.tie.words);
+            self.n + 1
+        } else {
+            self.n
+        };
+        let threshold = n_eff / 2 + 1;
+        // Threshold bits above the stored planes read as zero-count
+        // planes (all inputs may agree on zero there).
+        let p_max = self
+            .planes
+            .len()
+            .max((32 - threshold.leading_zeros()) as usize);
+        let n_words = out.words.len();
+        for wi in 0..n_words {
+            // count >= threshold ⇔ (count - threshold) does not borrow,
+            // evaluated for 64 components per step.
+            let mut borrow = 0u64;
+            for p in 0..p_max {
+                let plane = self.planes.get(p).map_or(0, |pl| pl[wi]);
+                let t = if threshold >> p & 1 == 1 { u64::MAX } else { 0 };
+                borrow = (!plane & (t | borrow)) | (t & borrow);
+            }
+            out.words[wi] = !borrow;
+        }
+        let tail = (self.n_words32 * BITS_PER_WORD) % BITS_PER_WORD64;
+        if tail != 0 {
+            out.words[n_words - 1] &= (1u64 << tail) - 1;
+        }
+        self.clear();
+    }
+}
+
+/// Exact nearest-prototype search with early exit, writing per-class
+/// distances into a caller-owned buffer and returning the winning class.
+///
+/// The scan tracks the running best distance and abandons a prototype's
+/// word loop as soon as its partial Hamming distance exceeds the current
+/// minimum — an abandoned prototype can never win, so the **class is
+/// always identical to a full scan's** (including first-minimum tie
+/// order, because a pruned prototype's true distance is strictly greater
+/// than the final minimum).
+///
+/// The `distances` entries trade exactness for the skipped work: entry
+/// `k` is the exact Hamming distance whenever prototype `k` was fully
+/// scanned — always true for the winner and for every prototype whose
+/// distance ties or beats the running minimum — and otherwise the
+/// partial distance at the abandonment point, which is simultaneously a
+/// lower bound on the true distance and strictly greater than the
+/// winning distance. Ordering queries ("is `k` the argmin", margins
+/// above the winner) therefore resolve the same way as on exact
+/// distances.
+///
+/// # Panics
+///
+/// Panics if `prototypes` is empty or any width differs from the
+/// query's.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::hv64::{scan_pruned_into, Hv64};
+/// use hdc::BinaryHv;
+///
+/// let prototypes: Vec<Hv64> = (0..5)
+///     .map(|s| Hv64::from_binary(&BinaryHv::random(313, s)))
+///     .collect();
+/// let query = prototypes[3].clone();
+/// let mut distances = Vec::new();
+/// let class = scan_pruned_into(&prototypes, &query, &mut distances);
+/// assert_eq!(class, 3);
+/// assert_eq!(distances[3], 0);
+/// ```
+pub fn scan_pruned_into(prototypes: &[Hv64], query: &Hv64, distances: &mut Vec<u32>) -> usize {
+    assert!(
+        !prototypes.is_empty(),
+        "associative-memory scan needs at least one prototype"
+    );
+    distances.clear();
+    let mut best = u32::MAX;
+    let mut best_class = 0usize;
+    for (class, p) in prototypes.iter().enumerate() {
+        assert_eq!(
+            p.n_words32, query.n_words32,
+            "prototype width mismatch: {} vs {} u32 words",
+            p.n_words32, query.n_words32
+        );
+        let mut d = 0u32;
+        for (a, b) in p.words.iter().zip(query.words.iter()) {
+            d += (a ^ b).count_ones();
+            if d > best {
+                break;
+            }
+        }
+        if d < best {
+            best = d;
+            best_class = class;
+        }
+        distances.push(d);
+    }
+    best_class
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,5 +996,195 @@ mod tests {
         let (_, a) = pair(1, 1);
         let (_, b) = pair(1, 2);
         let _ = majority_odd_bitsliced64(&[&a, &b]);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_counterparts() {
+        for n_words32 in [1usize, 2, 3, 8, 313] {
+            let (_, a) = pair(n_words32, 21);
+            let (_, b) = pair(n_words32, 22);
+            // xor_assign == bind
+            let mut x = a.clone();
+            x.xor_assign(&b);
+            assert_eq!(x, a.bind(&b), "{n_words32} words: xor_assign");
+            // copy_from == clone
+            let mut c = Hv64::zeros(n_words32);
+            c.copy_from(&a);
+            assert_eq!(c, a, "{n_words32} words: copy_from");
+            let dim = a.dim();
+            for k in [0usize, 1, 31, 32, 63, 64, 65, 100, dim - 1, dim, dim + 3] {
+                // rotate_into == rotate, including into a dirty buffer
+                let mut out = b.clone();
+                a.rotate_into(k, &mut out);
+                assert_eq!(out, a.rotate(k), "{n_words32} words, k = {k}: rotate_into");
+                // xor_rotated == bind(rotate)
+                let mut fused = a.clone();
+                fused.xor_rotated(&b, k);
+                assert_eq!(
+                    fused,
+                    a.bind(&b.rotate(k)),
+                    "{n_words32} words, k = {k}: xor_rotated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_has_clean_padding_and_width() {
+        let z = Hv64::zeros(313);
+        assert_eq!(z.n_words32(), 313);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.to_binary(), BinaryHv::zeros(313));
+    }
+
+    #[test]
+    fn bundler_matches_majority_paper64_for_all_counts() {
+        for n in 1usize..12 {
+            for n_words32 in [1usize, 3, 11, 313] {
+                let hvs: Vec<Hv64> = (0..n)
+                    .map(|s| Hv64::from_binary(&BinaryHv::random(n_words32, 700 + s as u64)))
+                    .collect();
+                let refs: Vec<&Hv64> = hvs.iter().collect();
+                let mut bundler = BitslicedBundler::new(n_words32);
+                let mut out = Hv64::zeros(n_words32);
+                for hv in &hvs {
+                    bundler.add(hv);
+                }
+                bundler.majority_paper_into(&mut out);
+                assert_eq!(out, majority_paper64(&refs), "{n_words32} words, n = {n}");
+                assert!(bundler.is_empty(), "bundler must self-reset");
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_paper_into_matches_majority_paper64_for_all_counts() {
+        // n = 1..14 crosses every specialization boundary: identity,
+        // the OR shortcut (n = 2), maj-3, maj-5 with and without the
+        // tie input, and the generic in-register ripple counter.
+        for n in 1usize..14 {
+            for n_words32 in [1usize, 3, 11, 313] {
+                let hvs: Vec<Hv64> = (0..n)
+                    .map(|s| Hv64::from_binary(&BinaryHv::random(n_words32, 550 + s as u64)))
+                    .collect();
+                let refs: Vec<&Hv64> = hvs.iter().collect();
+                let mut out = Hv64::from_binary(&BinaryHv::random(n_words32, 1)); // dirty
+                BitslicedBundler::bundle_paper_into(n, |i| &hvs[i], &mut out);
+                assert_eq!(out, majority_paper64(&refs), "{n_words32} words, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_paper_into_handles_votes_wider_than_the_register_counter() {
+        // > 1022 inputs overflow the 10-plane in-register counter and
+        // must route through the streaming fallback — no panic, same
+        // bits (a 1023-sample window at ngram 1 is a legal workload).
+        for n in [1023usize, 1030, 1041] {
+            let hvs: Vec<Hv64> = (0..n)
+                .map(|s| Hv64::from_binary(&BinaryHv::random(2, s as u64)))
+                .collect();
+            let refs: Vec<&Hv64> = hvs.iter().collect();
+            let mut out = Hv64::zeros(2);
+            BitslicedBundler::bundle_paper_into(n, |i| &hvs[i], &mut out);
+            assert_eq!(out, majority_paper64(&refs), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bundler_reuse_is_stateless_across_rounds() {
+        // Interleave bundles of different sizes through one accumulator;
+        // every round must match a fresh computation.
+        let mut bundler = BitslicedBundler::new(7);
+        let mut out = Hv64::zeros(7);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xB0D1);
+        for round in 0..16 {
+            let n = 1 + (rng.next_below(9) as usize);
+            let hvs: Vec<Hv64> = (0..n)
+                .map(|_| Hv64::from_binary(&BinaryHv::random(7, rng.next_u64())))
+                .collect();
+            let refs: Vec<&Hv64> = hvs.iter().collect();
+            for hv in &hvs {
+                bundler.add(hv);
+            }
+            bundler.majority_paper_into(&mut out);
+            assert_eq!(out, majority_paper64(&refs), "round {round}, n = {n}");
+        }
+    }
+
+    #[test]
+    fn bundler_of_all_zero_inputs_is_zero() {
+        // No plane is ever materialized, yet the threshold must still
+        // reject every component.
+        let z = Hv64::zeros(3);
+        let mut bundler = BitslicedBundler::new(3);
+        let mut out = Hv64::from_binary(&BinaryHv::random(3, 5));
+        for _ in 0..3 {
+            bundler.add(&z);
+        }
+        bundler.majority_paper_into(&mut out);
+        assert_eq!(out.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bundle")]
+    fn bundler_empty_majority_panics() {
+        let mut bundler = BitslicedBundler::new(2);
+        let mut out = Hv64::zeros(2);
+        bundler.majority_paper_into(&mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn bundler_add_width_mismatch_panics() {
+        let mut bundler = BitslicedBundler::new(2);
+        let (_, a) = pair(3, 1);
+        bundler.add(&a);
+    }
+
+    #[test]
+    fn pruned_scan_class_matches_full_scan() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x5CAD);
+        for case in 0..64 {
+            let n_words32 = 1 + (rng.next_below(20) as usize);
+            let classes = 1 + (rng.next_below(8) as usize);
+            let prototypes: Vec<Hv64> = (0..classes)
+                .map(|_| Hv64::from_binary(&BinaryHv::random(n_words32, rng.next_u64())))
+                .collect();
+            let query = Hv64::from_binary(&BinaryHv::random(n_words32, rng.next_u64()));
+            let full: Vec<u32> = prototypes.iter().map(|p| p.hamming(&query)).collect();
+            let expected = full
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &d)| d)
+                .map(|(i, _)| i)
+                .unwrap();
+            let mut distances = Vec::new();
+            let class = scan_pruned_into(&prototypes, &query, &mut distances);
+            assert_eq!(class, expected, "case {case}");
+            assert_eq!(distances[class], full[class], "case {case}: winner exact");
+            for (k, (&pruned, &exact)) in distances.iter().zip(&full).enumerate() {
+                assert!(pruned <= exact, "case {case}, class {k}: lower bound");
+                if k != class {
+                    assert!(
+                        pruned >= full[class],
+                        "case {case}, class {k}: non-winner cannot undercut the minimum"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_scan_breaks_exact_ties_like_full_scan() {
+        // All prototypes identical: every distance ties, and the first
+        // minimum must win, exactly as the kernel's strict-less search.
+        let p = Hv64::from_binary(&BinaryHv::random(5, 9));
+        let prototypes = vec![p.clone(), p.clone(), p.clone()];
+        let query = Hv64::from_binary(&BinaryHv::random(5, 10));
+        let mut distances = Vec::new();
+        assert_eq!(scan_pruned_into(&prototypes, &query, &mut distances), 0);
+        let exact = p.hamming(&query);
+        assert_eq!(distances[0], exact, "first prototype is fully scanned");
     }
 }

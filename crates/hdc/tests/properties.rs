@@ -7,8 +7,9 @@
 //! fixed seed anyway: every failure is replayable from the case index).
 
 use hdc::bundle::{majority_odd_bitsliced, majority_paper};
+use hdc::hv64::{scan_pruned_into, BitslicedBundler};
 use hdc::rng::Xoshiro256PlusPlus;
-use hdc::{quantize_code, BinaryHv, Bundler, TieBreak};
+use hdc::{quantize_code, BinaryHv, Bundler, Hv64, TieBreak};
 
 const CASES: usize = 64;
 
@@ -164,6 +165,128 @@ fn quantizer_properties() {
         }
         assert_eq!(quantize_code(0, levels), 0, "case {case}");
         assert_eq!(quantize_code(u16::MAX, levels), levels - 1, "case {case}");
+    }
+}
+
+/// The in-place / borrowing `Hv64` hot-path ops equal their allocating
+/// counterparts on every width and shift: `xor_assign` ≡ `bind`,
+/// `rotate_into` ≡ `rotate`, and the fused `xor_rotated` ≡
+/// `bind(rotate)`.
+#[test]
+fn hv64_in_place_ops_equal_allocating_ops() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case as u64);
+        let words = draw(&mut rng, 1, 40);
+        let a = Hv64::from_binary(&hv(words, &mut rng));
+        let b = Hv64::from_binary(&hv(words, &mut rng));
+        let k = draw(&mut rng, 0, 3 * a.dim());
+
+        let mut x = a.clone();
+        x.xor_assign(&b);
+        assert_eq!(x, a.bind(&b), "case {case}: xor_assign");
+
+        let mut rotated = b.clone(); // dirty on purpose
+        a.rotate_into(k, &mut rotated);
+        assert_eq!(rotated, a.rotate(k), "case {case}, k = {k}: rotate_into");
+
+        let mut fused = a.clone();
+        fused.xor_rotated(&b, k);
+        assert_eq!(
+            fused,
+            a.bind(&b.rotate(k)),
+            "case {case}, k = {k}: xor_rotated"
+        );
+        // Padding stays clean through the in-place path.
+        assert_eq!(
+            fused.to_binary().count_ones(),
+            fused.count_ones(),
+            "case {case}: padding bits leaked"
+        );
+    }
+}
+
+/// The streaming `BitslicedBundler` computes exactly the scalar
+/// `majority_paper` of the golden model, for every count (odd, even,
+/// single) and across accumulator reuse.
+#[test]
+fn bitsliced_bundler_equals_scalar_majority() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case as u64);
+        let words = draw(&mut rng, 1, 16);
+        let mut bundler = BitslicedBundler::new(words);
+        let mut out = Hv64::zeros(words);
+        // Two rounds through one accumulator: reuse must be stateless.
+        for round in 0..2 {
+            let n = draw(&mut rng, 1, 10);
+            let inputs: Vec<BinaryHv> = (0..n).map(|_| hv(words, &mut rng)).collect();
+            let packed: Vec<Hv64> = inputs.iter().map(Hv64::from_binary).collect();
+            for input in &packed {
+                bundler.add(input);
+            }
+            bundler.majority_paper_into(&mut out);
+            assert_eq!(
+                out.to_binary(),
+                majority_paper(&inputs),
+                "case {case}, round {round}, n = {n}: streaming form"
+            );
+            // The word-major register-resident form agrees too.
+            BitslicedBundler::bundle_paper_into(n, |i| &packed[i], &mut out);
+            assert_eq!(
+                out.to_binary(),
+                majority_paper(&inputs),
+                "case {case}, round {round}, n = {n}: word-major form"
+            );
+        }
+    }
+}
+
+/// The early-exit AM scan agrees with the full scan on the class for
+/// every input — including adversarial tie-heavy prototype sets — and
+/// its distances are lower bounds that never undercut the winner.
+#[test]
+fn pruned_scan_equals_full_scan_class() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case as u64);
+        let words = draw(&mut rng, 1, 20);
+        let classes = draw(&mut rng, 1, 9);
+        let mut prototypes: Vec<Hv64> = (0..classes)
+            .map(|_| Hv64::from_binary(&hv(words, &mut rng)))
+            .collect();
+        // Half the cases get rigged with duplicate and near-duplicate
+        // prototypes so exact distance ties are common, stressing the
+        // first-minimum tie order.
+        if case % 2 == 0 && classes >= 2 {
+            let src = draw(&mut rng, 0, classes);
+            let dst = draw(&mut rng, 0, classes);
+            prototypes[dst] = prototypes[src].clone();
+            let near = draw(&mut rng, 0, classes);
+            let mut tweaked = prototypes[near].to_binary();
+            let bit = draw(&mut rng, 0, tweaked.dim());
+            tweaked.set_bit(bit, !tweaked.bit(bit));
+            prototypes[near] = Hv64::from_binary(&tweaked);
+        }
+        let query = Hv64::from_binary(&hv(words, &mut rng));
+        let full: Vec<u32> = prototypes.iter().map(|p| p.hamming(&query)).collect();
+        let expected_class = full
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &d)| d)
+            .map(|(i, _)| i)
+            .unwrap();
+        let mut pruned = Vec::new();
+        let class = scan_pruned_into(&prototypes, &query, &mut pruned);
+        assert_eq!(class, expected_class, "case {case}: class diverged");
+        assert_eq!(
+            pruned[class], full[class],
+            "case {case}: winning distance must be exact"
+        );
+        for (k, (&p, &f)) in pruned.iter().zip(&full).enumerate() {
+            assert!(p <= f, "case {case}, class {k}: not a lower bound");
+            assert!(
+                k == class || p >= full[class],
+                "case {case}, class {k}: undercuts the winner"
+            );
+        }
     }
 }
 
