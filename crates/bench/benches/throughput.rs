@@ -10,17 +10,30 @@
 //!
 //! Besides the human-readable report, the run records every
 //! windows/second figure in `BENCH_throughput.json` at the workspace
-//! root so the perf trajectory is tracked across PRs.
+//! root — together with the SIMD kernel level the process selected
+//! (`"simd": "avx2" | "portable"`) and per-kernel microbenchmarks
+//! (bind / bundle / AM scan in `u64` words per second) — so the perf
+//! trajectory is tracked across PRs and wins are attributable to the
+//! kernel that moved.
 //!
 //! Exits non-zero if the multi-threaded fast backend fails to beat the
-//! looped golden backend on the large batch — the regression guard for
-//! the batched classification pipeline.
+//! looped golden backend on the large batch, or if the threaded path
+//! falls behind the single-threaded one (`fast/mt >= 0.95 ×
+//! fast/1thread` at every batch size) — the regression guards for the
+//! batched classification pipeline and its adaptive fan-out.
+//!
+//! The `accel_sim` row is a **cycle-accurate simulator** timed for
+//! scale only: its wall-clock is the cost of simulating the hardware,
+//! not a host-throughput contender, and no guard reads it.
 //!
 //! Run with: `cargo bench -p pulp-hd-bench --bench throughput`
 
 use std::fmt::Write as _;
+use std::hint::black_box;
 
 use emg::{Dataset, SynthConfig};
+use hdc::hv64::{BitslicedBundler, Hv64};
+use hdc::{BinaryHv, Simd};
 use pulp_hd_bench::timing::bench;
 use pulp_hd_core::backend::{
     AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy,
@@ -57,7 +70,20 @@ fn emg_windows(count: usize) -> Vec<Vec<Vec<u16>>> {
     windows.into_iter().take(count).map(|w| w.codes).collect()
 }
 
-fn write_json(params: &AccelParams, threads: usize, rows: &[Row], speedup: f64) {
+/// One per-kernel microbenchmark point: `u64` words processed per
+/// second through the dispatched kernel.
+struct KernelRow {
+    kernel: &'static str,
+    words64_per_sec: f64,
+}
+
+fn write_json(
+    params: &AccelParams,
+    threads: usize,
+    rows: &[Row],
+    kernels: &[KernelRow],
+    speedup: f64,
+) {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"throughput\",");
@@ -71,6 +97,7 @@ fn write_json(params: &AccelParams, threads: usize, rows: &[Row], speedup: f64) 
         params.n_words, params.channels, params.levels, params.ngram, params.classes
     );
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"simd\": \"{}\",", Simd::active().name());
     let _ = writeln!(json, "  \"results\": [");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -81,6 +108,16 @@ fn write_json(params: &AccelParams, threads: usize, rows: &[Row], speedup: f64) 
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"kernels\": [");
+    for (i, k) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"words64_per_sec\": {:.0} }}{comma}",
+            k.kernel, k.words64_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
         "  \"speedup_fast_mt_vs_golden_batch256\": {speedup:.2}"
@@ -88,6 +125,48 @@ fn write_json(params: &AccelParams, threads: usize, rows: &[Row], speedup: f64) 
     let _ = writeln!(json, "}}");
     std::fs::write(JSON_PATH, json).expect("write BENCH_throughput.json");
     println!("results recorded in {JSON_PATH}");
+}
+
+/// Times the dispatched hot kernels in isolation on paper-shaped
+/// (313-u32-word ≙ 157-u64-word) hypervectors, so cross-PR wins are
+/// attributable: bind (XOR), the 5-way carry-save bundle, and the full
+/// AM distance scan.
+fn kernel_microbench() -> Vec<KernelRow> {
+    const WORDS64: f64 = 157.0;
+    let inputs: Vec<Hv64> = (0..5)
+        .map(|s| Hv64::from_binary(&BinaryHv::random(313, 0xD15B + s)))
+        .collect();
+    let mut out = Hv64::zeros(313);
+    let iters = 200_000;
+
+    let mut acc = inputs[0].clone();
+    let bind = bench("kernel/bind/313w", iters, || {
+        acc.xor_assign(black_box(&inputs[1]));
+    });
+    let bundle = bench("kernel/bundle5/313w", iters, || {
+        BitslicedBundler::bundle_paper_into(5, |i| black_box(&inputs[i]), &mut out);
+    });
+    let query = inputs[4].clone();
+    let am_scan = bench("kernel/am_scan5/313w", iters, || {
+        inputs
+            .iter()
+            .map(|p| black_box(p).hamming(&query))
+            .sum::<u32>()
+    });
+    vec![
+        KernelRow {
+            kernel: "bind",
+            words64_per_sec: WORDS64 * bind.rate(),
+        },
+        KernelRow {
+            kernel: "bundle5",
+            words64_per_sec: 5.0 * WORDS64 * bundle.rate(),
+        },
+        KernelRow {
+            kernel: "am_scan5",
+            words64_per_sec: 5.0 * WORDS64 * am_scan.rate(),
+        },
+    ]
 }
 
 fn main() {
@@ -108,9 +187,16 @@ fn main() {
         .prepare(&model)
         .expect("fast-pruned prepare");
 
-    println!("backend throughput, 10,016-D EMG model, windows of 5 samples × 4 channels\n");
+    println!(
+        "backend throughput, 10,016-D EMG model, windows of 5 samples × 4 channels \
+         (simd: {})\n",
+        Simd::active().name()
+    );
     let mut rows: Vec<Row> = Vec::new();
     let mut headline = None;
+    // (batch, single-thread w/s, multi-thread w/s) for the adaptive
+    // fan-out guard.
+    let mut mt_ratios: Vec<(usize, f64, f64)> = Vec::new();
     for batch in [1usize, 32, 256] {
         let batch_windows = &windows[..batch];
         // Keep ≥8 timed iterations even at the largest batch: the
@@ -124,14 +210,27 @@ fn main() {
                 .map(|w| golden.classify(w).unwrap())
                 .collect::<Vec<_>>()
         });
-        let f1 = bench(&format!("fast/1thread/batch{batch}"), iters, || {
-            fast1.classify_batch(batch_windows).unwrap()
-        });
-        let fm = bench(
-            &format!("fast/{threads}threads/batch{batch}"),
-            iters,
-            || fast_mt.classify_batch(batch_windows).unwrap(),
-        );
+        // The single- vs multi-thread comparison gates CI at a tight
+        // 0.95 ratio, so measure the two guarded backends interleaved
+        // and keep each one's best of three runs: wall-clock noise only
+        // ever slows a run down, and interleaving decorrelates machine
+        // drift (frequency, cache state) from the backend under test.
+        let mut f1_secs = f64::INFINITY;
+        let mut fm_secs = f64::INFINITY;
+        for rep in 0..3 {
+            let f1 = bench(
+                &format!("fast/1thread/batch{batch}/rep{rep}"),
+                iters,
+                || fast1.classify_batch(batch_windows).unwrap(),
+            );
+            let fm = bench(
+                &format!("fast/{threads}threads/batch{batch}/rep{rep}"),
+                iters,
+                || fast_mt.classify_batch(batch_windows).unwrap(),
+            );
+            f1_secs = f1_secs.min(f1.per_iter().as_secs_f64());
+            fm_secs = fm_secs.min(fm.per_iter().as_secs_f64());
+        }
         let fp = bench(
             &format!("fast-pruned/{threads}threads/batch{batch}"),
             iters,
@@ -140,8 +239,8 @@ fn main() {
 
         let wps = |secs_per_batch: f64| batch as f64 / secs_per_batch;
         let g_wps = wps(g.per_iter().as_secs_f64());
-        let f1_wps = wps(f1.per_iter().as_secs_f64());
-        let fm_wps = wps(fm.per_iter().as_secs_f64());
+        let f1_wps = wps(f1_secs);
+        let fm_wps = wps(fm_secs);
         let fp_wps = wps(fp.per_iter().as_secs_f64());
         println!(
             "  batch {batch:>3}: golden {g_wps:>9.0} w/s   fast×1 {f1_wps:>9.0} w/s   \
@@ -167,8 +266,9 @@ fn main() {
             batch,
             windows_per_sec: fp_wps,
         });
+        mt_ratios.push((batch, f1_wps, fm_wps));
         if batch == 256 {
-            headline = Some((g.per_iter().as_secs_f64(), fm.per_iter().as_secs_f64()));
+            headline = Some((g.per_iter().as_secs_f64(), fm_secs));
         }
     }
 
@@ -192,12 +292,28 @@ fn main() {
         windows_per_sec: 1.0 / a.per_iter().as_secs_f64(),
     });
 
+    println!(
+        "\nper-kernel microbenchmarks (dispatched level: {})",
+        Simd::active().name()
+    );
+    let kernels = kernel_microbench();
+
     let (golden_t, fast_t) = headline.expect("batch 256 measured");
     let speedup = golden_t / fast_t;
     println!("\nfast backend ({threads} threads, batch 256) vs looped golden: {speedup:.2}x");
-    write_json(&params, threads, &rows, speedup);
+    write_json(&params, threads, &rows, &kernels, speedup);
     assert!(
         speedup > 1.0,
         "multi-threaded fast backend must beat the looped golden baseline, got {speedup:.2}x"
     );
+    // The adaptive fan-out guard: with the persistent pool and the
+    // small-batch cutover, the threaded path must never fall
+    // meaningfully behind the single-threaded one at any batch size.
+    for (batch, f1_wps, fm_wps) in mt_ratios {
+        assert!(
+            fm_wps >= 0.95 * f1_wps,
+            "fast/mt regressed below fast/1thread at batch {batch}: \
+             {fm_wps:.0} w/s vs {f1_wps:.0} w/s"
+        );
+    }
 }

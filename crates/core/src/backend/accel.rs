@@ -13,6 +13,14 @@
 //! [`classify`](super::BackendSession::classify) requires
 //! `window.len() == ngram`; use a host backend for sliding-window
 //! bundling.
+//!
+//! **This backend is a cycle-accurate simulator, not a slow engine.**
+//! Every instruction of the generated kernels is stepped through the
+//! [`pulp_sim`] cluster model, so its host wall-clock measures the cost
+//! of *simulation* (typically a few thousand windows/sec) while its
+//! [`CycleBreakdown`] models what the silicon would take. Keep it out
+//! of host-throughput comparisons — the throughput bench reports its
+//! `accel_sim` row for scale only and excludes it from every guard.
 
 use crate::pipeline::AccelChain;
 use crate::platform::Platform;
@@ -20,6 +28,10 @@ use crate::platform::Platform;
 use super::{BackendError, BackendSession, CycleBreakdown, ExecutionBackend, HdModel, Verdict};
 
 /// The cycle-accurate simulated-platform backend.
+///
+/// Wall-clock here is simulation cost, not achievable host throughput —
+/// see the [module docs](self) before comparing it against the host
+/// backends.
 #[derive(Debug, Clone)]
 pub struct AccelBackend {
     platform: Platform,

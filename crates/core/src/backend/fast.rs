@@ -1,13 +1,17 @@
 //! The throughput backend: the HD chain on `u64`-packed hypervectors
-//! with a zero-allocation encode hot path and multi-threaded batch
-//! classification.
+//! with a zero-allocation encode hot path, runtime-dispatched SIMD
+//! kernels, and a persistent multi-threaded batch pipeline.
 //!
-//! Four things make it fast while staying bit-identical to the golden
+//! Five things make it fast while staying bit-identical to the golden
 //! model (property tests pin this — see `tests/` here and at the
 //! workspace root):
 //!
 //! * hypervectors are repacked into [`Hv64`] words, halving the word
 //!   count of every bind/rotate/majority/popcount;
+//! * every word loop of those kernels dispatches through
+//!   [`hdc::simd::Simd`] — AVX2/POPCNT lanes when the CPU has them, a
+//!   portable unrolled fallback otherwise, selected once per process
+//!   (`BENCH_throughput.json` records which level a bench run used);
 //! * the `channels × levels` bind table `IM[c] ⊕ CIM[l]` is
 //!   precomputed at [`prepare`](super::ExecutionBackend::prepare) time,
 //!   removing one XOR per channel per sample from the hot path;
@@ -22,10 +26,18 @@
 //!   [`Verdict`] still owns its two output buffers — the distances
 //!   vector and the unpacked query — which are the only per-window
 //!   allocations left);
-//! * [`classify_batch`](super::BackendSession::classify_batch) splits
-//!   the batch across OS threads, each worker carrying its own arena
-//!   (the shared session state is immutable, so windows are
-//!   embarrassingly parallel).
+//! * [`classify_batch`](super::BackendSession::classify_batch) feeds a
+//!   **persistent worker pool** owned by the session: workers are
+//!   spawned once at `prepare` time (one channel and one private
+//!   scratch arena each, never re-created per call), each batch is
+//!   split into contiguous chunks with the calling thread working chunk
+//!   0 alongside the pool, and an adaptive cutover keeps small batches
+//!   inline on the calling thread — fanning out only when every
+//!   participant gets at least [`MIN_WINDOWS_PER_WORKER`] windows, so
+//!   the threaded path never loses to the single-threaded one. The
+//!   pool holds `min(threads, available_parallelism) - 1` workers:
+//!   oversubscribing a CPU-bound bit-kernel workload can only add
+//!   context switches.
 //!
 //! The associative-memory search is controlled by [`ScanPolicy`]: the
 //! default [`ScanPolicy::Full`] scans every prototype word and returns
@@ -38,12 +50,22 @@
 //! `crates/bench/benches/throughput.rs` measures all of it and records
 //! the numbers in `BENCH_throughput.json`.
 
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
 use hdc::hv64::{scan_pruned_into, BitslicedBundler, Hv64};
 use hdc::item_memory::quantize_code;
 
 use super::{
     argmin, validate_window, BackendError, BackendSession, ExecutionBackend, HdModel, Verdict,
 };
+
+/// Fewest windows a batch participant (the calling thread or a pool
+/// worker) must receive before fanning out pays for its dispatch: below
+/// this, the batch runs inline on the calling thread.
+pub const MIN_WINDOWS_PER_WORKER: usize = 8;
 
 /// Associative-memory scan strategy of the [`FastBackend`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,9 +86,13 @@ pub enum ScanPolicy {
 
 /// The `u64`-packed multi-threaded host backend.
 ///
-/// The thread count applies to
-/// [`classify_batch`](super::BackendSession::classify_batch); single
-/// windows always run inline on the calling thread.
+/// The thread count is the **requested parallelism cap** for
+/// [`classify_batch`](super::BackendSession::classify_batch); the
+/// session it prepares sizes its persistent worker pool to
+/// `min(threads, available_parallelism)` participants and falls back to
+/// the calling thread for batches too small to split (see the [module
+/// docs](self)). Single windows always run inline on the calling
+/// thread.
 #[derive(Debug, Clone, Copy)]
 pub struct FastBackend {
     threads: usize,
@@ -85,7 +111,7 @@ impl FastBackend {
         }
     }
 
-    /// A backend with an explicit batch thread count.
+    /// A backend with an explicit batch thread cap.
     ///
     /// # Panics
     ///
@@ -106,7 +132,7 @@ impl FastBackend {
         self
     }
 
-    /// The configured batch thread count.
+    /// The configured batch thread cap.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
@@ -116,6 +142,41 @@ impl FastBackend {
     #[must_use]
     pub fn scan(&self) -> ScanPolicy {
         self.scan
+    }
+
+    /// [`prepare`](ExecutionBackend::prepare) with an explicit
+    /// participant count (callers + pool workers), bypassing the
+    /// `available_parallelism` clamp — the testable core of session
+    /// construction, also exercised on single-CPU hosts.
+    fn prepare_with_participants(
+        &self,
+        model: &HdModel,
+        participants: usize,
+    ) -> Result<FastSession, BackendError> {
+        let levels = model.levels();
+        let bound: Vec<Vec<Hv64>> = (0..model.channels())
+            .map(|c| {
+                (0..levels)
+                    .map(|l| Hv64::from_binary(&model.im().get(c).bind(model.cim().get(l))))
+                    .collect()
+            })
+            .collect();
+        let prototypes: Vec<Hv64> = model.prototypes().iter().map(Hv64::from_binary).collect();
+        let n_words32 = model.n_words();
+        let core = Arc::new(FastCore {
+            bound,
+            prototypes,
+            levels,
+            ngram: model.ngram(),
+            n_words32,
+            scan: self.scan,
+        });
+        let pool = WorkerPool::spawn(&core, participants.saturating_sub(1));
+        Ok(FastSession {
+            scratch: EncodeScratch::new(n_words32),
+            core,
+            pool,
+        })
     }
 }
 
@@ -134,36 +195,17 @@ impl ExecutionBackend for FastBackend {
     }
 
     fn prepare(&self, model: &HdModel) -> Result<Box<dyn BackendSession>, BackendError> {
-        let levels = model.levels();
-        let bound: Vec<Vec<Hv64>> = (0..model.channels())
-            .map(|c| {
-                (0..levels)
-                    .map(|l| Hv64::from_binary(&model.im().get(c).bind(model.cim().get(l))))
-                    .collect()
-            })
-            .collect();
-        let prototypes: Vec<Hv64> = model.prototypes().iter().map(Hv64::from_binary).collect();
-        let n_words32 = model.n_words();
-        let core = FastCore {
-            bound,
-            prototypes,
-            levels,
-            ngram: model.ngram(),
-            n_words32,
-            scan: self.scan,
-        };
-        Ok(Box::new(FastSession {
-            scratch: EncodeScratch::new(n_words32),
-            core,
-            threads: self.threads,
-        }))
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let session = self.prepare_with_participants(model, self.threads.min(cpus))?;
+        Ok(Box::new(session))
     }
 }
 
 /// Reusable per-thread encode arena: every intermediate buffer of the
 /// spatial → temporal → query chain, allocated once and recycled across
 /// windows. After it has grown to the longest window seen, the encode
-/// path performs zero heap allocations.
+/// path performs zero heap allocations. Pool workers each own one for
+/// the lifetime of the session, so repeated batches reuse warm arenas.
 #[derive(Debug)]
 struct EncodeScratch {
     /// Quantized level index per channel of the sample being encoded.
@@ -190,6 +232,7 @@ impl EncodeScratch {
 }
 
 /// The immutable, shareable part of a session: model tables and shape.
+/// Shared with the pool workers behind an [`Arc`].
 struct FastCore {
     /// `bound[c][l] = IM[c] ⊕ CIM[l]`, the per-sample bind table.
     bound: Vec<Vec<Hv64>>,
@@ -266,11 +309,135 @@ impl FastCore {
     }
 }
 
+/// A borrowed batch smuggled across the channel as a raw slice.
+///
+/// Soundness: `classify_batch` keeps a [`ResultDrain`] guard alive from
+/// the first dispatch until every dispatched chunk has reported back —
+/// on the happy path *and* during unwinding — so the pointee
+/// (`&[Vec<Vec<u16>>]` borrowed by the caller) strictly outlives all
+/// worker accesses, and workers only read.
+struct RawWindows {
+    ptr: *const Vec<Vec<u16>>,
+    len: usize,
+}
+
+// SAFETY: the pointee is a shared slice only read by the receiving
+// worker while the sending `classify_batch` call keeps the borrow alive
+// (its `ResultDrain` guard joins on the result channel before the
+// frame — panicking or not — can release the borrow).
+unsafe impl Send for RawWindows {}
+
+/// A chunk's completion message: chunk index + its verdicts.
+type ChunkResult = (usize, Result<Vec<Verdict>, BackendError>);
+
+/// One chunk of a batch, dispatched to a pool worker.
+struct Job {
+    windows: RawWindows,
+    /// Window range of this chunk within the batch.
+    range: Range<usize>,
+    /// Chunk index, for in-order reassembly.
+    chunk: usize,
+    /// Per-call result channel.
+    done: Sender<ChunkResult>,
+}
+
+/// Unwind guard for a batch in flight: counts dispatched chunks and, if
+/// the dispatching frame unwinds before collecting them (a worker died,
+/// or chunk 0 panicked), blocks in `drop` until every outstanding chunk
+/// has reported or every worker-held sender is gone — whichever comes
+/// first. Workers drop their `Job` (and its sender clone) when they
+/// finish or unwind, and in both cases they have stopped touching the
+/// batch slice by then, so once `drop` returns no worker can still see
+/// the caller's borrow.
+struct ResultDrain<'a> {
+    rx: &'a Receiver<ChunkResult>,
+    /// The dispatcher's own sender, dropped before draining so `recv`
+    /// can observe channel closure instead of deadlocking.
+    tx: Option<Sender<ChunkResult>>,
+    outstanding: usize,
+}
+
+impl Drop for ResultDrain<'_> {
+    fn drop(&mut self) {
+        self.tx = None;
+        while self.outstanding > 0 {
+            if self.rx.recv().is_err() {
+                break;
+            }
+            self.outstanding -= 1;
+        }
+    }
+}
+
+/// The session's persistent worker pool: long-lived threads, one job
+/// channel and one private [`EncodeScratch`] arena each. Spawned once
+/// at `prepare` time; dropped (channels closed, threads joined) with
+/// the session.
+struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(core: &Arc<FastCore>, workers: usize) -> Self {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let core = Arc::clone(core);
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
+            handles.push(std::thread::spawn(move || {
+                let mut scratch = EncodeScratch::new(core.n_words32);
+                while let Ok(job) = rx.recv() {
+                    // SAFETY: see `RawWindows` — the batch outlives the
+                    // job because the dispatcher waits for our `done`
+                    // message before returning.
+                    let windows =
+                        unsafe { std::slice::from_raw_parts(job.windows.ptr, job.windows.len) };
+                    let result = windows[job.range.clone()]
+                        .iter()
+                        .map(|w| core.classify_with(w, &mut scratch))
+                        .collect::<Result<Vec<_>, _>>();
+                    // A dropped receiver just means the dispatcher gave
+                    // up on the batch; keep serving future jobs.
+                    let _ = job.done.send((job.chunk, result));
+                }
+            }));
+            senders.push(tx);
+        }
+        Self { senders, handles }
+    }
+
+    fn workers(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's recv loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 struct FastSession {
-    core: FastCore,
-    /// Arena for single-window calls and single-threaded batches.
+    core: Arc<FastCore>,
+    /// Arena for single-window calls and inline (non-fanned) batches.
     scratch: EncodeScratch,
-    threads: usize,
+    pool: WorkerPool,
+}
+
+impl FastSession {
+    /// Adaptive fan-out for a batch: as many participants as the pool
+    /// offers, but never fewer than [`MIN_WINDOWS_PER_WORKER`] windows
+    /// each — `1` means "stay inline on the calling thread".
+    fn fan_out(&self, batch: usize) -> usize {
+        (self.pool.workers() + 1)
+            .min(batch / MIN_WINDOWS_PER_WORKER)
+            .max(1)
+    }
 }
 
 impl BackendSession for FastSession {
@@ -279,35 +446,63 @@ impl BackendSession for FastSession {
     }
 
     fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
-        let threads = self.threads.min(windows.len());
-        if threads <= 1 {
+        let fan_out = self.fan_out(windows.len());
+        if fan_out <= 1 {
             return windows
                 .iter()
                 .map(|w| self.core.classify_with(w, &mut self.scratch))
                 .collect();
         }
-        let chunk = windows.len().div_ceil(threads);
-        let core = &self.core;
-        let chunk_results: Vec<Result<Vec<Verdict>, BackendError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = windows
-                .chunks(chunk)
-                .map(|ws| {
-                    scope.spawn(move || {
-                        let mut scratch = EncodeScratch::new(core.n_words32);
-                        ws.iter()
-                            .map(|w| core.classify_with(w, &mut scratch))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
+        let chunk = windows.len().div_ceil(fan_out);
+        let n_chunks = windows.len().div_ceil(chunk);
+        let (done_tx, done_rx) = channel();
+        // From the first dispatch on, `drain` guarantees the workers are
+        // done with `windows` before this frame can unwind (see
+        // `ResultDrain`); every panic below happens under its watch.
+        let mut drain = ResultDrain {
+            rx: &done_rx,
+            tx: Some(done_tx),
+            outstanding: 0,
+        };
+        for idx in 1..n_chunks {
+            let range = idx * chunk..((idx + 1) * chunk).min(windows.len());
+            let done = drain
+                .tx
+                .as_ref()
+                .expect("dispatcher sender lives through dispatch")
+                .clone();
+            self.pool.senders[idx - 1]
+                .send(Job {
+                    windows: RawWindows {
+                        ptr: windows.as_ptr(),
+                        len: windows.len(),
+                    },
+                    range,
+                    chunk: idx,
+                    done,
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("classification worker panicked"))
-                .collect()
-        });
+                .expect("classification worker exited early");
+            drain.outstanding += 1;
+        }
+        // Only worker-held clones keep the result channel open now, so
+        // a dead worker surfaces as a recv error instead of a deadlock.
+        drain.tx = None;
+        // The calling thread is participant 0, on its warm arena.
+        let first = windows[..chunk]
+            .iter()
+            .map(|w| self.core.classify_with(w, &mut self.scratch))
+            .collect::<Result<Vec<_>, _>>();
+        let mut parts: Vec<Option<Result<Vec<Verdict>, BackendError>>> =
+            (0..n_chunks).map(|_| None).collect();
+        parts[0] = Some(first);
+        while drain.outstanding > 0 {
+            let (idx, result) = drain.rx.recv().expect("classification worker panicked");
+            drain.outstanding -= 1;
+            parts[idx] = Some(result);
+        }
         let mut out = Vec::with_capacity(windows.len());
-        for chunk in chunk_results {
-            out.extend(chunk?);
+        for part in parts {
+            out.extend(part.expect("every chunk reports exactly once")?);
         }
         Ok(out)
     }
@@ -340,6 +535,15 @@ mod tests {
             .collect()
     }
 
+    /// A session with a real worker pool of the given size, regardless
+    /// of how many CPUs the test host has — the pool path must be
+    /// exercised even on single-CPU machines.
+    fn pooled_session(backend: FastBackend, model: &HdModel, participants: usize) -> FastSession {
+        backend
+            .prepare_with_participants(model, participants)
+            .unwrap()
+    }
+
     /// The decisive property: fast == golden, bit for bit, across
     /// random shapes and inputs.
     #[test]
@@ -362,6 +566,82 @@ mod tests {
             let got = fast.classify_batch(&windows).unwrap();
             assert_eq!(got, expected, "case {case} with {params:?}");
         }
+    }
+
+    /// The pool path itself (forced fan-out, real worker threads) is
+    /// bit-identical to the inline path and to golden.
+    #[test]
+    fn worker_pool_path_matches_golden_and_inline() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x9001_1234);
+        for case in 0..6 {
+            let params = AccelParams {
+                n_words: 1 + rng.next_below(24) as usize,
+                channels: 1 + rng.next_below(6) as usize,
+                levels: 2 + rng.next_below(20) as usize,
+                ngram: 1 + rng.next_below(3) as usize,
+                classes: 2 + rng.next_below(5) as usize,
+            };
+            let model = HdModel::random(&params, rng.next_u64());
+            let samples = params.ngram + rng.next_below(4) as usize;
+            // Big enough that a 4-participant session genuinely fans out.
+            let windows = random_windows(
+                &params,
+                samples,
+                4 * MIN_WINDOWS_PER_WORKER + 3,
+                rng.next_u64(),
+            );
+            let mut golden = GoldenBackend.prepare(&model).unwrap();
+            let mut pooled = pooled_session(FastBackend::with_threads(4), &model, 4);
+            assert_eq!(pooled.fan_out(windows.len()), 4, "must exercise the pool");
+            let expected = golden.classify_batch(&windows).unwrap();
+            let got = pooled.classify_batch(&windows).unwrap();
+            assert_eq!(got, expected, "case {case} with {params:?}");
+        }
+    }
+
+    /// One session, many batches: the persistent pool and its warm
+    /// per-worker arenas must not leak state between batches (varying
+    /// batch sizes cross the inline/fan-out cutover repeatedly).
+    #[test]
+    fn pool_is_reusable_across_batches_of_varying_size() {
+        let params = AccelParams {
+            n_words: 12,
+            ngram: 2,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 88);
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let mut pooled = pooled_session(FastBackend::with_threads(3), &model, 3);
+        for (round, count) in [40usize, 1, 25, 3, 64, 0, 17].iter().enumerate() {
+            let windows = random_windows(&params, 4, *count, 500 + round as u64);
+            let expected = golden.classify_batch(&windows).unwrap();
+            let got = pooled.classify_batch(&windows).unwrap();
+            assert_eq!(got, expected, "round {round} with {count} windows");
+        }
+    }
+
+    /// The adaptive cutover: small batches stay inline, large batches
+    /// use every participant, and nobody gets less than the minimum
+    /// chunk.
+    #[test]
+    fn fan_out_heuristic_scales_with_batch_size() {
+        let params = AccelParams {
+            n_words: 4,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 5);
+        let session = pooled_session(FastBackend::with_threads(4), &model, 4);
+        assert_eq!(session.pool.workers(), 3);
+        assert_eq!(session.fan_out(0), 1);
+        assert_eq!(session.fan_out(1), 1);
+        assert_eq!(session.fan_out(MIN_WINDOWS_PER_WORKER), 1);
+        assert_eq!(session.fan_out(2 * MIN_WINDOWS_PER_WORKER), 2);
+        assert_eq!(session.fan_out(4 * MIN_WINDOWS_PER_WORKER), 4);
+        assert_eq!(session.fan_out(100 * MIN_WINDOWS_PER_WORKER), 4);
+        // A single-participant session never fans out.
+        let solo = pooled_session(FastBackend::with_threads(1), &model, 1);
+        assert_eq!(solo.pool.workers(), 0);
+        assert_eq!(solo.fan_out(usize::MAX), 1);
     }
 
     /// The pruned scan trades distance exactness for speed but must
@@ -452,7 +732,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_order_is_preserved_across_thread_counts() {
+    fn batch_order_is_preserved_across_participant_counts() {
         let params = AccelParams {
             n_words: 16,
             ..AccelParams::emg_default()
@@ -461,12 +741,16 @@ mod tests {
         let windows = random_windows(&params, 1, 37, 5);
         let mut one = FastBackend::with_threads(1).prepare(&model).unwrap();
         let sequential = one.classify_batch(&windows).unwrap();
-        for threads in [2usize, 4, 8] {
-            let mut many = FastBackend::with_threads(threads).prepare(&model).unwrap();
+        for participants in [2usize, 4, 8] {
+            let mut many = pooled_session(
+                FastBackend::with_threads(participants),
+                &model,
+                participants,
+            );
             assert_eq!(
                 many.classify_batch(&windows).unwrap(),
                 sequential,
-                "{threads} threads"
+                "{participants} participants"
             );
         }
     }
@@ -493,12 +777,13 @@ mod tests {
     }
 
     #[test]
-    fn batch_surfaces_input_errors() {
+    fn batch_surfaces_input_errors_inline_and_pooled() {
         let params = AccelParams {
             n_words: 8,
             ..AccelParams::emg_default()
         };
         let model = HdModel::random(&params, 2);
+        // Inline path (batch below the fan-out cutover).
         let mut session = FastBackend::with_threads(4).prepare(&model).unwrap();
         let mut windows = random_windows(&params, 1, 8, 3);
         windows[5] = vec![vec![0u16; 3]]; // wrong channel count
@@ -506,6 +791,21 @@ mod tests {
             session.classify_batch(&windows),
             Err(BackendError::Input(_))
         ));
+        // Pool path: the bad window sits in a worker's chunk.
+        let mut pooled = pooled_session(FastBackend::with_threads(4), &model, 4);
+        let mut windows = random_windows(&params, 1, 4 * MIN_WINDOWS_PER_WORKER, 3);
+        let last = windows.len() - 1;
+        windows[last] = vec![vec![0u16; 3]];
+        assert!(matches!(
+            pooled.classify_batch(&windows),
+            Err(BackendError::Input(_))
+        ));
+        // The pool survives the failed batch and still classifies.
+        let windows = random_windows(&params, 1, 4 * MIN_WINDOWS_PER_WORKER, 9);
+        assert_eq!(
+            pooled.classify_batch(&windows).unwrap().len(),
+            windows.len()
+        );
     }
 
     #[test]
@@ -517,6 +817,21 @@ mod tests {
         let model = HdModel::random(&params, 2);
         let mut session = FastBackend::new().prepare(&model).unwrap();
         assert!(session.classify_batch(&[]).unwrap().is_empty());
+    }
+
+    /// Dropping a session joins its workers without hanging, even when
+    /// jobs ran beforehand.
+    #[test]
+    fn dropping_a_session_shuts_the_pool_down() {
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 7);
+        let mut pooled = pooled_session(FastBackend::with_threads(4), &model, 4);
+        let windows = random_windows(&params, 1, 4 * MIN_WINDOWS_PER_WORKER, 1);
+        pooled.classify_batch(&windows).unwrap();
+        drop(pooled); // must not deadlock or leak threads
     }
 
     #[test]

@@ -17,14 +17,22 @@
 //!   reference every other backend must match bit for bit.
 //! * [`AccelBackend`] — the simulated PULP cluster
 //!   ([`AccelChain`](crate::pipeline::AccelChain)); the only backend
-//!   that reports cycles.
+//!   that reports cycles. It is a **cycle-accurate simulator**: its
+//!   wall-clock is the cost of *simulating* the hardware
+//!   instruction by instruction, not a host-throughput figure, so it is
+//!   excluded from throughput comparisons (the `accel_sim` row in
+//!   `BENCH_throughput.json` is reported for scale only).
 //! * [`FastBackend`] — a throughput-oriented pure-Rust engine on
-//!   `u64`-packed hypervectors with a zero-allocation encode hot path
-//!   (per-thread scratch arena + bit-sliced carry-save bundling) and
-//!   multi-threaded batch classification. Its associative-memory search
-//!   is selectable via [`ScanPolicy`]: the default full scan returns
-//!   exact distances, the pruned scan early-exits prototypes that
-//!   cannot win (same class, lower-bound distances).
+//!   `u64`-packed hypervectors with runtime-dispatched SIMD kernels
+//!   ([`hdc::simd::Simd`]: AVX2/POPCNT when the CPU has them, portable
+//!   unrolled fallback otherwise), a zero-allocation encode hot path
+//!   (per-thread scratch arena + bit-sliced carry-save bundling), and
+//!   batch classification over a persistent session-owned worker pool
+//!   with an adaptive single-thread cutover for small batches. Its
+//!   associative-memory search is selectable via [`ScanPolicy`]: the
+//!   default full scan returns exact distances, the pruned scan
+//!   early-exits prototypes that cannot win (same class, lower-bound
+//!   distances).
 //!
 //! All three produce identical classes, distances, and query
 //! hypervectors on identical inputs; `tests/determinism.rs` and

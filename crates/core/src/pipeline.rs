@@ -11,6 +11,14 @@
 //! [`native_reference`] computes the same classification in pure Rust
 //! via the `hdc` golden model; integration tests assert the two are
 //! **bit-identical** on queries and distances.
+//!
+//! Because every kernel instruction is stepped through the simulated
+//! cluster, the wall-clock of [`classify`](AccelChain::classify) is the
+//! price of cycle-accurate *simulation* — orders of magnitude below the
+//! host backends and unrelated to the modeled silicon's speed. Use the
+//! reported cycle regions for hardware claims and the host backends for
+//! host-throughput claims; the throughput bench lists this chain
+//! (`accel_sim`) for scale only.
 
 use hdc::bundle::majority_paper;
 use hdc::encoder::ngram;

@@ -224,7 +224,8 @@ impl AssociativeMemory {
 
     /// Nearest-prototype classification with an exact early-exit
     /// ("pruned") scan: a prototype's word loop is abandoned as soon as
-    /// its partial Hamming distance exceeds the running minimum.
+    /// its partial Hamming distance exceeds the running minimum at a
+    /// 512-bit block boundary.
     ///
     /// The returned class is **always** identical to
     /// [`classify_finalized`](Self::classify_finalized) — an abandoned
@@ -237,6 +238,11 @@ impl AssociativeMemory {
     /// partial distance at the abandonment point, a lower bound on the
     /// true distance that still exceeds the winning distance.
     ///
+    /// Abandonment points sit at the same 512-bit boundaries on both
+    /// representations, so the reported distances equal
+    /// `hdc::hv64::scan_pruned_into`'s entry for entry regardless of
+    /// packing or SIMD level.
+    ///
     /// # Panics
     ///
     /// Panics if widths differ, or (in debug builds) if any prototype is
@@ -247,6 +253,8 @@ impl AssociativeMemory {
             self.stale.iter().all(|&s| !s),
             "classify_pruned called with stale prototypes"
         );
+        // 16 u32 words = 512 bits, the block size of the packed scan.
+        const BLOCK_WORDS32: usize = 16;
         let mut best = u32::MAX;
         let mut best_class = 0usize;
         let mut distances = Vec::with_capacity(self.prototypes.len());
@@ -259,8 +267,16 @@ impl AssociativeMemory {
                 query.n_words()
             );
             let mut d = 0u32;
-            for (a, b) in p.words().iter().zip(query.words().iter()) {
-                d += (a ^ b).count_ones();
+            for (pa, qa) in p
+                .words()
+                .chunks(BLOCK_WORDS32)
+                .zip(query.words().chunks(BLOCK_WORDS32))
+            {
+                d += pa
+                    .iter()
+                    .zip(qa)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum::<u32>();
                 if d > best {
                     break;
                 }
@@ -439,6 +455,34 @@ mod tests {
                         "center {i}, class {k}: cannot undercut the winner"
                     );
                 }
+            }
+        }
+    }
+
+    /// The `u32` pruned scan and the `u64`-packed pruned scan abandon
+    /// prototypes at the same 512-bit block boundaries, so their
+    /// distance vectors agree entry for entry — not just in class.
+    #[test]
+    fn pruned_distances_match_the_packed_scan_exactly() {
+        use crate::hv64::{scan_pruned_into, Hv64};
+        let (mut am, centers) = trained_am();
+        am.finalize();
+        let packed: Vec<Hv64> = (0..am.n_classes())
+            .map(|class| Hv64::from_binary(am.prototype(class)))
+            .collect();
+        let mut packed_distances = Vec::new();
+        for (i, center) in centers.iter().enumerate() {
+            for seed in 0..6 {
+                let query = center.with_bit_flips(1200 + 250 * seed as usize, seed);
+                let scalar = am.classify_pruned(&query);
+                let class =
+                    scan_pruned_into(&packed, &Hv64::from_binary(&query), &mut packed_distances);
+                assert_eq!(scalar.class(), class, "center {i}, seed {seed}");
+                assert_eq!(
+                    scalar.distances(),
+                    &packed_distances[..],
+                    "center {i}, seed {seed}: distances must match block for block"
+                );
             }
         }
     }

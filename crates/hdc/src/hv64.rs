@@ -21,12 +21,19 @@
 //! [`BitslicedBundler`], and the early-exit associative-memory scan
 //! [`scan_pruned_into`].
 //!
+//! Every word loop of those building blocks executes through the
+//! runtime-dispatched kernel layer in [`crate::simd`]: an AVX2/POPCNT
+//! specialization when the CPU has it, a portable unrolled fallback
+//! otherwise, both bit-identical (see the `simd` module docs for the
+//! dispatch and override rules).
+//!
 //! [`FastBackend`]: ../../pulp_hd_core/backend/fast/index.html
 //! (in-repo: `crates/core/src/backend/fast.rs`)
 
 use core::fmt;
 
 use crate::hv::{BinaryHv, BITS_PER_WORD};
+use crate::simd::Simd;
 
 /// Number of binary components packed into one `u64` word.
 pub const BITS_PER_WORD64: usize = 64;
@@ -127,7 +134,7 @@ impl Hv64 {
     /// Number of components set to one.
     #[must_use]
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        Simd::active().popcount(&self.words)
     }
 
     /// Componentwise XOR — the HD *multiplication* (binding) operation.
@@ -163,9 +170,7 @@ impl Hv64 {
             "hypervector width mismatch: {} vs {} u32 words",
             self.n_words32, other.n_words32
         );
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a ^= *b;
-        }
+        Simd::active().xor_into(&mut self.words, &other.words);
     }
 
     /// Overwrites `self` with `other`'s bit pattern without allocating.
@@ -194,11 +199,7 @@ impl Hv64 {
             "hypervector width mismatch: {} vs {} u32 words",
             self.n_words32, other.n_words32
         );
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        Simd::active().hamming(&self.words, &other.words)
     }
 
     /// ρᵏ: rotates all components left by `k` positions modulo the
@@ -223,17 +224,7 @@ impl Hv64 {
             "hypervector width mismatch: {} vs {} u32 words",
             self.n_words32, out.n_words32
         );
-        let dim = self.dim();
-        let k = k % dim;
-        if k == 0 {
-            out.copy_from(self);
-            return;
-        }
-        let geom = RotateGeometry::new(dim, k);
-        for (j, o) in out.words.iter_mut().enumerate() {
-            *o = geom.word(&self.words, j);
-        }
-        geom.mask_tail(&mut out.words);
+        Simd::active().rotate_into_words(&mut out.words, &self.words, self.dim(), k);
     }
 
     /// Fused bind-rotate: `self ^= rotate(other, k)` with no temporary
@@ -250,92 +241,7 @@ impl Hv64 {
             self.n_words32, other.n_words32
         );
         let dim = self.dim();
-        let k = k % dim;
-        if k == 0 {
-            self.xor_assign(other);
-            return;
-        }
-        let geom = RotateGeometry::new(dim, k);
-        let last = self.words.len() - 1;
-        for (j, w) in self.words.iter_mut().enumerate() {
-            let mut r = geom.word(&other.words, j);
-            if j == last && geom.tail != 0 {
-                r &= (1u64 << geom.tail) - 1;
-            }
-            *w ^= r;
-        }
-    }
-}
-
-/// Per-word geometry of a `dim`-bit left rotation by `k` over
-/// little-endian `u64` words: `rotl(x, k) = ((x << k) | (x >> (dim - k)))
-/// mod 2^dim`, evaluated one output word at a time so rotations can be
-/// streamed into existing buffers without big-integer temporaries.
-struct RotateGeometry {
-    /// Word/bit split of the left-shift part (`<< k`).
-    shl_words: usize,
-    shl_bits: usize,
-    /// Word/bit split of the wrap part (`>> (dim - k)`).
-    shr_words: usize,
-    shr_bits: usize,
-    /// Valid bits in the top word (0 when the dimension fills it).
-    tail: usize,
-}
-
-impl RotateGeometry {
-    fn new(dim: usize, k: usize) -> Self {
-        debug_assert!(k > 0 && k < dim);
-        let wrap = dim - k;
-        Self {
-            shl_words: k / BITS_PER_WORD64,
-            shl_bits: k % BITS_PER_WORD64,
-            shr_words: wrap / BITS_PER_WORD64,
-            shr_bits: wrap % BITS_PER_WORD64,
-            tail: dim % BITS_PER_WORD64,
-        }
-    }
-
-    /// Word `j` of the rotated vector (unmasked; the caller masks the
-    /// tail of the top word). The input's padding bits are zero, so the
-    /// big-integer shifts agree with `dim`-bit arithmetic.
-    #[inline]
-    fn word(&self, x: &[u64], j: usize) -> u64 {
-        let mut w = 0u64;
-        if j >= self.shl_words {
-            let lo = x[j - self.shl_words];
-            w |= if self.shl_bits == 0 {
-                lo
-            } else {
-                let carry = if j > self.shl_words {
-                    x[j - self.shl_words - 1] >> (BITS_PER_WORD64 - self.shl_bits)
-                } else {
-                    0
-                };
-                (lo << self.shl_bits) | carry
-            };
-        }
-        if j + self.shr_words < x.len() {
-            let hi = x[j + self.shr_words];
-            w |= if self.shr_bits == 0 {
-                hi
-            } else {
-                let carry = if j + self.shr_words + 1 < x.len() {
-                    x[j + self.shr_words + 1] << (BITS_PER_WORD64 - self.shr_bits)
-                } else {
-                    0
-                };
-                (hi >> self.shr_bits) | carry
-            };
-        }
-        w
-    }
-
-    fn mask_tail(&self, words: &mut [u64]) {
-        if self.tail != 0 {
-            if let Some(top) = words.last_mut() {
-                *top &= (1u64 << self.tail) - 1;
-            }
-        }
+        Simd::active().xor_rotated_words(&mut self.words, &other.words, dim, k);
     }
 }
 
@@ -469,15 +375,6 @@ pub fn majority_odd_bitsliced64(inputs: &[&Hv64]) -> Hv64 {
         words: out.into_boxed_slice(),
         n_words32,
     }
-}
-
-/// Bit-sliced full adder over 64 lanes: `(sum, carry)` of three
-/// one-bit addends per lane — the cell the carry-save majority
-/// networks are built from.
-#[inline]
-fn full_add(a: u64, b: u64, c: u64) -> (u64, u64) {
-    let ab = a ^ b;
-    (ab ^ c, (a & b) | (c & ab))
 }
 
 /// Streaming word-parallel majority accumulator — the zero-allocation
@@ -661,39 +558,37 @@ impl BitslicedBundler {
         let even = n % 2 == 0;
         let n_eff = n + usize::from(even);
         let n_words = out.words.len();
-        /// Width of the in-register counter (counts up to 1023 votes).
-        const PLANES: usize = 10;
+        let simd = Simd::active();
         match n_eff {
             3 if n == 2 => {
                 // majority({x, y, x⊕y}) at threshold 2 reduces to x | y.
-                let (a, b) = (&get(0).words, &get(1).words);
-                for wi in 0..n_words {
-                    out.words[wi] = a[wi] | b[wi];
-                }
+                simd.or_into(&get(0).words, &get(1).words, &mut out.words);
             }
             3 => {
-                let (a, b, c) = (&get(0).words, &get(1).words, &get(2).words);
-                for wi in 0..n_words {
-                    let (_, maj) = full_add(a[wi], b[wi], c[wi]);
-                    out.words[wi] = maj;
-                }
+                simd.maj3_into(&get(0).words, &get(1).words, &get(2).words, &mut out.words);
+            }
+            5 if n == 4 => {
+                // Two full adders + a 3-input combine, the fifth input
+                // being the in-register tie vector x0 ⊕ x1.
+                simd.maj5_tie_into(
+                    &get(0).words,
+                    &get(1).words,
+                    &get(2).words,
+                    &get(3).words,
+                    &mut out.words,
+                );
             }
             5 => {
-                // Two full adders + a 3-input combine: count >= 3 ⇔
-                // both carries, or one carry plus the final sum bit.
-                let (x0, x1, x2, x3) = (&get(0).words, &get(1).words, &get(2).words, &get(3).words);
-                for wi in 0..n_words {
-                    let x4 = if n == 4 {
-                        x0[wi] ^ x1[wi]
-                    } else {
-                        get(4).words[wi]
-                    };
-                    let (s1, c1) = full_add(x0[wi], x1[wi], x2[wi]);
-                    let (s2, c2) = full_add(s1, x3[wi], x4);
-                    out.words[wi] = (c1 & c2) | ((c1 | c2) & s2);
-                }
+                simd.maj5_into(
+                    &get(0).words,
+                    &get(1).words,
+                    &get(2).words,
+                    &get(3).words,
+                    &get(4).words,
+                    &mut out.words,
+                );
             }
-            n_eff if n_eff >= (1 << PLANES) => {
+            n_eff if n_eff >= (1 << crate::simd::RIPPLE_PLANES) => {
                 // The vote count overflows the in-register counter:
                 // fall back to the streaming heap-plane form, which has
                 // no input limit.
@@ -707,34 +602,13 @@ impl BitslicedBundler {
             _ => {
                 #[allow(clippy::cast_possible_truncation)]
                 let threshold = (n_eff / 2 + 1) as u32;
-                let t_bits = (32 - threshold.leading_zeros()) as usize;
-                for wi in 0..n_words {
-                    let mut planes = [0u64; PLANES];
-                    let mut used = 0usize;
-                    let ripple = |planes: &mut [u64; PLANES], used: &mut usize, w: u64| {
-                        let mut carry = w;
-                        let mut p = 0;
-                        while carry != 0 {
-                            let t = planes[p] & carry;
-                            planes[p] ^= carry;
-                            carry = t;
-                            p += 1;
-                        }
-                        *used = (*used).max(p);
-                    };
-                    for i in 0..n {
-                        ripple(&mut planes, &mut used, get(i).words[wi]);
-                    }
-                    if even {
-                        ripple(&mut planes, &mut used, get(0).words[wi] ^ get(1).words[wi]);
-                    }
-                    let mut borrow = 0u64;
-                    for (p, &plane) in planes.iter().enumerate().take(used.max(t_bits)) {
-                        let t = if threshold >> p & 1 == 1 { u64::MAX } else { 0 };
-                        borrow = (!plane & (t | borrow)) | (t & borrow);
-                    }
-                    out.words[wi] = !borrow;
-                }
+                simd.ripple_majority_into(
+                    n,
+                    |i| &get(i).words[..],
+                    even,
+                    threshold,
+                    &mut out.words,
+                );
             }
         }
         // Every path keeps padding clean (inputs are clean and the
@@ -822,6 +696,14 @@ impl BitslicedBundler {
 /// above the winner) therefore resolve the same way as on exact
 /// distances.
 ///
+/// Abandonment happens at fixed
+/// [`SCAN_BLOCK_WORDS64`](crate::simd::SCAN_BLOCK_WORDS64)-word
+/// (512-bit) block boundaries, identically on every
+/// [`Simd`](crate::simd::Simd) level, so the reported partial distances
+/// never depend on the CPU the scan ran on (and equal
+/// [`crate::AssociativeMemory::classify_pruned`]'s, which abandons at
+/// the same bit positions on the `u32`-packed representation).
+///
 /// # Panics
 ///
 /// Panics if `prototypes` is empty or any width differs from the
@@ -848,6 +730,7 @@ pub fn scan_pruned_into(prototypes: &[Hv64], query: &Hv64, distances: &mut Vec<u
         "associative-memory scan needs at least one prototype"
     );
     distances.clear();
+    let simd = Simd::active();
     let mut best = u32::MAX;
     let mut best_class = 0usize;
     for (class, p) in prototypes.iter().enumerate() {
@@ -856,13 +739,7 @@ pub fn scan_pruned_into(prototypes: &[Hv64], query: &Hv64, distances: &mut Vec<u
             "prototype width mismatch: {} vs {} u32 words",
             p.n_words32, query.n_words32
         );
-        let mut d = 0u32;
-        for (a, b) in p.words.iter().zip(query.words.iter()) {
-            d += (a ^ b).count_ones();
-            if d > best {
-                break;
-            }
-        }
+        let d = simd.hamming_bounded(&p.words, &query.words, best);
         if d < best {
             best = d;
             best_class = class;

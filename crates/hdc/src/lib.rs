@@ -42,6 +42,8 @@
 //! * [`encoder`] — spatial and temporal (N-gram) encoders.
 //! * [`am`] — associative memory and nearest-prototype classification.
 //! * [`classifier`] — the end-to-end chain.
+//! * [`simd`] — runtime-dispatched SIMD kernels (AVX2 with a portable
+//!   fallback) behind the `hv64` hot paths.
 //! * [`rng`] — deterministic generators (reproducibility is part of the
 //!   model definition).
 
@@ -56,6 +58,7 @@ pub mod hv;
 pub mod hv64;
 pub mod item_memory;
 pub mod rng;
+pub mod simd;
 
 pub use am::{AssociativeMemory, Classification};
 pub use bundle::{Bundler, TieBreak};
@@ -64,3 +67,4 @@ pub use encoder::{ngram, SpatialEncoder, TemporalEncoder};
 pub use hv::{words_for_dim, BinaryHv, BITS_PER_WORD};
 pub use hv64::{Hv64, BITS_PER_WORD64};
 pub use item_memory::{quantize_code, ContinuousItemMemory, ItemMemory};
+pub use simd::Simd;

@@ -1,0 +1,1412 @@
+//! Runtime-dispatched SIMD kernels for the `u64`-packed hot path.
+//!
+//! Every throughput-critical word loop of [`crate::hv64`] — XOR-bind,
+//! the fused bind-rotate, the carry-save majority networks, and the
+//! popcount Hamming distance / early-exit associative-memory scan —
+//! lives here twice:
+//!
+//! * an **AVX2/POPCNT** specialization (`unsafe fn` +
+//!   `#[target_feature]`, 256-bit lanes, `vpshufb` nibble popcount),
+//!   used when the CPU supports it;
+//! * a **portable** fallback written as 4×`u64` unrolled safe Rust that
+//!   the auto-vectorizer handles on any target — and that doubles as
+//!   the scalar reference the SIMD paths are property-tested against.
+//!
+//! The level is picked **once per process** at first use via
+//! [`is_x86_feature_detected!`]; `cargo build` on stable works
+//! everywhere because nothing is gated at compile time. Both levels are
+//! bit-identical on every kernel (the property suites pin this), so
+//! dispatch is purely a performance decision.
+//!
+//! Selection can be overridden:
+//!
+//! * **Environment:** setting `PULP_HD_FORCE_SCALAR=1` before first use
+//!   forces [`Simd::Portable`] for the whole process — CI runs the full
+//!   test suite this way so the fallback cannot rot.
+//! * **Code:** [`Simd::set_active`] swaps the process-wide level at any
+//!   point (safe, because the levels agree bit for bit), and every
+//!   kernel is also callable on an explicit level (`Simd::Portable
+//!   .hamming(..)`) for side-by-side testing.
+//!
+//! Adding a new specialization (e.g. AVX-512 or NEON) means: a new
+//! enum variant behind `cfg(target_arch)`, a sibling intrinsics module
+//! implementing the same kernel set, one arm per dispatch method, and a
+//! detection branch in [`Simd::detect`] — the property tests in
+//! `tests/simd_kernels.rs` then pin the new path to the portable
+//! reference automatically.
+
+use core::sync::atomic::{AtomicU8, Ordering};
+
+/// Output words per early-exit check of the bounded Hamming scan
+/// (512 bits). Both levels abandon prototypes at identical block
+/// boundaries, so pruned-scan distances never depend on the CPU.
+pub const SCAN_BLOCK_WORDS64: usize = 8;
+
+/// Counter planes of the in-register carry-save majority: votes up to
+/// `2^10 - 1` inputs.
+pub const RIPPLE_PLANES: usize = 10;
+
+/// Cached process-wide kernel level: 0 = undecided, 1 = portable,
+/// 2 = AVX2.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// A kernel dispatch level. See the [module docs](self) for the
+/// dispatch and override rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Simd {
+    /// 4×`u64` unrolled safe Rust — compiles anywhere, auto-vectorizes,
+    /// and serves as the scalar reference for every other level.
+    Portable,
+    /// 256-bit AVX2 lanes with POPCNT/`vpshufb` population counts.
+    ///
+    /// Methods on this variant panic if the running CPU lacks AVX2 or
+    /// POPCNT (the check is a cached atomic load), so the variant is
+    /// safe to name unconditionally.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl Simd {
+    /// The level the current process/CPU should use: the probed CPU
+    /// features, unless `PULP_HD_FORCE_SCALAR` is set to anything but
+    /// `0`/empty, which forces [`Simd::Portable`].
+    #[must_use]
+    pub fn detect() -> Self {
+        if std::env::var_os("PULP_HD_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0") {
+            return Self::Portable;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt") {
+            return Self::Avx2;
+        }
+        Self::Portable
+    }
+
+    /// The process-wide active level, detecting (and caching) it on
+    /// first use.
+    #[must_use]
+    pub fn active() -> Self {
+        match ACTIVE.load(Ordering::Relaxed) {
+            1 => Self::Portable,
+            #[cfg(target_arch = "x86_64")]
+            2 => Self::Avx2,
+            _ => {
+                let detected = Self::detect();
+                ACTIVE.store(detected.code(), Ordering::Relaxed);
+                detected
+            }
+        }
+    }
+
+    /// Overrides the process-wide level returned by [`Simd::active`].
+    ///
+    /// Intended for tests and experiments. Because every level computes
+    /// bit-identical results, flipping the level at any point — even
+    /// while other threads are mid-computation — only changes speed,
+    /// never output.
+    pub fn set_active(level: Self) {
+        ACTIVE.store(level.code(), Ordering::Relaxed);
+    }
+
+    /// Stable lowercase name, as recorded in `BENCH_throughput.json`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Portable => "portable",
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => "avx2",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Self::Portable => 1,
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => 2,
+        }
+    }
+
+    /// `dst ^= src` wordwise — the HD binding kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn xor_into(self, dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "kernel operand length mismatch");
+        match self {
+            Self::Portable => portable::xor_into(dst, src),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::xor_into(dst, src) }
+            }
+        }
+    }
+
+    /// Population count of a word slice.
+    #[must_use]
+    #[inline]
+    pub fn popcount(self, a: &[u64]) -> u32 {
+        match self {
+            Self::Portable => portable::popcount(a),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::popcount(a) }
+            }
+        }
+    }
+
+    /// Hamming distance (`popcount(a ^ b)`) — the AM-scan kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[must_use]
+    #[inline]
+    pub fn hamming(self, a: &[u64], b: &[u64]) -> u32 {
+        assert_eq!(a.len(), b.len(), "kernel operand length mismatch");
+        match self {
+            Self::Portable => portable::hamming(a, b),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::hamming(a, b) }
+            }
+        }
+    }
+
+    /// Early-exit Hamming distance: accumulates in
+    /// [`SCAN_BLOCK_WORDS64`]-word blocks and returns the partial sum
+    /// as soon as it exceeds `bound` at a block boundary (otherwise the
+    /// exact distance). Every level abandons at identical block
+    /// boundaries, so the returned partial is level-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[must_use]
+    #[inline]
+    pub fn hamming_bounded(self, a: &[u64], b: &[u64], bound: u32) -> u32 {
+        assert_eq!(a.len(), b.len(), "kernel operand length mismatch");
+        match self {
+            Self::Portable => portable::hamming_bounded(a, b, bound),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::hamming_bounded(a, b, bound) }
+            }
+        }
+    }
+
+    /// `out = a | b` wordwise — the 2-input paper majority
+    /// (`maj{x, y, x⊕y}` collapses to OR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `out`'s.
+    #[inline]
+    pub fn or_into(self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        assert!(
+            a.len() == out.len() && b.len() == out.len(),
+            "kernel operand length mismatch"
+        );
+        match self {
+            Self::Portable => portable::or_into(a, b, out),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::or_into(a, b, out) }
+            }
+        }
+    }
+
+    /// 3-input componentwise majority (one full adder per word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `out`'s.
+    #[inline]
+    pub fn maj3_into(self, x0: &[u64], x1: &[u64], x2: &[u64], out: &mut [u64]) {
+        assert!(
+            x0.len() == out.len() && x1.len() == out.len() && x2.len() == out.len(),
+            "kernel operand length mismatch"
+        );
+        match self {
+            Self::Portable => portable::maj3_into(x0, x1, x2, out),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::maj3_into(x0, x1, x2, out) }
+            }
+        }
+    }
+
+    /// 5-input componentwise majority (two full adders + combine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `out`'s.
+    #[inline]
+    pub fn maj5_into(
+        self,
+        x0: &[u64],
+        x1: &[u64],
+        x2: &[u64],
+        x3: &[u64],
+        x4: &[u64],
+        out: &mut [u64],
+    ) {
+        assert!(
+            x0.len() == out.len()
+                && x1.len() == out.len()
+                && x2.len() == out.len()
+                && x3.len() == out.len()
+                && x4.len() == out.len(),
+            "kernel operand length mismatch"
+        );
+        match self {
+            Self::Portable => portable::maj5_into(x0, x1, x2, x3, x4, out),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::maj5_into(x0, x1, x2, x3, x4, out) }
+            }
+        }
+    }
+
+    /// 5-input majority whose fifth input is the paper's tie-break
+    /// vector `x0 ⊕ x1`, computed in-register (the 4-input even vote).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `out`'s.
+    #[inline]
+    pub fn maj5_tie_into(self, x0: &[u64], x1: &[u64], x2: &[u64], x3: &[u64], out: &mut [u64]) {
+        assert!(
+            x0.len() == out.len()
+                && x1.len() == out.len()
+                && x2.len() == out.len()
+                && x3.len() == out.len(),
+            "kernel operand length mismatch"
+        );
+        match self {
+            Self::Portable => portable::maj5_tie_into(x0, x1, x2, x3, out),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::maj5_tie_into(x0, x1, x2, x3, out) }
+            }
+        }
+    }
+
+    /// Generic carry-save majority over `n` word slices accessed by
+    /// index, with the vote counters ("bundling planes") held in
+    /// registers: `out[w]` gets bit `c` set iff at least `threshold` of
+    /// the inputs (plus, when `even_tie`, the tie vector
+    /// `get(0) ⊕ get(1)`) have bit `c` of word `w` set.
+    ///
+    /// The effective vote count `n + even_tie` must stay below
+    /// `2^`[`RIPPLE_PLANES`]; wider votes belong to the streaming
+    /// accumulator ([`crate::hv64::BitslicedBundler`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `threshold == 0`, the vote count overflows
+    /// the counter, or any input length differs from `out`'s.
+    pub fn ripple_majority_into<'a, F>(
+        self,
+        n: usize,
+        get: F,
+        even_tie: bool,
+        threshold: u32,
+        out: &mut [u64],
+    ) where
+        F: Fn(usize) -> &'a [u64],
+    {
+        assert!(n > 0, "majority of an empty set is undefined");
+        assert!(threshold > 0, "majority threshold must be at least 1");
+        assert!(
+            n + usize::from(even_tie) < (1 << RIPPLE_PLANES),
+            "vote of {n} inputs overflows the {RIPPLE_PLANES}-plane counter"
+        );
+        for i in 0..n {
+            assert_eq!(get(i).len(), out.len(), "kernel operand length mismatch");
+        }
+        match self {
+            Self::Portable => portable::ripple_majority_from(n, &get, even_tie, threshold, out, 0),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::ripple_majority_into(n, &get, even_tie, threshold, out) }
+            }
+        }
+    }
+
+    /// `dst = rotate(src, k)` over a `dim`-bit vector packed
+    /// little-endian into `u64` words: all components move left by
+    /// `k mod dim` positions. Padding bits of `src` must be zero;
+    /// `dst`'s padding bits are left zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or either slice length differs from
+    /// `dim.div_ceil(64)`.
+    pub fn rotate_into_words(self, dst: &mut [u64], src: &[u64], dim: usize, k: usize) {
+        let (geom, k) = Self::rot_args(dst, src, dim, k);
+        if k == 0 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let geom = geom.expect("geometry exists for nonzero rotation");
+        match self {
+            Self::Portable => portable::rotate_into(dst, src, &geom),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                dst.fill(0);
+                unsafe { avx2::xor_rotated_into(dst, src, &geom) }
+            }
+        }
+    }
+
+    /// Fused bind-rotate: `dst ^= rotate(src, k)` over a `dim`-bit
+    /// vector, with no rotated temporary. Padding-bit contract as for
+    /// [`rotate_into_words`](Self::rotate_into_words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or either slice length differs from
+    /// `dim.div_ceil(64)`.
+    pub fn xor_rotated_words(self, dst: &mut [u64], src: &[u64], dim: usize, k: usize) {
+        let (geom, k) = Self::rot_args(dst, src, dim, k);
+        if k == 0 {
+            self.xor_into(dst, src);
+            return;
+        }
+        let geom = geom.expect("geometry exists for nonzero rotation");
+        match self {
+            Self::Portable => portable::xor_rotated_into(dst, src, &geom),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::xor_rotated_into(dst, src, &geom) }
+            }
+        }
+    }
+
+    /// Shared validation for the rotation kernels; returns the geometry
+    /// (when the normalized shift is nonzero) and the normalized shift.
+    fn rot_args(dst: &[u64], src: &[u64], dim: usize, k: usize) -> (Option<RotGeom>, usize) {
+        assert!(dim > 0, "rotation needs a nonzero dimension");
+        let words = dim.div_ceil(64);
+        assert!(
+            dst.len() == words && src.len() == words,
+            "rotation buffers must hold exactly {words} words for {dim} bits"
+        );
+        let k = k % dim;
+        (
+            if k == 0 {
+                None
+            } else {
+                Some(RotGeom::new(dim, k))
+            },
+            k,
+        )
+    }
+}
+
+/// Panics unless the running CPU supports the AVX2/POPCNT kernels —
+/// the soundness guard that lets [`Simd::Avx2`] expose safe methods.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_ready() {
+    assert!(
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt"),
+        "Simd::Avx2 kernels invoked on a CPU without AVX2/POPCNT"
+    );
+}
+
+/// Per-word geometry of a `dim`-bit left rotation by `k` over
+/// little-endian `u64` words: `rotl(x, k) = ((x << k) | (x >> (dim -
+/// k))) mod 2^dim`, evaluated one output word at a time so rotations
+/// stream into existing buffers without big-integer temporaries.
+///
+/// Every output word is the OR of two contributions with **disjoint bit
+/// positions** (each output bit comes from exactly one input bit), so
+/// the kernels may also XOR or ADD them — the AVX2 path exploits this
+/// to apply the two contributions in independent passes.
+pub(crate) struct RotGeom {
+    /// Word/bit split of the left-shift part (`<< k`).
+    shl_words: usize,
+    shl_bits: usize,
+    /// Word/bit split of the wrap part (`>> (dim - k)`).
+    shr_words: usize,
+    shr_bits: usize,
+    /// Valid bits in the top word (0 when the dimension fills it).
+    tail: usize,
+}
+
+impl RotGeom {
+    pub(crate) fn new(dim: usize, k: usize) -> Self {
+        debug_assert!(k > 0 && k < dim);
+        let wrap = dim - k;
+        Self {
+            shl_words: k / 64,
+            shl_bits: k % 64,
+            shr_words: wrap / 64,
+            shr_bits: wrap % 64,
+            tail: dim % 64,
+        }
+    }
+
+    /// The `<< k` contribution to output word `j` (zero for `j` below
+    /// the word shift).
+    #[inline]
+    fn shl_part(&self, x: &[u64], j: usize) -> u64 {
+        if j < self.shl_words {
+            return 0;
+        }
+        let lo = x[j - self.shl_words] << self.shl_bits;
+        let carry = if j > self.shl_words && self.shl_bits > 0 {
+            x[j - self.shl_words - 1] >> (64 - self.shl_bits)
+        } else {
+            0
+        };
+        lo | carry
+    }
+
+    /// The `>> (dim - k)` wrap contribution to output word `j` (zero
+    /// once the source index runs off the top).
+    #[inline]
+    fn shr_part(&self, x: &[u64], j: usize) -> u64 {
+        if j + self.shr_words >= x.len() {
+            return 0;
+        }
+        let hi = x[j + self.shr_words] >> self.shr_bits;
+        let carry = if j + self.shr_words + 1 < x.len() && self.shr_bits > 0 {
+            x[j + self.shr_words + 1] << (64 - self.shr_bits)
+        } else {
+            0
+        };
+        hi | carry
+    }
+
+    /// Output word `j` of the rotated vector (unmasked; the caller
+    /// masks the tail of the top word).
+    #[inline]
+    pub(crate) fn word(&self, x: &[u64], j: usize) -> u64 {
+        self.shl_part(x, j) | self.shr_part(x, j)
+    }
+
+    /// All-ones below the tail boundary (all-ones when the dimension
+    /// fills the top word).
+    #[inline]
+    pub(crate) fn tail_mask(&self) -> u64 {
+        if self.tail == 0 {
+            u64::MAX
+        } else {
+            (1u64 << self.tail) - 1
+        }
+    }
+}
+
+/// Bit-sliced full adder over 64 lanes: `(sum, carry)` of three one-bit
+/// addends per lane — the cell the majority networks are built from.
+#[inline]
+pub(crate) fn full_add(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let ab = a ^ b;
+    (ab ^ c, (a & b) | (c & ab))
+}
+
+/// The portable level: safe Rust, unrolled four `u64` words per step so
+/// the auto-vectorizer can widen it, and simple enough to audit — this
+/// is the reference implementation of every kernel.
+mod portable {
+    use super::{full_add, RotGeom, RIPPLE_PLANES, SCAN_BLOCK_WORDS64};
+
+    /// Applies `f` to 4-word blocks of three equal-length slices
+    /// (two inputs, one output), then to the remainder wordwise.
+    #[inline]
+    fn zip2_into(a: &[u64], b: &[u64], out: &mut [u64], f: impl Fn(u64, u64) -> u64) {
+        let mut oc = out.chunks_exact_mut(4);
+        let mut ac = a.chunks_exact(4);
+        let mut bc = b.chunks_exact(4);
+        for ((o, x), y) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+            o[0] = f(x[0], y[0]);
+            o[1] = f(x[1], y[1]);
+            o[2] = f(x[2], y[2]);
+            o[3] = f(x[3], y[3]);
+        }
+        for ((o, &x), &y) in oc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder())
+            .zip(bc.remainder())
+        {
+            *o = f(x, y);
+        }
+    }
+
+    pub(super) fn xor_into(dst: &mut [u64], src: &[u64]) {
+        let mut dc = dst.chunks_exact_mut(4);
+        let mut sc = src.chunks_exact(4);
+        for (d, s) in (&mut dc).zip(&mut sc) {
+            d[0] ^= s[0];
+            d[1] ^= s[1];
+            d[2] ^= s[2];
+            d[3] ^= s[3];
+        }
+        for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *d ^= s;
+        }
+    }
+
+    pub(super) fn popcount(a: &[u64]) -> u32 {
+        let mut c = a.chunks_exact(4);
+        let mut total = 0u32;
+        for w in &mut c {
+            total += w[0].count_ones() + w[1].count_ones() + w[2].count_ones() + w[3].count_ones();
+        }
+        for &w in c.remainder() {
+            total += w.count_ones();
+        }
+        total
+    }
+
+    pub(super) fn hamming(a: &[u64], b: &[u64]) -> u32 {
+        let mut ac = a.chunks_exact(4);
+        let mut bc = b.chunks_exact(4);
+        let mut total = 0u32;
+        for (x, y) in (&mut ac).zip(&mut bc) {
+            total += (x[0] ^ y[0]).count_ones()
+                + (x[1] ^ y[1]).count_ones()
+                + (x[2] ^ y[2]).count_ones()
+                + (x[3] ^ y[3]).count_ones();
+        }
+        for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+            total += (x ^ y).count_ones();
+        }
+        total
+    }
+
+    pub(super) fn hamming_bounded(a: &[u64], b: &[u64], bound: u32) -> u32 {
+        let mut d = 0u32;
+        for (ba, bb) in a
+            .chunks(SCAN_BLOCK_WORDS64)
+            .zip(b.chunks(SCAN_BLOCK_WORDS64))
+        {
+            d += hamming(ba, bb);
+            if d > bound {
+                break;
+            }
+        }
+        d
+    }
+
+    pub(super) fn or_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+        zip2_into(a, b, out, |x, y| x | y);
+    }
+
+    pub(super) fn maj3_into(x0: &[u64], x1: &[u64], x2: &[u64], out: &mut [u64]) {
+        for (((o, &a), &b), &c) in out.iter_mut().zip(x0).zip(x1).zip(x2) {
+            let (_, maj) = full_add(a, b, c);
+            *o = maj;
+        }
+    }
+
+    #[inline]
+    fn maj5_word(a: u64, b: u64, c: u64, d: u64, e: u64) -> u64 {
+        let (s1, c1) = full_add(a, b, c);
+        let (s2, c2) = full_add(s1, d, e);
+        (c1 & c2) | ((c1 | c2) & s2)
+    }
+
+    pub(super) fn maj5_into(
+        x0: &[u64],
+        x1: &[u64],
+        x2: &[u64],
+        x3: &[u64],
+        x4: &[u64],
+        out: &mut [u64],
+    ) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = maj5_word(x0[j], x1[j], x2[j], x3[j], x4[j]);
+        }
+    }
+
+    pub(super) fn maj5_tie_into(x0: &[u64], x1: &[u64], x2: &[u64], x3: &[u64], out: &mut [u64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = maj5_word(x0[j], x1[j], x2[j], x3[j], x0[j] ^ x1[j]);
+        }
+    }
+
+    /// The in-register ripple counter from word `start` to the end —
+    /// also the tail loop of the AVX2 version, which is why the range
+    /// is a parameter.
+    pub(super) fn ripple_majority_from<'a, F>(
+        n: usize,
+        get: &F,
+        even_tie: bool,
+        threshold: u32,
+        out: &mut [u64],
+        start: usize,
+    ) where
+        F: Fn(usize) -> &'a [u64],
+    {
+        let t_bits = (32 - threshold.leading_zeros()) as usize;
+        for (wi, o) in out.iter_mut().enumerate().skip(start) {
+            let mut planes = [0u64; RIPPLE_PLANES];
+            let mut used = 0usize;
+            let ripple = |planes: &mut [u64; RIPPLE_PLANES], used: &mut usize, w: u64| {
+                let mut carry = w;
+                let mut p = 0;
+                while carry != 0 {
+                    let t = planes[p] & carry;
+                    planes[p] ^= carry;
+                    carry = t;
+                    p += 1;
+                }
+                *used = (*used).max(p);
+            };
+            for i in 0..n {
+                ripple(&mut planes, &mut used, get(i)[wi]);
+            }
+            if even_tie {
+                ripple(&mut planes, &mut used, get(0)[wi] ^ get(1)[wi]);
+            }
+            // count >= threshold ⇔ (count - threshold) does not borrow.
+            let mut borrow = 0u64;
+            for (p, &plane) in planes.iter().enumerate().take(used.max(t_bits)) {
+                let t = if threshold >> p & 1 == 1 { u64::MAX } else { 0 };
+                borrow = (!plane & (t | borrow)) | (t & borrow);
+            }
+            *o = !borrow;
+        }
+    }
+
+    pub(super) fn rotate_into(dst: &mut [u64], src: &[u64], g: &RotGeom) {
+        for (j, d) in dst.iter_mut().enumerate() {
+            *d = g.word(src, j);
+        }
+        if let Some(top) = dst.last_mut() {
+            *top &= g.tail_mask();
+        }
+    }
+
+    pub(super) fn xor_rotated_into(dst: &mut [u64], src: &[u64], g: &RotGeom) {
+        let last = dst.len() - 1;
+        for (j, d) in dst.iter_mut().enumerate() {
+            let mut r = g.word(src, j);
+            if j == last {
+                r &= g.tail_mask();
+            }
+            *d ^= r;
+        }
+    }
+}
+
+/// The AVX2/POPCNT level. Every function is `unsafe fn` +
+/// `#[target_feature]`; the safe dispatch methods on [`Simd`] guard
+/// each call with a CPU-feature check. All loops fall back to the
+/// portable scalar code for remainders and boundary words, so the two
+/// levels share their edge-case handling where it matters most.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #![deny(unsafe_op_in_unsafe_fn)]
+    // On the workspace MSRV (1.82) every intrinsic call below needs an
+    // explicit `unsafe` block; newer toolchains (1.86+) treat the
+    // value-only intrinsics as safe inside `#[target_feature]` fns and
+    // would flag those same blocks as unused. Keep the blocks (the MSRV
+    // needs them) and silence the newer compilers' redundancy lint.
+    #![allow(unused_unsafe)]
+
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_andnot_si256,
+        _mm256_loadu_si256, _mm256_or_si256, _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8,
+        _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_sll_epi64, _mm256_srl_epi64,
+        _mm256_srli_epi32, _mm256_storeu_si256, _mm256_testz_si256, _mm256_xor_si256,
+        _mm_cvtsi32_si128,
+    };
+
+    use super::{RotGeom, RIPPLE_PLANES, SCAN_BLOCK_WORDS64};
+
+    /// Unaligned 4-word load at `a[i..i + 4]`.
+    ///
+    /// # Safety
+    ///
+    /// Requires `i + 4 <= a.len()` and AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn loadu(a: &[u64], i: usize) -> __m256i {
+        debug_assert!(i + 4 <= a.len());
+        unsafe { _mm256_loadu_si256(a.as_ptr().add(i).cast()) }
+    }
+
+    /// Unaligned 4-word store to `a[i..i + 4]`.
+    ///
+    /// # Safety
+    ///
+    /// Requires `i + 4 <= a.len()` and AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn storeu(a: &mut [u64], i: usize, v: __m256i) {
+        debug_assert!(i + 4 <= a.len());
+        unsafe { _mm256_storeu_si256(a.as_mut_ptr().add(i).cast(), v) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn xor_into(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = unsafe { _mm256_xor_si256(loadu(dst, i), loadu(src, i)) };
+            unsafe { storeu(dst, i, v) };
+            i += 4;
+        }
+        while i < n {
+            dst[i] ^= src[i];
+            i += 1;
+        }
+    }
+
+    /// Per-byte population count of 4 words via the `vpshufb` nibble
+    /// table, accumulated into 4 `u64` lanes with `vpsadbw`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcnt_epi64(v: __m256i) -> __m256i {
+        unsafe {
+            let lut = _mm256_setr_epi8(
+                0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3,
+                2, 3, 3, 4,
+            );
+            let low = _mm256_set1_epi8(0x0f);
+            let lo = _mm256_and_si256(v, low);
+            let hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low);
+            let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi64(v: __m256i) -> u64 {
+        let mut lanes = [0u64; 4];
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v) };
+        lanes[0]
+            .wrapping_add(lanes[1])
+            .wrapping_add(lanes[2])
+            .wrapping_add(lanes[3])
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and POPCNT.
+    #[target_feature(enable = "avx2,popcnt")]
+    #[allow(clippy::cast_possible_truncation)]
+    pub(super) unsafe fn popcount(a: &[u64]) -> u32 {
+        let n = a.len();
+        let mut acc = unsafe { _mm256_setzero_si256() };
+        let mut i = 0;
+        while i + 4 <= n {
+            acc = unsafe { _mm256_add_epi64(acc, popcnt_epi64(loadu(a, i))) };
+            i += 4;
+        }
+        let mut total = unsafe { hsum_epi64(acc) };
+        while i < n {
+            total += u64::from(a[i].count_ones());
+            i += 1;
+        }
+        total as u32
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2, POPCNT, and `a.len() == b.len()`.
+    #[target_feature(enable = "avx2,popcnt")]
+    #[allow(clippy::cast_possible_truncation)]
+    pub(super) unsafe fn hamming(a: &[u64], b: &[u64]) -> u32 {
+        let n = a.len();
+        let mut acc = unsafe { _mm256_setzero_si256() };
+        let mut i = 0;
+        while i + 8 <= n {
+            let x0 = unsafe { _mm256_xor_si256(loadu(a, i), loadu(b, i)) };
+            let x1 = unsafe { _mm256_xor_si256(loadu(a, i + 4), loadu(b, i + 4)) };
+            let c = unsafe { _mm256_add_epi64(popcnt_epi64(x0), popcnt_epi64(x1)) };
+            acc = unsafe { _mm256_add_epi64(acc, c) };
+            i += 8;
+        }
+        if i + 4 <= n {
+            let x = unsafe { _mm256_xor_si256(loadu(a, i), loadu(b, i)) };
+            acc = unsafe { _mm256_add_epi64(acc, popcnt_epi64(x)) };
+            i += 4;
+        }
+        let mut total = unsafe { hsum_epi64(acc) };
+        while i < n {
+            total += u64::from((a[i] ^ b[i]).count_ones());
+            i += 1;
+        }
+        total as u32
+    }
+
+    /// Early-exit Hamming distance at the shared
+    /// [`SCAN_BLOCK_WORDS64`]-word block granularity. Uses scalar
+    /// `popcnt` (one per word): with the hardware instruction the block
+    /// sum is load-bound anyway, and the block partials must equal the
+    /// portable level's exactly.
+    ///
+    /// # Safety
+    ///
+    /// Requires POPCNT and `a.len() == b.len()`.
+    #[target_feature(enable = "popcnt")]
+    pub(super) unsafe fn hamming_bounded(a: &[u64], b: &[u64], bound: u32) -> u32 {
+        let n = a.len();
+        let mut d = 0u32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SCAN_BLOCK_WORDS64).min(n);
+            let mut s = 0u32;
+            while i < end {
+                s += (a[i] ^ b[i]).count_ones();
+                i += 1;
+            }
+            d += s;
+            if d > bound {
+                break;
+            }
+        }
+        d
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and equal slice lengths.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn or_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = unsafe { _mm256_or_si256(loadu(a, i), loadu(b, i)) };
+            unsafe { storeu(out, i, v) };
+            i += 4;
+        }
+        while i < n {
+            out[i] = a[i] | b[i];
+            i += 1;
+        }
+    }
+
+    /// Full adder over 256-bit lanes.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn full_add_v(a: __m256i, b: __m256i, c: __m256i) -> (__m256i, __m256i) {
+        unsafe {
+            let ab = _mm256_xor_si256(a, b);
+            (
+                _mm256_xor_si256(ab, c),
+                _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(c, ab)),
+            )
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and equal slice lengths.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn maj3_into(x0: &[u64], x1: &[u64], x2: &[u64], out: &mut [u64]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let (_, maj) = unsafe { full_add_v(loadu(x0, i), loadu(x1, i), loadu(x2, i)) };
+            unsafe { storeu(out, i, maj) };
+            i += 4;
+        }
+        while i < n {
+            let (_, maj) = super::full_add(x0[i], x1[i], x2[i]);
+            out[i] = maj;
+            i += 1;
+        }
+    }
+
+    /// Two full adders + combine: count ≥ 3 of 5 ⇔ both carries, or one
+    /// carry plus the final sum bit.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn maj5_v(a: __m256i, b: __m256i, c: __m256i, d: __m256i, e: __m256i) -> __m256i {
+        unsafe {
+            let (s1, c1) = full_add_v(a, b, c);
+            let (s2, c2) = full_add_v(s1, d, e);
+            _mm256_or_si256(
+                _mm256_and_si256(c1, c2),
+                _mm256_and_si256(_mm256_or_si256(c1, c2), s2),
+            )
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and equal slice lengths.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn maj5_into(
+        x0: &[u64],
+        x1: &[u64],
+        x2: &[u64],
+        x3: &[u64],
+        x4: &[u64],
+        out: &mut [u64],
+    ) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = unsafe {
+                maj5_v(
+                    loadu(x0, i),
+                    loadu(x1, i),
+                    loadu(x2, i),
+                    loadu(x3, i),
+                    loadu(x4, i),
+                )
+            };
+            unsafe { storeu(out, i, v) };
+            i += 4;
+        }
+        while i < n {
+            let (s1, c1) = super::full_add(x0[i], x1[i], x2[i]);
+            let (s2, c2) = super::full_add(s1, x3[i], x4[i]);
+            out[i] = (c1 & c2) | ((c1 | c2) & s2);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 and equal slice lengths.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn maj5_tie_into(
+        x0: &[u64],
+        x1: &[u64],
+        x2: &[u64],
+        x3: &[u64],
+        out: &mut [u64],
+    ) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let (a, b) = unsafe { (loadu(x0, i), loadu(x1, i)) };
+            let tie = unsafe { _mm256_xor_si256(a, b) };
+            let v = unsafe { maj5_v(a, b, loadu(x2, i), loadu(x3, i), tie) };
+            unsafe { storeu(out, i, v) };
+            i += 4;
+        }
+        while i < n {
+            let (s1, c1) = super::full_add(x0[i], x1[i], x2[i]);
+            let (s2, c2) = super::full_add(s1, x3[i], x0[i] ^ x1[i]);
+            out[i] = (c1 & c2) | ((c1 | c2) & s2);
+            i += 1;
+        }
+    }
+
+    /// The carry-save bundling planes held in `__m256i` registers: the
+    /// same ripple/borrow network as the portable level, voting over
+    /// 256 components per step. Tail words run the portable loop.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; every `get(i)` must be at least `out.len()` words.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn ripple_majority_into<'a, F>(
+        n: usize,
+        get: &F,
+        even_tie: bool,
+        threshold: u32,
+        out: &mut [u64],
+    ) where
+        F: Fn(usize) -> &'a [u64],
+    {
+        let t_bits = (32 - threshold.leading_zeros()) as usize;
+        let n_words = out.len();
+        let mut wi = 0;
+        while wi + 4 <= n_words {
+            unsafe {
+                let zero = _mm256_setzero_si256();
+                let mut planes = [zero; RIPPLE_PLANES];
+                let mut used = 0usize;
+                for i in 0..n {
+                    let w = loadu(get(i), wi);
+                    used = used.max(ripple_v(&mut planes, w));
+                }
+                if even_tie {
+                    let tie = _mm256_xor_si256(loadu(get(0), wi), loadu(get(1), wi));
+                    used = used.max(ripple_v(&mut planes, tie));
+                }
+                let ones = _mm256_set1_epi8(-1);
+                let mut borrow = zero;
+                for (p, &plane) in planes.iter().enumerate().take(used.max(t_bits)) {
+                    let t = if threshold >> p & 1 == 1 { ones } else { zero };
+                    let t_or_b = _mm256_or_si256(t, borrow);
+                    borrow = _mm256_or_si256(
+                        _mm256_andnot_si256(plane, t_or_b),
+                        _mm256_and_si256(t, borrow),
+                    );
+                }
+                storeu(out, wi, _mm256_xor_si256(borrow, ones));
+            }
+            wi += 4;
+        }
+        super::portable::ripple_majority_from(n, get, even_tie, threshold, out, wi);
+    }
+
+    /// Ripple-carry increment of the vertical counters by one 256-bit
+    /// input; returns the number of planes touched.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; the caller bounds the vote count below
+    /// `2^RIPPLE_PLANES`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn ripple_v(planes: &mut [__m256i; RIPPLE_PLANES], w: __m256i) -> usize {
+        let mut carry = w;
+        let mut p = 0;
+        unsafe {
+            while _mm256_testz_si256(carry, carry) == 0 {
+                let t = _mm256_and_si256(planes[p], carry);
+                planes[p] = _mm256_xor_si256(planes[p], carry);
+                carry = t;
+                p += 1;
+            }
+        }
+        p
+    }
+
+    /// Fused bind-rotate, exploiting that the shift and wrap
+    /// contributions of a rotation touch disjoint bit positions, so
+    /// `dst ^= rot(src)` splits into two independent XOR passes (each
+    /// vectorized over its in-bounds interior, scalar at the edges).
+    /// The top word always runs the portable path with the tail mask.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and `dst.len() == src.len() >= 1`.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+    pub(super) unsafe fn xor_rotated_into(dst: &mut [u64], src: &[u64], g: &RotGeom) {
+        let n = dst.len();
+        let last = n - 1;
+        let sw = g.shl_words;
+        let rw = g.shr_words;
+        unsafe {
+            // Pass A: the `<< k` contribution, nonzero for j >= sw.
+            if sw < last {
+                dst[sw] ^= g.shl_part(src, sw);
+                let sb = _mm_cvtsi32_si128(g.shl_bits as i32);
+                let sb_inv = _mm_cvtsi32_si128(64 - g.shl_bits as i32);
+                let mut j = sw + 1;
+                while j + 4 <= last {
+                    let lo = _mm256_sll_epi64(loadu(src, j - sw), sb);
+                    // Shift counts >= 64 yield zero in SIMD, which is
+                    // exactly the vanishing carry of shl_bits == 0.
+                    let carry = _mm256_srl_epi64(loadu(src, j - sw - 1), sb_inv);
+                    let r = _mm256_or_si256(lo, carry);
+                    storeu(dst, j, _mm256_xor_si256(loadu(dst, j), r));
+                    j += 4;
+                }
+                while j < last {
+                    dst[j] ^= g.shl_part(src, j);
+                    j += 1;
+                }
+            }
+            // Pass B: the `>> (dim - k)` wrap, nonzero while j + rw < n.
+            let end = last.min(n.saturating_sub(rw));
+            let vec_end = end.min(n.saturating_sub(rw + 1));
+            let rb = _mm_cvtsi32_si128(g.shr_bits as i32);
+            let rb_inv = _mm_cvtsi32_si128(64 - g.shr_bits as i32);
+            let mut j = 0;
+            while j + 4 <= vec_end {
+                let hi = _mm256_srl_epi64(loadu(src, j + rw), rb);
+                let carry = _mm256_sll_epi64(loadu(src, j + rw + 1), rb_inv);
+                let r = _mm256_or_si256(hi, carry);
+                storeu(dst, j, _mm256_xor_si256(loadu(dst, j), r));
+                j += 4;
+            }
+            while j < end {
+                dst[j] ^= g.shr_part(src, j);
+                j += 1;
+            }
+        }
+        dst[last] ^= g.word(src, last) & g.tail_mask();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    /// Every level available on this machine, the portable reference
+    /// first.
+    fn levels() -> Vec<Simd> {
+        let mut all = vec![Simd::Portable];
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt") {
+            all.push(Simd::Avx2);
+        }
+        all
+    }
+
+    fn words(n: usize, rng: &mut Xoshiro256PlusPlus) -> Vec<u64> {
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    /// Lengths crossing every unroll boundary: sub-lane, one lane, the
+    /// 8-word scan block, misaligned tails, and the real 313-u32 width
+    /// (157 u64 words).
+    const LENGTHS: [usize; 8] = [1, 3, 4, 7, 8, 17, 64, 157];
+
+    /// One test for everything that reads *and* writes the process-wide
+    /// `ACTIVE` state: split across `#[test]`s these assertions would
+    /// race each other under the parallel test runner (another test
+    /// flipping the level between two `active()` calls).
+    #[test]
+    fn detection_is_stable_and_set_active_overrides_and_restores() {
+        assert_eq!(Simd::Portable.name(), "portable");
+        assert_eq!(Simd::detect(), Simd::detect());
+        let before = Simd::active();
+        Simd::set_active(Simd::Portable);
+        assert_eq!(Simd::active(), Simd::Portable);
+        Simd::set_active(before);
+        assert_eq!(Simd::active(), before);
+    }
+
+    #[test]
+    fn xor_and_or_match_wordwise_reference_on_all_levels() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x51);
+        for level in levels() {
+            for len in LENGTHS {
+                let a = words(len, &mut rng);
+                let b = words(len, &mut rng);
+                let expected_xor: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+                let mut dst = a.clone();
+                level.xor_into(&mut dst, &b);
+                assert_eq!(dst, expected_xor, "{level:?} xor len {len}");
+                let expected_or: Vec<u64> = a.iter().zip(&b).map(|(x, y)| x | y).collect();
+                let mut out = vec![0u64; len];
+                level.or_into(&a, &b, &mut out);
+                assert_eq!(out, expected_or, "{level:?} or len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_and_hamming_match_reference_on_all_levels() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x52);
+        for level in levels() {
+            for len in LENGTHS {
+                let a = words(len, &mut rng);
+                let b = words(len, &mut rng);
+                let pop: u32 = a.iter().map(|w| w.count_ones()).sum();
+                let ham: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+                assert_eq!(level.popcount(&a), pop, "{level:?} popcount len {len}");
+                assert_eq!(level.hamming(&a, &b), ham, "{level:?} hamming len {len}");
+            }
+        }
+    }
+
+    /// The bounded scan's block-partial results are pinned across
+    /// levels: identical abandonment points, identical partial sums.
+    #[test]
+    fn hamming_bounded_is_block_exact_and_level_independent() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x53);
+        for len in LENGTHS {
+            for case in 0..8 {
+                let a = words(len, &mut rng);
+                let b = words(len, &mut rng);
+                let exact: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+                let bound = rng.next_below(exact.max(1) + 32);
+                // Block-semantics reference.
+                let mut expected = 0u32;
+                for (ba, bb) in a
+                    .chunks(SCAN_BLOCK_WORDS64)
+                    .zip(b.chunks(SCAN_BLOCK_WORDS64))
+                {
+                    expected += ba
+                        .iter()
+                        .zip(bb)
+                        .map(|(x, y)| (x ^ y).count_ones())
+                        .sum::<u32>();
+                    if expected > bound {
+                        break;
+                    }
+                }
+                for level in levels() {
+                    let got = level.hamming_bounded(&a, &b, bound);
+                    assert_eq!(got, expected, "{level:?} len {len} case {case}");
+                }
+                // An unreachable bound yields the exact distance.
+                for level in levels() {
+                    assert_eq!(level.hamming_bounded(&a, &b, u32::MAX), exact);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majority_networks_match_counting_reference_on_all_levels() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x54);
+        let count_maj = |inputs: &[&[u64]], j: usize| -> u64 {
+            let mut out = 0u64;
+            for bit in 0..64 {
+                let votes = inputs.iter().filter(|x| x[j] >> bit & 1 == 1).count();
+                if 2 * votes > inputs.len() {
+                    out |= 1 << bit;
+                }
+            }
+            out
+        };
+        for level in levels() {
+            for len in LENGTHS {
+                let xs: Vec<Vec<u64>> = (0..5).map(|_| words(len, &mut rng)).collect();
+                let mut out = vec![0u64; len];
+
+                level.maj3_into(&xs[0], &xs[1], &xs[2], &mut out);
+                let refs3: Vec<&[u64]> = xs[..3].iter().map(Vec::as_slice).collect();
+                for (j, &o) in out.iter().enumerate() {
+                    assert_eq!(o, count_maj(&refs3, j), "{level:?} maj3 len {len}");
+                }
+
+                level.maj5_into(&xs[0], &xs[1], &xs[2], &xs[3], &xs[4], &mut out);
+                let refs5: Vec<&[u64]> = xs.iter().map(Vec::as_slice).collect();
+                for (j, &o) in out.iter().enumerate() {
+                    assert_eq!(o, count_maj(&refs5, j), "{level:?} maj5 len {len}");
+                }
+
+                level.maj5_tie_into(&xs[0], &xs[1], &xs[2], &xs[3], &mut out);
+                let tie: Vec<u64> = xs[0].iter().zip(&xs[1]).map(|(a, b)| a ^ b).collect();
+                let refs_tie: Vec<&[u64]> = xs[..4]
+                    .iter()
+                    .map(Vec::as_slice)
+                    .chain(std::iter::once(tie.as_slice()))
+                    .collect();
+                for (j, &o) in out.iter().enumerate() {
+                    assert_eq!(o, count_maj(&refs_tie, j), "{level:?} maj5_tie len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_majority_matches_counting_reference_on_all_levels() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x55);
+        for level in levels() {
+            for len in [1usize, 4, 7, 11] {
+                for n in [3usize, 6, 7, 9, 21] {
+                    let xs: Vec<Vec<u64>> = (0..n).map(|_| words(len, &mut rng)).collect();
+                    let even = n % 2 == 0;
+                    let n_eff = n + usize::from(even);
+                    #[allow(clippy::cast_possible_truncation)]
+                    let threshold = (n_eff / 2 + 1) as u32;
+                    let mut out = vec![0u64; len];
+                    level.ripple_majority_into(n, |i| xs[i].as_slice(), even, threshold, &mut out);
+                    // Counting reference with the tie vector appended.
+                    let tie: Vec<u64> = xs[0].iter().zip(&xs[1]).map(|(a, b)| a ^ b).collect();
+                    for (j, &got) in out.iter().enumerate() {
+                        let mut expected = 0u64;
+                        for bit in 0..64 {
+                            let mut votes = xs.iter().filter(|x| x[j] >> bit & 1 == 1).count();
+                            if even && tie[j] >> bit & 1 == 1 {
+                                votes += 1;
+                            }
+                            if votes as u32 >= threshold {
+                                expected |= 1 << bit;
+                            }
+                        }
+                        assert_eq!(got, expected, "{level:?} len {len} n {n} word {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rotation against a naive per-bit reference, across widths with
+    /// and without padding tails and shifts crossing every boundary
+    /// (word-aligned, sub-word, near-dim).
+    #[test]
+    fn rotations_match_bitwise_reference_on_all_levels() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x56);
+        let bit = |x: &[u64], i: usize| x[i / 64] >> (i % 64) & 1;
+        for level in levels() {
+            for dim in [32usize, 64, 96, 128, 160, 416, 10_016] {
+                let n = dim.div_ceil(64);
+                let mut src = words(n, &mut rng);
+                if dim % 64 != 0 {
+                    src[n - 1] &= (1u64 << (dim % 64)) - 1;
+                }
+                for k in [0usize, 1, 5, 31, 32, 63, 64, 65, 127, dim - 1, dim, dim + 7] {
+                    let mut rotated = vec![0u64; n];
+                    level.rotate_into_words(&mut rotated, &src, dim, k);
+                    for i in 0..dim {
+                        assert_eq!(
+                            bit(&rotated, (i + k) % dim),
+                            bit(&src, i),
+                            "{level:?} dim {dim} k {k} bit {i}"
+                        );
+                    }
+                    if dim % 64 != 0 {
+                        assert_eq!(rotated[n - 1] >> (dim % 64), 0, "padding dirty");
+                    }
+                    // Fused form: dst ^= rot(src).
+                    let mut dst = words(n, &mut rng);
+                    if dim % 64 != 0 {
+                        dst[n - 1] &= (1u64 << (dim % 64)) - 1;
+                    }
+                    let expected: Vec<u64> = dst.iter().zip(&rotated).map(|(d, r)| d ^ r).collect();
+                    level.xor_rotated_words(&mut dst, &src, dim, k);
+                    assert_eq!(expected, dst, "{level:?} dim {dim} k {k} fused");
+                }
+            }
+        }
+    }
+
+    /// Randomized cross-level agreement on the rotation kernels — the
+    /// AVX2 two-pass decomposition must equal the portable reference
+    /// for arbitrary (dim, k).
+    #[test]
+    fn rotation_levels_agree_on_random_geometry() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x57);
+        for case in 0..64 {
+            let dim = 32 * (1 + rng.next_below(40) as usize);
+            let n = dim.div_ceil(64);
+            let mut src = words(n, &mut rng);
+            if dim % 64 != 0 {
+                src[n - 1] &= (1u64 << (dim % 64)) - 1;
+            }
+            let k = rng.next_below(2 * dim as u32 + 1) as usize;
+            let mut reference = vec![0u64; n];
+            Simd::Portable.rotate_into_words(&mut reference, &src, dim, k);
+            for level in levels() {
+                let mut got = vec![u64::MAX; n];
+                level.rotate_into_words(&mut got, &src, dim, k);
+                assert_eq!(got, reference, "case {case}: {level:?} dim {dim} k {k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Property tests pinning every runtime-dispatched SIMD kernel to the
+//! scalar golden model, exercised through the public `Hv64` API under
+//! **each** kernel level available on this machine.
+//!
+//! Two override mechanisms are covered:
+//!
+//! * the **ctor hook** [`Simd::set_active`], which this suite uses to
+//!   flip the process-wide level between the detected path and the
+//!   forced-portable path mid-run;
+//! * the **env hook** `PULP_HD_FORCE_SCALAR=1`, covered by the CI job
+//!   that re-runs the whole workspace test suite with the portable
+//!   level pinned (see `.github/workflows/ci.yml`).
+//!
+//! Per-kernel slice-level equivalence (explicit `Simd::Portable` /
+//! `Simd::Avx2` calls against naive references) lives in the `simd`
+//! module's unit tests; this file checks the same kernels end to end —
+//! bind, fused bind-rotate, both bundling forms, and the distance
+//! scans — against the `u32` golden model.
+
+use hdc::bundle::majority_paper;
+use hdc::encoder::ngram;
+use hdc::hv64::{majority_paper64, ngram64, scan_pruned_into, BitslicedBundler, Hv64};
+use hdc::rng::Xoshiro256PlusPlus;
+use hdc::{BinaryHv, Simd};
+
+/// Every kernel level this machine can execute, portable first.
+fn levels() -> Vec<Simd> {
+    let mut all = vec![Simd::Portable];
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt") {
+        all.push(Simd::Avx2);
+    }
+    all
+}
+
+/// Runs `check` once per available level, flipping the process-wide
+/// dispatch through the ctor override hook and restoring the detected
+/// level afterwards (drop-safe restoration is overkill here: a failed
+/// assert ends the process anyway).
+fn for_each_level(mut check: impl FnMut(Simd)) {
+    for level in levels() {
+        Simd::set_active(level);
+        check(level);
+    }
+    Simd::set_active(Simd::detect());
+}
+
+#[test]
+fn bind_and_hamming_match_golden_under_every_level() {
+    for_each_level(|level| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x01);
+        for case in 0..32 {
+            let n_words32 = 1 + rng.next_below(24) as usize;
+            let a = BinaryHv::random(n_words32, rng.next_u64());
+            let b = BinaryHv::random(n_words32, rng.next_u64());
+            let (a64, b64) = (Hv64::from_binary(&a), Hv64::from_binary(&b));
+            assert_eq!(
+                a64.bind(&b64).to_binary(),
+                a.bind(&b),
+                "{level:?} case {case}: bind"
+            );
+            assert_eq!(
+                a64.hamming(&b64),
+                a.hamming(&b),
+                "{level:?} case {case}: hamming"
+            );
+            assert_eq!(
+                a64.count_ones(),
+                a.count_ones(),
+                "{level:?} case {case}: popcount"
+            );
+        }
+    });
+}
+
+#[test]
+fn rotation_and_fused_bind_rotate_match_golden_under_every_level() {
+    for_each_level(|level| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x02);
+        for case in 0..32 {
+            let n_words32 = 1 + rng.next_below(24) as usize;
+            let a = BinaryHv::random(n_words32, rng.next_u64());
+            let b = BinaryHv::random(n_words32, rng.next_u64());
+            let (a64, b64) = (Hv64::from_binary(&a), Hv64::from_binary(&b));
+            let k = rng.next_below(2 * a.dim() as u32 + 1) as usize;
+            assert_eq!(
+                a64.rotate(k).to_binary(),
+                a.rotate(k),
+                "{level:?} case {case}: rotate by {k}"
+            );
+            let mut fused = a64.clone();
+            fused.xor_rotated(&b64, k);
+            assert_eq!(
+                fused.to_binary(),
+                a.bind(&b.rotate(k)),
+                "{level:?} case {case}: xor_rotated by {k}"
+            );
+        }
+    });
+}
+
+#[test]
+fn bundling_planes_match_golden_under_every_level() {
+    for_each_level(|level| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x03);
+        // 1..=12 inputs crosses the identity, OR, maj-3, maj-5 (with
+        // and without the tie vector), and generic ripple-counter arms.
+        for n in 1usize..=12 {
+            let n_words32 = 1 + rng.next_below(24) as usize;
+            let hvs: Vec<BinaryHv> = (0..n)
+                .map(|_| BinaryHv::random(n_words32, rng.next_u64()))
+                .collect();
+            let packed: Vec<Hv64> = hvs.iter().map(Hv64::from_binary).collect();
+            let expected = majority_paper(&hvs);
+            // Word-major register-resident form.
+            let mut out = Hv64::zeros(n_words32);
+            BitslicedBundler::bundle_paper_into(n, |i| &packed[i], &mut out);
+            assert_eq!(
+                out.to_binary(),
+                expected,
+                "{level:?} n {n}: bundle_paper_into"
+            );
+            // Streaming heap-plane form.
+            let mut bundler = BitslicedBundler::new(n_words32);
+            for hv in &packed {
+                bundler.add(hv);
+            }
+            bundler.majority_paper_into(&mut out);
+            assert_eq!(
+                out.to_binary(),
+                expected,
+                "{level:?} n {n}: streaming bundler"
+            );
+            // Allocating reference form.
+            let refs: Vec<&Hv64> = packed.iter().collect();
+            assert_eq!(
+                majority_paper64(&refs).to_binary(),
+                expected,
+                "{level:?} n {n}: majority_paper64"
+            );
+        }
+    });
+}
+
+#[test]
+fn ngram_encoding_matches_golden_under_every_level() {
+    for_each_level(|level| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x04);
+        for n in 1usize..=5 {
+            let n_words32 = 1 + rng.next_below(24) as usize;
+            let hvs: Vec<BinaryHv> = (0..n)
+                .map(|_| BinaryHv::random(n_words32, rng.next_u64()))
+                .collect();
+            let packed: Vec<Hv64> = hvs.iter().map(Hv64::from_binary).collect();
+            assert_eq!(
+                ngram64(&packed).to_binary(),
+                ngram(&hvs),
+                "{level:?} N = {n}"
+            );
+        }
+    });
+}
+
+#[test]
+fn distance_scans_match_golden_under_every_level() {
+    for_each_level(|level| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x05);
+        for case in 0..32 {
+            let n_words32 = 1 + rng.next_below(24) as usize;
+            let classes = 1 + rng.next_below(8) as usize;
+            let hvs: Vec<BinaryHv> = (0..classes)
+                .map(|_| BinaryHv::random(n_words32, rng.next_u64()))
+                .collect();
+            let prototypes: Vec<Hv64> = hvs.iter().map(Hv64::from_binary).collect();
+            let query32 = BinaryHv::random(n_words32, rng.next_u64());
+            let query = Hv64::from_binary(&query32);
+            let full: Vec<u32> = hvs.iter().map(|p| p.hamming(&query32)).collect();
+            let expected_class = full
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &d)| d)
+                .map(|(i, _)| i)
+                .unwrap();
+            let mut distances = Vec::new();
+            let class = scan_pruned_into(&prototypes, &query, &mut distances);
+            assert_eq!(class, expected_class, "{level:?} case {case}: class");
+            assert_eq!(
+                distances[class], full[class],
+                "{level:?} case {case}: winning distance exact"
+            );
+            for (k, (&pruned, &exact)) in distances.iter().zip(&full).enumerate() {
+                assert!(
+                    pruned <= exact,
+                    "{level:?} case {case} class {k}: lower bound"
+                );
+                assert!(
+                    k == class || pruned >= full[class],
+                    "{level:?} case {case} class {k}: cannot undercut the winner"
+                );
+            }
+        }
+    });
+}
+
+/// The pruned scan's partial distances are level-independent: the
+/// portable and detected paths abandon at the same 512-bit block
+/// boundaries, so the whole distance vector — not just the class — is
+/// identical across levels.
+#[test]
+fn pruned_scan_distances_are_identical_across_levels() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x06);
+    for case in 0..32 {
+        let n_words32 = 1 + rng.next_below(32) as usize;
+        let classes = 2 + rng.next_below(7) as usize;
+        let prototypes: Vec<Hv64> = (0..classes)
+            .map(|_| Hv64::from_binary(&BinaryHv::random(n_words32, rng.next_u64())))
+            .collect();
+        let query = Hv64::from_binary(&BinaryHv::random(n_words32, rng.next_u64()));
+        let mut reference = Vec::new();
+        Simd::set_active(Simd::Portable);
+        let ref_class = scan_pruned_into(&prototypes, &query, &mut reference);
+        let mut got = Vec::new();
+        for level in levels() {
+            Simd::set_active(level);
+            let class = scan_pruned_into(&prototypes, &query, &mut got);
+            assert_eq!(class, ref_class, "case {case}: {level:?} class");
+            assert_eq!(got, reference, "case {case}: {level:?} distance vector");
+        }
+        Simd::set_active(Simd::detect());
+    }
+}
