@@ -1,12 +1,18 @@
 //! Backend throughput: windows/second per execution backend at batch
 //! sizes 1 / 32 / 256 — the perf baseline future scaling PRs must beat.
 //!
-//! The golden backend loops single-window calls (its only mode); the
-//! fast backend runs the same batches single-threaded, multi-threaded,
-//! and multi-threaded with the pruned AM scan through `classify_batch`.
-//! The simulated-cluster backend is included at reduced dimension for
-//! completeness: its wall-clock is the cost of *simulating* the
-//! hardware, not a host-throughput contender.
+//! **Inference:** the golden backend loops single-window calls (its
+//! only mode); the fast backend runs the same batches single-threaded,
+//! multi-threaded, and multi-threaded with the pruned AM scan through
+//! `classify_batch`. The simulated-cluster backend is included at
+//! reduced dimension for completeness: its wall-clock is the cost of
+//! *simulating* the hardware, not a host-throughput contender.
+//!
+//! **Training:** the same batches with labels through the trainable
+//! sessions (`TrainableBackend::begin_training`): the golden reference
+//! (scalar counters), the fast session single-threaded, and the fast
+//! session over its worker pool, plus an `online_update` microbench
+//! (classify + adapt one window per call) for both backends.
 //!
 //! Besides the human-readable report, the run records every
 //! windows/second figure in `BENCH_throughput.json` at the workspace
@@ -17,10 +23,11 @@
 //! kernel that moved.
 //!
 //! Exits non-zero if the multi-threaded fast backend fails to beat the
-//! looped golden backend on the large batch, or if the threaded path
-//! falls behind the single-threaded one (`fast/mt >= 0.95 ×
-//! fast/1thread` at every batch size) — the regression guards for the
-//! batched classification pipeline and its adaptive fan-out.
+//! looped golden backend on the large batch (inference *and*
+//! training), or if a threaded path falls behind its single-threaded
+//! twin (`fast/mt >= 0.95 × fast/1thread` and `train/fast-mt >= 0.95 ×
+//! train/fast-1thread` at every batch size) — the regression guards
+//! for the batched pipelines and their adaptive fan-out.
 //!
 //! The `accel_sim` row is a **cycle-accurate simulator** timed for
 //! scale only: its wall-clock is the cost of simulating the hardware,
@@ -36,7 +43,8 @@ use hdc::hv64::{BitslicedBundler, Hv64};
 use hdc::{BinaryHv, Simd};
 use pulp_hd_bench::timing::bench;
 use pulp_hd_core::backend::{
-    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy,
+    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy, TrainSpec,
+    TrainableBackend,
 };
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
@@ -52,8 +60,9 @@ struct Row {
     windows_per_sec: f64,
 }
 
-/// Synthetic-EMG windows at the paper's shape (5 samples × 4 channels).
-fn emg_windows(count: usize) -> Vec<Vec<Vec<u16>>> {
+/// Synthetic-EMG windows at the paper's shape (5 samples × 4 channels),
+/// with their gesture labels for the training benches.
+fn emg_windows(count: usize) -> (Vec<Vec<Vec<u16>>>, Vec<usize>) {
     let synth = SynthConfig {
         reps: 4,
         trial_secs: 1.0,
@@ -67,7 +76,11 @@ fn emg_windows(count: usize) -> Vec<Vec<Vec<u16>>> {
         "dataset yields {} windows",
         windows.len()
     );
-    windows.into_iter().take(count).map(|w| w.codes).collect()
+    windows
+        .into_iter()
+        .take(count)
+        .map(|w| (w.codes, w.label))
+        .unzip()
 }
 
 /// One per-kernel microbenchmark point: `u64` words processed per
@@ -81,9 +94,21 @@ fn write_json(
     params: &AccelParams,
     threads: usize,
     rows: &[Row],
+    training: &[Row],
     kernels: &[KernelRow],
     speedup: f64,
+    train_speedup: f64,
 ) {
+    let write_rows = |json: &mut String, rows: &[Row]| {
+        for (i, row) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{ \"backend\": \"{}\", \"batch\": {}, \"windows_per_sec\": {:.1} }}{comma}",
+                row.backend, row.batch, row.windows_per_sec
+            );
+        }
+    };
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"throughput\",");
@@ -99,14 +124,10 @@ fn write_json(
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"simd\": \"{}\",", Simd::active().name());
     let _ = writeln!(json, "  \"results\": [");
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{ \"backend\": \"{}\", \"batch\": {}, \"windows_per_sec\": {:.1} }}{comma}",
-            row.backend, row.batch, row.windows_per_sec
-        );
-    }
+    write_rows(&mut json, rows);
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"training\": [");
+    write_rows(&mut json, training);
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"kernels\": [");
     for (i, k) in kernels.iter().enumerate() {
@@ -120,7 +141,11 @@ fn write_json(
     let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
-        "  \"speedup_fast_mt_vs_golden_batch256\": {speedup:.2}"
+        "  \"speedup_fast_mt_vs_golden_batch256\": {speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"train_speedup_fast_mt_vs_golden_batch256\": {train_speedup:.2}"
     );
     let _ = writeln!(json, "}}");
     std::fs::write(JSON_PATH, json).expect("write BENCH_throughput.json");
@@ -172,7 +197,7 @@ fn kernel_microbench() -> Vec<KernelRow> {
 fn main() {
     let params = AccelParams::emg_default(); // 313 words ≙ 10,016-D
     let model = HdModel::random(&params, 0x7412);
-    let windows = emg_windows(256);
+    let (windows, labels) = emg_windows(256);
 
     let mut golden = GoldenBackend.prepare(&model).expect("golden prepare");
     let mut fast1 = FastBackend::with_threads(1)
@@ -292,6 +317,132 @@ fn main() {
         windows_per_sec: 1.0 / a.per_iter().as_secs_f64(),
     });
 
+    // Training throughput through the trainable sessions: one-shot
+    // accumulation of the same labelled batches (`reset` inside the
+    // timed closure keeps every iteration training the same fresh
+    // model; its cost — a counter memset — is part of the batch cycle).
+    // `TrainSpec::random` shares its seed streams with
+    // `HdModel::random`, so the trained chain has the inference model's
+    // shape and item memories.
+    let spec = TrainSpec::random(&params, 0x7412);
+    let mut train_golden = GoldenBackend
+        .begin_training(&spec)
+        .expect("golden training session");
+    let mut train_fast1 = FastBackend::with_threads(1)
+        .begin_training(&spec)
+        .expect("fast training session");
+    let mut train_fast_mt = FastBackend::with_threads(threads)
+        .begin_training(&spec)
+        .expect("fast training session");
+
+    println!("\ntraining throughput (one-shot accumulation, same windows + labels)\n");
+    let mut training_rows: Vec<Row> = Vec::new();
+    let mut train_headline = None;
+    let mut train_mt_ratios: Vec<(usize, f64, f64)> = Vec::new();
+    for batch in [1usize, 32, 256] {
+        let batch_windows = &windows[..batch];
+        let batch_labels = &labels[..batch];
+        let iters = (1024 / batch).max(8) as u32;
+
+        let g = bench(&format!("train/golden/batch{batch}"), iters, || {
+            train_golden.reset();
+            train_golden
+                .train_batch(batch_windows, batch_labels)
+                .unwrap();
+        });
+        // Same interleaved best-of-N protocol as the inference guard
+        // (the 0.95 mt-vs-1thread ratio gates CI), one notch more
+        // noise-immune: a training iteration is shorter than a
+        // classification one (no AM scan, no per-window verdict), so
+        // the same absolute scheduler jitter is a larger fraction of
+        // the measurement.
+        let mut f1_secs = f64::INFINITY;
+        let mut fm_secs = f64::INFINITY;
+        for rep in 0..5 {
+            let f1 = bench(
+                &format!("train/fast-1thread/batch{batch}/rep{rep}"),
+                iters,
+                || {
+                    train_fast1.reset();
+                    train_fast1
+                        .train_batch(batch_windows, batch_labels)
+                        .unwrap();
+                },
+            );
+            let fm = bench(
+                &format!("train/fast-{threads}threads/batch{batch}/rep{rep}"),
+                iters,
+                || {
+                    train_fast_mt.reset();
+                    train_fast_mt
+                        .train_batch(batch_windows, batch_labels)
+                        .unwrap();
+                },
+            );
+            f1_secs = f1_secs.min(f1.per_iter().as_secs_f64());
+            fm_secs = fm_secs.min(fm.per_iter().as_secs_f64());
+        }
+        let wps = |secs_per_batch: f64| batch as f64 / secs_per_batch;
+        let g_wps = wps(g.per_iter().as_secs_f64());
+        let f1_wps = wps(f1_secs);
+        let fm_wps = wps(fm_secs);
+        println!(
+            "  batch {batch:>3}: golden {g_wps:>9.0} w/s   fast×1 {f1_wps:>9.0} w/s   \
+             fast×{threads} {fm_wps:>9.0} w/s\n"
+        );
+        training_rows.push(Row {
+            backend: "train/golden",
+            batch,
+            windows_per_sec: g_wps,
+        });
+        training_rows.push(Row {
+            backend: "train/fast-1thread",
+            batch,
+            windows_per_sec: f1_wps,
+        });
+        training_rows.push(Row {
+            backend: "train/fast-mt",
+            batch,
+            windows_per_sec: fm_wps,
+        });
+        train_mt_ratios.push((batch, f1_wps, fm_wps));
+        if batch == 256 {
+            train_headline = Some((g.per_iter().as_secs_f64(), fm_secs));
+        }
+    }
+
+    // Online-update microbench: classify + adapt one labelled window
+    // per call against a model pre-trained on the full batch — the
+    // deployed continuous-learning loop.
+    {
+        train_golden.reset();
+        train_golden.train_batch(&windows, &labels).unwrap();
+        train_fast1.reset();
+        train_fast1.train_batch(&windows, &labels).unwrap();
+        let mut i = 0usize;
+        let g = bench("online_update/golden", 512, || {
+            let k = i % windows.len();
+            i += 1;
+            train_golden.update_online(&windows[k], labels[k]).unwrap()
+        });
+        i = 0;
+        let f = bench("online_update/fast", 4096, || {
+            let k = i % windows.len();
+            i += 1;
+            train_fast1.update_online(&windows[k], labels[k]).unwrap()
+        });
+        training_rows.push(Row {
+            backend: "online_update/golden",
+            batch: 1,
+            windows_per_sec: g.rate(),
+        });
+        training_rows.push(Row {
+            backend: "online_update/fast",
+            batch: 1,
+            windows_per_sec: f.rate(),
+        });
+    }
+
     println!(
         "\nper-kernel microbenchmarks (dispatched level: {})",
         Simd::active().name()
@@ -301,18 +452,42 @@ fn main() {
     let (golden_t, fast_t) = headline.expect("batch 256 measured");
     let speedup = golden_t / fast_t;
     println!("\nfast backend ({threads} threads, batch 256) vs looped golden: {speedup:.2}x");
-    write_json(&params, threads, &rows, &kernels, speedup);
+    let (tg_t, tf_t) = train_headline.expect("training batch 256 measured");
+    let train_speedup = tg_t / tf_t;
+    println!(
+        "fast training ({threads} threads, batch 256) vs golden training: {train_speedup:.2}x"
+    );
+    write_json(
+        &params,
+        threads,
+        &rows,
+        &training_rows,
+        &kernels,
+        speedup,
+        train_speedup,
+    );
     assert!(
         speedup > 1.0,
         "multi-threaded fast backend must beat the looped golden baseline, got {speedup:.2}x"
     );
-    // The adaptive fan-out guard: with the persistent pool and the
-    // small-batch cutover, the threaded path must never fall
-    // meaningfully behind the single-threaded one at any batch size.
+    assert!(
+        train_speedup > 1.0,
+        "multi-threaded fast training must beat golden training, got {train_speedup:.2}x"
+    );
+    // The adaptive fan-out guards: with the persistent pools and the
+    // small-batch cutover, the threaded paths must never fall
+    // meaningfully behind the single-threaded ones at any batch size.
     for (batch, f1_wps, fm_wps) in mt_ratios {
         assert!(
             fm_wps >= 0.95 * f1_wps,
             "fast/mt regressed below fast/1thread at batch {batch}: \
+             {fm_wps:.0} w/s vs {f1_wps:.0} w/s"
+        );
+    }
+    for (batch, f1_wps, fm_wps) in train_mt_ratios {
+        assert!(
+            fm_wps >= 0.95 * f1_wps,
+            "train/fast-mt regressed below train/fast-1thread at batch {batch}: \
              {fm_wps:.0} w/s vs {f1_wps:.0} w/s"
         );
     }

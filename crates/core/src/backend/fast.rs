@@ -55,11 +55,14 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use hdc::hv64::{scan_pruned_into, BitslicedBundler, Hv64};
+use hdc::hv64::{scan_pruned_into, BitslicedBundler, CounterBundler, Hv64};
 use hdc::item_memory::quantize_code;
+use hdc::rng::{derive_seed, Xoshiro256PlusPlus};
+use hdc::BinaryHv;
 
 use super::{
-    argmin, validate_window, BackendError, BackendSession, ExecutionBackend, HdModel, Verdict,
+    argmin, validate_label, validate_window, BackendError, BackendSession, ExecutionBackend,
+    HdModel, TrainSpec, TrainableBackend, TrainingSession, Verdict,
 };
 
 /// Fewest windows a batch participant (the calling thread or a pool
@@ -153,29 +156,105 @@ impl FastBackend {
         model: &HdModel,
         participants: usize,
     ) -> Result<FastSession, BackendError> {
-        let levels = model.levels();
-        let bound: Vec<Vec<Hv64>> = (0..model.channels())
-            .map(|c| {
-                (0..levels)
-                    .map(|l| Hv64::from_binary(&model.im().get(c).bind(model.cim().get(l))))
-                    .collect()
-            })
-            .collect();
+        let enc = EncodeCore::from_parts(model.im(), model.cim(), model.ngram());
         let prototypes: Vec<Hv64> = model.prototypes().iter().map(Hv64::from_binary).collect();
-        let n_words32 = model.n_words();
+        let n_words32 = enc.n_words32;
         let core = Arc::new(FastCore {
-            bound,
+            enc,
             prototypes,
-            levels,
-            ngram: model.ngram(),
-            n_words32,
             scan: self.scan,
         });
-        let pool = WorkerPool::spawn(&core, participants.saturating_sub(1));
+        let pool = {
+            let core = &core;
+            WorkerPool::spawn(participants.saturating_sub(1), || {
+                let core = Arc::clone(core);
+                let mut scratch = EncodeScratch::new(core.enc.n_words32);
+                move |job: ClassifyJob| {
+                    // SAFETY: see `RawWindows` — the batch outlives the
+                    // job because the dispatcher waits for our `done`
+                    // message before returning.
+                    let windows =
+                        unsafe { std::slice::from_raw_parts(job.windows.ptr, job.windows.len) };
+                    let result = windows[job.range.clone()]
+                        .iter()
+                        .map(|w| core.classify_with(w, &mut scratch))
+                        .collect::<Result<Vec<_>, _>>();
+                    // A dropped receiver just means the dispatcher gave
+                    // up on the batch; keep serving future jobs.
+                    let _ = job.done.send((job.chunk, result));
+                }
+            })
+        };
         Ok(FastSession {
             scratch: EncodeScratch::new(n_words32),
             core,
             pool,
+        })
+    }
+
+    /// [`begin_training`](TrainableBackend::begin_training) with an
+    /// explicit participant count — the testable core of training
+    /// session construction, also exercised on single-CPU hosts.
+    fn begin_training_with_participants(
+        &self,
+        spec: &TrainSpec,
+        participants: usize,
+    ) -> Result<FastTrainingSession, BackendError> {
+        let enc = Arc::new(EncodeCore::from_parts(spec.im(), spec.cim(), spec.ngram()));
+        let n_words32 = enc.n_words32;
+        let classes = spec.classes();
+        // The per-class seeded tie vectors of the golden associative
+        // memory, materialized once and packed: ties resolve identically
+        // forever after, at zero per-update cost.
+        let ties: Vec<Hv64> = (0..classes)
+            .map(|class| {
+                let mut rng =
+                    Xoshiro256PlusPlus::seed_from_u64(derive_seed(spec.tie_seed(), class as u64));
+                Hv64::from_binary(&BinaryHv::random_from(n_words32, &mut rng))
+            })
+            .collect();
+        let pool = {
+            let enc = &enc;
+            WorkerPool::spawn(participants.saturating_sub(1), || {
+                let enc = Arc::clone(enc);
+                let mut scratch = EncodeScratch::new(enc.n_words32);
+                move |job: TrainJob| {
+                    // SAFETY: see `RawWindows`/`RawLabels` — the batch
+                    // and label slices outlive the job because the
+                    // dispatcher waits for our `done` message.
+                    let windows =
+                        unsafe { std::slice::from_raw_parts(job.windows.ptr, job.windows.len) };
+                    let labels =
+                        unsafe { std::slice::from_raw_parts(job.labels.ptr, job.labels.len) };
+                    let mut partials: Vec<CounterBundler> = (0..job.classes)
+                        .map(|_| CounterBundler::new(enc.n_words32))
+                        .collect();
+                    let result = job
+                        .range
+                        .clone()
+                        .try_for_each(|i| {
+                            validate_label(labels[i], job.classes)?;
+                            enc.encode_with(&windows[i], &mut scratch)?;
+                            partials[labels[i]].add(&scratch.query);
+                            Ok(())
+                        })
+                        .map(|()| partials);
+                    let _ = job.done.send((job.chunk, result));
+                }
+            })
+        };
+        Ok(FastTrainingSession {
+            counters: (0..classes)
+                .map(|_| CounterBundler::new(n_words32))
+                .collect(),
+            prototypes: vec![Hv64::zeros(n_words32); classes],
+            stale: vec![false; classes],
+            ties,
+            scratch: EncodeScratch::new(n_words32),
+            enc,
+            pool,
+            spec: spec.clone(),
+            backend: *self,
         })
     }
 }
@@ -197,6 +276,14 @@ impl ExecutionBackend for FastBackend {
     fn prepare(&self, model: &HdModel) -> Result<Box<dyn BackendSession>, BackendError> {
         let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let session = self.prepare_with_participants(model, self.threads.min(cpus))?;
+        Ok(Box::new(session))
+    }
+}
+
+impl TrainableBackend for FastBackend {
+    fn begin_training(&self, spec: &TrainSpec) -> Result<Box<dyn TrainingSession>, BackendError> {
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let session = self.begin_training_with_participants(spec, self.threads.min(cpus))?;
         Ok(Box::new(session))
     }
 }
@@ -231,24 +318,44 @@ impl EncodeScratch {
     }
 }
 
-/// The immutable, shareable part of a session: model tables and shape.
-/// Shared with the pool workers behind an [`Arc`].
-struct FastCore {
+/// The immutable encoding tables of the chain — everything needed to
+/// turn a window into its packed query hypervector, shared by the
+/// serving and training sessions (and their pool workers) behind an
+/// [`Arc`].
+struct EncodeCore {
     /// `bound[c][l] = IM[c] ⊕ CIM[l]`, the per-sample bind table.
     bound: Vec<Vec<Hv64>>,
-    prototypes: Vec<Hv64>,
     levels: usize,
     ngram: usize,
     n_words32: usize,
-    scan: ScanPolicy,
 }
 
-impl FastCore {
-    fn classify_with(
+impl EncodeCore {
+    /// Precomputes the bind table from the model's item memories.
+    fn from_parts(im: &hdc::ItemMemory, cim: &hdc::ContinuousItemMemory, ngram: usize) -> Self {
+        let levels = cim.n_levels();
+        let bound: Vec<Vec<Hv64>> = (0..im.len())
+            .map(|c| {
+                (0..levels)
+                    .map(|l| Hv64::from_binary(&im.get(c).bind(cim.get(l))))
+                    .collect()
+            })
+            .collect();
+        Self {
+            n_words32: cim.get(0).n_words(),
+            bound,
+            levels,
+            ngram,
+        }
+    }
+
+    /// Encodes one window into `scratch.query` — the zero-allocation
+    /// spatial → temporal chain (see the module docs).
+    fn encode_with(
         &self,
         window: &[Vec<u16>],
         scratch: &mut EncodeScratch,
-    ) -> Result<Verdict, BackendError> {
+    ) -> Result<(), BackendError> {
         validate_window(window, self.bound.len(), self.ngram)?;
         let EncodeScratch {
             levels,
@@ -291,6 +398,26 @@ impl FastCore {
             }
             BitslicedBundler::bundle_paper_into(g_count, |i| &grams[i], query);
         }
+        Ok(())
+    }
+}
+
+/// The immutable, shareable part of a serving session: the encoding
+/// tables plus the trained prototypes and scan policy.
+struct FastCore {
+    enc: EncodeCore,
+    prototypes: Vec<Hv64>,
+    scan: ScanPolicy,
+}
+
+impl FastCore {
+    fn classify_with(
+        &self,
+        window: &[Vec<u16>],
+        scratch: &mut EncodeScratch,
+    ) -> Result<Verdict, BackendError> {
+        self.enc.encode_with(window, scratch)?;
+        let query = &scratch.query;
         // AM search.
         let mut distances = Vec::with_capacity(self.prototypes.len());
         let class = match self.scan {
@@ -311,27 +438,39 @@ impl FastCore {
 
 /// A borrowed batch smuggled across the channel as a raw slice.
 ///
-/// Soundness: `classify_batch` keeps a [`ResultDrain`] guard alive from
-/// the first dispatch until every dispatched chunk has reported back —
-/// on the happy path *and* during unwinding — so the pointee
-/// (`&[Vec<Vec<u16>>]` borrowed by the caller) strictly outlives all
-/// worker accesses, and workers only read.
+/// Soundness: the dispatching call (`classify_batch` / `train_batch`)
+/// keeps a [`ResultDrain`] guard alive from the first dispatch until
+/// every dispatched chunk has reported back — on the happy path *and*
+/// during unwinding — so the pointee (`&[Vec<Vec<u16>>]` borrowed by
+/// the caller) strictly outlives all worker accesses, and workers only
+/// read.
 struct RawWindows {
     ptr: *const Vec<Vec<u16>>,
     len: usize,
 }
 
 // SAFETY: the pointee is a shared slice only read by the receiving
-// worker while the sending `classify_batch` call keeps the borrow alive
-// (its `ResultDrain` guard joins on the result channel before the
-// frame — panicking or not — can release the borrow).
+// worker while the sending batch call keeps the borrow alive (its
+// `ResultDrain` guard joins on the result channel before the frame —
+// panicking or not — can release the borrow).
 unsafe impl Send for RawWindows {}
+
+/// A borrowed label slice, under the same [`ResultDrain`] contract as
+/// [`RawWindows`].
+struct RawLabels {
+    ptr: *const usize,
+    len: usize,
+}
+
+// SAFETY: as for `RawWindows` — shared read-only slice, outlived by the
+// dispatcher's drain guard.
+unsafe impl Send for RawLabels {}
 
 /// A chunk's completion message: chunk index + its verdicts.
 type ChunkResult = (usize, Result<Vec<Verdict>, BackendError>);
 
-/// One chunk of a batch, dispatched to a pool worker.
-struct Job {
+/// One chunk of a classification batch, dispatched to a pool worker.
+struct ClassifyJob {
     windows: RawWindows,
     /// Window range of this chunk within the batch.
     range: Range<usize>,
@@ -341,23 +480,39 @@ struct Job {
     done: Sender<ChunkResult>,
 }
 
+/// A training chunk's completion message: chunk index + the partial
+/// per-class counter planes the worker accumulated over its windows.
+type TrainChunkResult = (usize, Result<Vec<CounterBundler>, BackendError>);
+
+/// One chunk of a training batch, dispatched to a pool worker: the
+/// worker encodes its window range into a **private** set of per-class
+/// counter planes and sends the partials back for merging.
+struct TrainJob {
+    windows: RawWindows,
+    labels: RawLabels,
+    range: Range<usize>,
+    chunk: usize,
+    classes: usize,
+    done: Sender<TrainChunkResult>,
+}
+
 /// Unwind guard for a batch in flight: counts dispatched chunks and, if
 /// the dispatching frame unwinds before collecting them (a worker died,
 /// or chunk 0 panicked), blocks in `drop` until every outstanding chunk
 /// has reported or every worker-held sender is gone — whichever comes
-/// first. Workers drop their `Job` (and its sender clone) when they
+/// first. Workers drop their job (and its sender clone) when they
 /// finish or unwind, and in both cases they have stopped touching the
-/// batch slice by then, so once `drop` returns no worker can still see
-/// the caller's borrow.
-struct ResultDrain<'a> {
-    rx: &'a Receiver<ChunkResult>,
+/// batch slices by then, so once `drop` returns no worker can still see
+/// the caller's borrows.
+struct ResultDrain<'a, T> {
+    rx: &'a Receiver<(usize, T)>,
     /// The dispatcher's own sender, dropped before draining so `recv`
     /// can observe channel closure instead of deadlocking.
-    tx: Option<Sender<ChunkResult>>,
+    tx: Option<Sender<(usize, T)>>,
     outstanding: usize,
 }
 
-impl Drop for ResultDrain<'_> {
+impl<T> Drop for ResultDrain<'_, T> {
     fn drop(&mut self) {
         self.tx = None;
         while self.outstanding > 0 {
@@ -369,37 +524,33 @@ impl Drop for ResultDrain<'_> {
     }
 }
 
-/// The session's persistent worker pool: long-lived threads, one job
-/// channel and one private [`EncodeScratch`] arena each. Spawned once
-/// at `prepare` time; dropped (channels closed, threads joined) with
+/// A session's persistent worker pool: long-lived threads, one job
+/// channel and one private worker state (scratch arena, partial
+/// counters) each, generic over the job type it serves. Spawned once at
+/// session construction; dropped (channels closed, threads joined) with
 /// the session.
-struct WorkerPool {
-    senders: Vec<Sender<Job>>,
+struct WorkerPool<J: Send + 'static> {
+    senders: Vec<Sender<J>>,
     handles: Vec<JoinHandle<()>>,
 }
 
-impl WorkerPool {
-    fn spawn(core: &Arc<FastCore>, workers: usize) -> Self {
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `workers` threads, each running the job handler built by
+    /// one `make_worker` call (the builder runs on the spawning thread;
+    /// the handler owns its per-worker state).
+    fn spawn<W, F>(workers: usize, make_worker: F) -> Self
+    where
+        W: FnMut(J) + Send + 'static,
+        F: Fn() -> W,
+    {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let core = Arc::clone(core);
-            let (tx, rx): (Sender<Job>, Receiver<Job>) = channel();
+            let mut work = make_worker();
+            let (tx, rx): (Sender<J>, Receiver<J>) = channel();
             handles.push(std::thread::spawn(move || {
-                let mut scratch = EncodeScratch::new(core.n_words32);
                 while let Ok(job) = rx.recv() {
-                    // SAFETY: see `RawWindows` — the batch outlives the
-                    // job because the dispatcher waits for our `done`
-                    // message before returning.
-                    let windows =
-                        unsafe { std::slice::from_raw_parts(job.windows.ptr, job.windows.len) };
-                    let result = windows[job.range.clone()]
-                        .iter()
-                        .map(|w| core.classify_with(w, &mut scratch))
-                        .collect::<Result<Vec<_>, _>>();
-                    // A dropped receiver just means the dispatcher gave
-                    // up on the batch; keep serving future jobs.
-                    let _ = job.done.send((job.chunk, result));
+                    work(job);
                 }
             }));
             senders.push(tx);
@@ -412,7 +563,7 @@ impl WorkerPool {
     }
 }
 
-impl Drop for WorkerPool {
+impl<J: Send + 'static> Drop for WorkerPool<J> {
     fn drop(&mut self) {
         // Closing the job channels ends each worker's recv loop.
         self.senders.clear();
@@ -422,21 +573,26 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Adaptive fan-out for a batch of `batch` items over a pool: as many
+/// participants as the pool offers, but never fewer than
+/// [`MIN_WINDOWS_PER_WORKER`] items each — `1` means "stay inline on
+/// the calling thread".
+fn fan_out_for<J: Send + 'static>(pool: &WorkerPool<J>, batch: usize) -> usize {
+    (pool.workers() + 1)
+        .min(batch / MIN_WINDOWS_PER_WORKER)
+        .max(1)
+}
+
 struct FastSession {
     core: Arc<FastCore>,
     /// Arena for single-window calls and inline (non-fanned) batches.
     scratch: EncodeScratch,
-    pool: WorkerPool,
+    pool: WorkerPool<ClassifyJob>,
 }
 
 impl FastSession {
-    /// Adaptive fan-out for a batch: as many participants as the pool
-    /// offers, but never fewer than [`MIN_WINDOWS_PER_WORKER`] windows
-    /// each — `1` means "stay inline on the calling thread".
     fn fan_out(&self, batch: usize) -> usize {
-        (self.pool.workers() + 1)
-            .min(batch / MIN_WINDOWS_PER_WORKER)
-            .max(1)
+        fan_out_for(&self.pool, batch)
     }
 }
 
@@ -472,7 +628,7 @@ impl BackendSession for FastSession {
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
             self.pool.senders[idx - 1]
-                .send(Job {
+                .send(ClassifyJob {
                     windows: RawWindows {
                         ptr: windows.as_ptr(),
                         len: windows.len(),
@@ -505,6 +661,208 @@ impl BackendSession for FastSession {
             out.extend(part.expect("every chunk reports exactly once")?);
         }
         Ok(out)
+    }
+}
+
+/// The throughput training session: the same packed encode chain and
+/// persistent worker pool as the serving side, feeding per-class
+/// [`CounterBundler`] counter planes instead of an AM scan.
+///
+/// * **Batch training** fans the batch out exactly like
+///   `classify_batch`: workers encode disjoint chunks into *private*
+///   partial counter planes (no shared mutable state, no locks), which
+///   the calling thread then merges via bit-sliced sideways addition
+///   and thresholds once. Counter addition is commutative, so the
+///   trained prototypes are bit-identical to sequential golden
+///   training regardless of the split.
+/// * **Online updates** are incremental: one sideways addition into the
+///   class's counters plus one vectorized re-threshold of that class
+///   against its precomputed seeded tie vector — no other class is
+///   touched, no tie vector is ever regenerated.
+///
+/// Prototypes re-threshold lazily ([`finalize`](TrainingSession::
+/// finalize) or the classification inside `update_online` pay the cost
+/// only for classes whose counters changed).
+struct FastTrainingSession {
+    enc: Arc<EncodeCore>,
+    counters: Vec<CounterBundler>,
+    prototypes: Vec<Hv64>,
+    stale: Vec<bool>,
+    /// Per-class seeded tie vectors (see `begin_training_with_participants`).
+    ties: Vec<Hv64>,
+    /// Arena for inline encoding (single windows, non-fanned batches).
+    scratch: EncodeScratch,
+    pool: WorkerPool<TrainJob>,
+    spec: TrainSpec,
+    /// The backend configuration, for the serving hand-off.
+    backend: FastBackend,
+}
+
+impl FastTrainingSession {
+    /// Re-thresholds every stale non-empty class.
+    fn refresh_prototypes(&mut self) {
+        for class in 0..self.counters.len() {
+            if self.stale[class] && !self.counters[class].is_empty() {
+                self.counters[class]
+                    .majority_seeded_into(&self.ties[class], &mut self.prototypes[class]);
+                self.stale[class] = false;
+            }
+        }
+    }
+
+    /// Encodes and accumulates one window inline on the calling thread.
+    fn train_inline(&mut self, window: &[Vec<u16>], label: usize) -> Result<(), BackendError> {
+        validate_label(label, self.counters.len())?;
+        self.enc.encode_with(window, &mut self.scratch)?;
+        self.counters[label].add(&self.scratch.query);
+        self.stale[label] = true;
+        Ok(())
+    }
+}
+
+impl TrainingSession for FastTrainingSession {
+    fn train(&mut self, window: &[Vec<u16>], label: usize) -> Result<(), BackendError> {
+        self.train_inline(window, label)
+    }
+
+    fn train_batch(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        labels: &[usize],
+    ) -> Result<(), BackendError> {
+        if windows.len() != labels.len() {
+            return Err(BackendError::Input(format!(
+                "batch of {} windows carries {} labels",
+                windows.len(),
+                labels.len()
+            )));
+        }
+        let fan_out = fan_out_for(&self.pool, windows.len());
+        if fan_out <= 1 {
+            return windows
+                .iter()
+                .zip(labels)
+                .try_for_each(|(w, &l)| self.train_inline(w, l));
+        }
+        let chunk = windows.len().div_ceil(fan_out);
+        let n_chunks = windows.len().div_ceil(chunk);
+        let (done_tx, done_rx) = channel();
+        // Same unwind contract as `classify_batch`: `drain` keeps this
+        // frame alive until no worker can still see the borrows.
+        let mut drain = ResultDrain {
+            rx: &done_rx,
+            tx: Some(done_tx),
+            outstanding: 0,
+        };
+        for idx in 1..n_chunks {
+            let range = idx * chunk..((idx + 1) * chunk).min(windows.len());
+            let done = drain
+                .tx
+                .as_ref()
+                .expect("dispatcher sender lives through dispatch")
+                .clone();
+            self.pool.senders[idx - 1]
+                .send(TrainJob {
+                    windows: RawWindows {
+                        ptr: windows.as_ptr(),
+                        len: windows.len(),
+                    },
+                    labels: RawLabels {
+                        ptr: labels.as_ptr(),
+                        len: labels.len(),
+                    },
+                    range,
+                    chunk: idx,
+                    classes: self.counters.len(),
+                    done,
+                })
+                .expect("training worker exited early");
+            drain.outstanding += 1;
+        }
+        drain.tx = None;
+        // The calling thread works chunk 0 straight into the session
+        // counters (merge order is irrelevant: counts are commutative).
+        let mut first_error = windows[..chunk]
+            .iter()
+            .zip(&labels[..chunk])
+            .try_for_each(|(w, &l)| self.train_inline(w, l))
+            .err();
+        while drain.outstanding > 0 {
+            let (_, result) = drain.rx.recv().expect("training worker panicked");
+            drain.outstanding -= 1;
+            match result {
+                Ok(partials) => {
+                    for (class, partial) in partials.iter().enumerate() {
+                        if !partial.is_empty() {
+                            self.counters[class].merge(partial);
+                            self.stale[class] = true;
+                        }
+                    }
+                }
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn update_online(
+        &mut self,
+        window: &[Vec<u16>],
+        label: usize,
+    ) -> Result<Verdict, BackendError> {
+        validate_label(label, self.counters.len())?;
+        self.enc.encode_with(window, &mut self.scratch)?;
+        self.refresh_prototypes();
+        let query = &self.scratch.query;
+        let mut distances = Vec::with_capacity(self.prototypes.len());
+        distances.extend(self.prototypes.iter().map(|p| p.hamming(query)));
+        let class = argmin(&distances);
+        let verdict = Verdict {
+            class,
+            distances,
+            query: query.to_binary(),
+            cycles: None,
+        };
+        // Incremental adaptation: one sideways addition + one vectorized
+        // re-threshold of this class only.
+        self.counters[label].add(&self.scratch.query);
+        self.counters[label].majority_seeded_into(&self.ties[label], &mut self.prototypes[label]);
+        self.stale[label] = false;
+        Ok(verdict)
+    }
+
+    fn examples(&self, class: usize) -> u32 {
+        self.counters[class].len()
+    }
+
+    fn finalize(&mut self) -> Result<HdModel, BackendError> {
+        self.refresh_prototypes();
+        HdModel::new(
+            self.spec.cim().clone(),
+            self.spec.im().clone(),
+            self.prototypes.iter().map(Hv64::to_binary).collect(),
+            self.spec.ngram(),
+        )
+    }
+
+    fn reset(&mut self) {
+        for (counter, (prototype, stale)) in self
+            .counters
+            .iter_mut()
+            .zip(self.prototypes.iter_mut().zip(&mut self.stale))
+        {
+            counter.clear();
+            *prototype = Hv64::zeros(counter.n_words32());
+            *stale = false;
+        }
+    }
+
+    fn into_serving(mut self: Box<Self>) -> Result<Box<dyn BackendSession>, BackendError> {
+        let model = self.finalize()?;
+        self.backend.prepare(&model)
     }
 }
 
@@ -832,6 +1190,246 @@ mod tests {
         let windows = random_windows(&params, 1, 4 * MIN_WINDOWS_PER_WORKER, 1);
         pooled.classify_batch(&windows).unwrap();
         drop(pooled); // must not deadlock or leak threads
+    }
+
+    /// Random labels for a training batch.
+    fn random_labels(count: usize, classes: usize, seed: u64) -> Vec<usize> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..count)
+            .map(|_| rng.next_below(classes as u32) as usize)
+            .collect()
+    }
+
+    /// A training session with a real worker pool of the given size,
+    /// regardless of host CPU count.
+    fn pooled_training(
+        backend: FastBackend,
+        spec: &TrainSpec,
+        participants: usize,
+    ) -> FastTrainingSession {
+        backend
+            .begin_training_with_participants(spec, participants)
+            .unwrap()
+    }
+
+    /// The decisive training property: fast-trained prototypes (inline
+    /// and through the real worker pool) are bit-identical to golden
+    /// training across random shapes, inputs, and splits.
+    #[test]
+    fn training_is_bit_identical_to_golden_across_shapes() {
+        use crate::backend::TrainableBackend as _;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x7A41_0001);
+        for case in 0..10 {
+            let params = AccelParams {
+                n_words: 1 + rng.next_below(24) as usize,
+                channels: 1 + rng.next_below(6) as usize,
+                levels: 2 + rng.next_below(20) as usize,
+                ngram: 1 + rng.next_below(3) as usize,
+                classes: 2 + rng.next_below(5) as usize,
+            };
+            let spec = TrainSpec::random(&params, rng.next_u64());
+            let samples = params.ngram + rng.next_below(3) as usize;
+            let count = 4 * MIN_WINDOWS_PER_WORKER + rng.next_below(9) as usize;
+            let windows = random_windows(&params, samples, count, rng.next_u64());
+            let labels = random_labels(count, params.classes, rng.next_u64());
+
+            let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+            golden.train_batch(&windows, &labels).unwrap();
+            let expected = golden.finalize().unwrap();
+
+            // Inline (single participant) …
+            let mut inline = pooled_training(FastBackend::with_threads(1), &spec, 1);
+            inline.train_batch(&windows, &labels).unwrap();
+            let got_inline = inline.finalize().unwrap();
+            assert_eq!(
+                got_inline.prototypes(),
+                expected.prototypes(),
+                "case {case} inline with {params:?}"
+            );
+
+            // … and through a genuinely fanned-out pool.
+            let mut pooled = pooled_training(FastBackend::with_threads(4), &spec, 4);
+            assert_eq!(fan_out_for(&pooled.pool, count), 4, "must exercise pool");
+            pooled.train_batch(&windows, &labels).unwrap();
+            let got_pooled = pooled.finalize().unwrap();
+            assert_eq!(
+                got_pooled.prototypes(),
+                expected.prototypes(),
+                "case {case} pooled with {params:?}"
+            );
+            for class in 0..params.classes {
+                assert_eq!(
+                    pooled.examples(class),
+                    labels.iter().filter(|&&l| l == class).count() as u32,
+                    "case {case} class {class}: example count"
+                );
+            }
+        }
+    }
+
+    /// Adversarial tie-rigged training: duplicated and complemented
+    /// windows force exact counter ties, which must resolve through the
+    /// same seeded tie vectors as the golden associative memory.
+    #[test]
+    fn training_ties_resolve_identically_to_golden() {
+        use crate::backend::TrainableBackend as _;
+        let params = AccelParams {
+            n_words: 8,
+            channels: 4,
+            levels: 6,
+            ngram: 1,
+            classes: 3,
+        };
+        let spec = TrainSpec::random(&params, 0x7E11);
+        // Two distinct windows per class, each added an equal number of
+        // times: every component where their encodings differ is an
+        // exact tie.
+        let a = random_windows(&params, 2, 1, 100).remove(0);
+        let b = random_windows(&params, 2, 1, 200).remove(0);
+        let mut windows = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..3 {
+            for _ in 0..2 + class {
+                windows.push(a.clone());
+                labels.push(class);
+                windows.push(b.clone());
+                labels.push(class);
+            }
+        }
+        let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+        golden.train_batch(&windows, &labels).unwrap();
+        let expected = golden.finalize().unwrap();
+        let mut fast = pooled_training(FastBackend::with_threads(4), &spec, 4);
+        fast.train_batch(&windows, &labels).unwrap();
+        let got = fast.finalize().unwrap();
+        assert_eq!(got.prototypes(), expected.prototypes());
+    }
+
+    /// One training session, many batches and online updates, crossing
+    /// the inline/fan-out cutover: state accumulates exactly like the
+    /// golden reference, and `reset` starts over cleanly.
+    #[test]
+    fn training_session_accumulates_and_resets_like_golden() {
+        use crate::backend::TrainableBackend as _;
+        let params = AccelParams {
+            n_words: 12,
+            ngram: 2,
+            ..AccelParams::emg_default()
+        };
+        let spec = TrainSpec::random(&params, 88);
+        let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+        let mut fast = pooled_training(FastBackend::with_threads(3), &spec, 3);
+        for (round, count) in [40usize, 1, 25, 3, 64, 0, 17].iter().enumerate() {
+            let windows = random_windows(&params, 4, *count, 600 + round as u64);
+            let labels = random_labels(*count, params.classes, 900 + round as u64);
+            golden.train_batch(&windows, &labels).unwrap();
+            fast.train_batch(&windows, &labels).unwrap();
+            assert_eq!(
+                fast.finalize().unwrap().prototypes(),
+                golden.finalize().unwrap().prototypes(),
+                "round {round} with {count} windows"
+            );
+        }
+        // Online updates after batch training: verdicts and adapted
+        // prototypes stay identical.
+        let stream = random_windows(&params, 4, 12, 4_321);
+        let stream_labels = random_labels(12, params.classes, 1_234);
+        for (i, (w, &l)) in stream.iter().zip(&stream_labels).enumerate() {
+            let g = golden.update_online(w, l).unwrap();
+            let f = fast.update_online(w, l).unwrap();
+            assert_eq!(f, g, "update {i}");
+        }
+        assert_eq!(
+            fast.finalize().unwrap().prototypes(),
+            golden.finalize().unwrap().prototypes(),
+            "after online updates"
+        );
+        // Reset and retrain from scratch.
+        fast.reset();
+        golden.reset();
+        for class in 0..params.classes {
+            assert_eq!(fast.examples(class), 0, "class {class} after reset");
+        }
+        let windows = random_windows(&params, 4, 20, 77);
+        let labels = random_labels(20, params.classes, 78);
+        golden.train_batch(&windows, &labels).unwrap();
+        fast.train_batch(&windows, &labels).unwrap();
+        assert_eq!(
+            fast.finalize().unwrap().prototypes(),
+            golden.finalize().unwrap().prototypes(),
+            "after reset"
+        );
+    }
+
+    /// `into_serving` classifies exactly like preparing the finalized
+    /// model by hand — the one-shot train → deploy path.
+    #[test]
+    fn training_hands_off_to_bit_identical_serving_session() {
+        use crate::backend::TrainableBackend as _;
+        let params = AccelParams {
+            n_words: 16,
+            ..AccelParams::emg_default()
+        };
+        let spec = TrainSpec::random(&params, 3);
+        let windows = random_windows(&params, 3, 40, 5);
+        let labels = random_labels(40, params.classes, 6);
+        let mut trainer = FastBackend::with_threads(2).begin_training(&spec).unwrap();
+        trainer.train_batch(&windows, &labels).unwrap();
+        let model = trainer.finalize().unwrap();
+        let mut direct = trainer.into_serving().unwrap();
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let probes = random_windows(&params, 3, 10, 9);
+        assert_eq!(
+            direct.classify_batch(&probes).unwrap(),
+            golden.classify_batch(&probes).unwrap()
+        );
+    }
+
+    /// Training surfaces bad labels and malformed windows from both the
+    /// inline and the pooled path, and the pool survives the failure.
+    #[test]
+    fn training_surfaces_input_errors_inline_and_pooled() {
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let spec = TrainSpec::random(&params, 2);
+        let mut session = pooled_training(FastBackend::with_threads(4), &spec, 4);
+        // Inline path.
+        assert!(matches!(
+            session.train(&random_windows(&params, 1, 1, 1)[0], 99),
+            Err(BackendError::Input(_))
+        ));
+        assert!(matches!(
+            session.train(&[vec![0u16; 3]], 0),
+            Err(BackendError::Input(_))
+        ));
+        // Length mismatch.
+        assert!(matches!(
+            session.train_batch(&random_windows(&params, 1, 4, 2), &[0, 1]),
+            Err(BackendError::Input(_))
+        ));
+        // Pool path: the bad window sits in a worker's chunk.
+        let mut windows = random_windows(&params, 1, 4 * MIN_WINDOWS_PER_WORKER, 3);
+        let labels = random_labels(windows.len(), params.classes, 4);
+        let last = windows.len() - 1;
+        windows[last] = vec![vec![0u16; 3]];
+        assert!(matches!(
+            session.train_batch(&windows, &labels),
+            Err(BackendError::Input(_))
+        ));
+        // The pool survives and still trains correctly afterwards.
+        session.reset();
+        let windows = random_windows(&params, 1, 4 * MIN_WINDOWS_PER_WORKER, 9);
+        let labels = random_labels(windows.len(), params.classes, 10);
+        session.train_batch(&windows, &labels).unwrap();
+        use crate::backend::TrainableBackend as _;
+        let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+        golden.train_batch(&windows, &labels).unwrap();
+        assert_eq!(
+            session.finalize().unwrap().prototypes(),
+            golden.finalize().unwrap().prototypes()
+        );
     }
 
     #[test]

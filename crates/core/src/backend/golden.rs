@@ -8,10 +8,11 @@
 //! [`AccelBackend`](super::AccelBackend) for cycle-accurate timing.
 
 use hdc::encoder::{SpatialEncoder, TemporalEncoder};
-use hdc::BinaryHv;
+use hdc::{AssociativeMemory, BinaryHv};
 
 use super::{
-    argmin, validate_window, BackendError, BackendSession, ExecutionBackend, HdModel, Verdict,
+    argmin, validate_label, validate_window, BackendError, BackendSession, ExecutionBackend,
+    HdModel, TrainSpec, TrainableBackend, TrainingSession, Verdict,
 };
 
 /// The scalar golden-model backend (zero-configuration).
@@ -32,20 +33,38 @@ impl ExecutionBackend for GoldenBackend {
     }
 }
 
+impl TrainableBackend for GoldenBackend {
+    fn begin_training(&self, spec: &TrainSpec) -> Result<Box<dyn TrainingSession>, BackendError> {
+        Ok(Box::new(GoldenTrainingSession {
+            spatial: SpatialEncoder::from_parts(spec.im().clone(), spec.cim().clone()),
+            temporal: TemporalEncoder::new(spec.ngram()),
+            am: AssociativeMemory::new(spec.classes(), spec.n_words(), spec.tie_seed()),
+            spec: spec.clone(),
+        }))
+    }
+}
+
 struct GoldenSession {
     spatial: SpatialEncoder,
     prototypes: Vec<BinaryHv>,
     temporal: TemporalEncoder,
 }
 
+/// Encodes one validated window into its query hypervector — the exact
+/// chain of the golden classifier, shared by serving and training.
+fn encode_window(
+    spatial: &SpatialEncoder,
+    temporal: &TemporalEncoder,
+    window: &[Vec<u16>],
+) -> Result<BinaryHv, BackendError> {
+    validate_window(window, spatial.channels(), temporal.n())?;
+    let spatials: Vec<BinaryHv> = window.iter().map(|s| spatial.encode_codes(s)).collect();
+    Ok(temporal.encode(&spatials))
+}
+
 impl BackendSession for GoldenSession {
     fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
-        validate_window(window, self.spatial.channels(), self.temporal.n())?;
-        let spatials: Vec<BinaryHv> = window
-            .iter()
-            .map(|s| self.spatial.encode_codes(s))
-            .collect();
-        let query = self.temporal.encode(&spatials);
+        let query = encode_window(&self.spatial, &self.temporal, window)?;
         let distances: Vec<u32> = self.prototypes.iter().map(|p| p.hamming(&query)).collect();
         Ok(Verdict {
             class: argmin(&distances),
@@ -53,6 +72,69 @@ impl BackendSession for GoldenSession {
             query,
             cycles: None,
         })
+    }
+}
+
+/// The reference training session: the scalar encoders feeding the
+/// golden [`AssociativeMemory`] — one `u32` counter per component, the
+/// seeded tie-breaks of the golden model. Every other trainable backend
+/// must reproduce its prototypes bit for bit.
+struct GoldenTrainingSession {
+    spatial: SpatialEncoder,
+    temporal: TemporalEncoder,
+    am: AssociativeMemory,
+    spec: TrainSpec,
+}
+
+impl TrainingSession for GoldenTrainingSession {
+    fn train(&mut self, window: &[Vec<u16>], label: usize) -> Result<(), BackendError> {
+        validate_label(label, self.am.n_classes())?;
+        let query = encode_window(&self.spatial, &self.temporal, window)?;
+        self.am.train(label, &query);
+        Ok(())
+    }
+
+    fn update_online(
+        &mut self,
+        window: &[Vec<u16>],
+        label: usize,
+    ) -> Result<Verdict, BackendError> {
+        validate_label(label, self.am.n_classes())?;
+        let query = encode_window(&self.spatial, &self.temporal, window)?;
+        let before = self.am.classify(&query);
+        self.am.update_online(label, &query);
+        Ok(Verdict {
+            class: before.class(),
+            distances: before.distances().to_vec(),
+            query,
+            cycles: None,
+        })
+    }
+
+    fn examples(&self, class: usize) -> u32 {
+        self.am.examples(class)
+    }
+
+    fn finalize(&mut self) -> Result<HdModel, BackendError> {
+        HdModel::new(
+            self.spec.cim().clone(),
+            self.spec.im().clone(),
+            self.am.prototypes().to_vec(),
+            self.spec.ngram(),
+        )
+    }
+
+    fn reset(&mut self) {
+        self.am = AssociativeMemory::new(
+            self.spec.classes(),
+            self.spec.n_words(),
+            self.spec.tie_seed(),
+        );
+    }
+
+    fn into_serving(mut self: Box<Self>) -> Result<Box<dyn BackendSession>, BackendError> {
+        let model = self.finalize()?;
+        GoldenBackend.prepare(&model)
     }
 }
 
@@ -121,6 +203,105 @@ mod tests {
             let expected = clf.predict(w).unwrap();
             assert_eq!(verdict.class, expected.class());
             assert_eq!(verdict.distances, expected.distances());
+        }
+    }
+
+    /// Training through the session API reproduces `HdClassifier`
+    /// training bit for bit when the spec is derived from the same
+    /// configuration — including online updates after finalization.
+    #[test]
+    fn training_session_matches_hd_classifier() {
+        use hdc::{HdClassifier, HdConfig};
+        let config = HdConfig {
+            n_words: 24,
+            channels: 4,
+            levels: 22,
+            ngram: 2,
+            window: 4,
+            seed: 0xBEEF,
+        };
+        let windows: Vec<Vec<Vec<u16>>> = (0..9)
+            .map(|k: usize| {
+                (0..4)
+                    .map(|t: usize| {
+                        (0..4)
+                            .map(|c: usize| ((k * 17_000 + t * 801 + c * 131) % 65_536) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..9).map(|k| k % 3).collect();
+
+        let mut clf = HdClassifier::new(config, 3).unwrap();
+        for (w, &l) in windows.iter().zip(&labels) {
+            clf.train_window(l, w).unwrap();
+        }
+        clf.finalize();
+        let expected = HdModel::from_classifier(&mut clf);
+
+        let spec = TrainSpec::from_config(&config, 3).unwrap();
+        let mut session = GoldenBackend.begin_training(&spec).unwrap();
+        session.train_batch(&windows, &labels).unwrap();
+        assert_eq!(session.examples(0), 3);
+        let model = session.finalize().unwrap();
+        assert_eq!(model.prototypes(), expected.prototypes());
+
+        // Online updates keep matching the classifier's adaptation.
+        let verdict = session.update_online(&windows[0], 1).unwrap();
+        let reference = clf.predict_and_adapt(&windows[0], Some(1)).unwrap();
+        assert_eq!(verdict.class, reference.class());
+        assert_eq!(verdict.distances, reference.distances());
+        let adapted = session.finalize().unwrap();
+        assert_eq!(
+            adapted.prototypes()[1],
+            clf.am_mut().prototype(1).clone(),
+            "online update diverged from the classifier"
+        );
+
+        // reset() starts a fresh model on the same spec.
+        session.reset();
+        assert_eq!(session.examples(1), 0);
+
+        // Bad labels and shapes are rejected.
+        assert!(matches!(
+            session.train(&windows[0], 7),
+            Err(BackendError::Input(_))
+        ));
+        assert!(matches!(
+            session.train(&vec![vec![0u16; 3]; 4], 0),
+            Err(BackendError::Input(_))
+        ));
+    }
+
+    /// `into_serving` serves the trained model directly.
+    #[test]
+    fn training_session_hands_off_to_serving() {
+        use super::super::TrainSpec;
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let spec = TrainSpec::random(&params, 55);
+        let mut training = GoldenBackend.begin_training(&spec).unwrap();
+        let windows: Vec<Vec<Vec<u16>>> = (0..6)
+            .map(|k: usize| {
+                vec![(0..4)
+                    .map(|c| ((k * 9_000 + c * 313) % 65_536) as u16)
+                    .collect()]
+            })
+            .collect();
+        let labels = [0usize, 1, 2, 0, 1, 2];
+        training.train_batch(&windows, &labels).unwrap();
+        let model = {
+            let mut t2 = GoldenBackend.begin_training(&spec).unwrap();
+            t2.train_batch(&windows, &labels).unwrap();
+            t2.finalize().unwrap()
+        };
+        let mut direct = training.into_serving().unwrap();
+        let mut via_model = GoldenBackend.prepare(&model).unwrap();
+        for w in &windows {
+            assert_eq!(direct.classify(w).unwrap(), via_model.classify(w).unwrap());
         }
     }
 

@@ -40,6 +40,26 @@
 //! random EMG windows and random chain shapes (the pruned scan is
 //! additionally pinned to preserve class, query, and winning distance).
 //!
+//! ## Training through the same seam
+//!
+//! The paper's one-shot training runs the *same* encode chain as
+//! classification, so the backend layer expresses it too:
+//! [`TrainableBackend::begin_training`] turns a [`TrainSpec`] (seed
+//! matrices, class count, tie seed — no prototypes yet) into a
+//! [`TrainingSession`] with
+//! [`train`](TrainingSession::train) /
+//! [`train_batch`](TrainingSession::train_batch) /
+//! [`update_online`](TrainingSession::update_online), and hands the
+//! result off via [`finalize`](TrainingSession::finalize) (an
+//! [`HdModel`] for any backend) or
+//! [`into_serving`](TrainingSession::into_serving) (directly into a
+//! serving [`BackendSession`]). [`GoldenBackend`] trains through the
+//! scalar `hdc::AssociativeMemory` (the reference); [`FastBackend`]
+//! accumulates `u64`-packed queries into bit-sliced counter planes
+//! (`hdc::hv64::CounterBundler`) over its persistent worker pool, with
+//! per-class seeded tie vectors precomputed once — bit-identical
+//! trained prototypes at an order of magnitude more throughput.
+//!
 //! ## Example
 //!
 //! ```
@@ -69,7 +89,7 @@ pub use fast::{FastBackend, ScanPolicy};
 pub use golden::GoldenBackend;
 
 use hdc::rng::derive_seed;
-use hdc::{BinaryHv, ContinuousItemMemory, HdClassifier, ItemMemory};
+use hdc::{BinaryHv, ContinuousItemMemory, HdClassifier, HdConfig, ItemMemory};
 
 use crate::layout::AccelParams;
 use crate::pipeline::ChainError;
@@ -230,6 +250,157 @@ impl HdModel {
     }
 }
 
+/// Everything needed to *start* training a model: the seed matrices and
+/// shape of the chain, but no prototypes yet — those are what training
+/// produces.
+///
+/// The spec fixes the training semantics completely: the IM/CIM decide
+/// the encoding, `tie_seed` decides how exactly-tied majority votes
+/// resolve (per class, via [`derive_seed`]), so every
+/// [`TrainableBackend`] fed the same spec and the same examples must
+/// produce **bit-identical** prototypes. Property tests pin this for
+/// the shipped backends.
+#[derive(Debug, Clone)]
+pub struct TrainSpec {
+    cim: ContinuousItemMemory,
+    im: ItemMemory,
+    ngram: usize,
+    classes: usize,
+    tie_seed: u64,
+}
+
+impl TrainSpec {
+    /// Bundles existing seed matrices into a training spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Model`] if `classes == 0`, `ngram == 0`,
+    /// or the IM and CIM widths disagree.
+    pub fn new(
+        cim: ContinuousItemMemory,
+        im: ItemMemory,
+        ngram: usize,
+        classes: usize,
+        tie_seed: u64,
+    ) -> Result<Self, BackendError> {
+        if classes == 0 {
+            return Err(BackendError::Model(
+                "training needs at least one class".into(),
+            ));
+        }
+        if ngram == 0 {
+            return Err(BackendError::Model("n-gram size must be at least 1".into()));
+        }
+        let n_words = cim.get(0).n_words();
+        for hv in cim.iter().chain(im.iter()) {
+            if hv.n_words() != n_words {
+                return Err(BackendError::Model(format!(
+                    "hypervector width mismatch: {} vs {} words",
+                    hv.n_words(),
+                    n_words
+                )));
+            }
+        }
+        Ok(Self {
+            cim,
+            im,
+            ngram,
+            classes,
+            tie_seed,
+        })
+    }
+
+    /// The spec of a golden-model classifier configuration: item
+    /// memories and tie seed are derived from `config.seed` exactly as
+    /// [`HdClassifier::new`] derives them, so training through any
+    /// backend reproduces the classifier's prototypes bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Model`] if the configuration is invalid
+    /// or `n_classes == 0`.
+    pub fn from_config(config: &HdConfig, n_classes: usize) -> Result<Self, BackendError> {
+        config
+            .validate()
+            .map_err(|e| BackendError::Model(e.to_string()))?;
+        Self::new(
+            ContinuousItemMemory::new(config.levels, config.n_words, derive_seed(config.seed, 2)),
+            ItemMemory::new(config.channels, config.n_words, derive_seed(config.seed, 1)),
+            config.ngram,
+            n_classes,
+            derive_seed(config.seed, 3),
+        )
+    }
+
+    /// A seeded random spec of the given shape (test/bench constructor;
+    /// shares its seed streams with [`HdModel::random`], so a model
+    /// trained from this spec encodes queries identically to that
+    /// random model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`AccelParams::validate`].
+    #[must_use]
+    pub fn random(params: &AccelParams, seed: u64) -> Self {
+        params.validate().expect("valid accelerator parameters");
+        Self {
+            cim: ContinuousItemMemory::new(params.levels, params.n_words, derive_seed(seed, 1)),
+            im: ItemMemory::new(params.channels, params.n_words, derive_seed(seed, 2)),
+            ngram: params.ngram,
+            classes: params.classes,
+            tie_seed: derive_seed(seed, 3),
+        }
+    }
+
+    /// The continuous item memory (quantization-level hypervectors).
+    #[must_use]
+    pub fn cim(&self) -> &ContinuousItemMemory {
+        &self.cim
+    }
+
+    /// The channel item memory.
+    #[must_use]
+    pub fn im(&self) -> &ItemMemory {
+        &self.im
+    }
+
+    /// N-gram size of the temporal encoder.
+    #[must_use]
+    pub fn ngram(&self) -> usize {
+        self.ngram
+    }
+
+    /// Number of classes the trained model will have.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Master seed of the per-class majority tie-breaks.
+    #[must_use]
+    pub fn tie_seed(&self) -> u64 {
+        self.tie_seed
+    }
+
+    /// Hypervector width in `u32` words.
+    #[must_use]
+    pub fn n_words(&self) -> usize {
+        self.cim.get(0).n_words()
+    }
+
+    /// Number of input channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.im.len()
+    }
+
+    /// Number of quantization levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.cim.n_levels()
+    }
+}
+
 /// Per-kernel cycle counts reported by cycle-measuring backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CycleBreakdown {
@@ -353,6 +524,139 @@ pub trait BackendSession: Send {
     fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
         windows.iter().map(|w| self.classify(w)).collect()
     }
+}
+
+/// A backend that can also *train* models, not just serve them.
+///
+/// Where [`ExecutionBackend::prepare`] consumes an already-trained
+/// [`HdModel`], [`begin_training`](Self::begin_training) starts from a
+/// [`TrainSpec`] (seed matrices, no prototypes) and returns a live
+/// [`TrainingSession`] that accumulates examples, adapts online, and
+/// finally hands the trained model off — either as an [`HdModel`] or
+/// directly as a serving [`BackendSession`].
+///
+/// Every implementation must produce prototypes bit-identical to the
+/// golden path (`hdc::AssociativeMemory` fed the same encoded queries
+/// under the same seeded tie-breaks); the property suites pin
+/// [`GoldenBackend`] and [`FastBackend`] to each other on random and
+/// adversarially tie-rigged inputs.
+pub trait TrainableBackend: ExecutionBackend {
+    /// Starts a training session for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if the spec cannot be realized on this
+    /// backend.
+    fn begin_training(&self, spec: &TrainSpec) -> Result<Box<dyn TrainingSession>, BackendError>;
+}
+
+/// A model being trained on one substrate.
+///
+/// Windows follow the same shape rules as [`BackendSession`] (at least
+/// `ngram` samples, `channels` codes per sample). The session keeps the
+/// per-component vote counters of every class, so training, one-shot or
+/// batched, can be followed by online updates at any time — the paper's
+/// "continuously updated for on-line learning" AM, behind the backend
+/// seam.
+pub trait TrainingSession: Send {
+    /// Accumulates one training window for `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Input`] on shape mismatch or a label out
+    /// of range.
+    fn train(&mut self, window: &[Vec<u16>], label: usize) -> Result<(), BackendError>;
+
+    /// Accumulates a batch of labelled windows (`labels[i]` is the class
+    /// of `windows[i]`).
+    ///
+    /// The default implementation loops [`train`](Self::train);
+    /// throughput-oriented backends override it (the [`FastBackend`]
+    /// fans the batch out across its worker pool; counter accumulation
+    /// is commutative, so the trained model is independent of the
+    /// split).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Input`] if the lengths differ, on shape
+    /// mismatch, or on a label out of range. When an error is returned
+    /// mid-batch the session's counters are unspecified (some windows
+    /// of the batch may have been accumulated); callers that need
+    /// all-or-nothing semantics should validate shapes up front.
+    fn train_batch(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        labels: &[usize],
+    ) -> Result<(), BackendError> {
+        if windows.len() != labels.len() {
+            return Err(BackendError::Input(format!(
+                "batch of {} windows carries {} labels",
+                windows.len(),
+                labels.len()
+            )));
+        }
+        for (window, &label) in windows.iter().zip(labels) {
+            self.train(window, label)?;
+        }
+        Ok(())
+    }
+
+    /// Classifies `window` against the current prototypes, then folds it
+    /// into `label`'s counters and re-thresholds **only that class** —
+    /// the online-learning step. The returned [`Verdict`] is the
+    /// classification *before* the update (the deployed model's answer),
+    /// so supervised-feedback loops get prediction and adaptation in one
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Input`] on shape mismatch or a label out
+    /// of range.
+    fn update_online(&mut self, window: &[Vec<u16>], label: usize)
+        -> Result<Verdict, BackendError>;
+
+    /// Number of training examples accumulated for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    fn examples(&self, class: usize) -> u32;
+
+    /// Re-thresholds any stale prototypes and returns the trained model
+    /// (classes with no examples keep all-zero prototypes, exactly like
+    /// the golden associative memory). The session stays usable — more
+    /// training or online updates may follow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Model`] if the trained parts cannot be
+    /// assembled into a model.
+    fn finalize(&mut self) -> Result<HdModel, BackendError>;
+
+    /// Discards all accumulated training state (counters, prototypes),
+    /// keeping buffers and worker pools warm — start a fresh model on
+    /// the same spec without paying session construction again.
+    fn reset(&mut self);
+
+    /// Finalizes and hands the trained model straight to this backend's
+    /// serving side: `session.into_serving()` is the one-shot-train →
+    /// deploy path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if finalization or serving-session
+    /// preparation fails.
+    fn into_serving(self: Box<Self>) -> Result<Box<dyn BackendSession>, BackendError>;
+}
+
+/// Shared label validation for training sessions.
+pub(crate) fn validate_label(label: usize, classes: usize) -> Result<(), BackendError> {
+    if label >= classes {
+        return Err(BackendError::Input(format!(
+            "label {label} out of range for {classes} classes"
+        )));
+    }
+    Ok(())
 }
 
 /// Shared input validation: every sample must have `channels` codes and

@@ -9,9 +9,10 @@
 //! are not part of the paper's per-gesture accuracy either).
 
 use emg::{Dataset, SynthConfig, Window};
-use hdc::{HdClassifier, HdConfig};
+use hdc::HdConfig;
 use svm::{FixedSvm, Kernel, SmoParams, SvmClassifier};
 
+use crate::backend::{BackendSession, FastBackend, TrainSpec, TrainableBackend};
 use crate::experiments::report::{percent, render_table};
 
 /// Configuration of the accuracy study.
@@ -196,13 +197,34 @@ pub(crate) fn hold_windows(
     out
 }
 
+/// Labelled windows converted once into the batch shape the backend
+/// sessions consume, so the per-dimension sweep reuses them instead of
+/// re-cloning every window per point.
+struct LabelledBatch {
+    windows: Vec<Vec<Vec<u16>>>,
+    labels: Vec<usize>,
+}
+
+impl LabelledBatch {
+    fn from_windows(windows: &[Window]) -> Self {
+        Self {
+            windows: windows.iter().map(|w| w.codes.clone()).collect(),
+            labels: windows.iter().map(|w| w.label).collect(),
+        }
+    }
+}
+
+/// Trains an HD model through the fast trainable session (batched over
+/// the worker pool; bit-identical to the golden classifier's training
+/// loop by the backend equivalence properties) and hands it off as a
+/// serving session for evaluation.
 fn train_hd(
     n_words: usize,
     cfg: &AccuracyConfig,
     channels: usize,
     classes: usize,
-    train: &[Window],
-) -> HdClassifier {
+    train: &LabelledBatch,
+) -> Box<dyn BackendSession> {
     let hd_cfg = HdConfig {
         n_words,
         channels,
@@ -211,20 +233,22 @@ fn train_hd(
         window: cfg.window,
         seed: cfg.seed ^ 0x11d,
     };
-    let mut clf = HdClassifier::new(hd_cfg, classes).expect("valid config");
-    for w in train {
-        clf.train_window(w.label, &w.codes).expect("window shape");
-    }
-    clf.finalize();
-    clf
+    let spec = TrainSpec::from_config(&hd_cfg, classes).expect("valid config");
+    let mut trainer = FastBackend::new().begin_training(&spec).expect("session");
+    trainer
+        .train_batch(&train.windows, &train.labels)
+        .expect("window shape");
+    trainer.into_serving().expect("serving hand-off")
 }
 
-fn hd_accuracy(clf: &HdClassifier, test: &[Window]) -> f64 {
-    let correct = test
+fn hd_accuracy(session: &mut dyn BackendSession, test: &LabelledBatch) -> f64 {
+    let verdicts = session.classify_batch(&test.windows).expect("window shape");
+    let correct = verdicts
         .iter()
-        .filter(|w| clf.predict(&w.codes).expect("window shape").class() == w.label)
+        .zip(&test.labels)
+        .filter(|(v, &label)| v.class == label)
         .count();
-    correct as f64 / test.len() as f64
+    correct as f64 / test.labels.len() as f64
 }
 
 /// Runs the accuracy study.
@@ -248,15 +272,17 @@ pub fn run(cfg: &AccuracyConfig) -> AccuracyReport {
         let all_idx: Vec<usize> = (0..ds.trials().len()).collect();
         let train = hold_windows(&ds, &train_idx, cfg.window, cfg.hold_margin);
         let test = hold_windows(&ds, &all_idx, cfg.window, cfg.hold_margin);
+        let train_batch = LabelledBatch::from_windows(&train);
+        let test_batch = LabelledBatch::from_windows(&test);
 
         // HD at full dimension and at the 224-D compaction point.
         let hd_full = hd_accuracy(
-            &train_hd(313, cfg, ds.channels(), ds.classes(), &train),
-            &test,
+            train_hd(313, cfg, ds.channels(), ds.classes(), &train_batch).as_mut(),
+            &test_batch,
         );
         let hd_200 = hd_accuracy(
-            &train_hd(7, cfg, ds.channels(), ds.classes(), &train),
-            &test,
+            train_hd(7, cfg, ds.channels(), ds.classes(), &train_batch).as_mut(),
+            &test_batch,
         );
 
         // Dimensionality sweep.
@@ -267,8 +293,8 @@ pub fn run(cfg: &AccuracyConfig) -> AccuracyReport {
                 hd_200
             } else {
                 hd_accuracy(
-                    &train_hd(words, cfg, ds.channels(), ds.classes(), &train),
-                    &test,
+                    train_hd(words, cfg, ds.channels(), ds.classes(), &train_batch).as_mut(),
+                    &test_batch,
                 )
             };
             sweep_acc[i] += acc;

@@ -11,8 +11,9 @@
 //! redundancy argument of the HD literature, measured.
 
 use emg::{Dataset, SynthConfig};
-use hdc::{HdClassifier, HdConfig};
+use hdc::HdConfig;
 
+use crate::backend::{ExecutionBackend, FastBackend, HdModel, TrainSpec, TrainableBackend};
 use crate::experiments::accuracy::{hold_windows, AccuracyConfig};
 use crate::experiments::report::{percent, render_table};
 
@@ -57,6 +58,10 @@ pub fn run(quick: bool) -> Robustness {
     let train = hold_windows(&ds, &train_idx, acc_cfg.window, acc_cfg.hold_margin);
     let test = hold_windows(&ds, &all_idx, acc_cfg.window, acc_cfg.hold_margin);
 
+    let train_windows: Vec<Vec<Vec<u16>>> = train.iter().map(|w| w.codes.clone()).collect();
+    let train_labels: Vec<usize> = train.iter().map(|w| w.label).collect();
+    let test_windows: Vec<Vec<Vec<u16>>> = test.iter().map(|w| w.codes.clone()).collect();
+
     let mut rows = Vec::new();
     for n_words in [313usize, 7] {
         let config = HdConfig {
@@ -67,27 +72,40 @@ pub fn run(quick: bool) -> Robustness {
             window: acc_cfg.window,
             seed: acc_cfg.seed ^ 0x11d,
         };
-        let mut clf = HdClassifier::new(config, ds.classes()).expect("valid config");
-        for w in &train {
-            clf.train_window(w.label, &w.codes).expect("window shape");
-        }
-        clf.finalize();
-        let clean: Vec<hdc::BinaryHv> = (0..ds.classes())
-            .map(|k| clf.am_mut().prototype(k).clone())
-            .collect();
+        // Train through the fast trainable session (bit-identical to
+        // the golden classifier's loop), then serve fault-injected
+        // variants of the clean model.
+        let spec = TrainSpec::from_config(&config, ds.classes()).expect("valid config");
+        let mut trainer = FastBackend::new().begin_training(&spec).expect("session");
+        trainer
+            .train_batch(&train_windows, &train_labels)
+            .expect("window shape");
+        let clean = trainer.finalize().expect("trained model");
 
         let mut accuracy = Vec::with_capacity(FAULT_RATES.len());
         for (fi, &rate) in FAULT_RATES.iter().enumerate() {
             // Inject faults into every prototype.
             let dim = n_words * 32;
             let flips = (dim as f64 * rate).round() as usize;
-            for (k, p) in clean.iter().enumerate() {
-                let faulty = p.with_bit_flips(flips, (fi * 16 + k) as u64);
-                clf.am_mut().set_prototype(k, faulty);
-            }
-            let correct = test
+            let faulty: Vec<hdc::BinaryHv> = clean
+                .prototypes()
                 .iter()
-                .filter(|w| clf.predict(&w.codes).expect("window shape").class() == w.label)
+                .enumerate()
+                .map(|(k, p)| p.with_bit_flips(flips, (fi * 16 + k) as u64))
+                .collect();
+            let model = HdModel::new(
+                clean.cim().clone(),
+                clean.im().clone(),
+                faulty,
+                clean.ngram(),
+            )
+            .expect("faulted model");
+            let mut session = FastBackend::new().prepare(&model).expect("serving");
+            let verdicts = session.classify_batch(&test_windows).expect("window shape");
+            let correct = verdicts
+                .iter()
+                .zip(&test)
+                .filter(|(v, w)| v.class == w.label)
                 .count();
             accuracy.push(correct as f64 / test.len() as f64);
         }

@@ -14,8 +14,10 @@
 //! index.
 
 use hdc::rng::Xoshiro256PlusPlus;
+use hdc::Simd;
 use pulp_hd_core::backend::{
-    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy,
+    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy, TrainSpec,
+    TrainableBackend,
 };
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
@@ -114,6 +116,96 @@ fn host_backends_agree_on_sliding_window_batches() {
         let got = fast.classify_batch(&windows).unwrap();
         assert_eq!(got, expected, "case {case} with {params:?}");
     }
+}
+
+/// Training equivalence across backends **and SIMD kernel levels**: for
+/// random chain shapes and labelled window streams — including
+/// adversarially tie-rigged streams of repeated windows, which force
+/// exact counter ties through the seeded tie-break — the golden and
+/// fast trainable sessions produce bit-identical prototypes, verdicts,
+/// and online adaptations, whether the fast path runs its detected
+/// SIMD level or the forced-portable fallback.
+///
+/// (`PULP_HD_FORCE_SCALAR=1` CI coverage comes on top of this: the
+/// whole suite, this test included, re-runs with the portable level
+/// pinned.)
+#[test]
+fn training_agrees_across_backends_and_simd_levels() {
+    let detected = Simd::detect();
+    let mut levels = vec![Simd::Portable];
+    if detected != Simd::Portable {
+        levels.push(detected);
+    }
+    for level in levels {
+        Simd::set_active(level);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x7A11_ED00);
+        for case in 0..8 {
+            let params = AccelParams {
+                n_words: 1 + rng.next_below(24) as usize,
+                channels: 1 + rng.next_below(6) as usize,
+                ngram: 1 + rng.next_below(3) as usize,
+                classes: 2 + rng.next_below(5) as usize,
+                levels: 2 + rng.next_below(20) as usize,
+            };
+            let spec = TrainSpec::random(&params, rng.next_u64());
+            let samples = params.ngram + rng.next_below(3) as usize;
+            // A small pool of distinct windows, repeated: repeats give
+            // even per-component counts, i.e. exact majority ties.
+            let pool: Vec<Vec<Vec<u16>>> = (0..4)
+                .map(|_| {
+                    (0..samples)
+                        .map(|_| {
+                            (0..params.channels)
+                                .map(|_| (rng.next_u32() & 0xffff) as u16)
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let count = 24 + rng.next_below(17) as usize;
+            let windows: Vec<Vec<Vec<u16>>> = (0..count)
+                .map(|_| pool[rng.next_below(4) as usize].clone())
+                .collect();
+            let labels: Vec<usize> = (0..count)
+                .map(|_| rng.next_below(params.classes as u32) as usize)
+                .collect();
+
+            let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+            let mut fast = FastBackend::with_threads(4).begin_training(&spec).unwrap();
+            golden.train_batch(&windows, &labels).unwrap();
+            fast.train_batch(&windows, &labels).unwrap();
+            let g_model = golden.finalize().unwrap();
+            let f_model = fast.finalize().unwrap();
+            let ctx = format!("{level:?} case {case} with {params:?}");
+            assert_eq!(
+                f_model.prototypes(),
+                g_model.prototypes(),
+                "{ctx}: trained prototypes diverged"
+            );
+
+            // A stream of online updates keeps the two in lock-step.
+            for (i, (w, &l)) in windows.iter().zip(&labels).take(6).enumerate() {
+                let g = golden.update_online(w, l).unwrap();
+                let f = fast.update_online(w, l).unwrap();
+                assert_eq!(f, g, "{ctx}: online update {i}");
+            }
+            assert_eq!(
+                fast.finalize().unwrap().prototypes(),
+                golden.finalize().unwrap().prototypes(),
+                "{ctx}: prototypes after online updates"
+            );
+
+            // The trained models also *serve* identically.
+            let mut g_serve = golden.into_serving().unwrap();
+            let mut f_serve = fast.into_serving().unwrap();
+            assert_eq!(
+                f_serve.classify_batch(&pool).unwrap(),
+                g_serve.classify_batch(&pool).unwrap(),
+                "{ctx}: served verdicts diverged"
+            );
+        }
+    }
+    Simd::set_active(Simd::detect());
 }
 
 /// The pruned-scan fast backend preserves everything the early exit can

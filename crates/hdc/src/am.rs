@@ -140,7 +140,8 @@ impl AssociativeMemory {
         for class in 0..self.prototypes.len() {
             if self.stale[class] && !self.bundlers[class].is_empty() {
                 let tie = derive_seed(self.tie_seed, class as u64);
-                self.prototypes[class] = self.bundlers[class].majority(TieBreak::Seeded(tie));
+                self.bundlers[class]
+                    .majority_into(TieBreak::Seeded(tie), &mut self.prototypes[class]);
                 self.stale[class] = false;
             }
         }
@@ -293,8 +294,14 @@ impl AssociativeMemory {
         }
     }
 
-    /// Online update: adds `query` to `class` and re-thresholds only that
-    /// prototype, so a deployed model can keep learning.
+    /// Online update: adds `query` to `class` and re-thresholds only
+    /// that prototype **incrementally** — the prototype is updated in
+    /// place, touching only words whose majority actually crossed the
+    /// threshold, and the seeded tie vector is materialized only when a
+    /// component genuinely ties (never for an odd example count). The
+    /// result is bit-identical to a full re-threshold
+    /// ([`Bundler::majority`] with the class's seeded tie), which a
+    /// property test pins.
     ///
     /// # Panics
     ///
@@ -302,7 +309,7 @@ impl AssociativeMemory {
     pub fn update_online(&mut self, class: usize, query: &BinaryHv) {
         self.train(class, query);
         let tie = derive_seed(self.tie_seed, class as u64);
-        self.prototypes[class] = self.bundlers[class].majority(TieBreak::Seeded(tie));
+        self.bundlers[class].majority_into(TieBreak::Seeded(tie), &mut self.prototypes[class]);
         self.stale[class] = false;
     }
 }
@@ -393,6 +400,35 @@ mod tests {
             after < before,
             "online update should track drift: {before} -> {after}"
         );
+    }
+
+    /// The incremental online update is pinned to the full re-threshold:
+    /// after every single update — through even counts (seeded ties),
+    /// odd counts, and interleavings with batch training — the prototype
+    /// equals a from-scratch majority over the class counters.
+    #[test]
+    fn online_update_is_bit_identical_to_full_rethreshold() {
+        let mut am = AssociativeMemory::new(3, 9, 0xA11E);
+        let mut step = 0u64;
+        for round in 0..12 {
+            let class = round % 3;
+            // Mix plain training (stale prototypes) into the stream so
+            // updates start from unfinalized state too.
+            if round % 4 == 3 {
+                am.train(class, &BinaryHv::random(9, 10_000 + step));
+                step += 1;
+            }
+            let query = BinaryHv::random(9, 20_000 + step);
+            step += 1;
+            am.update_online(class, &query);
+            let tie = derive_seed(0xA11E, class as u64);
+            let expected = am.bundlers[class].majority(TieBreak::Seeded(tie));
+            assert_eq!(
+                am.prototypes[class], expected,
+                "round {round}: incremental update diverged from full majority"
+            );
+            assert!(!am.stale[class], "round {round}: class left stale");
+        }
     }
 
     #[test]

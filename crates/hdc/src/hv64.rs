@@ -676,6 +676,211 @@ impl BitslicedBundler {
     }
 }
 
+/// Counter-plane training accumulator — the packed twin of the scalar
+/// associative-memory [`crate::bundle::Bundler`].
+///
+/// Where [`BitslicedBundler`] votes with the *paper's* tie policy (for
+/// within-window encoding), `CounterBundler` keeps the **training**
+/// semantics of the golden model: per-component vote counts that
+/// survive across batches, thresholded with a caller-supplied (seeded)
+/// tie vector. Counts are stored bit-sliced — plane `p` holds bit `p`
+/// of the count for 64 components per word — so:
+///
+/// * [`add`](Self::add) is a carry-save sideways addition
+///   ([`Simd::csa_step`](crate::simd::Simd::csa_step) rippled through
+///   the planes): one packed hypervector joins 64 counters per
+///   word-operation;
+/// * [`merge`](Self::merge) adds another accumulator's planes in at
+///   their significance — the reduction step that lets batch-training
+///   workers accumulate disjoint chunks privately and combine them
+///   exactly (counter addition is commutative, so the merged counts —
+///   and therefore the trained prototype — are independent of how the
+///   batch was split);
+/// * [`majority_seeded_into`](Self::majority_seeded_into) thresholds
+///   all counters at once
+///   ([`Simd::counter_majority_into`](crate::simd::Simd::counter_majority_into)):
+///   strictly-greater-than-half wins, exact half ties copy the tie
+///   vector's bit — bit-identical to
+///   [`Bundler::majority`](crate::bundle::Bundler::majority) with
+///   [`TieBreak::Seeded`](crate::bundle::TieBreak) over the same seed.
+///
+/// Storage is retained across [`clear`](Self::clear) cycles; after
+/// warm-up, accumulation performs no heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use hdc::bundle::{Bundler, TieBreak};
+/// use hdc::hv64::{CounterBundler, Hv64};
+/// use hdc::BinaryHv;
+///
+/// let inputs: Vec<BinaryHv> = (0..4).map(|s| BinaryHv::random(313, s)).collect();
+/// let tie = BinaryHv::random(313, 99);
+///
+/// let mut scalar = Bundler::new(313);
+/// let mut packed = CounterBundler::new(313);
+/// for hv in &inputs {
+///     scalar.add(hv);
+///     packed.add(&Hv64::from_binary(hv));
+/// }
+/// let mut out = Hv64::zeros(313);
+/// packed.majority_seeded_into(&Hv64::from_binary(&tie), &mut out);
+/// assert_eq!(out.to_binary(), scalar.majority(TieBreak::Vector(&tie)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterBundler {
+    /// `planes[p][w]`: bit `p` of the vote count of the 64 components in
+    /// word `w`. Grows on demand.
+    planes: Vec<Vec<u64>>,
+    /// Carry scratch of the sideways addition (one word row).
+    carry: Vec<u64>,
+    n_words32: usize,
+    n: u32,
+}
+
+impl CounterBundler {
+    /// An empty accumulator for hypervectors of `n_words32` canonical
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_words32 == 0`.
+    #[must_use]
+    pub fn new(n_words32: usize) -> Self {
+        assert!(n_words32 > 0, "bundler width must be at least one word");
+        Self {
+            planes: Vec::new(),
+            carry: vec![0u64; n_words32.div_ceil(2)],
+            n_words32,
+            n: 0,
+        }
+    }
+
+    /// Width of accepted hypervectors in canonical `u32` words.
+    #[must_use]
+    pub fn n_words32(&self) -> usize {
+        self.n_words32
+    }
+
+    /// Number of hypervectors accumulated so far.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether no hypervectors have been accumulated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Resets all counters to zero without releasing storage.
+    pub fn clear(&mut self) {
+        for plane in &mut self.planes {
+            plane.fill(0);
+        }
+        self.n = 0;
+    }
+
+    /// Ripples `carry` (pre-loaded with the addend) into the planes from
+    /// significance `from` upward, growing the stack as needed.
+    fn ripple_from(&mut self, from: usize) {
+        let simd = Simd::active();
+        let mut p = from;
+        let mut pending = true;
+        while pending {
+            if p == self.planes.len() {
+                self.planes.push(vec![0u64; self.carry.len()]);
+            }
+            pending = simd.csa_step(&mut self.planes[p], &mut self.carry);
+            p += 1;
+        }
+    }
+
+    /// Adds one hypervector to every counter it has a one-bit for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv` has a different width.
+    pub fn add(&mut self, hv: &Hv64) {
+        assert_eq!(
+            hv.n_words32, self.n_words32,
+            "bundler width mismatch: expected {} u32 words, got {}",
+            self.n_words32, hv.n_words32
+        );
+        self.carry.copy_from_slice(&hv.words);
+        self.ripple_from(0);
+        self.n = self.n.checked_add(1).expect("counter overflow");
+    }
+
+    /// Adds another accumulator's counts into this one (sideways
+    /// addition plane by plane at its significance). The result is the
+    /// accumulator that would have seen both input streams, in any
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulators have different widths.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            other.n_words32, self.n_words32,
+            "bundler width mismatch: expected {} u32 words, got {}",
+            self.n_words32, other.n_words32
+        );
+        for (p, plane) in other.planes.iter().enumerate() {
+            self.carry.copy_from_slice(plane);
+            self.ripple_from(p);
+        }
+        self.n = self.n.checked_add(other.n).expect("counter overflow");
+    }
+
+    /// Thresholds the counters into `out`: a component becomes one iff
+    /// strictly more than half of the accumulated inputs had it set, or
+    /// exactly half did (even counts only) and `tie`'s bit is one.
+    ///
+    /// Bit-identical to
+    /// [`Bundler::majority`](crate::bundle::Bundler::majority) with
+    /// [`TieBreak::Vector`](crate::bundle::TieBreak)`(tie)` (and
+    /// therefore to `TieBreak::Seeded` when `tie` is the seeded vector
+    /// materialized from the same seed). Unlike the paper-policy
+    /// bundlers, this does **not** reset the accumulator: training
+    /// counters persist so the model "can be continuously updated for
+    /// on-line learning".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator is empty or `tie` / `out` widths
+    /// differ.
+    pub fn majority_seeded_into(&self, tie: &Hv64, out: &mut Hv64) {
+        assert!(self.n > 0, "majority of an empty bundle is undefined");
+        assert_eq!(
+            tie.n_words32, self.n_words32,
+            "tie-break vector width mismatch: expected {} u32 words, got {}",
+            self.n_words32, tie.n_words32
+        );
+        assert_eq!(
+            out.n_words32, self.n_words32,
+            "bundler width mismatch: expected {} u32 words, got {}",
+            self.n_words32, out.n_words32
+        );
+        Simd::active().counter_majority_into(
+            |p| self.planes[p].as_slice(),
+            self.planes.len(),
+            self.n,
+            &tie.words,
+            &mut out.words,
+        );
+        // Inputs and tie have clean padding, so padding counts are zero
+        // and never reach the threshold; mask defensively anyway,
+        // matching the rest of the module.
+        let n_words = out.words.len();
+        let tail = (self.n_words32 * BITS_PER_WORD) % BITS_PER_WORD64;
+        if tail != 0 {
+            out.words[n_words - 1] &= (1u64 << tail) - 1;
+        }
+    }
+}
+
 /// Exact nearest-prototype search with early exit, writing per-class
 /// distances into a caller-owned buffer and returning the winning class.
 ///
@@ -1017,6 +1222,128 @@ mod tests {
         let mut bundler = BitslicedBundler::new(2);
         let (_, a) = pair(3, 1);
         bundler.add(&a);
+    }
+
+    #[test]
+    fn counter_bundler_matches_scalar_training_bundler() {
+        use crate::bundle::{Bundler, TieBreak};
+        for n in 1usize..=12 {
+            for n_words32 in [1usize, 3, 11, 313] {
+                let hvs: Vec<BinaryHv> = (0..n)
+                    .map(|s| BinaryHv::random(n_words32, 2_000 + s as u64))
+                    .collect();
+                let tie = BinaryHv::random(n_words32, 4_242);
+                let mut scalar = Bundler::new(n_words32);
+                let mut packed = CounterBundler::new(n_words32);
+                for hv in &hvs {
+                    scalar.add(hv);
+                    packed.add(&Hv64::from_binary(hv));
+                }
+                assert_eq!(packed.len(), n as u32);
+                let mut out = Hv64::from_binary(&BinaryHv::random(n_words32, 7)); // dirty
+                packed.majority_seeded_into(&Hv64::from_binary(&tie), &mut out);
+                assert_eq!(
+                    out.to_binary(),
+                    scalar.majority(TieBreak::Vector(&tie)),
+                    "{n_words32} words, n = {n}"
+                );
+                // Counters persist: thresholding again gives the same
+                // answer, and more adds keep counting.
+                let mut again = Hv64::zeros(n_words32);
+                packed.majority_seeded_into(&Hv64::from_binary(&tie), &mut again);
+                assert_eq!(again, out, "{n_words32} words, n = {n}: persistent");
+            }
+        }
+    }
+
+    /// Exact ties are the adversarial case: two complementary inputs tie
+    /// every component, so the output must equal the tie vector itself.
+    #[test]
+    fn counter_bundler_ties_copy_the_tie_vector() {
+        let a = BinaryHv::random(5, 1);
+        let mut b = a.clone();
+        for i in 0..b.dim() {
+            b.set_bit(i, !b.bit(i));
+        }
+        let tie = BinaryHv::random(5, 9);
+        let mut packed = CounterBundler::new(5);
+        packed.add(&Hv64::from_binary(&a));
+        packed.add(&Hv64::from_binary(&b));
+        let mut out = Hv64::zeros(5);
+        packed.majority_seeded_into(&Hv64::from_binary(&tie), &mut out);
+        assert_eq!(out.to_binary(), tie);
+    }
+
+    /// Merging split accumulators equals one accumulator over the whole
+    /// stream, regardless of split point or merge order.
+    #[test]
+    fn counter_bundler_merge_is_exact_and_order_free() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xC0DE);
+        for case in 0..12 {
+            let n_words32 = 1 + rng.next_below(20) as usize;
+            let n = 1 + rng.next_below(14) as usize;
+            let hvs: Vec<Hv64> = (0..n)
+                .map(|_| Hv64::from_binary(&BinaryHv::random(n_words32, rng.next_u64())))
+                .collect();
+            let tie = Hv64::from_binary(&BinaryHv::random(n_words32, rng.next_u64()));
+            let mut whole = CounterBundler::new(n_words32);
+            for hv in &hvs {
+                whole.add(hv);
+            }
+            let split = (rng.next_below(n as u32 + 1)) as usize;
+            let mut left = CounterBundler::new(n_words32);
+            let mut right = CounterBundler::new(n_words32);
+            for hv in &hvs[..split] {
+                left.add(hv);
+            }
+            for hv in &hvs[split..] {
+                right.add(hv);
+            }
+            let mut expected = Hv64::zeros(n_words32);
+            whole.majority_seeded_into(&tie, &mut expected);
+            // left ← right …
+            let mut merged = left.clone();
+            merged.merge(&right);
+            assert_eq!(merged.len(), n as u32);
+            let mut out = Hv64::zeros(n_words32);
+            merged.majority_seeded_into(&tie, &mut out);
+            assert_eq!(out, expected, "case {case}: split {split} of {n}");
+            // … and right ← left agree.
+            let mut flipped = right.clone();
+            flipped.merge(&left);
+            flipped.majority_seeded_into(&tie, &mut out);
+            assert_eq!(out, expected, "case {case}: merge order");
+        }
+    }
+
+    #[test]
+    fn counter_bundler_clear_keeps_storage_and_resets_counts() {
+        let mut b = CounterBundler::new(3);
+        for s in 0..5 {
+            b.add(&Hv64::from_binary(&BinaryHv::random(3, s)));
+        }
+        b.clear();
+        assert!(b.is_empty());
+        let probe = Hv64::from_binary(&BinaryHv::random(3, 77));
+        b.add(&probe);
+        let mut out = Hv64::zeros(3);
+        b.majority_seeded_into(&Hv64::zeros(3), &mut out);
+        assert_eq!(out, probe, "single input after clear is the identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bundle")]
+    fn counter_bundler_empty_majority_panics() {
+        let b = CounterBundler::new(2);
+        let mut out = Hv64::zeros(2);
+        b.majority_seeded_into(&Hv64::zeros(2), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn counter_bundler_add_width_mismatch_panics() {
+        let mut b = CounterBundler::new(2);
+        b.add(&Hv64::zeros(3));
     }
 
     #[test]

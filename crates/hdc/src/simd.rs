@@ -344,6 +344,78 @@ impl Simd {
         }
     }
 
+    /// One carry-save addition step of the counter-plane accumulators:
+    /// `(plane, carry) ← (plane ⊕ carry, plane ∧ carry)`, evaluated for
+    /// 64 counters per word. Returns whether any carry survives —
+    /// i.e. whether the ripple must continue into the next plane.
+    ///
+    /// Chaining this step over the planes of a bit-sliced counter stack
+    /// adds one packed hypervector to 64 per-component counters per
+    /// word-operation ("sideways addition") — the training-accumulation
+    /// kernel behind [`crate::hv64::CounterBundler`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn csa_step(self, plane: &mut [u64], carry: &mut [u64]) -> bool {
+        assert_eq!(plane.len(), carry.len(), "kernel operand length mismatch");
+        match self {
+            Self::Portable => portable::csa_step(plane, carry),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::csa_step(plane, carry) }
+            }
+        }
+    }
+
+    /// Thresholds bit-sliced per-component counters into a majority
+    /// vector with a **seeded tie policy**: component `c` of word `w`
+    /// becomes one iff its count strictly exceeds `n / 2`, or exactly
+    /// equals `n / 2` (possible only for even `n`) and the corresponding
+    /// `tie` bit is one. This is the vectorized twin of the scalar
+    /// training threshold [`crate::bundle::Bundler::majority`] with
+    /// `TieBreak::Seeded` — the finalize step of one-shot training and
+    /// online updates.
+    ///
+    /// `planes(p)` yields counter plane `p` (bit `p` of each count) for
+    /// `p < n_planes`; higher planes read as zero. Padding lanes whose
+    /// count is zero stay clear as long as `n > 0` (the threshold is at
+    /// least 1 and zero never equals `n / 2` for `n >= 2`; for `n == 1`
+    /// the count *is* the input, which has clean padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or any plane / `tie` length differs from
+    /// `out`'s.
+    pub fn counter_majority_into<'a, F>(
+        self,
+        planes: F,
+        n_planes: usize,
+        n: u32,
+        tie: &[u64],
+        out: &mut [u64],
+    ) where
+        F: Fn(usize) -> &'a [u64],
+    {
+        assert!(n > 0, "majority of an empty bundle is undefined");
+        assert_eq!(tie.len(), out.len(), "kernel operand length mismatch");
+        for p in 0..n_planes {
+            assert_eq!(planes(p).len(), out.len(), "kernel operand length mismatch");
+        }
+        match self {
+            Self::Portable => {
+                portable::counter_majority_from(&planes, n_planes, n, tie, out, 0);
+            }
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::counter_majority_into(&planes, n_planes, n, tie, out) }
+            }
+        }
+    }
+
     /// `dst = rotate(src, k)` over a `dim`-bit vector packed
     /// little-endian into `u64` words: all components move left by
     /// `k mod dim` positions. Padding bits of `src` must be zero;
@@ -683,6 +755,65 @@ mod portable {
                 borrow = (!plane & (t | borrow)) | (t & borrow);
             }
             *o = !borrow;
+        }
+    }
+
+    pub(super) fn csa_step(plane: &mut [u64], carry: &mut [u64]) -> bool {
+        let mut any = 0u64;
+        let mut pc = plane.chunks_exact_mut(4);
+        let mut cc = carry.chunks_exact_mut(4);
+        for (p, c) in (&mut pc).zip(&mut cc) {
+            for i in 0..4 {
+                let t = p[i] & c[i];
+                p[i] ^= c[i];
+                c[i] = t;
+                any |= t;
+            }
+        }
+        for (p, c) in pc
+            .into_remainder()
+            .iter_mut()
+            .zip(cc.into_remainder().iter_mut())
+        {
+            let t = *p & *c;
+            *p ^= *c;
+            *c = t;
+            any |= t;
+        }
+        any != 0
+    }
+
+    /// The seeded-tie counter threshold from word `start` to the end —
+    /// also the tail loop of the AVX2 version.
+    pub(super) fn counter_majority_from<'a, F>(
+        planes: &F,
+        n_planes: usize,
+        n: u32,
+        tie: &[u64],
+        out: &mut [u64],
+        start: usize,
+    ) where
+        F: Fn(usize) -> &'a [u64],
+    {
+        let threshold = n / 2 + 1;
+        let even = n % 2 == 0;
+        let half = n / 2;
+        let t_bits = (32 - threshold.leading_zeros()) as usize;
+        let p_max = n_planes.max(t_bits);
+        for (wi, o) in out.iter_mut().enumerate().skip(start) {
+            // count >= threshold ⇔ (count - threshold) does not borrow;
+            // count == half ⇔ every counter bit matches half's bits.
+            let mut borrow = 0u64;
+            let mut eq = u64::MAX;
+            for p in 0..p_max {
+                let plane = if p < n_planes { planes(p)[wi] } else { 0 };
+                let t = if threshold >> p & 1 == 1 { u64::MAX } else { 0 };
+                borrow = (!plane & (t | borrow)) | (t & borrow);
+                let h = if half >> p & 1 == 1 { u64::MAX } else { 0 };
+                eq &= !(plane ^ h);
+            }
+            let gt = !borrow;
+            *o = if even { gt | (eq & tie[wi]) } else { gt };
         }
     }
 
@@ -1098,6 +1229,94 @@ mod avx2 {
         p
     }
 
+    /// # Safety
+    ///
+    /// Requires AVX2 and `plane.len() == carry.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn csa_step(plane: &mut [u64], carry: &mut [u64]) -> bool {
+        let n = plane.len();
+        let mut any = unsafe { _mm256_setzero_si256() };
+        let mut i = 0;
+        while i + 4 <= n {
+            unsafe {
+                let p = loadu(plane, i);
+                let c = loadu(carry, i);
+                let t = _mm256_and_si256(p, c);
+                storeu(plane, i, _mm256_xor_si256(p, c));
+                storeu(carry, i, t);
+                any = _mm256_or_si256(any, t);
+            }
+            i += 4;
+        }
+        let mut scalar_any = 0u64;
+        while i < n {
+            let t = plane[i] & carry[i];
+            plane[i] ^= carry[i];
+            carry[i] = t;
+            scalar_any |= t;
+            i += 1;
+        }
+        scalar_any != 0 || unsafe { _mm256_testz_si256(any, any) } == 0
+    }
+
+    /// The seeded-tie counter threshold over 256-bit lanes; tail words
+    /// run the portable loop.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; every `planes(p)` for `p < n_planes` and `tie`
+    /// must be at least `out.len()` words.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn counter_majority_into<'a, F>(
+        planes: &F,
+        n_planes: usize,
+        n: u32,
+        tie: &[u64],
+        out: &mut [u64],
+    ) where
+        F: Fn(usize) -> &'a [u64],
+    {
+        let threshold = n / 2 + 1;
+        let even = n % 2 == 0;
+        let half = n / 2;
+        let t_bits = (32 - threshold.leading_zeros()) as usize;
+        let p_max = n_planes.max(t_bits);
+        let n_words = out.len();
+        let mut wi = 0;
+        while wi + 4 <= n_words {
+            unsafe {
+                let zero = _mm256_setzero_si256();
+                let ones = _mm256_set1_epi8(-1);
+                let mut borrow = zero;
+                let mut eq = ones;
+                for p in 0..p_max {
+                    let plane = if p < n_planes {
+                        loadu(planes(p), wi)
+                    } else {
+                        zero
+                    };
+                    let t = if threshold >> p & 1 == 1 { ones } else { zero };
+                    let t_or_b = _mm256_or_si256(t, borrow);
+                    borrow = _mm256_or_si256(
+                        _mm256_andnot_si256(plane, t_or_b),
+                        _mm256_and_si256(t, borrow),
+                    );
+                    let h = if half >> p & 1 == 1 { ones } else { zero };
+                    eq = _mm256_andnot_si256(_mm256_xor_si256(plane, h), eq);
+                }
+                let gt = _mm256_xor_si256(borrow, ones);
+                let v = if even {
+                    _mm256_or_si256(gt, _mm256_and_si256(eq, loadu(tie, wi)))
+                } else {
+                    gt
+                };
+                storeu(out, wi, v);
+            }
+            wi += 4;
+        }
+        super::portable::counter_majority_from(planes, n_planes, n, tie, out, wi);
+    }
+
     /// Fused bind-rotate, exploiting that the shift and wrap
     /// contributions of a rotation touch disjoint bit positions, so
     /// `dst ^= rot(src)` splits into two independent XOR passes (each
@@ -1336,6 +1555,104 @@ mod tests {
                                 votes += 1;
                             }
                             if votes as u32 >= threshold {
+                                expected |= 1 << bit;
+                            }
+                        }
+                        assert_eq!(got, expected, "{level:?} len {len} n {n} word {j}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// One `csa_step` must behave as a per-counter half addition:
+    /// chained over a fresh plane stack it counts input vectors exactly.
+    #[test]
+    fn csa_step_chains_into_exact_counters_on_all_levels() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x58);
+        for level in levels() {
+            for len in LENGTHS {
+                for n in [1usize, 2, 3, 5, 8, 13] {
+                    let inputs: Vec<Vec<u64>> = (0..n).map(|_| words(len, &mut rng)).collect();
+                    let mut planes: Vec<Vec<u64>> = Vec::new();
+                    let mut carry = vec![0u64; len];
+                    for input in &inputs {
+                        carry.copy_from_slice(input);
+                        let mut p = 0;
+                        let mut pending = true;
+                        while pending {
+                            if p == planes.len() {
+                                planes.push(vec![0u64; len]);
+                            }
+                            pending = level.csa_step(&mut planes[p], &mut carry);
+                            p += 1;
+                        }
+                    }
+                    // Decode the vertical counters and compare against a
+                    // naive per-bit count.
+                    for j in 0..len {
+                        for bit in 0..64 {
+                            let expected =
+                                inputs.iter().filter(|x| x[j] >> bit & 1 == 1).count() as u64;
+                            let got = planes
+                                .iter()
+                                .enumerate()
+                                .map(|(p, plane)| (plane[j] >> bit & 1) << p)
+                                .sum::<u64>();
+                            assert_eq!(got, expected, "{level:?} len {len} n {n} word {j}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The seeded-tie threshold against a naive counting reference,
+    /// covering odd counts (no ties possible), even counts with forced
+    /// exact ties, and counter stacks shorter than the threshold width.
+    #[test]
+    fn counter_majority_matches_counting_reference_on_all_levels() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x59);
+        for level in levels() {
+            for len in LENGTHS {
+                for n in [1usize, 2, 3, 4, 5, 6, 9, 12, 21] {
+                    let inputs: Vec<Vec<u64>> = (0..n).map(|_| words(len, &mut rng)).collect();
+                    let tie = words(len, &mut rng);
+                    // Accumulate planes with the (already verified) csa
+                    // chain.
+                    let mut planes: Vec<Vec<u64>> = Vec::new();
+                    let mut carry = vec![0u64; len];
+                    for input in &inputs {
+                        carry.copy_from_slice(input);
+                        let mut p = 0;
+                        let mut pending = true;
+                        while pending {
+                            if p == planes.len() {
+                                planes.push(vec![0u64; len]);
+                            }
+                            pending = Simd::Portable.csa_step(&mut planes[p], &mut carry);
+                            p += 1;
+                        }
+                    }
+                    let mut out = vec![u64::MAX; len]; // dirty
+                    #[allow(clippy::cast_possible_truncation)]
+                    level.counter_majority_into(
+                        |p| planes[p].as_slice(),
+                        planes.len(),
+                        n as u32,
+                        &tie,
+                        &mut out,
+                    );
+                    for (j, &got) in out.iter().enumerate() {
+                        let mut expected = 0u64;
+                        for bit in 0..64 {
+                            let votes = inputs.iter().filter(|x| x[j] >> bit & 1 == 1).count();
+                            let set = match (2 * votes).cmp(&n) {
+                                core::cmp::Ordering::Greater => true,
+                                core::cmp::Ordering::Equal => tie[j] >> bit & 1 == 1,
+                                core::cmp::Ordering::Less => false,
+                            };
+                            if set {
                                 expected |= 1 << bit;
                             }
                         }

@@ -19,9 +19,11 @@
 
 use hdc::bundle::majority_paper;
 use hdc::encoder::ngram;
-use hdc::hv64::{majority_paper64, ngram64, scan_pruned_into, BitslicedBundler, Hv64};
+use hdc::hv64::{
+    majority_paper64, ngram64, scan_pruned_into, BitslicedBundler, CounterBundler, Hv64,
+};
 use hdc::rng::Xoshiro256PlusPlus;
-use hdc::{BinaryHv, Simd};
+use hdc::{BinaryHv, Bundler, Simd, TieBreak};
 
 /// Every kernel level this machine can execute, portable first.
 fn levels() -> Vec<Simd> {
@@ -198,6 +200,51 @@ fn distance_scans_match_golden_under_every_level() {
                     "{level:?} case {case} class {k}: cannot undercut the winner"
                 );
             }
+        }
+    });
+}
+
+/// The training accumulator (sideways-addition counter planes + seeded
+/// threshold) matches the scalar training `Bundler` under every kernel
+/// level, including split-and-merge accumulation and forced exact ties.
+#[test]
+fn training_counters_match_golden_under_every_level() {
+    for_each_level(|level| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x07);
+        for case in 0..16 {
+            let n_words32 = 1 + rng.next_below(24) as usize;
+            let n = 1 + rng.next_below(12) as usize;
+            // Draw from a small pool so repeats force exact ties.
+            let pool: Vec<BinaryHv> = (0..3)
+                .map(|_| BinaryHv::random(n_words32, rng.next_u64()))
+                .collect();
+            let inputs: Vec<&BinaryHv> =
+                (0..n).map(|_| &pool[rng.next_below(3) as usize]).collect();
+            let tie = BinaryHv::random(n_words32, rng.next_u64());
+
+            let mut scalar = Bundler::new(n_words32);
+            let mut packed = CounterBundler::new(n_words32);
+            // Split the stream across two accumulators and merge — the
+            // worker-pool reduction path.
+            let split = rng.next_below(n as u32 + 1) as usize;
+            let mut partial = CounterBundler::new(n_words32);
+            for (i, hv) in inputs.iter().enumerate() {
+                scalar.add(hv);
+                let packed_hv = Hv64::from_binary(hv);
+                if i < split {
+                    packed.add(&packed_hv);
+                } else {
+                    partial.add(&packed_hv);
+                }
+            }
+            packed.merge(&partial);
+            let mut out = Hv64::zeros(n_words32);
+            packed.majority_seeded_into(&Hv64::from_binary(&tie), &mut out);
+            assert_eq!(
+                out.to_binary(),
+                scalar.majority(TieBreak::Vector(&tie)),
+                "{level:?} case {case}: n = {n}, split {split}"
+            );
         }
     });
 }

@@ -10,25 +10,27 @@
 //! Run with: `cargo run --release --example emg_gesture`
 
 use emg::{Dataset, SynthConfig, GESTURE_NAMES};
-use hdc::{HdClassifier, HdConfig};
-use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, HdModel};
+use hdc::HdConfig;
+use pulp_hd_core::backend::{
+    AccelBackend, ExecutionBackend, FastBackend, TrainSpec, TrainableBackend,
+};
 use pulp_hd_core::platform::Platform;
 use pulp_sim::{OperatingPoint, PowerModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- data + golden-model training -------------------------------
+    // --- data + one-shot training through the fast backend ----------
     let synth = SynthConfig::paper();
     let data = Dataset::generate(&synth, 0, 42);
     let config = HdConfig::emg_default();
-    let mut clf = HdClassifier::new(config, data.classes())?;
+    let spec = TrainSpec::from_config(&config, data.classes())?;
+    let mut trainer = FastBackend::new().begin_training(&spec)?;
 
     let train_idx = data.training_trial_indices(0.25);
     let train = data.windows_of(&train_idx, config.window);
-    for w in &train {
-        clf.train_window(w.label, &w.codes)?;
-    }
-    clf.finalize();
-    let model = HdModel::from_classifier(&mut clf);
+    let windows: Vec<Vec<Vec<u16>>> = train.iter().map(|w| w.codes.clone()).collect();
+    let labels: Vec<usize> = train.iter().map(|w| w.label).collect();
+    trainer.train_batch(&windows, &labels)?;
+    let model = trainer.finalize()?;
 
     // --- accuracy over all windows, batched through the fast backend --
     let all_idx: Vec<usize> = (0..data.trials().len()).collect();

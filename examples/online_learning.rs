@@ -1,21 +1,32 @@
 //! Online learning (the paper notes the AM "can be continuously updated
 //! for on-line learning"): a deployed classifier tracks electrode drift
-//! by updating prototypes from labelled feedback. Accuracy before and
-//! after adaptation is evaluated by exporting the model to the batched
-//! fast backend — the deployment path a serving front-end would use.
+//! by updating prototypes from labelled feedback.
+//!
+//! The whole lifecycle runs on the **fast trainable session**
+//! (`TrainableBackend::begin_training`): one-shot batch training over
+//! the worker pool, incremental `update_online` adaptation (one
+//! counter addition + one vectorized re-threshold of the updated class
+//! per feedback window), and `finalize()` exports for batched
+//! evaluation — no scalar-only path anywhere, while staying
+//! bit-identical to the golden model by the backend equivalence
+//! properties.
 //!
 //! Run with: `cargo run --release --example online_learning`
 
 use emg::{Dataset, SynthConfig};
-use hdc::{HdClassifier, HdConfig};
-use pulp_hd_core::backend::{ExecutionBackend, FastBackend, HdModel};
+use hdc::HdConfig;
+use pulp_hd_core::backend::{
+    ExecutionBackend, FastBackend, TrainSpec, TrainableBackend, TrainingSession,
+};
 
-/// Batched accuracy of the classifier's current model over `windows`.
+/// Batched accuracy of the trainer's current model over `windows`,
+/// served by the fast backend — the deployment path a serving
+/// front-end would use.
 fn accuracy(
-    clf: &mut HdClassifier,
+    trainer: &mut dyn TrainingSession,
     windows: &[emg::Window],
 ) -> Result<f64, Box<dyn std::error::Error>> {
-    let model = HdModel::from_classifier(clf);
+    let model = trainer.finalize()?;
     let mut session = FastBackend::new().prepare(&model)?;
     let batch: Vec<Vec<Vec<u16>>> = windows.iter().map(|w| w.codes.clone()).collect();
     let verdicts = session.classify_batch(&batch)?;
@@ -31,13 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = HdConfig::emg_default();
     let synth = SynthConfig::paper();
 
-    // Train on subject 0…
+    // Train on subject 0 — one-shot, batched through the worker pool.
     let day_one = Dataset::generate(&synth, 0, 42);
-    let mut clf = HdClassifier::new(config, day_one.classes())?;
-    for w in day_one.windows_of(&day_one.training_trial_indices(0.25), config.window) {
-        clf.train_window(w.label, &w.codes)?;
-    }
-    clf.finalize();
+    let spec = TrainSpec::from_config(&config, day_one.classes())?;
+    let mut trainer = FastBackend::new().begin_training(&spec)?;
+    let train: Vec<emg::Window> =
+        day_one.windows_of(&day_one.training_trial_indices(0.25), config.window);
+    let batch: Vec<Vec<Vec<u16>>> = train.iter().map(|w| w.codes.clone()).collect();
+    let labels: Vec<usize> = train.iter().map(|w| w.label).collect();
+    trainer.train_batch(&batch, &labels)?;
 
     // …then deploy on a drifted session (same person, shifted
     // electrodes ⇒ a different synthetic subject shares gesture
@@ -45,15 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let day_two = Dataset::generate(&synth, 7, 42);
     let all: Vec<usize> = (0..day_two.trials().len()).collect();
     let windows = day_two.windows_of(&all, config.window);
-    let before = accuracy(&mut clf, &windows)?;
+    let before = accuracy(trainer.as_mut(), &windows)?;
 
-    // Adapt online: the user occasionally confirms the gesture label.
+    // Adapt online: the user occasionally confirms the gesture label,
+    // and each confirmation costs one incremental prototype update.
     for (i, w) in windows.iter().enumerate() {
         if i % 7 == 0 {
-            let _ = clf.predict_and_adapt(&w.codes, Some(w.label))?;
+            let _ = trainer.update_online(&w.codes, w.label)?;
         }
     }
-    let after = accuracy(&mut clf, &windows)?;
+    let after = accuracy(trainer.as_mut(), &windows)?;
     println!(
         "accuracy on drifted session: {:.1}% -> {:.1}% after online updates",
         100.0 * before,

@@ -1,32 +1,37 @@
-//! Quickstart: train an HD classifier on two artificial gestures, then
-//! run the same classification through every execution backend — the
-//! scalar golden model, the `u64`-packed fast engine, and the simulated
-//! 4-core PULPv3 — and check that all three agree bit for bit.
+//! Quickstart: train an HD classifier on two artificial gestures
+//! through the trainable-backend API, then run the same classification
+//! through every execution backend — the scalar golden model, the
+//! `u64`-packed fast engine, and the simulated 4-core PULPv3 — and
+//! check that all three agree bit for bit.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use hdc::{HdClassifier, HdConfig};
-use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel};
+use hdc::HdConfig;
+use pulp_hd_core::backend::{
+    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, TrainSpec, TrainableBackend,
+};
 use pulp_hd_core::platform::Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Train the golden model: 10,016-bit hypervectors, 4 channels.
+    // 1. Train: 10,016-bit hypervectors, 4 channels, through the fast
+    //    trainable session (bit-identical to the golden classifier).
     let config = HdConfig::emg_default();
-    let mut clf = HdClassifier::new(config, 2)?;
-    let relaxed = vec![[1_500u16, 2_000, 1_200, 1_800]; 5];
-    let fist = vec![[52_000u16, 48_000, 20_000, 12_000]; 5];
+    let spec = TrainSpec::from_config(&config, 2)?;
+    let mut trainer = FastBackend::new().begin_training(&spec)?;
+    let relaxed: Vec<Vec<u16>> = vec![vec![1_500, 2_000, 1_200, 1_800]; 5];
+    let fist: Vec<Vec<u16>> = vec![vec![52_000, 48_000, 20_000, 12_000]; 5];
     for _ in 0..3 {
-        clf.train_window(0, &relaxed)?;
-        clf.train_window(1, &fist)?;
+        trainer.train(&relaxed, 0)?;
+        trainer.train(&fist, 1)?;
     }
-    clf.finalize();
+    let model = trainer.finalize()?;
+    let mut serve = trainer.into_serving()?;
     println!(
-        "golden model trained: fist  -> class {}",
-        clf.predict(&fist)?.class()
+        "model trained: fist  -> class {}",
+        serve.classify(&fist)?.class
     );
 
     // 2. One model, three substrates, one interface.
-    let model = HdModel::from_classifier(&mut clf);
     let backends: Vec<Box<dyn ExecutionBackend>> = vec![
         Box::new(GoldenBackend),
         Box::new(FastBackend::new()),

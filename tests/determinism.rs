@@ -5,7 +5,10 @@
 
 use emg::{Dataset, SynthConfig};
 use hdc::{HdClassifier, HdConfig};
-use pulp_hd_core::backend::{AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel};
+use pulp_hd_core::backend::{
+    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, TrainSpec,
+    TrainableBackend,
+};
 use pulp_hd_core::experiments::measure_chain;
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
@@ -95,6 +98,63 @@ fn backends_agree_on_random_emg_windows() {
         );
         assert_eq!(a.query, g.query, "window {i}: accel query diverged");
     }
+}
+
+/// Training equivalence on real synthetic EMG: the classic
+/// `HdClassifier` loop, the golden trainable session, and the fast
+/// trainable session (threaded) all produce the same model from the
+/// same labelled windows — and the models they hand off classify the
+/// held-out stream identically.
+#[test]
+fn trainable_backends_reproduce_classifier_training_on_emg() {
+    let synth = SynthConfig {
+        reps: 3,
+        trial_secs: 1.0,
+        ..SynthConfig::paper()
+    };
+    let data = Dataset::generate(&synth, 1, 77);
+    let config = HdConfig {
+        n_words: 32,
+        ..HdConfig::emg_default()
+    };
+    let train: Vec<emg::Window> =
+        data.windows_of(&data.training_trial_indices(0.34), config.window);
+    let windows: Vec<Vec<Vec<u16>>> = train.iter().map(|w| w.codes.clone()).collect();
+    let labels: Vec<usize> = train.iter().map(|w| w.label).collect();
+
+    // Reference: the golden classifier's own training loop.
+    let mut clf = HdClassifier::new(config, data.classes()).unwrap();
+    for w in &train {
+        clf.train_window(w.label, &w.codes).unwrap();
+    }
+    clf.finalize();
+    let expected = HdModel::from_classifier(&mut clf);
+
+    let spec = TrainSpec::from_config(&config, data.classes()).unwrap();
+    let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+    let mut fast = FastBackend::with_threads(4).begin_training(&spec).unwrap();
+    golden.train_batch(&windows, &labels).unwrap();
+    fast.train_batch(&windows, &labels).unwrap();
+    let g_model = golden.finalize().unwrap();
+    let f_model = fast.finalize().unwrap();
+    assert_eq!(g_model.prototypes(), expected.prototypes());
+    assert_eq!(f_model.prototypes(), expected.prototypes());
+
+    // Served verdicts agree on the full stream.
+    let all: Vec<usize> = (0..data.trials().len()).collect();
+    let probe: Vec<Vec<Vec<u16>>> = data
+        .windows_of(&all, config.window)
+        .into_iter()
+        .step_by(53)
+        .map(|w| w.codes)
+        .collect();
+    assert!(probe.len() >= 10, "enough probe windows");
+    let mut reference = GoldenBackend.prepare(&expected).unwrap();
+    let mut served = fast.into_serving().unwrap();
+    assert_eq!(
+        served.classify_batch(&probe).unwrap(),
+        reference.classify_batch(&probe).unwrap()
+    );
 }
 
 /// Backend sessions are themselves deterministic: preparing twice from
