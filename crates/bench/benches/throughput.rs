@@ -14,6 +14,16 @@
 //! session over its worker pool, plus an `online_update` microbench
 //! (classify + adapt one window per call) for both backends.
 //!
+//! **Serving:** closed-loop client sweeps through `pulp-hd-serve` — 1,
+//! 8, and 64 concurrent clients each driving submit-and-wait requests
+//! at the server, once with adaptive micro-batching (the default
+//! config) and once with per-request batch-1 submission through the
+//! same machinery. Records windows/s plus the server's own p50/p99
+//! latency telemetry, and guards that adaptive batching beats batch-1
+//! at 64 clients (≥ 2× where there are cores to fan out to; parity on a
+//! single-CPU host) and that p99 stays inside its structural envelope
+//! of `max_delay` plus two batches' service time.
+//!
 //! Besides the human-readable report, the run records every
 //! windows/second figure in `BENCH_throughput.json` at the workspace
 //! root — together with the SIMD kernel level the process selected
@@ -38,6 +48,8 @@
 use std::fmt::Write as _;
 use std::hint::black_box;
 
+use std::time::{Duration, Instant};
+
 use emg::{Dataset, SynthConfig};
 use hdc::hv64::{BitslicedBundler, Hv64};
 use hdc::{BinaryHv, Simd};
@@ -48,6 +60,7 @@ use pulp_hd_core::backend::{
 };
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
+use pulp_hd_serve::{ServeConfig, Server, ServerStats};
 
 /// Where the machine-readable results land: the workspace root, next to
 /// `Cargo.toml`, independent of the bench binary's working directory.
@@ -60,9 +73,9 @@ struct Row {
     windows_per_sec: f64,
 }
 
-/// Synthetic-EMG windows at the paper's shape (5 samples × 4 channels),
-/// with their gesture labels for the training benches.
-fn emg_windows(count: usize) -> (Vec<Vec<Vec<u16>>>, Vec<usize>) {
+/// Synthetic-EMG windows of `samples` samples × 4 channels (the paper's
+/// shape is 5), with their gesture labels for the training benches.
+fn emg_windows(count: usize, samples: usize) -> (Vec<Vec<Vec<u16>>>, Vec<usize>) {
     let synth = SynthConfig {
         reps: 4,
         trial_secs: 1.0,
@@ -70,7 +83,7 @@ fn emg_windows(count: usize) -> (Vec<Vec<Vec<u16>>>, Vec<usize>) {
     };
     let data = Dataset::generate(&synth, 0, 0xBE7C);
     let all: Vec<usize> = (0..data.trials().len()).collect();
-    let windows = data.windows_of(&all, 5);
+    let windows = data.windows_of(&all, samples);
     assert!(
         windows.len() >= count,
         "dataset yields {} windows",
@@ -90,14 +103,86 @@ struct KernelRow {
     words64_per_sec: f64,
 }
 
+/// One measured serving point: a closed-loop client sweep against one
+/// server configuration.
+struct ServingRow {
+    clients: usize,
+    mode: &'static str,
+    windows_per_sec: f64,
+    stats: ServerStats,
+}
+
+/// Samples per window in the serving sweep: a 50 ms stream segment at
+/// the paper's 500 Hz rather than the 10 ms kernel unit — a served
+/// request is a stream chunk, and the heavier encode makes service
+/// time (the thing batching parallelizes) dominate the per-request
+/// channel overhead both modes pay identically. Recorded in the JSON's
+/// `serving_config`.
+const SERVE_SAMPLES: usize = 25;
+
+/// The adaptive micro-batching configuration the serving bench (and the
+/// p99 guard) run against.
+fn adaptive_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 64,
+        max_delay: Duration::from_micros(200),
+        queue_depth: 1024,
+    }
+}
+
+/// Per-request submission through the same serving machinery: every
+/// batch holds exactly one window, no fill delay — the baseline that
+/// adaptive batching must beat under concurrency.
+fn batch1_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+        queue_depth: 1024,
+    }
+}
+
+/// Drives `clients` closed-loop client threads (submit-and-wait, each
+/// request picked round-robin from `windows`) at a freshly spawned
+/// server and returns measured wall-clock throughput plus the server's
+/// own telemetry.
+fn serving_run(
+    model: &HdModel,
+    threads: usize,
+    config: ServeConfig,
+    clients: usize,
+    requests_per_client: usize,
+    windows: &[Vec<Vec<u16>>],
+) -> (f64, ServerStats) {
+    let backend = FastBackend::try_with_threads(threads).expect("nonzero thread count");
+    let server = Server::spawn(&backend, model, config).expect("serving spawn");
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for lane in 0..clients {
+            let client = server.client();
+            scope.spawn(move || {
+                for i in 0..requests_per_client {
+                    let w = &windows[(lane * requests_per_client + i) % windows.len()];
+                    client.classify(w).expect("served classification");
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let wps = (clients * requests_per_client) as f64 / secs;
+    (wps, server.shutdown())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     params: &AccelParams,
     threads: usize,
     rows: &[Row],
     training: &[Row],
+    serving: &[ServingRow],
     kernels: &[KernelRow],
     speedup: f64,
     train_speedup: f64,
+    serving_speedup: f64,
 ) {
     let write_rows = |json: &mut String, rows: &[Row]| {
         for (i, row) in rows.iter().enumerate() {
@@ -129,6 +214,34 @@ fn write_json(
     let _ = writeln!(json, "  \"training\": [");
     write_rows(&mut json, training);
     let _ = writeln!(json, "  ],");
+    let adaptive = adaptive_config();
+    let _ = writeln!(
+        json,
+        "  \"serving_config\": {{ \"max_batch\": {}, \"max_delay_us\": {}, \
+         \"queue_depth\": {}, \"samples_per_window\": {SERVE_SAMPLES} }},",
+        adaptive.max_batch,
+        adaptive.max_delay.as_micros(),
+        adaptive.queue_depth
+    );
+    let _ = writeln!(json, "  \"serving\": [");
+    for (i, row) in serving.iter().enumerate() {
+        let comma = if i + 1 < serving.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"clients\": {}, \"mode\": \"{}\", \"windows_per_sec\": {:.1}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"latency_max_us\": {}, \"mean_batch\": {:.1}, \
+             \"batch_service_max_us\": {} }}{comma}",
+            row.clients,
+            row.mode,
+            row.windows_per_sec,
+            row.stats.p50_us,
+            row.stats.p99_us,
+            row.stats.latency_max_us,
+            row.stats.mean_batch,
+            row.stats.batch_service_max_us
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"kernels\": [");
     for (i, k) in kernels.iter().enumerate() {
         let comma = if i + 1 < kernels.len() { "," } else { "" };
@@ -145,7 +258,11 @@ fn write_json(
     );
     let _ = writeln!(
         json,
-        "  \"train_speedup_fast_mt_vs_golden_batch256\": {train_speedup:.2}"
+        "  \"train_speedup_fast_mt_vs_golden_batch256\": {train_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"serving_speedup_adaptive_vs_batch1_64clients\": {serving_speedup:.2}"
     );
     let _ = writeln!(json, "}}");
     std::fs::write(JSON_PATH, json).expect("write BENCH_throughput.json");
@@ -197,7 +314,7 @@ fn kernel_microbench() -> Vec<KernelRow> {
 fn main() {
     let params = AccelParams::emg_default(); // 313 words ≙ 10,016-D
     let model = HdModel::random(&params, 0x7412);
-    let (windows, labels) = emg_windows(256);
+    let (windows, labels) = emg_windows(256, 5);
 
     let mut golden = GoldenBackend.prepare(&model).expect("golden prepare");
     let mut fast1 = FastBackend::with_threads(1)
@@ -443,6 +560,68 @@ fn main() {
         });
     }
 
+    // Serving: closed-loop client sweep through the adaptive
+    // micro-batcher vs. per-request batch-1 submission, same engine
+    // underneath. Each client is a thread in a submit-and-wait loop, so
+    // offered load scales with concurrency and backpressure is natural.
+    // The serving workload uses SERVE_SAMPLES-sample stream windows
+    // (see the constant's docs for why they are longer than the 10 ms
+    // kernel unit).
+    println!(
+        "\nserving throughput (closed-loop clients, {SERVE_SAMPLES}-sample windows, \
+         fast backend behind pulp-hd-serve)\n"
+    );
+    let (serve_windows, _) = emg_windows(256, SERVE_SAMPLES);
+    let mut serving_rows: Vec<ServingRow> = Vec::new();
+    let mut serving_64 = None;
+    for clients in [1usize, 8, 64] {
+        // Fixed total work per run, floor per client; best-of-3 on the
+        // guarded comparison below rides out scheduler noise.
+        let requests_per_client = (4096 / clients).max(64);
+        let mut best: [Option<(f64, ServerStats)>; 2] = [None, None];
+        for _rep in 0..3 {
+            for (slot, config) in [adaptive_config(), batch1_config()].into_iter().enumerate() {
+                let (wps, stats) = serving_run(
+                    &model,
+                    threads,
+                    config,
+                    clients,
+                    requests_per_client,
+                    &serve_windows,
+                );
+                if best[slot].as_ref().is_none_or(|(b, _)| wps > *b) {
+                    best[slot] = Some((wps, stats));
+                }
+            }
+        }
+        let [adaptive, batch1] = best.map(|b| b.expect("measured"));
+        println!(
+            "  {clients:>2} client(s): adaptive {:>9.0} w/s (p50 {:>5} µs, p99 {:>6} µs, \
+             mean batch {:>4.1})   batch-1 {:>9.0} w/s (p99 {:>6} µs)\n",
+            adaptive.0,
+            adaptive.1.p50_us,
+            adaptive.1.p99_us,
+            adaptive.1.mean_batch,
+            batch1.0,
+            batch1.1.p99_us
+        );
+        if clients == 64 {
+            serving_64 = Some((adaptive.0, adaptive.1.clone(), batch1.0));
+        }
+        serving_rows.push(ServingRow {
+            clients,
+            mode: "adaptive",
+            windows_per_sec: adaptive.0,
+            stats: adaptive.1,
+        });
+        serving_rows.push(ServingRow {
+            clients,
+            mode: "batch1",
+            windows_per_sec: batch1.0,
+            stats: batch1.1,
+        });
+    }
+
     println!(
         "\nper-kernel microbenchmarks (dispatched level: {})",
         Simd::active().name()
@@ -457,14 +636,22 @@ fn main() {
     println!(
         "fast training ({threads} threads, batch 256) vs golden training: {train_speedup:.2}x"
     );
+    let (serve_adaptive_wps, serve_adaptive_stats, serve_batch1_wps) =
+        serving_64.expect("64-client serving measured");
+    let serving_speedup = serve_adaptive_wps / serve_batch1_wps;
+    println!(
+        "adaptive serving (64 closed-loop clients) vs batch-1 submission: {serving_speedup:.2}x"
+    );
     write_json(
         &params,
         threads,
         &rows,
         &training_rows,
+        &serving_rows,
         &kernels,
         speedup,
         train_speedup,
+        serving_speedup,
     );
     assert!(
         speedup > 1.0,
@@ -491,4 +678,51 @@ fn main() {
              {fm_wps:.0} w/s vs {f1_wps:.0} w/s"
         );
     }
+    // The serving guards. (1) Throughput: under heavy concurrency the
+    // micro-batcher must clearly beat per-request submission through
+    // the identical machinery — the whole reason the serving layer
+    // exists. Batching wins by fanning each batch's service across the
+    // backend's worker pool, so — like the thread-scaling guards above
+    // (see ROADMAP) — the 2x claim needs cores to fan out to: with
+    // fewer than 4 the pool caps at 1–3 participants and the
+    // theoretical service speedup cannot clear 2x reliably (on a
+    // single-CPU host the pool has zero workers and service is serial
+    // either way), so the guard degrades to "adaptive batching must
+    // not be meaningfully worse than per-request submission".
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cpus >= 4 {
+        assert!(
+            serving_speedup >= 2.0,
+            "adaptive serving must sustain >= 2x batch-1 submission at 64 clients, \
+             got {serving_speedup:.2}x ({serve_adaptive_wps:.0} vs {serve_batch1_wps:.0} w/s)"
+        );
+    } else {
+        println!(
+            "{cpus}-CPU host: serving speedup guard relaxed to parity \
+             (the >= 2x fan-out claim is enforced on the multi-core CI runner)"
+        );
+        assert!(
+            serving_speedup >= 0.85,
+            "adaptive serving regressed below batch-1 submission at 64 clients on a \
+             {cpus}-CPU host: {serving_speedup:.2}x"
+        );
+    }
+    // (2) Tail latency: the batcher's structural worst case for an
+    // accepted request is bounded — land just after a batch closes and
+    // you ride out that batch's service, then your own batch's fill
+    // window (≤ max_delay) and service. p99 must stay inside
+    // `max_delay + 2 × batch service` (worst observed batch service as
+    // the service bound, +25% headroom for scheduler jitter on shared
+    // runners) — i.e. batching never buys throughput with unbounded
+    // queueing delay.
+    let p99_bound_us = adaptive_config().max_delay.as_micros() as u64
+        + 2 * serve_adaptive_stats.batch_service_max_us;
+    assert!(
+        serve_adaptive_stats.p99_us <= p99_bound_us + p99_bound_us / 4,
+        "adaptive serving p99 ({} µs) exceeded its structural envelope of max_delay + \
+         two batches' service time ({} µs bound, worst batch service {} µs)",
+        serve_adaptive_stats.p99_us,
+        p99_bound_us + p99_bound_us / 4,
+        serve_adaptive_stats.batch_service_max_us
+    );
 }

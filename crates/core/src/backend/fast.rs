@@ -114,18 +114,39 @@ impl FastBackend {
         }
     }
 
-    /// A backend with an explicit batch thread cap.
+    /// A backend with an explicit batch thread cap — the panicking
+    /// convenience for thread counts known at compile time (tests,
+    /// benches, examples with hard-coded parallelism). When the count
+    /// comes from configuration or user input, use
+    /// [`try_with_threads`](Self::try_with_threads) and handle the error.
     ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        assert!(threads > 0, "fast backend needs at least one thread");
-        Self {
+        Self::try_with_threads(threads).expect("fast backend needs at least one thread")
+    }
+
+    /// The fallible twin of [`with_threads`](Self::with_threads):
+    /// rejects a zero thread count with [`BackendError::Config`] instead
+    /// of panicking, matching the `Result`-based contract of
+    /// [`prepare`](ExecutionBackend::prepare). The serving front-end and
+    /// the examples route through this constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Config`] if `threads == 0`.
+    pub fn try_with_threads(threads: usize) -> Result<Self, BackendError> {
+        if threads == 0 {
+            return Err(BackendError::Config(
+                "fast backend needs at least one thread".into(),
+            ));
+        }
+        Ok(Self {
             threads,
             scan: ScanPolicy::Full,
-        }
+        })
     }
 
     /// Returns this backend with the given AM scan policy.
@@ -596,18 +617,24 @@ impl FastSession {
     }
 }
 
-impl BackendSession for FastSession {
-    fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
-        self.core.classify_with(window, &mut self.scratch)
-    }
-
-    fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
+impl FastSession {
+    /// The batched pipeline, writing verdicts straight into `out` (the
+    /// calling thread's chunk is pushed as it is computed; worker
+    /// chunks are spliced in in order). On error, `out` may hold a
+    /// partial prefix — [`classify_batch_into`](BackendSession::
+    /// classify_batch_into) rolls it back.
+    fn classify_batch_impl(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), BackendError> {
         let fan_out = self.fan_out(windows.len());
+        out.reserve(windows.len());
         if fan_out <= 1 {
-            return windows
-                .iter()
-                .map(|w| self.core.classify_with(w, &mut self.scratch))
-                .collect();
+            for w in windows {
+                out.push(self.core.classify_with(w, &mut self.scratch)?);
+            }
+            return Ok(());
         }
         let chunk = windows.len().div_ceil(fan_out);
         let n_chunks = windows.len().div_ceil(chunk);
@@ -643,24 +670,57 @@ impl BackendSession for FastSession {
         // Only worker-held clones keep the result channel open now, so
         // a dead worker surfaces as a recv error instead of a deadlock.
         drain.tx = None;
-        // The calling thread is participant 0, on its warm arena.
-        let first = windows[..chunk]
-            .iter()
-            .map(|w| self.core.classify_with(w, &mut self.scratch))
-            .collect::<Result<Vec<_>, _>>();
+        // The calling thread is participant 0, on its warm arena,
+        // writing chunk 0 straight into the output buffer.
+        let first: Result<(), BackendError> = windows[..chunk].iter().try_for_each(|w| {
+            out.push(self.core.classify_with(w, &mut self.scratch)?);
+            Ok(())
+        });
         let mut parts: Vec<Option<Result<Vec<Verdict>, BackendError>>> =
-            (0..n_chunks).map(|_| None).collect();
-        parts[0] = Some(first);
+            (1..n_chunks).map(|_| None).collect();
         while drain.outstanding > 0 {
             let (idx, result) = drain.rx.recv().expect("classification worker panicked");
             drain.outstanding -= 1;
-            parts[idx] = Some(result);
+            parts[idx - 1] = Some(result);
         }
-        let mut out = Vec::with_capacity(windows.len());
+        // Chunk-order error precedence, as before: chunk 0 first, then
+        // the worker chunks in order.
+        first?;
         for part in parts {
             out.extend(part.expect("every chunk reports exactly once")?);
         }
+        Ok(())
+    }
+}
+
+impl BackendSession for FastSession {
+    fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
+        self.core.classify_with(window, &mut self.scratch)
+    }
+
+    fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
+        let mut out = Vec::with_capacity(windows.len());
+        self.classify_batch_into(windows, &mut out)?;
         Ok(out)
+    }
+
+    /// The real into-buffer pipeline: the inline path and the calling
+    /// thread's chunk push verdicts directly into `out` with no
+    /// intermediate vector, so a long-lived caller reusing one buffer
+    /// (the serving micro-batcher) allocates nothing for the batch
+    /// container after warm-up.
+    fn classify_batch_into(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), BackendError> {
+        let start = out.len();
+        let result = self.classify_batch_impl(windows, out);
+        if result.is_err() {
+            // Keep the documented contract: `out` unchanged on error.
+            out.truncate(start);
+        }
+        result
     }
 }
 
@@ -1175,6 +1235,174 @@ mod tests {
         let model = HdModel::random(&params, 2);
         let mut session = FastBackend::new().prepare(&model).unwrap();
         assert!(session.classify_batch(&[]).unwrap().is_empty());
+    }
+
+    /// The training twin of `empty_batch_is_fine`: an empty training
+    /// batch is a no-op on both backends — no panic, no counter change.
+    #[test]
+    fn empty_train_batch_is_fine_on_both_backends() {
+        use crate::backend::TrainableBackend as _;
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let spec = TrainSpec::random(&params, 2);
+        let sessions: Vec<Box<dyn TrainingSession>> = vec![
+            GoldenBackend.begin_training(&spec).unwrap(),
+            FastBackend::with_threads(4).begin_training(&spec).unwrap(),
+        ];
+        for mut session in sessions {
+            session.train_batch(&[], &[]).unwrap();
+            for class in 0..params.classes {
+                assert_eq!(session.examples(class), 0, "class {class}");
+            }
+            // An empty batch between real batches must not disturb state.
+            let windows = random_windows(&params, 1, 4, 3);
+            let labels = random_labels(4, params.classes, 4);
+            session.train_batch(&windows, &labels).unwrap();
+            session.train_batch(&[], &[]).unwrap();
+            session.finalize().unwrap();
+        }
+    }
+
+    /// `update_online` against a completely untrained session (and
+    /// against classes that never saw an example) returns cleanly on
+    /// both backends, with identical verdicts and identical adapted
+    /// prototypes.
+    #[test]
+    fn update_online_on_untrained_session_is_fine_on_both_backends() {
+        use crate::backend::TrainableBackend as _;
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let spec = TrainSpec::random(&params, 7);
+        let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+        let mut fast = FastBackend::with_threads(2).begin_training(&spec).unwrap();
+        let window = &random_windows(&params, 2, 1, 11)[0];
+        // First-ever call on a fresh session: all prototypes are still
+        // zero, the verdict is well-defined (class 0 wins ties).
+        let g = golden.update_online(window, 1).unwrap();
+        let f = fast.update_online(window, 1).unwrap();
+        assert_eq!(f, g, "untrained verdicts");
+        assert_eq!(g.class, 0, "all-zero prototypes tie to class 0");
+        // Classes 0 and 2 still have zero examples; finalize keeps their
+        // prototypes all-zero, exactly like the golden AM.
+        let gm = golden.finalize().unwrap();
+        let fm = fast.finalize().unwrap();
+        assert_eq!(fm.prototypes(), gm.prototypes(), "adapted prototypes");
+        assert_eq!(golden.examples(0), 0);
+        assert_eq!(fast.examples(0), 0);
+        assert!(
+            fm.prototypes()[0].words().iter().all(|&w| w == 0),
+            "untrained class keeps an all-zero prototype"
+        );
+    }
+
+    /// Oversubscription: sessions with far more pool participants than
+    /// the batch has windows must stay correct (the adaptive cutover
+    /// keeps tiny batches inline; medium batches use only part of the
+    /// pool) — for classification and training alike.
+    #[test]
+    fn oversubscribed_pool_handles_small_batches() {
+        use crate::backend::TrainableBackend as _;
+        let params = AccelParams {
+            n_words: 5, // odd u32 count: the packed tail is a half word
+            ngram: 2,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 21);
+        let spec = TrainSpec::random(&params, 21);
+        let participants = 8;
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let mut pooled = pooled_session(
+            FastBackend::with_threads(participants),
+            &model,
+            participants,
+        );
+        let mut golden_train = GoldenBackend.begin_training(&spec).unwrap();
+        let mut pooled_train =
+            pooled_training(FastBackend::with_threads(participants), &spec, participants);
+        // 0 and 1: degenerate; 3: fewer windows than workers; 2*MIN:
+        // fans out to 2 of 8 participants; 2*MIN+1: uneven tail chunk.
+        for (round, count) in [
+            0usize,
+            1,
+            3,
+            2 * MIN_WINDOWS_PER_WORKER,
+            2 * MIN_WINDOWS_PER_WORKER + 1,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let windows = random_windows(&params, 3, *count, 700 + round as u64);
+            let labels = random_labels(*count, params.classes, 800 + round as u64);
+            assert!(
+                pooled.fan_out(*count) <= participants,
+                "round {round}: no more chunks than participants"
+            );
+            assert_eq!(
+                pooled.classify_batch(&windows).unwrap(),
+                golden.classify_batch(&windows).unwrap(),
+                "round {round}: classification with {count} windows"
+            );
+            golden_train.train_batch(&windows, &labels).unwrap();
+            pooled_train.train_batch(&windows, &labels).unwrap();
+            assert_eq!(
+                pooled_train.finalize().unwrap().prototypes(),
+                golden_train.finalize().unwrap().prototypes(),
+                "round {round}: training with {count} windows"
+            );
+        }
+    }
+
+    /// The into-buffer batch entry point appends in order (across
+    /// repeated calls on one warm buffer), matches `classify_batch`
+    /// exactly, and leaves the buffer untouched on error — on the
+    /// inline and the pooled path alike.
+    #[test]
+    fn classify_batch_into_appends_and_rolls_back_on_error() {
+        let params = AccelParams {
+            n_words: 8,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 6);
+        let mut pooled = pooled_session(FastBackend::with_threads(4), &model, 4);
+        let small = random_windows(&params, 1, 3, 1); // inline path
+        let large = random_windows(&params, 1, 4 * MIN_WINDOWS_PER_WORKER, 2); // pool path
+        let mut out = Vec::new();
+        pooled.classify_batch_into(&small, &mut out).unwrap();
+        pooled.classify_batch_into(&large, &mut out).unwrap();
+        let mut expected = pooled.classify_batch(&small).unwrap();
+        expected.extend(pooled.classify_batch(&large).unwrap());
+        assert_eq!(out, expected, "appended across calls, in order");
+        // Errors roll the buffer back to its pre-call state, from both
+        // paths.
+        for count in [3usize, 4 * MIN_WINDOWS_PER_WORKER] {
+            let mut bad = random_windows(&params, 1, count, 3);
+            let last = bad.len() - 1;
+            bad[last] = vec![vec![0u16; 3]]; // wrong channel count
+            let before = out.clone();
+            assert!(matches!(
+                pooled.classify_batch_into(&bad, &mut out),
+                Err(BackendError::Input(_))
+            ));
+            assert_eq!(out, before, "{count} windows: buffer unchanged on error");
+        }
+    }
+
+    /// `try_with_threads` is the fallible twin of `with_threads`: same
+    /// backend on valid input, `BackendError::Config` instead of a panic
+    /// on zero.
+    #[test]
+    fn try_with_threads_rejects_zero_without_panicking() {
+        assert!(matches!(
+            FastBackend::try_with_threads(0),
+            Err(BackendError::Config(_))
+        ));
+        let backend = FastBackend::try_with_threads(3).unwrap();
+        assert_eq!(backend.threads(), 3);
+        assert_eq!(backend.scan(), ScanPolicy::Full);
     }
 
     /// Dropping a session joins its workers without hanging, even when

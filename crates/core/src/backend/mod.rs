@@ -441,6 +441,9 @@ pub enum BackendError {
     Model(String),
     /// An input window has the wrong shape.
     Input(String),
+    /// The backend descriptor itself is invalid (e.g. a zero thread
+    /// count) — rejected before any model is involved.
+    Config(String),
     /// The simulated-cluster backend failed.
     Chain(ChainError),
 }
@@ -450,6 +453,7 @@ impl core::fmt::Display for BackendError {
         match self {
             Self::Model(what) => write!(f, "model: {what}"),
             Self::Input(what) => write!(f, "input: {what}"),
+            Self::Config(what) => write!(f, "config: {what}"),
             Self::Chain(e) => write!(f, "chain: {e}"),
         }
     }
@@ -470,7 +474,9 @@ impl From<ChainError> for BackendError {
 impl From<BackendError> for ChainError {
     fn from(e: BackendError) -> Self {
         match e {
-            BackendError::Model(what) => Self::ModelMismatch(what),
+            // A bad backend descriptor surfaces as a model-level problem
+            // on the chain side: the chain cannot be realized.
+            BackendError::Model(what) | BackendError::Config(what) => Self::ModelMismatch(what),
             BackendError::Input(what) => Self::InputMismatch(what),
             BackendError::Chain(chain) => chain,
         }
@@ -523,6 +529,35 @@ pub trait BackendSession: Send {
     /// Returns the first error encountered.
     fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
         windows.iter().map(|w| self.classify(w)).collect()
+    }
+
+    /// Classifies a batch of windows into a caller-owned buffer, in
+    /// order, appending one [`Verdict`] per window.
+    ///
+    /// Long-lived callers that classify batch after batch (the serving
+    /// front-end's micro-batcher) clear and reuse one output vector so
+    /// its capacity stays warm across batches; the verdicts themselves
+    /// are preserved exactly as [`classify_batch`](Self::classify_batch)
+    /// returns them — bit-identical to per-window
+    /// [`classify`](Self::classify) calls on every backend.
+    ///
+    /// The provided implementation delegates to
+    /// [`classify_batch`](Self::classify_batch) and extends `out` from
+    /// the intermediate vector; [`FastBackend`] overrides it to write
+    /// verdicts into `out` directly (its `classify_batch` is the thin
+    /// wrapper, not the other way around).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered; `out` is unchanged when an
+    /// error is returned.
+    fn classify_batch_into(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), BackendError> {
+        out.extend(self.classify_batch(windows)?);
+        Ok(())
     }
 }
 

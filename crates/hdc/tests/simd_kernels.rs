@@ -249,6 +249,64 @@ fn training_counters_match_golden_under_every_level() {
     });
 }
 
+/// Directed tail-masking coverage: odd `n_words32` widths leave a
+/// half-`u64` tail in the packed representation, and the counter planes
+/// of [`CounterBundler::merge`] / `majority_seeded_into` must mask it —
+/// adversarial all-ones inputs (every canonical bit set, tail included)
+/// and all-ones tie vectors try to smuggle votes into the padding, and
+/// the thresholded output's padding must still come back clean under
+/// every kernel level.
+#[test]
+fn counter_tail_masking_survives_all_ones_inputs_at_odd_widths() {
+    for_each_level(|level| {
+        for n_words32 in [1usize, 3, 5, 7, 21, 313] {
+            let dim = n_words32 * 32;
+            let mut ones = BinaryHv::zeros(n_words32);
+            for b in 0..dim {
+                ones.set_bit(b, true);
+            }
+            let ones64 = Hv64::from_binary(&ones);
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x7A11 + n_words32 as u64);
+            let noise = BinaryHv::random(n_words32, rng.next_u64());
+            let noise64 = Hv64::from_binary(&noise);
+
+            // Two all-ones + one noise in the main accumulator, one of
+            // each merged in from a partial: count(ones-bit) = 3 of 4 →
+            // majority one; noise-only bits are 2 of 4 → exact tie,
+            // resolved by the (also all-ones) tie vector.
+            let mut main = CounterBundler::new(n_words32);
+            main.add(&ones64);
+            main.add(&noise64);
+            let mut partial = CounterBundler::new(n_words32);
+            partial.add(&ones64);
+            partial.add(&noise64);
+            main.merge(&partial);
+
+            let mut scalar = Bundler::new(n_words32);
+            for hv in [&ones, &noise, &ones, &noise] {
+                scalar.add(hv);
+            }
+
+            let mut out = Hv64::from_binary(&ones); // dirty start: output must be overwritten
+            main.majority_seeded_into(&ones64, &mut out);
+            assert_eq!(
+                out.to_binary(),
+                scalar.majority(TieBreak::Vector(&ones)),
+                "{level:?}: {n_words32} u32 words"
+            );
+            // The packed padding itself stays zero — a dirty tail would
+            // corrupt every later hamming/bind on this vector.
+            if n_words32 % 2 == 1 {
+                assert_eq!(
+                    out.words()[out.n_words() - 1] >> 32,
+                    0,
+                    "{level:?}: {n_words32} u32 words leaked into the padding"
+                );
+            }
+        }
+    });
+}
+
 /// The pruned scan's partial distances are level-independent: the
 /// portable and detected paths abandon at the same 512-bit block
 /// boundaries, so the whole distance vector — not just the class — is

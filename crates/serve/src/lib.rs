@@ -1,0 +1,625 @@
+//! # `pulp-hd-serve` — the concurrent serving front-end
+//!
+//! PR 1–4 built an engine that classifies hundreds of thousands of
+//! windows per second through
+//! [`BackendSession::classify_batch`](pulp_hd_core::backend::BackendSession::classify_batch)
+//! — but a batch API serves exactly one caller. This crate turns the
+//! engine into a *system that handles traffic*: many concurrent
+//! callers, one model, one session, with the throughput/latency
+//! trade-off made explicit.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  Client ──┐ submit(window) ─▶ ┌───────────────┐   classify_batch   ┌─────────────┐
+//!  Client ──┤   bounded queue   │ micro-batcher │ ─────────────────▶ │BackendSession│
+//!  Client ──┘ ◀─ Ticket/Verdict │ (one thread)  │ ◀───────────────── │ (worker pool)│
+//!           one-shot fan-back   └───────────────┘      verdicts      └─────────────┘
+//! ```
+//!
+//! * [`Server::spawn`] prepares a
+//!   [`BackendSession`](pulp_hd_core::backend::BackendSession) on any
+//!   [`ExecutionBackend`] and moves it onto a dedicated batcher thread.
+//! * [`Server::client`] hands out cheap clonable [`Client`] handles.
+//!   [`Client::submit`] enqueues one window and returns a [`Ticket`];
+//!   [`Ticket::wait`] blocks for that window's [`Verdict`].
+//!   [`Client::classify`] is the submit-and-wait convenience.
+//! * The **adaptive micro-batcher** drains the request queue, closes a
+//!   batch at [`max_batch`](ServeConfig::max_batch) requests or
+//!   [`max_delay`](ServeConfig::max_delay) after the batch opened —
+//!   whichever comes first — runs one `classify_batch`, and fans the
+//!   verdicts back to per-request one-shot channels. Under load,
+//!   batches fill instantly and ride the backend's multi-threaded batch
+//!   pipeline; a lone caller pays at most `max_delay` extra latency.
+//! * **Backpressure:** the queue is bounded at
+//!   [`queue_depth`](ServeConfig::queue_depth). [`Client::submit`]
+//!   blocks when it is full (closed-loop callers self-pace);
+//!   [`Client::try_submit`] returns
+//!   [`TrySubmitError::Overloaded`] instead, for callers that would
+//!   rather shed load than queue behind it.
+//! * **Graceful shutdown:** [`Server::shutdown`] (and `Drop`) stops
+//!   accepting new work, serves every request already queued, joins the
+//!   batcher, and returns the final [`ServerStats`]. No ticket is ever
+//!   left hanging: everything queued when shutdown begins gets its
+//!   verdict, and a submission racing shutdown either joins the final
+//!   drain or resolves promptly with [`ServeError::Closed`].
+//! * **Telemetry:** a lock-free recorder tracks queue-to-verdict
+//!   latency (p50/p95/p99/max), batch shapes, service times, and
+//!   throughput; [`Server::stats`] snapshots it at any time without
+//!   stopping traffic.
+//!
+//! Every verdict returned through the server is **bit-identical** to a
+//! direct `session.classify` of the same window on the same backend —
+//! the batcher only regroups work, never changes it (pinned by this
+//! crate's tests on top of the core equivalence suites).
+//!
+//! ## Example
+//!
+//! ```
+//! use pulp_hd_core::backend::{FastBackend, HdModel};
+//! use pulp_hd_core::layout::AccelParams;
+//! use pulp_hd_serve::{ServeConfig, Server};
+//!
+//! let params = AccelParams { n_words: 16, ..AccelParams::emg_default() };
+//! let model = HdModel::random(&params, 7);
+//! let backend = FastBackend::try_with_threads(2)?;
+//! let server = Server::spawn(&backend, &model, ServeConfig::default())?;
+//!
+//! let client = server.client();
+//! let window = vec![vec![100u16, 60_000, 33_000, 8_000]];
+//! let verdict = client.classify(&window)?;
+//! assert!(verdict.class < params.classes);
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! # Ok::<(), pulp_hd_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod stats;
+
+pub use stats::ServerStats;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pulp_hd_core::backend::{
+    BackendError, BackendSession, ExecutionBackend, HdModel, TrainingSession, Verdict,
+};
+
+use stats::Recorder;
+
+/// Tuning knobs of the adaptive micro-batcher.
+///
+/// The two batching knobs span the throughput/latency trade-off:
+///
+/// * **`max_batch`** caps how much work one `classify_batch` call sees.
+///   Bigger batches amortize dispatch and let the backend's worker pool
+///   fan out (the fast backend needs ≥ 8 windows per participant to
+///   leave its single-thread path); past a few hundred windows the
+///   returns flatten.
+/// * **`max_delay`** caps how long an open batch waits for company.
+///   The batcher fills cooperatively: it drains whatever is queued,
+///   then yields the CPU a handful of times to let submitting threads
+///   run, and closes the batch as soon as the queue stays empty across
+///   those yields — so a sparse caller pays microseconds, not
+///   `max_delay`, while a crowd mid-submission gets swept into one
+///   batch. `max_delay` is the hard upper bound on that fill phase
+///   (worst-case added latency); `0` disables the fill phase entirely
+///   (each request is served with whatever happened to be queued
+///   alongside it).
+///
+/// `queue_depth` bounds memory and tail latency under overload: once
+/// the queue holds that many submitted-but-unserved windows,
+/// [`Client::try_submit`] sheds load with
+/// [`TrySubmitError::Overloaded`] and [`Client::submit`] blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Close a batch once it holds this many requests (≥ 1).
+    pub max_batch: usize,
+    /// Close a batch this long after its first request arrived, even if
+    /// it is not full.
+    pub max_delay: Duration,
+    /// Bounded submission-queue capacity (≥ 1).
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    /// `max_batch` 64, `max_delay` 200 µs, `queue_depth` 1024 — sized
+    /// so a saturated server forms pool-friendly batches while a lone
+    /// caller's worst-case added latency stays well under a millisecond.
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay: Duration::from_micros(200),
+            queue_depth: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be at least 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::Config("queue_depth must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The backend rejected the model, the configuration, or this
+    /// specific window (per-request: other requests in the same batch
+    /// are unaffected).
+    Backend(BackendError),
+    /// The serving configuration is invalid.
+    Config(String),
+    /// The server has shut down (or its batcher died) before this
+    /// request could be answered.
+    Closed,
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Backend(e) => write!(f, "backend: {e}"),
+            Self::Config(what) => write!(f, "config: {what}"),
+            Self::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BackendError> for ServeError {
+    fn from(e: BackendError) -> Self {
+        Self::Backend(e)
+    }
+}
+
+/// Why a non-blocking submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySubmitError {
+    /// The bounded queue is full — shed load or retry later. The
+    /// rejection is counted in [`ServerStats::rejected`].
+    Overloaded,
+    /// The server has shut down.
+    Closed,
+}
+
+impl core::fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Overloaded => write!(f, "server queue is full"),
+            Self::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
+/// One queued request: the window, its arrival time, and the one-shot
+/// reply channel its [`Ticket`] waits on.
+struct Pending {
+    window: Vec<Vec<u16>>,
+    enqueued: Instant,
+    reply: SyncSender<Result<Verdict, ServeError>>,
+}
+
+enum Request {
+    Classify(Pending),
+    /// Shutdown sentinel: serve everything already queued, then exit.
+    Drain,
+}
+
+/// State shared by the server handle, every client, and the batcher.
+struct Shared {
+    /// Flips to `false` on shutdown; clients check it before queuing.
+    open: AtomicBool,
+    recorder: Recorder,
+    started: Instant,
+}
+
+/// A running serving front-end: one
+/// [`BackendSession`](pulp_hd_core::backend::BackendSession) on one
+/// batcher thread, fed by any number of [`Client`] handles.
+///
+/// Dropping the server performs the same graceful shutdown as
+/// [`shutdown`](Self::shutdown): queued requests are served, the
+/// batcher is joined, and later submissions fail with
+/// [`ServeError::Closed`] / [`TrySubmitError::Closed`] (see
+/// [`shutdown`](Self::shutdown) for the exact guarantee under races).
+#[derive(Debug)]
+pub struct Server {
+    tx: SyncSender<Request>,
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Prepares `model` on `backend` and starts serving it.
+    ///
+    /// The session is prepared on the calling thread so backend errors
+    /// surface synchronously, then moved onto the batcher thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for an invalid [`ServeConfig`] and
+    /// [`ServeError::Backend`] if the backend cannot realize the model.
+    pub fn spawn(
+        backend: &dyn ExecutionBackend,
+        model: &HdModel,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        let session = backend.prepare(model)?;
+        Self::from_session(session, config)
+    }
+
+    /// Serves an already-prepared session — the direct hand-off from
+    /// one-shot training:
+    /// `Server::from_training(trainer, config)` is covered separately;
+    /// use this when the session came from
+    /// [`ExecutionBackend::prepare`] or a custom construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for an invalid [`ServeConfig`].
+    pub fn from_session(
+        session: Box<dyn BackendSession>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        let (tx, rx) = sync_channel(config.queue_depth);
+        let shared = Arc::new(Shared {
+            open: AtomicBool::new(true),
+            recorder: Recorder::new(),
+            started: Instant::now(),
+        });
+        let batcher_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("pulp-hd-serve".into())
+            .spawn(move || batcher(session, &rx, &batcher_shared, config))
+            .map_err(|e| ServeError::Config(format!("cannot spawn batcher thread: {e}")))?;
+        Ok(Self {
+            tx,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// Finalizes a training session and serves the trained model on its
+    /// own backend — the train → deploy path
+    /// ([`TrainingSession::into_serving`]) behind the serving layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Backend`] if finalization or serving
+    /// preparation fails, [`ServeError::Config`] for an invalid
+    /// [`ServeConfig`].
+    pub fn from_training(
+        trainer: Box<dyn TrainingSession>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        config.validate()?;
+        Self::from_session(trainer.into_serving()?, config)
+    }
+
+    /// A new client handle. Clients are cheap (`Clone` + `Send`), so
+    /// hand one to every caller thread.
+    #[must_use]
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A snapshot of the server's telemetry, without stopping traffic.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.recorder.snapshot(self.shared.started.elapsed())
+    }
+
+    /// Graceful shutdown: stop accepting new requests, serve everything
+    /// already queued, join the batcher, and return the final stats.
+    ///
+    /// Every outstanding [`Ticket`] resolves: tickets queued before
+    /// this call (in particular, everything submitted from the calling
+    /// thread) get their verdicts; a submission on another thread that
+    /// races this call may instead resolve with [`ServeError::Closed`]
+    /// — it is never left blocking.
+    #[must_use = "the final stats are the server's life's work; ignore explicitly if unwanted"]
+    pub fn shutdown(mut self) -> ServerStats {
+        self.finish();
+        self.stats()
+    }
+
+    fn finish(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shared.open.store(false, Ordering::SeqCst);
+            // The blocking send is safe: the batcher only exits after
+            // consuming a Drain (or after every sender is gone), so it
+            // is still draining the queue ahead of this sentinel. If it
+            // panicked instead, the send fails — nothing to drain.
+            let _ = self.tx.send(Request::Drain);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// A cheap clonable handle for submitting windows to a [`Server`].
+#[derive(Debug, Clone)]
+pub struct Client {
+    tx: SyncSender<Request>,
+    shared: Arc<Shared>,
+}
+
+impl core::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Shared")
+            .field("open", &self.open)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Submits one window, blocking while the queue is full, and
+    /// returns a [`Ticket`] for its verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the server has shut down.
+    pub fn submit(&self, window: Vec<Vec<u16>>) -> Result<Ticket, ServeError> {
+        if !self.shared.open.load(Ordering::SeqCst) {
+            return Err(ServeError::Closed);
+        }
+        let (ticket, pending) = Self::package(window);
+        self.tx
+            .send(Request::Classify(pending))
+            .map_err(|_| ServeError::Closed)?;
+        Ok(ticket)
+    }
+
+    /// Submits one window without blocking: full queue means
+    /// [`TrySubmitError::Overloaded`] (the shed-load backpressure
+    /// signal), not a wait.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrySubmitError::Overloaded`] when the bounded queue is
+    /// full, [`TrySubmitError::Closed`] if the server has shut down.
+    pub fn try_submit(&self, window: Vec<Vec<u16>>) -> Result<Ticket, TrySubmitError> {
+        if !self.shared.open.load(Ordering::SeqCst) {
+            return Err(TrySubmitError::Closed);
+        }
+        let (ticket, pending) = Self::package(window);
+        match self.tx.try_send(Request::Classify(pending)) {
+            Ok(()) => Ok(ticket),
+            Err(TrySendError::Full(_)) => {
+                self.shared.recorder.record_rejected();
+                Err(TrySubmitError::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(TrySubmitError::Closed),
+        }
+    }
+
+    /// Submit-and-wait: one window in, its [`Verdict`] out. The calling
+    /// thread blocks (closed-loop callers self-pace — this is the
+    /// backpressure-friendly way to drive the server hard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Backend`] if the backend rejected this
+    /// window, [`ServeError::Closed`] if the server shut down first.
+    pub fn classify(&self, window: &[Vec<u16>]) -> Result<Verdict, ServeError> {
+        self.submit(window.to_vec())?.wait()
+    }
+
+    fn package(window: Vec<Vec<u16>>) -> (Ticket, Pending) {
+        // Capacity 1 and exactly one send ever: the batcher's reply can
+        // never block, and a dropped ticket just discards the verdict.
+        let (reply_tx, reply_rx) = sync_channel(1);
+        (
+            Ticket { reply: reply_rx },
+            Pending {
+                window,
+                enqueued: Instant::now(),
+                reply: reply_tx,
+            },
+        )
+    }
+}
+
+/// An outstanding request: redeem it with [`wait`](Self::wait).
+#[derive(Debug)]
+pub struct Ticket {
+    reply: Receiver<Result<Verdict, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until this request's verdict is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Backend`] if the backend rejected this
+    /// window, [`ServeError::Closed`] if the server shut down (or its
+    /// batcher died) before answering.
+    pub fn wait(self) -> Result<Verdict, ServeError> {
+        self.reply.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Like [`wait`](Self::wait), but gives up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// As [`wait`](Self::wait); additionally returns `Ok(None)` — not an
+    /// error — when the timeout elapses first (the ticket is consumed,
+    /// the verdict is discarded when it arrives).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Option<Verdict>, ServeError> {
+        match self.reply.recv_timeout(timeout) {
+            Ok(result) => result.map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+        }
+    }
+}
+
+/// Consecutive empty-queue yield rounds after which the fill phase
+/// concludes no more traffic is coming and closes the batch. Each round
+/// costs one `yield_now` — nanoseconds when nothing else is runnable
+/// (the sparse-caller case closes its batch almost instantly), a
+/// scheduler slice that lets submitting threads actually reach the
+/// queue when the machine is saturated (the crowd case fills the
+/// batch).
+const FILL_IDLE_ROUNDS: u32 = 8;
+
+/// The batcher loop: block for the first request of a batch, top the
+/// batch up (cooperative fill, bounded by `max_batch` and `max_delay`),
+/// serve it, repeat — until a [`Request::Drain`] sentinel (graceful
+/// shutdown) or channel disconnection (server handle and every client
+/// dropped).
+fn batcher(
+    mut session: Box<dyn BackendSession>,
+    rx: &Receiver<Request>,
+    shared: &Shared,
+    config: ServeConfig,
+) {
+    let mut pending: Vec<Pending> = Vec::with_capacity(config.max_batch);
+    let mut windows: Vec<Vec<Vec<u16>>> = Vec::with_capacity(config.max_batch);
+    let mut verdicts: Vec<Verdict> = Vec::with_capacity(config.max_batch);
+    loop {
+        let mut draining = match rx.recv() {
+            Ok(Request::Classify(p)) => {
+                pending.push(p);
+                false
+            }
+            Ok(Request::Drain) => true,
+            Err(_) => true,
+        };
+        if !draining {
+            // Cooperative fill: sweep everything already queued, and
+            // between sweeps yield so threads that are mid-submission
+            // get the CPU to finish. Close once the queue stays empty
+            // for FILL_IDLE_ROUNDS consecutive yields (no more traffic
+            // in flight), at max_batch, or at the max_delay deadline —
+            // whichever comes first.
+            let deadline = Instant::now() + config.max_delay;
+            let mut idle_rounds = 0;
+            while pending.len() < config.max_batch && idle_rounds < FILL_IDLE_ROUNDS {
+                match rx.try_recv() {
+                    Ok(Request::Classify(p)) => {
+                        pending.push(p);
+                        idle_rounds = 0;
+                    }
+                    Ok(Request::Drain) | Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        draining = true;
+                        break;
+                    }
+                    Err(std::sync::mpsc::TryRecvError::Empty) => {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        idle_rounds += 1;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        serve_batch(
+            session.as_mut(),
+            &mut pending,
+            &mut windows,
+            &mut verdicts,
+            shared,
+        );
+        if draining {
+            // Serve everything already queued, then exit. Replies to
+            // requests that sneak in after the final try_recv are
+            // dropped with the channel — their tickets see `Closed`.
+            loop {
+                match rx.try_recv() {
+                    Ok(Request::Classify(p)) => {
+                        pending.push(p);
+                        if pending.len() == config.max_batch {
+                            serve_batch(
+                                session.as_mut(),
+                                &mut pending,
+                                &mut windows,
+                                &mut verdicts,
+                                shared,
+                            );
+                        }
+                    }
+                    Ok(Request::Drain) => {}
+                    Err(_) => break,
+                }
+            }
+            serve_batch(
+                session.as_mut(),
+                &mut pending,
+                &mut windows,
+                &mut verdicts,
+                shared,
+            );
+            return;
+        }
+    }
+}
+
+/// Serves one closed batch: run `classify_batch` over the collected
+/// windows, record telemetry, fan each verdict back to its ticket.
+///
+/// A batch-level error falls back to per-window classification so the
+/// error lands only on the request that caused it — every other ticket
+/// in the batch still gets its verdict (bit-identical either way; the
+/// core pins `classify_batch` to looped `classify`).
+fn serve_batch(
+    session: &mut dyn BackendSession,
+    pending: &mut Vec<Pending>,
+    windows: &mut Vec<Vec<Vec<u16>>>,
+    verdicts: &mut Vec<Verdict>,
+    shared: &Shared,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    windows.clear();
+    windows.extend(pending.iter_mut().map(|p| std::mem::take(&mut p.window)));
+    verdicts.clear();
+    let service_start = Instant::now();
+    match session.classify_batch_into(windows, verdicts) {
+        Ok(()) => {
+            shared.recorder.record_batch(service_start.elapsed());
+            debug_assert_eq!(verdicts.len(), pending.len());
+            for (p, v) in pending.drain(..).zip(verdicts.drain(..)) {
+                shared.recorder.record_latency(p.enqueued.elapsed());
+                let _ = p.reply.send(Ok(v));
+            }
+        }
+        Err(_) => {
+            for (p, w) in pending.drain(..).zip(windows.iter()) {
+                let result = session.classify(w).map_err(ServeError::Backend);
+                shared.recorder.record_latency(p.enqueued.elapsed());
+                let _ = p.reply.send(result);
+            }
+            shared.recorder.record_batch(service_start.elapsed());
+        }
+    }
+}

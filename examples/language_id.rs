@@ -1,23 +1,31 @@
 //! Language identification with hypervector n-grams — the workload the
 //! paper's introduction cites for HD computing ("language recognitions
-//! [11, 12]"), built from the same `hdc` primitives the EMG chain uses:
-//! an item memory over letters, trigram binding via rotate+XOR, bundling
-//! into language prototypes, and nearest-prototype search.
+//! [11, 12]"), expressed **entirely through the execution-backend
+//! seam**: letters become quantization levels of a
+//! [`ContinuousItemMemory`] (via `from_levels`, which serves the
+//! quasi-orthogonal letter vectors verbatim), a text becomes a
+//! one-channel window with one sample per letter, and the chain's
+//! trigram temporal encoder does the rotate-and-bind n-gram encoding.
 //!
-//! The search runs twice: through the associative memory (the golden
-//! path) and over `u64`-repacked prototypes (`hdc::hv64`, the packing
-//! the fast execution backend uses) — demonstrating that the packed
-//! representation is a drop-in for any HD workload, not just EMG.
+//! Training runs through [`TrainSpec`] +
+//! [`TrainableBackend::begin_training`] and deploys with
+//! `into_serving()` — the same one-shot train → serve path as the EMG
+//! examples, on the fast (`u64`-packed, SIMD-dispatched) backend — and
+//! the verdicts are cross-checked bit for bit against the scalar golden
+//! backend, demonstrating that the packed engine is a drop-in for any
+//! HD workload, not just EMG.
 //!
 //! Run with: `cargo run --release --example language_id`
 
-use hdc::bundle::Bundler;
-use hdc::encoder::ngram;
-use hdc::hv64::Hv64;
-use hdc::{AssociativeMemory, BinaryHv, ItemMemory, TieBreak};
+use hdc::item_memory::quantize_code;
+use hdc::{ContinuousItemMemory, ItemMemory};
+use pulp_hd_core::backend::{
+    ExecutionBackend, FastBackend, GoldenBackend, TrainSpec, TrainableBackend,
+};
 
 const N_WORDS: usize = 313; // 10,016-bit hypervectors
 const ALPHABET: &str = "abcdefghijklmnopqrstuvwxyz ";
+const NGRAM: usize = 3; // letter trigrams
 
 const TRAIN: [(&str, &str); 3] = [
     (
@@ -79,54 +87,73 @@ fn letter_index(c: char) -> usize {
     ALPHABET.find(c).unwrap_or(ALPHABET.len() - 1)
 }
 
-/// Encodes text into a hypervector: bundle of all letter trigrams.
-fn encode(text: &str, letters: &ItemMemory) -> BinaryHv {
-    let chars: Vec<char> = text.chars().filter(|c| ALPHABET.contains(*c)).collect();
-    let mut bundler = Bundler::new(N_WORDS);
-    for tri in chars.windows(3) {
-        let seq: Vec<BinaryHv> = tri
-            .iter()
-            .map(|&c| letters.get(letter_index(c)).clone())
-            .collect();
-        bundler.add(&ngram(&seq));
-    }
-    bundler.majority(TieBreak::Seeded(0x1A06))
+/// The smallest ADC code that quantizes back to letter `index` — the
+/// inverse of the chain's `quantize_code`, so each letter selects
+/// exactly its own level hypervector.
+fn letter_code(index: usize) -> u16 {
+    let levels = ALPHABET.len() as u32;
+    let code = (((index as u32) << 16) / (levels - 1)).min(u32::from(u16::MAX)) as u16;
+    debug_assert_eq!(quantize_code(code, ALPHABET.len()), index);
+    code
 }
 
-fn main() {
-    let letters = ItemMemory::new(ALPHABET.len(), N_WORDS, 0xBABE);
-    let mut am = AssociativeMemory::new(TRAIN.len(), N_WORDS, 0x7E57);
-    for (label, (name, text)) in TRAIN.iter().enumerate() {
-        am.train(label, &encode(text, &letters));
-        println!("trained prototype for {name}");
-    }
-    am.finalize();
+/// A text as a backend window: one sample per letter, one channel whose
+/// code selects the letter's level. The chain's spatial encoder maps
+/// each sample to `IM[0] ⊕ letters[l]`, and its trigram temporal
+/// encoder rotates-and-binds exactly the letter trigrams the original
+/// formulation used.
+fn window_of(text: &str) -> Vec<Vec<u16>> {
+    text.chars()
+        .filter(|c| ALPHABET.contains(*c))
+        .map(|c| vec![letter_code(letter_index(c))])
+        .collect()
+}
 
-    // The same prototypes repacked into u64 words, as the fast backend
-    // stores them.
-    let packed: Vec<Hv64> = am.prototypes().iter().map(Hv64::from_binary).collect();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The letter item memory, served as the chain's "continuous" item
+    // memory: 27 quasi-orthogonal letter hypervectors as levels.
+    let letters = ItemMemory::new(ALPHABET.len(), N_WORDS, 0xBABE);
+    let cim = ContinuousItemMemory::from_levels(letters.iter().cloned().collect());
+    let im = ItemMemory::new(1, N_WORDS, 0x1A06); // the single text channel
+    let spec = TrainSpec::new(cim, im, NGRAM, TRAIN.len(), 0x7E57)?;
+
+    // One-shot training through the seam, on the fast backend.
+    let backend = FastBackend::try_with_threads(2)?;
+    let mut trainer = backend.begin_training(&spec)?;
+    for (label, (name, text)) in TRAIN.iter().enumerate() {
+        trainer.train(&window_of(text), label)?;
+        println!(
+            "trained prototype for {name} ({} examples)",
+            trainer.examples(label)
+        );
+    }
+    let model = trainer.finalize()?;
+    let mut session = trainer.into_serving()?;
+
+    // The scalar golden backend serves the same model for the bit-exact
+    // cross-check.
+    let mut golden = GoldenBackend.prepare(&model)?;
 
     let mut correct = 0;
     for (expected, (name, text)) in TEST.iter().enumerate() {
-        let query = encode(text, &letters);
-        let result = am.classify(&query);
+        let window = window_of(text);
+        let verdict = session.classify(&window)?;
 
-        // Packed nearest-prototype search agrees exactly.
-        let query64 = Hv64::from_binary(&query);
-        let packed_distances: Vec<u32> = packed.iter().map(|p| p.hamming(&query64)).collect();
+        // The packed fast path agrees with the scalar golden model on
+        // every distance, the query, and the class.
+        let reference = golden.classify(&window)?;
         assert_eq!(
-            packed_distances,
-            result.distances(),
-            "u64 packing must not change distances"
+            verdict, reference,
+            "fast and golden backends must agree bit for bit"
         );
 
-        let predicted = TRAIN[result.class()].0;
-        let ok = result.class() == expected;
+        let predicted = TRAIN[verdict.class].0;
+        let ok = verdict.class == expected;
         correct += usize::from(ok);
         println!(
             "{name:8} -> {predicted:8} {} (distances {:?})",
             if ok { "✓" } else { "✗" },
-            result.distances()
+            verdict.distances
         );
     }
     assert_eq!(correct, TEST.len(), "all held-out sentences identified");
@@ -135,5 +162,6 @@ fn main() {
         correct,
         TEST.len()
     );
-    println!("u32 and u64 packings agree on every distance ✓");
+    println!("fast (u64-packed) and golden (u32) backends agree on every verdict ✓");
+    Ok(())
 }

@@ -1,0 +1,112 @@
+//! The serving front-end end to end: train an EMG gesture model through
+//! the backend seam, put it behind `pulp-hd-serve`'s adaptive
+//! micro-batcher, and drive it with a crowd of concurrent closed-loop
+//! clients — then read the telemetry the server kept while it worked
+//! (throughput, batch shapes, p50/p95/p99 latency) and cross-check a
+//! served verdict against a direct session classification.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::time::Duration;
+
+use emg::{Dataset, SynthConfig};
+use hdc::HdConfig;
+use pulp_hd_core::backend::{ExecutionBackend, FastBackend, TrainSpec, TrainableBackend};
+use pulp_hd_serve::{ServeConfig, Server, TrySubmitError};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 200;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- train through the seam, exactly like emg_gesture ------------
+    let synth = SynthConfig::paper();
+    let data = Dataset::generate(&synth, 0, 42);
+    let config = HdConfig::emg_default();
+    let spec = TrainSpec::from_config(&config, data.classes())?;
+    let backend = FastBackend::try_with_threads(
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    )?;
+    let mut trainer = backend.begin_training(&spec)?;
+    let train_idx = data.training_trial_indices(0.25);
+    let train = data.windows_of(&train_idx, config.window);
+    let windows: Vec<Vec<Vec<u16>>> = train.iter().map(|w| w.codes.clone()).collect();
+    let labels: Vec<usize> = train.iter().map(|w| w.label).collect();
+    trainer.train_batch(&windows, &labels)?;
+    let model = trainer.finalize()?;
+
+    // --- keep a direct session for the determinism cross-check --------
+    let mut direct = backend.prepare(&model)?;
+
+    // --- train → deploy: the trained session goes straight behind the
+    //     server (Server::from_training == into_serving + spawn) -------
+    let serve_config = ServeConfig {
+        max_batch: 64,
+        max_delay: Duration::from_micros(200),
+        queue_depth: 1024,
+    };
+    let server = Server::from_training(trainer, serve_config)?;
+    println!(
+        "serving the trained model: max_batch {}, max_delay {:?}, queue depth {}",
+        serve_config.max_batch, serve_config.max_delay, serve_config.queue_depth
+    );
+
+    // --- a crowd of closed-loop clients -------------------------------
+    let all_idx: Vec<usize> = (0..data.trials().len()).collect();
+    let probes: Vec<Vec<Vec<u16>>> = data
+        .windows_of(&all_idx, config.window)
+        .into_iter()
+        .map(|w| w.codes)
+        .collect();
+    std::thread::scope(|scope| {
+        for lane in 0..CLIENTS {
+            let client = server.client();
+            let probes = &probes;
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let probe = &probes[(lane * REQUESTS_PER_CLIENT + i) % probes.len()];
+                    client.classify(probe).expect("served classification");
+                }
+            });
+        }
+    });
+
+    // --- and one non-blocking caller that sheds load on overload ------
+    let client = server.client();
+    match client.try_submit(probes[0].clone()) {
+        Ok(ticket) => {
+            let verdict = ticket.wait()?;
+            println!(
+                "non-blocking submit answered: class {} (gesture window)",
+                verdict.class
+            );
+        }
+        Err(TrySubmitError::Overloaded) => {
+            println!("non-blocking submit shed load: queue full (Overloaded)");
+        }
+        Err(e) => return Err(e.into()),
+    }
+
+    // --- determinism: a served verdict is bit-identical to the same
+    //     window classified directly on the session --------------------
+    let served = client.classify(&probes[7])?;
+    let direct_verdict = direct.classify(&probes[7])?;
+    assert_eq!(served, direct_verdict, "serving must not change verdicts");
+
+    // --- the server's own account of its work --------------------------
+    let stats = server.shutdown();
+    println!("\nserver telemetry after shutdown:");
+    println!(
+        "  {} requests in {} batches (mean batch {:.1}, largest service {} µs)",
+        stats.completed, stats.batches, stats.mean_batch, stats.batch_service_max_us
+    );
+    println!(
+        "  latency p50 {} µs   p95 {} µs   p99 {} µs   max {} µs",
+        stats.p50_us, stats.p95_us, stats.p99_us, stats.latency_max_us
+    );
+    println!(
+        "  {:.0} windows/s across {} concurrent clients ({} rejected)",
+        stats.windows_per_sec, CLIENTS, stats.rejected
+    );
+    println!("\nserved verdicts are bit-identical to direct classification ✓");
+    Ok(())
+}

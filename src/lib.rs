@@ -9,6 +9,9 @@
 //! * [`core`](pulp_hd_core) — the accelerator: HD kernels lowered onto
 //!   the simulated cluster, platform presets, and the experiment
 //!   runners for every table and figure,
+//! * [`serve`](pulp_hd_serve) — the concurrent serving front-end:
+//!   adaptive micro-batching over any execution backend, with
+//!   backpressure, graceful shutdown, and p50/p99 telemetry,
 //! * [`emg`] — the synthetic EMG hand-gesture workload,
 //! * [`svm`] — the SVM baseline.
 //!
@@ -26,5 +29,6 @@
 pub use emg;
 pub use hdc;
 pub use pulp_hd_core;
+pub use pulp_hd_serve;
 pub use pulp_sim;
 pub use svm;
