@@ -51,15 +51,15 @@
 //! the numbers in `BENCH_throughput.json`.
 
 use std::ops::Range;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use hdc::hv64::{scan_pruned_into, BitslicedBundler, CounterBundler, Hv64};
 use hdc::item_memory::quantize_code;
 use hdc::rng::{derive_seed, Xoshiro256PlusPlus};
 use hdc::BinaryHv;
 
+use super::pool::{fan_out_for, ChunkResult, RawLabels, RawWindows, ResultDrain, WorkerPool};
 use super::{
     argmin, validate_label, validate_window, BackendError, BackendSession, ExecutionBackend,
     HdModel, TrainSpec, TrainableBackend, TrainingSession, Verdict,
@@ -84,6 +84,16 @@ pub enum ScanPolicy {
     /// the abandonment point — a lower bound on the true distance that
     /// still exceeds the winning distance (see
     /// [`hdc::hv64::scan_pruned_into`]).
+    ///
+    /// **Large batches should stay on [`Full`](Self::Full) for now**:
+    /// on the multi-threaded batch path the pruned scan's extra
+    /// per-block bookkeeping currently *costs* throughput instead of
+    /// saving it — the bench's pruned-cliff guard records `fast-pruned`
+    /// at roughly half of `fast` at batch 256 (`"pruned_cliff"` in
+    /// `BENCH_throughput.json`). Reach for `Pruned` in
+    /// latency-sensitive single-window regimes with many classes, where
+    /// skipping doomed prototypes shortens the critical path, not to
+    /// speed up bulk batches.
     Pruned,
 }
 
@@ -187,15 +197,14 @@ impl FastBackend {
         });
         let pool = {
             let core = &core;
-            WorkerPool::spawn(participants.saturating_sub(1), || {
+            WorkerPool::spawn(participants.saturating_sub(1), |_| {
                 let core = Arc::clone(core);
                 let mut scratch = EncodeScratch::new(core.enc.n_words32);
                 move |job: ClassifyJob| {
                     // SAFETY: see `RawWindows` — the batch outlives the
                     // job because the dispatcher waits for our `done`
                     // message before returning.
-                    let windows =
-                        unsafe { std::slice::from_raw_parts(job.windows.ptr, job.windows.len) };
+                    let windows = unsafe { job.windows.slice() };
                     let result = windows[job.range.clone()]
                         .iter()
                         .map(|w| core.classify_with(w, &mut scratch))
@@ -216,7 +225,7 @@ impl FastBackend {
     /// [`begin_training`](TrainableBackend::begin_training) with an
     /// explicit participant count — the testable core of training
     /// session construction, also exercised on single-CPU hosts.
-    fn begin_training_with_participants(
+    pub(super) fn begin_training_with_participants(
         &self,
         spec: &TrainSpec,
         participants: usize,
@@ -236,17 +245,15 @@ impl FastBackend {
             .collect();
         let pool = {
             let enc = &enc;
-            WorkerPool::spawn(participants.saturating_sub(1), || {
+            WorkerPool::spawn(participants.saturating_sub(1), |_| {
                 let enc = Arc::clone(enc);
                 let mut scratch = EncodeScratch::new(enc.n_words32);
                 move |job: TrainJob| {
                     // SAFETY: see `RawWindows`/`RawLabels` — the batch
                     // and label slices outlive the job because the
                     // dispatcher waits for our `done` message.
-                    let windows =
-                        unsafe { std::slice::from_raw_parts(job.windows.ptr, job.windows.len) };
-                    let labels =
-                        unsafe { std::slice::from_raw_parts(job.labels.ptr, job.labels.len) };
+                    let windows = unsafe { job.windows.slice() };
+                    let labels = unsafe { job.labels.slice() };
                     let mut partials: Vec<CounterBundler> = (0..job.classes)
                         .map(|_| CounterBundler::new(enc.n_words32))
                         .collect();
@@ -457,39 +464,6 @@ impl FastCore {
     }
 }
 
-/// A borrowed batch smuggled across the channel as a raw slice.
-///
-/// Soundness: the dispatching call (`classify_batch` / `train_batch`)
-/// keeps a [`ResultDrain`] guard alive from the first dispatch until
-/// every dispatched chunk has reported back — on the happy path *and*
-/// during unwinding — so the pointee (`&[Vec<Vec<u16>>]` borrowed by
-/// the caller) strictly outlives all worker accesses, and workers only
-/// read.
-struct RawWindows {
-    ptr: *const Vec<Vec<u16>>,
-    len: usize,
-}
-
-// SAFETY: the pointee is a shared slice only read by the receiving
-// worker while the sending batch call keeps the borrow alive (its
-// `ResultDrain` guard joins on the result channel before the frame —
-// panicking or not — can release the borrow).
-unsafe impl Send for RawWindows {}
-
-/// A borrowed label slice, under the same [`ResultDrain`] contract as
-/// [`RawWindows`].
-struct RawLabels {
-    ptr: *const usize,
-    len: usize,
-}
-
-// SAFETY: as for `RawWindows` — shared read-only slice, outlived by the
-// dispatcher's drain guard.
-unsafe impl Send for RawLabels {}
-
-/// A chunk's completion message: chunk index + its verdicts.
-type ChunkResult = (usize, Result<Vec<Verdict>, BackendError>);
-
 /// One chunk of a classification batch, dispatched to a pool worker.
 struct ClassifyJob {
     windows: RawWindows,
@@ -517,93 +491,6 @@ struct TrainJob {
     done: Sender<TrainChunkResult>,
 }
 
-/// Unwind guard for a batch in flight: counts dispatched chunks and, if
-/// the dispatching frame unwinds before collecting them (a worker died,
-/// or chunk 0 panicked), blocks in `drop` until every outstanding chunk
-/// has reported or every worker-held sender is gone — whichever comes
-/// first. Workers drop their job (and its sender clone) when they
-/// finish or unwind, and in both cases they have stopped touching the
-/// batch slices by then, so once `drop` returns no worker can still see
-/// the caller's borrows.
-struct ResultDrain<'a, T> {
-    rx: &'a Receiver<(usize, T)>,
-    /// The dispatcher's own sender, dropped before draining so `recv`
-    /// can observe channel closure instead of deadlocking.
-    tx: Option<Sender<(usize, T)>>,
-    outstanding: usize,
-}
-
-impl<T> Drop for ResultDrain<'_, T> {
-    fn drop(&mut self) {
-        self.tx = None;
-        while self.outstanding > 0 {
-            if self.rx.recv().is_err() {
-                break;
-            }
-            self.outstanding -= 1;
-        }
-    }
-}
-
-/// A session's persistent worker pool: long-lived threads, one job
-/// channel and one private worker state (scratch arena, partial
-/// counters) each, generic over the job type it serves. Spawned once at
-/// session construction; dropped (channels closed, threads joined) with
-/// the session.
-struct WorkerPool<J: Send + 'static> {
-    senders: Vec<Sender<J>>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl<J: Send + 'static> WorkerPool<J> {
-    /// Spawns `workers` threads, each running the job handler built by
-    /// one `make_worker` call (the builder runs on the spawning thread;
-    /// the handler owns its per-worker state).
-    fn spawn<W, F>(workers: usize, make_worker: F) -> Self
-    where
-        W: FnMut(J) + Send + 'static,
-        F: Fn() -> W,
-    {
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let mut work = make_worker();
-            let (tx, rx): (Sender<J>, Receiver<J>) = channel();
-            handles.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    work(job);
-                }
-            }));
-            senders.push(tx);
-        }
-        Self { senders, handles }
-    }
-
-    fn workers(&self) -> usize {
-        self.senders.len()
-    }
-}
-
-impl<J: Send + 'static> Drop for WorkerPool<J> {
-    fn drop(&mut self) {
-        // Closing the job channels ends each worker's recv loop.
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// Adaptive fan-out for a batch of `batch` items over a pool: as many
-/// participants as the pool offers, but never fewer than
-/// [`MIN_WINDOWS_PER_WORKER`] items each — `1` means "stay inline on
-/// the calling thread".
-fn fan_out_for<J: Send + 'static>(pool: &WorkerPool<J>, batch: usize) -> usize {
-    (pool.workers() + 1)
-        .min(batch / MIN_WINDOWS_PER_WORKER)
-        .max(1)
-}
-
 struct FastSession {
     core: Arc<FastCore>,
     /// Arena for single-window calls and inline (non-fanned) batches.
@@ -613,7 +500,7 @@ struct FastSession {
 
 impl FastSession {
     fn fan_out(&self, batch: usize) -> usize {
-        fan_out_for(&self.pool, batch)
+        fan_out_for(&self.pool, batch, MIN_WINDOWS_PER_WORKER)
     }
 }
 
@@ -656,10 +543,7 @@ impl FastSession {
                 .clone();
             self.pool.senders[idx - 1]
                 .send(ClassifyJob {
-                    windows: RawWindows {
-                        ptr: windows.as_ptr(),
-                        len: windows.len(),
-                    },
+                    windows: RawWindows::of(windows),
                     range,
                     chunk: idx,
                     done,
@@ -743,7 +627,13 @@ impl BackendSession for FastSession {
 /// Prototypes re-threshold lazily ([`finalize`](TrainingSession::
 /// finalize) or the classification inside `update_online` pay the cost
 /// only for classes whose counters changed).
-struct FastTrainingSession {
+///
+/// `pub(super)` so the [`sharded`](super::sharded) backend can run one
+/// of these per shard and reduce their counter partials ([`take_
+/// partials`](Self::take_partials) / [`absorb_partials`](Self::
+/// absorb_partials)) — the same commutative merge that already joins
+/// this session's own worker partials.
+pub(super) struct FastTrainingSession {
     enc: Arc<EncodeCore>,
     counters: Vec<CounterBundler>,
     prototypes: Vec<Hv64>,
@@ -778,6 +668,33 @@ impl FastTrainingSession {
         self.stale[label] = true;
         Ok(())
     }
+
+    /// Takes every accumulated per-class counter plane out of this
+    /// session, leaving it empty (fresh bundlers, nothing stale) — the
+    /// shard-side half of the sharded-training reduction.
+    pub(super) fn take_partials(&mut self) -> Vec<CounterBundler> {
+        for stale in &mut self.stale {
+            *stale = false;
+        }
+        let fresh: Vec<CounterBundler> = self
+            .counters
+            .iter()
+            .map(|c| CounterBundler::new(c.n_words32()))
+            .collect();
+        std::mem::replace(&mut self.counters, fresh)
+    }
+
+    /// Merges another session's taken partials into this session's
+    /// counters (commutative, so the reduced counters equal sequential
+    /// accumulation of both example streams in any order).
+    pub(super) fn absorb_partials(&mut self, partials: &[CounterBundler]) {
+        for (class, partial) in partials.iter().enumerate() {
+            if !partial.is_empty() {
+                self.counters[class].merge(partial);
+                self.stale[class] = true;
+            }
+        }
+    }
 }
 
 impl TrainingSession for FastTrainingSession {
@@ -797,7 +714,7 @@ impl TrainingSession for FastTrainingSession {
                 labels.len()
             )));
         }
-        let fan_out = fan_out_for(&self.pool, windows.len());
+        let fan_out = fan_out_for(&self.pool, windows.len(), MIN_WINDOWS_PER_WORKER);
         if fan_out <= 1 {
             return windows
                 .iter()
@@ -823,14 +740,8 @@ impl TrainingSession for FastTrainingSession {
                 .clone();
             self.pool.senders[idx - 1]
                 .send(TrainJob {
-                    windows: RawWindows {
-                        ptr: windows.as_ptr(),
-                        len: windows.len(),
-                    },
-                    labels: RawLabels {
-                        ptr: labels.as_ptr(),
-                        len: labels.len(),
-                    },
+                    windows: RawWindows::of(windows),
+                    labels: RawLabels::of(labels),
                     range,
                     chunk: idx,
                     classes: self.counters.len(),
@@ -1477,7 +1388,11 @@ mod tests {
 
             // … and through a genuinely fanned-out pool.
             let mut pooled = pooled_training(FastBackend::with_threads(4), &spec, 4);
-            assert_eq!(fan_out_for(&pooled.pool, count), 4, "must exercise pool");
+            assert_eq!(
+                fan_out_for(&pooled.pool, count, MIN_WINDOWS_PER_WORKER),
+                4,
+                "must exercise pool"
+            );
             pooled.train_batch(&windows, &labels).unwrap();
             let got_pooled = pooled.finalize().unwrap();
             assert_eq!(

@@ -40,6 +40,12 @@
 //! random EMG windows and random chain shapes (the pruned scan is
 //! additionally pinned to preserve class, query, and winning distance).
 //!
+//! On top of the three substrates, [`ShardedBackend`] fans one workload
+//! out across **N inner sessions** of any backend — batch-sharding for
+//! throughput or class-sharding of the associative memory for large-AM
+//! latency, both with merged verdicts bit-identical to the unsharded
+//! session (see [`sharded`]).
+//!
 //! ## Training through the same seam
 //!
 //! The paper's one-shot training runs the *same* encode chain as
@@ -83,10 +89,13 @@
 pub mod accel;
 pub mod fast;
 pub mod golden;
+mod pool;
+pub mod sharded;
 
 pub use accel::AccelBackend;
 pub use fast::{FastBackend, ScanPolicy};
 pub use golden::GoldenBackend;
+pub use sharded::{ShardMonitor, ShardSpec, ShardedBackend, ShardedSession};
 
 use hdc::rng::derive_seed;
 use hdc::{BinaryHv, ContinuousItemMemory, HdClassifier, HdConfig, ItemMemory};

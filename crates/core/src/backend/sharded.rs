@@ -1,0 +1,1002 @@
+//! Multi-session sharding: fan one serving (or training) workload out
+//! across N inner sessions of any [`ExecutionBackend`].
+//!
+//! The paper's core result is near-perfect parallel efficiency *inside*
+//! one PULP cluster; this module is the multi-cluster story the single
+//! cluster cannot tell. A [`ShardedBackend`] wraps any inner backend,
+//! [`prepare`](ExecutionBackend::prepare)s N inner sessions, and exposes
+//! them behind a single [`BackendSession`] — so the serving front-end
+//! (`pulp-hd-serve`) and every other `Box<dyn BackendSession>` consumer
+//! scale across sessions without changing a line.
+//!
+//! Two strategies, selected by [`ShardSpec`]:
+//!
+//! * **Batch-sharding** ([`ShardSpec::Batch`]) — for throughput. Every
+//!   shard holds the full model; `classify_batch` splits the batch into
+//!   contiguous chunks, shard 0 runs on the calling thread, shards
+//!   1..N run on their own long-lived threads, and the chunk verdicts
+//!   are spliced back in order. Tiny batches skip the fan-out entirely
+//!   (same [`MIN_WINDOWS_PER_WORKER`] cutover as the fast backend), so
+//!   the sharded session never loses to its own primary shard.
+//! * **Class-sharding** ([`ShardSpec::Class`]) — for large-AM latency.
+//!   The associative memory is partitioned by class into contiguous
+//!   slices; every shard encodes the same window (the encode chain is
+//!   identical, so any shard's query is *the* query) and scans only its
+//!   slice; the merge step concatenates the per-shard `distances` in
+//!   class order and takes the global minimum. Min over Hamming
+//!   distances is a commutative reduction, so the merged verdict is
+//!   **bit-identical** to the unsharded scan — including first-minimum
+//!   tie order, because shard-local winners are compared in ascending
+//!   shard (= class) order with strict `<`. This holds even when the
+//!   inner backend scans with [`ScanPolicy::Pruned`](super::ScanPolicy):
+//!   each shard's *winning* distance is exact, so the cross-shard min is
+//!   taken over exact values (non-winning entries keep the documented
+//!   lower-bound semantics). Merged verdicts report no cycle counts.
+//!
+//! **Training** ([`TrainableBackend`], fast inner backend) always
+//! shards over *examples*, whichever spec was chosen: each shard owns a
+//! private training session accumulating [`CounterBundler`] partials,
+//! and every `train_batch` ends by draining the shard partials into
+//! shard 0 via the commutative [`CounterBundler::merge`] — so the
+//! reduced counters, and therefore the trained prototypes, are
+//! bit-identical to sequential golden training by construction, and
+//! `examples` / `update_online` / `finalize` simply read shard 0.
+//!
+//! **Pool sizing:** inner pools multiply — N batch shards of a
+//! `FastBackend` with T threads want `N × T` CPUs. The
+//! [`ShardedBackend::fast`] constructor does the division
+//! (`threads = max(1, available_parallelism / shards)` per shard) so the
+//! product never oversubscribes; with [`ShardedBackend::new`] the inner
+//! descriptor is taken as given (its own `available_parallelism` clamp
+//! still applies per shard, but not to the product).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+use hdc::hv64::CounterBundler;
+
+use super::fast::{FastBackend, FastTrainingSession, MIN_WINDOWS_PER_WORKER};
+use super::pool::{fan_out_for, ChunkResult, RawLabels, RawWindows, ResultDrain, WorkerPool};
+use super::{
+    BackendError, BackendSession, ExecutionBackend, HdModel, TrainSpec, TrainableBackend,
+    TrainingSession, Verdict,
+};
+
+/// How a [`ShardedBackend`] splits work across its inner sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// `Batch(n)`: n full-model sessions; each batch is split into
+    /// contiguous chunks, one per participating shard. Scales
+    /// *throughput* with the batch size.
+    Batch(usize),
+    /// `Class(n)`: the associative memory is partitioned by class into
+    /// n contiguous slices (capped at one class per shard); every shard
+    /// scans its slice of every window and the verdicts are merged.
+    /// Scales the *per-window scan* with the class count.
+    Class(usize),
+}
+
+impl ShardSpec {
+    /// The requested shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        match *self {
+            Self::Batch(n) | Self::Class(n) => n,
+        }
+    }
+}
+
+/// A generic N-session wrapper around any inner [`ExecutionBackend`]
+/// (see the [module docs](self) for the two sharding strategies and
+/// their merge semantics).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedBackend<B> {
+    inner: B,
+    spec: ShardSpec,
+}
+
+impl<B: ExecutionBackend> ShardedBackend<B> {
+    /// Wraps `inner`, to be instantiated once per shard.
+    ///
+    /// The inner descriptor is used as given — when it owns a thread
+    /// pool, size it against `available_parallelism / shards` (or use
+    /// [`ShardedBackend::fast`], which does that for you).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Config`] if `spec` requests zero shards.
+    pub fn new(inner: B, spec: ShardSpec) -> Result<Self, BackendError> {
+        if spec.shards() == 0 {
+            return Err(BackendError::Config(
+                "sharded backend needs at least one shard".into(),
+            ));
+        }
+        Ok(Self { inner, spec })
+    }
+
+    /// The inner per-shard backend descriptor.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// The sharding strategy.
+    #[must_use]
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// [`prepare`](ExecutionBackend::prepare), returning the concrete
+    /// session type — use this when you need the [`ShardMonitor`]
+    /// (per-shard traffic counters) before handing the session off.
+    ///
+    /// # Errors
+    ///
+    /// As [`prepare`](ExecutionBackend::prepare).
+    pub fn prepare_sharded(&self, model: &HdModel) -> Result<ShardedSession, BackendError> {
+        match self.spec {
+            ShardSpec::Batch(shards) => {
+                // Every shard serves the full model; work splits by
+                // batch chunk.
+                let mut sessions: Vec<Option<Box<dyn BackendSession>>> = (0..shards)
+                    .map(|_| self.inner.prepare(model).map(Some))
+                    .collect::<Result<_, _>>()?;
+                let primary = sessions[0].take().expect("shard 0 prepared above");
+                Ok(ShardedSession {
+                    primary,
+                    pool: spawn_shard_pool(&mut sessions),
+                    offsets: Vec::new(),
+                    monitor: ShardMonitor::new(shards),
+                })
+            }
+            ShardSpec::Class(shards) => {
+                // One slice of the AM per shard, contiguous in class
+                // order; an `HdModel` needs ≥ 1 prototype, so the
+                // effective shard count caps at the class count.
+                let classes = model.classes();
+                let shards = shards.min(classes);
+                let chunk = classes.div_ceil(shards);
+                // Ceiling chunks can cover every class with fewer
+                // shards than requested (5 classes / 4 shards → chunks
+                // of 2 → 3 shards); drop the shards that would get an
+                // empty slice.
+                let shards = classes.div_ceil(chunk);
+                let mut offsets = Vec::with_capacity(shards);
+                let mut sessions: Vec<Option<Box<dyn BackendSession>>> = Vec::with_capacity(shards);
+                for s in 0..shards {
+                    let range = s * chunk..((s + 1) * chunk).min(classes);
+                    let slice = HdModel::new(
+                        model.cim().clone(),
+                        model.im().clone(),
+                        model.prototypes()[range.clone()].to_vec(),
+                        model.ngram(),
+                    )?;
+                    offsets.push(range.start);
+                    sessions.push(Some(self.inner.prepare(&slice)?));
+                }
+                let primary = sessions[0].take().expect("shard 0 prepared above");
+                Ok(ShardedSession {
+                    primary,
+                    pool: spawn_shard_pool(&mut sessions),
+                    offsets,
+                    monitor: ShardMonitor::new(shards),
+                })
+            }
+        }
+    }
+}
+
+impl ShardedBackend<FastBackend> {
+    /// A sharded fast backend with the oversubscription math done:
+    /// each shard's session gets
+    /// `max(1, available_parallelism / shards)` threads, so
+    /// `shards × threads-per-shard` never exceeds the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Config`] if `spec` requests zero shards.
+    pub fn fast(spec: ShardSpec) -> Result<Self, BackendError> {
+        let shards = spec.shards();
+        if shards == 0 {
+            return Err(BackendError::Config(
+                "sharded backend needs at least one shard".into(),
+            ));
+        }
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::new(FastBackend::with_threads((cpus / shards).max(1)), spec)
+    }
+}
+
+impl<B: ExecutionBackend> ExecutionBackend for ShardedBackend<B> {
+    fn name(&self) -> &'static str {
+        match self.spec {
+            ShardSpec::Batch(_) => "sharded-batch",
+            ShardSpec::Class(_) => "sharded-class",
+        }
+    }
+
+    fn prepare(&self, model: &HdModel) -> Result<Box<dyn BackendSession>, BackendError> {
+        Ok(Box::new(self.prepare_sharded(model)?))
+    }
+}
+
+/// Clonable per-shard traffic counters of a [`ShardedSession`]: how
+/// many windows each shard has served. The serving layer snapshots
+/// these into its stats (`ServerStats::shard_windows` in
+/// `pulp-hd-serve`) for per-shard visibility without touching the
+/// session.
+#[derive(Debug, Clone)]
+pub struct ShardMonitor {
+    windows: Arc<[AtomicU64]>,
+}
+
+impl ShardMonitor {
+    fn new(shards: usize) -> Self {
+        Self {
+            windows: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of shards observed.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Snapshot of the windows served per shard, indexed by shard.
+    /// Under batch-sharding the entries sum to the total windows served
+    /// (shard 0 also absorbs every batch too small to fan out); under
+    /// class-sharding every shard sees every window, so each entry
+    /// equals the total.
+    #[must_use]
+    pub fn windows(&self) -> Vec<u64> {
+        self.windows
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn add(&self, shard: usize, n: u64) {
+        self.windows[shard].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// One unit of sharded work: a chunk of the batch (batch-sharding) or
+/// the whole batch (class-sharding), classified on the shard worker's
+/// own session.
+struct ShardJob {
+    windows: RawWindows,
+    range: Range<usize>,
+    /// Shard index, for in-order reassembly.
+    shard: usize,
+    done: Sender<ChunkResult>,
+}
+
+/// Spawns one long-lived thread per shard session in `sessions[1..]`
+/// (shard 0 stays with the dispatcher as the inline primary).
+fn spawn_shard_pool(sessions: &mut [Option<Box<dyn BackendSession>>]) -> WorkerPool<ShardJob> {
+    WorkerPool::spawn(sessions.len() - 1, |idx| {
+        let mut session = sessions[idx + 1]
+            .take()
+            .expect("each shard session moves to exactly one worker");
+        move |job: ShardJob| {
+            // SAFETY: see `RawWindows` — the dispatcher's `ResultDrain`
+            // keeps the batch borrowed until our `done` lands.
+            let windows = unsafe { job.windows.slice() };
+            let result = session.classify_batch(&windows[job.range.clone()]);
+            let _ = job.done.send((job.shard, result));
+        }
+    })
+}
+
+/// N inner sessions behind one [`BackendSession`] (see the [module
+/// docs](self)).
+pub struct ShardedSession {
+    /// Shard 0, worked by the calling thread.
+    primary: Box<dyn BackendSession>,
+    /// Shards 1..N, each owned by a long-lived thread.
+    pool: WorkerPool<ShardJob>,
+    /// Class-sharding: first global class of each shard's AM slice.
+    /// Empty under batch-sharding (the strategy discriminant).
+    offsets: Vec<usize>,
+    monitor: ShardMonitor,
+}
+
+impl std::fmt::Debug for ShardedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSession")
+            .field("shards", &(self.pool.workers() + 1))
+            .field("class_sharded", &!self.offsets.is_empty())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSession {
+    /// Total shard count (primary + pooled).
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.pool.workers() + 1
+    }
+
+    /// A clonable handle onto this session's per-shard traffic
+    /// counters.
+    #[must_use]
+    pub fn monitor(&self) -> ShardMonitor {
+        self.monitor.clone()
+    }
+
+    /// Batch-sharding: contiguous chunks across the shards, calling
+    /// thread working chunk 0, verdicts spliced back in chunk order
+    /// (chunk-order error precedence, like the fast backend).
+    fn batch_sharded_into(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), BackendError> {
+        let fan_out = fan_out_for(&self.pool, windows.len(), MIN_WINDOWS_PER_WORKER);
+        if fan_out <= 1 {
+            self.primary.classify_batch_into(windows, out)?;
+            self.monitor.add(0, windows.len() as u64);
+            return Ok(());
+        }
+        let chunk = windows.len().div_ceil(fan_out);
+        let n_chunks = windows.len().div_ceil(chunk);
+        let (done_tx, done_rx) = channel();
+        let mut drain = ResultDrain {
+            rx: &done_rx,
+            tx: Some(done_tx),
+            outstanding: 0,
+        };
+        for shard in 1..n_chunks {
+            let range = shard * chunk..((shard + 1) * chunk).min(windows.len());
+            let done = drain
+                .tx
+                .as_ref()
+                .expect("dispatcher sender lives through dispatch")
+                .clone();
+            self.pool.senders[shard - 1]
+                .send(ShardJob {
+                    windows: RawWindows::of(windows),
+                    range,
+                    shard,
+                    done,
+                })
+                .expect("shard worker exited early");
+            drain.outstanding += 1;
+        }
+        drain.tx = None;
+        // Shard 0 works chunk 0 straight into the output buffer
+        // (rollback on error is the caller's truncate).
+        let first_error = self
+            .primary
+            .classify_batch_into(&windows[..chunk], out)
+            .err();
+        let mut parts: Vec<Option<Result<Vec<Verdict>, BackendError>>> =
+            (1..n_chunks).map(|_| None).collect();
+        while drain.outstanding > 0 {
+            let (shard, result) = drain.rx.recv().expect("shard worker panicked");
+            drain.outstanding -= 1;
+            parts[shard - 1] = Some(result);
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        self.monitor.add(0, chunk as u64);
+        for (i, part) in parts.into_iter().enumerate() {
+            let verdicts = part.expect("every shard reports exactly once")?;
+            self.monitor.add(i + 1, verdicts.len() as u64);
+            out.extend(verdicts);
+        }
+        Ok(())
+    }
+
+    /// Class-sharding: every shard scans its AM slice over the whole
+    /// batch; per window, distances are concatenated in class order and
+    /// the verdict is the shard-local winner with the smallest *exact*
+    /// winning distance, first shard winning ties — which reproduces
+    /// the unsharded first-minimum argmin exactly (see the [module
+    /// docs](self) for why this also holds under the pruned scan).
+    fn class_sharded_into(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), BackendError> {
+        if windows.is_empty() {
+            return Ok(());
+        }
+        let shards = self.shards();
+        let (done_tx, done_rx) = channel();
+        let mut drain = ResultDrain {
+            rx: &done_rx,
+            tx: Some(done_tx),
+            outstanding: 0,
+        };
+        for shard in 1..shards {
+            let done = drain
+                .tx
+                .as_ref()
+                .expect("dispatcher sender lives through dispatch")
+                .clone();
+            self.pool.senders[shard - 1]
+                .send(ShardJob {
+                    windows: RawWindows::of(windows),
+                    range: 0..windows.len(),
+                    shard,
+                    done,
+                })
+                .expect("shard worker exited early");
+            drain.outstanding += 1;
+        }
+        drain.tx = None;
+        let first = self.primary.classify_batch(windows);
+        let mut parts: Vec<Option<Result<Vec<Verdict>, BackendError>>> =
+            (1..shards).map(|_| None).collect();
+        while drain.outstanding > 0 {
+            let (shard, result) = drain.rx.recv().expect("shard worker panicked");
+            drain.outstanding -= 1;
+            parts[shard - 1] = Some(result);
+        }
+        // Shard-order error precedence (shard 0 = lowest classes first).
+        let mut shard_verdicts = Vec::with_capacity(shards);
+        shard_verdicts.push(first?.into_iter());
+        for part in parts {
+            shard_verdicts.push(part.expect("every shard reports exactly once")?.into_iter());
+        }
+        out.reserve(windows.len());
+        for _ in 0..windows.len() {
+            let mut distances = Vec::new();
+            let mut query = None;
+            // (exact winning distance, global class) of the best shard
+            // so far; strict `<` keeps the first (lowest-class) shard
+            // on cross-shard ties, matching first-minimum argmin.
+            let mut best: Option<(u32, usize)> = None;
+            for (shard, verdicts) in shard_verdicts.iter_mut().enumerate() {
+                let v = verdicts
+                    .next()
+                    .expect("each shard returns one verdict per window");
+                let winner = v.distances[v.class];
+                if best.is_none_or(|(d, _)| winner < d) {
+                    best = Some((winner, self.offsets[shard] + v.class));
+                }
+                distances.extend(v.distances);
+                if shard == 0 {
+                    query = Some(v.query);
+                }
+            }
+            let (_, class) = best.expect("at least one shard");
+            out.push(Verdict {
+                class,
+                distances,
+                query: query.expect("shard 0 always reports"),
+                cycles: None,
+            });
+        }
+        for shard in 0..shards {
+            self.monitor.add(shard, windows.len() as u64);
+        }
+        Ok(())
+    }
+
+    fn classify_batch_impl(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), BackendError> {
+        if self.offsets.is_empty() {
+            self.batch_sharded_into(windows, out)
+        } else {
+            self.class_sharded_into(windows, out)
+        }
+    }
+}
+
+impl BackendSession for ShardedSession {
+    fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
+        if self.offsets.is_empty() {
+            // Batch-sharding: a single window never fans out.
+            let verdict = self.primary.classify(window)?;
+            self.monitor.add(0, 1);
+            Ok(verdict)
+        } else {
+            // Class-sharding: every shard must scan its slice even for
+            // one window.
+            let batch = vec![window.to_vec()];
+            let mut out = Vec::with_capacity(1);
+            self.class_sharded_into(&batch, &mut out)?;
+            Ok(out.pop().expect("one verdict for one window"))
+        }
+    }
+
+    fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
+        let mut out = Vec::with_capacity(windows.len());
+        self.classify_batch_into(windows, &mut out)?;
+        Ok(out)
+    }
+
+    fn classify_batch_into(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        out: &mut Vec<Verdict>,
+    ) -> Result<(), BackendError> {
+        let start = out.len();
+        let result = self.classify_batch_impl(windows, out);
+        if result.is_err() {
+            // Keep the documented contract: `out` unchanged on error,
+            // even when one shard fails mid-batch after others landed.
+            out.truncate(start);
+        }
+        result
+    }
+}
+
+/// One unit of sharded training work.
+enum TrainShardJob {
+    /// Accumulate a chunk of the labelled batch on the shard's private
+    /// counters.
+    Train {
+        windows: RawWindows,
+        labels: RawLabels,
+        range: Range<usize>,
+        shard: usize,
+        done: Sender<(usize, Result<(), BackendError>)>,
+    },
+    /// Hand the accumulated per-class counter partials back for the
+    /// cross-shard merge, leaving the shard empty.
+    Harvest {
+        shard: usize,
+        done: Sender<(usize, Vec<CounterBundler>)>,
+    },
+}
+
+/// Training sharded over examples: shard 0 lives on the calling
+/// thread, shards 1..N on their own threads, each a full
+/// `FastTrainingSession` (with its own adaptively-sized worker pool);
+/// after every fanned `train_batch` the shard partials are drained into
+/// shard 0 via [`CounterBundler::merge`], so shard 0 always holds the
+/// globally reduced counters and single-window ops simply delegate.
+struct ShardedTrainingSession {
+    primary: FastTrainingSession,
+    pool: WorkerPool<TrainShardJob>,
+    backend: ShardedBackend<FastBackend>,
+}
+
+impl std::fmt::Debug for ShardedTrainingSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTrainingSession")
+            .field("shards", &(self.pool.workers() + 1))
+            .finish_non_exhaustive()
+    }
+}
+
+impl TrainableBackend for ShardedBackend<FastBackend> {
+    /// Starts a sharded training session (see [module docs](self):
+    /// training shards over *examples* under either [`ShardSpec`]; the
+    /// spec decides how [`into_serving`](TrainingSession::into_serving)
+    /// shards the trained model).
+    fn begin_training(&self, spec: &TrainSpec) -> Result<Box<dyn TrainingSession>, BackendError> {
+        let shards = self.spec.shards();
+        let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let participants = self.inner.threads().min(cpus).max(1);
+        let mut sessions: Vec<Option<FastTrainingSession>> = (0..shards)
+            .map(|_| {
+                self.inner
+                    .begin_training_with_participants(spec, participants)
+                    .map(Some)
+            })
+            .collect::<Result<_, _>>()?;
+        let primary = sessions[0].take().expect("shard 0 built above");
+        let pool = WorkerPool::spawn(shards - 1, |idx| {
+            let mut session = sessions[idx + 1]
+                .take()
+                .expect("each shard session moves to exactly one worker");
+            move |job: TrainShardJob| match job {
+                TrainShardJob::Train {
+                    windows,
+                    labels,
+                    range,
+                    shard,
+                    done,
+                } => {
+                    // SAFETY: see `RawWindows`/`RawLabels` — the
+                    // dispatcher's `ResultDrain` keeps both slices
+                    // borrowed until our `done` lands.
+                    let windows = unsafe { windows.slice() };
+                    let labels = unsafe { labels.slice() };
+                    let result = session.train_batch(&windows[range.clone()], &labels[range]);
+                    let _ = done.send((shard, result));
+                }
+                TrainShardJob::Harvest { shard, done } => {
+                    let _ = done.send((shard, session.take_partials()));
+                }
+            }
+        });
+        Ok(Box::new(ShardedTrainingSession {
+            primary,
+            pool,
+            backend: *self,
+        }))
+    }
+}
+
+impl ShardedTrainingSession {
+    /// Drains every shard's counter partials into shard 0 (the
+    /// commutative reduction). Runs after every fanned batch — also on
+    /// its error path, so between calls the shard sessions are always
+    /// empty and shard 0 alone answers `examples`/`finalize`.
+    fn harvest(&mut self) {
+        if self.pool.workers() == 0 {
+            return;
+        }
+        let (done_tx, done_rx) = channel();
+        let mut drain = ResultDrain {
+            rx: &done_rx,
+            tx: Some(done_tx),
+            outstanding: 0,
+        };
+        for shard in 1..=self.pool.workers() {
+            let done = drain
+                .tx
+                .as_ref()
+                .expect("dispatcher sender lives through dispatch")
+                .clone();
+            self.pool.senders[shard - 1]
+                .send(TrainShardJob::Harvest { shard, done })
+                .expect("training shard exited early");
+            drain.outstanding += 1;
+        }
+        drain.tx = None;
+        while drain.outstanding > 0 {
+            let (_, partials) = drain.rx.recv().expect("training shard panicked");
+            drain.outstanding -= 1;
+            self.primary.absorb_partials(&partials);
+        }
+    }
+}
+
+impl TrainingSession for ShardedTrainingSession {
+    fn train(&mut self, window: &[Vec<u16>], label: usize) -> Result<(), BackendError> {
+        self.primary.train(window, label)
+    }
+
+    fn train_batch(
+        &mut self,
+        windows: &[Vec<Vec<u16>>],
+        labels: &[usize],
+    ) -> Result<(), BackendError> {
+        if windows.len() != labels.len() {
+            return Err(BackendError::Input(format!(
+                "batch of {} windows carries {} labels",
+                windows.len(),
+                labels.len()
+            )));
+        }
+        let fan_out = fan_out_for(&self.pool, windows.len(), MIN_WINDOWS_PER_WORKER);
+        if fan_out <= 1 {
+            return self.primary.train_batch(windows, labels);
+        }
+        let chunk = windows.len().div_ceil(fan_out);
+        let n_chunks = windows.len().div_ceil(chunk);
+        let (done_tx, done_rx) = channel();
+        let mut drain = ResultDrain {
+            rx: &done_rx,
+            tx: Some(done_tx),
+            outstanding: 0,
+        };
+        for shard in 1..n_chunks {
+            let range = shard * chunk..((shard + 1) * chunk).min(windows.len());
+            let done = drain
+                .tx
+                .as_ref()
+                .expect("dispatcher sender lives through dispatch")
+                .clone();
+            self.pool.senders[shard - 1]
+                .send(TrainShardJob::Train {
+                    windows: RawWindows::of(windows),
+                    labels: RawLabels::of(labels),
+                    range,
+                    shard,
+                    done,
+                })
+                .expect("training shard exited early");
+            drain.outstanding += 1;
+        }
+        drain.tx = None;
+        let mut first_error = self
+            .primary
+            .train_batch(&windows[..chunk], &labels[..chunk])
+            .err();
+        while drain.outstanding > 0 {
+            let (_, result) = drain.rx.recv().expect("training shard panicked");
+            drain.outstanding -= 1;
+            if let Err(e) = result {
+                first_error = first_error.or(Some(e));
+            }
+        }
+        // Reduce even on error: the trait leaves counters unspecified
+        // after a failed batch, but harvesting keeps the invariant that
+        // shard sessions are empty between calls.
+        self.harvest();
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn update_online(
+        &mut self,
+        window: &[Vec<u16>],
+        label: usize,
+    ) -> Result<Verdict, BackendError> {
+        self.primary.update_online(window, label)
+    }
+
+    fn examples(&self, class: usize) -> u32 {
+        self.primary.examples(class)
+    }
+
+    fn finalize(&mut self) -> Result<HdModel, BackendError> {
+        self.primary.finalize()
+    }
+
+    fn reset(&mut self) {
+        // Pull any shard-held partials in first so they cannot leak
+        // into the next model, then clear the reduced state.
+        self.harvest();
+        self.primary.reset();
+    }
+
+    fn into_serving(mut self: Box<Self>) -> Result<Box<dyn BackendSession>, BackendError> {
+        self.harvest();
+        let model = self.primary.finalize()?;
+        self.backend.prepare(&model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::GoldenBackend;
+    use super::*;
+    use crate::layout::AccelParams;
+    use hdc::rng::Xoshiro256PlusPlus;
+
+    fn random_windows(
+        params: &AccelParams,
+        seed: u64,
+        count: usize,
+        samples: usize,
+    ) -> Vec<Vec<Vec<u16>>> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                (0..samples)
+                    .map(|_| {
+                        (0..params.channels)
+                            .map(|_| (rng.next_u32() & 0xffff) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn params() -> AccelParams {
+        AccelParams {
+            n_words: 10,
+            channels: 4,
+            ngram: 3,
+            classes: 5,
+            levels: 21,
+        }
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        assert!(matches!(
+            ShardedBackend::new(FastBackend::with_threads(1), ShardSpec::Batch(0)),
+            Err(BackendError::Config(_))
+        ));
+        assert!(matches!(
+            ShardedBackend::fast(ShardSpec::Class(0)),
+            Err(BackendError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn both_strategies_match_golden_across_batch_sizes() {
+        let params = params();
+        let model = HdModel::random(&params, 11);
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        for spec in [ShardSpec::Batch(3), ShardSpec::Class(3)] {
+            let sharded = ShardedBackend::new(FastBackend::with_threads(1), spec).unwrap();
+            let mut session = sharded.prepare(&model).unwrap();
+            // 0, 1, shards−1, shards+1, and a fanning batch.
+            for count in [0usize, 1, 2, 4, 4 * MIN_WINDOWS_PER_WORKER] {
+                let windows = random_windows(&params, 50 + count as u64, count, params.ngram + 1);
+                assert_eq!(
+                    session.classify_batch(&windows).unwrap(),
+                    golden.classify_batch(&windows).unwrap(),
+                    "{spec:?} diverged at batch size {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_sharding_handles_ragged_and_single_class_shards() {
+        // 5 classes over 3 shards → slices of 2/2/1 (ragged, and the
+        // last shard holds a single class); 4 shards → ceiling chunks
+        // of 2 cover all 5 classes in 3 shards (the requested count is
+        // unreachable, not just capped); also more shards than classes
+        // (capped to one class per shard).
+        let params = params();
+        let model = HdModel::random(&params, 23);
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let windows = random_windows(&params, 77, 12, params.ngram + 2);
+        let expected = golden.classify_batch(&windows).unwrap();
+        for shards in [2, 3, 4, 5, 9] {
+            let sharded =
+                ShardedBackend::new(FastBackend::with_threads(1), ShardSpec::Class(shards))
+                    .unwrap();
+            let mut session = sharded.prepare_sharded(&model).unwrap();
+            let capped = shards.min(params.classes);
+            let chunk = params.classes.div_ceil(capped);
+            assert_eq!(session.shards(), params.classes.div_ceil(chunk));
+            assert_eq!(
+                session.classify_batch(&windows).unwrap(),
+                expected,
+                "class-sharded over {shards} shards diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn single_window_classify_matches_golden_under_both_strategies() {
+        let params = params();
+        let model = HdModel::random(&params, 31);
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let windows = random_windows(&params, 3, 4, params.ngram);
+        for spec in [ShardSpec::Batch(2), ShardSpec::Class(2)] {
+            let mut session = ShardedBackend::new(FastBackend::with_threads(1), spec)
+                .unwrap()
+                .prepare(&model)
+                .unwrap();
+            for w in &windows {
+                assert_eq!(
+                    session.classify(w).unwrap(),
+                    golden.classify(w).unwrap(),
+                    "{spec:?} single-window verdict diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classify_batch_into_rolls_back_when_a_shard_fails_mid_batch() {
+        let params = params();
+        let model = HdModel::random(&params, 47);
+        for spec in [ShardSpec::Batch(3), ShardSpec::Class(3)] {
+            let mut session = ShardedBackend::new(FastBackend::with_threads(1), spec)
+                .unwrap()
+                .prepare(&model)
+                .unwrap();
+            let good = random_windows(&params, 5, 4, params.ngram);
+            let mut out = session.classify_batch(&good).unwrap();
+            let expected = out.clone();
+            // Poison a window deep in the batch so (under
+            // batch-sharding) a non-primary shard hits it.
+            let mut windows = random_windows(&params, 6, 4 * MIN_WINDOWS_PER_WORKER, params.ngram);
+            let poison = windows.len() - 2;
+            windows[poison][0].pop();
+            let err = session.classify_batch_into(&windows, &mut out).unwrap_err();
+            assert!(matches!(err, BackendError::Input(_)), "{spec:?}: {err}");
+            assert_eq!(out, expected, "{spec:?}: out must roll back on error");
+            // The session stays serviceable after the failed batch.
+            assert_eq!(session.classify_batch(&good).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn monitor_counts_windows_per_shard() {
+        let params = params();
+        let model = HdModel::random(&params, 59);
+        let n = 4 * MIN_WINDOWS_PER_WORKER;
+        let windows = random_windows(&params, 7, n, params.ngram);
+
+        let batch = ShardedBackend::new(FastBackend::with_threads(1), ShardSpec::Batch(2)).unwrap();
+        let mut session = batch.prepare_sharded(&model).unwrap();
+        let monitor = session.monitor();
+        session.classify_batch(&windows).unwrap();
+        let per_shard = monitor.windows();
+        assert_eq!(per_shard.len(), 2);
+        assert_eq!(per_shard.iter().sum::<u64>(), n as u64);
+        assert!(per_shard.iter().all(|&w| w > 0), "{per_shard:?}");
+
+        let class = ShardedBackend::new(FastBackend::with_threads(1), ShardSpec::Class(2)).unwrap();
+        let mut session = class.prepare_sharded(&model).unwrap();
+        let monitor = session.monitor();
+        session.classify_batch(&windows).unwrap();
+        assert_eq!(monitor.windows(), vec![n as u64; 2]);
+    }
+
+    #[test]
+    fn sharded_training_matches_golden_and_serves_sharded() {
+        let params = params();
+        let spec = TrainSpec::random(&params, 67);
+        let count = 5 * MIN_WINDOWS_PER_WORKER;
+        let windows = random_windows(&params, 8, count, params.ngram + 1);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let labels: Vec<usize> = (0..count)
+            .map(|_| rng.next_below(params.classes as u32) as usize)
+            .collect();
+
+        let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+        golden.train_batch(&windows, &labels).unwrap();
+
+        let backend =
+            ShardedBackend::new(FastBackend::with_threads(1), ShardSpec::Batch(3)).unwrap();
+        let mut sharded = backend.begin_training(&spec).unwrap();
+        sharded.train_batch(&windows, &labels).unwrap();
+
+        for class in 0..params.classes {
+            assert_eq!(sharded.examples(class), golden.examples(class), "{class}");
+        }
+        let g_model = golden.finalize().unwrap();
+        assert_eq!(
+            sharded.finalize().unwrap().prototypes(),
+            g_model.prototypes(),
+            "sharded training diverged from sequential golden"
+        );
+
+        // Online updates run on the reduced counters.
+        for (w, &l) in windows.iter().zip(&labels).take(4) {
+            assert_eq!(
+                sharded.update_online(w, l).unwrap(),
+                golden.update_online(w, l).unwrap()
+            );
+        }
+
+        // reset wipes shard partials too: retraining from scratch
+        // reproduces a fresh golden session.
+        sharded.reset();
+        let mut fresh = GoldenBackend.begin_training(&spec).unwrap();
+        sharded.train_batch(&windows, &labels).unwrap();
+        fresh.train_batch(&windows, &labels).unwrap();
+        let mut fresh_serve = fresh.into_serving().unwrap();
+        let mut sharded_serve = sharded.into_serving().unwrap();
+        let probe = random_windows(&params, 13, 6, params.ngram);
+        assert_eq!(
+            sharded_serve.classify_batch(&probe).unwrap(),
+            fresh_serve.classify_batch(&probe).unwrap(),
+            "sharded-trained model serves differently"
+        );
+    }
+
+    #[test]
+    fn sharded_training_surfaces_errors_and_recovers() {
+        let params = params();
+        let spec = TrainSpec::random(&params, 71);
+        let count = 4 * MIN_WINDOWS_PER_WORKER;
+        let windows = random_windows(&params, 17, count, params.ngram);
+        let labels = vec![0usize; count];
+        let backend =
+            ShardedBackend::new(FastBackend::with_threads(1), ShardSpec::Batch(2)).unwrap();
+        let mut session = backend.begin_training(&spec).unwrap();
+
+        let mut bad_labels = labels.clone();
+        bad_labels[count - 1] = params.classes; // out of range, lands on shard 1
+        assert!(matches!(
+            session.train_batch(&windows, &bad_labels),
+            Err(BackendError::Input(_))
+        ));
+        assert!(matches!(
+            session.train_batch(&windows, &labels[..count - 1]),
+            Err(BackendError::Input(_))
+        ));
+
+        // After reset the session trains cleanly again.
+        session.reset();
+        session.train_batch(&windows, &labels).unwrap();
+        assert_eq!(session.examples(0), count as u32);
+    }
+}

@@ -89,7 +89,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pulp_hd_core::backend::{
-    BackendError, BackendSession, ExecutionBackend, HdModel, TrainingSession, Verdict,
+    BackendError, BackendSession, ExecutionBackend, HdModel, ShardMonitor, TrainingSession, Verdict,
 };
 
 use stats::Recorder;
@@ -244,6 +244,9 @@ pub struct Server {
     tx: SyncSender<Request>,
     shared: Arc<Shared>,
     handle: Option<JoinHandle<()>>,
+    /// Per-shard traffic counters, when the served session is a
+    /// `ShardedSession` and the caller registered its monitor.
+    monitor: Option<ShardMonitor>,
 }
 
 impl Server {
@@ -252,9 +255,18 @@ impl Server {
     /// The session is prepared on the calling thread so backend errors
     /// surface synchronously, then moved onto the batcher thread.
     ///
+    /// This constructor validates its [`ServeConfig`] and reports
+    /// problems as [`ServeError::Config`] — nothing ever panics
+    /// mid-thread. [`try_spawn`](Self::try_spawn) is the same
+    /// constructor under the fallible-twin name
+    /// (mirroring `FastBackend::try_with_threads`), kept so call sites
+    /// can spell out that configuration errors are expected and
+    /// handled.
+    ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Config`] for an invalid [`ServeConfig`] and
+    /// Returns [`ServeError::Config`] for an invalid [`ServeConfig`]
+    /// (`max_batch == 0`, `queue_depth == 0`) and
     /// [`ServeError::Backend`] if the backend cannot realize the model.
     pub fn spawn(
         backend: &dyn ExecutionBackend,
@@ -264,6 +276,23 @@ impl Server {
         config.validate()?;
         let session = backend.prepare(model)?;
         Self::from_session(session, config)
+    }
+
+    /// The fallible-twin name of [`spawn`](Self::spawn), for call sites
+    /// that want the `try_` convention of
+    /// `FastBackend::try_with_threads` — identical semantics: an
+    /// invalid [`ServeConfig`] (`max_batch == 0`, `queue_depth == 0`)
+    /// comes back as [`ServeError::Config`] before any thread exists.
+    ///
+    /// # Errors
+    ///
+    /// As [`spawn`](Self::spawn).
+    pub fn try_spawn(
+        backend: &dyn ExecutionBackend,
+        model: &HdModel,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        Self::spawn(backend, model, config)
     }
 
     /// Serves an already-prepared session — the direct hand-off from
@@ -295,7 +324,48 @@ impl Server {
             tx,
             shared,
             handle: Some(handle),
+            monitor: None,
         })
+    }
+
+    /// The fallible-twin name of [`from_session`](Self::from_session) —
+    /// identical semantics, see [`try_spawn`](Self::try_spawn).
+    ///
+    /// # Errors
+    ///
+    /// As [`from_session`](Self::from_session).
+    pub fn try_from_session(
+        session: Box<dyn BackendSession>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        Self::from_session(session, config)
+    }
+
+    /// Registers the per-shard traffic counters of a served
+    /// [`ShardedSession`](pulp_hd_core::backend::ShardedSession):
+    /// subsequent [`stats`](Self::stats) snapshots fill
+    /// [`ServerStats::shard_windows`] from it, giving the serving layer
+    /// per-shard visibility without touching the session mid-flight.
+    ///
+    /// ```
+    /// # use pulp_hd_core::backend::{HdModel, ShardSpec, ShardedBackend};
+    /// # use pulp_hd_core::layout::AccelParams;
+    /// # use pulp_hd_serve::{ServeConfig, Server};
+    /// # let params = AccelParams { n_words: 16, ..AccelParams::emg_default() };
+    /// # let model = HdModel::random(&params, 7);
+    /// let backend = ShardedBackend::fast(ShardSpec::Batch(2))?;
+    /// let session = backend.prepare_sharded(&model)?;
+    /// let monitor = session.monitor();
+    /// let server = Server::from_session(Box::new(session), ServeConfig::default())?
+    ///     .with_shard_monitor(monitor);
+    /// assert_eq!(server.stats().shard_windows.len(), 2);
+    /// # drop(server.shutdown());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn with_shard_monitor(mut self, monitor: ShardMonitor) -> Self {
+        self.monitor = Some(monitor);
+        self
     }
 
     /// Finalizes a training session and serves the trained model on its
@@ -326,9 +396,16 @@ impl Server {
     }
 
     /// A snapshot of the server's telemetry, without stopping traffic.
+    /// When a [`ShardMonitor`] is registered
+    /// ([`with_shard_monitor`](Self::with_shard_monitor)), the snapshot
+    /// includes the windows served per shard.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.shared.recorder.snapshot(self.shared.started.elapsed())
+        let mut stats = self.shared.recorder.snapshot(self.shared.started.elapsed());
+        if let Some(monitor) = &self.monitor {
+            stats.shard_windows = monitor.windows();
+        }
+        stats
     }
 
     /// Graceful shutdown: stop accepting new requests, serve everything
@@ -533,6 +610,14 @@ fn batcher(
                         break;
                     }
                     Err(std::sync::mpsc::TryRecvError::Empty) => {
+                        // The queue was empty at batch-open (nothing
+                        // swept since the blocking recv) — a lone
+                        // caller closes after this one sweep instead of
+                        // paying the full cooperative yield loop; a
+                        // crowd (anything swept) keeps filling.
+                        if pending.len() == 1 {
+                            break;
+                        }
                         if Instant::now() >= deadline {
                             break;
                         }

@@ -155,6 +155,7 @@ impl Recorder {
             } else {
                 0.0
             },
+            shard_windows: Vec::new(),
         }
     }
 }
@@ -196,6 +197,14 @@ pub struct ServerStats {
     pub elapsed: Duration,
     /// Completed requests per second of server lifetime.
     pub windows_per_sec: f64,
+    /// Windows served per shard, indexed by shard — filled only when
+    /// the server serves a sharded session and its
+    /// [`ShardMonitor`](pulp_hd_core::backend::ShardMonitor) was
+    /// registered via `Server::with_shard_monitor`; empty otherwise.
+    /// (Under class-sharding every shard sees every window, so each
+    /// entry equals the total; under batch-sharding the entries sum to
+    /// it.)
+    pub shard_windows: Vec<u64>,
 }
 
 #[cfg(test)]
