@@ -51,6 +51,7 @@
 //! the numbers in `BENCH_throughput.json`.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 
@@ -59,7 +60,9 @@ use hdc::item_memory::quantize_code;
 use hdc::rng::{derive_seed, Xoshiro256PlusPlus};
 use hdc::BinaryHv;
 
-use super::pool::{fan_out_for, ChunkResult, RawLabels, RawWindows, ResultDrain, WorkerPool};
+use super::pool::{
+    contain, fan_out_for, ChunkResult, RawLabels, RawWindows, ResultDrain, WorkerPool,
+};
 use super::{
     argmin, validate_label, validate_window, BackendError, BackendSession, ExecutionBackend,
     HdModel, TrainSpec, TrainableBackend, TrainingSession, Verdict,
@@ -110,6 +113,10 @@ pub enum ScanPolicy {
 pub struct FastBackend {
     threads: usize,
     scan: ScanPolicy,
+    /// Pool workers contain job panics behind `catch_unwind` (on by
+    /// default; the bench's overhead guard is the only caller that
+    /// turns it off).
+    containment: bool,
 }
 
 impl FastBackend {
@@ -121,6 +128,7 @@ impl FastBackend {
         Self {
             threads,
             scan: ScanPolicy::Full,
+            containment: true,
         }
     }
 
@@ -156,6 +164,7 @@ impl FastBackend {
         Ok(Self {
             threads,
             scan: ScanPolicy::Full,
+            containment: true,
         })
     }
 
@@ -163,6 +172,20 @@ impl FastBackend {
     #[must_use]
     pub fn with_scan(mut self, scan: ScanPolicy) -> Self {
         self.scan = scan;
+        self
+    }
+
+    /// Disables worker panic containment. A panicking job then unwinds
+    /// the worker thread and the batch fails with
+    /// [`BackendError::WorkerLost`] once the dead worker is detected —
+    /// but the worker is gone for good. Exists **only** so the bench can
+    /// measure the healthy-path cost of containment (the
+    /// `"containment"` guard in `BENCH_throughput.json`); every real
+    /// deployment wants the default.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn without_containment(mut self) -> Self {
+        self.containment = false;
         self
     }
 
@@ -195,23 +218,47 @@ impl FastBackend {
             prototypes,
             scan: self.scan,
         });
+        let caught = Arc::new(AtomicU64::new(0));
         let pool = {
             let core = &core;
+            let caught = &caught;
+            let containment = self.containment;
             WorkerPool::spawn(participants.saturating_sub(1), |_| {
                 let core = Arc::clone(core);
+                let caught = Arc::clone(caught);
                 let mut scratch = EncodeScratch::new(core.enc.n_words32);
                 move |job: ClassifyJob| {
-                    // SAFETY: see `RawWindows` — the batch outlives the
-                    // job because the dispatcher waits for our `done`
-                    // message before returning.
-                    let windows = unsafe { job.windows.slice() };
-                    let result = windows[job.range.clone()]
-                        .iter()
-                        .map(|w| core.classify_with(w, &mut scratch))
-                        .collect::<Result<Vec<_>, _>>();
+                    let ClassifyJob {
+                        windows,
+                        range,
+                        chunk,
+                        done,
+                    } = job;
+                    let run = |scratch: &mut EncodeScratch| {
+                        // SAFETY: see `RawWindows` — the batch outlives
+                        // the job because the dispatcher waits for our
+                        // `done` message before returning.
+                        let windows = unsafe { windows.slice() };
+                        windows[range.clone()]
+                            .iter()
+                            .map(|w| core.classify_with(w, scratch))
+                            .collect::<Result<Vec<_>, _>>()
+                    };
+                    let result = if containment {
+                        contain(|| run(&mut scratch)).unwrap_or_else(|panic| {
+                            // The arena may hold torn state from the
+                            // unwound encode; respawn it, count the
+                            // loss, keep the worker alive.
+                            scratch = EncodeScratch::new(core.enc.n_words32);
+                            caught.fetch_add(1, Ordering::Relaxed);
+                            Err(BackendError::WorkerLost { chunk, panic })
+                        })
+                    } else {
+                        run(&mut scratch)
+                    };
                     // A dropped receiver just means the dispatcher gave
                     // up on the batch; keep serving future jobs.
-                    let _ = job.done.send((job.chunk, result));
+                    let _ = done.send((chunk, result));
                 }
             })
         };
@@ -219,6 +266,7 @@ impl FastBackend {
             scratch: EncodeScratch::new(n_words32),
             core,
             pool,
+            caught,
         })
     }
 
@@ -243,31 +291,56 @@ impl FastBackend {
                 Hv64::from_binary(&BinaryHv::random_from(n_words32, &mut rng))
             })
             .collect();
+        let caught = Arc::new(AtomicU64::new(0));
         let pool = {
             let enc = &enc;
+            let caught = &caught;
+            let containment = self.containment;
             WorkerPool::spawn(participants.saturating_sub(1), |_| {
                 let enc = Arc::clone(enc);
+                let caught = Arc::clone(caught);
                 let mut scratch = EncodeScratch::new(enc.n_words32);
                 move |job: TrainJob| {
-                    // SAFETY: see `RawWindows`/`RawLabels` — the batch
-                    // and label slices outlive the job because the
-                    // dispatcher waits for our `done` message.
-                    let windows = unsafe { job.windows.slice() };
-                    let labels = unsafe { job.labels.slice() };
-                    let mut partials: Vec<CounterBundler> = (0..job.classes)
-                        .map(|_| CounterBundler::new(enc.n_words32))
-                        .collect();
-                    let result = job
-                        .range
-                        .clone()
-                        .try_for_each(|i| {
-                            validate_label(labels[i], job.classes)?;
-                            enc.encode_with(&windows[i], &mut scratch)?;
-                            partials[labels[i]].add(&scratch.query);
-                            Ok(())
+                    let TrainJob {
+                        windows,
+                        labels,
+                        range,
+                        chunk,
+                        classes,
+                        done,
+                    } = job;
+                    let run = |scratch: &mut EncodeScratch| {
+                        // SAFETY: see `RawWindows`/`RawLabels` — the
+                        // batch and label slices outlive the job because
+                        // the dispatcher waits for our `done` message.
+                        let windows = unsafe { windows.slice() };
+                        let labels = unsafe { labels.slice() };
+                        let mut partials: Vec<CounterBundler> = (0..classes)
+                            .map(|_| CounterBundler::new(enc.n_words32))
+                            .collect();
+                        range
+                            .clone()
+                            .try_for_each(|i| {
+                                validate_label(labels[i], classes)?;
+                                enc.encode_with(&windows[i], scratch)?;
+                                partials[labels[i]].add(&scratch.query);
+                                Ok(())
+                            })
+                            .map(|()| partials)
+                    };
+                    let result = if containment {
+                        contain(|| run(&mut scratch)).unwrap_or_else(|panic| {
+                            // Partial counters died with the unwind (they
+                            // were job-local); only the arena needs a
+                            // respawn before the next job.
+                            scratch = EncodeScratch::new(enc.n_words32);
+                            caught.fetch_add(1, Ordering::Relaxed);
+                            Err(BackendError::WorkerLost { chunk, panic })
                         })
-                        .map(|()| partials);
-                    let _ = job.done.send((job.chunk, result));
+                    } else {
+                        run(&mut scratch)
+                    };
+                    let _ = done.send((chunk, result));
                 }
             })
         };
@@ -281,6 +354,7 @@ impl FastBackend {
             scratch: EncodeScratch::new(n_words32),
             enc,
             pool,
+            caught,
             spec: spec.clone(),
             backend: *self,
         })
@@ -496,6 +570,18 @@ struct FastSession {
     /// Arena for single-window calls and inline (non-fanned) batches.
     scratch: EncodeScratch,
     pool: WorkerPool<ClassifyJob>,
+    /// Worker panics contained so far (telemetry; each one also surfaced
+    /// as a [`BackendError::WorkerLost`] to the affected batch).
+    caught: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for FastSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastSession")
+            .field("participants", &(self.pool.workers() + 1))
+            .field("contained_panics", &self.caught.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl FastSession {
@@ -534,6 +620,10 @@ impl FastSession {
             tx: Some(done_tx),
             outstanding: 0,
         };
+        // Chunks whose worker thread is already gone (its job channel
+        // closed — only reachable with containment disabled, since
+        // contained workers never die) fall back to the calling thread.
+        let mut orphaned: Vec<(usize, Range<usize>)> = Vec::new();
         for idx in 1..n_chunks {
             let range = idx * chunk..((idx + 1) * chunk).min(windows.len());
             let done = drain
@@ -541,15 +631,17 @@ impl FastSession {
                 .as_ref()
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
-            self.pool.senders[idx - 1]
-                .send(ClassifyJob {
-                    windows: RawWindows::of(windows),
-                    range,
-                    chunk: idx,
-                    done,
-                })
-                .expect("classification worker exited early");
-            drain.outstanding += 1;
+            let job = ClassifyJob {
+                windows: RawWindows::of(windows),
+                range: range.clone(),
+                chunk: idx,
+                done,
+            };
+            if self.pool.senders[idx - 1].send(job).is_err() {
+                orphaned.push((idx, range));
+            } else {
+                drain.outstanding += 1;
+            }
         }
         // Only worker-held clones keep the result channel open now, so
         // a dead worker surfaces as a recv error instead of a deadlock.
@@ -562,16 +654,35 @@ impl FastSession {
         });
         let mut parts: Vec<Option<Result<Vec<Verdict>, BackendError>>> =
             (1..n_chunks).map(|_| None).collect();
+        for (idx, range) in orphaned {
+            parts[idx - 1] = Some(
+                windows[range]
+                    .iter()
+                    .map(|w| self.core.classify_with(w, &mut self.scratch))
+                    .collect(),
+            );
+        }
         while drain.outstanding > 0 {
-            let (idx, result) = drain.rx.recv().expect("classification worker panicked");
+            // A recv error means a worker died mid-job without reporting
+            // (all senders gone, so no worker still sees the batch):
+            // stop waiting and let the missing chunk surface below.
+            let Ok((idx, result)) = drain.rx.recv() else {
+                drain.outstanding = 0;
+                break;
+            };
             drain.outstanding -= 1;
             parts[idx - 1] = Some(result);
         }
         // Chunk-order error precedence, as before: chunk 0 first, then
         // the worker chunks in order.
         first?;
-        for part in parts {
-            out.extend(part.expect("every chunk reports exactly once")?);
+        for (i, part) in parts.into_iter().enumerate() {
+            out.extend(part.unwrap_or_else(|| {
+                Err(BackendError::WorkerLost {
+                    chunk: i + 1,
+                    panic: "worker thread terminated before reporting".into(),
+                })
+            })?);
         }
         Ok(())
     }
@@ -643,9 +754,22 @@ pub(super) struct FastTrainingSession {
     /// Arena for inline encoding (single windows, non-fanned batches).
     scratch: EncodeScratch,
     pool: WorkerPool<TrainJob>,
+    /// Worker panics contained so far (telemetry; each one also surfaced
+    /// as a [`BackendError::WorkerLost`] to the affected batch).
+    caught: Arc<AtomicU64>,
     spec: TrainSpec,
     /// The backend configuration, for the serving hand-off.
     backend: FastBackend,
+}
+
+impl std::fmt::Debug for FastTrainingSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastTrainingSession")
+            .field("participants", &(self.pool.workers() + 1))
+            .field("classes", &self.counters.len())
+            .field("contained_panics", &self.caught.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl FastTrainingSession {
@@ -731,6 +855,9 @@ impl TrainingSession for FastTrainingSession {
             tx: Some(done_tx),
             outstanding: 0,
         };
+        // Chunks whose worker thread is already gone train inline on the
+        // calling thread (only reachable with containment disabled).
+        let mut orphaned: Vec<Range<usize>> = Vec::new();
         for idx in 1..n_chunks {
             let range = idx * chunk..((idx + 1) * chunk).min(windows.len());
             let done = drain
@@ -738,17 +865,19 @@ impl TrainingSession for FastTrainingSession {
                 .as_ref()
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
-            self.pool.senders[idx - 1]
-                .send(TrainJob {
-                    windows: RawWindows::of(windows),
-                    labels: RawLabels::of(labels),
-                    range,
-                    chunk: idx,
-                    classes: self.counters.len(),
-                    done,
-                })
-                .expect("training worker exited early");
-            drain.outstanding += 1;
+            let job = TrainJob {
+                windows: RawWindows::of(windows),
+                labels: RawLabels::of(labels),
+                range: range.clone(),
+                chunk: idx,
+                classes: self.counters.len(),
+                done,
+            };
+            if self.pool.senders[idx - 1].send(job).is_err() {
+                orphaned.push(range);
+            } else {
+                drain.outstanding += 1;
+            }
         }
         drain.tx = None;
         // The calling thread works chunk 0 straight into the session
@@ -758,8 +887,22 @@ impl TrainingSession for FastTrainingSession {
             .zip(&labels[..chunk])
             .try_for_each(|(w, &l)| self.train_inline(w, l))
             .err();
+        for range in orphaned {
+            let err = range
+                .clone()
+                .try_for_each(|i| self.train_inline(&windows[i], labels[i]))
+                .err();
+            first_error = first_error.or(err);
+        }
+        let mut lost = 0;
         while drain.outstanding > 0 {
-            let (_, result) = drain.rx.recv().expect("training worker panicked");
+            // A recv error means a worker died mid-job without reporting
+            // (all senders gone, so no worker still sees the batch).
+            let Ok((_, result)) = drain.rx.recv() else {
+                lost = drain.outstanding;
+                drain.outstanding = 0;
+                break;
+            };
             drain.outstanding -= 1;
             match result {
                 Ok(partials) => {
@@ -772,6 +915,12 @@ impl TrainingSession for FastTrainingSession {
                 }
                 Err(e) => first_error = first_error.or(Some(e)),
             }
+        }
+        if lost > 0 {
+            first_error = first_error.or(Some(BackendError::WorkerLost {
+                chunk: 0,
+                panic: format!("{lost} training worker(s) terminated before reporting"),
+            }));
         }
         match first_error {
             None => Ok(()),
@@ -947,6 +1096,146 @@ mod tests {
             let got = pooled.classify_batch(&windows).unwrap();
             assert_eq!(got, expected, "round {round} with {count} windows");
         }
+    }
+
+    /// Panic isolation on the serving pool: a job that panics inside a
+    /// worker (an out-of-range chunk crafted straight at the worker's
+    /// job channel) comes back as a typed [`BackendError::WorkerLost`],
+    /// the containment counter ticks, and the *same* worker keeps
+    /// serving subsequent batches bit-identically to golden.
+    #[test]
+    fn contained_worker_panic_surfaces_as_worker_lost_and_pool_survives() {
+        crate::backend::pool::silence_expected_panics();
+        let params = AccelParams {
+            n_words: 6,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 21);
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let mut session = pooled_session(FastBackend::with_threads(2), &model, 2);
+        let windows = random_windows(&params, 3, 4, 77);
+        let (done_tx, done_rx) = channel();
+        session.pool.senders[0]
+            .send(ClassifyJob {
+                windows: RawWindows::of(&windows),
+                range: 0..windows.len() + 9,
+                chunk: 1,
+                done: done_tx,
+            })
+            .unwrap();
+        let (chunk, result) = done_rx.recv().unwrap();
+        assert_eq!(chunk, 1);
+        match result {
+            Err(BackendError::WorkerLost { chunk: 1, panic }) => {
+                assert!(panic.contains("out of range"), "{panic}");
+            }
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+        assert_eq!(session.caught.load(Ordering::Relaxed), 1);
+        // Same pool, same worker thread: fanned batches still work.
+        let batch = random_windows(&params, 3, 2 * MIN_WINDOWS_PER_WORKER, 78);
+        assert_eq!(session.fan_out(batch.len()), 2);
+        assert_eq!(
+            session.classify_batch(&batch).unwrap(),
+            golden.classify_batch(&batch).unwrap()
+        );
+    }
+
+    /// Panic isolation on the training pool: the worker rebuilds its
+    /// arena after a contained panic and later batches still train
+    /// bit-identically to golden.
+    #[test]
+    fn contained_training_panic_surfaces_as_worker_lost_and_session_recovers() {
+        crate::backend::pool::silence_expected_panics();
+        let params = AccelParams {
+            n_words: 6,
+            ..AccelParams::emg_default()
+        };
+        let spec = TrainSpec::random(&params, 31);
+        let mut session = FastBackend::with_threads(2)
+            .begin_training_with_participants(&spec, 2)
+            .unwrap();
+        let windows = random_windows(&params, 3, 4, 91);
+        let labels = vec![0usize; windows.len()];
+        let (done_tx, done_rx) = channel();
+        session.pool.senders[0]
+            .send(TrainJob {
+                windows: RawWindows::of(&windows),
+                labels: RawLabels::of(&labels),
+                range: 0..windows.len() + 5,
+                chunk: 1,
+                classes: spec.classes(),
+                done: done_tx,
+            })
+            .unwrap();
+        let (chunk, result) = done_rx.recv().unwrap();
+        assert_eq!(chunk, 1);
+        assert!(matches!(
+            result,
+            Err(BackendError::WorkerLost { chunk: 1, .. })
+        ));
+        assert_eq!(session.caught.load(Ordering::Relaxed), 1);
+        // The failed job accumulated nothing; a clean fanned batch now
+        // matches sequential golden training exactly.
+        let count = 2 * MIN_WINDOWS_PER_WORKER;
+        let batch = random_windows(&params, 3, count, 92);
+        let labels: Vec<usize> = (0..count).map(|i| i % spec.classes()).collect();
+        session.train_batch(&batch, &labels).unwrap();
+        let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+        golden.train_batch(&batch, &labels).unwrap();
+        assert_eq!(
+            session.finalize().unwrap().prototypes(),
+            golden.finalize().unwrap().prototypes()
+        );
+    }
+
+    /// With containment disabled (the bench-only knob) a panicking job
+    /// kills its worker for good — and the dispatcher then detects the
+    /// closed job channel and runs the orphaned chunk inline, so the
+    /// session still serves correct verdicts on a shrunken pool.
+    #[test]
+    fn without_containment_a_dead_worker_falls_back_inline() {
+        crate::backend::pool::silence_expected_panics();
+        let params = AccelParams {
+            n_words: 6,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 41);
+        let mut golden = GoldenBackend.prepare(&model).unwrap();
+        let mut session = pooled_session(
+            FastBackend::with_threads(2).without_containment(),
+            &model,
+            2,
+        );
+        let windows = random_windows(&params, 3, 4, 55);
+        let (done_tx, done_rx) = channel();
+        session.pool.senders[0]
+            .send(ClassifyJob {
+                windows: RawWindows::of(&windows),
+                range: 0..windows.len() + 9,
+                chunk: 1,
+                done: done_tx,
+            })
+            .unwrap();
+        // The worker unwound without reporting.
+        assert!(done_rx.recv().is_err());
+        assert_eq!(session.caught.load(Ordering::Relaxed), 0);
+        let batch = random_windows(&params, 3, 2 * MIN_WINDOWS_PER_WORKER, 56);
+        let expected = golden.classify_batch(&batch).unwrap();
+        // The dying worker's job channel closes only once its unwind
+        // finishes; until then a dispatched chunk surfaces as the typed
+        // WorkerLost (never a hang, never a process panic), after which
+        // every batch falls back inline.
+        let verdicts = loop {
+            match session.classify_batch(&batch) {
+                Ok(v) => break v,
+                Err(e) => {
+                    assert!(matches!(e, BackendError::WorkerLost { .. }), "{e}");
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(verdicts, expected);
     }
 
     /// The adaptive cutover: small batches stay inline, large batches

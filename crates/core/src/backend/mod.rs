@@ -88,12 +88,14 @@
 
 pub mod accel;
 pub mod fast;
+pub mod fault;
 pub mod golden;
 mod pool;
 pub mod sharded;
 
 pub use accel::AccelBackend;
 pub use fast::{FastBackend, ScanPolicy};
+pub use fault::{FaultBackend, FaultKind, FaultPlan};
 pub use golden::GoldenBackend;
 pub use sharded::{ShardMonitor, ShardSpec, ShardedBackend, ShardedSession};
 
@@ -455,6 +457,34 @@ pub enum BackendError {
     Config(String),
     /// The simulated-cluster backend failed.
     Chain(ChainError),
+    /// A worker computing chunk `chunk` of a batch panicked. The panic
+    /// was contained (`catch_unwind` in the worker), the batch rolled
+    /// back, and the session stays serviceable — the affected call gets
+    /// this typed error instead of a process-wide unwind.
+    WorkerLost {
+        /// Index of the batch chunk whose worker was lost.
+        chunk: usize,
+        /// The panic payload, stringified.
+        panic: String,
+    },
+    /// A class-sharded associative-memory shard died. Its class slice is
+    /// unavailable and the session cannot degrade without silently
+    /// dropping classes, so every subsequent classification on the
+    /// session reports the loss instead (batch-sharded sessions degrade
+    /// by rerouting across survivors and never raise this).
+    ShardLost {
+        /// Index of the lost shard.
+        shard: usize,
+        /// The panic payload that killed it, stringified.
+        panic: String,
+    },
+    /// A deterministic fault injected by
+    /// [`FaultBackend`](fault::FaultBackend) — only ever seen in chaos
+    /// testing.
+    Injected {
+        /// The session-local call index the fault was scheduled at.
+        call: u64,
+    },
 }
 
 impl core::fmt::Display for BackendError {
@@ -464,6 +494,13 @@ impl core::fmt::Display for BackendError {
             Self::Input(what) => write!(f, "input: {what}"),
             Self::Config(what) => write!(f, "config: {what}"),
             Self::Chain(e) => write!(f, "chain: {e}"),
+            Self::WorkerLost { chunk, panic } => {
+                write!(f, "worker lost on batch chunk {chunk}: {panic}")
+            }
+            Self::ShardLost { shard, panic } => {
+                write!(f, "class shard {shard} lost: {panic}")
+            }
+            Self::Injected { call } => write!(f, "injected fault at call {call}"),
         }
     }
 }
@@ -488,6 +525,9 @@ impl From<BackendError> for ChainError {
             BackendError::Model(what) | BackendError::Config(what) => Self::ModelMismatch(what),
             BackendError::Input(what) => Self::InputMismatch(what),
             BackendError::Chain(chain) => chain,
+            // Runtime losses and injected faults have no chain-side
+            // analogue; the chain sees them as an unrealizable model.
+            other => Self::ModelMismatch(other.to_string()),
         }
     }
 }

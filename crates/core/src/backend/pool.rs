@@ -15,10 +15,59 @@
 //! unwinding — so the borrowed slices behind [`RawWindows`] /
 //! [`RawLabels`] strictly outlive all worker accesses.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use super::{BackendError, Verdict};
+
+/// Stringifies a `catch_unwind` payload (the `panic!` message when it
+/// was a string, a placeholder otherwise).
+pub(super) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("non-string panic payload")
+        .to_owned()
+}
+
+/// Runs `f` with its panics contained: a panic becomes `Err(message)`
+/// instead of unwinding the calling thread. This is the panic-isolation
+/// primitive of the dispatch layer — pool workers wrap each job in it so
+/// one poisoned window cannot take down the session, and dispatchers
+/// turn the `Err` into a typed [`BackendError::WorkerLost`].
+///
+/// `AssertUnwindSafe` is justified at every call site by construction:
+/// on `Err`, the caller either rebuilds the state the closure touched
+/// (a worker's scratch arena) or permanently stops routing work to it
+/// (a shard session marked lost).
+pub(super) fn contain<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_text(p.as_ref()))
+}
+
+/// Filters the process panic hook so *expected* test panics (injected
+/// faults, the out-of-range jobs the containment tests craft) stop
+/// spamming stderr from worker threads, while anything else still
+/// reaches the previous hook. Installed once per test binary; safe
+/// under parallel tests because unexpected panics pass through.
+#[cfg(test)]
+pub(crate) fn silence_expected_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = panic_text(info.payload());
+            if !(message.contains("injected fault")
+                || message.contains("out of range")
+                || message.contains("out of bounds"))
+            {
+                previous(info);
+            }
+        }));
+    });
+}
 
 /// A borrowed batch smuggled across a channel as a raw slice.
 ///

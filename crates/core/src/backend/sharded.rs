@@ -51,14 +51,16 @@
 //! still applies per shard, but not to the product).
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 
 use hdc::hv64::CounterBundler;
 
 use super::fast::{FastBackend, FastTrainingSession, MIN_WINDOWS_PER_WORKER};
-use super::pool::{fan_out_for, ChunkResult, RawLabels, RawWindows, ResultDrain, WorkerPool};
+use super::pool::{
+    contain, fan_out_for, ChunkResult, RawLabels, RawWindows, ResultDrain, WorkerPool,
+};
 use super::{
     BackendError, BackendSession, ExecutionBackend, HdModel, TrainSpec, TrainableBackend,
     TrainingSession, Verdict,
@@ -221,20 +223,23 @@ impl<B: ExecutionBackend> ExecutionBackend for ShardedBackend<B> {
     }
 }
 
-/// Clonable per-shard traffic counters of a [`ShardedSession`]: how
-/// many windows each shard has served. The serving layer snapshots
-/// these into its stats (`ServerStats::shard_windows` in
+/// Clonable per-shard telemetry of a [`ShardedSession`]: how many
+/// windows each shard has served, and which shards are still healthy.
+/// The serving layer snapshots these into its stats
+/// (`ServerStats::shard_windows` / `ServerStats::shard_healthy` in
 /// `pulp-hd-serve`) for per-shard visibility without touching the
 /// session.
 #[derive(Debug, Clone)]
 pub struct ShardMonitor {
     windows: Arc<[AtomicU64]>,
+    healthy: Arc<[AtomicBool]>,
 }
 
 impl ShardMonitor {
     fn new(shards: usize) -> Self {
         Self {
             windows: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            healthy: (0..shards).map(|_| AtomicBool::new(true)).collect(),
         }
     }
 
@@ -242,6 +247,37 @@ impl ShardMonitor {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.windows.len()
+    }
+
+    /// Per-shard health, indexed by shard. A shard goes unhealthy when
+    /// its worker panicked (the panic was contained and surfaced as a
+    /// typed error): under batch-sharding the session keeps serving with
+    /// the survivors; under class-sharding every later call reports
+    /// [`BackendError::ShardLost`]. Health never recovers — a lost
+    /// shard's session state is suspect for good.
+    #[must_use]
+    pub fn healthy(&self) -> Vec<bool> {
+        self.healthy
+            .iter()
+            .map(|h| h.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// How many shards are still healthy.
+    #[must_use]
+    pub fn healthy_shards(&self) -> usize {
+        self.healthy
+            .iter()
+            .filter(|h| h.load(Ordering::Relaxed))
+            .count()
+    }
+
+    fn is_healthy(&self, shard: usize) -> bool {
+        self.healthy[shard].load(Ordering::Relaxed)
+    }
+
+    fn mark_lost(&self, shard: usize) {
+        self.healthy[shard].store(false, Ordering::Relaxed);
     }
 
     /// Snapshot of the windows served per shard, indexed by shard.
@@ -268,24 +304,41 @@ impl ShardMonitor {
 struct ShardJob {
     windows: RawWindows,
     range: Range<usize>,
-    /// Shard index, for in-order reassembly.
-    shard: usize,
+    /// Reassembly index: the batch chunk position under batch-sharding
+    /// (the dispatcher remembers which shard served it), the shard index
+    /// under class-sharding (every shard scans the whole batch).
+    chunk: usize,
     done: Sender<ChunkResult>,
 }
 
 /// Spawns one long-lived thread per shard session in `sessions[1..]`
 /// (shard 0 stays with the dispatcher as the inline primary).
+///
+/// Workers run each job with its panics contained: a panic in the inner
+/// session comes back as [`BackendError::WorkerLost`], and the
+/// dispatcher then marks the shard lost (its session state is suspect)
+/// instead of the whole process unwinding.
 fn spawn_shard_pool(sessions: &mut [Option<Box<dyn BackendSession>>]) -> WorkerPool<ShardJob> {
     WorkerPool::spawn(sessions.len() - 1, |idx| {
         let mut session = sessions[idx + 1]
             .take()
             .expect("each shard session moves to exactly one worker");
         move |job: ShardJob| {
-            // SAFETY: see `RawWindows` — the dispatcher's `ResultDrain`
-            // keeps the batch borrowed until our `done` lands.
-            let windows = unsafe { job.windows.slice() };
-            let result = session.classify_batch(&windows[job.range.clone()]);
-            let _ = job.done.send((job.shard, result));
+            let ShardJob {
+                windows,
+                range,
+                chunk,
+                done,
+            } = job;
+            let result = contain(|| {
+                // SAFETY: see `RawWindows` — the dispatcher's
+                // `ResultDrain` keeps the batch borrowed until our
+                // `done` lands.
+                let windows = unsafe { windows.slice() };
+                session.classify_batch(&windows[range.clone()])
+            })
+            .unwrap_or_else(|panic| Err(BackendError::WorkerLost { chunk, panic }));
+            let _ = done.send((chunk, result));
         }
     })
 }
@@ -326,15 +379,28 @@ impl ShardedSession {
         self.monitor.clone()
     }
 
-    /// Batch-sharding: contiguous chunks across the shards, calling
-    /// thread working chunk 0, verdicts spliced back in chunk order
-    /// (chunk-order error precedence, like the fast backend).
+    /// Batch-sharding: contiguous chunks across the *surviving* shards,
+    /// calling thread working chunk 0, verdicts spliced back in chunk
+    /// order (chunk-order error precedence, like the fast backend).
+    ///
+    /// Degraded mode: a shard whose worker panicked is marked lost in
+    /// the [`ShardMonitor`] — the batch it was serving fails with the
+    /// typed [`BackendError::WorkerLost`] (and rolls back), and every
+    /// subsequent batch reroutes across the survivors, all the way down
+    /// to the primary serving everything alone.
     fn batch_sharded_into(
         &mut self,
         windows: &[Vec<Vec<u16>>],
         out: &mut Vec<Verdict>,
     ) -> Result<(), BackendError> {
-        let fan_out = fan_out_for(&self.pool, windows.len(), MIN_WINDOWS_PER_WORKER);
+        // Pooled shards still routable (shard 0 is the calling thread
+        // and cannot be lost).
+        let alive: Vec<usize> = (1..=self.pool.workers())
+            .filter(|&s| self.monitor.is_healthy(s))
+            .collect();
+        let fan_out = (alive.len() + 1)
+            .min(windows.len() / MIN_WINDOWS_PER_WORKER)
+            .max(1);
         if fan_out <= 1 {
             self.primary.classify_batch_into(windows, out)?;
             self.monitor.add(0, windows.len() as u64);
@@ -348,22 +414,31 @@ impl ShardedSession {
             tx: Some(done_tx),
             outstanding: 0,
         };
-        for shard in 1..n_chunks {
-            let range = shard * chunk..((shard + 1) * chunk).min(windows.len());
+        // Which shard serves each chunk (chunk 0 → primary); chunks
+        // whose worker thread is gone entirely fall back to the primary.
+        let mut chunk_shard = vec![0usize; n_chunks];
+        let mut orphaned: Vec<(usize, Range<usize>)> = Vec::new();
+        for idx in 1..n_chunks {
+            let range = idx * chunk..((idx + 1) * chunk).min(windows.len());
+            let shard = alive[idx - 1];
             let done = drain
                 .tx
                 .as_ref()
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
-            self.pool.senders[shard - 1]
-                .send(ShardJob {
-                    windows: RawWindows::of(windows),
-                    range,
-                    shard,
-                    done,
-                })
-                .expect("shard worker exited early");
-            drain.outstanding += 1;
+            let job = ShardJob {
+                windows: RawWindows::of(windows),
+                range: range.clone(),
+                chunk: idx,
+                done,
+            };
+            if self.pool.senders[shard - 1].send(job).is_err() {
+                self.monitor.mark_lost(shard);
+                orphaned.push((idx, range));
+            } else {
+                chunk_shard[idx] = shard;
+                drain.outstanding += 1;
+            }
         }
         drain.tx = None;
         // Shard 0 works chunk 0 straight into the output buffer
@@ -374,21 +449,54 @@ impl ShardedSession {
             .err();
         let mut parts: Vec<Option<Result<Vec<Verdict>, BackendError>>> =
             (1..n_chunks).map(|_| None).collect();
+        for (idx, range) in orphaned {
+            parts[idx - 1] = Some(self.primary.classify_batch(&windows[range]));
+        }
         while drain.outstanding > 0 {
-            let (shard, result) = drain.rx.recv().expect("shard worker panicked");
+            // A recv error means a shard worker died without reporting
+            // (all senders gone, so no worker still sees the batch).
+            let Ok((idx, result)) = drain.rx.recv() else {
+                drain.outstanding = 0;
+                break;
+            };
             drain.outstanding -= 1;
-            parts[shard - 1] = Some(result);
+            parts[idx - 1] = Some(result);
         }
         if let Some(e) = first_error {
             return Err(e);
         }
         self.monitor.add(0, chunk as u64);
+        let mut failure: Option<BackendError> = None;
         for (i, part) in parts.into_iter().enumerate() {
-            let verdicts = part.expect("every shard reports exactly once")?;
-            self.monitor.add(i + 1, verdicts.len() as u64);
-            out.extend(verdicts);
+            let idx = i + 1;
+            let result = part.unwrap_or_else(|| {
+                Err(BackendError::WorkerLost {
+                    chunk: idx,
+                    panic: "shard worker terminated before reporting".into(),
+                })
+            });
+            match result {
+                Ok(verdicts) => {
+                    if failure.is_none() {
+                        self.monitor.add(chunk_shard[idx], verdicts.len() as u64);
+                        out.extend(verdicts);
+                    }
+                }
+                Err(e) => {
+                    // A contained panic poisons the shard's session:
+                    // stop routing to it (plain per-window errors leave
+                    // it healthy).
+                    if matches!(e, BackendError::WorkerLost { .. }) {
+                        self.monitor.mark_lost(chunk_shard[idx]);
+                    }
+                    failure = failure.or(Some(e));
+                }
+            }
         }
-        Ok(())
+        match failure {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Class-sharding: every shard scans its AM slice over the whole
@@ -406,6 +514,15 @@ impl ShardedSession {
             return Ok(());
         }
         let shards = self.shards();
+        // A lost class shard is permanent: its slice of the associative
+        // memory is gone, and serving without it would silently drop
+        // classes — so the session reports the loss instead.
+        if let Some(shard) = (0..shards).find(|&s| !self.monitor.is_healthy(s)) {
+            return Err(BackendError::ShardLost {
+                shard,
+                panic: "shard lost by an earlier panic".into(),
+            });
+        }
         let (done_tx, done_rx) = channel();
         let mut drain = ResultDrain {
             rx: &done_rx,
@@ -418,14 +535,21 @@ impl ShardedSession {
                 .as_ref()
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
-            self.pool.senders[shard - 1]
-                .send(ShardJob {
-                    windows: RawWindows::of(windows),
-                    range: 0..windows.len(),
+            let job = ShardJob {
+                windows: RawWindows::of(windows),
+                range: 0..windows.len(),
+                chunk: shard,
+                done,
+            };
+            if self.pool.senders[shard - 1].send(job).is_err() {
+                // Early return is safe mid-dispatch: `drain` blocks in
+                // its drop until the already-sent jobs report.
+                self.monitor.mark_lost(shard);
+                return Err(BackendError::ShardLost {
                     shard,
-                    done,
-                })
-                .expect("shard worker exited early");
+                    panic: "shard worker terminated".into(),
+                });
+            }
             drain.outstanding += 1;
         }
         drain.tx = None;
@@ -433,15 +557,36 @@ impl ShardedSession {
         let mut parts: Vec<Option<Result<Vec<Verdict>, BackendError>>> =
             (1..shards).map(|_| None).collect();
         while drain.outstanding > 0 {
-            let (shard, result) = drain.rx.recv().expect("shard worker panicked");
+            let Ok((shard, result)) = drain.rx.recv() else {
+                drain.outstanding = 0;
+                break;
+            };
             drain.outstanding -= 1;
             parts[shard - 1] = Some(result);
         }
         // Shard-order error precedence (shard 0 = lowest classes first).
         let mut shard_verdicts = Vec::with_capacity(shards);
         shard_verdicts.push(first?.into_iter());
-        for part in parts {
-            shard_verdicts.push(part.expect("every shard reports exactly once")?.into_iter());
+        for (i, part) in parts.into_iter().enumerate() {
+            let shard = i + 1;
+            let verdicts = match part {
+                Some(Ok(v)) => v,
+                // A contained panic (or a silent death) loses the shard
+                // for good; plain per-window errors leave it healthy.
+                Some(Err(BackendError::WorkerLost { panic, .. })) => {
+                    self.monitor.mark_lost(shard);
+                    return Err(BackendError::ShardLost { shard, panic });
+                }
+                Some(Err(e)) => return Err(e),
+                None => {
+                    self.monitor.mark_lost(shard);
+                    return Err(BackendError::ShardLost {
+                        shard,
+                        panic: "shard worker terminated before reporting".into(),
+                    });
+                }
+            };
+            shard_verdicts.push(verdicts.into_iter());
         }
         out.reserve(windows.len());
         for _ in 0..windows.len() {
@@ -575,6 +720,18 @@ impl TrainableBackend for ShardedBackend<FastBackend> {
     /// spec decides how [`into_serving`](TrainingSession::into_serving)
     /// shards the trained model).
     fn begin_training(&self, spec: &TrainSpec) -> Result<Box<dyn TrainingSession>, BackendError> {
+        Ok(Box::new(self.begin_training_sharded(spec)?))
+    }
+}
+
+impl ShardedBackend<FastBackend> {
+    /// [`begin_training`](TrainableBackend::begin_training) returning
+    /// the concrete session type (the in-module fault tests reach its
+    /// shard pool directly).
+    fn begin_training_sharded(
+        &self,
+        spec: &TrainSpec,
+    ) -> Result<ShardedTrainingSession, BackendError> {
         let shards = self.spec.shards();
         let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let participants = self.inner.threads().min(cpus).max(1);
@@ -598,24 +755,37 @@ impl TrainableBackend for ShardedBackend<FastBackend> {
                     shard,
                     done,
                 } => {
-                    // SAFETY: see `RawWindows`/`RawLabels` — the
-                    // dispatcher's `ResultDrain` keeps both slices
-                    // borrowed until our `done` lands.
-                    let windows = unsafe { windows.slice() };
-                    let labels = unsafe { labels.slice() };
-                    let result = session.train_batch(&windows[range.clone()], &labels[range]);
+                    let result = contain(|| {
+                        // SAFETY: see `RawWindows`/`RawLabels` — the
+                        // dispatcher's `ResultDrain` keeps both slices
+                        // borrowed until our `done` lands.
+                        let windows = unsafe { windows.slice() };
+                        let labels = unsafe { labels.slice() };
+                        session.train_batch(&windows[range.clone()], &labels[range])
+                    })
+                    .unwrap_or_else(|panic| {
+                        // The shard's counters are suspect after an
+                        // unwind mid-accumulation; start them over so a
+                        // half-counted chunk cannot leak into the merge.
+                        session.reset();
+                        Err(BackendError::WorkerLost {
+                            chunk: shard,
+                            panic,
+                        })
+                    });
                     let _ = done.send((shard, result));
                 }
                 TrainShardJob::Harvest { shard, done } => {
-                    let _ = done.send((shard, session.take_partials()));
+                    let partials = contain(|| session.take_partials()).unwrap_or_default();
+                    let _ = done.send((shard, partials));
                 }
             }
         });
-        Ok(Box::new(ShardedTrainingSession {
+        Ok(ShardedTrainingSession {
             primary,
             pool,
             backend: *self,
-        }))
+        })
     }
 }
 
@@ -640,14 +810,22 @@ impl ShardedTrainingSession {
                 .as_ref()
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
-            self.pool.senders[shard - 1]
+            // A dead shard thread has nothing left to harvest (its
+            // counters died with it); skip it rather than fail the
+            // reduction for the survivors.
+            if self.pool.senders[shard - 1]
                 .send(TrainShardJob::Harvest { shard, done })
-                .expect("training shard exited early");
-            drain.outstanding += 1;
+                .is_ok()
+            {
+                drain.outstanding += 1;
+            }
         }
         drain.tx = None;
         while drain.outstanding > 0 {
-            let (_, partials) = drain.rx.recv().expect("training shard panicked");
+            let Ok((_, partials)) = drain.rx.recv() else {
+                drain.outstanding = 0;
+                break;
+            };
             drain.outstanding -= 1;
             self.primary.absorb_partials(&partials);
         }
@@ -683,6 +861,7 @@ impl TrainingSession for ShardedTrainingSession {
             tx: Some(done_tx),
             outstanding: 0,
         };
+        let mut orphaned: Vec<Range<usize>> = Vec::new();
         for shard in 1..n_chunks {
             let range = shard * chunk..((shard + 1) * chunk).min(windows.len());
             let done = drain
@@ -690,28 +869,51 @@ impl TrainingSession for ShardedTrainingSession {
                 .as_ref()
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
-            self.pool.senders[shard - 1]
-                .send(TrainShardJob::Train {
-                    windows: RawWindows::of(windows),
-                    labels: RawLabels::of(labels),
-                    range,
-                    shard,
-                    done,
-                })
-                .expect("training shard exited early");
-            drain.outstanding += 1;
+            let job = TrainShardJob::Train {
+                windows: RawWindows::of(windows),
+                labels: RawLabels::of(labels),
+                range: range.clone(),
+                shard,
+                done,
+            };
+            // A dead shard thread can't accumulate; its chunk runs on
+            // shard 0 instead so the reduced counters stay complete.
+            if self.pool.senders[shard - 1].send(job).is_err() {
+                orphaned.push(range);
+            } else {
+                drain.outstanding += 1;
+            }
         }
         drain.tx = None;
         let mut first_error = self
             .primary
             .train_batch(&windows[..chunk], &labels[..chunk])
             .err();
+        for range in orphaned {
+            let result = self
+                .primary
+                .train_batch(&windows[range.clone()], &labels[range]);
+            if let Err(e) = result {
+                first_error = first_error.or(Some(e));
+            }
+        }
+        let mut lost = 0usize;
         while drain.outstanding > 0 {
-            let (_, result) = drain.rx.recv().expect("training shard panicked");
+            let Ok((_, result)) = drain.rx.recv() else {
+                lost += drain.outstanding;
+                drain.outstanding = 0;
+                break;
+            };
             drain.outstanding -= 1;
             if let Err(e) = result {
                 first_error = first_error.or(Some(e));
             }
+        }
+        if lost > 0 {
+            first_error = first_error.or(Some(BackendError::WorkerLost {
+                chunk: 0,
+                panic: format!("{lost} training shard(s) terminated before reporting"),
+            }));
         }
         // Reduce even on error: the trait leaves counters unspecified
         // after a failed batch, but harvesting keeps the invariant that
@@ -998,5 +1200,60 @@ mod tests {
         session.reset();
         session.train_batch(&windows, &labels).unwrap();
         assert_eq!(session.examples(0), count as u32);
+    }
+
+    /// A panic inside a training shard worker is contained: the job
+    /// comes back as a typed [`BackendError::WorkerLost`], the shard's
+    /// counters reset (no half-counted chunk can leak into the merge),
+    /// and subsequent fanned batches still reduce to the sequential
+    /// golden result.
+    #[test]
+    fn contained_training_shard_panic_surfaces_and_training_recovers() {
+        crate::backend::pool::silence_expected_panics();
+        let params = params();
+        let spec = TrainSpec::random(&params, 83);
+        let count = 4 * MIN_WINDOWS_PER_WORKER;
+        let windows = random_windows(&params, 21, count, params.ngram);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+        let labels: Vec<usize> = (0..count)
+            .map(|_| rng.next_below(params.classes as u32) as usize)
+            .collect();
+
+        let backend =
+            ShardedBackend::new(FastBackend::with_threads(1), ShardSpec::Batch(2)).unwrap();
+        let mut session = backend.begin_training_sharded(&spec).unwrap();
+
+        // An out-of-range chunk makes shard 1's worker panic inside the
+        // batch slice — a genuine unwind on the worker thread, not a
+        // simulated error.
+        let (done_tx, done_rx) = channel();
+        session.pool.senders[0]
+            .send(TrainShardJob::Train {
+                windows: RawWindows::of(&windows),
+                labels: RawLabels::of(&labels),
+                range: count..count + 9,
+                shard: 1,
+                done: done_tx,
+            })
+            .unwrap();
+        let (shard, result) = done_rx.recv().unwrap();
+        assert_eq!(shard, 1);
+        match result {
+            Err(BackendError::WorkerLost { chunk, panic }) => {
+                assert_eq!(chunk, 1);
+                assert!(panic.contains("out of range"), "{panic}");
+            }
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+
+        // The worker survived with clean counters: a fanned batch still
+        // reduces to exactly the sequential golden result.
+        session.train_batch(&windows, &labels).unwrap();
+        let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+        golden.train_batch(&windows, &labels).unwrap();
+        assert_eq!(
+            session.finalize().unwrap().prototypes(),
+            golden.finalize().unwrap().prototypes()
+        );
     }
 }

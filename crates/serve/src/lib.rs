@@ -118,6 +118,22 @@ use stats::Recorder;
 /// the queue holds that many submitted-but-unserved windows,
 /// [`Client::try_submit`] sheds load with
 /// [`TrySubmitError::Overloaded`] and [`Client::submit`] blocks.
+///
+/// The fault-tolerance knobs bound how a failure is allowed to spread:
+///
+/// * **`deadline`** is the server-side time budget from submission to
+///   batch service. A request still unserved when its batch closes past
+///   the deadline resolves with [`ServeError::DeadlineExceeded`]
+///   instead of occupying a batch slot — so a latency fault (a stalled
+///   backend, a flooded queue) sheds the requests that already missed
+///   their window rather than serving everyone late. `None` (the
+///   default) disables the check.
+/// * **`worker_lost_retries`** bounds how often one batch is retried
+///   after a [`WorkerLost`](BackendError::WorkerLost) failure (a
+///   contained worker panic). Retrying is safe — a failed batch rolls
+///   back — and usually succeeds, because the backend has already
+///   rerouted around the lost worker by the time the retry runs.
+/// * **`retry_backoff`** is slept between those attempts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Close a batch once it holds this many requests (≥ 1).
@@ -127,17 +143,32 @@ pub struct ServeConfig {
     pub max_delay: Duration,
     /// Bounded submission-queue capacity (≥ 1).
     pub queue_depth: usize,
+    /// Server-side deadline per request, measured from submission; a
+    /// request whose deadline expires before its batch is served
+    /// resolves with [`ServeError::DeadlineExceeded`]. `None` disables
+    /// deadline enforcement.
+    pub deadline: Option<Duration>,
+    /// How many times one batch may be retried after a
+    /// [`WorkerLost`](BackendError::WorkerLost) failure before falling
+    /// back to per-window classification.
+    pub worker_lost_retries: u32,
+    /// Pause between worker-lost retry attempts.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ServeConfig {
     /// `max_batch` 64, `max_delay` 200 µs, `queue_depth` 1024 — sized
     /// so a saturated server forms pool-friendly batches while a lone
     /// caller's worst-case added latency stays well under a millisecond.
+    /// No deadline; two worker-lost retries, 50 µs apart.
     fn default() -> Self {
         Self {
             max_batch: 64,
             max_delay: Duration::from_micros(200),
             queue_depth: 1024,
+            deadline: None,
+            worker_lost_retries: 2,
+            retry_backoff: Duration::from_micros(50),
         }
     }
 }
@@ -164,9 +195,16 @@ pub enum ServeError {
     Backend(BackendError),
     /// The serving configuration is invalid.
     Config(String),
-    /// The server has shut down (or its batcher died) before this
-    /// request could be answered.
+    /// The server was shut down gracefully before this request could be
+    /// answered (the batcher drained and exited; nothing crashed).
     Closed,
+    /// The batcher thread died — the terminal failure the containment
+    /// layer exists to prevent, still reported as a typed error so no
+    /// [`Ticket::wait`] ever hangs on a dead server.
+    ServerDied,
+    /// This request waited past the configured
+    /// [`deadline`](ServeConfig::deadline) before its batch was served.
+    DeadlineExceeded,
 }
 
 impl core::fmt::Display for ServeError {
@@ -175,6 +213,8 @@ impl core::fmt::Display for ServeError {
             Self::Backend(e) => write!(f, "backend: {e}"),
             Self::Config(what) => write!(f, "config: {what}"),
             Self::Closed => write!(f, "server is shut down"),
+            Self::ServerDied => write!(f, "server batcher thread died"),
+            Self::DeadlineExceeded => write!(f, "request deadline exceeded before service"),
         }
     }
 }
@@ -226,6 +266,11 @@ enum Request {
 struct Shared {
     /// Flips to `false` on shutdown; clients check it before queuing.
     open: AtomicBool,
+    /// Flips to `true` if the batcher thread dies (unwinds) instead of
+    /// exiting gracefully — set *before* the outstanding reply channels
+    /// close, so waiting tickets report [`ServeError::ServerDied`]
+    /// rather than the graceful [`ServeError::Closed`].
+    batcher_down: AtomicBool,
     recorder: Recorder,
     started: Instant,
 }
@@ -312,6 +357,7 @@ impl Server {
         let (tx, rx) = sync_channel(config.queue_depth);
         let shared = Arc::new(Shared {
             open: AtomicBool::new(true),
+            batcher_down: AtomicBool::new(false),
             recorder: Recorder::new(),
             started: Instant::now(),
         });
@@ -398,12 +444,13 @@ impl Server {
     /// A snapshot of the server's telemetry, without stopping traffic.
     /// When a [`ShardMonitor`] is registered
     /// ([`with_shard_monitor`](Self::with_shard_monitor)), the snapshot
-    /// includes the windows served per shard.
+    /// includes the windows served per shard and each shard's health.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
         let mut stats = self.shared.recorder.snapshot(self.shared.started.elapsed());
         if let Some(monitor) = &self.monitor {
             stats.shard_windows = monitor.windows();
+            stats.shard_healthy = monitor.healthy();
         }
         stats
     }
@@ -467,7 +514,7 @@ impl Client {
         if !self.shared.open.load(Ordering::SeqCst) {
             return Err(ServeError::Closed);
         }
-        let (ticket, pending) = Self::package(window);
+        let (ticket, pending) = self.package(window);
         self.tx
             .send(Request::Classify(pending))
             .map_err(|_| ServeError::Closed)?;
@@ -486,7 +533,7 @@ impl Client {
         if !self.shared.open.load(Ordering::SeqCst) {
             return Err(TrySubmitError::Closed);
         }
-        let (ticket, pending) = Self::package(window);
+        let (ticket, pending) = self.package(window);
         match self.tx.try_send(Request::Classify(pending)) {
             Ok(()) => Ok(ticket),
             Err(TrySendError::Full(_)) => {
@@ -509,12 +556,15 @@ impl Client {
         self.submit(window.to_vec())?.wait()
     }
 
-    fn package(window: Vec<Vec<u16>>) -> (Ticket, Pending) {
+    fn package(&self, window: Vec<Vec<u16>>) -> (Ticket, Pending) {
         // Capacity 1 and exactly one send ever: the batcher's reply can
         // never block, and a dropped ticket just discards the verdict.
         let (reply_tx, reply_rx) = sync_channel(1);
         (
-            Ticket { reply: reply_rx },
+            Ticket {
+                reply: reply_rx,
+                shared: Arc::clone(&self.shared),
+            },
             Pending {
                 window,
                 enqueued: Instant::now(),
@@ -524,22 +574,46 @@ impl Client {
     }
 }
 
+/// How often a blocked [`Ticket::wait`] re-checks the batcher-death
+/// flag. Pure defense in depth: a dying batcher closes the reply
+/// channels (waking every waiter immediately) on all normal unwind
+/// paths, so the watchdog tick only matters if a reply sender leaks —
+/// and it guarantees `wait` can never hang forever on a dead server
+/// even then.
+const WATCHDOG_TICK: Duration = Duration::from_millis(25);
+
 /// An outstanding request: redeem it with [`wait`](Self::wait).
 #[derive(Debug)]
 pub struct Ticket {
     reply: Receiver<Result<Verdict, ServeError>>,
+    shared: Arc<Shared>,
 }
 
 impl Ticket {
-    /// Blocks until this request's verdict is ready.
+    /// Blocks until this request's verdict is ready. Can never hang on
+    /// a dead server: if the batcher thread dies, every outstanding
+    /// `wait` resolves with [`ServeError::ServerDied`] (a watchdog
+    /// re-checks the death flag even if the reply channel leaks).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Backend`] if the backend rejected this
-    /// window, [`ServeError::Closed`] if the server shut down (or its
-    /// batcher died) before answering.
+    /// window, [`ServeError::DeadlineExceeded`] if it waited past the
+    /// configured [`deadline`](ServeConfig::deadline),
+    /// [`ServeError::Closed`] if the server shut down gracefully first,
+    /// [`ServeError::ServerDied`] if the batcher thread died.
     pub fn wait(self) -> Result<Verdict, ServeError> {
-        self.reply.recv().map_err(|_| ServeError::Closed)?
+        loop {
+            match self.reply.recv_timeout(WATCHDOG_TICK) {
+                Ok(result) => return result,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shared.batcher_down.load(Ordering::SeqCst) {
+                        return Err(ServeError::ServerDied);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(self.disconnect_error()),
+            }
+        }
     }
 
     /// Like [`wait`](Self::wait), but gives up after `timeout`.
@@ -550,10 +624,31 @@ impl Ticket {
     /// error — when the timeout elapses first (the ticket is consumed,
     /// the verdict is discarded when it arrives).
     pub fn wait_timeout(self, timeout: Duration) -> Result<Option<Verdict>, ServeError> {
-        match self.reply.recv_timeout(timeout) {
-            Ok(result) => result.map(Some),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+        let give_up = Instant::now() + timeout;
+        loop {
+            let remaining = give_up.saturating_duration_since(Instant::now());
+            match self.reply.recv_timeout(remaining.min(WATCHDOG_TICK)) {
+                Ok(result) => return result.map(Some),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shared.batcher_down.load(Ordering::SeqCst) {
+                        return Err(ServeError::ServerDied);
+                    }
+                    if remaining <= WATCHDOG_TICK {
+                        return Ok(None);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(self.disconnect_error()),
+            }
+        }
+    }
+
+    /// The typed verdict for a reply channel that closed with no
+    /// answer: a crashed batcher versus a graceful shutdown race.
+    fn disconnect_error(&self) -> ServeError {
+        if self.shared.batcher_down.load(Ordering::SeqCst) {
+            ServeError::ServerDied
+        } else {
+            ServeError::Closed
         }
     }
 }
@@ -566,6 +661,41 @@ impl Ticket {
 /// queue when the machine is saturated (the crowd case fills the
 /// batch).
 const FILL_IDLE_ROUNDS: u32 = 8;
+
+/// Runs `f` with its panics contained: a panic becomes `Err(message)`
+/// instead of unwinding the batcher thread. The serve-layer twin of the
+/// core dispatch layer's containment primitive — `AssertUnwindSafe` is
+/// justified because the caller discards or rebuilds everything the
+/// closure touched (the verdict buffer is cleared per attempt, the
+/// session rolls failed batches back by contract).
+fn contain<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("non-string panic payload")
+            .to_owned()
+    })
+}
+
+/// Arms [`Shared::batcher_down`] against an unwinding batcher: dropped
+/// while armed (the unwind path), it flips the flag so tickets report
+/// [`ServeError::ServerDied`]; disarmed on every graceful exit so a
+/// submission racing shutdown still sees the honest
+/// [`ServeError::Closed`].
+struct DownGuard<'a> {
+    shared: &'a Shared,
+    armed: bool,
+}
+
+impl Drop for DownGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.shared.batcher_down.store(true, Ordering::SeqCst);
+        }
+    }
+}
 
 /// The batcher loop: block for the first request of a batch, top the
 /// batch up (cooperative fill, bounded by `max_batch` and `max_delay`),
@@ -581,6 +711,13 @@ fn batcher(
     let mut pending: Vec<Pending> = Vec::with_capacity(config.max_batch);
     let mut windows: Vec<Vec<Vec<u16>>> = Vec::with_capacity(config.max_batch);
     let mut verdicts: Vec<Verdict> = Vec::with_capacity(config.max_batch);
+    // Declared after the batch buffers so it drops *first* during an
+    // unwind: outstanding tickets observe `batcher_down` before their
+    // reply channels (held by `pending` and the queue) close.
+    let mut guard = DownGuard {
+        shared,
+        armed: true,
+    };
     loop {
         let mut draining = match rx.recv() {
             Ok(Request::Classify(p)) => {
@@ -633,6 +770,7 @@ fn batcher(
             &mut windows,
             &mut verdicts,
             shared,
+            &config,
         );
         if draining {
             // Serve everything already queued, then exit. Replies to
@@ -649,6 +787,7 @@ fn batcher(
                                 &mut windows,
                                 &mut verdicts,
                                 shared,
+                                &config,
                             );
                         }
                     }
@@ -662,34 +801,86 @@ fn batcher(
                 &mut windows,
                 &mut verdicts,
                 shared,
+                &config,
             );
+            guard.armed = false;
             return;
         }
     }
 }
 
-/// Serves one closed batch: run `classify_batch` over the collected
-/// windows, record telemetry, fan each verdict back to its ticket.
+/// Serves one closed batch: triage expired deadlines, run
+/// `classify_batch` over the surviving windows (panics contained,
+/// worker-loss failures retried with backoff), record telemetry, fan
+/// each verdict back to its ticket.
 ///
-/// A batch-level error falls back to per-window classification so the
-/// error lands only on the request that caused it — every other ticket
-/// in the batch still gets its verdict (bit-identical either way; the
-/// core pins `classify_batch` to looped `classify`).
+/// A batch-level error that survives the retries falls back to
+/// per-window classification so the error lands only on the request
+/// that caused it — every other ticket in the batch still gets its
+/// verdict (bit-identical either way; the core pins `classify_batch`
+/// to looped `classify`).
 fn serve_batch(
     session: &mut dyn BackendSession,
     pending: &mut Vec<Pending>,
     windows: &mut Vec<Vec<Vec<u16>>>,
     verdicts: &mut Vec<Verdict>,
     shared: &Shared,
+    config: &ServeConfig,
 ) {
     if pending.is_empty() {
         return;
     }
+    // Deadline triage: requests that already waited past their budget
+    // resolve immediately with the typed error instead of occupying a
+    // batch slot and making everyone behind them later still.
+    if let Some(deadline) = config.deadline {
+        pending.retain_mut(|p| {
+            let waited = p.enqueued.elapsed();
+            if waited > deadline {
+                shared.recorder.record_deadline_expired();
+                shared.recorder.record_latency(waited);
+                let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+                false
+            } else {
+                true
+            }
+        });
+        if pending.is_empty() {
+            return;
+        }
+    }
     windows.clear();
     windows.extend(pending.iter_mut().map(|p| std::mem::take(&mut p.window)));
-    verdicts.clear();
     let service_start = Instant::now();
-    match session.classify_batch_into(windows, verdicts) {
+    // Batch attempts: each one against a cleared verdict buffer (the
+    // backend's `classify_batch_into` contract leaves `out` unchanged
+    // on error, and a contained panic discards the buffer anyway).
+    // Worker-loss failures — a contained worker panic inside the
+    // backend, or a panic on this thread contained right here — are
+    // transient-by-design (the backend reroutes around the lost worker),
+    // so they get `worker_lost_retries` fresh attempts before the
+    // per-window fallback.
+    let mut attempt = 0;
+    let batch_result = loop {
+        verdicts.clear();
+        let result = match contain(|| session.classify_batch_into(windows, verdicts)) {
+            Ok(result) => result,
+            Err(panic) => {
+                shared.recorder.record_contained_panic();
+                verdicts.clear();
+                Err(BackendError::WorkerLost { chunk: 0, panic })
+            }
+        };
+        match result {
+            Err(BackendError::WorkerLost { .. }) if attempt < config.worker_lost_retries => {
+                attempt += 1;
+                shared.recorder.record_retried_batch();
+                std::thread::sleep(config.retry_backoff);
+            }
+            other => break other,
+        }
+    };
+    match batch_result {
         Ok(()) => {
             shared.recorder.record_batch(service_start.elapsed());
             debug_assert_eq!(verdicts.len(), pending.len());
@@ -699,12 +890,104 @@ fn serve_batch(
             }
         }
         Err(_) => {
+            // Per-window fallback, itself contained: the error (or
+            // panic) lands only on the window that caused it.
             for (p, w) in pending.drain(..).zip(windows.iter()) {
-                let result = session.classify(w).map_err(ServeError::Backend);
+                let result = match contain(|| session.classify(w)) {
+                    Ok(result) => result.map_err(ServeError::Backend),
+                    Err(panic) => {
+                        shared.recorder.record_contained_panic();
+                        Err(ServeError::Backend(BackendError::WorkerLost {
+                            chunk: 0,
+                            panic,
+                        }))
+                    }
+                };
                 shared.recorder.record_latency(p.enqueued.elapsed());
                 let _ = p.reply.send(result);
             }
             shared.recorder.record_batch(service_start.elapsed());
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Watchdog unit tests: the `ServerDied` paths are deliberately
+    //! unreachable through the public API (the batcher contains every
+    //! session panic), so the guarantee "`wait` can never hang on a
+    //! dead batcher" is pinned here against hand-built shared state.
+
+    use super::*;
+
+    fn shared(batcher_down: bool) -> Arc<Shared> {
+        Arc::new(Shared {
+            open: AtomicBool::new(true),
+            batcher_down: AtomicBool::new(batcher_down),
+            recorder: Recorder::new(),
+            started: Instant::now(),
+        })
+    }
+
+    /// The worst case the watchdog exists for: the batcher died but a
+    /// leaked reply sender keeps the channel open. `wait` must resolve
+    /// with `ServerDied` within a tick instead of blocking forever.
+    #[test]
+    fn wait_cannot_hang_when_the_batcher_dies_with_a_leaked_sender() {
+        let (tx, rx) = sync_channel::<Result<Verdict, ServeError>>(1);
+        let ticket = Ticket {
+            reply: rx,
+            shared: shared(true),
+        };
+        let start = Instant::now();
+        assert!(matches!(ticket.wait(), Err(ServeError::ServerDied)));
+        assert!(start.elapsed() < WATCHDOG_TICK * 4);
+        drop(tx);
+    }
+
+    /// A closed reply channel is disambiguated by the death flag:
+    /// crashed batcher → `ServerDied`, graceful shutdown → `Closed`.
+    #[test]
+    fn disconnected_reply_reports_died_versus_closed() {
+        let (_, rx) = sync_channel::<Result<Verdict, ServeError>>(1);
+        let ticket = Ticket {
+            reply: rx,
+            shared: shared(true),
+        };
+        assert!(matches!(ticket.wait(), Err(ServeError::ServerDied)));
+
+        let (_, rx) = sync_channel::<Result<Verdict, ServeError>>(1);
+        let ticket = Ticket {
+            reply: rx,
+            shared: shared(false),
+        };
+        assert!(matches!(ticket.wait(), Err(ServeError::Closed)));
+    }
+
+    /// `wait_timeout` keeps its `Ok(None)` contract on a *healthy*
+    /// server (slow reply, leaked sender) and still detects death.
+    #[test]
+    fn wait_timeout_expires_on_healthy_servers_and_detects_death() {
+        let (tx, rx) = sync_channel::<Result<Verdict, ServeError>>(1);
+        let ticket = Ticket {
+            reply: rx,
+            shared: shared(false),
+        };
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_millis(5)),
+            Ok(None)
+        ));
+        drop(tx);
+
+        let (tx, rx) = sync_channel::<Result<Verdict, ServeError>>(1);
+        let ticket = Ticket {
+            reply: rx,
+            shared: shared(true),
+        };
+        assert!(matches!(
+            ticket.wait_timeout(Duration::from_secs(60)),
+            Err(ServeError::ServerDied)
+        ));
+        drop(tx);
     }
 }

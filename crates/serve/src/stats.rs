@@ -57,6 +57,9 @@ pub(crate) struct Recorder {
     service_sum_us: AtomicU64,
     service_max_us: AtomicU64,
     rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    retried_batches: AtomicU64,
+    contained_panics: AtomicU64,
 }
 
 impl Recorder {
@@ -70,6 +73,9 @@ impl Recorder {
             service_sum_us: AtomicU64::new(0),
             service_max_us: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            retried_batches: AtomicU64::new(0),
+            contained_panics: AtomicU64::new(0),
         }
     }
 
@@ -96,6 +102,25 @@ impl Recorder {
     /// thread).
     pub(crate) fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request resolved with
+    /// [`DeadlineExceeded`](crate::ServeError::DeadlineExceeded) instead
+    /// of occupying a batch slot (batcher thread only).
+    pub(crate) fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one batch retry after a worker-loss failure (batcher
+    /// thread only).
+    pub(crate) fn record_retried_batch(&self) {
+        self.retried_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one backend panic contained on the batcher thread
+    /// (batcher thread only).
+    pub(crate) fn record_contained_panic(&self) {
+        self.contained_panics.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A consistent-enough snapshot (single pass over the counters;
@@ -155,7 +180,11 @@ impl Recorder {
             } else {
                 0.0
             },
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            retried_batches: self.retried_batches.load(Ordering::Relaxed),
+            contained_panics: self.contained_panics.load(Ordering::Relaxed),
             shard_windows: Vec::new(),
+            shard_healthy: Vec::new(),
         }
     }
 }
@@ -197,6 +226,20 @@ pub struct ServerStats {
     pub elapsed: Duration,
     /// Completed requests per second of server lifetime.
     pub windows_per_sec: f64,
+    /// Requests resolved with
+    /// [`DeadlineExceeded`](crate::ServeError::DeadlineExceeded) because
+    /// they waited in the queue past the configured
+    /// [`deadline`](crate::ServeConfig::deadline) (counted in
+    /// `completed` too — they were answered, with an error).
+    pub deadline_expired: u64,
+    /// Batches retried after a
+    /// [`WorkerLost`](pulp_hd_core::backend::BackendError::WorkerLost)
+    /// failure (each retry counts once; a batch retried twice adds two).
+    pub retried_batches: u64,
+    /// Backend panics contained on the batcher thread — each one also
+    /// surfaced as a typed per-request error instead of killing the
+    /// server.
+    pub contained_panics: u64,
     /// Windows served per shard, indexed by shard — filled only when
     /// the server serves a sharded session and its
     /// [`ShardMonitor`](pulp_hd_core::backend::ShardMonitor) was
@@ -205,6 +248,14 @@ pub struct ServerStats {
     /// entry equals the total; under batch-sharding the entries sum to
     /// it.)
     pub shard_windows: Vec<u64>,
+    /// Per-shard health, indexed by shard — filled alongside
+    /// [`shard_windows`](Self::shard_windows) when a
+    /// [`ShardMonitor`](pulp_hd_core::backend::ShardMonitor) is
+    /// registered; empty otherwise. A `false` entry is a shard whose
+    /// worker panicked: batch-sharded sessions keep serving on the
+    /// survivors, class-sharded sessions report
+    /// [`ShardLost`](pulp_hd_core::backend::BackendError::ShardLost).
+    pub shard_healthy: Vec<bool>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,257 @@
+//! Seeded fault-injection against the serving front-end: worker panics
+//! contained and retried behind the batcher, injected errors isolated
+//! to their own ticket, deadlines shedding stalled requests, and shard
+//! death degrading — never crashing — a sharded server.
+//!
+//! Companion to the core-layer chaos suite (`pulp-hd-core/tests/chaos`):
+//! that one pins the backend's typed errors and rerouting; this one
+//! pins what a *client* observes through [`Server`] under the same
+//! deterministic [`FaultPlan`] schedules. Runs in CI on both kernel
+//! levels (a second pass sets `PULP_HD_FORCE_SCALAR=1`).
+
+use std::time::Duration;
+
+use hdc::rng::Xoshiro256PlusPlus;
+use pulp_hd_core::backend::{
+    BackendError, ExecutionBackend, FastBackend, FaultBackend, FaultKind, FaultPlan, GoldenBackend,
+    HdModel, ShardSpec, ShardedBackend, Verdict,
+};
+use pulp_hd_core::layout::AccelParams;
+use pulp_hd_serve::{ServeConfig, ServeError, Server};
+
+/// Silences the panics this suite injects on purpose (tagged with the
+/// literal `"injected fault"`); everything else still reaches the
+/// previous hook.
+fn silence_expected_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.contains("injected fault") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn params() -> AccelParams {
+    AccelParams {
+        n_words: 16,
+        ngram: 2,
+        ..AccelParams::emg_default()
+    }
+}
+
+fn random_windows(
+    params: &AccelParams,
+    samples: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Vec<Vec<u16>>> {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..samples)
+                .map(|_| {
+                    (0..params.channels)
+                        .map(|_| (rng.next_u32() & 0xffff) as u16)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn golden_verdicts(model: &HdModel, windows: &[Vec<Vec<u16>>]) -> Vec<Verdict> {
+    let mut direct = GoldenBackend.prepare(model).unwrap();
+    direct.classify_batch(windows).unwrap()
+}
+
+/// A scheduled panic inside the served session is contained on the
+/// batcher thread and retried — the affected request still gets its
+/// bit-exact verdict, nobody else notices, and the telemetry records
+/// exactly one contained panic and one retried batch.
+#[test]
+fn contained_panic_is_retried_transparently() {
+    silence_expected_panics();
+    let params = params();
+    let model = HdModel::random(&params, 0x5E01);
+    let windows = random_windows(&params, 3, 3, 0xA11);
+    let expected = golden_verdicts(&model, &windows);
+
+    // Closed-loop traffic means one session call per request; call 1
+    // panics, its retry lands on the fault-free call 2.
+    let chaos = FaultBackend::new(
+        FastBackend::try_with_threads(1).unwrap(),
+        FaultPlan::new().fault_at(1, FaultKind::Panic),
+    );
+    let server = Server::spawn(&chaos, &model, ServeConfig::default()).unwrap();
+    let client = server.client();
+    for (i, w) in windows.iter().enumerate() {
+        assert_eq!(client.classify(w).unwrap(), expected[i], "request {i}");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, windows.len() as u64);
+    assert_eq!(stats.contained_panics, 1);
+    assert_eq!(stats.retried_batches, 1);
+}
+
+/// An injected backend *error* that persists through the per-window
+/// fallback fails exactly its own ticket with the typed error; requests
+/// before and after it are served bit-exactly.
+#[test]
+fn injected_error_fails_only_the_affected_request() {
+    let params = params();
+    let model = HdModel::random(&params, 0x5E02);
+    let windows = random_windows(&params, 3, 3, 0xB22);
+    let expected = golden_verdicts(&model, &windows);
+
+    // Call 1 is request 1's batch; call 2 is its per-window fallback —
+    // faulting both makes the *request* fail (a batch-only fault would
+    // be masked by the fallback).
+    let chaos = FaultBackend::new(
+        FastBackend::try_with_threads(1).unwrap(),
+        FaultPlan::new()
+            .fault_at(1, FaultKind::Error)
+            .fault_at(2, FaultKind::Error),
+    );
+    let server = Server::spawn(&chaos, &model, ServeConfig::default()).unwrap();
+    let client = server.client();
+
+    assert_eq!(client.classify(&windows[0]).unwrap(), expected[0]);
+    let err = client.classify(&windows[1]).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Backend(BackendError::Injected { call: 2 })),
+        "{err}"
+    );
+    assert_eq!(client.classify(&windows[2]).unwrap(), expected[2]);
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.completed, 3,
+        "errored requests still count as answered"
+    );
+    assert_eq!(stats.contained_panics, 0);
+}
+
+/// A backend stall (injected latency) makes queued requests miss their
+/// deadline: the stalled request itself is served, the one stuck
+/// behind it resolves with the typed `DeadlineExceeded` instead of
+/// being served late, and the server keeps serving afterwards.
+#[test]
+fn injected_latency_trips_request_deadlines() {
+    let params = params();
+    let model = HdModel::random(&params, 0x5E03);
+    let windows = random_windows(&params, 3, 3, 0xC33);
+    let expected = golden_verdicts(&model, &windows);
+
+    let chaos = FaultBackend::new(
+        FastBackend::try_with_threads(1).unwrap(),
+        FaultPlan::new().fault_at(0, FaultKind::Delay(Duration::from_millis(100))),
+    );
+    let server = Server::spawn(
+        &chaos,
+        &model,
+        ServeConfig {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            deadline: Some(Duration::from_millis(10)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+
+    // The first request is dequeued while fresh, then stalls 100 ms in
+    // service; the second waits those 100 ms in the queue and has
+    // missed its 10 ms deadline by the time its batch forms.
+    let stalled = client.submit(windows[0].clone()).unwrap();
+    let expired = client.submit(windows[1].clone()).unwrap();
+    assert_eq!(stalled.wait().unwrap(), expected[0]);
+    assert!(matches!(expired.wait(), Err(ServeError::DeadlineExceeded)));
+    // Past the stall the server is healthy again.
+    assert_eq!(client.classify(&windows[2]).unwrap(), expected[2]);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.completed, 3);
+}
+
+/// A shard worker panic behind a sharded server: the batch-level retry
+/// reroutes around the dead shard, so every client request — including
+/// the wave that lost the shard — resolves with a bit-exact verdict,
+/// and the loss is visible in `ServerStats::shard_healthy`.
+#[test]
+fn shard_death_degrades_the_server_without_client_visible_errors() {
+    silence_expected_panics();
+    let params = params();
+    let model = HdModel::random(&params, 0x5E04);
+    let windows = random_windows(&params, 3, 32, 0xD44);
+    let expected = golden_verdicts(&model, &windows);
+
+    let backend = ShardedBackend::new(
+        FaultBackend::new(
+            FastBackend::try_with_threads(1).unwrap(),
+            // Session index = shard index: shard 1 dies on its first
+            // fanned chunk.
+            FaultPlan::new().fault_on(1, 0, FaultKind::Panic),
+        ),
+        ShardSpec::Batch(2),
+    )
+    .unwrap();
+    let session = backend.prepare_sharded(&model).unwrap();
+    let monitor = session.monitor();
+    let server = Server::from_session(
+        Box::new(session),
+        ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(50),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap()
+    .with_shard_monitor(monitor.clone());
+    let client = server.client();
+
+    // Waves of simultaneous tickets until one batch grows past the
+    // fan-out threshold and trips the scheduled shard panic (batches
+    // below it stay on the primary and cannot fan out).
+    let mut shard_lost = false;
+    for wave in 0..50 {
+        let tickets: Vec<_> = windows
+            .iter()
+            .map(|w| client.submit(w.clone()).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(
+                ticket.wait().unwrap(),
+                expected[i],
+                "wave {wave}, window {i}"
+            );
+        }
+        if !monitor.healthy()[1] {
+            shard_lost = true;
+            break;
+        }
+    }
+    assert!(
+        shard_lost,
+        "no wave ever fanned out across the shards; fault never fired"
+    );
+
+    // Degraded mode keeps serving bit-exactly.
+    for (i, w) in windows.iter().enumerate().take(4) {
+        assert_eq!(client.classify(w).unwrap(), expected[i]);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.shard_healthy, vec![true, false]);
+    assert!(stats.retried_batches >= 1, "{:?}", stats.retried_batches);
+    assert_eq!(stats.contained_panics, 0, "the backend contained it");
+}

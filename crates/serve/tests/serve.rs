@@ -67,6 +67,7 @@ fn served_verdicts_are_bit_identical_to_direct_classification() {
                 max_batch: 16,
                 max_delay: Duration::from_millis(2),
                 queue_depth: 64,
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -113,6 +114,7 @@ fn queued_requests_coalesce_into_batches() {
             max_batch: 32,
             max_delay: Duration::from_millis(200),
             queue_depth: 64,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -150,6 +152,7 @@ fn overload_surfaces_as_try_submit_rejection() {
             max_batch: 1,
             max_delay: Duration::ZERO,
             queue_depth: 1,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -195,6 +198,7 @@ fn shutdown_drains_outstanding_tickets() {
             max_batch: 8,
             max_delay: Duration::from_millis(50),
             queue_depth: 64,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -238,6 +242,7 @@ fn per_request_errors_do_not_poison_the_batch() {
             max_batch: 8,
             max_delay: Duration::from_millis(100),
             queue_depth: 64,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -300,6 +305,7 @@ fn ticket_wait_timeout_behaves() {
             max_batch: 4,
             max_delay: Duration::from_millis(1),
             queue_depth: 8,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -376,6 +382,7 @@ fn sharded_sessions_serve_bit_identical_with_per_shard_stats() {
                 max_batch: 16,
                 max_delay: Duration::from_millis(2),
                 queue_depth: 64,
+                ..ServeConfig::default()
             },
         )
         .unwrap()

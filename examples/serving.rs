@@ -43,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_batch: 64,
         max_delay: Duration::from_micros(200),
         queue_depth: 1024,
+        ..ServeConfig::default()
     };
     let server = Server::from_training(trainer, serve_config)?;
     println!(
