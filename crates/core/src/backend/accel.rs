@@ -25,7 +25,9 @@
 use crate::pipeline::AccelChain;
 use crate::platform::Platform;
 
-use super::{BackendError, BackendSession, CycleBreakdown, ExecutionBackend, HdModel, Verdict};
+use super::{
+    BackendError, BackendSession, CycleBreakdown, ExecutionBackend, HdModel, Verdict, VerdictSource,
+};
 
 /// The cycle-accurate simulated-platform backend.
 ///
@@ -94,6 +96,7 @@ impl BackendSession for AccelSession {
                 map_encode: run.cycles_map_encode,
                 am: run.cycles_am,
             }),
+            source: VerdictSource::Scan,
         })
     }
 }

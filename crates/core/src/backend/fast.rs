@@ -47,6 +47,31 @@
 //! lower-bound distance semantics documented at
 //! [`hdc::hv64::scan_pruned_into`].
 //!
+//! **Scan-policy crossover.** Pruning only pays when there is work to
+//! skip *and* the skipped work outweighs the per-block bookkeeping: at
+//! batch 256 on the 5-class EMG model the bench records `fast-pruned`
+//! at ~0.85× `fast` (the `"pruned_cliff"` guard in
+//! `BENCH_throughput.json`), and with one prototype there is nothing to
+//! prune at all — so sessions whose associative memory holds **≤ 1
+//! prototype silently run [`ScanPolicy::Full`]** whatever was
+//! requested. This matters for class-sharded serving: a
+//! [`ShardedBackend`](super::ShardedBackend) sliced down to one class
+//! per shard would otherwise pay the pruned scan's bookkeeping on every
+//! shard with zero skippable work. Reach for `Pruned` in
+//! latency-sensitive single-window regimes with many classes; large
+//! batches and tiny associative memories belong on `Full`.
+//!
+//! On top of the exact scan sits the **approximate inference ladder**,
+//! [`ApproxPolicy`]: threshold early-termination
+//! ([`ApproxPolicy::Threshold`], accept the first prototype provably
+//! within τ·D via [`hdc::hv64::scan_threshold_into`]), a
+//! query-similarity cache ([`ApproxPolicy::Cached`], replay the scan
+//! of an identical recent query), and their composition. Approximate
+//! verdicts carry their provenance in [`Verdict::source`] and are
+//! checked by accuracy tests (`crates/core/tests/approx_accuracy.rs`)
+//! instead of bit-equivalence; the default [`ApproxPolicy::Exact`]
+//! stays bit-identical to golden.
+//!
 //! `crates/bench/benches/throughput.rs` measures all of it and records
 //! the numbers in `BENCH_throughput.json`.
 
@@ -55,7 +80,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 
-use hdc::hv64::{scan_pruned_into, BitslicedBundler, CounterBundler, Hv64};
+use hdc::hv64::{scan_pruned_into, scan_threshold_into, BitslicedBundler, CounterBundler, Hv64};
 use hdc::item_memory::quantize_code;
 use hdc::rng::{derive_seed, Xoshiro256PlusPlus};
 use hdc::BinaryHv;
@@ -65,7 +90,7 @@ use super::pool::{
 };
 use super::{
     argmin, validate_label, validate_window, BackendError, BackendSession, ExecutionBackend,
-    HdModel, TrainSpec, TrainableBackend, TrainingSession, Verdict,
+    HdModel, TrainSpec, TrainableBackend, TrainingSession, Verdict, VerdictSource,
 };
 
 /// Fewest windows a batch participant (the calling thread or a pool
@@ -100,6 +125,250 @@ pub enum ScanPolicy {
     Pruned,
 }
 
+/// The approximate-inference ladder of the [`FastBackend`]: how much
+/// exactness to trade for scan throughput (see the [module
+/// docs](self)).
+///
+/// The rungs compose — [`CachedThreshold`](Self::CachedThreshold) runs
+/// the cache in front of the threshold scan — and every non-`Exact`
+/// rung marks its verdicts' [`Verdict::source`], so a pipeline can
+/// audit exactly which shortcuts fired. Accuracy (not bit-equivalence)
+/// is the correctness contract for the approximate rungs, pinned by
+/// `crates/core/tests/approx_accuracy.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ApproxPolicy {
+    /// No approximation: verdicts bit-identical to the exact scan
+    /// (and, under [`ScanPolicy::Full`], to the golden backend).
+    #[default]
+    Exact,
+    /// Threshold early-termination: accept the first prototype whose
+    /// Hamming distance is provably at most `tau × D` (`D` = the model
+    /// dimension in bits) and skip the remaining classes. Queries that
+    /// land close to their class prototype — the common case on
+    /// clustered sensor data — finish after a fraction of the
+    /// associative memory; queries near no prototype degrade to the
+    /// exact pruned scan and return the true arg-min.
+    Threshold {
+        /// Acceptance radius as a fraction of the dimension, in
+        /// `(0, 1)`. Random hypervectors sit at ~0.5·D from each other,
+        /// so useful values live well below that (τ ≈ 0.2–0.3 on the
+        /// EMG workload).
+        tau: f32,
+    },
+    /// Query-similarity cache: a per-participant fixed-capacity LRU
+    /// keyed on a cheap signature of the encoded query. A hit requires
+    /// the cached query to match the new one **word for word** (the
+    /// signature is only a filter), so replayed verdicts are exactly
+    /// what the scan would have produced — the accuracy cost is zero;
+    /// the win is skipping the AM scan for repeated windows, which
+    /// streaming sensor data produces constantly.
+    Cached {
+        /// Entries per participant (calling thread and each pool
+        /// worker hold a private cache; must be ≥ 1). Each entry owns
+        /// one packed query plus one distances vector.
+        capacity: usize,
+    },
+    /// Both rungs: the cache short-circuits repeated queries, the
+    /// threshold scan accelerates the misses.
+    CachedThreshold {
+        /// As in [`Threshold`](Self::Threshold).
+        tau: f32,
+        /// As in [`Cached`](Self::Cached).
+        capacity: usize,
+    },
+}
+
+impl ApproxPolicy {
+    /// The acceptance fraction, when threshold early-termination is
+    /// enabled.
+    #[must_use]
+    pub fn tau(&self) -> Option<f32> {
+        match *self {
+            Self::Threshold { tau } | Self::CachedThreshold { tau, .. } => Some(tau),
+            Self::Exact | Self::Cached { .. } => None,
+        }
+    }
+
+    /// The per-participant cache capacity, when caching is enabled.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        match *self {
+            Self::Cached { capacity } | Self::CachedThreshold { capacity, .. } => Some(capacity),
+            Self::Exact | Self::Threshold { .. } => None,
+        }
+    }
+
+    /// Whether this is the exact (bit-identical) default.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Self::Exact)
+    }
+
+    /// Rejects malformed knobs with [`BackendError::Config`] — called
+    /// at `prepare` time, before any model work.
+    fn validate(&self) -> Result<(), BackendError> {
+        if let Some(tau) = self.tau() {
+            if !tau.is_finite() || tau <= 0.0 || tau >= 1.0 {
+                return Err(BackendError::Config(format!(
+                    "approximate scan threshold tau must be a finite fraction in (0, 1), got {tau}"
+                )));
+            }
+        }
+        if let Some(capacity) = self.capacity() {
+            if capacity == 0 {
+                return Err(BackendError::Config(
+                    "query cache capacity must be at least 1 entry".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared hit/miss/evict counters of a session's query caches. Every
+/// participant's private cache ticks the same counters, so the monitor
+/// sees the session-wide totals.
+#[derive(Debug, Default)]
+struct ApproxCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A cloneable, read-only handle onto a session's query-cache counters
+/// (hits / misses / evictions), obtained from
+/// [`BackendSession::approx_monitor`] and safe to poll from any thread
+/// while the session serves — the serving front-end surfaces these
+/// through `ServerStats`.
+#[derive(Debug, Clone)]
+pub struct ApproxMonitor {
+    counters: Arc<ApproxCounters>,
+}
+
+impl ApproxMonitor {
+    /// Windows answered straight from a query cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    /// Windows that went through to the AM scan (and were then cached).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cache entries displaced to make room for a newer query.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.counters.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// A cheap 64-bit signature of a packed query hypervector: four sampled
+/// words — first, the two thirds, and **always the last word**, so an
+/// odd-`n_words32` tail participates — plus the total popcount bucketed
+/// to 64 bits, mixed through SplitMix64 finalizers.
+///
+/// The signature is a *filter*, not an identity: a cache lookup that
+/// matches on signature still compares the full query word-for-word
+/// before replaying a verdict, so collisions cost one extra compare and
+/// never a wrong answer.
+fn query_signature(words: &[u64]) -> u64 {
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let n = words.len();
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    for idx in [0, n / 3, (2 * n) / 3, n - 1] {
+        h = mix(h ^ words[idx]);
+    }
+    let pop: u32 = words.iter().map(|w| w.count_ones()).sum();
+    mix(h ^ u64::from(pop / 64))
+}
+
+/// One cached scan result: the full packed query (the ground truth a
+/// hit must match word-for-word), its signature (the cheap pre-filter),
+/// and the verdict data to replay.
+struct CacheEntry {
+    sig: u64,
+    query: Box<[u64]>,
+    class: usize,
+    distances: Vec<u32>,
+    /// Logical timestamp of the last hit or insertion (LRU order).
+    stamp: u64,
+}
+
+/// A fixed-capacity, per-participant LRU cache of scan results, keyed
+/// by [`query_signature`] and verified by full word comparison. Private
+/// to one thread (no locks on the hot path); only the shared telemetry
+/// counters are atomic.
+///
+/// Capacities are serving-cache sized (tens of entries), so lookup is a
+/// linear signature sweep over a flat `Vec` — cheaper than any hashed
+/// structure at this size and free of per-hit allocation.
+struct QueryCache {
+    entries: Vec<CacheEntry>,
+    capacity: usize,
+    clock: u64,
+    counters: Arc<ApproxCounters>,
+}
+
+impl QueryCache {
+    fn new(capacity: usize, counters: Arc<ApproxCounters>) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            counters,
+        }
+    }
+
+    /// Replays the cached class and distances for `words`, if an entry
+    /// holds this exact query. Counts the hit or miss either way.
+    fn lookup(&mut self, sig: u64, words: &[u64]) -> Option<(usize, Vec<u32>)> {
+        self.clock += 1;
+        for entry in &mut self.entries {
+            // Signature first (one compare), full query only on a
+            // signature match — see `query_signature`.
+            if entry.sig == sig && *entry.query == *words {
+                entry.stamp = self.clock;
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Some((entry.class, entry.distances.clone()));
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Records a freshly scanned verdict, evicting the least recently
+    /// used entry at capacity.
+    fn insert(&mut self, sig: u64, words: &[u64], class: usize, distances: Vec<u32>) {
+        self.clock += 1;
+        if self.entries.len() == self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1, so a full cache has entries");
+            self.entries.swap_remove(oldest);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.entries.push(CacheEntry {
+            sig,
+            query: words.into(),
+            class,
+            distances,
+            stamp: self.clock,
+        });
+    }
+}
+
 /// The `u64`-packed multi-threaded host backend.
 ///
 /// The thread count is the **requested parallelism cap** for
@@ -113,6 +382,7 @@ pub enum ScanPolicy {
 pub struct FastBackend {
     threads: usize,
     scan: ScanPolicy,
+    approx: ApproxPolicy,
     /// Pool workers contain job panics behind `catch_unwind` (on by
     /// default; the bench's overhead guard is the only caller that
     /// turns it off).
@@ -120,14 +390,15 @@ pub struct FastBackend {
 }
 
 impl FastBackend {
-    /// A backend using all available CPU parallelism for batches and the
-    /// exact [`ScanPolicy::Full`] AM scan.
+    /// A backend using all available CPU parallelism for batches, the
+    /// exact [`ScanPolicy::Full`] AM scan, and no approximation.
     #[must_use]
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         Self {
             threads,
             scan: ScanPolicy::Full,
+            approx: ApproxPolicy::Exact,
             containment: true,
         }
     }
@@ -164,6 +435,7 @@ impl FastBackend {
         Ok(Self {
             threads,
             scan: ScanPolicy::Full,
+            approx: ApproxPolicy::Exact,
             containment: true,
         })
     }
@@ -172,6 +444,17 @@ impl FastBackend {
     #[must_use]
     pub fn with_scan(mut self, scan: ScanPolicy) -> Self {
         self.scan = scan;
+        self
+    }
+
+    /// Returns this backend with the given approximation policy. The
+    /// knobs are validated at [`prepare`](ExecutionBackend::prepare)
+    /// time ([`BackendError::Config`] on a τ outside `(0, 1)` or a
+    /// zero cache capacity), matching the `Result`-based contract
+    /// there.
+    #[must_use]
+    pub fn with_approx(mut self, approx: ApproxPolicy) -> Self {
+        self.approx = approx;
         self
     }
 
@@ -201,6 +484,12 @@ impl FastBackend {
         self.scan
     }
 
+    /// The configured approximation policy.
+    #[must_use]
+    pub fn approx(&self) -> ApproxPolicy {
+        self.approx
+    }
+
     /// [`prepare`](ExecutionBackend::prepare) with an explicit
     /// participant count (callers + pool workers), bypassing the
     /// `available_parallelism` clamp — the testable core of session
@@ -210,13 +499,25 @@ impl FastBackend {
         model: &HdModel,
         participants: usize,
     ) -> Result<FastSession, BackendError> {
+        self.approx.validate()?;
         let enc = EncodeCore::from_parts(model.im(), model.cim(), model.ngram());
         let prototypes: Vec<Hv64> = model.prototypes().iter().map(Hv64::from_binary).collect();
         let n_words32 = enc.n_words32;
+        // The τ fraction resolves to an absolute bit radius here, once.
+        let accept = self.approx.tau().map(|tau| {
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+            #[allow(clippy::cast_sign_loss)]
+            let radius = (tau * (n_words32 * 32) as f32) as u32;
+            radius
+        });
+        let counters = Arc::new(ApproxCounters::default());
         let core = Arc::new(FastCore {
             enc,
             prototypes,
             scan: self.scan,
+            accept,
+            cache_capacity: self.approx.capacity(),
+            counters,
         });
         let caught = Arc::new(AtomicU64::new(0));
         let pool = {
@@ -227,6 +528,7 @@ impl FastBackend {
                 let core = Arc::clone(core);
                 let caught = Arc::clone(caught);
                 let mut scratch = EncodeScratch::new(core.enc.n_words32);
+                let mut cache = core.new_cache();
                 move |job: ClassifyJob| {
                     let ClassifyJob {
                         windows,
@@ -234,27 +536,28 @@ impl FastBackend {
                         chunk,
                         done,
                     } = job;
-                    let run = |scratch: &mut EncodeScratch| {
+                    let run = |scratch: &mut EncodeScratch, cache: &mut Option<QueryCache>| {
                         // SAFETY: see `RawWindows` — the batch outlives
                         // the job because the dispatcher waits for our
                         // `done` message before returning.
                         let windows = unsafe { windows.slice() };
                         windows[range.clone()]
                             .iter()
-                            .map(|w| core.classify_with(w, scratch))
+                            .map(|w| core.classify_with(w, scratch, cache))
                             .collect::<Result<Vec<_>, _>>()
                     };
                     let result = if containment {
-                        contain(|| run(&mut scratch)).unwrap_or_else(|panic| {
-                            // The arena may hold torn state from the
-                            // unwound encode; respawn it, count the
-                            // loss, keep the worker alive.
+                        contain(|| run(&mut scratch, &mut cache)).unwrap_or_else(|panic| {
+                            // The arena (and cache) may hold torn state
+                            // from the unwound encode; respawn both,
+                            // count the loss, keep the worker alive.
                             scratch = EncodeScratch::new(core.enc.n_words32);
+                            cache = core.new_cache();
                             caught.fetch_add(1, Ordering::Relaxed);
                             Err(BackendError::WorkerLost { chunk, panic })
                         })
                     } else {
-                        run(&mut scratch)
+                        run(&mut scratch, &mut cache)
                     };
                     // A dropped receiver just means the dispatcher gave
                     // up on the batch; keep serving future jobs.
@@ -262,8 +565,14 @@ impl FastBackend {
                 }
             })
         };
+        let cache = core.new_cache();
+        let monitor = core.cache_capacity.map(|_| ApproxMonitor {
+            counters: Arc::clone(&core.counters),
+        });
         Ok(FastSession {
             scratch: EncodeScratch::new(n_words32),
+            cache,
+            monitor,
             core,
             pool,
             caught,
@@ -369,9 +678,14 @@ impl Default for FastBackend {
 
 impl ExecutionBackend for FastBackend {
     fn name(&self) -> &'static str {
-        match self.scan {
-            ScanPolicy::Full => "fast",
-            ScanPolicy::Pruned => "fast-pruned",
+        match self.approx {
+            ApproxPolicy::Exact => match self.scan {
+                ScanPolicy::Full => "fast",
+                ScanPolicy::Pruned => "fast-pruned",
+            },
+            ApproxPolicy::Threshold { .. } => "fast-threshold",
+            ApproxPolicy::Cached { .. } => "fast-cached",
+            ApproxPolicy::CachedThreshold { .. } => "fast-cached-threshold",
         }
     }
 
@@ -379,6 +693,18 @@ impl ExecutionBackend for FastBackend {
         let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         let session = self.prepare_with_participants(model, self.threads.min(cpus))?;
         Ok(Box::new(session))
+    }
+
+    /// Honors both knobs: the returned session scans with `scan` and
+    /// approximates per `approx`, whatever this descriptor was built
+    /// with.
+    fn prepare_tuned(
+        &self,
+        model: &HdModel,
+        scan: ScanPolicy,
+        approx: ApproxPolicy,
+    ) -> Result<Box<dyn BackendSession>, BackendError> {
+        self.with_scan(scan).with_approx(approx).prepare(model)
     }
 }
 
@@ -505,36 +831,103 @@ impl EncodeCore {
 }
 
 /// The immutable, shareable part of a serving session: the encoding
-/// tables plus the trained prototypes and scan policy.
+/// tables plus the trained prototypes and the resolved scan and
+/// approximation configuration.
 struct FastCore {
     enc: EncodeCore,
     prototypes: Vec<Hv64>,
     scan: ScanPolicy,
+    /// Threshold-scan acceptance radius in bits (τ·D, resolved at
+    /// prepare time); `None` disables threshold early-termination.
+    accept: Option<u32>,
+    /// Per-participant query-cache capacity; `None` disables caching.
+    cache_capacity: Option<usize>,
+    /// Session-wide cache telemetry, shared by every participant's
+    /// private cache.
+    counters: Arc<ApproxCounters>,
 }
 
 impl FastCore {
-    fn classify_with(
-        &self,
-        window: &[Vec<u16>],
-        scratch: &mut EncodeScratch,
-    ) -> Result<Verdict, BackendError> {
-        self.enc.encode_with(window, scratch)?;
-        let query = &scratch.query;
-        // AM search.
+    /// A fresh private query cache for one participant (`None` when the
+    /// policy does not cache). Workers respawn theirs after a contained
+    /// panic, exactly like their scratch arena.
+    fn new_cache(&self) -> Option<QueryCache> {
+        self.cache_capacity
+            .map(|capacity| QueryCache::new(capacity, Arc::clone(&self.counters)))
+    }
+
+    /// The associative-memory search on an already-encoded query.
+    fn scan_query(&self, query: &Hv64) -> Verdict {
         let mut distances = Vec::with_capacity(self.prototypes.len());
-        let class = match self.scan {
-            ScanPolicy::Full => {
-                distances.extend(self.prototypes.iter().map(|p| p.hamming(query)));
-                argmin(&distances)
-            }
-            ScanPolicy::Pruned => scan_pruned_into(&self.prototypes, query, &mut distances),
+        // With ≤ 1 prototype there is nothing to prune or skip: every
+        // policy degenerates to the full scan, and paying the pruned
+        // scan's bookkeeping would be pure loss (the class-sharded
+        // one-class-per-shard case — see the module docs).
+        let effective = if self.prototypes.len() <= 1 {
+            ScanPolicy::Full
+        } else {
+            self.scan
         };
-        Ok(Verdict {
+        let (class, source) = match self.accept {
+            Some(accept) if self.prototypes.len() > 1 => {
+                // The threshold scan embeds the exact pruning rule for
+                // prototypes it cannot accept, so `ScanPolicy` has no
+                // further work to do on this arm.
+                let (class, accepted) =
+                    scan_threshold_into(&self.prototypes, query, accept, &mut distances);
+                let source = if accepted {
+                    VerdictSource::EarlyAccept
+                } else {
+                    VerdictSource::Scan
+                };
+                (class, source)
+            }
+            _ => match effective {
+                ScanPolicy::Full => {
+                    distances.extend(self.prototypes.iter().map(|p| p.hamming(query)));
+                    (argmin(&distances), VerdictSource::Scan)
+                }
+                ScanPolicy::Pruned => (
+                    scan_pruned_into(&self.prototypes, query, &mut distances),
+                    VerdictSource::Scan,
+                ),
+            },
+        };
+        Verdict {
             class,
             distances,
             query: query.to_binary(),
             cycles: None,
-        })
+            source,
+        }
+    }
+
+    fn classify_with(
+        &self,
+        window: &[Vec<u16>],
+        scratch: &mut EncodeScratch,
+        cache: &mut Option<QueryCache>,
+    ) -> Result<Verdict, BackendError> {
+        self.enc.encode_with(window, scratch)?;
+        let query = &scratch.query;
+        let Some(cache) = cache.as_mut() else {
+            return Ok(self.scan_query(query));
+        };
+        // Cache rung: signature filter, word-exact verification, replay
+        // on a hit; scan-and-remember on a miss.
+        let sig = query_signature(query.words());
+        if let Some((class, distances)) = cache.lookup(sig, query.words()) {
+            return Ok(Verdict {
+                class,
+                distances,
+                query: query.to_binary(),
+                cycles: None,
+                source: VerdictSource::CacheHit,
+            });
+        }
+        let verdict = self.scan_query(query);
+        cache.insert(sig, query.words(), verdict.class, verdict.distances.clone());
+        Ok(verdict)
     }
 }
 
@@ -569,6 +962,12 @@ struct FastSession {
     core: Arc<FastCore>,
     /// Arena for single-window calls and inline (non-fanned) batches.
     scratch: EncodeScratch,
+    /// The calling thread's private query cache (`None` unless the
+    /// approximation policy caches); pool workers own their own.
+    cache: Option<QueryCache>,
+    /// Handle onto the session-wide cache counters, cloned out through
+    /// [`BackendSession::approx_monitor`].
+    monitor: Option<ApproxMonitor>,
     pool: WorkerPool<ClassifyJob>,
     /// Worker panics contained so far (telemetry; each one also surfaced
     /// as a [`BackendError::WorkerLost`] to the affected batch).
@@ -605,7 +1004,10 @@ impl FastSession {
         out.reserve(windows.len());
         if fan_out <= 1 {
             for w in windows {
-                out.push(self.core.classify_with(w, &mut self.scratch)?);
+                out.push(
+                    self.core
+                        .classify_with(w, &mut self.scratch, &mut self.cache)?,
+                );
             }
             return Ok(());
         }
@@ -649,7 +1051,10 @@ impl FastSession {
         // The calling thread is participant 0, on its warm arena,
         // writing chunk 0 straight into the output buffer.
         let first: Result<(), BackendError> = windows[..chunk].iter().try_for_each(|w| {
-            out.push(self.core.classify_with(w, &mut self.scratch)?);
+            out.push(
+                self.core
+                    .classify_with(w, &mut self.scratch, &mut self.cache)?,
+            );
             Ok(())
         });
         let mut parts: Vec<Option<Result<Vec<Verdict>, BackendError>>> =
@@ -658,7 +1063,10 @@ impl FastSession {
             parts[idx - 1] = Some(
                 windows[range]
                     .iter()
-                    .map(|w| self.core.classify_with(w, &mut self.scratch))
+                    .map(|w| {
+                        self.core
+                            .classify_with(w, &mut self.scratch, &mut self.cache)
+                    })
                     .collect(),
             );
         }
@@ -690,7 +1098,8 @@ impl FastSession {
 
 impl BackendSession for FastSession {
     fn classify(&mut self, window: &[Vec<u16>]) -> Result<Verdict, BackendError> {
-        self.core.classify_with(window, &mut self.scratch)
+        self.core
+            .classify_with(window, &mut self.scratch, &mut self.cache)
     }
 
     fn classify_batch(&mut self, windows: &[Vec<Vec<u16>>]) -> Result<Vec<Verdict>, BackendError> {
@@ -716,6 +1125,10 @@ impl BackendSession for FastSession {
             out.truncate(start);
         }
         result
+    }
+
+    fn approx_monitor(&self) -> Option<ApproxMonitor> {
+        self.monitor.clone()
     }
 }
 
@@ -945,6 +1358,7 @@ impl TrainingSession for FastTrainingSession {
             distances,
             query: query.to_binary(),
             cycles: None,
+            source: VerdictSource::Scan,
         };
         // Incremental adaptation: one sideways addition + one vectorized
         // re-threshold of this class only.
@@ -1872,5 +2286,298 @@ mod tests {
             "fast-pruned"
         );
         assert_eq!(FastBackend::new().scan(), ScanPolicy::Full);
+        assert_eq!(FastBackend::new().approx(), ApproxPolicy::Exact);
+        assert_eq!(
+            FastBackend::new()
+                .with_approx(ApproxPolicy::Threshold { tau: 0.25 })
+                .name(),
+            "fast-threshold"
+        );
+        assert_eq!(
+            FastBackend::new()
+                .with_approx(ApproxPolicy::Cached { capacity: 8 })
+                .name(),
+            "fast-cached"
+        );
+        assert_eq!(
+            FastBackend::new()
+                .with_scan(ScanPolicy::Pruned)
+                .with_approx(ApproxPolicy::CachedThreshold {
+                    tau: 0.25,
+                    capacity: 8,
+                })
+                .name(),
+            "fast-cached-threshold"
+        );
+    }
+
+    #[test]
+    fn approx_knobs_are_validated_at_prepare_time() {
+        let params = AccelParams {
+            n_words: 4,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 3);
+        for bad in [
+            ApproxPolicy::Threshold { tau: 0.0 },
+            ApproxPolicy::Threshold { tau: 1.0 },
+            ApproxPolicy::Threshold { tau: -0.5 },
+            ApproxPolicy::Threshold { tau: f32::NAN },
+            ApproxPolicy::Threshold { tau: f32::INFINITY },
+            ApproxPolicy::Cached { capacity: 0 },
+            ApproxPolicy::CachedThreshold {
+                tau: 0.25,
+                capacity: 0,
+            },
+            ApproxPolicy::CachedThreshold {
+                tau: 2.0,
+                capacity: 4,
+            },
+        ] {
+            assert!(
+                matches!(
+                    FastBackend::with_threads(1)
+                        .with_approx(bad)
+                        .prepare(&model),
+                    Err(BackendError::Config(_))
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    /// `prepare_tuned` honors both knobs on the fast backend and the
+    /// default implementation refuses non-exact requests.
+    #[test]
+    fn prepare_tuned_honors_knobs_and_default_rejects() {
+        let params = AccelParams {
+            n_words: 4,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 7);
+        let windows = random_windows(&params, 3, 2, 11);
+        let mut exact = FastBackend::with_threads(1)
+            .prepare_tuned(&model, ScanPolicy::Full, ApproxPolicy::Exact)
+            .unwrap();
+        let mut tuned = FastBackend::with_threads(1)
+            .prepare_tuned(
+                &model,
+                ScanPolicy::Full,
+                ApproxPolicy::Cached { capacity: 4 },
+            )
+            .unwrap();
+        for w in &windows {
+            assert_eq!(
+                exact.classify(w).unwrap().class,
+                tuned.classify(w).unwrap().class
+            );
+        }
+        assert!(tuned.approx_monitor().is_some());
+        assert!(exact.approx_monitor().is_none());
+        // The provided default (here: golden) only does exact.
+        use crate::backend::GoldenBackend;
+        assert!(GoldenBackend
+            .prepare_tuned(&model, ScanPolicy::Full, ApproxPolicy::Exact)
+            .is_ok());
+        assert!(matches!(
+            GoldenBackend.prepare_tuned(
+                &model,
+                ScanPolicy::Full,
+                ApproxPolicy::Threshold { tau: 0.2 }
+            ),
+            Err(BackendError::Config(_))
+        ));
+        assert!(matches!(
+            GoldenBackend.prepare_tuned(&model, ScanPolicy::Pruned, ApproxPolicy::Exact),
+            Err(BackendError::Config(_))
+        ));
+    }
+
+    /// A repeated window is answered from the cache (source says so,
+    /// counters tick) and the replayed verdict equals the scanned one
+    /// apart from provenance.
+    #[test]
+    fn query_cache_replays_identical_verdicts_and_counts() {
+        let params = AccelParams {
+            n_words: 9,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 13);
+        let mut session = FastBackend::with_threads(1)
+            .with_approx(ApproxPolicy::Cached { capacity: 4 })
+            .prepare(&model)
+            .unwrap();
+        let monitor = session.approx_monitor().unwrap();
+        let windows = random_windows(&params, 3, 2, 17);
+        let first = session.classify(&windows[0]).unwrap();
+        assert_eq!(first.source, VerdictSource::Scan);
+        let replay = session.classify(&windows[0]).unwrap();
+        assert_eq!(replay.source, VerdictSource::CacheHit);
+        assert_eq!(replay.class, first.class);
+        assert_eq!(replay.distances, first.distances);
+        assert_eq!(replay.query, first.query);
+        let other = session.classify(&windows[1]).unwrap();
+        assert_eq!(other.source, VerdictSource::Scan);
+        assert_eq!(monitor.hits(), 1);
+        assert_eq!(monitor.misses(), 2);
+        assert_eq!(monitor.evictions(), 0);
+    }
+
+    /// Filling the cache past capacity evicts the least recently used
+    /// entry: the evicted window re-scans, a recently touched one still
+    /// replays.
+    #[test]
+    fn query_cache_evicts_least_recently_used() {
+        let params = AccelParams {
+            n_words: 5,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 19);
+        let mut session = FastBackend::with_threads(1)
+            .with_approx(ApproxPolicy::Cached { capacity: 2 })
+            .prepare(&model)
+            .unwrap();
+        let monitor = session.approx_monitor().unwrap();
+        let windows = random_windows(&params, 3, 3, 23);
+        session.classify(&windows[0]).unwrap(); // miss, cache [0]
+        session.classify(&windows[1]).unwrap(); // miss, cache [0, 1]
+        session.classify(&windows[0]).unwrap(); // hit, 0 is now newest
+        session.classify(&windows[2]).unwrap(); // miss, evicts LRU = 1
+        assert_eq!(monitor.evictions(), 1);
+        assert_eq!(
+            session.classify(&windows[0]).unwrap().source,
+            VerdictSource::CacheHit,
+            "recently used entry survived the eviction"
+        );
+        assert_eq!(
+            session.classify(&windows[1]).unwrap().source,
+            VerdictSource::Scan,
+            "least recently used entry was evicted"
+        );
+    }
+
+    /// Adversarial collision: two different queries engineered onto the
+    /// same signature (compensated bit flips in non-sampled words keep
+    /// the sampled words and the popcount bucket identical) must never
+    /// replay each other's verdicts — the full word compare decides.
+    #[test]
+    fn query_cache_rejects_signature_collisions() {
+        // 8 u64 words → sampled indices 0, 2, 5, 7; words 1 and 3 are
+        // free. Flip one bit on in word 1 and one bit off in word 3:
+        // same popcount, same sampled words, same signature.
+        let a: Vec<u64> = (0..8).map(|i| 0x0123_4567_89ab_cdefu64 ^ i).collect();
+        let mut b = a.clone();
+        assert_eq!(b[1] & (1 << 4), 0);
+        b[1] |= 1 << 4;
+        assert_ne!(b[3] & (1 << 5), 0);
+        b[3] &= !(1 << 5);
+        assert_ne!(a, b);
+        assert_eq!(
+            query_signature(&a),
+            query_signature(&b),
+            "the collision must be real for this test to bite"
+        );
+        let counters = Arc::new(ApproxCounters::default());
+        let mut cache = QueryCache::new(4, Arc::clone(&counters));
+        let sig = query_signature(&a);
+        cache.insert(sig, &a, 3, vec![9, 8, 7, 0]);
+        assert!(
+            cache.lookup(query_signature(&b), &b).is_none(),
+            "a colliding but different query must miss"
+        );
+        assert_eq!(
+            cache.lookup(sig, &a),
+            Some((3, vec![9, 8, 7, 0])),
+            "the original query still hits"
+        );
+        assert_eq!(counters.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.misses.load(Ordering::Relaxed), 1);
+    }
+
+    /// The signature must depend on the final word — where an odd
+    /// `n_words32` keeps its 32-bit tail — at every width, including
+    /// widths whose sampled indices collide (n = 1, 2, 3).
+    #[test]
+    fn query_signature_includes_the_tail_word() {
+        for n in [1usize, 2, 3, 4, 7, 8, 157] {
+            let a: Vec<u64> = (0..n as u64).map(|i| 0x5555_5555_5555_5555 ^ i).collect();
+            let mut b = a.clone();
+            // Flip a bit that lives in the valid low 32 bits of the
+            // tail word (the only populated half when n_words32 is
+            // odd).
+            b[n - 1] ^= 1 << 7;
+            assert_ne!(
+                query_signature(&a),
+                query_signature(&b),
+                "width {n}: tail word must participate in the signature"
+            );
+        }
+    }
+
+    /// A caching session replays *correct* verdicts under both SIMD
+    /// levels: identical to an exact session's output apart from the
+    /// provenance field, across a stream with repeats.
+    #[test]
+    fn cached_sessions_stay_correct_under_both_simd_levels() {
+        use hdc::simd::Simd;
+        let params = AccelParams {
+            n_words: 9, // odd: the packed tail word is half-populated
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 37);
+        let windows = random_windows(&params, 3, 6, 41);
+        // A stream with heavy repetition, crossing the capacity.
+        let stream: Vec<usize> = vec![0, 1, 2, 0, 1, 3, 4, 0, 5, 2, 2, 0];
+        let detected = Simd::detect();
+        let mut levels = vec![Simd::Portable];
+        if detected != Simd::Portable {
+            levels.push(detected);
+        }
+        for level in levels {
+            Simd::set_active(level);
+            let mut exact = FastBackend::with_threads(1).prepare(&model).unwrap();
+            let mut cached = FastBackend::with_threads(1)
+                .with_approx(ApproxPolicy::Cached { capacity: 3 })
+                .prepare(&model)
+                .unwrap();
+            for &i in &stream {
+                let e = exact.classify(&windows[i]).unwrap();
+                let c = cached.classify(&windows[i]).unwrap();
+                assert_eq!(c.class, e.class, "{level:?} window {i}");
+                assert_eq!(c.distances, e.distances, "{level:?} window {i}");
+                assert_eq!(c.query, e.query, "{level:?} window {i}");
+            }
+            let monitor = cached.approx_monitor().unwrap();
+            assert!(monitor.hits() > 0, "{level:?}: the stream repeats");
+            assert!(monitor.evictions() > 0, "{level:?}: capacity 3 < 6 uniques");
+        }
+        Simd::set_active(Simd::detect());
+    }
+
+    /// One-prototype sessions silently fall back to the full scan: the
+    /// degenerate case where pruning (and threshold acceptance) have
+    /// nothing to skip — the class-sharded one-class-per-shard regime.
+    #[test]
+    fn single_prototype_sessions_scan_full_whatever_the_policy() {
+        let params = AccelParams {
+            n_words: 6,
+            classes: 1,
+            ..AccelParams::emg_default()
+        };
+        let model = HdModel::random(&params, 29);
+        let windows = random_windows(&params, 3, 3, 31);
+        let mut full = FastBackend::with_threads(1).prepare(&model).unwrap();
+        let expected: Vec<Verdict> = windows.iter().map(|w| full.classify(w).unwrap()).collect();
+        for backend in [
+            FastBackend::with_threads(1).with_scan(ScanPolicy::Pruned),
+            FastBackend::with_threads(1).with_approx(ApproxPolicy::Threshold { tau: 0.4 }),
+        ] {
+            let mut session = backend.prepare(&model).unwrap();
+            for (w, e) in windows.iter().zip(&expected) {
+                let v = session.classify(w).unwrap();
+                assert_eq!(v, *e, "single-prototype scan must be exact and full");
+                assert_eq!(v.source, VerdictSource::Scan);
+            }
+        }
     }
 }

@@ -12,7 +12,7 @@ use hdc::{AssociativeMemory, BinaryHv};
 
 use super::{
     argmin, validate_label, validate_window, BackendError, BackendSession, ExecutionBackend,
-    HdModel, TrainSpec, TrainableBackend, TrainingSession, Verdict,
+    HdModel, TrainSpec, TrainableBackend, TrainingSession, Verdict, VerdictSource,
 };
 
 /// The scalar golden-model backend (zero-configuration).
@@ -71,6 +71,7 @@ impl BackendSession for GoldenSession {
             distances,
             query,
             cycles: None,
+            source: VerdictSource::Scan,
         })
     }
 }
@@ -108,6 +109,7 @@ impl TrainingSession for GoldenTrainingSession {
             distances: before.distances().to_vec(),
             query,
             cycles: None,
+            source: VerdictSource::Scan,
         })
     }
 

@@ -94,7 +94,7 @@ mod pool;
 pub mod sharded;
 
 pub use accel::AccelBackend;
-pub use fast::{FastBackend, ScanPolicy};
+pub use fast::{ApproxMonitor, ApproxPolicy, FastBackend, ScanPolicy};
 pub use fault::{FaultBackend, FaultKind, FaultPlan};
 pub use golden::GoldenBackend;
 pub use sharded::{ShardMonitor, ShardSpec, ShardedBackend, ShardedSession};
@@ -423,6 +423,31 @@ pub struct CycleBreakdown {
     pub am: u64,
 }
 
+/// How a [`Verdict`] was produced — exact scan, or one of the
+/// approximate shortcuts of [`ApproxPolicy`].
+///
+/// Every exact configuration reports [`Scan`](Self::Scan), so verdict
+/// equality against the golden backend (which only ever scans) is
+/// unaffected by this field. The approximate sources exist for
+/// telemetry: a serving stack can count how much work the approximate
+/// ladder actually skipped, per verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerdictSource {
+    /// The associative memory was scanned (fully or with the exact
+    /// early-exit pruning) and the class is the true arg-min.
+    #[default]
+    Scan,
+    /// The threshold scan of [`ApproxPolicy::Threshold`] accepted a
+    /// prototype within the confidence radius without scanning the
+    /// remaining classes; skipped classes hold [`u32::MAX`] in
+    /// `distances`.
+    EarlyAccept,
+    /// The query-similarity cache of [`ApproxPolicy::Cached`] matched
+    /// the encoded query exactly; `class` and `distances` are replayed
+    /// from the cached scan of the identical query.
+    CacheHit,
+}
+
 /// Result of one classification, uniform across backends.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Verdict {
@@ -435,13 +460,17 @@ pub struct Verdict {
     /// entry is always exact but non-winning entries may be the partial
     /// distance at which the early-exit scan abandoned the prototype —
     /// a lower bound on the true distance that still exceeds the
-    /// winning distance.
+    /// winning distance — and the approximate [`ApproxPolicy`] modes,
+    /// whose threshold scan additionally reports [`u32::MAX`] for
+    /// classes it never visited (see [`VerdictSource`]).
     pub distances: Vec<u32>,
     /// The query hypervector the window encoded to.
     pub query: BinaryHv,
     /// Cycle counts, when the backend simulates hardware time
     /// (`None` for host-native backends).
     pub cycles: Option<CycleBreakdown>,
+    /// Provenance: exact scan, threshold early-accept, or cache replay.
+    pub source: VerdictSource,
 }
 
 /// Errors raised while preparing a backend session or classifying.
@@ -548,6 +577,40 @@ pub trait ExecutionBackend {
     /// Returns [`BackendError`] if the model cannot be realized on this
     /// backend (shape limits, memory capacity, program generation).
     fn prepare(&self, model: &HdModel) -> Result<Box<dyn BackendSession>, BackendError>;
+
+    /// Loads `model` with an explicit scan and approximation
+    /// configuration — the seam the serving front-end uses to spawn
+    /// servers onto approximate sessions without hand-building them.
+    ///
+    /// The provided implementation supports only the exact default
+    /// (`ScanPolicy::Full` + `ApproxPolicy::Exact`, where it simply
+    /// delegates to [`prepare`](Self::prepare)) and rejects every other
+    /// combination with [`BackendError::Config`] naming the backend —
+    /// an honest failure instead of silently serving exact verdicts
+    /// under an approximate label. [`FastBackend`] overrides it to
+    /// honor both knobs; [`ShardedBackend`] needs no override because
+    /// the knobs belong on the inner backend it wraps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Config`] if this backend cannot honor
+    /// the requested policies, or whatever [`prepare`](Self::prepare)
+    /// returns.
+    fn prepare_tuned(
+        &self,
+        model: &HdModel,
+        scan: ScanPolicy,
+        approx: ApproxPolicy,
+    ) -> Result<Box<dyn BackendSession>, BackendError> {
+        if scan == ScanPolicy::Full && approx == ApproxPolicy::Exact {
+            return self.prepare(model);
+        }
+        Err(BackendError::Config(format!(
+            "backend '{}' supports only ScanPolicy::Full + ApproxPolicy::Exact \
+             (requested {scan:?} + {approx:?})",
+            self.name()
+        )))
+    }
 }
 
 /// A model loaded onto one substrate, ready to classify windows.
@@ -607,6 +670,18 @@ pub trait BackendSession: Send {
     ) -> Result<(), BackendError> {
         out.extend(self.classify_batch(windows)?);
         Ok(())
+    }
+
+    /// A cloneable handle onto this session's query-cache counters
+    /// (hits / misses / evictions), when the session runs a caching
+    /// [`ApproxPolicy`]. `None` — the default — means the session has
+    /// no cache and the counters would be forever zero.
+    ///
+    /// The serving front-end grabs this before moving the session onto
+    /// its batcher thread and surfaces the counters through
+    /// `ServerStats`, mirroring the [`ShardMonitor`] pattern.
+    fn approx_monitor(&self) -> Option<ApproxMonitor> {
+        None
     }
 }
 

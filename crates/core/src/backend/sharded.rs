@@ -63,7 +63,7 @@ use super::pool::{
 };
 use super::{
     BackendError, BackendSession, ExecutionBackend, HdModel, TrainSpec, TrainableBackend,
-    TrainingSession, Verdict,
+    TrainingSession, Verdict, VerdictSource,
 };
 
 /// How a [`ShardedBackend`] splits work across its inner sessions.
@@ -615,6 +615,9 @@ impl ShardedSession {
                 distances,
                 query: query.expect("shard 0 always reports"),
                 cycles: None,
+                // The merge is an exact cross-shard arg-min; inner
+                // shards of a class-sharded session are exact sessions.
+                source: VerdictSource::Scan,
             });
         }
         for shard in 0..shards {

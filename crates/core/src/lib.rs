@@ -16,6 +16,8 @@
 //! * [`pipeline`] — host loader, accelerated classification, golden-model
 //!   cross-check ([`pipeline::native_reference`]).
 //! * [`experiments`] — runners regenerating every table and figure.
+//! * [`tune`] — dimension auto-tuning: the smallest hypervector width
+//!   that still meets a holdout accuracy floor.
 //!
 //! ## Example
 //!
@@ -57,6 +59,7 @@ pub mod layout;
 pub mod pipeline;
 pub mod platform;
 pub mod svm_kernel;
+pub mod tune;
 
 pub use backend::{
     AccelBackend, BackendError, BackendSession, CycleBreakdown, ExecutionBackend, FastBackend,
@@ -67,3 +70,4 @@ pub use layout::{AccelParams, Layout, LayoutError, MemPolicy};
 pub use pipeline::{native_reference, AccelChain, ChainError, ChainRun};
 pub use platform::Platform;
 pub use svm_kernel::{SvmChain, SvmRun};
+pub use tune::{tune_dimension, TuneOutcome};

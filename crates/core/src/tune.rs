@@ -1,0 +1,311 @@
+//! Dimension auto-tuning: find the smallest hypervector width that
+//! still meets an accuracy floor.
+//!
+//! "A Theoretical Perspective on Hyperdimensional Computing" (Thomas et
+//! al.) bounds HD accuracy as a function of the dimension D, and every
+//! distance kernel in this workspace is word-count-linear — so halving
+//! D roughly doubles scan throughput. [`tune_dimension`] exploits that
+//! trade empirically: it walks a halving ladder downward from the
+//! caller's width, retrains a model per rung through the
+//! [`TrainableBackend`] seam, scores each candidate on a held-out
+//! split, and returns the smallest width whose holdout accuracy stays
+//! at or above the floor — together with the retrained [`HdModel`]
+//! ready for [`ExecutionBackend::prepare`].
+//!
+//! The sweep is greedy: it stops at the first rung that misses the
+//! floor (accuracy degrades monotonically with D up to noise, so the
+//! ladder rarely gives back more than one refinement step), and it
+//! never returns a model it did not measure.
+//!
+//! [`ExecutionBackend::prepare`]: crate::backend::ExecutionBackend::prepare
+
+use crate::backend::{BackendError, HdModel, TrainSpec, TrainableBackend};
+use crate::layout::AccelParams;
+
+/// Labelled windows: one window (`samples × channels` ADC codes) per
+/// label, index-aligned.
+pub type LabelledSplit<'a> = (&'a [Vec<Vec<u16>>], &'a [usize]);
+
+/// The result of a [`tune_dimension`] sweep.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    /// The selected width in canonical `u32` words — the smallest rung
+    /// of the halving ladder that met the accuracy floor.
+    pub n_words: usize,
+    /// Holdout accuracy of the selected model, in `[0, 1]`.
+    pub accuracy: f64,
+    /// The retrained model at the selected width.
+    pub model: HdModel,
+    /// Every `(n_words, accuracy)` pair the sweep measured, in
+    /// descending width order — the full trade curve, for reporting.
+    pub evaluated: Vec<(usize, f64)>,
+}
+
+/// Sweeps `n_words` down a halving ladder from `params.n_words`,
+/// retraining on `train` and scoring on `holdout` at each rung, and
+/// returns the smallest width whose holdout accuracy is at least
+/// `floor`.
+///
+/// The first rung is `params.n_words` itself — if even the full width
+/// misses the floor there is nothing to tune and the sweep fails
+/// honestly rather than returning a model below spec. Each rung's model
+/// is trained from scratch via [`TrainSpec::random`] (seeded by `seed`,
+/// so the sweep is deterministic) and scored with the backend's own
+/// batched classification.
+///
+/// # Errors
+///
+/// * [`BackendError::Config`] if `floor` is not within `[0, 1]`, a
+///   split is empty or misaligned with its labels, or the base width
+///   already misses the floor.
+/// * Any training or classification error from the backend.
+///
+/// # Examples
+///
+/// ```
+/// use pulp_hd_core::backend::FastBackend;
+/// use pulp_hd_core::layout::AccelParams;
+/// use pulp_hd_core::tune::tune_dimension;
+///
+/// // A tiny synthetic task: per-class constant windows, trivially
+/// // separable even at small D.
+/// let params = AccelParams { n_words: 32, ..AccelParams::emg_default() };
+/// let windows: Vec<Vec<Vec<u16>>> = (0..10)
+///     .map(|i| vec![vec![(i % 5 * 13000) as u16; params.channels]; 3])
+///     .collect();
+/// let labels: Vec<usize> = (0..10).map(|i| i % 5).collect();
+/// let outcome = tune_dimension(
+///     &FastBackend::with_threads(1),
+///     &params,
+///     7,
+///     (&windows, &labels),
+///     (&windows, &labels),
+///     0.9,
+/// )?;
+/// assert!(outcome.n_words <= params.n_words);
+/// assert!(outcome.accuracy >= 0.9);
+/// # Ok::<(), pulp_hd_core::backend::BackendError>(())
+/// ```
+pub fn tune_dimension<B: TrainableBackend>(
+    backend: &B,
+    params: &AccelParams,
+    seed: u64,
+    train: LabelledSplit<'_>,
+    holdout: LabelledSplit<'_>,
+    floor: f64,
+) -> Result<TuneOutcome, BackendError> {
+    if !(0.0..=1.0).contains(&floor) {
+        return Err(BackendError::Config(format!(
+            "accuracy floor must be within [0, 1], got {floor}"
+        )));
+    }
+    for (name, (windows, labels)) in [("train", train), ("holdout", holdout)] {
+        if windows.is_empty() {
+            return Err(BackendError::Config(format!(
+                "dimension tuning needs a non-empty {name} split"
+            )));
+        }
+        if windows.len() != labels.len() {
+            return Err(BackendError::Config(format!(
+                "{name} split carries {} windows but {} labels",
+                windows.len(),
+                labels.len()
+            )));
+        }
+    }
+    if params.n_words == 0 {
+        return Err(BackendError::Config(
+            "dimension tuning needs a nonzero base width".into(),
+        ));
+    }
+
+    let mut evaluated = Vec::new();
+    let mut selected: Option<(usize, f64, HdModel)> = None;
+    let mut width = params.n_words;
+    loop {
+        let (accuracy, model) = evaluate_width(backend, params, width, seed, train, holdout)?;
+        evaluated.push((width, accuracy));
+        if accuracy < floor {
+            break;
+        }
+        selected = Some((width, accuracy, model));
+        if width == 1 {
+            break;
+        }
+        width = width.div_ceil(2);
+    }
+
+    match selected {
+        Some((n_words, accuracy, model)) => Ok(TuneOutcome {
+            n_words,
+            accuracy,
+            model,
+            evaluated,
+        }),
+        None => Err(BackendError::Config(format!(
+            "holdout accuracy {:.3} at the base width of {} words is already below the floor {floor}",
+            evaluated[0].1, params.n_words,
+        ))),
+    }
+}
+
+/// Trains and scores one candidate width: fresh seeded spec, batch
+/// training, holdout accuracy through the serving path.
+fn evaluate_width<B: TrainableBackend>(
+    backend: &B,
+    params: &AccelParams,
+    n_words: usize,
+    seed: u64,
+    train: LabelledSplit<'_>,
+    holdout: LabelledSplit<'_>,
+) -> Result<(f64, HdModel), BackendError> {
+    let rung = AccelParams { n_words, ..*params };
+    let spec = TrainSpec::random(&rung, seed);
+    let mut training = backend.begin_training(&spec)?;
+    training.train_batch(train.0, train.1)?;
+    let model = training.finalize()?;
+    let mut session = backend.prepare(&model)?;
+    let verdicts = session.classify_batch(holdout.0)?;
+    let correct = verdicts
+        .iter()
+        .zip(holdout.1)
+        .filter(|(v, &label)| v.class == label)
+        .count();
+    #[allow(clippy::cast_precision_loss)]
+    let accuracy = correct as f64 / holdout.0.len() as f64;
+    Ok((accuracy, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FastBackend;
+    use hdc::rng::Xoshiro256PlusPlus;
+
+    /// Clustered windows: each class has a base pattern (from
+    /// `base_seed`, shared across splits), examples jitter around it
+    /// (from `jitter_seed`) — separable at full width, still separable
+    /// a few halvings down.
+    fn clustered(
+        params: &AccelParams,
+        per_class: usize,
+        base_seed: u64,
+        jitter_seed: u64,
+    ) -> (Vec<Vec<Vec<u16>>>, Vec<usize>) {
+        let mut base_rng = Xoshiro256PlusPlus::seed_from_u64(base_seed);
+        let mut jitter_rng = Xoshiro256PlusPlus::seed_from_u64(jitter_seed);
+        let samples = params.ngram + 2;
+        let mut windows = Vec::new();
+        let mut labels = Vec::new();
+        for class in 0..params.classes {
+            let base: Vec<Vec<u16>> = (0..samples)
+                .map(|_| {
+                    (0..params.channels)
+                        .map(|_| (base_rng.next_u32() & 0xffff) as u16)
+                        .collect()
+                })
+                .collect();
+            for _ in 0..per_class {
+                let window: Vec<Vec<u16>> = base
+                    .iter()
+                    .map(|s| {
+                        s.iter()
+                            .map(|&v| {
+                                v.wrapping_add(
+                                    (jitter_rng.next_below(800) as u16).wrapping_sub(400),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                windows.push(window);
+                labels.push(class);
+            }
+        }
+        (windows, labels)
+    }
+
+    #[test]
+    fn tuner_shrinks_the_model_on_an_easy_task() {
+        let params = AccelParams {
+            n_words: 64,
+            ..AccelParams::emg_default()
+        };
+        let (train_w, train_l) = clustered(&params, 6, 0xA11CE, 0x01);
+        let (hold_w, hold_l) = clustered(&params, 3, 0xA11CE, 0x02);
+        let outcome = tune_dimension(
+            &FastBackend::with_threads(1),
+            &params,
+            5,
+            (&train_w, &train_l),
+            (&hold_w, &hold_l),
+            0.8,
+        )
+        .unwrap();
+        assert!(outcome.n_words < params.n_words, "{:?}", outcome.evaluated);
+        assert!(outcome.accuracy >= 0.8);
+        assert_eq!(outcome.model.params().n_words, outcome.n_words);
+        // The trade curve starts at the base width and descends.
+        assert_eq!(outcome.evaluated[0].0, params.n_words);
+        for pair in outcome.evaluated.windows(2) {
+            assert!(pair[1].0 < pair[0].0);
+        }
+    }
+
+    #[test]
+    fn tuner_fails_honestly_when_the_base_width_misses_the_floor() {
+        let params = AccelParams {
+            n_words: 2,
+            ..AccelParams::emg_default()
+        };
+        // Random labels: no width can hit 99%.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let samples = params.ngram + 1;
+        let windows: Vec<Vec<Vec<u16>>> = (0..24)
+            .map(|_| {
+                (0..samples)
+                    .map(|_| {
+                        (0..params.channels)
+                            .map(|_| (rng.next_u32() & 0xffff) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..24)
+            .map(|_| rng.next_below(params.classes as u32) as usize)
+            .collect();
+        let err = tune_dimension(
+            &FastBackend::with_threads(1),
+            &params,
+            9,
+            (&windows, &labels),
+            (&windows, &labels),
+            0.99,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BackendError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn tuner_validates_inputs() {
+        let params = AccelParams {
+            n_words: 4,
+            ..AccelParams::emg_default()
+        };
+        let (w, l) = clustered(&params, 2, 1, 2);
+        let backend = FastBackend::with_threads(1);
+        assert!(matches!(
+            tune_dimension(&backend, &params, 1, (&w, &l), (&w, &l), 1.5),
+            Err(BackendError::Config(_))
+        ));
+        assert!(matches!(
+            tune_dimension(&backend, &params, 1, (&[], &[]), (&w, &l), 0.5),
+            Err(BackendError::Config(_))
+        ));
+        assert!(matches!(
+            tune_dimension(&backend, &params, 1, (&w, &l[1..]), (&w, &l), 0.5),
+            Err(BackendError::Config(_))
+        ));
+    }
+}

@@ -16,8 +16,8 @@
 use hdc::rng::Xoshiro256PlusPlus;
 use hdc::{BinaryHv, Simd};
 use pulp_hd_core::backend::{
-    AccelBackend, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy, ShardSpec,
-    ShardedBackend, TrainSpec, TrainableBackend,
+    AccelBackend, ApproxPolicy, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy,
+    ShardSpec, ShardedBackend, TrainSpec, TrainableBackend, VerdictSource,
 };
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
@@ -469,5 +469,115 @@ fn pruned_fast_backend_agrees_with_golden_on_class_and_query() {
                 );
             }
         }
+    }
+}
+
+/// `ApproxPolicy::Exact` is not "approximately exact": whether left as
+/// the default or configured explicitly, an Exact fast session stays
+/// bit-identical to the golden backend — every distance, the query, the
+/// class, and the `Scan` verdict source — through both `classify` and
+/// `classify_batch`, across random chain shapes and both SIMD levels.
+/// This is the regression fence the approximate-inference ladder is
+/// built behind.
+#[test]
+fn exact_policy_stays_bit_identical_to_golden_across_simd_levels() {
+    let detected = Simd::detect();
+    let mut levels = vec![Simd::Portable];
+    if detected != Simd::Portable {
+        levels.push(detected);
+    }
+    for level in levels {
+        Simd::set_active(level);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xE8AC_7F1D);
+        for case in 0..10 {
+            let params = AccelParams {
+                n_words: 1 + rng.next_below(24) as usize,
+                channels: 1 + rng.next_below(8) as usize,
+                ngram: 1 + rng.next_below(4) as usize,
+                classes: 2 + rng.next_below(6) as usize,
+                levels: 2 + rng.next_below(28) as usize,
+            };
+            let model = HdModel::random(&params, rng.next_u64());
+            let samples = params.ngram + rng.next_below(5) as usize;
+            let windows: Vec<Vec<Vec<u16>>> = (0..9)
+                .map(|_| {
+                    (0..samples)
+                        .map(|_| {
+                            (0..params.channels)
+                                .map(|_| (rng.next_u32() & 0xffff) as u16)
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut golden = GoldenBackend.prepare(&model).unwrap();
+            let expected = golden.classify_batch(&windows).unwrap();
+            // Default construction and an explicit Exact must behave the
+            // same — there is exactly one exact path.
+            for backend in [
+                FastBackend::with_threads(2),
+                FastBackend::with_threads(2).with_approx(ApproxPolicy::Exact),
+            ] {
+                let mut session = backend.prepare(&model).unwrap();
+                let got = session.classify_batch(&windows).unwrap();
+                assert_eq!(got, expected, "{level:?} case {case} with {params:?}");
+                for (i, w) in windows.iter().enumerate() {
+                    let one = session.classify(w).unwrap();
+                    assert_eq!(
+                        one, expected[i],
+                        "{level:?} case {case} window {i} (single-window path)"
+                    );
+                    assert_eq!(one.source, VerdictSource::Scan);
+                }
+            }
+        }
+    }
+    Simd::set_active(Simd::detect());
+}
+
+/// Exact policy also holds bit-identity through the serving hand-off:
+/// a trained fast session deployed with `into_serving` keeps agreeing
+/// with golden when the backend was explicitly configured Exact.
+#[test]
+fn exact_policy_survives_the_training_handoff() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x5E_4DE);
+    for case in 0..6 {
+        let params = AccelParams {
+            n_words: 1 + rng.next_below(20) as usize,
+            channels: 1 + rng.next_below(6) as usize,
+            ngram: 1 + rng.next_below(3) as usize,
+            classes: 2 + rng.next_below(5) as usize,
+            levels: 2 + rng.next_below(20) as usize,
+        };
+        let spec = TrainSpec::random(&params, rng.next_u64());
+        let samples = params.ngram + rng.next_below(3) as usize;
+        let windows: Vec<Vec<Vec<u16>>> = (0..18)
+            .map(|_| {
+                (0..samples)
+                    .map(|_| {
+                        (0..params.channels)
+                            .map(|_| (rng.next_u32() & 0xffff) as u16)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let labels: Vec<usize> = (0..18)
+            .map(|_| rng.next_below(params.classes as u32) as usize)
+            .collect();
+        let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+        let mut fast = FastBackend::with_threads(2)
+            .with_approx(ApproxPolicy::Exact)
+            .begin_training(&spec)
+            .unwrap();
+        golden.train_batch(&windows, &labels).unwrap();
+        fast.train_batch(&windows, &labels).unwrap();
+        let mut g_serve = golden.into_serving().unwrap();
+        let mut f_serve = fast.into_serving().unwrap();
+        assert_eq!(
+            f_serve.classify_batch(&windows).unwrap(),
+            g_serve.classify_batch(&windows).unwrap(),
+            "case {case} with {params:?}"
+        );
     }
 }

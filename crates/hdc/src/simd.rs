@@ -200,6 +200,40 @@ impl Simd {
         }
     }
 
+    /// Two-sided early-exit Hamming distance for the approximate
+    /// threshold AM scan. Accumulates in [`SCAN_BLOCK_WORDS64`]-word
+    /// blocks and stops at the first block boundary where either
+    ///
+    /// * the partial sum exceeds `prune` (this prototype can no longer
+    ///   win — same abandonment rule as [`Simd::hamming_bounded`]), or
+    /// * the partial sum plus the maximum possible contribution of the
+    ///   unscanned words (64 per word) is `<= accept` — the exact
+    ///   distance is then guaranteed to be at most `accept`, so the
+    ///   caller may accept this prototype without finishing the scan.
+    ///
+    /// Either way the returned value is the partial sum at the stopping
+    /// block boundary — a lower bound on the exact distance — and the
+    /// exact distance if neither side fired. Both levels evaluate the
+    /// two checks in the same order at identical block boundaries, so
+    /// the result is level-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[must_use]
+    #[inline]
+    pub fn hamming_threshold(self, a: &[u64], b: &[u64], prune: u32, accept: u32) -> u32 {
+        assert_eq!(a.len(), b.len(), "kernel operand length mismatch");
+        match self {
+            Self::Portable => portable::hamming_threshold(a, b, prune, accept),
+            #[cfg(target_arch = "x86_64")]
+            Self::Avx2 => {
+                avx2_ready();
+                unsafe { avx2::hamming_threshold(a, b, prune, accept) }
+            }
+        }
+    }
+
     /// `out = a | b` wordwise — the 2-input paper majority
     /// (`maj{x, y, x⊕y}` collapses to OR).
     ///
@@ -677,6 +711,26 @@ mod portable {
         d
     }
 
+    pub(super) fn hamming_threshold(a: &[u64], b: &[u64], prune: u32, accept: u32) -> u32 {
+        let n = a.len();
+        let mut d = 0u32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SCAN_BLOCK_WORDS64).min(n);
+            d += hamming(&a[i..end], &b[i..end]);
+            i = end;
+            // Check order is part of the kernel contract: abandon
+            // first, then early-accept (the AVX2 lane mirrors it).
+            if d > prune {
+                break;
+            }
+            if u64::from(d) + ((n - i) as u64) * 64 <= u64::from(accept) {
+                break;
+            }
+        }
+        d
+    }
+
     pub(super) fn or_into(a: &[u64], b: &[u64], out: &mut [u64]) {
         zip2_into(a, b, out, |x, y| x | y);
     }
@@ -1014,6 +1068,39 @@ mod avx2 {
             }
             d += s;
             if d > bound {
+                break;
+            }
+        }
+        d
+    }
+
+    /// Two-sided early-exit Hamming distance at the shared
+    /// [`SCAN_BLOCK_WORDS64`]-word block granularity. Scalar `popcnt`
+    /// for the same reason as [`hamming_bounded`]: the block partials
+    /// must equal the portable level's exactly.
+    ///
+    /// # Safety
+    ///
+    /// Requires POPCNT and `a.len() == b.len()`.
+    #[target_feature(enable = "popcnt")]
+    pub(super) unsafe fn hamming_threshold(a: &[u64], b: &[u64], prune: u32, accept: u32) -> u32 {
+        let n = a.len();
+        let mut d = 0u32;
+        let mut i = 0;
+        while i < n {
+            let end = (i + SCAN_BLOCK_WORDS64).min(n);
+            let mut s = 0u32;
+            while i < end {
+                s += (a[i] ^ b[i]).count_ones();
+                i += 1;
+            }
+            d += s;
+            // Same check order as the portable lane: abandon, then
+            // early-accept.
+            if d > prune {
+                break;
+            }
+            if u64::from(d) + ((n - i) as u64) * 64 <= u64::from(accept) {
                 break;
             }
         }
@@ -1483,6 +1570,76 @@ mod tests {
                 // An unreachable bound yields the exact distance.
                 for level in levels() {
                     assert_eq!(level.hamming_bounded(&a, &b, u32::MAX), exact);
+                }
+            }
+        }
+    }
+
+    /// The two-sided threshold scan's stopping points and partial sums
+    /// are pinned across levels by a block-semantics reference that
+    /// applies the documented checks (abandon first, then early-accept)
+    /// at every block boundary.
+    #[test]
+    fn hamming_threshold_is_block_exact_and_level_independent() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x55);
+        for len in LENGTHS {
+            for case in 0..12 {
+                let a = words(len, &mut rng);
+                let b = words(len, &mut rng);
+                let exact: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+                let prune = rng.next_below(exact.max(1) + 32);
+                let accept = rng.next_below(exact.max(1) + 32);
+                // Block-semantics reference.
+                let n = len;
+                let mut expected = 0u32;
+                let mut i = 0;
+                while i < n {
+                    let end = (i + SCAN_BLOCK_WORDS64).min(n);
+                    expected += a[i..end]
+                        .iter()
+                        .zip(&b[i..end])
+                        .map(|(x, y)| (x ^ y).count_ones())
+                        .sum::<u32>();
+                    i = end;
+                    if expected > prune {
+                        break;
+                    }
+                    if u64::from(expected) + ((n - i) as u64) * 64 <= u64::from(accept) {
+                        break;
+                    }
+                }
+                for level in levels() {
+                    let got = level.hamming_threshold(&a, &b, prune, accept);
+                    assert_eq!(got, expected, "{level:?} len {len} case {case}");
+                    // Every early exit returns a lower bound on the
+                    // exact distance.
+                    assert!(got <= exact, "{level:?} len {len} case {case}");
+                    // A non-abandon early exit is an accept: it
+                    // certifies the exact distance is within the
+                    // acceptance bound. (When `prune < accept` an
+                    // abandoned partial can also land `<= accept`,
+                    // which certifies nothing — real callers keep
+                    // `prune > accept` so that ambiguity never
+                    // arises.)
+                    if got <= prune && got <= accept && got < exact {
+                        assert!(exact <= accept, "{level:?} len {len} case {case}");
+                    }
+                }
+                for level in levels() {
+                    // Neither side reachable: the exact distance.
+                    assert_eq!(level.hamming_threshold(&a, &b, u32::MAX, 0), exact);
+                    // An always-true accept stops after the first block.
+                    let first = a[..SCAN_BLOCK_WORDS64.min(n)]
+                        .iter()
+                        .zip(&b[..SCAN_BLOCK_WORDS64.min(n)])
+                        .map(|(x, y)| (x ^ y).count_ones())
+                        .sum::<u32>();
+                    assert_eq!(level.hamming_threshold(&a, &b, u32::MAX, u32::MAX), first);
+                    // A zero prune abandons at the first block whenever
+                    // it is nonzero.
+                    if first > 0 {
+                        assert_eq!(level.hamming_threshold(&a, &b, 0, 0), first);
+                    }
                 }
             }
         }

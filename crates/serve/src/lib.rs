@@ -89,7 +89,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pulp_hd_core::backend::{
-    BackendError, BackendSession, ExecutionBackend, HdModel, ShardMonitor, TrainingSession, Verdict,
+    ApproxMonitor, ApproxPolicy, BackendError, BackendSession, ExecutionBackend, HdModel,
+    ScanPolicy, ShardMonitor, TrainingSession, Verdict,
 };
 
 use stats::Recorder;
@@ -134,7 +135,23 @@ use stats::Recorder;
 ///   back — and usually succeeds, because the backend has already
 ///   rerouted around the lost worker by the time the retry runs.
 /// * **`retry_backoff`** is slept between those attempts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The engine knobs pass straight through to the backend when the
+/// server prepares the session itself ([`Server::spawn`]):
+///
+/// * **`scan`** selects the associative-memory scan strategy
+///   ([`ScanPolicy::Full`] or the pruned early-abandoning scan).
+/// * **`approx`** selects the approximate-inference rung
+///   ([`ApproxPolicy`]): exact (the default, bit-identical to the
+///   golden model), threshold early-exit, query caching, or both.
+///   A caching policy also lights up the `cache_*` counters in
+///   [`ServerStats`].
+///
+/// Both are honored via
+/// [`ExecutionBackend::prepare_tuned`](pulp_hd_core::backend::ExecutionBackend::prepare_tuned),
+/// so a backend that cannot realize a non-default knob rejects it at
+/// spawn time instead of silently serving exact results.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Close a batch once it holds this many requests (≥ 1).
     pub max_batch: usize,
@@ -143,6 +160,14 @@ pub struct ServeConfig {
     pub max_delay: Duration,
     /// Bounded submission-queue capacity (≥ 1).
     pub queue_depth: usize,
+    /// Associative-memory scan strategy for sessions the server
+    /// prepares itself ([`Server::spawn`]); ignored by
+    /// [`Server::from_session`], whose session is already built.
+    pub scan: ScanPolicy,
+    /// Approximate-inference policy for sessions the server prepares
+    /// itself ([`Server::spawn`]); ignored by
+    /// [`Server::from_session`], whose session is already built.
+    pub approx: ApproxPolicy,
     /// Server-side deadline per request, measured from submission; a
     /// request whose deadline expires before its batch is served
     /// resolves with [`ServeError::DeadlineExceeded`]. `None` disables
@@ -160,12 +185,15 @@ impl Default for ServeConfig {
     /// `max_batch` 64, `max_delay` 200 µs, `queue_depth` 1024 — sized
     /// so a saturated server forms pool-friendly batches while a lone
     /// caller's worst-case added latency stays well under a millisecond.
-    /// No deadline; two worker-lost retries, 50 µs apart.
+    /// No deadline; two worker-lost retries, 50 µs apart. Full scan,
+    /// exact inference — the bit-identical engine configuration.
     fn default() -> Self {
         Self {
             max_batch: 64,
             max_delay: Duration::from_micros(200),
             queue_depth: 1024,
+            scan: ScanPolicy::Full,
+            approx: ApproxPolicy::Exact,
             deadline: None,
             worker_lost_retries: 2,
             retry_backoff: Duration::from_micros(50),
@@ -292,6 +320,10 @@ pub struct Server {
     /// Per-shard traffic counters, when the served session is a
     /// `ShardedSession` and the caller registered its monitor.
     monitor: Option<ShardMonitor>,
+    /// Query-cache counters, when the served session was prepared with
+    /// a caching [`ApproxPolicy`] (grabbed from the session before it
+    /// moves onto the batcher thread).
+    approx_monitor: Option<ApproxMonitor>,
 }
 
 impl Server {
@@ -319,7 +351,7 @@ impl Server {
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
         config.validate()?;
-        let session = backend.prepare(model)?;
+        let session = backend.prepare_tuned(model, config.scan, config.approx)?;
         Self::from_session(session, config)
     }
 
@@ -354,6 +386,9 @@ impl Server {
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
         config.validate()?;
+        // The session is about to move onto the batcher thread — grab
+        // its cache telemetry handle (if any) while we still can.
+        let approx_monitor = session.approx_monitor();
         let (tx, rx) = sync_channel(config.queue_depth);
         let shared = Arc::new(Shared {
             open: AtomicBool::new(true),
@@ -371,6 +406,7 @@ impl Server {
             shared,
             handle: Some(handle),
             monitor: None,
+            approx_monitor,
         })
     }
 
@@ -445,12 +481,20 @@ impl Server {
     /// When a [`ShardMonitor`] is registered
     /// ([`with_shard_monitor`](Self::with_shard_monitor)), the snapshot
     /// includes the windows served per shard and each shard's health.
+    /// When the served session carries a query cache (a caching
+    /// [`ApproxPolicy`]), the snapshot includes its hit/miss/eviction
+    /// counters.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
         let mut stats = self.shared.recorder.snapshot(self.shared.started.elapsed());
         if let Some(monitor) = &self.monitor {
             stats.shard_windows = monitor.windows();
             stats.shard_healthy = monitor.healthy();
+        }
+        if let Some(approx) = &self.approx_monitor {
+            stats.cache_hits = approx.hits();
+            stats.cache_misses = approx.misses();
+            stats.cache_evictions = approx.evictions();
         }
         stats
     }

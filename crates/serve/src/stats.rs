@@ -185,6 +185,9 @@ impl Recorder {
             contained_panics: self.contained_panics.load(Ordering::Relaxed),
             shard_windows: Vec::new(),
             shard_healthy: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
         }
     }
 }
@@ -256,6 +259,20 @@ pub struct ServerStats {
     /// survivors, class-sharded sessions report
     /// [`ShardLost`](pulp_hd_core::backend::BackendError::ShardLost).
     pub shard_healthy: Vec<bool>,
+    /// Query-cache hits — windows answered by replaying a previously
+    /// computed verdict instead of an associative-memory scan. Filled
+    /// only when the served session was prepared with a caching
+    /// [`ApproxPolicy`](pulp_hd_core::backend::ApproxPolicy); zero
+    /// otherwise.
+    pub cache_hits: u64,
+    /// Query-cache misses — windows that went through the full scan
+    /// (and were then inserted). Filled alongside
+    /// [`cache_hits`](Self::cache_hits).
+    pub cache_misses: u64,
+    /// Query-cache evictions — least-recently-used entries displaced by
+    /// inserts at capacity. Filled alongside
+    /// [`cache_hits`](Self::cache_hits).
+    pub cache_evictions: u64,
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use hdc::rng::Xoshiro256PlusPlus;
 use pulp_hd_core::backend::{
-    ExecutionBackend, FastBackend, GoldenBackend, HdModel, ShardSpec, ShardedBackend, TrainSpec,
-    TrainableBackend,
+    ApproxPolicy, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy, ShardSpec,
+    ShardedBackend, TrainSpec, TrainableBackend,
 };
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_serve::{ServeConfig, ServeError, Server, TrySubmitError};
@@ -434,4 +434,78 @@ fn unsharded_stats_have_no_shard_windows() {
     .unwrap();
     assert!(server.stats().shard_windows.is_empty());
     let _ = server.shutdown();
+}
+
+/// The engine knobs pass through `Server::spawn`: an exact config stays
+/// bit-identical to direct classification, a caching config replays the
+/// same verdicts and surfaces its counters in `ServerStats`, and a
+/// backend that cannot realize a non-default knob rejects it at spawn.
+#[test]
+fn approx_config_passes_through_to_the_backend() {
+    let params = params();
+    let model = HdModel::random(&params, 0xCAFE);
+    let pool = random_windows(&params, 3, 6, 0xAB);
+    // A repeated-window stream: plenty of cache hits.
+    let stream: Vec<_> = (0..30).map(|i| pool[i % pool.len()].clone()).collect();
+    let mut direct = GoldenBackend.prepare(&model).unwrap();
+    let expected: Vec<_> = stream.iter().map(|w| direct.classify(w).unwrap()).collect();
+
+    // Explicit Exact through the tuned path: still bit-identical.
+    let exact = Server::spawn(
+        &FastBackend::try_with_threads(1).unwrap(),
+        &model,
+        ServeConfig {
+            scan: ScanPolicy::Full,
+            approx: ApproxPolicy::Exact,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = exact.client();
+    for (i, w) in stream.iter().enumerate() {
+        assert_eq!(client.classify(w).unwrap(), expected[i], "window {i}");
+    }
+    let stats = exact.shutdown();
+    assert_eq!(stats.cache_hits, 0, "exact sessions carry no cache");
+    assert_eq!(stats.cache_misses, 0);
+
+    // A caching policy: identical classes/distances (the cache replays
+    // full verdicts), live hit/miss counters in the stats.
+    let cached = Server::spawn(
+        &FastBackend::try_with_threads(1).unwrap(),
+        &model,
+        ServeConfig {
+            approx: ApproxPolicy::Cached { capacity: 16 },
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = cached.client();
+    for (i, w) in stream.iter().enumerate() {
+        let verdict = client.classify(w).unwrap();
+        assert_eq!(verdict.class, expected[i].class, "window {i}");
+        assert_eq!(verdict.distances, expected[i].distances, "window {i}");
+        assert_eq!(verdict.query, expected[i].query, "window {i}");
+    }
+    let stats = cached.shutdown();
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        stream.len() as u64,
+        "every window is a hit or a miss"
+    );
+    assert!(stats.cache_hits >= (stream.len() - pool.len()) as u64);
+
+    // The golden backend has no approximate rungs: non-default knobs
+    // are rejected at spawn time, not silently ignored.
+    assert!(matches!(
+        Server::spawn(
+            &GoldenBackend,
+            &model,
+            ServeConfig {
+                approx: ApproxPolicy::Threshold { tau: 0.2 },
+                ..ServeConfig::default()
+            },
+        ),
+        Err(ServeError::Backend(_))
+    ));
 }
