@@ -34,6 +34,15 @@
 //! where there are cores to shard across (parity floor on a single-CPU
 //! host), and records `serving_speedup_sharded_vs_single_session`.
 //!
+//! **Wire serving:** the same adaptive server behind the network
+//! front-end (`pulp_hd_serve::net`), swept at 1/8/64 closed-loop
+//! [`NetClient`]s over loopback TCP and a Unix-domain socket. Records
+//! the rows under `"net_serving"` and guards that UDS holds ≥ 0.5× the
+//! in-process adaptive throughput at 64 clients where there are cores
+//! for the connection threads to run on (sanity floor on a single-CPU
+//! host) — the wire tax must stay a tax, not a serialization
+//! bottleneck.
+//!
 //! **Pruned-scan cliff:** the pruned AM scan trades large-batch
 //! throughput for single-window latency; at batch 256 `fast-pruned/mt`
 //! lands well below `fast/mt`. The bench prints the two side by side,
@@ -77,6 +86,7 @@ use pulp_hd_core::backend::{
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_core::platform::Platform;
 use pulp_hd_core::tune_dimension;
+use pulp_hd_serve::net::{Endpoint, NetClient, NetClientConfig, NetConfig, NetServer};
 use pulp_hd_serve::{ServeConfig, Server, ServerStats};
 
 /// Where the machine-readable results land: the workspace root, next to
@@ -183,6 +193,15 @@ fn batch1_config() -> ServeConfig {
     }
 }
 
+/// One measured wire-serving point: a closed-loop [`NetClient`] sweep
+/// against a [`NetServer`] on one transport.
+struct NetServingRow {
+    clients: usize,
+    transport: &'static str,
+    windows_per_sec: f64,
+    stats: ServerStats,
+}
+
 /// One measured sharding point: a `ShardedBackend` workload at a shard
 /// count.
 struct ShardRow {
@@ -255,6 +274,56 @@ fn serving_run_sharded(
     drive_clients(server, clients, requests_per_client, windows)
 }
 
+/// A closed-loop wire-client sweep: the same engine and adaptive
+/// config as `serving_run`, but every request round-trips through the
+/// network front-end (`NetServer` + one `NetClient` per client thread)
+/// over loopback TCP or a Unix-domain socket.
+fn net_serving_run(
+    model: &HdModel,
+    threads: usize,
+    config: ServeConfig,
+    transport: &'static str,
+    clients: usize,
+    requests_per_client: usize,
+    windows: &[Vec<Vec<u16>>],
+) -> (f64, ServerStats) {
+    let backend = FastBackend::try_with_threads(threads).expect("nonzero thread count");
+    let server = Server::spawn(&backend, model, config).expect("serving spawn");
+    let uds_path = std::env::temp_dir().join(format!(
+        "pulp-hd-bench-net-{}-{transport}-{clients}.sock",
+        std::process::id()
+    ));
+    let endpoint = match transport {
+        "uds" => Endpoint::Uds(uds_path.clone()),
+        _ => Endpoint::Tcp("127.0.0.1:0".into()),
+    };
+    let net = NetServer::spawn(server, &[endpoint], NetConfig::default()).expect("net spawn");
+    let tcp_addr = net.tcp_addr();
+    let connect = || -> NetClient {
+        match transport {
+            "uds" => NetClient::connect_uds(&uds_path, NetClientConfig::default()),
+            _ => NetClient::connect_tcp(tcp_addr.expect("tcp bound"), NetClientConfig::default()),
+        }
+        .expect("wire connect")
+    };
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for lane in 0..clients {
+            let mut client = connect();
+            scope.spawn(move || {
+                for i in 0..requests_per_client {
+                    let w = &windows[(lane * requests_per_client + i) % windows.len()];
+                    client.classify(w).expect("wire classification");
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let wps = (clients * requests_per_client) as f64 / secs;
+    let (stats, _) = net.shutdown();
+    (wps, stats)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     params: &AccelParams,
@@ -262,12 +331,14 @@ fn write_json(
     rows: &[Row],
     training: &[Row],
     serving: &[ServingRow],
+    net_serving: &[NetServingRow],
     sharding: &[ShardRow],
     kernels: &[KernelRow],
     speedup: f64,
     train_speedup: f64,
     serving_speedup: f64,
     serving_speedup_sharded: f64,
+    net_serving_ratio: f64,
     pruned_cliff: (f64, f64),
     containment: (f64, f64, f64),
     approx: &ApproxReport,
@@ -330,6 +401,23 @@ fn write_json(
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"net_serving\": [");
+    for (i, row) in net_serving.iter().enumerate() {
+        let comma = if i + 1 < net_serving.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"clients\": {}, \"transport\": \"{}\", \"windows_per_sec\": {:.1}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"latency_max_us\": {}, \"mean_batch\": {:.1} }}{comma}",
+            row.clients,
+            row.transport,
+            row.windows_per_sec,
+            row.stats.p50_us,
+            row.stats.p99_us,
+            row.stats.latency_max_us,
+            row.stats.mean_batch
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"sharding\": [");
     for (i, row) in sharding.iter().enumerate() {
         let comma = if i + 1 < sharding.len() { "," } else { "" };
@@ -373,6 +461,10 @@ fn write_json(
     let _ = writeln!(
         json,
         "  \"serving_speedup_sharded_vs_single_session\": {serving_speedup_sharded:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"net_serving_uds_vs_inprocess_64clients\": {net_serving_ratio:.2},"
     );
     let (contained_wps, uncontained_wps, containment_ratio) = containment;
     let _ = writeln!(
@@ -1096,6 +1188,56 @@ fn main() {
         });
     }
 
+    // Wire serving: the same adaptive server behind the network
+    // front-end, closed-loop `NetClient` threads over loopback TCP and
+    // a Unix-domain socket. Each request pays a full encode → frame →
+    // syscall → decode round trip, so the sweep prices the wire tax
+    // against the in-process rows above; the guard below keeps the UDS
+    // path within 2x of in-process at 64 clients on multi-core hosts.
+    println!(
+        "\nwire serving throughput (closed-loop NetClients, {SERVE_SAMPLES}-sample windows, \
+         loopback TCP and UDS through pulp-hd-serve::net)\n"
+    );
+    let mut net_serving_rows: Vec<NetServingRow> = Vec::new();
+    let mut net_uds_64 = None;
+    for transport in ["tcp", "uds"] {
+        for clients in [1usize, 8, 64] {
+            // Lighter fixed work than the in-process sweep: every
+            // request is a real socket round trip.
+            let requests_per_client = (2048 / clients).max(32);
+            let mut best: Option<(f64, ServerStats)> = None;
+            for _rep in 0..3 {
+                let (wps, stats) = net_serving_run(
+                    &model,
+                    threads,
+                    adaptive_config(),
+                    transport,
+                    clients,
+                    requests_per_client,
+                    &serve_windows,
+                );
+                if best.as_ref().is_none_or(|(b, _)| wps > *b) {
+                    best = Some((wps, stats));
+                }
+            }
+            let (wps, stats) = best.expect("measured");
+            println!(
+                "  {transport} {clients:>2} client(s): {wps:>9.0} w/s \
+                 (p50 {:>5} µs, p99 {:>6} µs, mean batch {:>4.1})\n",
+                stats.p50_us, stats.p99_us, stats.mean_batch
+            );
+            if transport == "uds" && clients == 64 {
+                net_uds_64 = Some(wps);
+            }
+            net_serving_rows.push(NetServingRow {
+                clients,
+                transport,
+                windows_per_sec: wps,
+                stats,
+            });
+        }
+    }
+
     // Sharding: the same classify / train / serve workloads through
     // `ShardedBackend`, sweeping the shard count. `ShardedBackend::fast`
     // splits the machine's thread budget across the shards, so the
@@ -1226,6 +1368,12 @@ fn main() {
         "2-shard serving (64 closed-loop clients) vs single-session server: \
          {serving_speedup_sharded:.2}x"
     );
+    let net_uds_64_wps = net_uds_64.expect("64-client UDS wire serving measured");
+    let net_serving_ratio = net_uds_64_wps / serve_adaptive_wps;
+    println!(
+        "wire serving over UDS (64 closed-loop clients) vs in-process adaptive: \
+         {net_serving_ratio:.2}x"
+    );
     let (cliff_full, cliff_pruned) = pruned_cliff.expect("batch 256 measured");
     println!(
         "pruned-scan cliff at batch 256: fast/mt {cliff_full:.0} w/s vs fast-pruned/mt \
@@ -1238,12 +1386,14 @@ fn main() {
         &rows,
         &training_rows,
         &serving_rows,
+        &net_serving_rows,
         &sharding_rows,
         &kernels,
         speedup,
         train_speedup,
         serving_speedup,
         serving_speedup_sharded,
+        net_serving_ratio,
         (cliff_full, cliff_pruned),
         (contained_wps, uncontained_wps, containment_ratio),
         &approx_report,
@@ -1351,6 +1501,32 @@ fn main() {
             serving_speedup_sharded >= 0.85,
             "2-shard serving regressed below the single-session server at 64 clients \
              on a {cpus}-CPU host: {serving_speedup_sharded:.2}x"
+        );
+    }
+    // (1d) The wire tax: serving over a Unix-domain socket at 64
+    // clients — every request paying encode → frame → syscall → decode
+    // both ways — must hold at least half the in-process adaptive
+    // throughput. With enough cores the reader/responder threads and
+    // the batcher overlap, so loopback framing cannot legitimately
+    // halve throughput; a miss means the net layer grew a serialization
+    // bottleneck. On narrow hosts the per-connection threads contend
+    // with the worker pool for the same cores, so the guard degrades to
+    // a sanity floor.
+    if cpus >= 4 {
+        assert!(
+            net_serving_ratio >= 0.5,
+            "UDS wire serving must hold >= 0.5x in-process adaptive at 64 clients, \
+             got {net_serving_ratio:.2}x ({net_uds_64_wps:.0} vs {serve_adaptive_wps:.0} w/s)"
+        );
+    } else {
+        println!(
+            "{cpus}-CPU host: wire serving guard relaxed \
+             (the >= 0.5x floor is enforced on the multi-core CI runner)"
+        );
+        assert!(
+            net_serving_ratio >= 0.1,
+            "UDS wire serving collapsed on a {cpus}-CPU host: {net_serving_ratio:.2}x \
+             ({net_uds_64_wps:.0} vs {serve_adaptive_wps:.0} w/s)"
         );
     }
     // The pruned-scan cliff floor: Pruned trades large-batch throughput

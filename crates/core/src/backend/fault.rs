@@ -41,7 +41,7 @@
 //! # Ok::<(), pulp_hd_core::backend::BackendError>(())
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -62,6 +62,29 @@ pub enum FaultKind {
     /// Sleep for the given duration, then run the call normally —
     /// for deadline and timeout testing.
     Delay(Duration),
+    /// Block the calling thread *indefinitely* — a delay with no end,
+    /// for exercising deadline and watchdog paths against a backend
+    /// that never answers (a wedged device, a livelocked kernel). The
+    /// hang spins in short sleeps until the plan's [`HangRelease`]
+    /// fires, then runs the call normally, so tests can observe the
+    /// hung state (timeouts firing, deadlines shedding) and still tear
+    /// down cleanly: keep a [`FaultPlan::hang_release`] handle and
+    /// release it before joining server threads.
+    Hang,
+}
+
+/// Releases every [`FaultKind::Hang`] of the [`FaultPlan`] it came
+/// from: hung calls wake up, run normally, and all later `Hang` entries
+/// of that plan become no-ops. Cheap to clone; thread-safe.
+#[derive(Debug, Clone)]
+pub struct HangRelease(Arc<AtomicBool>);
+
+impl HangRelease {
+    /// Wakes every call currently hung on this plan and disables its
+    /// remaining `Hang` faults. Idempotent.
+    pub fn release(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
 }
 
 /// One scheduled fault: fires on call `call` of session `session`
@@ -78,6 +101,9 @@ struct FaultEntry {
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     entries: Vec<FaultEntry>,
+    /// Shared across clones: once set, every `Hang` (pending or future)
+    /// of this plan proceeds immediately.
+    released: Arc<AtomicBool>,
 }
 
 impl FaultPlan {
@@ -109,6 +135,15 @@ impl FaultPlan {
             kind,
         });
         self
+    }
+
+    /// A handle that wakes this plan's [`FaultKind::Hang`] faults.
+    /// Tests holding hung calls **must** call
+    /// [`HangRelease::release`] before joining the threads those calls
+    /// run on, or teardown blocks forever.
+    #[must_use]
+    pub fn hang_release(&self) -> HangRelease {
+        HangRelease(Arc::clone(&self.released))
     }
 
     /// The fault scheduled for `(session, call)`, if any (first match
@@ -177,6 +212,12 @@ impl Trigger {
             }
             Some(FaultKind::Delay(d)) => {
                 std::thread::sleep(d);
+                Ok(())
+            }
+            Some(FaultKind::Hang) => {
+                while !self.plan.released.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
                 Ok(())
             }
         }
@@ -388,6 +429,30 @@ mod tests {
         );
         let panic = crate::backend::pool::contain(|| session.classify_batch(&batch)).unwrap_err();
         assert!(panic.contains("injected fault"), "{panic}");
+    }
+
+    #[test]
+    fn hang_blocks_until_released_then_serves_bit_identical() {
+        let params = params();
+        let model = HdModel::random(&params, 23);
+        let batch = windows(&params, 29, 3);
+        let mut clean = GoldenBackend.prepare(&model).unwrap();
+        let expected = clean.classify_batch(&batch).unwrap();
+        let plan = FaultPlan::new().fault_at(0, FaultKind::Hang);
+        let release = plan.hang_release();
+        let chaos = FaultBackend::new(GoldenBackend, plan);
+        let mut session = chaos.prepare(&model).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let hung = std::thread::spawn(move || {
+            let got = session.classify_batch(&batch);
+            tx.send(()).unwrap();
+            got
+        });
+        // The call is wedged: nothing arrives while the hang holds.
+        assert!(rx.recv_timeout(Duration::from_millis(50)).is_err());
+        release.release();
+        let got = hung.join().unwrap().unwrap();
+        assert_eq!(got, expected);
     }
 
     #[test]

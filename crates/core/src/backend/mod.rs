@@ -95,12 +95,16 @@ pub mod sharded;
 
 pub use accel::AccelBackend;
 pub use fast::{ApproxMonitor, ApproxPolicy, FastBackend, ScanPolicy};
-pub use fault::{FaultBackend, FaultKind, FaultPlan};
+pub use fault::{FaultBackend, FaultKind, FaultPlan, HangRelease};
 pub use golden::GoldenBackend;
+/// Re-exported so downstream crates (the serve wire codec in
+/// particular) can name the query hypervector type carried by
+/// [`Verdict`] without depending on `hdc` directly.
+pub use hdc::BinaryHv;
 pub use sharded::{ShardMonitor, ShardSpec, ShardedBackend, ShardedSession};
 
 use hdc::rng::derive_seed;
-use hdc::{BinaryHv, ContinuousItemMemory, HdClassifier, HdConfig, ItemMemory};
+use hdc::{ContinuousItemMemory, HdClassifier, HdConfig, ItemMemory};
 
 use crate::layout::AccelParams;
 use crate::pipeline::ChainError;

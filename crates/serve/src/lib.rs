@@ -78,8 +78,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod net;
 mod stats;
 
+pub use net::{NetClient, NetError, NetServer};
 pub use stats::ServerStats;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -281,6 +283,10 @@ impl std::error::Error for TrySubmitError {}
 struct Pending {
     window: Vec<Vec<u16>>,
     enqueued: Instant,
+    /// Per-request deadline (absolute), overriding the config-wide
+    /// [`ServeConfig::deadline`] for this request when set — the wire
+    /// layer maps each request's deadline header here.
+    deadline: Option<Instant>,
     reply: SyncSender<Result<Verdict, ServeError>>,
 }
 
@@ -555,10 +561,29 @@ impl Client {
     ///
     /// Returns [`ServeError::Closed`] if the server has shut down.
     pub fn submit(&self, window: Vec<Vec<u16>>) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(window, None)
+    }
+
+    /// Like [`submit`](Self::submit), with a per-request deadline that
+    /// overrides the config-wide [`ServeConfig::deadline`] for this
+    /// request only (measured from now): if the request is still
+    /// unserved when its batch closes past the deadline, its ticket
+    /// resolves with [`ServeError::DeadlineExceeded`]. `None` falls back
+    /// to the config-wide deadline. This is the hook the network layer
+    /// uses to propagate each wire request's deadline header.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        window: Vec<Vec<u16>>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
         if !self.shared.open.load(Ordering::SeqCst) {
             return Err(ServeError::Closed);
         }
-        let (ticket, pending) = self.package(window);
+        let (ticket, pending) = self.package(window, deadline);
         self.tx
             .send(Request::Classify(pending))
             .map_err(|_| ServeError::Closed)?;
@@ -574,10 +599,25 @@ impl Client {
     /// Returns [`TrySubmitError::Overloaded`] when the bounded queue is
     /// full, [`TrySubmitError::Closed`] if the server has shut down.
     pub fn try_submit(&self, window: Vec<Vec<u16>>) -> Result<Ticket, TrySubmitError> {
+        self.try_submit_with_deadline(window, None)
+    }
+
+    /// The non-blocking twin of
+    /// [`submit_with_deadline`](Self::submit_with_deadline): shed-load
+    /// backpressure plus a per-request deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_submit`](Self::try_submit).
+    pub fn try_submit_with_deadline(
+        &self,
+        window: Vec<Vec<u16>>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, TrySubmitError> {
         if !self.shared.open.load(Ordering::SeqCst) {
             return Err(TrySubmitError::Closed);
         }
-        let (ticket, pending) = self.package(window);
+        let (ticket, pending) = self.package(window, deadline);
         match self.tx.try_send(Request::Classify(pending)) {
             Ok(()) => Ok(ticket),
             Err(TrySendError::Full(_)) => {
@@ -600,10 +640,11 @@ impl Client {
         self.submit(window.to_vec())?.wait()
     }
 
-    fn package(&self, window: Vec<Vec<u16>>) -> (Ticket, Pending) {
+    fn package(&self, window: Vec<Vec<u16>>, deadline: Option<Duration>) -> (Ticket, Pending) {
         // Capacity 1 and exactly one send ever: the batcher's reply can
         // never block, and a dropped ticket just discards the verdict.
         let (reply_tx, reply_rx) = sync_channel(1);
+        let now = Instant::now();
         (
             Ticket {
                 reply: reply_rx,
@@ -611,7 +652,8 @@ impl Client {
             },
             Pending {
                 window,
-                enqueued: Instant::now(),
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
                 reply: reply_tx,
             },
         )
@@ -876,13 +918,21 @@ fn serve_batch(
     }
     // Deadline triage: requests that already waited past their budget
     // resolve immediately with the typed error instead of occupying a
-    // batch slot and making everyone behind them later still.
-    if let Some(deadline) = config.deadline {
+    // batch slot and making everyone behind them later still. A
+    // per-request deadline (`Pending::deadline`, set by
+    // `submit_with_deadline`) overrides the config-wide one.
+    if config.deadline.is_some() || pending.iter().any(|p| p.deadline.is_some()) {
+        let now = Instant::now();
         pending.retain_mut(|p| {
-            let waited = p.enqueued.elapsed();
-            if waited > deadline {
+            let expired = match p.deadline {
+                Some(at) => now > at,
+                None => config
+                    .deadline
+                    .is_some_and(|budget| now.duration_since(p.enqueued) > budget),
+            };
+            if expired {
                 shared.recorder.record_deadline_expired();
-                shared.recorder.record_latency(waited);
+                shared.recorder.record_latency(p.enqueued.elapsed());
                 let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
                 false
             } else {

@@ -1,0 +1,230 @@
+//! Network serving: a hardened wire front-end for the micro-batcher.
+//!
+//! The in-process [`Server`](crate::Server) serves callers in the same
+//! address space; this module puts it on the network — TCP and Unix
+//! domain sockets, one length-prefixed binary protocol
+//! ([`proto`]) — with the failure surface designed first:
+//!
+//! * **Backpressure end to end.** Each connection has a bounded
+//!   in-flight window ([`NetConfig::inflight_window`]); past it, and
+//!   past the batcher's own bounded queue, requests are shed with a
+//!   typed [`ErrorCode::Overloaded`] response, never queued unboundedly.
+//! * **Deadlines on the wire.** Each request frame carries a deadline
+//!   (microseconds); the server propagates it into the batcher's
+//!   deadline triage *and* enforces it on the reply path, so even a
+//!   wedged backend answers with [`ErrorCode::DeadlineExceeded`] in
+//!   time.
+//! * **Hostile input is a connection problem, not a server problem.**
+//!   Oversized frames, garbage, and mid-frame stalls (slow-loris) get a
+//!   typed error and kill *that connection only*; the frame decoder
+//!   never panics (fuzzed in `tests/proto_fuzz.rs`).
+//! * **Graceful drain.** Shutdown refuses new connections, answers
+//!   every accepted request, then stops — mirroring the in-process
+//!   server's contract.
+//! * **Chaos-tested.** [`FaultTransport`] injects seeded disconnects,
+//!   truncations, garbage, and stalls; `tests/net_chaos.rs` pins that
+//!   the server survives all of them with verdicts bit-identical for
+//!   healthy clients.
+//!
+//! [`NetServer`] is the listener side; [`NetClient`] the caller side,
+//! with connect/request timeouts and bounded retry-with-backoff on
+//! transient (worker-loss / transport) failures.
+
+mod client;
+pub mod proto;
+mod server;
+mod transport;
+
+pub use client::NetClient;
+pub use proto::{ErrorCode, HealthReport, WireError, WireFault};
+pub use server::{BoundEndpoint, Endpoint, NetServer, NetStats};
+pub use transport::{CloneableStream, FaultTransport, TransportFault, TransportPlan, WireStream};
+
+use std::io;
+use std::time::Duration;
+
+/// Errors surfaced by the network serving layer — the wire-side mirror
+/// of [`ServeError`](crate::ServeError), with the transport failures
+/// only a networked caller can see.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A transport-level failure (connect, read, write). The connection
+    /// is dropped; idempotent requests may be retried on a fresh one.
+    Io(io::Error),
+    /// No complete response arrived within the client's
+    /// [`request_timeout`](NetClientConfig::request_timeout).
+    Timeout,
+    /// Shed by backpressure (server queue or per-connection in-flight
+    /// window full).
+    Overloaded,
+    /// The request's deadline expired before service.
+    DeadlineExceeded,
+    /// The server is shut down or draining.
+    Closed,
+    /// The server's batcher thread died.
+    ServerDied,
+    /// A contained worker loss — transient; the client retries these
+    /// automatically up to its budget.
+    WorkerLost(String),
+    /// The backend rejected this request (bad window shape, …). Not
+    /// retried: the same input would fail again.
+    Backend(String),
+    /// The peer violated the wire protocol (undecodable frame,
+    /// unexpected response kind, id mismatch).
+    Protocol(String),
+    /// The client or server configuration is invalid.
+    Config(String),
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport: {e}"),
+            Self::Timeout => write!(f, "request timed out"),
+            Self::Overloaded => write!(f, "server overloaded"),
+            Self::DeadlineExceeded => write!(f, "request deadline exceeded before service"),
+            Self::Closed => write!(f, "server is shut down"),
+            Self::ServerDied => write!(f, "server batcher thread died"),
+            Self::WorkerLost(detail) => write!(f, "worker lost: {detail}"),
+            Self::Backend(detail) => write!(f, "backend: {detail}"),
+            Self::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+            Self::Config(what) => write!(f, "config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl NetError {
+    /// Converts a wire fault into the typed client-side error.
+    fn from_fault(fault: proto::WireFault) -> Self {
+        match fault.code {
+            ErrorCode::Backend => Self::Backend(fault.detail),
+            ErrorCode::WorkerLost => Self::WorkerLost(fault.detail),
+            ErrorCode::Overloaded => Self::Overloaded,
+            ErrorCode::DeadlineExceeded => Self::DeadlineExceeded,
+            ErrorCode::Closed => Self::Closed,
+            ErrorCode::ServerDied => Self::ServerDied,
+            ErrorCode::Malformed | ErrorCode::TooLarge | ErrorCode::Stalled => {
+                Self::Protocol(fault.detail)
+            }
+        }
+    }
+
+    /// Whether an automatic retry (possibly on a fresh connection) can
+    /// help: transport failures and contained worker losses, yes;
+    /// deterministic rejections (backend, overload, deadline, closed),
+    /// no.
+    fn retryable(&self) -> bool {
+        matches!(self, Self::Io(_) | Self::WorkerLost(_) | Self::Protocol(_))
+    }
+}
+
+/// Server-side knobs of the wire front-end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-frame payload cap in bytes; larger declared payloads are
+    /// rejected with [`ErrorCode::TooLarge`] and the connection is
+    /// closed (the declared length cannot be trusted for resync).
+    pub max_frame: u32,
+    /// Per-connection in-flight request cap: more concurrent
+    /// unanswered requests than this are shed with
+    /// [`ErrorCode::Overloaded`].
+    pub inflight_window: usize,
+    /// How long a peer may stall *mid-frame* before the connection is
+    /// killed with [`ErrorCode::Stalled`] (slow-loris defense). Idle
+    /// time between frames is unlimited.
+    pub read_timeout: Duration,
+    /// Deadline applied to wire requests that carry none of their own
+    /// (`deadline_us == 0`). `None` leaves them deadline-free.
+    pub default_deadline: Option<Duration>,
+    /// Cap on concurrently-open connections; connects past it are
+    /// refused immediately.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    /// 4 MiB frames, 64 in-flight requests per connection, 2 s
+    /// mid-frame stall cap, no default deadline, 1024 connections.
+    fn default() -> Self {
+        Self {
+            max_frame: proto::DEFAULT_MAX_FRAME,
+            inflight_window: 64,
+            read_timeout: Duration::from_secs(2),
+            default_deadline: None,
+            max_connections: 1024,
+        }
+    }
+}
+
+impl NetConfig {
+    fn validate(&self) -> Result<(), NetError> {
+        if self.inflight_window == 0 {
+            return Err(NetError::Config(
+                "inflight_window must be at least 1".into(),
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err(NetError::Config(
+                "max_connections must be at least 1".into(),
+            ));
+        }
+        if self.read_timeout.is_zero() {
+            return Err(NetError::Config("read_timeout must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Client-side knobs for [`NetClient`].
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// TCP connect timeout (UDS connects are effectively instant).
+    pub connect_timeout: Duration,
+    /// End-to-end cap per request attempt: if no complete response
+    /// arrives in time, the attempt fails with [`NetError::Timeout`]
+    /// and the connection is dropped (the stream may be mid-frame).
+    /// `None` waits forever.
+    pub request_timeout: Option<Duration>,
+    /// Wire deadline stamped on every classify request that is not
+    /// given an explicit one. `None` sends no deadline.
+    pub deadline: Option<Duration>,
+    /// How many times a transient failure (transport error, contained
+    /// worker loss) is retried — on a fresh connection for transport
+    /// failures — before surfacing.
+    pub retries: u32,
+    /// Pause between retry attempts.
+    pub retry_backoff: Duration,
+    /// Per-frame payload cap for *responses* (mirror of the server's
+    /// [`NetConfig::max_frame`]).
+    pub max_frame: u32,
+}
+
+impl Default for NetClientConfig {
+    /// 1 s connect timeout, 30 s request timeout, no wire deadline, two
+    /// retries 1 ms apart, 4 MiB frames.
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Some(Duration::from_secs(30)),
+            deadline: None,
+            retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            max_frame: proto::DEFAULT_MAX_FRAME,
+        }
+    }
+}

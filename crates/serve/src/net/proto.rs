@@ -1,0 +1,814 @@
+//! The wire codec: length-prefixed binary frames, no I/O.
+//!
+//! Every frame is a fixed 20-byte header followed by `payload_len`
+//! bytes of payload, all little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        0x3144_484E ("NHD1" LE)
+//! 4       1     version      1
+//! 5       1     kind         request/response discriminant
+//! 6       2     reserved     must be 0
+//! 8       8     request_id   echoed verbatim in the response
+//! 16      4     payload_len  bytes that follow (bounded by max_frame)
+//! ```
+//!
+//! The decoder is the robustness boundary of the whole net layer: it is
+//! driven by arbitrary bytes from the network, so **every** path is
+//! bounds-checked and returns a typed [`WireError`] — never a panic,
+//! never an unbounded allocation (length fields are capped *and*
+//! checked against the bytes actually present before anything is
+//! reserved). `tests/proto_fuzz.rs` pins this with arbitrary, truncated
+//! and bit-flipped streams.
+
+use std::time::Duration;
+
+use pulp_hd_core::backend::{BinaryHv, CycleBreakdown, Verdict, VerdictSource};
+
+use crate::ServerStats;
+
+/// Frame magic, little-endian `"NHD1"`.
+pub const MAGIC: u32 = 0x3144_484E;
+/// Protocol version carried in every header.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Default per-frame payload cap (4 MiB) — see
+/// [`NetConfig::max_frame`](crate::net::NetConfig::max_frame).
+pub const DEFAULT_MAX_FRAME: u32 = 4 * 1024 * 1024;
+
+/// Request kinds (client → server).
+pub mod kind {
+    /// Classify one window.
+    pub const CLASSIFY: u8 = 0x01;
+    /// Classify a batch of windows in one frame.
+    pub const CLASSIFY_BATCH: u8 = 0x02;
+    /// Snapshot the server's [`ServerStats`](crate::ServerStats).
+    pub const STATS: u8 = 0x03;
+    /// Liveness + per-shard health probe.
+    pub const HEALTH: u8 = 0x04;
+    /// Response: one verdict.
+    pub const R_VERDICT: u8 = 0x81;
+    /// Response: per-window verdicts/faults for a batch.
+    pub const R_VERDICT_BATCH: u8 = 0x82;
+    /// Response: a stats snapshot.
+    pub const R_STATS: u8 = 0x83;
+    /// Response: a health report.
+    pub const R_HEALTH: u8 = 0x84;
+    /// Response: a typed fault (request-level failure).
+    pub const R_ERROR: u8 = 0xEE;
+}
+
+/// Caps on the list-length fields a peer can claim, enforced *before*
+/// any allocation. Combined with the remaining-bytes check they bound
+/// decoder memory to a small multiple of the received frame.
+const MAX_BATCH: u32 = 1 << 16;
+const MAX_SAMPLES: u32 = 1 << 20;
+const MAX_CHANNELS: u32 = 1 << 16;
+const MAX_VEC: u32 = 1 << 20;
+const MAX_DETAIL: u32 = 1 << 16;
+
+/// A decoding failure: the frame (or stream position) is not a valid
+/// protocol frame. Always a value, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the structure requires.
+    Truncated {
+        /// Bytes the structure needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The magic bytes are not [`MAGIC`] — the peer is not speaking
+    /// this protocol (or the stream is corrupt/desynchronized).
+    BadMagic(u32),
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// The kind byte names no known frame type.
+    UnknownKind(u8),
+    /// The declared payload length exceeds the configured frame cap.
+    TooLarge {
+        /// Declared payload length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// Structurally invalid payload (bad discriminant, length field
+    /// over its cap, trailing bytes, …).
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            Self::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            Self::TooLarge { len, max } => {
+                write!(f, "frame payload {len} bytes exceeds cap {max}")
+            }
+            Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Frame kind (one of the [`kind`] constants, or unknown — payload
+    /// decoding rejects unknowns so the server can answer with a typed
+    /// error that echoes the request id).
+    pub kind: u8,
+    /// Request id, echoed in the response (0 is reserved for
+    /// server-initiated frames such as the shutdown go-away).
+    pub id: u64,
+    /// Payload bytes following the header.
+    pub len: u32,
+}
+
+/// One request window: `samples × channels` quantized codes.
+pub type Window = Vec<Vec<u16>>;
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Classify one window; `deadline_us` 0 means no deadline.
+    Classify {
+        /// Per-request deadline in microseconds from receipt (0 = none).
+        deadline_us: u64,
+        /// The window to classify.
+        window: Window,
+    },
+    /// Classify many windows in one frame (one verdict-or-fault each).
+    ClassifyBatch {
+        /// Per-request deadline in microseconds from receipt (0 = none),
+        /// applied to every window in the batch.
+        deadline_us: u64,
+        /// The windows to classify.
+        windows: Vec<Window>,
+    },
+    /// Snapshot the server's stats.
+    Stats,
+    /// Liveness + shard-health probe.
+    Health,
+}
+
+/// A request-level failure, carried on the wire with a stable numeric
+/// code plus a human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFault {
+    /// What failed (stable across releases; match on this).
+    pub code: ErrorCode,
+    /// Human-readable detail (free-form; do not match on this).
+    pub detail: String,
+}
+
+impl WireFault {
+    /// A fault with the given code and detail.
+    pub fn new(code: ErrorCode, detail: impl Into<String>) -> Self {
+        Self {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Stable wire error codes, mirroring
+/// [`ServeError`](crate::ServeError) plus the transport-level failures
+/// only a network front-end can have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The backend rejected this request
+    /// ([`ServeError::Backend`](crate::ServeError::Backend)).
+    Backend = 1,
+    /// A contained worker loss — safe to retry
+    /// ([`BackendError::WorkerLost`](pulp_hd_core::backend::BackendError::WorkerLost)).
+    WorkerLost = 2,
+    /// Shed by backpressure: the bounded queue or this connection's
+    /// in-flight window is full
+    /// ([`TrySubmitError::Overloaded`](crate::TrySubmitError::Overloaded)).
+    Overloaded = 3,
+    /// The request's deadline expired before service
+    /// ([`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded)).
+    DeadlineExceeded = 4,
+    /// The server is shut down or draining
+    /// ([`ServeError::Closed`](crate::ServeError::Closed)).
+    Closed = 5,
+    /// The batcher thread died
+    /// ([`ServeError::ServerDied`](crate::ServeError::ServerDied)).
+    ServerDied = 6,
+    /// The frame could not be decoded; the server closes the connection
+    /// after sending this.
+    Malformed = 7,
+    /// The frame exceeded the server's
+    /// [`max_frame`](crate::net::NetConfig::max_frame); connection
+    /// closed after sending this.
+    TooLarge = 8,
+    /// The peer stalled mid-frame past the server's read timeout
+    /// (slow-loris defense); connection closed after sending this.
+    Stalled = 9,
+}
+
+impl ErrorCode {
+    /// The code for a wire byte, if it names one.
+    #[must_use]
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        Some(match byte {
+            1 => Self::Backend,
+            2 => Self::WorkerLost,
+            3 => Self::Overloaded,
+            4 => Self::DeadlineExceeded,
+            5 => Self::Closed,
+            6 => Self::ServerDied,
+            7 => Self::Malformed,
+            8 => Self::TooLarge,
+            9 => Self::Stalled,
+            _ => return None,
+        })
+    }
+}
+
+/// A liveness report: [`kind::HEALTH`]'s response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `true` while the server accepts new requests (flips to `false`
+    /// when draining).
+    pub serving: bool,
+    /// Per-shard health, as [`ServerStats::shard_healthy`] — empty when
+    /// the served session is unsharded or no monitor is registered.
+    pub shard_healthy: Vec<bool>,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One verdict for a [`Request::Classify`].
+    Verdict(Verdict),
+    /// Per-window results for a [`Request::ClassifyBatch`].
+    VerdictBatch(Vec<Result<Verdict, WireFault>>),
+    /// A stats snapshot for a [`Request::Stats`].
+    Stats(ServerStats),
+    /// A health report for a [`Request::Health`].
+    Health(HealthReport),
+    /// A request-level fault (any request kind).
+    Error(WireFault),
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let take = bytes.len().min(MAX_DETAIL as usize);
+    // Truncate on a char boundary so the wire always carries valid
+    // UTF-8 (details are human-readable diagnostics; losing a tail is
+    // fine, sending invalid UTF-8 is not).
+    let mut end = take;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u32(out, end as u32);
+    out.extend_from_slice(&bytes[..end]);
+}
+
+fn put_window(out: &mut Vec<u8>, window: &[Vec<u16>]) {
+    let channels = window.first().map_or(0, Vec::len);
+    put_u32(out, window.len() as u32);
+    put_u32(out, channels as u32);
+    for sample in window {
+        // Ragged windows are invalid inputs; pad/truncate to the first
+        // sample's width so the frame stays self-consistent and the
+        // backend's own validation reports the real problem.
+        for c in 0..channels {
+            put_u16(out, sample.get(c).copied().unwrap_or(0));
+        }
+    }
+}
+
+fn put_verdict(out: &mut Vec<u8>, v: &Verdict) {
+    put_u32(out, v.class as u32);
+    out.push(match v.source {
+        VerdictSource::Scan => 0,
+        VerdictSource::EarlyAccept => 1,
+        VerdictSource::CacheHit => 2,
+    });
+    match &v.cycles {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            put_u64(out, c.map_encode);
+            put_u64(out, c.am);
+            put_u64(out, c.total);
+        }
+    }
+    put_u32(out, v.distances.len() as u32);
+    for &d in &v.distances {
+        put_u32(out, d);
+    }
+    let words = v.query.words();
+    put_u32(out, words.len() as u32);
+    for &w in words {
+        put_u32(out, w);
+    }
+}
+
+fn put_fault(out: &mut Vec<u8>, fault: &WireFault) {
+    out.push(fault.code as u8);
+    put_str(out, &fault.detail);
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &ServerStats) {
+    put_u64(out, s.completed);
+    put_u64(out, s.rejected);
+    put_u64(out, s.batches);
+    put_f64(out, s.mean_batch);
+    put_u64(out, s.p50_us);
+    put_u64(out, s.p95_us);
+    put_u64(out, s.p99_us);
+    put_u64(out, s.latency_max_us);
+    put_f64(out, s.latency_mean_us);
+    put_u64(out, s.batch_service_max_us);
+    put_f64(out, s.batch_service_mean_us);
+    put_u64(out, u64::try_from(s.elapsed.as_nanos()).unwrap_or(u64::MAX));
+    put_f64(out, s.windows_per_sec);
+    put_u64(out, s.deadline_expired);
+    put_u64(out, s.retried_batches);
+    put_u64(out, s.contained_panics);
+    put_u32(out, s.shard_windows.len() as u32);
+    for &w in &s.shard_windows {
+        put_u64(out, w);
+    }
+    put_u32(out, s.shard_healthy.len() as u32);
+    for &h in &s.shard_healthy {
+        out.push(u8::from(h));
+    }
+    put_u64(out, s.cache_hits);
+    put_u64(out, s.cache_misses);
+    put_u64(out, s.cache_evictions);
+}
+
+/// Wraps `payload` in a frame header, producing the full wire bytes.
+#[must_use]
+pub fn frame(kind: u8, id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    put_u32(&mut out, MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    put_u16(&mut out, 0);
+    put_u64(&mut out, id);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes one request as a complete frame.
+#[must_use]
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let kind = match req {
+        Request::Classify {
+            deadline_us,
+            window,
+        } => {
+            put_u64(&mut payload, *deadline_us);
+            put_window(&mut payload, window);
+            kind::CLASSIFY
+        }
+        Request::ClassifyBatch {
+            deadline_us,
+            windows,
+        } => {
+            put_u64(&mut payload, *deadline_us);
+            put_u32(&mut payload, windows.len() as u32);
+            for w in windows {
+                put_window(&mut payload, w);
+            }
+            kind::CLASSIFY_BATCH
+        }
+        Request::Stats => kind::STATS,
+        Request::Health => kind::HEALTH,
+    };
+    frame(kind, id, &payload)
+}
+
+/// Encodes one response as a complete frame.
+#[must_use]
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let kind = match resp {
+        Response::Verdict(v) => {
+            put_verdict(&mut payload, v);
+            kind::R_VERDICT
+        }
+        Response::VerdictBatch(items) => {
+            put_u32(&mut payload, items.len() as u32);
+            for item in items {
+                match item {
+                    Ok(v) => {
+                        payload.push(1);
+                        put_verdict(&mut payload, v);
+                    }
+                    Err(fault) => {
+                        payload.push(0);
+                        put_fault(&mut payload, fault);
+                    }
+                }
+            }
+            kind::R_VERDICT_BATCH
+        }
+        Response::Stats(s) => {
+            put_stats(&mut payload, s);
+            kind::R_STATS
+        }
+        Response::Health(h) => {
+            payload.push(u8::from(h.serving));
+            put_u32(&mut payload, h.shard_healthy.len() as u32);
+            for &b in &h.shard_healthy {
+                payload.push(u8::from(b));
+            }
+            kind::R_HEALTH
+        }
+        Response::Error(fault) => {
+            put_fault(&mut payload, fault);
+            kind::R_ERROR
+        }
+    };
+    frame(kind, id, &payload)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over a payload slice.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a list length and checks it against both its cap and the
+    /// bytes actually remaining (`min_elem` bytes per element), so a
+    /// hostile length field can never drive a large allocation.
+    fn len(&mut self, cap: u32, min_elem: usize, what: &'static str) -> Result<usize, WireError> {
+        let n = self.u32()?;
+        if n > cap {
+            return Err(WireError::Malformed(what));
+        }
+        let n = n as usize;
+        let need = n.checked_mul(min_elem).ok_or(WireError::Malformed(what))?;
+        if self.remaining() < need {
+            return Err(WireError::Truncated {
+                need,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+/// Decodes a frame header from (at least) [`HEADER_LEN`] bytes,
+/// enforcing `max_frame` on the declared payload length.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on short input, [`WireError::BadMagic`] /
+/// [`WireError::BadVersion`] / [`WireError::Malformed`] on corrupt
+/// headers, [`WireError::TooLarge`] past the cap. The kind byte is
+/// *not* validated here — payload decoding rejects unknown kinds, so a
+/// server can still echo the request id in its typed error.
+pub fn decode_header(buf: &[u8], max_frame: u32) -> Result<FrameHeader, WireError> {
+    let mut cur = Cur::new(buf);
+    let magic = cur.u32()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = cur.u8()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = cur.u8()?;
+    if cur.u16()? != 0 {
+        return Err(WireError::Malformed("reserved header bytes must be zero"));
+    }
+    let id = cur.u64()?;
+    let len = cur.u32()?;
+    if len > max_frame {
+        return Err(WireError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    Ok(FrameHeader { kind, id, len })
+}
+
+fn take_window(cur: &mut Cur<'_>) -> Result<Window, WireError> {
+    let samples = {
+        let n = cur.u32()?;
+        if n > MAX_SAMPLES {
+            return Err(WireError::Malformed("window sample count over cap"));
+        }
+        n as usize
+    };
+    let channels = {
+        let n = cur.u32()?;
+        if n > MAX_CHANNELS {
+            return Err(WireError::Malformed("window channel count over cap"));
+        }
+        n as usize
+    };
+    let need = samples
+        .checked_mul(channels)
+        .and_then(|n| n.checked_mul(2))
+        .ok_or(WireError::Malformed("window size overflow"))?;
+    if cur.remaining() < need {
+        return Err(WireError::Truncated {
+            need,
+            have: cur.remaining(),
+        });
+    }
+    let mut window = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut sample = Vec::with_capacity(channels);
+        for _ in 0..channels {
+            sample.push(cur.u16()?);
+        }
+        window.push(sample);
+    }
+    Ok(window)
+}
+
+fn take_fault(cur: &mut Cur<'_>) -> Result<WireFault, WireError> {
+    let code = ErrorCode::from_u8(cur.u8()?).ok_or(WireError::Malformed("unknown error code"))?;
+    let len = cur.len(MAX_DETAIL, 1, "error detail over cap")?;
+    let detail = core::str::from_utf8(cur.take(len)?)
+        .map_err(|_| WireError::Malformed("error detail is not UTF-8"))?
+        .to_owned();
+    Ok(WireFault { code, detail })
+}
+
+fn take_verdict(cur: &mut Cur<'_>) -> Result<Verdict, WireError> {
+    let class = cur.u32()? as usize;
+    let source = match cur.u8()? {
+        0 => VerdictSource::Scan,
+        1 => VerdictSource::EarlyAccept,
+        2 => VerdictSource::CacheHit,
+        _ => return Err(WireError::Malformed("unknown verdict source")),
+    };
+    let cycles = match cur.u8()? {
+        0 => None,
+        1 => Some(CycleBreakdown {
+            map_encode: cur.u64()?,
+            am: cur.u64()?,
+            total: cur.u64()?,
+        }),
+        _ => return Err(WireError::Malformed("bad cycles flag")),
+    };
+    let n = cur.len(MAX_VEC, 4, "distance count over cap")?;
+    let mut distances = Vec::with_capacity(n);
+    for _ in 0..n {
+        distances.push(cur.u32()?);
+    }
+    let n = cur.len(MAX_VEC, 4, "query word count over cap")?;
+    if n == 0 {
+        // `BinaryHv` requires at least one word; a zero here is a
+        // corrupt frame, not a verdict.
+        return Err(WireError::Malformed("empty query hypervector"));
+    }
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(cur.u32()?);
+    }
+    Ok(Verdict {
+        class,
+        distances,
+        query: BinaryHv::from_words(words),
+        cycles,
+        source,
+    })
+}
+
+fn take_stats(cur: &mut Cur<'_>) -> Result<ServerStats, WireError> {
+    let completed = cur.u64()?;
+    let rejected = cur.u64()?;
+    let batches = cur.u64()?;
+    let mean_batch = cur.f64()?;
+    let p50_us = cur.u64()?;
+    let p95_us = cur.u64()?;
+    let p99_us = cur.u64()?;
+    let latency_max_us = cur.u64()?;
+    let latency_mean_us = cur.f64()?;
+    let batch_service_max_us = cur.u64()?;
+    let batch_service_mean_us = cur.f64()?;
+    let elapsed = Duration::from_nanos(cur.u64()?);
+    let windows_per_sec = cur.f64()?;
+    let deadline_expired = cur.u64()?;
+    let retried_batches = cur.u64()?;
+    let contained_panics = cur.u64()?;
+    let n = cur.len(MAX_VEC, 8, "shard window count over cap")?;
+    let mut shard_windows = Vec::with_capacity(n);
+    for _ in 0..n {
+        shard_windows.push(cur.u64()?);
+    }
+    let n = cur.len(MAX_VEC, 1, "shard health count over cap")?;
+    let mut shard_healthy = Vec::with_capacity(n);
+    for _ in 0..n {
+        shard_healthy.push(match cur.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::Malformed("bad shard health flag")),
+        });
+    }
+    Ok(ServerStats {
+        completed,
+        rejected,
+        batches,
+        mean_batch,
+        p50_us,
+        p95_us,
+        p99_us,
+        latency_max_us,
+        latency_mean_us,
+        batch_service_max_us,
+        batch_service_mean_us,
+        elapsed,
+        windows_per_sec,
+        deadline_expired,
+        retried_batches,
+        contained_panics,
+        shard_windows,
+        shard_healthy,
+        cache_hits: cur.u64()?,
+        cache_misses: cur.u64()?,
+        cache_evictions: cur.u64()?,
+    })
+}
+
+/// Decodes a request payload against its header.
+///
+/// # Errors
+///
+/// [`WireError::UnknownKind`] if the header's kind is not a request,
+/// otherwise any structural [`WireError`] from the payload.
+pub fn decode_request(header: &FrameHeader, payload: &[u8]) -> Result<Request, WireError> {
+    let mut cur = Cur::new(payload);
+    let req = match header.kind {
+        kind::CLASSIFY => Request::Classify {
+            deadline_us: cur.u64()?,
+            window: take_window(&mut cur)?,
+        },
+        kind::CLASSIFY_BATCH => {
+            let deadline_us = cur.u64()?;
+            // A window is at least 8 bytes (two length fields).
+            let count = {
+                let n = cur.u32()?;
+                if n > MAX_BATCH {
+                    return Err(WireError::Malformed("batch count over cap"));
+                }
+                let need = (n as usize).saturating_mul(8);
+                if cur.remaining() < need {
+                    return Err(WireError::Truncated {
+                        need,
+                        have: cur.remaining(),
+                    });
+                }
+                n as usize
+            };
+            let mut windows = Vec::with_capacity(count);
+            for _ in 0..count {
+                windows.push(take_window(&mut cur)?);
+            }
+            Request::ClassifyBatch {
+                deadline_us,
+                windows,
+            }
+        }
+        kind::STATS => Request::Stats,
+        kind::HEALTH => Request::Health,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    cur.done()?;
+    Ok(req)
+}
+
+/// Decodes a response payload against its header.
+///
+/// # Errors
+///
+/// [`WireError::UnknownKind`] if the header's kind is not a response,
+/// otherwise any structural [`WireError`] from the payload.
+pub fn decode_response(header: &FrameHeader, payload: &[u8]) -> Result<Response, WireError> {
+    let mut cur = Cur::new(payload);
+    let resp = match header.kind {
+        kind::R_VERDICT => Response::Verdict(take_verdict(&mut cur)?),
+        kind::R_VERDICT_BATCH => {
+            // An entry is at least 2 bytes (ok flag + a byte of body).
+            let count = cur.len(MAX_BATCH, 2, "batch count over cap")?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(match cur.u8()? {
+                    0 => Err(take_fault(&mut cur)?),
+                    1 => Ok(take_verdict(&mut cur)?),
+                    _ => return Err(WireError::Malformed("bad batch entry flag")),
+                });
+            }
+            Response::VerdictBatch(items)
+        }
+        kind::R_STATS => Response::Stats(take_stats(&mut cur)?),
+        kind::R_HEALTH => {
+            let serving = match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed("bad serving flag")),
+            };
+            let n = cur.len(MAX_VEC, 1, "shard health count over cap")?;
+            let mut shard_healthy = Vec::with_capacity(n);
+            for _ in 0..n {
+                shard_healthy.push(match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bad shard health flag")),
+                });
+            }
+            Response::Health(HealthReport {
+                serving,
+                shard_healthy,
+            })
+        }
+        kind::R_ERROR => Response::Error(take_fault(&mut cur)?),
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    cur.done()?;
+    Ok(resp)
+}

@@ -1,0 +1,831 @@
+//! The listener side of the wire front-end: accept loops, and one
+//! reader + one responder thread per connection feeding the in-process
+//! [`Server`](crate::Server)'s micro-batcher.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pulp_hd_core::backend::Verdict;
+
+use crate::{ServeError, Server, ServerStats, Ticket, TrySubmitError};
+
+use super::proto::{self, ErrorCode, FrameHeader, HealthReport, WireError, WireFault};
+use super::transport::WireStream;
+use super::{NetConfig, NetError};
+
+/// How often blocked accept/read loops wake to re-check the draining
+/// flag and the connection-dead flag.
+const POLL_TICK: Duration = Duration::from_millis(5);
+
+/// An address to serve on.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A TCP listen address, e.g. `"127.0.0.1:0"` (`0` picks a free
+    /// port; read it back from [`NetServer::tcp_addr`]).
+    Tcp(String),
+    /// A Unix-domain socket path. A stale file at the path is removed
+    /// before binding; the file is removed again on shutdown.
+    Uds(PathBuf),
+}
+
+/// An address the server actually bound.
+#[derive(Debug, Clone)]
+pub enum BoundEndpoint {
+    /// Bound TCP address with the OS-assigned port resolved.
+    Tcp(SocketAddr),
+    /// Bound Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+/// Wire-side counters (the transport analog of [`ServerStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused (connection cap, or arriving mid-drain).
+    pub refused: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Request frames fully read.
+    pub frames: u64,
+    /// Response frames fully written.
+    pub responses: u64,
+    /// Connections killed for an undecodable frame.
+    pub malformed: u64,
+    /// Connections killed for stalling mid-frame past
+    /// [`NetConfig::read_timeout`] (slow-loris defense).
+    pub stalled_kills: u64,
+    /// Requests shed with [`ErrorCode::Overloaded`] at the wire layer
+    /// (per-connection in-flight window or batcher queue full).
+    pub wire_overloaded: u64,
+}
+
+/// State shared by the accept loops and every connection.
+#[derive(Debug, Default)]
+struct NetShared {
+    draining: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    frames: AtomicU64,
+    responses: AtomicU64,
+    malformed: AtomicU64,
+    stalled: AtomicU64,
+    overloaded: AtomicU64,
+}
+
+impl NetShared {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed) as u64,
+            frames: self.frames.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            stalled_kills: self.stalled.load(Ordering::Relaxed),
+            wire_overloaded: self.overloaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running wire front-end around an in-process [`Server`].
+///
+/// Dropping it performs the same graceful drain as
+/// [`shutdown`](Self::shutdown): new connections are refused, every
+/// accepted request is answered, connections wind down, then the inner
+/// server itself drains.
+#[derive(Debug)]
+pub struct NetServer {
+    server: Option<Arc<Server>>,
+    shared: Arc<NetShared>,
+    accepts: Vec<JoinHandle<()>>,
+    bound: Vec<BoundEndpoint>,
+    uds_paths: Vec<PathBuf>,
+    final_stats: Option<ServerStats>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Box<dyn WireStream>> {
+        match self {
+            Self::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true)?;
+                Ok(Box::new(stream))
+            }
+            Self::Uds(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Box::new(stream))
+            }
+        }
+    }
+}
+
+impl NetServer {
+    /// Puts `server` on the wire at every endpoint in `endpoints`.
+    ///
+    /// Takes ownership of the in-process server: its lifecycle is now
+    /// the net server's ([`shutdown`](Self::shutdown) drains the wire
+    /// side first, then the batcher). Telemetry stays reachable through
+    /// [`server_stats`](Self::server_stats) and the wire `Stats`
+    /// command.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Config`] for an invalid [`NetConfig`] or empty
+    /// `endpoints`, [`NetError::Io`] if an endpoint cannot be bound.
+    pub fn spawn(
+        server: Server,
+        endpoints: &[Endpoint],
+        config: NetConfig,
+    ) -> Result<Self, NetError> {
+        config.validate()?;
+        if endpoints.is_empty() {
+            return Err(NetError::Config("at least one endpoint required".into()));
+        }
+        let mut listeners = Vec::with_capacity(endpoints.len());
+        let mut bound = Vec::with_capacity(endpoints.len());
+        let mut uds_paths = Vec::new();
+        for endpoint in endpoints {
+            match endpoint {
+                Endpoint::Tcp(addr) => {
+                    let listener = TcpListener::bind(addr.as_str())?;
+                    bound.push(BoundEndpoint::Tcp(listener.local_addr()?));
+                    listeners.push(Listener::Tcp(listener));
+                }
+                Endpoint::Uds(path) => {
+                    // A stale socket file from a dead process blocks
+                    // rebinding; a live one is somebody else's server.
+                    // Removing only-if-socket keeps the latter an error.
+                    if path.exists() {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    let listener = UnixListener::bind(path)?;
+                    bound.push(BoundEndpoint::Uds(path.clone()));
+                    uds_paths.push(path.clone());
+                    listeners.push(Listener::Uds(listener));
+                }
+            }
+        }
+        let server = Arc::new(server);
+        let shared = Arc::new(NetShared::default());
+        let mut accepts = Vec::with_capacity(listeners.len());
+        for listener in listeners {
+            let server = Arc::clone(&server);
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            accepts.push(
+                std::thread::Builder::new()
+                    .name("pulp-hd-net-accept".into())
+                    .spawn(move || accept_loop(&listener, &server, &shared, &config))
+                    .map_err(|e| NetError::Config(format!("cannot spawn accept thread: {e}")))?,
+            );
+        }
+        Ok(Self {
+            server: Some(server),
+            shared,
+            accepts,
+            bound,
+            uds_paths,
+            final_stats: None,
+        })
+    }
+
+    /// The addresses actually bound, in `endpoints` order.
+    #[must_use]
+    pub fn bound(&self) -> &[BoundEndpoint] {
+        &self.bound
+    }
+
+    /// The first bound TCP address, if any (the port is resolved, so
+    /// `Tcp("127.0.0.1:0")` spawns report the real port here).
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.bound.iter().find_map(|b| match b {
+            BoundEndpoint::Tcp(addr) => Some(*addr),
+            BoundEndpoint::Uds(_) => None,
+        })
+    }
+
+    /// A snapshot of the inner server's telemetry (what the wire
+    /// `Stats` command returns).
+    #[must_use]
+    pub fn server_stats(&self) -> ServerStats {
+        self.server.as_ref().map_or_else(
+            || self.final_stats.clone().unwrap_or_else(zero_stats),
+            |s| s.stats(),
+        )
+    }
+
+    /// A snapshot of the wire-side counters.
+    #[must_use]
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.snapshot()
+    }
+
+    /// Graceful drain: refuse new connections, answer everything
+    /// already accepted, wind down every connection, then shut the
+    /// inner server down. Returns the final stats of both layers.
+    ///
+    /// Connections blocked waiting for traffic see a go-away frame
+    /// ([`ErrorCode::Closed`], request id 0) and close. A request with
+    /// no deadline whose backend never answers would hold the drain
+    /// open — deadlines bound the drain the same way they bound
+    /// requests.
+    #[must_use = "the final stats are the server's life's work; ignore explicitly if unwanted"]
+    pub fn shutdown(mut self) -> (ServerStats, NetStats) {
+        self.finish();
+        (
+            self.final_stats.clone().unwrap_or_else(zero_stats),
+            self.shared.snapshot(),
+        )
+    }
+
+    fn finish(&mut self) {
+        if self.server.is_none() {
+            return;
+        }
+        self.shared.draining.store(true, Ordering::SeqCst);
+        for handle in self.accepts.drain(..) {
+            let _ = handle.join();
+        }
+        while self.shared.active.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if let Some(arc) = self.server.take() {
+            // Every connection (and the accept loops) has exited, so
+            // their `Arc` clones are gone or about to be: spin the
+            // handful of nanoseconds until ours is the last.
+            let mut arc = arc;
+            let server = loop {
+                match Arc::try_unwrap(arc) {
+                    Ok(server) => break server,
+                    Err(still_shared) => {
+                        arc = still_shared;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            };
+            self.final_stats = Some(server.shutdown());
+        }
+        for path in &self.uds_paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// An all-zero stats value for the post-shutdown edge (final stats are
+/// always set by then; this is belt-and-braces, not a real path).
+fn zero_stats() -> ServerStats {
+    crate::stats::Recorder::new().snapshot(Duration::ZERO)
+}
+
+fn accept_loop(
+    listener: &Listener,
+    server: &Arc<Server>,
+    shared: &Arc<NetShared>,
+    config: &NetConfig,
+) {
+    match listener {
+        Listener::Tcp(l) => l.set_nonblocking(true).ok(),
+        Listener::Uds(l) => l.set_nonblocking(true).ok(),
+    };
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok(stream) => {
+                if shared.draining.load(Ordering::SeqCst)
+                    || shared.active.load(Ordering::SeqCst) >= config.max_connections
+                {
+                    shared.refused.fetch_add(1, Ordering::Relaxed);
+                    refuse(&*stream, shared.draining.load(Ordering::SeqCst));
+                    continue;
+                }
+                // Count the connection before its thread exists so the
+                // cap can never be raced past, and hand the increment's
+                // ownership to the thread (its guard decrements).
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                let server = Arc::clone(server);
+                let shared_conn = Arc::clone(shared);
+                let config = config.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("pulp-hd-net-conn".into())
+                    .spawn(move || connection(stream, &server, &shared_conn, &config));
+                if spawned.is_err() {
+                    shared.active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+/// Best-effort go-away for a connection that will not be served.
+fn refuse(stream: &dyn WireStream, draining: bool) {
+    let fault = if draining {
+        WireFault::new(ErrorCode::Closed, "server is draining")
+    } else {
+        WireFault::new(ErrorCode::Overloaded, "connection limit reached")
+    };
+    let frame = proto::encode_response(0, &proto::Response::Error(fault));
+    if let Ok(mut w) = stream.try_clone_stream() {
+        let _ = w.write_all(&frame);
+        let _ = w.flush();
+    }
+    stream.shutdown_stream();
+}
+
+/// Decrements the active-connection count when the connection thread
+/// exits, however it exits.
+struct ActiveGuard<'a>(&'a NetShared);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What the reader hands the responder, in request order.
+enum Reply {
+    /// A pre-encoded frame (stats, health, immediate errors).
+    Frame(Vec<u8>),
+    /// A submitted classify: resolve the ticket, then encode.
+    Wait {
+        id: u64,
+        ticket: Ticket,
+        deadline: Option<Instant>,
+    },
+    /// A submitted batch: resolve each accepted ticket in order.
+    WaitBatch {
+        id: u64,
+        items: Vec<Result<Ticket, WireFault>>,
+        deadline: Option<Instant>,
+    },
+}
+
+fn connection(
+    stream: Box<dyn WireStream>,
+    server: &Arc<Server>,
+    shared: &Arc<NetShared>,
+    config: &NetConfig,
+) {
+    let _guard = ActiveGuard(shared);
+    let Ok(writer) = stream.try_clone_stream() else {
+        stream.shutdown_stream();
+        return;
+    };
+    // Reads poll in POLL_TICK slices so the reader notices draining and
+    // responder-death promptly even while idle.
+    if stream.set_stream_read_timeout(Some(POLL_TICK)).is_err() {
+        stream.shutdown_stream();
+        return;
+    }
+    // Bounded queue: `Wait` entries are capped by the in-flight window,
+    // `Frame` entries by the reader blocking on `send` once the
+    // responder falls behind — which stops the reader reading, which
+    // backpressures the peer through the socket.
+    let (tx, rx) = sync_channel(config.inflight_window + 8);
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let conn_dead = Arc::new(AtomicBool::new(false));
+    let responder = {
+        let inflight = Arc::clone(&inflight);
+        let conn_dead = Arc::clone(&conn_dead);
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("pulp-hd-net-responder".into())
+            .spawn(move || responder_loop(writer, &rx, &inflight, &conn_dead, &shared))
+    };
+    let Ok(responder) = responder else {
+        stream.shutdown_stream();
+        return;
+    };
+    let mut stream = stream;
+    reader_loop(
+        stream.as_mut(),
+        server,
+        shared,
+        config,
+        &tx,
+        &inflight,
+        &conn_dead,
+    );
+    drop(tx);
+    let _ = responder.join();
+    stream.shutdown_stream();
+}
+
+/// One complete frame read, or the reason there is none.
+enum ReadOutcome {
+    Frame(FrameHeader, Vec<u8>),
+    /// Clean EOF between frames.
+    Eof,
+    /// The server started draining while this connection was idle.
+    Draining,
+    /// Mid-frame stall past the read timeout.
+    Stalled,
+    /// Header or length failed to decode (resync is impossible).
+    Malformed(WireError),
+    /// Transport failure or peer vanished mid-frame.
+    Dead,
+}
+
+fn read_frame(
+    stream: &mut dyn WireStream,
+    config: &NetConfig,
+    shared: &NetShared,
+    conn_dead: &AtomicBool,
+) -> ReadOutcome {
+    let mut header_buf = [0u8; proto::HEADER_LEN];
+    match read_exact_patient(stream, &mut header_buf, true, config, shared, conn_dead) {
+        ReadFill::Done => {}
+        ReadFill::Eof => return ReadOutcome::Eof,
+        ReadFill::Draining => return ReadOutcome::Draining,
+        ReadFill::Stalled => return ReadOutcome::Stalled,
+        ReadFill::Dead => return ReadOutcome::Dead,
+    }
+    let header = match proto::decode_header(&header_buf, config.max_frame) {
+        Ok(h) => h,
+        Err(e) => return ReadOutcome::Malformed(e),
+    };
+    let mut payload = vec![0u8; header.len as usize];
+    match read_exact_patient(stream, &mut payload, false, config, shared, conn_dead) {
+        ReadFill::Done => ReadOutcome::Frame(header, payload),
+        ReadFill::Eof | ReadFill::Dead => ReadOutcome::Dead,
+        ReadFill::Draining => ReadOutcome::Draining,
+        ReadFill::Stalled => ReadOutcome::Stalled,
+    }
+}
+
+enum ReadFill {
+    Done,
+    Eof,
+    Draining,
+    Stalled,
+    Dead,
+}
+
+/// Fills `buf` from the stream in poll-tick slices. While no byte has
+/// arrived and `idle_ok` holds (between frames), waiting is unlimited
+/// but the draining flag is honored; once mid-structure, the stall
+/// clock runs: more than `config.read_timeout` without progress is a
+/// slow-loris kill.
+fn read_exact_patient(
+    stream: &mut dyn WireStream,
+    buf: &mut [u8],
+    idle_ok: bool,
+    config: &NetConfig,
+    shared: &NetShared,
+    conn_dead: &AtomicBool,
+) -> ReadFill {
+    if buf.is_empty() {
+        return ReadFill::Done;
+    }
+    let mut filled = 0;
+    let mut last_progress = Instant::now();
+    loop {
+        if conn_dead.load(Ordering::SeqCst) {
+            return ReadFill::Dead;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadFill::Eof
+                } else {
+                    ReadFill::Dead
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                last_progress = Instant::now();
+                if filled == buf.len() {
+                    return ReadFill::Done;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 && idle_ok {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return ReadFill::Draining;
+                    }
+                } else if last_progress.elapsed() > config.read_timeout {
+                    return ReadFill::Stalled;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadFill::Dead,
+        }
+    }
+}
+
+/// The wire deadline for a request: its own header, else the server's
+/// default.
+fn wire_deadline(deadline_us: u64, config: &NetConfig) -> Option<Duration> {
+    if deadline_us == 0 {
+        config.default_deadline
+    } else {
+        Some(Duration::from_micros(deadline_us))
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn reader_loop(
+    stream: &mut dyn WireStream,
+    server: &Arc<Server>,
+    shared: &Arc<NetShared>,
+    config: &NetConfig,
+    tx: &SyncSender<Reply>,
+    inflight: &Arc<AtomicUsize>,
+    conn_dead: &Arc<AtomicBool>,
+) {
+    let client = server.client();
+    let overload = |id: u64, detail: &str| {
+        shared.overloaded.fetch_add(1, Ordering::Relaxed);
+        Reply::Frame(proto::encode_response(
+            id,
+            &proto::Response::Error(WireFault::new(ErrorCode::Overloaded, detail)),
+        ))
+    };
+    loop {
+        let (header, payload) = match read_frame(stream, config, shared, conn_dead) {
+            ReadOutcome::Frame(header, payload) => (header, payload),
+            ReadOutcome::Eof | ReadOutcome::Dead => return,
+            ReadOutcome::Draining => {
+                let _ = tx.send(Reply::Frame(proto::encode_response(
+                    0,
+                    &proto::Response::Error(WireFault::new(
+                        ErrorCode::Closed,
+                        "server is draining",
+                    )),
+                )));
+                return;
+            }
+            ReadOutcome::Stalled => {
+                shared.stalled.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Reply::Frame(proto::encode_response(
+                    0,
+                    &proto::Response::Error(WireFault::new(
+                        ErrorCode::Stalled,
+                        "stalled mid-frame past the read timeout",
+                    )),
+                )));
+                return;
+            }
+            ReadOutcome::Malformed(e) => {
+                shared.malformed.fetch_add(1, Ordering::Relaxed);
+                let code = if matches!(e, WireError::TooLarge { .. }) {
+                    ErrorCode::TooLarge
+                } else {
+                    ErrorCode::Malformed
+                };
+                let _ = tx.send(Reply::Frame(proto::encode_response(
+                    0,
+                    &proto::Response::Error(WireFault::new(code, e.to_string())),
+                )));
+                return;
+            }
+        };
+        shared.frames.fetch_add(1, Ordering::Relaxed);
+        let request = match proto::decode_request(&header, &payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame boundary was intact, but the payload is
+                // garbage: answer with the request's own id, then kill
+                // the connection (a peer that encodes garbage cannot be
+                // trusted to stay in sync).
+                shared.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Reply::Frame(proto::encode_response(
+                    header.id,
+                    &proto::Response::Error(WireFault::new(ErrorCode::Malformed, e.to_string())),
+                )));
+                return;
+            }
+        };
+        let reply = match request {
+            proto::Request::Classify {
+                deadline_us,
+                window,
+            } => {
+                if inflight.load(Ordering::SeqCst) >= config.inflight_window {
+                    overload(header.id, "connection in-flight window full")
+                } else {
+                    let deadline = wire_deadline(deadline_us, config);
+                    match client.try_submit_with_deadline(window, deadline) {
+                        Ok(ticket) => {
+                            inflight.fetch_add(1, Ordering::SeqCst);
+                            Reply::Wait {
+                                id: header.id,
+                                ticket,
+                                deadline: deadline.map(|d| Instant::now() + d),
+                            }
+                        }
+                        Err(TrySubmitError::Overloaded) => overload(header.id, "server queue full"),
+                        Err(TrySubmitError::Closed) => {
+                            let _ = tx.send(Reply::Frame(proto::encode_response(
+                                header.id,
+                                &proto::Response::Error(WireFault::new(
+                                    ErrorCode::Closed,
+                                    "server is shut down",
+                                )),
+                            )));
+                            return;
+                        }
+                    }
+                }
+            }
+            proto::Request::ClassifyBatch {
+                deadline_us,
+                windows,
+            } => {
+                let deadline = wire_deadline(deadline_us, config);
+                let room = config
+                    .inflight_window
+                    .saturating_sub(inflight.load(Ordering::SeqCst));
+                if windows.len() > room {
+                    overload(header.id, "batch exceeds connection in-flight window")
+                } else {
+                    let mut items = Vec::with_capacity(windows.len());
+                    let mut accepted = 0usize;
+                    for window in windows {
+                        match client.try_submit_with_deadline(window, deadline) {
+                            Ok(ticket) => {
+                                accepted += 1;
+                                items.push(Ok(ticket));
+                            }
+                            Err(TrySubmitError::Overloaded) => {
+                                shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                                items.push(Err(WireFault::new(
+                                    ErrorCode::Overloaded,
+                                    "server queue full",
+                                )));
+                            }
+                            Err(TrySubmitError::Closed) => {
+                                items.push(Err(WireFault::new(
+                                    ErrorCode::Closed,
+                                    "server is shut down",
+                                )));
+                            }
+                        }
+                    }
+                    inflight.fetch_add(accepted, Ordering::SeqCst);
+                    Reply::WaitBatch {
+                        id: header.id,
+                        items,
+                        deadline: deadline.map(|d| Instant::now() + d),
+                    }
+                }
+            }
+            proto::Request::Stats => Reply::Frame(proto::encode_response(
+                header.id,
+                &proto::Response::Stats(server.stats()),
+            )),
+            proto::Request::Health => {
+                let report = HealthReport {
+                    serving: !shared.draining.load(Ordering::SeqCst),
+                    shard_healthy: server.stats().shard_healthy,
+                };
+                Reply::Frame(proto::encode_response(
+                    header.id,
+                    &proto::Response::Health(report),
+                ))
+            }
+        };
+        if tx.send(reply).is_err() {
+            // Responder gone (write failure): nothing to answer to.
+            return;
+        }
+    }
+}
+
+/// Resolves one accepted ticket against its (absolute) deadline. The
+/// wire layer enforces the deadline on the reply path too — the
+/// batcher's triage cannot run while the backend itself hangs, so this
+/// `wait_timeout` is what keeps "every fault surfaces before its
+/// deadline" true even then.
+fn wait_result(ticket: Ticket, deadline: Option<Instant>) -> Result<Verdict, WireFault> {
+    let outcome = match deadline {
+        Some(at) => match ticket.wait_timeout(at.saturating_duration_since(Instant::now())) {
+            Ok(Some(verdict)) => Ok(verdict),
+            Ok(None) => Err(ServeError::DeadlineExceeded),
+            Err(e) => Err(e),
+        },
+        None => ticket.wait(),
+    };
+    outcome.map_err(|e| fault_of(&e))
+}
+
+/// Maps a serve-layer error to its wire fault.
+fn fault_of(e: &ServeError) -> WireFault {
+    match e {
+        ServeError::Backend(inner) => {
+            if matches!(
+                inner,
+                pulp_hd_core::backend::BackendError::WorkerLost { .. }
+                    | pulp_hd_core::backend::BackendError::ShardLost { .. }
+            ) {
+                WireFault::new(ErrorCode::WorkerLost, inner.to_string())
+            } else {
+                WireFault::new(ErrorCode::Backend, inner.to_string())
+            }
+        }
+        ServeError::Config(what) => WireFault::new(ErrorCode::Backend, what.clone()),
+        ServeError::Closed => WireFault::new(ErrorCode::Closed, "server is shut down"),
+        ServeError::ServerDied => {
+            WireFault::new(ErrorCode::ServerDied, "server batcher thread died")
+        }
+        ServeError::DeadlineExceeded => WireFault::new(
+            ErrorCode::DeadlineExceeded,
+            "deadline exceeded before service",
+        ),
+    }
+}
+
+fn responder_loop(
+    mut writer: Box<dyn WireStream>,
+    rx: &Receiver<Reply>,
+    inflight: &AtomicUsize,
+    conn_dead: &AtomicBool,
+    shared: &NetShared,
+) {
+    // After a write failure the responder keeps draining (and resolving
+    // tickets, keeping `inflight` accurate) but stops writing.
+    let mut write_ok = true;
+    for reply in rx.iter() {
+        let frame = match reply {
+            Reply::Frame(frame) => frame,
+            Reply::Wait {
+                id,
+                ticket,
+                deadline,
+            } => {
+                let result = wait_result(ticket, deadline);
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                match result {
+                    Ok(verdict) => proto::encode_response(id, &proto::Response::Verdict(verdict)),
+                    Err(fault) => proto::encode_response(id, &proto::Response::Error(fault)),
+                }
+            }
+            Reply::WaitBatch {
+                id,
+                items,
+                deadline,
+            } => {
+                let results: Vec<Result<Verdict, WireFault>> = items
+                    .into_iter()
+                    .map(|item| match item {
+                        Ok(ticket) => {
+                            let result = wait_result(ticket, deadline);
+                            inflight.fetch_sub(1, Ordering::SeqCst);
+                            result
+                        }
+                        Err(fault) => Err(fault),
+                    })
+                    .collect();
+                proto::encode_response(id, &proto::Response::VerdictBatch(results))
+            }
+        };
+        if write_ok {
+            write_ok = writer
+                .write_all(&frame)
+                .and_then(|()| writer.flush())
+                .is_ok();
+            if write_ok {
+                shared.responses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Wake the reader (it is blocked in poll-tick reads) so
+                // the connection winds down instead of reading requests
+                // nobody can answer.
+                conn_dead.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    writer.shutdown_stream();
+}

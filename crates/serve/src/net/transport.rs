@@ -1,0 +1,303 @@
+//! Byte transports: the stream abstraction the net layer reads and
+//! writes, plus [`FaultTransport`] — the transport analog of the core's
+//! [`FaultBackend`](pulp_hd_core::backend::FaultBackend), injecting
+//! deterministic disconnects, truncations, garbage, and stalls on a
+//! seeded schedule so the chaos suite can pin the server's and client's
+//! behavior under every transport failure mode.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The byte-stream surface the net layer works over: TCP, Unix domain
+/// sockets, and chaos wrappers around either. `try_clone_stream` hands
+/// the writer half to the responder thread (both halves share one
+/// socket), `set_stream_read_timeout` arms the slow-loris defense, and
+/// `shutdown_stream` tears the connection down from either half.
+pub trait WireStream: Read + Write + Send {
+    /// A second handle to the same underlying stream (shared file
+    /// description: reads and writes interleave with the original).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the OS-level duplication.
+    fn try_clone_stream(&self) -> io::Result<Box<dyn WireStream>>;
+
+    /// Sets the blocking-read timeout (reads then fail with
+    /// [`io::ErrorKind::WouldBlock`] / `TimedOut` instead of hanging).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the OS.
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Closes both directions, waking any thread blocked on the peer
+    /// half. Best-effort: errors are ignored (the stream may already be
+    /// gone).
+    fn shutdown_stream(&self);
+}
+
+impl WireStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn WireStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_stream(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl WireStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn WireStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn shutdown_stream(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// What an injected transport fault does when its scheduled operation
+/// arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFault {
+    /// Kill the connection: the faulted operation fails (writes) or
+    /// reports end-of-stream (reads), and every later operation on this
+    /// transport fails too.
+    Disconnect,
+    /// Deliver/send only the first half of the operation's bytes, then
+    /// kill the connection — a mid-frame cut.
+    Truncate,
+    /// XOR the operation's bytes with a seeded pseudo-random mask — a
+    /// corrupted-but-delivered frame.
+    Garbage,
+    /// Sleep this long before performing the operation normally — a
+    /// slow peer.
+    Stall(Duration),
+}
+
+/// A deterministic transport-fault schedule: `(operation index, fault)`
+/// entries, counted separately for reads and writes, shared across
+/// clones of the wrapped stream (so the reader and writer halves of one
+/// connection consume one schedule).
+#[derive(Debug, Clone, Default)]
+pub struct TransportPlan {
+    reads: Vec<(u64, TransportFault)>,
+    writes: Vec<(u64, TransportFault)>,
+    seed: u64,
+}
+
+impl TransportPlan {
+    /// An empty schedule (injects nothing) with the given garbage seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Schedules `fault` on the `op`-th read (0-based, counted across
+    /// the transport and its clones).
+    #[must_use]
+    pub fn fault_read(mut self, op: u64, fault: TransportFault) -> Self {
+        self.reads.push((op, fault));
+        self
+    }
+
+    /// Schedules `fault` on the `op`-th write (0-based, counted across
+    /// the transport and its clones).
+    #[must_use]
+    pub fn fault_write(mut self, op: u64, fault: TransportFault) -> Self {
+        self.writes.push((op, fault));
+        self
+    }
+}
+
+/// Shared across clones: the plan plus the operation counters and the
+/// dead flag.
+#[derive(Debug)]
+struct FaultState {
+    plan: TransportPlan,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    dead: AtomicBool,
+}
+
+/// A chaos wrapper around any [`WireStream`]: consults a
+/// [`TransportPlan`] before every read/write and injects the scheduled
+/// fault. Deterministic given the schedule and the operation order.
+#[derive(Debug)]
+pub struct FaultTransport<S> {
+    inner: S,
+    state: Arc<FaultState>,
+}
+
+impl<S: WireStream> FaultTransport<S> {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: S, plan: TransportPlan) -> Self {
+        Self {
+            inner,
+            state: Arc::new(FaultState {
+                plan,
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    fn kill(&self) {
+        self.state.dead.store(true, Ordering::SeqCst);
+        self.inner.shutdown_stream();
+    }
+
+    /// A deterministic garbage mask byte for (seed, op, index).
+    fn mask(seed: u64, op: u64, i: usize) -> u8 {
+        let mut x = seed
+            .wrapping_add(op.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((i as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        // Never zero: every masked byte actually changes.
+        (x as u8) | 1
+    }
+
+    fn fault_for(entries: &[(u64, TransportFault)], op: u64) -> Option<TransportFault> {
+        entries.iter().find(|(at, _)| *at == op).map(|(_, f)| *f)
+    }
+}
+
+impl<S: WireStream> Read for FaultTransport<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Ok(0);
+        }
+        let op = self.state.reads.fetch_add(1, Ordering::SeqCst);
+        match Self::fault_for(&self.state.plan.reads, op) {
+            None => self.inner.read(buf),
+            Some(TransportFault::Stall(d)) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            Some(TransportFault::Disconnect) => {
+                self.kill();
+                Ok(0)
+            }
+            Some(TransportFault::Truncate) => {
+                let n = self.inner.read(buf)?;
+                self.kill();
+                Ok(n.div_ceil(2))
+            }
+            Some(TransportFault::Garbage) => {
+                let n = self.inner.read(buf)?;
+                let seed = self.state.plan.seed;
+                for (i, b) in buf[..n].iter_mut().enumerate() {
+                    *b ^= Self::mask(seed, op, i);
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl<S: WireStream> Write for FaultTransport<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected transport disconnect",
+            ));
+        }
+        let op = self.state.writes.fetch_add(1, Ordering::SeqCst);
+        match Self::fault_for(&self.state.plan.writes, op) {
+            None => self.inner.write(buf),
+            Some(TransportFault::Stall(d)) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Some(TransportFault::Disconnect) => {
+                self.kill();
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected transport disconnect",
+                ))
+            }
+            Some(TransportFault::Truncate) => {
+                let half = buf.len().div_ceil(2);
+                let sent = self.inner.write(&buf[..half]);
+                let _ = self.inner.flush();
+                self.kill();
+                sent
+            }
+            Some(TransportFault::Garbage) => {
+                let seed = self.state.plan.seed;
+                let masked: Vec<u8> = buf
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| b ^ Self::mask(seed, op, i))
+                    .collect();
+                self.inner.write(&masked)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: CloneableStream + 'static> WireStream for FaultTransport<S> {
+    fn try_clone_stream(&self) -> io::Result<Box<dyn WireStream>> {
+        Ok(Box::new(Self {
+            inner: self.inner.try_clone_typed()?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_stream_read_timeout(timeout)
+    }
+
+    fn shutdown_stream(&self) {
+        self.kill();
+    }
+}
+
+/// Typed cloning, so a cloned [`FaultTransport`] keeps sharing its
+/// fault state instead of nesting a boxed wrapper. Implemented for the
+/// concrete socket types.
+pub trait CloneableStream: WireStream + Sized {
+    /// A second typed handle to the same stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the OS-level duplication.
+    fn try_clone_typed(&self) -> io::Result<Self>;
+}
+
+impl CloneableStream for TcpStream {
+    fn try_clone_typed(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+}
+
+impl CloneableStream for UnixStream {
+    fn try_clone_typed(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+}

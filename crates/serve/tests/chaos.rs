@@ -255,3 +255,50 @@ fn shard_death_degrades_the_server_without_client_visible_errors() {
     assert!(stats.retried_batches >= 1, "{:?}", stats.retried_batches);
     assert_eq!(stats.contained_panics, 0, "the backend contained it");
 }
+
+/// A hung backend ([`FaultKind::Hang`]) does not wedge callers who use
+/// `wait_timeout`: the ticket times out with `Ok(None)` while the
+/// worker is stuck, and after the hang releases the server returns to
+/// serving bit-identical verdicts.
+#[test]
+fn hung_backend_times_out_tickets_then_recovers() {
+    let params = params();
+    let model = HdModel::random(&params, 0x5E05);
+    let windows = random_windows(&params, 3, 2, 0xD55);
+    let expected = golden_verdicts(&model, &windows);
+
+    let plan = FaultPlan::new().fault_at(0, FaultKind::Hang);
+    let release = plan.hang_release();
+    let backend = FaultBackend::new(FastBackend::try_with_threads(1).unwrap(), plan);
+    let server = Server::spawn(
+        &backend,
+        &model,
+        ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_micros(100),
+            queue_depth: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+
+    // The first submission lands on the hung call: its ticket must time
+    // out cleanly (`Ok(None)`, consuming the ticket) instead of
+    // blocking forever.
+    let stuck = client.submit(windows[0].clone()).unwrap();
+    assert!(
+        stuck
+            .wait_timeout(Duration::from_millis(100))
+            .unwrap()
+            .is_none(),
+        "ticket resolved while the backend was hung"
+    );
+
+    // Release the hang: the wedged batch drains and fresh requests —
+    // including a re-ask of the abandoned window — serve bit-identically.
+    release.release();
+    assert_eq!(client.classify(&windows[0]).unwrap(), expected[0]);
+    assert_eq!(client.classify(&windows[1]).unwrap(), expected[1]);
+    let _ = server.shutdown();
+}

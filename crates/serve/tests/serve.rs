@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use hdc::rng::Xoshiro256PlusPlus;
 use pulp_hd_core::backend::{
-    ApproxPolicy, ExecutionBackend, FastBackend, GoldenBackend, HdModel, ScanPolicy, ShardSpec,
-    ShardedBackend, TrainSpec, TrainableBackend,
+    ApproxPolicy, ExecutionBackend, FastBackend, FaultBackend, FaultKind, FaultPlan, GoldenBackend,
+    HdModel, ScanPolicy, ShardSpec, ShardedBackend, TrainSpec, TrainableBackend,
 };
 use pulp_hd_core::layout::AccelParams;
 use pulp_hd_serve::{ServeConfig, ServeError, Server, TrySubmitError};
@@ -318,6 +318,55 @@ fn ticket_wait_timeout_behaves() {
     let t = client.submit(slow).unwrap();
     assert!(t.wait_timeout(Duration::ZERO).unwrap().is_none());
     let _ = server.shutdown();
+}
+
+/// A per-request deadline overrides the config-wide one and is
+/// enforced by batch triage: a request stuck behind a slow batch past
+/// its own (tight) deadline resolves as [`ServeError::DeadlineExceeded`]
+/// and is counted, while a no-deadline request behind the same slow
+/// batch is served normally.
+#[test]
+fn per_request_deadline_overrides_and_is_triaged() {
+    let params = params();
+    let model = HdModel::random(&params, 21);
+    // Call 0 (request A's batch) sleeps 50 ms, pinning the batcher so
+    // the next two submissions queue behind it.
+    let backend = FaultBackend::new(
+        FastBackend::try_with_threads(1).unwrap(),
+        FaultPlan::new().fault_at(0, FaultKind::Delay(Duration::from_millis(50))),
+    );
+    let server = Server::spawn(
+        &backend,
+        &model,
+        ServeConfig {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            queue_depth: 8,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = server.client();
+    let windows = random_windows(&params, 2, 3, 22);
+
+    let slow = client.submit(windows[0].clone()).unwrap();
+    let tight = client
+        .submit_with_deadline(windows[1].clone(), Some(Duration::from_millis(5)))
+        .unwrap();
+    let patient = client.submit(windows[2].clone()).unwrap();
+
+    assert!(slow.wait().is_ok(), "the delayed batch itself still serves");
+    assert!(
+        matches!(tight.wait(), Err(ServeError::DeadlineExceeded)),
+        "5 ms deadline behind a 50 ms batch must be shed at triage"
+    );
+    assert!(patient.wait().is_ok(), "no-deadline sibling is unaffected");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+    // Every resolved ticket — including the shed one — contributes a
+    // latency sample, so `completed` counts all three.
+    assert_eq!(stats.completed, 3);
 }
 
 /// Invalid configurations are rejected up front — through every
