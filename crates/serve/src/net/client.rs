@@ -12,7 +12,7 @@ use pulp_hd_core::backend::Verdict;
 
 use crate::ServerStats;
 
-use super::proto::{self, HealthReport, Request, Response};
+use super::proto::{self, ErrorCode, HealthReport, Request, Response};
 use super::transport::WireStream;
 use super::{NetClientConfig, NetError};
 
@@ -251,7 +251,17 @@ impl NetClient {
         ) {
             self.stream = None;
         }
-        result
+        // Server-side faults ride back as `Ok(Response::Error(..))`
+        // carrying the request id; lift the transient class — a
+        // contained worker loss — into `Err` here so the retry loop in
+        // `roundtrip` sees it. The connection stays: frame boundaries
+        // held, only a backend worker died.
+        match result {
+            Ok(Response::Error(fault)) if fault.code == ErrorCode::WorkerLost => {
+                Err(NetError::from_fault(fault))
+            }
+            other => other,
+        }
     }
 
     fn drive(

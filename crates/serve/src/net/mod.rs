@@ -15,9 +15,10 @@
 //!   wedged backend answers with [`ErrorCode::DeadlineExceeded`] in
 //!   time.
 //! * **Hostile input is a connection problem, not a server problem.**
-//!   Oversized frames, garbage, and mid-frame stalls (slow-loris) get a
-//!   typed error and kill *that connection only*; the frame decoder
-//!   never panics (fuzzed in `tests/proto_fuzz.rs`).
+//!   Oversized frames, garbage, mid-frame stalls (slow-loris), and
+//!   peers that stop reading their replies (write stalls) get a typed
+//!   error and kill *that connection only*; the frame decoder never
+//!   panics (fuzzed in `tests/proto_fuzz.rs`).
 //! * **Graceful drain.** Shutdown refuses new connections, answers
 //!   every accepted request, then stops — mirroring the in-process
 //!   server's contract.
@@ -149,6 +150,12 @@ pub struct NetConfig {
     /// killed with [`ErrorCode::Stalled`] (slow-loris defense). Idle
     /// time between frames is unlimited.
     pub read_timeout: Duration,
+    /// How long a response write may block before the connection is
+    /// treated as dead. A peer that submits requests but stops reading
+    /// replies (or advertises a zero window) fills the kernel send
+    /// buffer; without this bound the responder would block forever,
+    /// holding the connection — and graceful drain — open indefinitely.
+    pub write_timeout: Duration,
     /// Deadline applied to wire requests that carry none of their own
     /// (`deadline_us == 0`). `None` leaves them deadline-free.
     pub default_deadline: Option<Duration>,
@@ -159,12 +166,14 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     /// 4 MiB frames, 64 in-flight requests per connection, 2 s
-    /// mid-frame stall cap, no default deadline, 1024 connections.
+    /// mid-frame stall cap, 5 s write stall cap, no default deadline,
+    /// 1024 connections.
     fn default() -> Self {
         Self {
             max_frame: proto::DEFAULT_MAX_FRAME,
             inflight_window: 64,
             read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
             default_deadline: None,
             max_connections: 1024,
         }
@@ -185,6 +194,9 @@ impl NetConfig {
         }
         if self.read_timeout.is_zero() {
             return Err(NetError::Config("read_timeout must be non-zero".into()));
+        }
+        if self.write_timeout.is_zero() {
+            return Err(NetError::Config("write_timeout must be non-zero".into()));
         }
         Ok(())
     }

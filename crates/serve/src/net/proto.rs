@@ -296,9 +296,13 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
 
 fn put_window(out: &mut Vec<u8>, window: &[Vec<u16>]) {
     let channels = window.first().map_or(0, Vec::len);
-    put_u32(out, window.len() as u32);
+    // A window of zero-width samples carries no data; normalize it to
+    // the empty window so the encoder never emits the
+    // `channels == 0 && samples > 0` shape the decoder rejects.
+    let samples = if channels == 0 { 0 } else { window.len() };
+    put_u32(out, samples as u32);
     put_u32(out, channels as u32);
-    for sample in window {
+    for sample in &window[..samples] {
         // Ragged windows are invalid inputs; pad/truncate to the first
         // sample's width so the frame stays self-consistent and the
         // backend's own validation reports the real problem.
@@ -588,6 +592,15 @@ fn take_window(cur: &mut Cur<'_>) -> Result<Window, WireError> {
         }
         n as usize
     };
+    if channels == 0 && samples > 0 {
+        // The encoder only emits `channels == 0` for empty windows. A
+        // claimed sample count with zero channels needs zero payload
+        // bytes, so the remaining-bytes check below would wave through
+        // `Vec::with_capacity(samples)` — ~24 bytes of `Vec` header per
+        // claimed sample from an 8-byte window, defeating the
+        // allocation bound this decoder exists to enforce.
+        return Err(WireError::Malformed("zero-channel window claims samples"));
+    }
     let need = samples
         .checked_mul(channels)
         .and_then(|n| n.checked_mul(2))

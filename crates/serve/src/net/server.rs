@@ -30,8 +30,10 @@ pub enum Endpoint {
     /// A TCP listen address, e.g. `"127.0.0.1:0"` (`0` picks a free
     /// port; read it back from [`NetServer::tcp_addr`]).
     Tcp(String),
-    /// A Unix-domain socket path. A stale file at the path is removed
-    /// before binding; the file is removed again on shutdown.
+    /// A Unix-domain socket path. A stale socket file at the path (one
+    /// left by a dead server) is removed before binding; a regular file
+    /// or a socket a live server answers on makes the bind fail with
+    /// `AddrInUse`. The socket file is removed again on shutdown.
     Uds(PathBuf),
 }
 
@@ -166,12 +168,7 @@ impl NetServer {
                     listeners.push(Listener::Tcp(listener));
                 }
                 Endpoint::Uds(path) => {
-                    // A stale socket file from a dead process blocks
-                    // rebinding; a live one is somebody else's server.
-                    // Removing only-if-socket keeps the latter an error.
-                    if path.exists() {
-                        let _ = std::fs::remove_file(path);
-                    }
+                    unlink_stale_uds(path)?;
                     let listener = UnixListener::bind(path)?;
                     bound.push(BoundEndpoint::Uds(path.clone()));
                     uds_paths.push(path.clone());
@@ -298,6 +295,27 @@ fn zero_stats() -> ServerStats {
     crate::stats::Recorder::new().snapshot(Duration::ZERO)
 }
 
+/// Unlinks a *stale* socket file — one left behind by a dead server —
+/// before a UDS bind. Anything else at the path stays put: a regular
+/// file is never deleted (the bind then fails with `AddrInUse`), and a
+/// socket a live server still answers on is a typed error rather than
+/// a silent theft.
+fn unlink_stale_uds(path: &std::path::Path) -> Result<(), NetError> {
+    use std::os::unix::fs::FileTypeExt;
+    if let Ok(meta) = std::fs::symlink_metadata(path) {
+        if meta.file_type().is_socket() {
+            if std::os::unix::net::UnixStream::connect(path).is_ok() {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("{} is in use by a live server", path.display()),
+                )));
+            }
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
 fn accept_loop(
     listener: &Listener,
     server: &Arc<Server>,
@@ -401,6 +419,18 @@ fn connection(
         stream.shutdown_stream();
         return;
     };
+    // A peer that submits requests but never reads its replies fills
+    // the kernel send buffer; bounding writes turns that into a dead
+    // connection instead of a responder blocked forever (which would
+    // wedge the reader on the bounded channel and hold graceful drain
+    // open indefinitely).
+    if writer
+        .set_stream_write_timeout(Some(config.write_timeout))
+        .is_err()
+    {
+        stream.shutdown_stream();
+        return;
+    }
     // Reads poll in POLL_TICK slices so the reader notices draining and
     // responder-death promptly even while idle.
     if stream.set_stream_read_timeout(Some(POLL_TICK)).is_err() {

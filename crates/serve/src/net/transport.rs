@@ -34,6 +34,15 @@ pub trait WireStream: Read + Write + Send {
     /// Any [`io::Error`] from the OS.
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
 
+    /// Sets the blocking-write timeout (writes into a full send buffer
+    /// then fail with [`io::ErrorKind::WouldBlock`] / `TimedOut`
+    /// instead of hanging on a peer that stopped reading).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the OS.
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+
     /// Closes both directions, waking any thread blocked on the peer
     /// half. Best-effort: errors are ignored (the stream may already be
     /// gone).
@@ -49,6 +58,10 @@ impl WireStream for TcpStream {
         self.set_read_timeout(timeout)
     }
 
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
+
     fn shutdown_stream(&self) {
         let _ = self.shutdown(std::net::Shutdown::Both);
     }
@@ -61,6 +74,10 @@ impl WireStream for UnixStream {
 
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         self.set_read_timeout(timeout)
+    }
+
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(timeout)
     }
 
     fn shutdown_stream(&self) {
@@ -271,6 +288,10 @@ impl<S: CloneableStream + 'static> WireStream for FaultTransport<S> {
 
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         self.inner.set_stream_read_timeout(timeout)
+    }
+
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_stream_write_timeout(timeout)
     }
 
     fn shutdown_stream(&self) {

@@ -372,6 +372,125 @@ fn worker_panic_over_the_wire_stays_typed() {
     assert_eq!(net_stats.active, 0);
 }
 
+/// A peer that submits requests but never reads its replies fills the
+/// kernel send buffer. The responder's write timeout must turn that
+/// into a dead connection so graceful drain completes — instead of the
+/// responder blocking forever mid-write, the reader wedging on the
+/// bounded reply channel, and `shutdown` spinning on `active > 0`.
+#[test]
+fn non_reading_peer_cannot_wedge_drain() {
+    let params = params();
+    let model = HdModel::random(&params, 0xC408);
+    let windows = random_windows(&params, 3, 1, 0x9008);
+
+    let path = std::env::temp_dir().join(format!("pulp-hd-net-noread-{}.sock", std::process::id()));
+    let backend = FastBackend::try_with_threads(1).unwrap();
+    let server = Server::spawn(&backend, &model, ServeConfig::default()).unwrap();
+    let net = NetServer::spawn(
+        server,
+        &[Endpoint::Uds(path.clone())],
+        NetConfig {
+            write_timeout: Duration::from_millis(200),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+
+    // The zombie peer: pump classify frames, read nothing. Its own
+    // write timeout ends the pump once the server backpressures through
+    // both socket buffers (reader blocked on the full reply channel).
+    use std::io::Write;
+    let mut peer = std::os::unix::net::UnixStream::connect(&path).unwrap();
+    peer.set_write_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let frame = pulp_hd_serve::net::proto::encode_request(
+        1,
+        &pulp_hd_serve::net::proto::Request::Classify {
+            deadline_us: 0,
+            window: windows[0].clone(),
+        },
+    );
+    for _ in 0..20_000 {
+        if peer.write_all(&frame).is_err() {
+            break;
+        }
+    }
+
+    // The peer's socket stays open (not reading is not the same as
+    // gone) while the drain must still complete, bounded by the write
+    // timeout — never by the peer deciding to read.
+    let drain = std::thread::spawn(move || net.shutdown());
+    let started = Instant::now();
+    while !drain.is_finished() {
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "drain wedged behind a non-reading peer"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (_, net_stats) = drain.join().unwrap();
+    assert_eq!(net_stats.active, 0, "zombie connection leaked");
+    drop(peer);
+    assert!(!path.exists(), "socket file cleaned up");
+}
+
+/// A worker loss that escapes the server's own containment (batch retry
+/// budget exhausted, per-window fallback panicked too) reaches the wire
+/// as a typed `WorkerLost` fault — which the client treats as transient
+/// and retries automatically, on the same connection, to a
+/// bit-identical verdict.
+#[test]
+fn worker_lost_is_auto_retried_by_the_client() {
+    silence_expected_panics();
+    let params = params();
+    let model = HdModel::random(&params, 0xC409);
+    let windows = random_windows(&params, 3, 2, 0x9009);
+    let expected = golden_verdicts(&model, &windows);
+
+    // Call 0 is the first request's batch attempt, call 1 its
+    // per-window fallback: panicking both — with the server's own retry
+    // budget at zero — forces the WorkerLost onto the wire.
+    let plan = FaultPlan::new()
+        .fault_at(0, FaultKind::Panic)
+        .fault_at(1, FaultKind::Panic);
+    let backend = FaultBackend::new(FastBackend::try_with_threads(1).unwrap(), plan);
+    let server = Server::spawn(
+        &backend,
+        &model,
+        ServeConfig {
+            worker_lost_retries: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let net = NetServer::spawn(
+        server,
+        &[Endpoint::Tcp("127.0.0.1:0".into())],
+        NetConfig::default(),
+    )
+    .unwrap();
+
+    let mut client =
+        NetClient::connect_tcp(net.tcp_addr().unwrap(), NetClientConfig::default()).unwrap();
+    // The client's retry budget (2 by default) absorbs the fault: the
+    // caller sees only bit-identical verdicts.
+    assert_eq!(client.classify(&windows[0]).unwrap(), expected[0]);
+    assert_eq!(client.classify(&windows[1]).unwrap(), expected[1]);
+
+    drop(client);
+    let (stats, net_stats) = net.shutdown();
+    assert!(stats.contained_panics >= 2, "{}", stats.contained_panics);
+    assert_eq!(
+        net_stats.accepted, 1,
+        "worker loss must not cost a reconnect"
+    );
+    assert!(
+        net_stats.frames >= 3,
+        "the retry must be a fresh request frame, got {}",
+        net_stats.frames
+    );
+}
+
 /// The full storm: several faulty clients (disconnects, garbage,
 /// truncation on scripted ops) hammer the server alongside one healthy
 /// client. The server survives, the healthy client's verdicts stay

@@ -312,6 +312,67 @@ fn shutdown_drains_and_refuses_new_work() {
     );
 }
 
+/// UDS binding only ever unlinks *stale socket files*: a regular file
+/// at the path survives (the bind fails instead), a path a live server
+/// answers on is an error rather than a silent theft, and a socket
+/// left behind by a dead server is reclaimed.
+#[test]
+fn uds_bind_never_steals_files_or_live_sockets() {
+    let params = params();
+    let model = HdModel::random(&params, 0x4E81);
+    let windows = random_windows(&params, 3, 1, 0x88AC);
+    let expected = golden_verdicts(&model, &windows);
+
+    // A regular file at the path: the spawn fails and the file (and its
+    // contents) are untouched.
+    let file_path = uds_path("net-uds-file");
+    std::fs::write(&file_path, b"precious").unwrap();
+    let backend = FastBackend::try_with_threads(1).unwrap();
+    let server = Server::spawn(&backend, &model, ServeConfig::default()).unwrap();
+    assert!(
+        NetServer::spawn(
+            server,
+            &[Endpoint::Uds(file_path.clone())],
+            NetConfig::default()
+        )
+        .is_err(),
+        "bind over a regular file must fail"
+    );
+    assert_eq!(std::fs::read(&file_path).unwrap(), b"precious");
+    std::fs::remove_file(&file_path).unwrap();
+
+    // A live server's socket: a second spawn on the same path fails,
+    // and the first keeps serving through it.
+    let live_path = uds_path("net-uds-live");
+    let net = spawn_net(&model, &[Endpoint::Uds(live_path.clone())]);
+    let backend = FastBackend::try_with_threads(1).unwrap();
+    let server = Server::spawn(&backend, &model, ServeConfig::default()).unwrap();
+    assert!(
+        NetServer::spawn(
+            server,
+            &[Endpoint::Uds(live_path.clone())],
+            NetConfig::default()
+        )
+        .is_err(),
+        "bind over a live server's socket must fail"
+    );
+    let mut client = NetClient::connect_uds(&live_path, NetClientConfig::default()).unwrap();
+    assert_eq!(client.classify(&windows[0]).unwrap(), expected[0]);
+    drop(client);
+    let _ = net.shutdown();
+
+    // A stale socket (its listener is gone, nobody answers): reclaimed.
+    let stale_path = uds_path("net-uds-stale");
+    drop(std::os::unix::net::UnixListener::bind(&stale_path).unwrap());
+    assert!(stale_path.exists(), "dropping a listener leaves the file");
+    let net = spawn_net(&model, &[Endpoint::Uds(stale_path.clone())]);
+    let mut client = NetClient::connect_uds(&stale_path, NetClientConfig::default()).unwrap();
+    assert_eq!(client.classify(&windows[0]).unwrap(), expected[0]);
+    drop(client);
+    let _ = net.shutdown();
+    assert!(!stale_path.exists(), "socket file cleaned up on shutdown");
+}
+
 /// The per-connection in-flight window backpressures: a burst larger
 /// than the window sheds the excess with typed `Overloaded` per-window
 /// errors while everything inside the window is served bit-identically.

@@ -247,6 +247,64 @@ fn bit_flipped_frames_never_panic() {
     }
 }
 
+/// A window header claiming samples with zero channels needs zero
+/// payload bytes, so the remaining-bytes check alone cannot bound it:
+/// each claimed sample still costs a `Vec` header (~24 bytes) at
+/// decode. 8 bytes on the wire must never demand megabytes of live
+/// allocation — the decoder rejects the shape outright.
+#[test]
+fn zero_channel_windows_are_rejected_before_allocation() {
+    // Classify: one window claiming the full sample cap, zero channels.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    payload.extend_from_slice(&(1u32 << 20).to_le_bytes());
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    let bytes = proto::frame(proto::kind::CLASSIFY, 1, &payload);
+    let header = decode_header(&bytes, MAX_FRAME).unwrap();
+    assert!(matches!(
+        decode_request(&header, &bytes[proto::HEADER_LEN..]),
+        Err(proto::WireError::Malformed(_))
+    ));
+
+    // The batch amplification: a ~512 KiB frame of 8-byte windows, each
+    // claiming the sample cap (65536 × 2^20 Vec headers ≈ terabytes if
+    // believed), dies the same typed death under the 4 MiB frame cap.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    payload.extend_from_slice(&(1u32 << 16).to_le_bytes());
+    for _ in 0..(1u32 << 16) {
+        payload.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+    }
+    let bytes = proto::frame(proto::kind::CLASSIFY_BATCH, 2, &payload);
+    let header = decode_header(&bytes, MAX_FRAME).unwrap();
+    assert!(matches!(
+        decode_request(&header, &bytes[proto::HEADER_LEN..]),
+        Err(proto::WireError::Malformed(_))
+    ));
+
+    // Degenerate-but-honest windows still pass: the encoder normalizes
+    // both the empty window and a window of zero-width samples to the
+    // empty window, which decodes cleanly.
+    for window in [Vec::new(), vec![Vec::new(); 3]] {
+        let bytes = encode_request(
+            3,
+            &Request::Classify {
+                deadline_us: 7,
+                window,
+            },
+        );
+        let header = decode_header(&bytes, MAX_FRAME).unwrap();
+        assert_eq!(
+            decode_request(&header, &bytes[proto::HEADER_LEN..]).unwrap(),
+            Request::Classify {
+                deadline_us: 7,
+                window: Vec::new(),
+            }
+        );
+    }
+}
+
 /// The header checks fire in a useful order: corrupt magic is
 /// `BadMagic`, a wrong version is `BadVersion`, an oversized declared
 /// payload is `TooLarge` (the slow-loris/allocation guard), and a
