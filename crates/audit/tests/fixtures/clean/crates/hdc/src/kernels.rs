@@ -1,0 +1,20 @@
+//! Fixture: the same constructs as the violations tree, each carrying
+//! the justification the lint asks for — the whole tree must report
+//! zero violations.
+
+/// Inverts every word.
+///
+/// # Safety
+///
+/// Requires AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn good_kernel(dst: &mut [u64]) {
+    for w in dst.iter_mut() {
+        *w = !*w;
+    }
+}
+
+pub fn caller(dst: &mut [u64]) {
+    // SAFETY: the build gates this call behind an AVX2 check.
+    unsafe { good_kernel(dst) }
+}

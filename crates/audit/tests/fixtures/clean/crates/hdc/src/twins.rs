@@ -1,0 +1,5 @@
+//! Fixture twin registry: mirrors the shape of the real
+//! `crates/hdc/src/twins.rs` just enough for `registry_names` to find
+//! the registered kernel below.
+
+pub const KERNEL_TWINS: &[(&str, &str)] = &[("good_kernel", "portable::good_kernel")];

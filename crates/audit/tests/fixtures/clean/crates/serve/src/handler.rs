@@ -1,0 +1,20 @@
+//! Fixture: annotated twins of the violations-tree constructs — the
+//! whole tree must report zero violations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn first(input: Option<u32>) -> u32 {
+    // INFALLIBLE: callers validate the option before handing it over.
+    input.unwrap()
+}
+
+pub fn bump(counter: &AtomicU64) {
+    // ORDERING: Relaxed — a telemetry counter with no dependent reads.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn consistent(flag: &AtomicU64) -> u64 {
+    // ORDERING: SeqCst on both sides — a flag handshake.
+    flag.store(1, Ordering::SeqCst);
+    flag.load(Ordering::SeqCst)
+}

@@ -1,0 +1,14 @@
+//! Fixture: the SAFETY and TWIN rules must each fire exactly where
+//! `lint_fixtures.rs` says they do. Never compiled — line numbers are
+//! part of the test contract; edit both together.
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn rogue_kernel(dst: &mut [u64]) {
+    for w in dst.iter_mut() {
+        *w = !*w;
+    }
+}
+
+pub fn caller(dst: &mut [u64]) {
+    unsafe { rogue_kernel(dst) }
+}

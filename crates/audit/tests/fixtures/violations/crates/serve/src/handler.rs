@@ -1,0 +1,28 @@
+//! Fixture: the UNWRAP, ORDERING, and MIXED-ORDERING rules must each
+//! fire exactly where `lint_fixtures.rs` says they do. Never compiled —
+//! line numbers are part of the test contract; edit both together.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn first(input: Option<u32>) -> u32 {
+    input.unwrap()
+}
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn mixed(flag: &AtomicU64) -> u64 {
+    // ORDERING: justified write, but the load below mixes models.
+    flag.store(1, Ordering::SeqCst);
+    flag.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! The tentpole gate: the real workspace carries zero lint violations.
+//! This is the same check CI runs via `pulp-hd-audit lint`.
+
+use std::path::Path;
+
+use pulp_hd_audit::lint::lint_workspace;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let violations = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        violations.is_empty(),
+        "run `cargo run -p pulp-hd-audit -- lint` and annotate or fix:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -336,10 +336,15 @@ impl QueryCache {
             // signature match — see `query_signature`.
             if entry.sig == sig && *entry.query == *words {
                 entry.stamp = self.clock;
+                // ORDERING: Relaxed — the cache counters are telemetry
+                // read only by stats snapshots; the cache itself is
+                // behind `&mut self`, so no synchronization rides on
+                // these counters.
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 return Some((entry.class, entry.distances.clone()));
             }
         }
+        // ORDERING: Relaxed telemetry, as for `hits` above.
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
@@ -355,8 +360,12 @@ impl QueryCache {
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(i, _)| i)
+                // INFALLIBLE: this branch runs only when the cache is
+                // at capacity, and capacity is validated >= 1, so the
+                // iterator is non-empty.
                 .expect("capacity >= 1, so a full cache has entries");
             self.entries.swap_remove(oldest);
+            // ORDERING: Relaxed telemetry, as for `hits` above.
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
         self.entries.push(CacheEntry {
@@ -414,6 +423,9 @@ impl FastBackend {
     /// Panics if `threads == 0`.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
+        // INFALLIBLE: not a proof — this is the documented panicking
+        // twin of `try_with_threads` ("# Panics" above); callers who
+        // cannot rule out `threads == 0` must use the fallible form.
         Self::try_with_threads(threads).expect("fast backend needs at least one thread")
     }
 
@@ -553,6 +565,10 @@ impl FastBackend {
                             // count the loss, keep the worker alive.
                             scratch = EncodeScratch::new(core.enc.n_words32);
                             cache = core.new_cache();
+                            // ORDERING: Relaxed — contained-panic
+                            // telemetry; the loss itself is reported
+                            // through the job's result channel, which
+                            // does the synchronizing.
                             caught.fetch_add(1, Ordering::Relaxed);
                             Err(BackendError::WorkerLost { chunk, panic })
                         })
@@ -623,6 +639,7 @@ impl FastBackend {
                         // batch and label slices outlive the job because
                         // the dispatcher waits for our `done` message.
                         let windows = unsafe { windows.slice() };
+                        // SAFETY: same guard as `windows` above.
                         let labels = unsafe { labels.slice() };
                         let mut partials: Vec<CounterBundler> = (0..classes)
                             .map(|_| CounterBundler::new(enc.n_words32))
@@ -643,6 +660,10 @@ impl FastBackend {
                             // were job-local); only the arena needs a
                             // respawn before the next job.
                             scratch = EncodeScratch::new(enc.n_words32);
+                            // ORDERING: Relaxed — contained-panic
+                            // telemetry; the loss itself is reported
+                            // through the job's result channel, which
+                            // does the synchronizing.
                             caught.fetch_add(1, Ordering::Relaxed);
                             Err(BackendError::WorkerLost { chunk, panic })
                         })
@@ -1031,6 +1052,9 @@ impl FastSession {
             let done = drain
                 .tx
                 .as_ref()
+                // INFALLIBLE: `tx` is only taken by `ResultDrain::drop`
+                // after dispatch returns, so it is `Some` for the whole
+                // dispatch body.
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
             let job = ClassifyJob {
@@ -1276,6 +1300,9 @@ impl TrainingSession for FastTrainingSession {
             let done = drain
                 .tx
                 .as_ref()
+                // INFALLIBLE: `tx` is only taken by `ResultDrain::drop`
+                // after dispatch returns, so it is `Some` for the whole
+                // dispatch body.
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
             let job = TrainJob {

@@ -83,6 +83,9 @@ impl HangRelease {
     /// Wakes every call currently hung on this plan and disables its
     /// remaining `Hang` faults. Idempotent.
     pub fn release(&self) {
+        // ORDERING: SeqCst — the hung call spins on this flag; pairing
+        // with its SeqCst load makes the wake visible promptly and
+        // totally ordered with the releasing thread's other writes.
         self.0.store(true, Ordering::SeqCst);
     }
 }
@@ -187,6 +190,8 @@ impl<B> FaultBackend<B> {
     }
 
     fn next_session(&self) -> usize {
+        // ORDERING: Relaxed — a unique-id counter; fetch_add is atomic
+        // on its own, and no other memory hangs off the value.
         self.next_session.fetch_add(1, Ordering::Relaxed)
     }
 }
@@ -326,6 +331,7 @@ impl TrainingSession for FaultTrainingSession {
     }
 
     fn into_serving(self: Box<Self>) -> Result<Box<dyn BackendSession>, BackendError> {
+        // ORDERING: Relaxed — unique-id counter, as in next_session.
         let session = self.next_session.fetch_add(1, Ordering::Relaxed);
         Ok(Box::new(FaultSession {
             inner: self.inner.into_serving()?,

@@ -190,6 +190,8 @@ impl HdModel {
     /// error, not input).
     #[must_use]
     pub fn random(params: &AccelParams, seed: u64) -> Self {
+        // INFALLIBLE: documented panicking constructor — the `# Panics`
+        // section above declares malformed params programmer error.
         params.validate().expect("valid accelerator parameters");
         let cim = ContinuousItemMemory::new(params.levels, params.n_words, derive_seed(seed, 1));
         let im = ItemMemory::new(params.channels, params.n_words, derive_seed(seed, 2));
@@ -357,6 +359,8 @@ impl TrainSpec {
     /// Panics if `params` fails [`AccelParams::validate`].
     #[must_use]
     pub fn random(params: &AccelParams, seed: u64) -> Self {
+        // INFALLIBLE: documented panicking constructor — the `# Panics`
+        // section above declares malformed params programmer error.
         params.validate().expect("valid accelerator parameters");
         Self {
             cim: ContinuousItemMemory::new(params.levels, params.n_words, derive_seed(seed, 1)),
@@ -854,5 +858,7 @@ pub(crate) fn argmin(distances: &[u32]) -> usize {
         .enumerate()
         .min_by_key(|&(_, &d)| d)
         .map(|(i, _)| i)
+        // INFALLIBLE: every caller passes a model's distance vector,
+        // and models are validated to hold >= 1 class.
         .expect("at least one prototype")
 }

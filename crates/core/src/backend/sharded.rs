@@ -144,6 +144,8 @@ impl<B: ExecutionBackend> ShardedBackend<B> {
                 let mut sessions: Vec<Option<Box<dyn BackendSession>>> = (0..shards)
                     .map(|_| self.inner.prepare(model).map(Some))
                     .collect::<Result<_, _>>()?;
+                // INFALLIBLE: the collect above filled every slot with
+                // `Some`, and nothing has taken slot 0 yet.
                 let primary = sessions[0].take().expect("shard 0 prepared above");
                 Ok(ShardedSession {
                     primary,
@@ -177,6 +179,8 @@ impl<B: ExecutionBackend> ShardedBackend<B> {
                     offsets.push(range.start);
                     sessions.push(Some(self.inner.prepare(&slice)?));
                 }
+                // INFALLIBLE: the loop above pushed `Some` for every
+                // shard, and nothing has taken slot 0 yet.
                 let primary = sessions[0].take().expect("shard 0 prepared above");
                 Ok(ShardedSession {
                     primary,
@@ -259,7 +263,7 @@ impl ShardMonitor {
     pub fn healthy(&self) -> Vec<bool> {
         self.healthy
             .iter()
-            .map(|h| h.load(Ordering::Relaxed))
+            .map(|h| h.load(Ordering::Acquire))
             .collect()
     }
 
@@ -268,16 +272,23 @@ impl ShardMonitor {
     pub fn healthy_shards(&self) -> usize {
         self.healthy
             .iter()
-            .filter(|h| h.load(Ordering::Relaxed))
+            .filter(|h| h.load(Ordering::Acquire))
             .count()
     }
 
     fn is_healthy(&self, shard: usize) -> bool {
-        self.healthy[shard].load(Ordering::Relaxed)
+        self.healthy[shard].load(Ordering::Acquire)
     }
 
     fn mark_lost(&self, shard: usize) {
-        self.healthy[shard].store(false, Ordering::Relaxed);
+        // ORDERING: Release, paired with the Acquire loads above. This
+        // used to be Relaxed on both sides, which let a monitor reader
+        // (e.g. a serving thread deciding whether to route to this
+        // shard) observe `healthy == false` without also observing the
+        // dispatcher's earlier bookkeeping for the loss — the marker is
+        // only flipped after the failed chunk's result has been
+        // recorded, and readers may rely on that ordering.
+        self.healthy[shard].store(false, Ordering::Release);
     }
 
     /// Snapshot of the windows served per shard, indexed by shard.
@@ -294,6 +305,8 @@ impl ShardMonitor {
     }
 
     fn add(&self, shard: usize, n: u64) {
+        // ORDERING: Relaxed — per-shard window counts are telemetry
+        // read by stats snapshots; routing uses `healthy`, not these.
         self.windows[shard].fetch_add(n, Ordering::Relaxed);
     }
 }
@@ -322,6 +335,8 @@ fn spawn_shard_pool(sessions: &mut [Option<Box<dyn BackendSession>>]) -> WorkerP
     WorkerPool::spawn(sessions.len() - 1, |idx| {
         let mut session = sessions[idx + 1]
             .take()
+            // INFALLIBLE: WorkerPool::spawn calls this closure once per
+            // index, and only slot 0 (the primary) was taken earlier.
             .expect("each shard session moves to exactly one worker");
         move |job: ShardJob| {
             let ShardJob {
@@ -424,6 +439,9 @@ impl ShardedSession {
             let done = drain
                 .tx
                 .as_ref()
+                // INFALLIBLE: `tx` is only taken by `ResultDrain::drop`
+                // after dispatch returns, so it is `Some` for the whole
+                // dispatch body.
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
             let job = ShardJob {
@@ -533,6 +551,9 @@ impl ShardedSession {
             let done = drain
                 .tx
                 .as_ref()
+                // INFALLIBLE: `tx` is only taken by `ResultDrain::drop`
+                // after dispatch returns, so it is `Some` for the whole
+                // dispatch body.
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
             let job = ShardJob {
@@ -599,6 +620,8 @@ impl ShardedSession {
             for (shard, verdicts) in shard_verdicts.iter_mut().enumerate() {
                 let v = verdicts
                     .next()
+                    // INFALLIBLE: each shard result was length-checked
+                    // against the batch before entering this merge.
                     .expect("each shard returns one verdict per window");
                 let winner = v.distances[v.class];
                 if best.is_none_or(|(d, _)| winner < d) {
@@ -609,10 +632,14 @@ impl ShardedSession {
                     query = Some(v.query);
                 }
             }
+            // INFALLIBLE: the loop above visited >= 1 shard, so `best`
+            // was set at least once.
             let (_, class) = best.expect("at least one shard");
             out.push(Verdict {
                 class,
                 distances,
+                // INFALLIBLE: shard 0 always exists and sets `query`
+                // on its pass through the loop above.
                 query: query.expect("shard 0 always reports"),
                 cycles: None,
                 // The merge is an exact cross-shard arg-min; inner
@@ -652,6 +679,8 @@ impl BackendSession for ShardedSession {
             let batch = vec![window.to_vec()];
             let mut out = Vec::with_capacity(1);
             self.class_sharded_into(&batch, &mut out)?;
+            // INFALLIBLE: `class_sharded_into` pushes exactly one
+            // verdict per input window, and one window went in.
             Ok(out.pop().expect("one verdict for one window"))
         }
     }
@@ -745,10 +774,13 @@ impl ShardedBackend<FastBackend> {
                     .map(Some)
             })
             .collect::<Result<_, _>>()?;
+        // INFALLIBLE: the collect above filled every slot with `Some`.
         let primary = sessions[0].take().expect("shard 0 built above");
         let pool = WorkerPool::spawn(shards - 1, |idx| {
             let mut session = sessions[idx + 1]
                 .take()
+                // INFALLIBLE: one spawn call per index; slot 0 was
+                // taken as the primary just above.
                 .expect("each shard session moves to exactly one worker");
             move |job: TrainShardJob| match job {
                 TrainShardJob::Train {
@@ -763,6 +795,7 @@ impl ShardedBackend<FastBackend> {
                         // dispatcher's `ResultDrain` keeps both slices
                         // borrowed until our `done` lands.
                         let windows = unsafe { windows.slice() };
+                        // SAFETY: same guard as `windows` above.
                         let labels = unsafe { labels.slice() };
                         session.train_batch(&windows[range.clone()], &labels[range])
                     })
@@ -811,6 +844,9 @@ impl ShardedTrainingSession {
             let done = drain
                 .tx
                 .as_ref()
+                // INFALLIBLE: `tx` is only taken by `ResultDrain::drop`
+                // after dispatch returns, so it is `Some` for the whole
+                // dispatch body.
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
             // A dead shard thread has nothing left to harvest (its
@@ -870,6 +906,9 @@ impl TrainingSession for ShardedTrainingSession {
             let done = drain
                 .tx
                 .as_ref()
+                // INFALLIBLE: `tx` is only taken by `ResultDrain::drop`
+                // after dispatch returns, so it is `Some` for the whole
+                // dispatch body.
                 .expect("dispatcher sender lives through dispatch")
                 .clone();
             let job = TrainShardJob::Train {

@@ -137,6 +137,7 @@ fn repeated_stream(
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy statistical sweep")]
 fn approx_rungs_stay_within_one_point_of_exact_on_emg() {
     let params = AccelParams {
         n_words: 128,
@@ -288,6 +289,7 @@ fn lid_chunks(chunk: usize, step: usize) -> (Vec<Vec<Vec<u16>>>, Vec<usize>) {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy statistical sweep")]
 fn approx_rungs_stay_within_one_point_of_exact_on_language_id() {
     let letters = ItemMemory::new(ALPHABET.len(), LID_WORDS, 0xBABE);
     let cim = ContinuousItemMemory::from_levels(letters.iter().cloned().collect());
@@ -332,6 +334,7 @@ fn approx_rungs_stay_within_one_point_of_exact_on_language_id() {
 // ---------------------------------------------------------------------
 
 #[test]
+#[cfg_attr(miri, ignore = "heavy statistical sweep")]
 fn tuned_models_meet_their_floor_when_served() {
     let params = AccelParams {
         n_words: 128,
@@ -409,6 +412,7 @@ fn tuned_models_meet_their_floor_when_served() {
 /// how the τ values above were chosen
 /// (`cargo test -p pulp-hd-core --test approx_accuracy -- --ignored --nocapture`).
 #[test]
+#[cfg_attr(miri, ignore = "heavy statistical sweep")]
 #[ignore = "diagnostic: prints the distance bands behind the tau choices"]
 fn report_distance_geometry() {
     let params = AccelParams {

@@ -97,6 +97,7 @@ fn golden_verdicts(model: &HdModel, windows: &[Vec<Vec<u16>>]) -> Vec<Verdict> {
 /// shard unhealthy, and every subsequent batch reroutes across the
 /// survivors bit-identically to an unsharded golden session.
 #[test]
+#[cfg_attr(miri, ignore = "fault-injection timing and OS threads")]
 fn batch_shard_panic_degrades_to_survivors_bit_identically() {
     silence_expected_panics();
     let params = params();
@@ -134,6 +135,7 @@ fn batch_shard_panic_degrades_to_survivors_bit_identically() {
 /// memory is gone), so it is a *permanent* typed [`ShardLost`]: the
 /// failing call and every call after it report the same loss.
 #[test]
+#[cfg_attr(miri, ignore = "fault-injection timing and OS threads")]
 fn class_shard_panic_is_a_permanent_typed_loss() {
     silence_expected_panics();
     let params = params();
@@ -169,6 +171,7 @@ fn class_shard_panic_is_a_permanent_typed_loss() {
 /// [`BackendError::Injected`] but leaves the shard healthy — the very
 /// next batch fans out across all shards again and stays bit-exact.
 #[test]
+#[cfg_attr(miri, ignore = "fault-injection timing and OS threads")]
 fn injected_error_fails_one_batch_and_spares_the_shard() {
     let params = params();
     let model = HdModel::random(&params, 0xC4A2);
@@ -197,6 +200,7 @@ fn injected_error_fails_one_batch_and_spares_the_shard() {
 /// surviving shards produce bit-identical verdicts under AVX2 and the
 /// portable scalar path alike.
 #[test]
+#[cfg_attr(miri, ignore = "fault-injection timing and OS threads")]
 fn degraded_serving_is_bit_identical_on_every_simd_level() {
     silence_expected_panics();
     let params = params();
@@ -241,6 +245,7 @@ fn degraded_serving_is_bit_identical_on_every_simd_level() {
 /// keeps its verdicts bit-exact (the serve layer builds deadlines on
 /// top of this).
 #[test]
+#[cfg_attr(miri, ignore = "fault-injection timing and OS threads")]
 fn injected_delay_never_changes_verdicts() {
     let params = params();
     let model = HdModel::random(&params, 0xC4A4);

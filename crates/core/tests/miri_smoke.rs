@@ -1,0 +1,86 @@
+//! Miri-sized exercise of the repo's riskiest `unsafe` outside the SIMD
+//! kernels: the `RawWindows`/`RawLabels` borrow-erased handoff that
+//! ships batch slices to shard worker threads. One tiny classify and
+//! one tiny train walk the full dispatch → worker → drain path under
+//! the interpreter; the heavyweight equivalence sweeps stay native-only.
+
+use hdc::rng::Xoshiro256PlusPlus;
+use pulp_hd_core::backend::{
+    ExecutionBackend, FastBackend, GoldenBackend, HdModel, ShardSpec, ShardedBackend, TrainSpec,
+    TrainableBackend,
+};
+use pulp_hd_core::layout::AccelParams;
+
+const PARAMS: AccelParams = AccelParams {
+    n_words: 2,
+    channels: 3,
+    ngram: 2,
+    classes: 3,
+    levels: 4,
+};
+
+fn windows(count: usize, rng: &mut Xoshiro256PlusPlus) -> Vec<Vec<Vec<u16>>> {
+    (0..count)
+        .map(|_| {
+            (0..PARAMS.ngram)
+                .map(|_| {
+                    (0..PARAMS.channels)
+                        .map(|_| (rng.next_u32() & 0xffff) as u16)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sharded classification pushes every batch window through the
+/// borrow-erased pool handoff and must still match the golden session.
+#[test]
+fn sharded_classify_handoff_is_sound_and_exact() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x00D1_5EED);
+    let model = HdModel::random(&PARAMS, rng.next_u64());
+    let batch = windows(5, &mut rng);
+    let expected = GoldenBackend
+        .prepare(&model)
+        .unwrap()
+        .classify_batch(&batch)
+        .unwrap();
+    for spec in [ShardSpec::Batch(2), ShardSpec::Class(2)] {
+        let backend = ShardedBackend::new(FastBackend::with_threads(1), spec).unwrap();
+        let got = backend
+            .prepare(&model)
+            .unwrap()
+            .classify_batch(&batch)
+            .unwrap();
+        assert_eq!(got, expected, "{spec:?}");
+    }
+}
+
+/// Sharded training ships windows *and* labels through the handoff and
+/// merges worker counter planes; the resulting model must classify its
+/// own training set exactly like a golden-trained model does.
+#[test]
+fn sharded_training_handoff_is_sound_and_exact() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x7EAC_0DE5);
+    let spec = TrainSpec::random(&PARAMS, 42);
+    let batch = windows(6, &mut rng);
+    let labels: Vec<usize> = (0..batch.len()).map(|i| i % PARAMS.classes).collect();
+
+    let mut golden = GoldenBackend.begin_training(&spec).unwrap();
+    golden.train_batch(&batch, &labels).unwrap();
+    let expected = golden
+        .into_serving()
+        .unwrap()
+        .classify_batch(&batch)
+        .unwrap();
+
+    let sharded = ShardedBackend::new(FastBackend::with_threads(1), ShardSpec::Batch(2)).unwrap();
+    let mut training = sharded.begin_training(&spec).unwrap();
+    training.train_batch(&batch, &labels).unwrap();
+    let got = training
+        .into_serving()
+        .unwrap()
+        .classify_batch(&batch)
+        .unwrap();
+    assert_eq!(got, expected);
+}

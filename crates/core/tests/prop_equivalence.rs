@@ -34,6 +34,10 @@ fn platform_for(selector: u8) -> Platform {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn all_backends_agree_across_random_configurations() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x0E01_11A1_E5CE_57A7);
     for case in 0..24 {
@@ -87,6 +91,10 @@ fn all_backends_agree_across_random_configurations() {
 /// simulated chain does not cover), including through the threaded
 /// batch path.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn host_backends_agree_on_sliding_window_batches() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xBA7C_4E55);
     for case in 0..12 {
@@ -130,6 +138,10 @@ fn host_backends_agree_on_sliding_window_batches() {
 /// whole suite, this test included, re-runs with the portable level
 /// pinned.)
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn training_agrees_across_backends_and_simd_levels() {
     let detected = Simd::detect();
     let mut levels = vec![Simd::Portable];
@@ -214,6 +226,10 @@ fn training_agrees_across_backends_and_simd_levels() {
 /// sharding strategies produce verdicts bit-identical to the unsharded
 /// golden session — distances, query, class, the lot.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn sharded_verdicts_agree_with_golden_across_strategies_and_simd_levels() {
     let detected = Simd::detect();
     let mut levels = vec![Simd::Portable];
@@ -269,6 +285,10 @@ fn sharded_verdicts_agree_with_golden_across_strategies_and_simd_levels() {
 /// the same winning distance). The merged class must match golden's
 /// first-minimum argmin, under both SIMD levels.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn class_sharded_merge_preserves_first_minimum_on_cross_shard_ties() {
     let detected = Simd::detect();
     let mut levels = vec![Simd::Portable];
@@ -343,6 +363,10 @@ fn class_sharded_merge_preserves_first_minimum_on_cross_shard_ties() {
 /// on adversarially tie-rigged repeated-window streams — are
 /// bit-identical to sequential golden training, under both SIMD levels.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn sharded_training_agrees_with_golden_across_simd_levels() {
     let detected = Simd::detect();
     let mut levels = vec![Simd::Portable];
@@ -423,6 +447,10 @@ fn sharded_training_agrees_with_golden_across_simd_levels() {
 /// distance entry is a lower bound on the exact distance that never
 /// undercuts the winner.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn pruned_fast_backend_agrees_with_golden_on_class_and_query() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x5CA4_EE17);
     for case in 0..12 {
@@ -480,6 +508,10 @@ fn pruned_fast_backend_agrees_with_golden_on_class_and_query() {
 /// This is the regression fence the approximate-inference ladder is
 /// built behind.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn exact_policy_stays_bit_identical_to_golden_across_simd_levels() {
     let detected = Simd::detect();
     let mut levels = vec![Simd::Portable];
@@ -539,6 +571,10 @@ fn exact_policy_stays_bit_identical_to_golden_across_simd_levels() {
 /// a trained fast session deployed with `into_serving` keeps agreeing
 /// with golden when the backend was explicitly configured Exact.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "heavy cross-backend sweep; miri_smoke covers the unsafe handoff"
+)]
 fn exact_policy_survives_the_training_handoff() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x5E_4DE);
     for case in 0..6 {

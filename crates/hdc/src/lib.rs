@@ -44,6 +44,9 @@
 //! * [`classifier`] — the end-to-end chain.
 //! * [`simd`] — runtime-dispatched SIMD kernels (AVX2 with a portable
 //!   fallback) behind the `hv64` hot paths.
+//! * [`twins`] — the differential-twin registry pairing every
+//!   `#[target_feature]` kernel with its portable reference, consumed
+//!   by the `pulp-hd-audit` lint and fuzz gates.
 //! * [`rng`] — deterministic generators (reproducibility is part of the
 //!   model definition).
 
@@ -59,6 +62,7 @@ pub mod hv64;
 pub mod item_memory;
 pub mod rng;
 pub mod simd;
+pub mod twins;
 
 pub use am::{AssociativeMemory, Classification};
 pub use bundle::{Bundler, TieBreak};

@@ -92,6 +92,9 @@ impl Simd {
             2 => Self::Avx2,
             _ => {
                 let detected = Self::detect();
+                // ORDERING: Relaxed — a monotone cache of an idempotent
+                // detection; racing initializers store the same value,
+                // and no other memory hangs off it.
                 ACTIVE.store(detected.code(), Ordering::Relaxed);
                 detected
             }
@@ -105,6 +108,8 @@ impl Simd {
     /// while other threads are mid-computation — only changes speed,
     /// never output.
     pub fn set_active(level: Self) {
+        // ORDERING: Relaxed — every level is bit-identical, so a stale
+        // read elsewhere only changes speed, never output (see above).
         ACTIVE.store(level.code(), Ordering::Relaxed);
     }
 
@@ -139,6 +144,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::xor_into(dst, src) }
             }
         }
@@ -153,6 +161,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::popcount(a) }
             }
         }
@@ -172,6 +183,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::hamming(a, b) }
             }
         }
@@ -195,6 +209,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::hamming_bounded(a, b, bound) }
             }
         }
@@ -229,6 +246,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::hamming_threshold(a, b, prune, accept) }
             }
         }
@@ -251,6 +271,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::or_into(a, b, out) }
             }
         }
@@ -272,6 +295,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::maj3_into(x0, x1, x2, out) }
             }
         }
@@ -305,6 +331,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::maj5_into(x0, x1, x2, x3, x4, out) }
             }
         }
@@ -330,6 +359,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::maj5_tie_into(x0, x1, x2, x3, out) }
             }
         }
@@ -373,6 +405,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::ripple_majority_into(n, &get, even_tie, threshold, out) }
             }
         }
@@ -399,6 +434,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::csa_step(plane, carry) }
             }
         }
@@ -445,6 +483,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::counter_majority_into(&planes, n_planes, n, tie, out) }
             }
         }
@@ -472,6 +513,9 @@ impl Simd {
             Self::Avx2 => {
                 avx2_ready();
                 dst.fill(0);
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::xor_rotated_into(dst, src, &geom) }
             }
         }
@@ -497,6 +541,9 @@ impl Simd {
             #[cfg(target_arch = "x86_64")]
             Self::Avx2 => {
                 avx2_ready();
+                // SAFETY: `avx2_ready()` above verified (or aborted on a
+                // broken override) that this CPU has the AVX2 features
+                // the `#[target_feature]` kernel was compiled for.
                 unsafe { avx2::xor_rotated_into(dst, src, &geom) }
             }
         }
@@ -926,6 +973,8 @@ mod avx2 {
     #[target_feature(enable = "avx2")]
     unsafe fn loadu(a: &[u64], i: usize) -> __m256i {
         debug_assert!(i + 4 <= a.len());
+        // SAFETY: the fn's contract requires `i + 4 <= a.len()`
+        // (debug-asserted above) and AVX2.
         unsafe { _mm256_loadu_si256(a.as_ptr().add(i).cast()) }
     }
 
@@ -938,6 +987,8 @@ mod avx2 {
     #[target_feature(enable = "avx2")]
     unsafe fn storeu(a: &mut [u64], i: usize, v: __m256i) {
         debug_assert!(i + 4 <= a.len());
+        // SAFETY: the fn's contract requires `i + 4 <= a.len()`
+        // (debug-asserted above) and AVX2.
         unsafe { _mm256_storeu_si256(a.as_mut_ptr().add(i).cast(), v) }
     }
 
@@ -949,7 +1000,10 @@ mod avx2 {
         let n = dst.len();
         let mut i = 0;
         while i + 4 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             let v = unsafe { _mm256_xor_si256(loadu(dst, i), loadu(src, i)) };
+            // SAFETY: same bound as the load above.
             unsafe { storeu(dst, i, v) };
             i += 4;
         }
@@ -968,6 +1022,8 @@ mod avx2 {
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn popcnt_epi64(v: __m256i) -> __m256i {
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         unsafe {
             let lut = _mm256_setr_epi8(
                 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3,
@@ -988,6 +1044,8 @@ mod avx2 {
     #[target_feature(enable = "avx2")]
     unsafe fn hsum_epi64(v: __m256i) -> u64 {
         let mut lanes = [0u64; 4];
+        // SAFETY: `lanes` is exactly 32 bytes; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v) };
         lanes[0]
             .wrapping_add(lanes[1])
@@ -1002,12 +1060,18 @@ mod avx2 {
     #[allow(clippy::cast_possible_truncation)]
     pub(super) unsafe fn popcount(a: &[u64]) -> u32 {
         let n = a.len();
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         let mut acc = unsafe { _mm256_setzero_si256() };
         let mut i = 0;
         while i + 4 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             acc = unsafe { _mm256_add_epi64(acc, popcnt_epi64(loadu(a, i))) };
             i += 4;
         }
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         let mut total = unsafe { hsum_epi64(acc) };
         while i < n {
             total += u64::from(a[i].count_ones());
@@ -1023,20 +1087,35 @@ mod avx2 {
     #[allow(clippy::cast_possible_truncation)]
     pub(super) unsafe fn hamming(a: &[u64], b: &[u64]) -> u32 {
         let n = a.len();
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         let mut acc = unsafe { _mm256_setzero_si256() };
         let mut i = 0;
         while i + 8 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             let x0 = unsafe { _mm256_xor_si256(loadu(a, i), loadu(b, i)) };
+            // SAFETY: `i + 8 <= n` covers the second lane too.
             let x1 = unsafe { _mm256_xor_si256(loadu(a, i + 4), loadu(b, i + 4)) };
+            // SAFETY: register-only intrinsics; AVX2 flows from the
+            // enclosing `#[target_feature]` contract.
             let c = unsafe { _mm256_add_epi64(popcnt_epi64(x0), popcnt_epi64(x1)) };
+            // SAFETY: register-only intrinsics; AVX2 flows from the
+            // enclosing `#[target_feature]` contract.
             acc = unsafe { _mm256_add_epi64(acc, c) };
             i += 8;
         }
         if i + 4 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             let x = unsafe { _mm256_xor_si256(loadu(a, i), loadu(b, i)) };
+            // SAFETY: register-only intrinsics; AVX2 flows from the
+            // enclosing `#[target_feature]` contract.
             acc = unsafe { _mm256_add_epi64(acc, popcnt_epi64(x)) };
             i += 4;
         }
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         let mut total = unsafe { hsum_epi64(acc) };
         while i < n {
             total += u64::from((a[i] ^ b[i]).count_ones());
@@ -1115,7 +1194,10 @@ mod avx2 {
         let n = out.len();
         let mut i = 0;
         while i + 4 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             let v = unsafe { _mm256_or_si256(loadu(a, i), loadu(b, i)) };
+            // SAFETY: same bound as the load above.
             unsafe { storeu(out, i, v) };
             i += 4;
         }
@@ -1133,6 +1215,8 @@ mod avx2 {
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn full_add_v(a: __m256i, b: __m256i, c: __m256i) -> (__m256i, __m256i) {
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         unsafe {
             let ab = _mm256_xor_si256(a, b);
             (
@@ -1150,7 +1234,10 @@ mod avx2 {
         let n = out.len();
         let mut i = 0;
         while i + 4 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             let (_, maj) = unsafe { full_add_v(loadu(x0, i), loadu(x1, i), loadu(x2, i)) };
+            // SAFETY: same bound as the load above.
             unsafe { storeu(out, i, maj) };
             i += 4;
         }
@@ -1170,6 +1257,8 @@ mod avx2 {
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn maj5_v(a: __m256i, b: __m256i, c: __m256i, d: __m256i, e: __m256i) -> __m256i {
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         unsafe {
             let (s1, c1) = full_add_v(a, b, c);
             let (s2, c2) = full_add_v(s1, d, e);
@@ -1195,6 +1284,8 @@ mod avx2 {
         let n = out.len();
         let mut i = 0;
         while i + 4 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             let v = unsafe {
                 maj5_v(
                     loadu(x0, i),
@@ -1204,6 +1295,7 @@ mod avx2 {
                     loadu(x4, i),
                 )
             };
+            // SAFETY: same bound as the load above.
             unsafe { storeu(out, i, v) };
             i += 4;
         }
@@ -1229,9 +1321,16 @@ mod avx2 {
         let n = out.len();
         let mut i = 0;
         while i + 4 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             let (a, b) = unsafe { (loadu(x0, i), loadu(x1, i)) };
+            // SAFETY: register-only intrinsics; AVX2 flows from the
+            // enclosing `#[target_feature]` contract.
             let tie = unsafe { _mm256_xor_si256(a, b) };
+            // SAFETY: the remaining load shares the `i + 4 <= n` bound;
+            // the majority network itself is register-only.
             let v = unsafe { maj5_v(a, b, loadu(x2, i), loadu(x3, i), tie) };
+            // SAFETY: same bound as the load above.
             unsafe { storeu(out, i, v) };
             i += 4;
         }
@@ -1264,6 +1363,9 @@ mod avx2 {
         let n_words = out.len();
         let mut wi = 0;
         while wi + 4 <= n_words {
+            // SAFETY: `wi + 4 <= n_words` bounds every lane; each
+            // `get(i)` slice matches `out` per the caller contract;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             unsafe {
                 let zero = _mm256_setzero_si256();
                 let mut planes = [zero; RIPPLE_PLANES];
@@ -1305,6 +1407,9 @@ mod avx2 {
     unsafe fn ripple_v(planes: &mut [__m256i; RIPPLE_PLANES], w: __m256i) -> usize {
         let mut carry = w;
         let mut p = 0;
+        // SAFETY: register-only intrinsics; the caller bounds the
+        // vote count so `p` never reaches RIPPLE_PLANES; AVX2 flows
+        // from the enclosing `#[target_feature]` contract.
         unsafe {
             while _mm256_testz_si256(carry, carry) == 0 {
                 let t = _mm256_and_si256(planes[p], carry);
@@ -1322,9 +1427,13 @@ mod avx2 {
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn csa_step(plane: &mut [u64], carry: &mut [u64]) -> bool {
         let n = plane.len();
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         let mut any = unsafe { _mm256_setzero_si256() };
         let mut i = 0;
         while i + 4 <= n {
+            // SAFETY: the loop bound keeps every 4-word lane in range;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             unsafe {
                 let p = loadu(plane, i);
                 let c = loadu(carry, i);
@@ -1343,6 +1452,8 @@ mod avx2 {
             scalar_any |= t;
             i += 1;
         }
+        // SAFETY: register-only intrinsics; AVX2 flows from the
+        // enclosing `#[target_feature]` contract.
         scalar_any != 0 || unsafe { _mm256_testz_si256(any, any) } == 0
     }
 
@@ -1371,6 +1482,9 @@ mod avx2 {
         let n_words = out.len();
         let mut wi = 0;
         while wi + 4 <= n_words {
+            // SAFETY: `wi + 4 <= n_words` bounds every lane; each
+            // `planes(p)` slice matches `out` per the caller contract;
+            // AVX2 flows from the enclosing `#[target_feature]` contract.
             unsafe {
                 let zero = _mm256_setzero_si256();
                 let ones = _mm256_set1_epi8(-1);
@@ -1420,6 +1534,10 @@ mod avx2 {
         let last = n - 1;
         let sw = g.shl_words;
         let rw = g.shr_words;
+        // SAFETY: every 4-word load/store index is bounded by the
+        // rotation-geometry loop conditions (`j + 4 <= last` with
+        // offsets `j - sw` / `j + rw` kept in range by RotGeom);
+        // AVX2 flows from the enclosing `#[target_feature]` contract.
         unsafe {
             // Pass A: the `<< k` contribution, nonzero for j >= sw.
             if sw < last {

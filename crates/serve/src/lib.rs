@@ -521,6 +521,10 @@ impl Server {
 
     fn finish(&mut self) {
         if let Some(handle) = self.handle.take() {
+            // ORDERING: SeqCst close flag — submitters load it SeqCst
+            // before enqueueing, so once this store is ordered before
+            // the Drain sentinel below, no submission can slip in after
+            // the drain and block forever.
             self.shared.open.store(false, Ordering::SeqCst);
             // The blocking send is safe: the batcher only exits after
             // consuming a Drain (or after every sender is gone), so it
@@ -778,6 +782,10 @@ struct DownGuard<'a> {
 impl Drop for DownGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
+            // ORDERING: SeqCst — waiters poll this flag SeqCst to turn
+            // a dead batcher into `ServerDied` instead of blocking; the
+            // store must be ordered after the unwinding batcher's last
+            // ticket resolutions so no resolved ticket reports a death.
             self.shared.batcher_down.store(true, Ordering::SeqCst);
         }
     }

@@ -273,6 +273,8 @@ impl NetClient {
         if self.stream.is_none() {
             self.stream = Some((self.dial)()?);
         }
+        // INFALLIBLE: the branch above just filled `self.stream` (or
+        // returned the dial error), so the Option is Some here.
         let stream = self.stream.as_mut().expect("just connected");
         stream.write_all(frame)?;
         stream.flush()?;

@@ -498,16 +498,26 @@ impl<'a> Cur<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads exactly `N` bytes into a fixed array, with the bounds
+    /// check done once in [`Cur::take`].
+    fn arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        // INFALLIBLE: `take(N)` either errs or returns exactly N bytes,
+        // so the fixed-size copy cannot mismatch.
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.arr()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.arr()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.arr()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {

@@ -88,7 +88,15 @@ impl NetShared {
         NetStats {
             accepted: self.accepted.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed) as u64,
+            // ORDERING: `active` is the drain handshake's connection
+            // count (SeqCst everywhere else: the accept loop's
+            // check-then-increment must be totally ordered against
+            // shutdown's drain-then-wait). This read used to be Relaxed
+            // — a snapshot taken after `shutdown()` returned could then
+            // lag the guards' SeqCst decrements and report a phantom
+            // active connection; reading SeqCst keeps the snapshot
+            // inside the same total order the handshake relies on.
+            active: self.active.load(Ordering::SeqCst) as u64,
             frames: self.frames.load(Ordering::Relaxed),
             responses: self.responses.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
@@ -254,6 +262,11 @@ impl NetServer {
         if self.server.is_none() {
             return;
         }
+        // ORDERING: SeqCst store-then-load against the accept loop's
+        // load-then-increment (Dekker-style): either the acceptor sees
+        // `draining` and refuses, or this drain sees its `active`
+        // increment and waits — weaker orders would allow both sides to
+        // miss each other and leak a served connection past shutdown.
         self.shared.draining.store(true, Ordering::SeqCst);
         for handle in self.accepts.drain(..) {
             let _ = handle.join();
@@ -335,6 +348,8 @@ fn accept_loop(
                 if shared.draining.load(Ordering::SeqCst)
                     || shared.active.load(Ordering::SeqCst) >= config.max_connections
                 {
+                    // ORDERING: Relaxed telemetry counter; the SeqCst
+                    // accesses around it carry the drain handshake.
                     shared.refused.fetch_add(1, Ordering::Relaxed);
                     refuse(&*stream, shared.draining.load(Ordering::SeqCst));
                     continue;
@@ -342,6 +357,10 @@ fn accept_loop(
                 // Count the connection before its thread exists so the
                 // cap can never be raced past, and hand the increment's
                 // ownership to the thread (its guard decrements).
+                // ORDERING: `active` is SeqCst at every site — the
+                // drain handshake in `finish` needs the check-then-
+                // increment totally ordered against drain-then-wait.
+                // `accepted` is Relaxed telemetry.
                 shared.active.fetch_add(1, Ordering::SeqCst);
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
                 let server = Arc::clone(server);
@@ -351,6 +370,7 @@ fn accept_loop(
                     .name("pulp-hd-net-conn".into())
                     .spawn(move || connection(stream, &server, &shared_conn, &config));
                 if spawned.is_err() {
+                    // ORDERING: SeqCst, same `active` protocol as above.
                     shared.active.fetch_sub(1, Ordering::SeqCst);
                 }
             }
@@ -386,6 +406,9 @@ struct ActiveGuard<'a>(&'a NetShared);
 
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
+        // ORDERING: SeqCst — the release half of the `active` protocol;
+        // shutdown's SeqCst wait loop must observe this decrement after
+        // the connection's final writes.
         self.0.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -598,6 +621,7 @@ fn reader_loop(
 ) {
     let client = server.client();
     let overload = |id: u64, detail: &str| {
+        // ORDERING: Relaxed telemetry counter (see NetShared).
         shared.overloaded.fetch_add(1, Ordering::Relaxed);
         Reply::Frame(proto::encode_response(
             id,
@@ -619,6 +643,7 @@ fn reader_loop(
                 return;
             }
             ReadOutcome::Stalled => {
+                // ORDERING: Relaxed telemetry counter.
                 shared.stalled.fetch_add(1, Ordering::Relaxed);
                 let _ = tx.send(Reply::Frame(proto::encode_response(
                     0,
@@ -630,6 +655,7 @@ fn reader_loop(
                 return;
             }
             ReadOutcome::Malformed(e) => {
+                // ORDERING: Relaxed telemetry counter.
                 shared.malformed.fetch_add(1, Ordering::Relaxed);
                 let code = if matches!(e, WireError::TooLarge { .. }) {
                     ErrorCode::TooLarge
@@ -643,6 +669,7 @@ fn reader_loop(
                 return;
             }
         };
+        // ORDERING: Relaxed telemetry counter.
         shared.frames.fetch_add(1, Ordering::Relaxed);
         let request = match proto::decode_request(&header, &payload) {
             Ok(request) => request,
@@ -651,6 +678,7 @@ fn reader_loop(
                 // garbage: answer with the request's own id, then kill
                 // the connection (a peer that encodes garbage cannot be
                 // trusted to stay in sync).
+                // ORDERING: Relaxed telemetry counter.
                 shared.malformed.fetch_add(1, Ordering::Relaxed);
                 let _ = tx.send(Reply::Frame(proto::encode_response(
                     header.id,
@@ -670,6 +698,11 @@ fn reader_loop(
                     let deadline = wire_deadline(deadline_us, config);
                     match client.try_submit_with_deadline(window, deadline) {
                         Ok(ticket) => {
+                            // ORDERING: SeqCst — `inflight` is a
+                            // reader-side admission bound decremented on
+                            // the responder thread; the check-then-add
+                            // here must stay ordered against those subs
+                            // so the window cannot be overshot.
                             inflight.fetch_add(1, Ordering::SeqCst);
                             Reply::Wait {
                                 id: header.id,
@@ -711,6 +744,7 @@ fn reader_loop(
                                 items.push(Ok(ticket));
                             }
                             Err(TrySubmitError::Overloaded) => {
+                                // ORDERING: Relaxed telemetry counter.
                                 shared.overloaded.fetch_add(1, Ordering::Relaxed);
                                 items.push(Err(WireFault::new(
                                     ErrorCode::Overloaded,
@@ -725,6 +759,8 @@ fn reader_loop(
                             }
                         }
                     }
+                    // ORDERING: SeqCst `inflight` protocol, as in the
+                    // single-window path above.
                     inflight.fetch_add(accepted, Ordering::SeqCst);
                     Reply::WaitBatch {
                         id: header.id,
@@ -817,6 +853,8 @@ fn responder_loop(
                 deadline,
             } => {
                 let result = wait_result(ticket, deadline);
+                // ORDERING: SeqCst — the release half of the `inflight`
+                // admission protocol (reader adds, responder subs).
                 inflight.fetch_sub(1, Ordering::SeqCst);
                 match result {
                     Ok(verdict) => proto::encode_response(id, &proto::Response::Verdict(verdict)),
@@ -833,6 +871,7 @@ fn responder_loop(
                     .map(|item| match item {
                         Ok(ticket) => {
                             let result = wait_result(ticket, deadline);
+                            // ORDERING: SeqCst `inflight` protocol.
                             inflight.fetch_sub(1, Ordering::SeqCst);
                             result
                         }
@@ -848,11 +887,15 @@ fn responder_loop(
                 .and_then(|()| writer.flush())
                 .is_ok();
             if write_ok {
+                // ORDERING: Relaxed telemetry counter.
                 shared.responses.fetch_add(1, Ordering::Relaxed);
             } else {
                 // Wake the reader (it is blocked in poll-tick reads) so
                 // the connection winds down instead of reading requests
                 // nobody can answer.
+                // ORDERING: SeqCst kill flag — must become visible to
+                // the reader's SeqCst poll before it commits to another
+                // blocking read tick.
                 conn_dead.store(true, Ordering::SeqCst);
             }
         }

@@ -176,6 +176,10 @@ impl<S: WireStream> FaultTransport<S> {
     }
 
     fn kill(&self) {
+        // ORDERING: SeqCst kill flag, read by both stream halves on
+        // their own threads; a half observing `dead` must also observe
+        // every faulted operation that preceded the kill so the chaos
+        // schedules stay deterministic.
         self.state.dead.store(true, Ordering::SeqCst);
         self.inner.shutdown_stream();
     }
@@ -204,6 +208,9 @@ impl<S: WireStream> Read for FaultTransport<S> {
         if self.state.dead.load(Ordering::SeqCst) {
             return Ok(0);
         }
+        // ORDERING: SeqCst — the op counter indexes the fault plan and
+        // must be totally ordered with the `dead` flag so cloned halves
+        // never replay or skip a scheduled fault.
         let op = self.state.reads.fetch_add(1, Ordering::SeqCst);
         match Self::fault_for(&self.state.plan.reads, op) {
             None => self.inner.read(buf),
@@ -240,6 +247,7 @@ impl<S: WireStream> Write for FaultTransport<S> {
                 "injected transport disconnect",
             ));
         }
+        // ORDERING: SeqCst, as for the read counter above.
         let op = self.state.writes.fetch_add(1, Ordering::SeqCst);
         match Self::fault_for(&self.state.plan.writes, op) {
             None => self.inner.write(buf),

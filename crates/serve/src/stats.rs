@@ -83,6 +83,10 @@ impl Recorder {
     /// (batcher thread only).
     pub(crate) fn record_latency(&self, latency: Duration) {
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        // ORDERING: Relaxed throughout the recorder — these are
+        // monotone telemetry counters with no reader that makes control
+        // decisions from them; snapshots tolerate torn cross-counter
+        // views (documented on `snapshot`), so no ordering is needed.
         self.latency[bucket(us)].fetch_add(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
@@ -93,6 +97,7 @@ impl Recorder {
     /// (batcher thread only).
     pub(crate) fn record_batch(&self, service: Duration) {
         let us = service.as_micros().min(u128::from(u64::MAX)) as u64;
+        // ORDERING: Relaxed telemetry, as in `record_latency`.
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.service_sum_us.fetch_add(us, Ordering::Relaxed);
         self.service_max_us.fetch_max(us, Ordering::Relaxed);
@@ -101,6 +106,7 @@ impl Recorder {
     /// Counts one submission rejected with `Overloaded` (any client
     /// thread).
     pub(crate) fn record_rejected(&self) {
+        // ORDERING: Relaxed telemetry, as in `record_latency`.
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -108,18 +114,21 @@ impl Recorder {
     /// [`DeadlineExceeded`](crate::ServeError::DeadlineExceeded) instead
     /// of occupying a batch slot (batcher thread only).
     pub(crate) fn record_deadline_expired(&self) {
+        // ORDERING: Relaxed telemetry, as in `record_latency`.
         self.deadline_expired.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one batch retry after a worker-loss failure (batcher
     /// thread only).
     pub(crate) fn record_retried_batch(&self) {
+        // ORDERING: Relaxed telemetry, as in `record_latency`.
         self.retried_batches.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one backend panic contained on the batcher thread
     /// (batcher thread only).
     pub(crate) fn record_contained_panic(&self) {
+        // ORDERING: Relaxed telemetry, as in `record_latency`.
         self.contained_panics.fetch_add(1, Ordering::Relaxed);
     }
 

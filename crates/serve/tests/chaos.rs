@@ -79,6 +79,7 @@ fn golden_verdicts(model: &HdModel, windows: &[Vec<Vec<u16>>]) -> Vec<Verdict> {
 /// bit-exact verdict, nobody else notices, and the telemetry records
 /// exactly one contained panic and one retried batch.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn contained_panic_is_retried_transparently() {
     silence_expected_panics();
     let params = params();
@@ -107,6 +108,7 @@ fn contained_panic_is_retried_transparently() {
 /// fallback fails exactly its own ticket with the typed error; requests
 /// before and after it are served bit-exactly.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn injected_error_fails_only_the_affected_request() {
     let params = params();
     let model = HdModel::random(&params, 0x5E02);
@@ -146,6 +148,7 @@ fn injected_error_fails_only_the_affected_request() {
 /// behind it resolves with the typed `DeadlineExceeded` instead of
 /// being served late, and the server keeps serving afterwards.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn injected_latency_trips_request_deadlines() {
     let params = params();
     let model = HdModel::random(&params, 0x5E03);
@@ -189,6 +192,7 @@ fn injected_latency_trips_request_deadlines() {
 /// the wave that lost the shard — resolves with a bit-exact verdict,
 /// and the loss is visible in `ServerStats::shard_healthy`.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn shard_death_degrades_the_server_without_client_visible_errors() {
     silence_expected_panics();
     let params = params();
@@ -261,6 +265,7 @@ fn shard_death_degrades_the_server_without_client_visible_errors() {
 /// worker is stuck, and after the hang releases the server returns to
 /// serving bit-identical verdicts.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn hung_backend_times_out_tickets_then_recovers() {
     let params = params();
     let model = HdModel::random(&params, 0x5E05);

@@ -108,6 +108,7 @@ fn faulty_client(
 /// redials and the verdict it eventually gets is bit-identical to a
 /// clean run. The dead connection does not leak server-side.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn disconnect_is_retried_to_a_bit_identical_verdict() {
     let params = params();
     let model = HdModel::random(&params, 0xC401);
@@ -135,6 +136,7 @@ fn disconnect_is_retried_to_a_bit_identical_verdict() {
 /// connection with a typed error; the client redials and recovers, and
 /// a healthy concurrent client never notices.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn garbage_frames_surface_typed_and_spare_healthy_clients() {
     let params = params();
     let model = HdModel::random(&params, 0xC402);
@@ -174,6 +176,7 @@ fn garbage_frames_surface_typed_and_spare_healthy_clients() {
 /// is killed with a typed `Stalled` go-away, counted, and the client's
 /// retry on a fresh connection succeeds bit-identically.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn truncated_frames_trip_the_stall_guard_within_bound() {
     let params = params();
     let model = HdModel::random(&params, 0xC403);
@@ -224,6 +227,7 @@ fn truncated_frames_trip_the_stall_guard_within_bound() {
 /// pause) is killed within the read timeout — the wire equivalent of
 /// the watchdog — while a healthy client keeps being served.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn stalls_are_killed_within_the_read_timeout() {
     let params = params();
     let model = HdModel::random(&params, 0xC404);
@@ -278,6 +282,7 @@ fn stalls_are_killed_within_the_read_timeout() {
 /// `DeadlineExceeded` within its budget, and once the hang releases the
 /// server serves bit-identically and shuts down clean.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn backend_hang_is_bounded_by_the_wire_deadline() {
     let params = params();
     let model = HdModel::random(&params, 0xC405);
@@ -331,6 +336,7 @@ fn backend_hang_is_bounded_by_the_wire_deadline() {
 /// never a client hang or a server crash; subsequent requests are
 /// served bit-identically.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn worker_panic_over_the_wire_stays_typed() {
     silence_expected_panics();
     let params = params();
@@ -378,6 +384,7 @@ fn worker_panic_over_the_wire_stays_typed() {
 /// responder blocking forever mid-write, the reader wedging on the
 /// bounded reply channel, and `shutdown` spinning on `active > 0`.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn non_reading_peer_cannot_wedge_drain() {
     let params = params();
     let model = HdModel::random(&params, 0xC408);
@@ -440,6 +447,7 @@ fn non_reading_peer_cannot_wedge_drain() {
 /// and retries automatically, on the same connection, to a
 /// bit-identical verdict.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn worker_lost_is_auto_retried_by_the_client() {
     silence_expected_panics();
     let params = params();
@@ -497,6 +505,7 @@ fn worker_lost_is_auto_retried_by_the_client() {
 /// bit-identical throughout, and shutdown finds zero active
 /// connections.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn fault_storm_never_perturbs_healthy_clients() {
     let params = params();
     let model = HdModel::random(&params, 0xC407);
@@ -570,6 +579,7 @@ fn fault_storm_never_perturbs_healthy_clients() {
 /// across both halves (the invariant the server's reader/responder
 /// split depends on).
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn fault_transport_clones_share_state() {
     use std::io::{Read, Write};
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();

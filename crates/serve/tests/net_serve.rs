@@ -65,6 +65,7 @@ fn spawn_net(model: &HdModel, endpoints: &[Endpoint]) -> NetServer {
 /// at a time and batched — are bit-identical (class, distances, query
 /// hypervector, source) to a direct session classify on the exact path.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn wire_verdicts_bit_identical_over_tcp_and_uds() {
     let params = params();
     let model = HdModel::random(&params, 0x4E7A);
@@ -107,6 +108,7 @@ fn wire_verdicts_bit_identical_over_tcp_and_uds() {
 /// wire — shard telemetry and health included — so a load balancer
 /// sees exactly what an in-process caller sees.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn stats_and_health_round_trip_shard_telemetry() {
     let params = params();
     let model = HdModel::random(&params, 0x4E7B);
@@ -162,6 +164,7 @@ fn stats_and_health_round_trip_shard_telemetry() {
 /// `TooLarge` rejection and the connection is closed — while the server
 /// keeps serving other clients.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn oversized_frames_rejected_typed() {
     let params = params();
     let model = HdModel::random(&params, 0x4E7C);
@@ -210,6 +213,7 @@ fn oversized_frames_rejected_typed() {
 /// with a typed `Malformed` error (or just closes), and a concurrent
 /// healthy client keeps getting bit-identical verdicts.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn garbage_frames_kill_only_their_connection() {
     let params = params();
     let model = HdModel::random(&params, 0x4E7D);
@@ -248,6 +252,7 @@ fn garbage_frames_kill_only_their_connection() {
 /// `DeadlineExceeded`, not served late — and the deadline of one
 /// request does not leak onto others.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn wire_deadline_propagates_to_triage() {
     let params = params();
     let model = HdModel::random(&params, 0x4E7E);
@@ -281,6 +286,7 @@ fn wire_deadline_propagates_to_triage() {
 /// go-away and new connects are refused — but everything accepted
 /// before the drain was answered.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn shutdown_drains_and_refuses_new_work() {
     let params = params();
     let model = HdModel::random(&params, 0x4E7F);
@@ -317,6 +323,7 @@ fn shutdown_drains_and_refuses_new_work() {
 /// answers on is an error rather than a silent theft, and a socket
 /// left behind by a dead server is reclaimed.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn uds_bind_never_steals_files_or_live_sockets() {
     let params = params();
     let model = HdModel::random(&params, 0x4E81);
@@ -377,6 +384,7 @@ fn uds_bind_never_steals_files_or_live_sockets() {
 /// than the window sheds the excess with typed `Overloaded` per-window
 /// errors while everything inside the window is served bit-identically.
 #[test]
+#[cfg_attr(miri, ignore = "real sockets")]
 fn inflight_window_sheds_with_typed_overload() {
     let params = params();
     let model = HdModel::random(&params, 0x4E80);

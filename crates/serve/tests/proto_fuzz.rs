@@ -34,6 +34,10 @@ fn decode_all(bytes: &[u8]) {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "large randomized corpus; the audit fuzzer covers proto under Miri-sized budgets"
+)]
 fn arbitrary_bytes_never_panic_the_decoder() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xF422);
     for round in 0..5_000 {
@@ -167,6 +171,10 @@ fn sample_responses(rng: &mut Xoshiro256PlusPlus) -> Vec<Response> {
 /// including the full `ServerStats` (f64 fields, shard vectors, cache
 /// counters) and verdicts with their query hypervectors.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "large randomized corpus; the audit fuzzer covers proto under Miri-sized budgets"
+)]
 fn requests_and_responses_round_trip_exactly() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x5EED);
     for _ in 0..50 {
@@ -193,6 +201,10 @@ fn requests_and_responses_round_trip_exactly() {
 /// Every strict prefix of a valid frame decodes to a typed error (and
 /// never panics): truncation anywhere in the stream is survivable.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "large randomized corpus; the audit fuzzer covers proto under Miri-sized budgets"
+)]
 fn truncated_valid_frames_yield_typed_errors() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x7A11);
     let mut frames: Vec<Vec<u8>> = Vec::new();
@@ -227,6 +239,10 @@ fn truncated_valid_frames_yield_typed_errors() {
 /// Flipping any single bit of a valid frame never panics the decoder:
 /// the result is either a typed error or a (different but) valid frame.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "large randomized corpus; the audit fuzzer covers proto under Miri-sized budgets"
+)]
 fn bit_flipped_frames_never_panic() {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xB1F1);
     let mut frames: Vec<Vec<u8>> = Vec::new();
@@ -253,6 +269,10 @@ fn bit_flipped_frames_never_panic() {
 /// decode. 8 bytes on the wire must never demand megabytes of live
 /// allocation — the decoder rejects the shape outright.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "large randomized corpus; the audit fuzzer covers proto under Miri-sized budgets"
+)]
 fn zero_channel_windows_are_rejected_before_allocation() {
     // Classify: one window claiming the full sample cap, zero channels.
     let mut payload = Vec::new();
@@ -310,6 +330,10 @@ fn zero_channel_windows_are_rejected_before_allocation() {
 /// payload is `TooLarge` (the slow-loris/allocation guard), and a
 /// too-small cap is enforced.
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "large randomized corpus; the audit fuzzer covers proto under Miri-sized budgets"
+)]
 fn header_rejections_are_typed() {
     let frame = encode_request(1, &Request::Stats);
     let header: FrameHeader = decode_header(&frame, MAX_FRAME).unwrap();

@@ -46,6 +46,7 @@ fn random_windows(
 /// backends — is bit-identical to a direct `session.classify` of the
 /// same window.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn served_verdicts_are_bit_identical_to_direct_classification() {
     let params = params();
     let model = HdModel::random(&params, 0x5E12);
@@ -104,6 +105,7 @@ fn served_verdicts_are_bit_identical_to_direct_classification() {
 /// Queued submissions actually coalesce into multi-window batches (the
 /// whole point of the micro-batcher).
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn queued_requests_coalesce_into_batches() {
     let params = params();
     let model = HdModel::random(&params, 3);
@@ -142,6 +144,7 @@ fn queued_requests_coalesce_into_batches() {
 /// Backpressure: when the bounded queue is full, `try_submit` sheds
 /// load with `Overloaded` (and counts it) instead of blocking.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn overload_surfaces_as_try_submit_rejection() {
     let params = params();
     let model = HdModel::random(&params, 4);
@@ -188,6 +191,7 @@ fn overload_surfaces_as_try_submit_rejection() {
 /// Graceful shutdown serves every accepted ticket before the batcher
 /// exits, and only new submissions observe `Closed`.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn shutdown_drains_outstanding_tickets() {
     let params = params();
     let model = HdModel::random(&params, 5);
@@ -231,6 +235,7 @@ fn shutdown_drains_outstanding_tickets() {
 /// A malformed window poisons only its own ticket: everyone else in the
 /// same batch still gets a bit-exact verdict.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn per_request_errors_do_not_poison_the_batch() {
     let params = params();
     let model = HdModel::random(&params, 6);
@@ -265,6 +270,7 @@ fn per_request_errors_do_not_poison_the_batch() {
 /// The train → serve hand-off: `Server::from_training` serves the
 /// just-trained model bit-identically to a directly prepared session.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn from_training_serves_the_trained_model() {
     let params = params();
     let spec = TrainSpec::random(&params, 0x2EA1);
@@ -295,6 +301,7 @@ fn from_training_serves_the_trained_model() {
 /// `wait_timeout` returns `Ok(None)` on expiry and a verdict when the
 /// answer arrives in time.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn ticket_wait_timeout_behaves() {
     let params = params();
     let model = HdModel::random(&params, 10);
@@ -326,6 +333,7 @@ fn ticket_wait_timeout_behaves() {
 /// and is counted, while a no-deadline request behind the same slow
 /// batch is served normally.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn per_request_deadline_overrides_and_is_triaged() {
     let params = params();
     let model = HdModel::random(&params, 21);
@@ -374,6 +382,7 @@ fn per_request_deadline_overrides_and_is_triaged() {
 /// `queue_depth` must come back as [`ServeError::Config`], never panic
 /// after a thread exists.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn invalid_configs_are_rejected() {
     let params = params();
     let model = HdModel::random(&params, 11);
@@ -410,6 +419,7 @@ fn invalid_configs_are_rejected() {
 /// strategies, and a registered `ShardMonitor` surfaces per-shard
 /// window counts in the server stats.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn sharded_sessions_serve_bit_identical_with_per_shard_stats() {
     let params = params();
     let model = HdModel::random(&params, 0x54A2);
@@ -472,6 +482,7 @@ fn sharded_sessions_serve_bit_identical_with_per_shard_stats() {
 
 /// An unsharded server reports no per-shard counters.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn unsharded_stats_have_no_shard_windows() {
     let params = params();
     let model = HdModel::random(&params, 12);
@@ -490,6 +501,7 @@ fn unsharded_stats_have_no_shard_windows() {
 /// same verdicts and surfaces its counters in `ServerStats`, and a
 /// backend that cannot realize a non-default knob rejects it at spawn.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads and wall-clock deadlines")]
 fn approx_config_passes_through_to_the_backend() {
     let params = params();
     let model = HdModel::random(&params, 0xCAFE);
